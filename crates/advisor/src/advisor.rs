@@ -1,0 +1,77 @@
+//! The advisor contract: constraints and the `IndexAdvisor` trait.
+
+use isum_optimizer::{IndexConfig, WhatIfOptimizer};
+use isum_workload::{CompressedWorkload, Workload};
+
+/// Tuning constraints, matching the knobs the paper varies in its
+/// evaluation: configuration size (Fig 9b) and storage budget (Fig 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningConstraints {
+    /// Maximum number of indexes in the recommended configuration.
+    pub max_indexes: usize,
+    /// Storage budget in bytes (`None` = unconstrained). DTA's default is
+    /// 3× the database size (Sec 8.1).
+    pub storage_budget_bytes: Option<u64>,
+}
+
+impl TuningConstraints {
+    /// `m` indexes, unconstrained storage.
+    pub fn with_max_indexes(m: usize) -> Self {
+        Self { max_indexes: m, storage_budget_bytes: None }
+    }
+
+    /// `m` indexes under a byte budget.
+    pub fn with_budget(m: usize, bytes: u64) -> Self {
+        Self { max_indexes: m, storage_budget_bytes: Some(bytes) }
+    }
+}
+
+impl Default for TuningConstraints {
+    fn default() -> Self {
+        Self { max_indexes: 16, storage_budget_bytes: None }
+    }
+}
+
+/// An index advisor: recommends a configuration for a weighted subset of a
+/// workload. The advisor must only inspect the queries named by `subset`
+/// (that is the whole point of workload compression); the weights convey
+/// each query's representativeness (Sec 7).
+pub trait IndexAdvisor {
+    /// Short display name used by experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// Recommends a configuration.
+    fn recommend(
+        &self,
+        optimizer: &WhatIfOptimizer<'_>,
+        workload: &Workload,
+        subset: &CompressedWorkload,
+        constraints: &TuningConstraints,
+    ) -> IndexConfig;
+
+    /// Convenience: tune the *entire* workload with uniform weights.
+    fn recommend_full(
+        &self,
+        optimizer: &WhatIfOptimizer<'_>,
+        workload: &Workload,
+        constraints: &TuningConstraints,
+    ) -> IndexConfig {
+        let all = CompressedWorkload::uniform(workload.queries.iter().map(|q| q.id).collect());
+        self.recommend(optimizer, workload, &all, constraints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraint_constructors() {
+        let a = TuningConstraints::with_max_indexes(8);
+        assert_eq!(a.max_indexes, 8);
+        assert_eq!(a.storage_budget_bytes, None);
+        let b = TuningConstraints::with_budget(4, 1024);
+        assert_eq!(b.storage_budget_bytes, Some(1024));
+        assert_eq!(TuningConstraints::default().max_indexes, 16);
+    }
+}

@@ -1,0 +1,157 @@
+//! The DEXTER-like advisor (Sec 8.3 of the paper).
+//!
+//! DEXTER \[2\] is an open-source PostgreSQL advisor the paper uses to check
+//! generalizability. Compared to DTA it is deliberately simpler: per-query
+//! hypothetical-index trials with a *minimum improvement* threshold, a union
+//! of winners, no index merging, no storage budget, and only narrow (one- or
+//! two-column) indexes. The paper notes it "misses optimizations such as
+//! index merging" and supports fewer constraints — we reproduce exactly
+//! those limitations.
+
+use isum_optimizer::{Index, IndexConfig, WhatIfOptimizer};
+use isum_workload::{indexable_columns, CompressedWorkload, Workload};
+
+use crate::advisor::{IndexAdvisor, TuningConstraints};
+
+/// DEXTER-like single-pass advisor.
+#[derive(Debug, Clone)]
+pub struct DexterAdvisor {
+    /// Minimum per-query improvement fraction for an index to be considered
+    /// (DEXTER's `--min-cost-savings-pct`; the paper sets it to 5%).
+    pub min_improvement: f64,
+}
+
+impl Default for DexterAdvisor {
+    fn default() -> Self {
+        Self { min_improvement: 0.05 }
+    }
+}
+
+impl DexterAdvisor {
+    /// Advisor with the paper's 5% threshold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Narrow candidates: single filter/join columns and (filter, filter)
+    /// pairs — no wide covering indexes.
+    fn narrow_candidates(&self, workload: &Workload, id: isum_common::QueryId) -> Vec<Index> {
+        let q = workload.query(id);
+        let cols = indexable_columns(&q.bound, &workload.catalog);
+        let mut out: Vec<Index> = Vec::new();
+        let mut push = |ix: Index| {
+            if !out.contains(&ix) {
+                out.push(ix);
+            }
+        };
+        let mut filters: Vec<_> = cols
+            .iter()
+            .filter(|c| (c.positions.filter || c.positions.join) && c.sargable)
+            .collect();
+        filters.sort_by(|a, b| a.selectivity.partial_cmp(&b.selectivity).expect("finite"));
+        for c in &filters {
+            push(Index::new(c.gid.table, vec![c.gid.column]));
+        }
+        for a in &filters {
+            for b in &filters {
+                if a.gid != b.gid && a.gid.table == b.gid.table {
+                    push(Index::new(a.gid.table, vec![a.gid.column, b.gid.column]));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl IndexAdvisor for DexterAdvisor {
+    fn name(&self) -> &'static str {
+        "DEXTER"
+    }
+
+    fn recommend(
+        &self,
+        optimizer: &WhatIfOptimizer<'_>,
+        workload: &Workload,
+        subset: &CompressedWorkload,
+        constraints: &TuningConstraints,
+    ) -> IndexConfig {
+        // Per-query: try narrow candidates, keep those clearing the
+        // threshold, scored by weighted gain.
+        let mut scored: Vec<(f64, Index)> = Vec::new();
+        for &(id, weight) in &subset.entries {
+            let base = optimizer.cost_query(workload, id, &IndexConfig::empty());
+            if base <= 0.0 {
+                continue;
+            }
+            for ix in self.narrow_candidates(workload, id) {
+                let cost =
+                    optimizer.cost_query(workload, id, &IndexConfig::from_indexes([ix.clone()]));
+                let gain = base - cost;
+                if gain / base >= self.min_improvement {
+                    match scored.iter_mut().find(|(_, i)| *i == ix) {
+                        Some((g, _)) => *g += weight * gain,
+                        None => scored.push((weight * gain, ix)),
+                    }
+                }
+            }
+        }
+        // Union of winners, best first, truncated to the configuration
+        // size; no merging, no storage accounting (DEXTER's limitations).
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite gains"));
+        IndexConfig::from_indexes(
+            scored.into_iter().take(constraints.max_indexes).map(|(_, ix)| ix),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dta::DtaAdvisor;
+    use isum_workload::gen::tpch::{tpch_catalog, tpch_workload};
+
+    #[test]
+    fn recommends_narrow_indexes_only() {
+        let mut w = tpch_workload(1, 22, 1).unwrap();
+        let catalog = tpch_catalog(1);
+        let opt = WhatIfOptimizer::new(&catalog);
+        opt.populate_costs(&mut w);
+        let advisor = DexterAdvisor::new();
+        let cfg = advisor.recommend_full(&opt, &w, &TuningConstraints::with_max_indexes(10));
+        assert!(!cfg.is_empty());
+        for ix in cfg.indexes() {
+            assert!(ix.key_columns.len() <= 2, "{}", ix.display(&catalog));
+        }
+    }
+
+    #[test]
+    fn improvements_are_smaller_than_dta() {
+        // Sec 8.3: "the improvements are in general smaller than DTA, ...
+        // misses optimizations such as index merging".
+        let mut w = tpch_workload(1, 22, 2).unwrap();
+        let catalog = tpch_catalog(1);
+        let opt = WhatIfOptimizer::new(&catalog);
+        opt.populate_costs(&mut w);
+        let c = TuningConstraints::with_max_indexes(10);
+        let dex = DexterAdvisor::new().recommend_full(&opt, &w, &c);
+        let dta = DtaAdvisor::new().recommend_full(&opt, &w, &c);
+        let imp_dex = opt.improvement_pct(&w, &dex);
+        let imp_dta = opt.improvement_pct(&w, &dta);
+        assert!(imp_dex <= imp_dta + 1e-9, "DEXTER {imp_dex} vs DTA {imp_dta}");
+        assert!(imp_dex > 0.0);
+    }
+
+    #[test]
+    fn threshold_filters_marginal_indexes() {
+        let mut w = tpch_workload(1, 22, 3).unwrap();
+        let catalog = tpch_catalog(1);
+        let opt = WhatIfOptimizer::new(&catalog);
+        opt.populate_costs(&mut w);
+        let strict = DexterAdvisor { min_improvement: 0.9 };
+        let lax = DexterAdvisor { min_improvement: 0.01 };
+        let c = TuningConstraints::with_max_indexes(32);
+        let n_strict = strict.recommend_full(&opt, &w, &c).len();
+        let n_lax = lax.recommend_full(&opt, &w, &c).len();
+        assert!(n_strict <= n_lax, "{n_strict} > {n_lax}");
+    }
+}

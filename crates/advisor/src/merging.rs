@@ -1,0 +1,120 @@
+//! Index merging (Chaudhuri & Narasayya, ICDE 1999 — cited as \[16\] in the
+//! ISUM paper).
+//!
+//! Merging reduces storage and optimizer calls by replacing two candidate
+//! indexes on the same table with one index that serves (most of) both:
+//! the merged index keeps the first index's full key order and appends the
+//! columns unique to the second. DTA applies merging during candidate
+//! selection; DEXTER famously does not (Sec 8.3 attributes part of the
+//! quality gap to exactly this).
+
+use isum_common::TableId;
+use isum_optimizer::Index;
+
+/// Merges two indexes on the same table: `a`'s key order, then `b`'s
+/// columns not already present. Returns `None` for different tables or
+/// when the merge would equal `a` (nothing gained).
+pub fn merge_pair(a: &Index, b: &Index) -> Option<Index> {
+    if a.table != b.table {
+        return None;
+    }
+    let mut keys = a.key_columns.clone();
+    for &c in &b.key_columns {
+        if !keys.contains(&c) {
+            keys.push(c);
+        }
+    }
+    if keys.len() == a.key_columns.len() {
+        return None; // b ⊆ a
+    }
+    Some(Index::new(a.table, keys))
+}
+
+/// Expands a candidate pool with pairwise merges, capped at `max_new`
+/// additional indexes and `max_width` key columns. Wider merges are
+/// generated first from the most-overlapping pairs, mirroring how merging
+/// prefers indexes that share a prefix.
+pub fn merged_candidates(pool: &[Index], max_new: usize, max_width: usize) -> Vec<Index> {
+    let mut scored: Vec<(usize, Index)> = Vec::new();
+    for (i, a) in pool.iter().enumerate() {
+        for b in pool.iter().skip(i + 1) {
+            if let Some(m) = merge_pair(a, b) {
+                if m.key_columns.len() <= max_width
+                    && !pool.contains(&m)
+                    && !scored.iter().any(|(_, x)| *x == m)
+                {
+                    let overlap =
+                        a.key_columns.iter().filter(|c| b.key_columns.contains(c)).count();
+                    scored.push((overlap, m));
+                }
+            }
+        }
+    }
+    scored.sort_by_key(|(overlap, _)| std::cmp::Reverse(*overlap));
+    scored.into_iter().take(max_new).map(|(_, m)| m).collect()
+}
+
+/// Per-table grouping helper used by callers that merge within one table.
+pub fn group_by_table(pool: &[Index]) -> Vec<(TableId, Vec<&Index>)> {
+    let mut out: Vec<(TableId, Vec<&Index>)> = Vec::new();
+    for ix in pool {
+        match out.iter_mut().find(|(t, _)| *t == ix.table) {
+            Some((_, v)) => v.push(ix),
+            None => out.push((ix.table, vec![ix])),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isum_common::ColumnId;
+
+    fn ix(t: u32, cols: &[u32]) -> Index {
+        Index::new(TableId(t), cols.iter().map(|&c| ColumnId(c)).collect())
+    }
+
+    #[test]
+    fn merge_keeps_first_order_appends_rest() {
+        let m = merge_pair(&ix(0, &[1, 2]), &ix(0, &[3, 2])).expect("merges");
+        assert_eq!(m, ix(0, &[1, 2, 3]));
+    }
+
+    #[test]
+    fn merge_rejects_cross_table_and_subsets() {
+        assert!(merge_pair(&ix(0, &[1]), &ix(1, &[2])).is_none());
+        assert!(merge_pair(&ix(0, &[1, 2]), &ix(0, &[2])).is_none(), "b subset of a");
+    }
+
+    #[test]
+    fn merged_candidates_respects_caps_and_dedup() {
+        let pool = vec![ix(0, &[1]), ix(0, &[2]), ix(0, &[3]), ix(0, &[1, 2])];
+        let merged = merged_candidates(&pool, 3, 2);
+        assert!(merged.len() <= 3);
+        assert!(merged.iter().all(|m| m.key_columns.len() <= 2));
+        assert!(merged.iter().all(|m| !pool.contains(m)));
+        let unlimited = merged_candidates(&pool, 100, 8);
+        let mut seen = std::collections::HashSet::new();
+        for m in &unlimited {
+            assert!(seen.insert(m.clone()), "duplicate merge {m:?}");
+        }
+    }
+
+    #[test]
+    fn overlapping_pairs_merge_first() {
+        let pool = vec![ix(0, &[1, 2]), ix(0, &[2, 3]), ix(0, &[9])];
+        let merged = merged_candidates(&pool, 1, 8);
+        // (1,2)+(2,3) share a column; the disjoint merge with 9 ranks lower.
+        assert_eq!(merged[0], ix(0, &[1, 2, 3]));
+    }
+
+    #[test]
+    fn group_by_table_partitions() {
+        let pool = vec![ix(0, &[1]), ix(1, &[1]), ix(0, &[2])];
+        let groups = group_by_table(&pool);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].1.len(), 1);
+    }
+}

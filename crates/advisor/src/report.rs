@@ -1,0 +1,284 @@
+//! Tuning reports: per-query drill-downs and improvement accounting.
+//!
+//! Sec 10 of the ISUM paper describes the contract commercial advisors
+//! keep: "report the actual improvement on the entire (uncompressed) input
+//! workload ... along with drill-downs on which indexes were used by each
+//! query" — and notes that for large workloads this estimation step erodes
+//! compression's benefit, posing as an open question whether the report
+//! could be computed from the compressed workload alone.
+//!
+//! This module implements both sides of that trade-off:
+//!
+//! * [`TuningReport::exact`] — one what-if call per input query (the
+//!   expensive, DTA-style report), with the indexes each query's plan uses
+//!   extracted from the priced [`PlanNode`](isum_optimizer::PlanNode).
+//! * [`TuningReport::extrapolated`] — what-if calls only for the
+//!   *compressed* queries, extrapolating each unselected query's
+//!   improvement from its most similar selected representative (the
+//!   direction the paper suggests exploring).
+
+use isum_core::features::{Featurizer, WorkloadFeatures};
+use isum_core::similarity::weighted_jaccard;
+use isum_optimizer::{CostModel, IndexConfig, PlanNode, WhatIfOptimizer};
+use isum_workload::{CompressedWorkload, Workload};
+
+/// One query's entry in a tuning report.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// Query id (index into the workload).
+    pub query: isum_common::QueryId,
+    /// Cost under the existing design.
+    pub cost_before: f64,
+    /// (Estimated) cost under the recommended configuration.
+    pub cost_after: f64,
+    /// Indexes of the configuration the query's plan actually uses
+    /// (rendered via `Index::display`); empty for extrapolated entries.
+    pub indexes_used: Vec<isum_optimizer::Index>,
+    /// True when `cost_after` came from a what-if call; false when it was
+    /// extrapolated from a similar tuned query.
+    pub measured: bool,
+}
+
+impl QueryReport {
+    /// The query's improvement fraction in `[0, 1]`.
+    pub fn improvement(&self) -> f64 {
+        if self.cost_before <= 0.0 {
+            0.0
+        } else {
+            ((self.cost_before - self.cost_after) / self.cost_before).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// A full tuning report.
+#[derive(Debug, Clone)]
+pub struct TuningReport {
+    /// Per-query entries, in workload order.
+    pub entries: Vec<QueryReport>,
+}
+
+impl TuningReport {
+    /// The exact report: one what-if costing per input query, plus plan
+    /// inspection for the drill-down. Costs `n` optimizer calls.
+    pub fn exact(
+        optimizer: &WhatIfOptimizer<'_>,
+        workload: &Workload,
+        config: &IndexConfig,
+    ) -> Self {
+        let model = CostModel::new(optimizer.catalog());
+        let entries = workload
+            .queries
+            .iter()
+            .map(|q| {
+                let after = optimizer.cost_query(workload, q.id, config);
+                let plan = model.plan(&q.bound, config);
+                let indexes_used = plan.map(|p| collect_indexes(&p)).unwrap_or_default();
+                QueryReport {
+                    query: q.id,
+                    cost_before: q.cost,
+                    cost_after: after,
+                    indexes_used,
+                    measured: true,
+                }
+            })
+            .collect();
+        Self { entries }
+    }
+
+    /// The extrapolated report: what-if costings only for the compressed
+    /// queries; every other query inherits the improvement *fraction* of
+    /// its most similar selected query, damped by the similarity itself
+    /// (similarity 1 → same fraction, similarity 0 → no improvement).
+    /// Costs `k` optimizer calls instead of `n`.
+    pub fn extrapolated(
+        optimizer: &WhatIfOptimizer<'_>,
+        workload: &Workload,
+        subset: &CompressedWorkload,
+        config: &IndexConfig,
+    ) -> Self {
+        let model = CostModel::new(optimizer.catalog());
+        let features = WorkloadFeatures::build(workload, &Featurizer::default());
+        // Measure the selected queries.
+        let mut measured: Vec<(usize, f64)> = Vec::new(); // (idx, improvement frac)
+        let mut entries: Vec<Option<QueryReport>> = vec![None; workload.len()];
+        for &(id, _) in &subset.entries {
+            let q = workload.query(id);
+            let after = optimizer.cost_query(workload, id, config);
+            let plan = model.plan(&q.bound, config);
+            let report = QueryReport {
+                query: id,
+                cost_before: q.cost,
+                cost_after: after,
+                indexes_used: plan.map(|p| collect_indexes(&p)).unwrap_or_default(),
+                measured: true,
+            };
+            measured.push((id.index(), report.improvement()));
+            entries[id.index()] = Some(report);
+        }
+        // Extrapolate the rest.
+        for (i, q) in workload.queries.iter().enumerate() {
+            if entries[i].is_some() {
+                continue;
+            }
+            let (sim, frac) = measured
+                .iter()
+                .map(|&(j, frac)| {
+                    (weighted_jaccard(&features.original[i], &features.original[j]), frac)
+                })
+                .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite similarity"))
+                .unwrap_or((0.0, 0.0));
+            let est_frac = sim * frac;
+            entries[i] = Some(QueryReport {
+                query: q.id,
+                cost_before: q.cost,
+                cost_after: q.cost * (1.0 - est_frac),
+                indexes_used: Vec::new(),
+                measured: false,
+            });
+        }
+        Self { entries: entries.into_iter().map(|e| e.expect("every entry filled")).collect() }
+    }
+
+    /// Workload-level improvement (%) implied by the report.
+    pub fn total_improvement_pct(&self) -> f64 {
+        let before: f64 = self.entries.iter().map(|e| e.cost_before).sum();
+        let after: f64 = self.entries.iter().map(|e| e.cost_after).sum();
+        if before <= 0.0 {
+            0.0
+        } else {
+            (before - after) / before * 100.0
+        }
+    }
+
+    /// Number of what-if-measured entries.
+    pub fn measured_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.measured).count()
+    }
+}
+
+/// Collects the distinct indexes a plan uses.
+fn collect_indexes(plan: &PlanNode) -> Vec<isum_optimizer::Index> {
+    let mut out = Vec::new();
+    collect_rec(plan, &mut out);
+    out
+}
+
+fn collect_rec(p: &PlanNode, out: &mut Vec<isum_optimizer::Index>) {
+    let mut push = |ix: &isum_optimizer::Index| {
+        if !out.contains(ix) {
+            out.push(ix.clone());
+        }
+    };
+    match p {
+        PlanNode::IndexSeek { index, .. } | PlanNode::IndexOnlyScan { index, .. } => push(index),
+        PlanNode::IndexNestedLoopJoin { outer, index, .. } => {
+            push(index);
+            collect_rec(outer, out);
+        }
+        PlanNode::HashJoin { left, right, .. } | PlanNode::CrossJoin { left, right, .. } => {
+            collect_rec(left, out);
+            collect_rec(right, out);
+        }
+        PlanNode::HashAggregate { input, .. } | PlanNode::Sort { input, .. } => {
+            collect_rec(input, out)
+        }
+        PlanNode::SeqScan { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advisor::{IndexAdvisor, TuningConstraints};
+    use crate::dta::DtaAdvisor;
+    use isum_core::{Compressor, Isum};
+    use isum_optimizer::populate_costs;
+    use isum_workload::gen::tpch_workload;
+
+    fn setup() -> (Workload, IndexConfig, CompressedWorkload) {
+        let mut w = tpch_workload(1, 22, 12).expect("tpch binds");
+        populate_costs(&mut w);
+        let cw = Isum::new().compress(&w, 6).expect("valid inputs");
+        let opt = WhatIfOptimizer::new(&w.catalog);
+        let cfg = DtaAdvisor::new().recommend(
+            &opt,
+            &w,
+            &cw,
+            &TuningConstraints::with_max_indexes(10),
+        );
+        (w, cfg, cw)
+    }
+
+    #[test]
+    fn exact_report_matches_optimizer_improvement() {
+        let (w, cfg, _) = setup();
+        let opt = WhatIfOptimizer::new(&w.catalog);
+        let report = TuningReport::exact(&opt, &w, &cfg);
+        assert_eq!(report.entries.len(), w.len());
+        assert_eq!(report.measured_count(), w.len());
+        let direct = opt.improvement_pct(&w, &cfg);
+        assert!(
+            (report.total_improvement_pct() - direct).abs() < 1e-6,
+            "report {} vs direct {}",
+            report.total_improvement_pct(),
+            direct
+        );
+    }
+
+    #[test]
+    fn improved_queries_show_their_indexes() {
+        let (w, cfg, _) = setup();
+        let opt = WhatIfOptimizer::new(&w.catalog);
+        let report = TuningReport::exact(&opt, &w, &cfg);
+        for e in &report.entries {
+            if e.improvement() > 0.05 {
+                assert!(
+                    !e.indexes_used.is_empty(),
+                    "{} improved {:.0}% without using an index?",
+                    e.query,
+                    e.improvement() * 100.0
+                );
+                // Every reported index must be part of the configuration.
+                for ix in &e.indexes_used {
+                    assert!(cfg.contains(ix));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extrapolated_report_is_cheap_and_close() {
+        let (w, cfg, cw) = setup();
+        let opt = WhatIfOptimizer::new(&w.catalog);
+        let exact = TuningReport::exact(&opt, &w, &cfg);
+        let opt2 = WhatIfOptimizer::new(&w.catalog);
+        let extra = TuningReport::extrapolated(&opt2, &w, &cw, &cfg);
+        assert_eq!(extra.measured_count(), cw.len(), "only compressed queries measured");
+        assert!(
+            opt2.optimizer_calls() < opt.optimizer_calls(),
+            "extrapolation must make fewer what-if calls"
+        );
+        let err =
+            (extra.total_improvement_pct() - exact.total_improvement_pct()).abs();
+        assert!(
+            err < 25.0,
+            "extrapolated {:.1}% vs exact {:.1}%",
+            extra.total_improvement_pct(),
+            exact.total_improvement_pct()
+        );
+    }
+
+    #[test]
+    fn improvement_fraction_clamped() {
+        let r = QueryReport {
+            query: isum_common::QueryId(0),
+            cost_before: 0.0,
+            cost_after: 10.0,
+            indexes_used: vec![],
+            measured: true,
+        };
+        assert_eq!(r.improvement(), 0.0);
+        let r2 = QueryReport { cost_before: 10.0, cost_after: 2.0, ..r };
+        assert!((r2.improvement() - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,90 @@
+//! Cost top-k baseline.
+
+use isum_common::{QueryId, Result};
+use isum_core::compressor::{validate, Compressor};
+use isum_workload::{CompressedWorkload, Workload};
+
+/// Selects the `k` most expensive queries, weighted by cost share. Strong
+/// when cost dominates improvement (Real-M, Sec 8.1) but redundant when a
+/// template's many instances all rank high (Fig 12a).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostTopK;
+
+impl Compressor for CostTopK {
+    fn name(&self) -> String {
+        "Cost".into()
+    }
+
+    fn compress(&self, workload: &Workload, k: usize) -> Result<CompressedWorkload> {
+        validate(workload, k)?;
+        let mut order: Vec<usize> = (0..workload.len()).collect();
+        order.sort_by(|&a, &b| {
+            workload.queries[b]
+                .cost
+                .partial_cmp(&workload.queries[a].cost)
+                .expect("finite costs")
+                .then(a.cmp(&b))
+        });
+        order.truncate(k);
+        let total: f64 = order.iter().map(|&i| workload.queries[i].cost).sum();
+        let entries = order
+            .into_iter()
+            .map(|i| {
+                let w = if total > 0.0 { workload.queries[i].cost / total } else { 0.0 };
+                (QueryId::from_index(i), w)
+            })
+            .collect();
+        let mut cw = CompressedWorkload { entries };
+        if total <= 0.0 {
+            cw = CompressedWorkload::uniform(cw.ids());
+        }
+        Ok(cw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isum_catalog::CatalogBuilder;
+
+    fn workload(costs: &[f64]) -> Workload {
+        let catalog = CatalogBuilder::new()
+            .table("t", 1000)
+            .col_key("a")
+            .col_int("b", 100, 0, 100)
+            .finish()
+            .unwrap()
+            .build();
+        let sqls: Vec<String> =
+            (0..costs.len()).map(|i| format!("SELECT a FROM t WHERE b = {i}")).collect();
+        let mut w = Workload::from_sql(catalog, &sqls).unwrap();
+        w.set_costs(costs);
+        w
+    }
+
+    #[test]
+    fn picks_most_expensive() {
+        let w = workload(&[5.0, 50.0, 1.0, 30.0]);
+        let cw = CostTopK.compress(&w, 2).unwrap();
+        let ids: Vec<usize> = cw.ids().iter().map(|i| i.index()).collect();
+        assert_eq!(ids, vec![1, 3]);
+        // Weights proportional to cost: 50/80 and 30/80.
+        assert!((cw.entries[0].1 - 0.625).abs() < 1e-12);
+        assert!((cw.entries[1].1 - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_break_by_id_for_determinism() {
+        let w = workload(&[10.0, 10.0, 10.0]);
+        let cw = CostTopK.compress(&w, 2).unwrap();
+        let ids: Vec<usize> = cw.ids().iter().map(|i| i.index()).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_cost_workload_falls_back_to_uniform_weights() {
+        let w = workload(&[0.0, 0.0]);
+        let cw = CostTopK.compress(&w, 2).unwrap();
+        assert_eq!(cw.entries[0].1, 0.5);
+    }
+}

@@ -1,0 +1,220 @@
+//! k-medoid clustering baseline (Chaudhuri et al. \[11\], adapted).
+//!
+//! The original distance function of \[11\] is only defined for queries with
+//! identical signatures (same tables and join columns); following Sec 8.1
+//! of the ISUM paper we substitute the weighted-Jaccard distance over ISUM
+//! feature vectors so the method works across templates. Random seeds,
+//! iterative reassignment, medoid recomputation — with the iteration cap
+//! that the paper notes trades quality for time.
+
+use isum_common::rng::DetRng;
+use isum_common::{QueryId, Result};
+use isum_core::compressor::{validate, Compressor};
+use isum_core::features::{Featurizer, WorkloadFeatures};
+use isum_core::similarity::weighted_jaccard;
+use isum_workload::{CompressedWorkload, Workload};
+
+/// k-medoid compressor.
+#[derive(Debug, Clone, Copy)]
+pub struct KMedoid {
+    /// RNG seed for the initial medoids.
+    pub seed: u64,
+    /// Iteration cap (the approximation \[11\] applies for scalability).
+    pub max_iterations: usize,
+}
+
+impl KMedoid {
+    /// k-medoid with the default iteration cap of 20.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, max_iterations: 20 }
+    }
+}
+
+impl Compressor for KMedoid {
+    fn name(&self) -> String {
+        "k-medoid".into()
+    }
+
+    fn compress(&self, workload: &Workload, k: usize) -> Result<CompressedWorkload> {
+        validate(workload, k)?;
+        let n = workload.len();
+        let k = k.min(n);
+        let wf = WorkloadFeatures::build(workload, &Featurizer::default());
+        let dist = |a: usize, b: usize| 1.0 - weighted_jaccard(&wf.original[a], &wf.original[b]);
+
+        let mut rng = DetRng::seeded(self.seed);
+        let mut medoids: Vec<usize> = rng.sample_indices(n, k);
+        let mut assignment = vec![0usize; n];
+        for _ in 0..self.max_iterations {
+            // Assign.
+            let mut changed = false;
+            for (q, slot) in assignment.iter_mut().enumerate() {
+                let best = (0..k)
+                    .min_by(|&a, &b| {
+                        dist(q, medoids[a])
+                            .partial_cmp(&dist(q, medoids[b]))
+                            .expect("finite distances")
+                    })
+                    .expect("k >= 1");
+                if *slot != best {
+                    *slot = best;
+                    changed = true;
+                }
+            }
+            // Recompute medoids.
+            let mut moved = false;
+            for (c, medoid) in medoids.iter_mut().enumerate() {
+                let members: Vec<usize> =
+                    (0..n).filter(|&q| assignment[q] == c).collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let new = *members
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        let da: f64 = members.iter().map(|&m| dist(a, m)).sum();
+                        let db: f64 = members.iter().map(|&m| dist(b, m)).sum();
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .expect("non-empty cluster");
+                if new != *medoid {
+                    *medoid = new;
+                    moved = true;
+                }
+            }
+            if !changed && !moved {
+                break;
+            }
+        }
+        // Weight each medoid by its cluster's cost share.
+        let total_cost: f64 = workload.total_cost();
+        let entries: Vec<(QueryId, f64)> = medoids
+            .iter()
+            .enumerate()
+            .map(|(c, &m)| {
+                let cluster_cost: f64 = (0..n)
+                    .filter(|&q| assignment[q] == c)
+                    .map(|q| workload.queries[q].cost)
+                    .sum();
+                let w = if total_cost > 0.0 {
+                    cluster_cost / total_cost
+                } else {
+                    1.0 / k as f64
+                };
+                (QueryId::from_index(m), w)
+            })
+            .collect();
+        // Identical queries can collapse multiple medoids onto one query;
+        // merge duplicates by summing their weights.
+        let mut merged: Vec<(QueryId, f64)> = Vec::new();
+        for (id, w) in entries {
+            match merged.iter_mut().find(|(i, _)| *i == id) {
+                Some((_, mw)) => *mw += w,
+                None => merged.push((id, w)),
+            }
+        }
+        let mut cw = CompressedWorkload { entries: merged };
+        cw.normalize_weights();
+        Ok(cw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isum_catalog::CatalogBuilder;
+
+    fn workload() -> Workload {
+        let catalog = CatalogBuilder::new()
+            .table("t", 100_000)
+            .col_key("a")
+            .col_int("b", 1000, 0, 1000)
+            .col_int("c", 1000, 0, 1000)
+            .finish()
+            .unwrap()
+            .build();
+        // Two clear clusters: b-queries and c-queries.
+        let sqls: Vec<String> = (0..6)
+            .map(|i| format!("SELECT a FROM t WHERE b = {i}"))
+            .chain((0..6).map(|i| format!("SELECT a FROM t WHERE c = {i} ORDER BY c")))
+            .collect();
+        let mut w = Workload::from_sql(catalog, &sqls).unwrap();
+        w.set_costs(&[10.0; 12]);
+        w
+    }
+
+    #[test]
+    fn finds_the_two_natural_clusters() {
+        // k-medoid is "prone to local minima" (Sec 8.1): when both random
+        // seeds land in one cluster it can fail to split. Require that a
+        // majority of seeds find the two natural clusters.
+        let w = workload();
+        let mut split = 0;
+        for seed in 0..10 {
+            let cw = KMedoid::new(seed).compress(&w, 2).unwrap();
+            let ids: Vec<usize> = cw.ids().iter().map(|i| i.index()).collect();
+            if ids.len() == 2 && (ids[0] < 6) != (ids[1] < 6) {
+                split += 1;
+            }
+        }
+        assert!(split >= 5, "only {split}/10 seeds split the clusters");
+    }
+
+    #[test]
+    fn weights_reflect_cluster_cost_mass() {
+        let mut w = workload();
+        // Make the b-cluster carry 90% of the cost.
+        let costs: Vec<f64> =
+            (0..12).map(|i| if i < 6 { 90.0 } else { 10.0 }).collect();
+        w.set_costs(&costs);
+        let cw = KMedoid::new(3).compress(&w, 2).unwrap();
+        let (b_weight, c_weight) = {
+            let mut bw = 0.0;
+            let mut cwt = 0.0;
+            for (id, wt) in &cw.entries {
+                if id.index() < 6 {
+                    bw += wt;
+                } else {
+                    cwt += wt;
+                }
+            }
+            (bw, cwt)
+        };
+        assert!(b_weight > c_weight * 5.0, "b={b_weight} c={c_weight}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = workload();
+        assert_eq!(
+            KMedoid::new(5).compress(&w, 3).unwrap(),
+            KMedoid::new(5).compress(&w, 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let w = workload();
+        let fast = KMedoid { seed: 1, max_iterations: 1 };
+        let cw = fast.compress(&w, 4).unwrap();
+        // Identical queries may collapse medoids; at least two distinct
+        // medoids must survive, at most the requested four.
+        assert!((2..=4).contains(&cw.len()), "got {}", cw.len());
+    }
+
+    #[test]
+    fn k_equal_n_collapses_identical_queries() {
+        // The 12 queries form two groups of 6 identical feature vectors;
+        // medoids over duplicates legitimately collapse. Distinct medoids
+        // must cover both groups, weights must stay normalized.
+        let w = workload();
+        let cw = KMedoid::new(1).compress(&w, 12).unwrap();
+        let ids: Vec<usize> = cw.ids().iter().map(|i| i.index()).collect();
+        assert!(ids.iter().any(|&i| i < 6) && ids.iter().any(|&i| i >= 6), "{ids:?}");
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "no duplicate entries after merging");
+        assert!((cw.entries.iter().map(|(_, w)| w).sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

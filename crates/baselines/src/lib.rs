@@ -1,0 +1,24 @@
+//! Baseline workload-compression algorithms (Sec 8 of the ISUM paper).
+//!
+//! * [`UniformSampling`] — uniform random subset.
+//! * [`CostTopK`] — the `k` most expensive queries.
+//! * [`Stratified`] — cluster by template, sample evenly per cluster.
+//! * [`Gsum`] — the coverage + representativity greedy of Deep et al. \[20\].
+//! * [`KMedoid`] — the clustering approach of Chaudhuri et al. \[11\],
+//!   adapted (as the paper does) to the weighted-Jaccard distance so it is
+//!   defined across templates.
+//!
+//! All implement [`isum_core::Compressor`] so the experiment harness treats
+//! them interchangeably with ISUM.
+
+pub mod cost_topk;
+pub mod gsum;
+pub mod kmedoid;
+pub mod stratified;
+pub mod uniform;
+
+pub use cost_topk::CostTopK;
+pub use gsum::Gsum;
+pub use kmedoid::KMedoid;
+pub use stratified::Stratified;
+pub use uniform::UniformSampling;

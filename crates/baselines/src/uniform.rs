@@ -1,0 +1,86 @@
+//! Uniform random sampling baseline.
+
+use isum_common::rng::DetRng;
+use isum_common::{QueryId, Result};
+use isum_core::compressor::{validate, Compressor};
+use isum_workload::{CompressedWorkload, Workload};
+
+/// Samples `k` queries uniformly at random. As the paper notes (Sec 1),
+/// sampling "misses out queries that may lead to substantial improvement
+/// ... but may be less frequent" — it is the weakest informed baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformSampling {
+    /// RNG seed (experiments average over seeds).
+    pub seed: u64,
+}
+
+impl UniformSampling {
+    /// Sampler with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Compressor for UniformSampling {
+    fn name(&self) -> String {
+        "Uniform".into()
+    }
+
+    fn compress(&self, workload: &Workload, k: usize) -> Result<CompressedWorkload> {
+        validate(workload, k)?;
+        let n = workload.len();
+        let k = k.min(n);
+        let mut rng = DetRng::seeded(self.seed);
+        let ids: Vec<QueryId> =
+            rng.sample_indices(n, k).into_iter().map(QueryId::from_index).collect();
+        Ok(CompressedWorkload::uniform(ids))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isum_catalog::CatalogBuilder;
+
+    fn workload(n: usize) -> Workload {
+        let catalog = CatalogBuilder::new()
+            .table("t", 1000)
+            .col_key("a")
+            .col_int("b", 100, 0, 100)
+            .finish()
+            .unwrap()
+            .build();
+        let sqls: Vec<String> =
+            (0..n).map(|i| format!("SELECT a FROM t WHERE b = {i}")).collect();
+        Workload::from_sql(catalog, &sqls).unwrap()
+    }
+
+    #[test]
+    fn samples_k_distinct_queries() {
+        let w = workload(20);
+        let cw = UniformSampling::new(1).compress(&w, 5).unwrap();
+        assert_eq!(cw.len(), 5);
+        let mut ids = cw.ids();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 5);
+        assert!((cw.entries.iter().map(|(_, w)| w).sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed_different_across_seeds() {
+        let w = workload(30);
+        let a = UniformSampling::new(7).compress(&w, 10).unwrap();
+        let b = UniformSampling::new(7).compress(&w, 10).unwrap();
+        let c = UniformSampling::new(8).compress(&w, 10).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a.ids(), c.ids());
+    }
+
+    #[test]
+    fn k_capped_at_n() {
+        let w = workload(3);
+        let cw = UniformSampling::new(1).compress(&w, 10).unwrap();
+        assert_eq!(cw.len(), 3);
+    }
+}

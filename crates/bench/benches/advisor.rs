@@ -1,0 +1,44 @@
+//! Advisor-side costs: candidate generation and full tuning of compressed
+//! workloads of growing size — the curve that motivates compression
+//! (Fig 2a of the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isum_advisor::{candidate_indexes, CandidateOptions, DtaAdvisor, IndexAdvisor, TuningConstraints};
+use isum_bench::prepared_tpch;
+use isum_optimizer::WhatIfOptimizer;
+use isum_workload::CompressedWorkload;
+
+fn bench_candidate_generation(c: &mut Criterion) {
+    let w = prepared_tpch(22);
+    c.bench_function("candidates_22_queries", |b| {
+        let opts = CandidateOptions::default();
+        b.iter(|| {
+            for q in &w.queries {
+                std::hint::black_box(candidate_indexes(&q.bound, &w.catalog, &opts));
+            }
+        });
+    });
+}
+
+fn bench_tuning_vs_workload_size(c: &mut Criterion) {
+    let w = prepared_tpch(44);
+    let advisor = DtaAdvisor::new();
+    let constraints = TuningConstraints::with_max_indexes(8);
+    let mut group = c.benchmark_group("dta_tuning");
+    group.sample_size(10);
+    for &n in &[4usize, 11, 22, 44] {
+        let sub = CompressedWorkload::uniform(
+            w.queries.iter().take(n).map(|q| q.id).collect(),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let opt = WhatIfOptimizer::new(&w.catalog);
+                std::hint::black_box(advisor.recommend(&opt, &w, &sub, &constraints))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate_generation, bench_tuning_vs_workload_size);
+criterion_main!(benches);

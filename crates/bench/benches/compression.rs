@@ -1,0 +1,55 @@
+//! Compression-time scaling (regenerates the Fig 11c/d comparison):
+//! summary-features (linear) vs all-pairs (quadratic) vs k-medoid, plus the
+//! other baselines, as the input workload grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isum_baselines::{Gsum, KMedoid, UniformSampling};
+use isum_bench::prepared_tpch;
+use isum_core::{Compressor, Isum, IsumConfig};
+
+fn bench_compression_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compression_scaling");
+    group.sample_size(10);
+    for &n in &[110usize, 220, 440] {
+        let w = prepared_tpch(n);
+        let k = ((n as f64).sqrt() * 0.5).round() as usize;
+        group.bench_with_input(BenchmarkId::new("isum_summary", n), &n, |b, _| {
+            let m = Isum::new();
+            b.iter(|| m.compress(&w, k).expect("valid inputs"));
+        });
+        group.bench_with_input(BenchmarkId::new("isum_all_pairs", n), &n, |b, _| {
+            let m = Isum::with_config(IsumConfig::all_pairs());
+            b.iter(|| m.compress(&w, k).expect("valid inputs"));
+        });
+        group.bench_with_input(BenchmarkId::new("k_medoid", n), &n, |b, _| {
+            let m = KMedoid::new(1);
+            b.iter(|| m.compress(&w, k).expect("valid inputs"));
+        });
+        group.bench_with_input(BenchmarkId::new("gsum", n), &n, |b, _| {
+            let m = Gsum::new();
+            b.iter(|| m.compress(&w, k).expect("valid inputs"));
+        });
+        group.bench_with_input(BenchmarkId::new("uniform", n), &n, |b, _| {
+            let m = UniformSampling::new(1);
+            b.iter(|| m.compress(&w, k).expect("valid inputs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_compression_k(c: &mut Criterion) {
+    // Cost of growing the compressed size at fixed n (the k × n term).
+    let w = prepared_tpch(220);
+    let mut group = c.benchmark_group("compression_vs_k");
+    group.sample_size(10);
+    for &k in &[4usize, 8, 16, 29] {
+        group.bench_with_input(BenchmarkId::new("isum_summary", k), &k, |b, &k| {
+            let m = Isum::new();
+            b.iter(|| m.compress(&w, k).expect("valid inputs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression_scaling, bench_compression_k);
+criterion_main!(benches);

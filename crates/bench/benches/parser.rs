@@ -1,0 +1,43 @@
+//! SQL front-end throughput: lexing, parsing, binding, and template
+//! fingerprinting over the TPC-H templates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use isum_common::rng::DetRng;
+use isum_sql::{fingerprint, parse, Binder};
+use isum_workload::gen::tpch::{instantiate_template, tpch_catalog};
+
+fn bench_parse(c: &mut Criterion) {
+    let mut rng = DetRng::seeded(3);
+    let sqls: Vec<String> = (1..=22).map(|q| instantiate_template(q, &mut rng)).collect();
+    let bytes: u64 = sqls.iter().map(|s| s.len() as u64).sum();
+    let mut group = c.benchmark_group("sql_frontend");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("parse_22_templates", |b| {
+        b.iter(|| {
+            for sql in &sqls {
+                std::hint::black_box(parse(sql).expect("templates parse"));
+            }
+        });
+    });
+    let catalog = tpch_catalog(1);
+    let stmts: Vec<_> = sqls.iter().map(|s| parse(s).expect("templates parse")).collect();
+    group.bench_function("bind_22_templates", |b| {
+        let binder = Binder::new(&catalog);
+        b.iter(|| {
+            for stmt in &stmts {
+                std::hint::black_box(binder.bind(stmt).expect("templates bind"));
+            }
+        });
+    });
+    group.bench_function("fingerprint_22_templates", |b| {
+        b.iter(|| {
+            for stmt in &stmts {
+                std::hint::black_box(fingerprint(stmt));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

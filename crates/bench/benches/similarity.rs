@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the similarity kernel and summary construction —
+//! the inner loops whose allocation-free sorted-merge design DESIGN.md
+//! calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isum_common::rng::DetRng;
+use isum_common::{ColumnId, GlobalColumnId, TableId};
+use isum_core::features::FeatureVec;
+use isum_core::similarity::{set_jaccard, weighted_jaccard};
+use isum_core::summary::summary_features;
+
+fn random_vec(rng: &mut DetRng, n_features: usize, space: u32) -> FeatureVec {
+    FeatureVec::from_entries(
+        (0..n_features)
+            .map(|_| {
+                (
+                    GlobalColumnId::new(
+                        TableId(rng.below(8) as u32),
+                        ColumnId(rng.below(space as usize) as u32),
+                    ),
+                    rng.unit(),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn bench_weighted_jaccard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_jaccard");
+    for &size in &[4usize, 16, 64] {
+        let mut rng = DetRng::seeded(7);
+        let a = random_vec(&mut rng, size, 32);
+        let b = random_vec(&mut rng, size, 32);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            bench.iter(|| weighted_jaccard(std::hint::black_box(&a), std::hint::black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_set_jaccard(c: &mut Criterion) {
+    let mut rng = DetRng::seeded(9);
+    let a = random_vec(&mut rng, 16, 32);
+    let b = random_vec(&mut rng, 16, 32);
+    c.bench_function("set_jaccard_16", |bench| {
+        bench.iter(|| set_jaccard(std::hint::black_box(&a), std::hint::black_box(&b)));
+    });
+}
+
+fn bench_summary_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("summary_features_build");
+    group.sample_size(20);
+    for &n in &[100usize, 500, 2000] {
+        let mut rng = DetRng::seeded(11);
+        let features: Vec<FeatureVec> =
+            (0..n).map(|_| random_vec(&mut rng, 8, 64)).collect();
+        let utilities: Vec<f64> = (0..n).map(|_| rng.unit() / n as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| summary_features(std::hint::black_box(&features), &utilities));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weighted_jaccard, bench_set_jaccard, bench_summary_build);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! What-if costing throughput — the resource that dominates tuning time
+//! (70–80% per Fig 2 of the paper) — and the payoff of the relevance-scoped
+//! cost cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isum_bench::prepared_tpch;
+use isum_optimizer::{Index, IndexConfig, WhatIfOptimizer};
+
+fn bench_cost_bound(c: &mut Criterion) {
+    let w = prepared_tpch(22);
+    let empty = IndexConfig::empty();
+    let li = w.catalog.table_id("lineitem").expect("tpch table");
+    let t = w.catalog.table(li);
+    let cfg = IndexConfig::from_indexes([
+        Index::new(li, vec![t.column_id("l_shipdate").expect("col")]),
+        Index::new(
+            li,
+            vec![
+                t.column_id("l_orderkey").expect("col"),
+                t.column_id("l_quantity").expect("col"),
+            ],
+        ),
+    ]);
+    let mut group = c.benchmark_group("whatif");
+    group.bench_function("cost_22_queries_no_indexes", |b| {
+        let opt = WhatIfOptimizer::new(&w.catalog);
+        b.iter(|| {
+            for q in &w.queries {
+                std::hint::black_box(opt.cost_bound(&q.bound, &empty));
+            }
+        });
+    });
+    group.bench_function("cost_22_queries_with_indexes", |b| {
+        let opt = WhatIfOptimizer::new(&w.catalog);
+        b.iter(|| {
+            for q in &w.queries {
+                std::hint::black_box(opt.cost_bound(&q.bound, &cfg));
+            }
+        });
+    });
+    group.bench_function("cached_workload_cost", |b| {
+        let opt = WhatIfOptimizer::new(&w.catalog);
+        opt.workload_cost(&w, &cfg); // warm
+        b.iter(|| std::hint::black_box(opt.workload_cost(&w, &cfg)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_bound);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! The benches mirror the paper's timing artifacts: compression-time
+//! scaling (Fig 11c/d), what-if costing throughput (the resource Fig 2
+//! shows dominating tuning time), advisor enumeration, and the micro
+//! operations underneath (similarity merges, SQL parsing).
+
+use isum_optimizer::populate_costs;
+use isum_workload::gen::tpch_workload;
+use isum_workload::Workload;
+
+/// A TPC-H workload of `n` queries with populated costs (sf = 1 so bench
+/// setup stays fast; costs only shift magnitudes, not asymptotics).
+pub fn prepared_tpch(n: usize) -> Workload {
+    let mut w = tpch_workload(1, n, 0xBE7C).expect("tpch binds");
+    populate_costs(&mut w);
+    w
+}

@@ -1,0 +1,23 @@
+//! Catalog and statistics substrate.
+//!
+//! The ISUM paper assumes the database exposes (a) a schema, (b) per-table
+//! row counts, and (c) per-column statistics — distinct counts ("density",
+//! Sec 4.2) and histograms for selectivity estimation (Sec 4.1). This crate
+//! implements that substrate: a [`Catalog`] of [`Table`]s and [`Column`]s with
+//! equi-depth [`Histogram`]s, plus predicate selectivity estimation used both
+//! by ISUM's stats-based featurization and by the what-if optimizer's
+//! cardinality model.
+//!
+//! No rows are ever materialized: exactly like the paper's setting, every
+//! quantity downstream (query costs, improvements) is *optimizer estimated*
+//! from these statistics.
+
+pub mod builder;
+pub mod histogram;
+pub mod schema;
+pub mod selectivity;
+
+pub use builder::{CatalogBuilder, TableBuilder};
+pub use histogram::Histogram;
+pub use schema::{Catalog, Column, ColumnStats, ColumnType, Table};
+pub use selectivity::{CompareOp, Selectivity};

@@ -1,0 +1,190 @@
+//! Predicate selectivity estimation.
+//!
+//! Centralizes the formulas both consumers share: ISUM's stats-based
+//! featurization (Sec 4.2 uses "selectivity or density") and the what-if
+//! optimizer's cardinality model. Estimates prefer histograms when present
+//! and fall back to uniform-domain assumptions otherwise, mirroring how
+//! production optimizers degrade.
+
+use crate::schema::{Column, ColumnType};
+
+/// Comparison operators appearing in filter predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `LIKE` (prefix patterns assumed)
+    Like,
+}
+
+/// Default selectivity for predicates we cannot estimate (matches the
+/// classic System-R magic constant for unknown restrictions).
+pub const DEFAULT_UNKNOWN: f64 = 0.33;
+/// Default selectivity for `LIKE` prefix patterns without histograms.
+pub const DEFAULT_LIKE: f64 = 0.05;
+
+/// Selectivity estimator over a single column's statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct Selectivity;
+
+impl Selectivity {
+    /// Selectivity of `col <op> literal`.
+    pub fn compare(col: &Column, op: CompareOp, literal: f64) -> f64 {
+        let stats = &col.stats;
+        let not_null = 1.0 - stats.null_frac;
+        let sel = match op {
+            CompareOp::Eq => match &stats.histogram {
+                Some(h) => h.selectivity_eq(literal),
+                None => stats.density(),
+            },
+            CompareOp::NotEq => {
+                let eq = Self::compare(col, CompareOp::Eq, literal);
+                (1.0 - eq).max(0.0)
+            }
+            CompareOp::Lt | CompareOp::LtEq => Self::range(col, None, Some(literal)),
+            CompareOp::Gt | CompareOp::GtEq => Self::range(col, Some(literal), None),
+            CompareOp::Like => DEFAULT_LIKE,
+        };
+        (sel * not_null).clamp(0.0, 1.0)
+    }
+
+    /// Selectivity of `col BETWEEN lo AND hi` (either side optional).
+    pub fn range(col: &Column, lo: Option<f64>, hi: Option<f64>) -> f64 {
+        let stats = &col.stats;
+        if !col.ty.is_ordered() {
+            return DEFAULT_UNKNOWN;
+        }
+        if let Some(h) = &stats.histogram {
+            return h.selectivity_range(lo, hi);
+        }
+        let span = stats.max - stats.min;
+        if span <= 0.0 {
+            // Single-valued domain: any range either covers it or not.
+            let covered = lo.is_none_or(|l| l <= stats.min)
+                && hi.is_none_or(|h| h >= stats.max);
+            return if covered { 1.0 } else { 0.0 };
+        }
+        let l = lo.unwrap_or(stats.min).max(stats.min);
+        let h = hi.unwrap_or(stats.max).min(stats.max);
+        if h < l {
+            return 0.0;
+        }
+        ((h - l) / span).clamp(0.0, 1.0)
+    }
+
+    /// Selectivity of `col IN (v1, ..., vn)`: n distinct equality probes,
+    /// capped at 1.
+    pub fn in_list(col: &Column, n_values: usize) -> f64 {
+        (n_values as f64 * col.stats.density()).clamp(0.0, 1.0)
+    }
+
+    /// Join selectivity of `a = b` under the standard containment assumption:
+    /// `1 / max(ndv(a), ndv(b))`.
+    pub fn equi_join(a: &Column, b: &Column) -> f64 {
+        1.0 / a.stats.distinct.max(b.stats.distinct).max(1) as f64
+    }
+
+    /// Selectivity of `col IS NULL`.
+    pub fn is_null(col: &Column) -> f64 {
+        col.stats.null_frac.clamp(0.0, 1.0)
+    }
+}
+
+/// Whether a column's type admits range (ordered) predicates.
+pub fn supports_range(ty: ColumnType) -> bool {
+    ty.is_ordered()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnStats;
+
+    fn int_col(distinct: u64, min: f64, max: f64) -> Column {
+        Column {
+            name: "x".into(),
+            ty: ColumnType::Int,
+            stats: ColumnStats::uniform(distinct, min, max, 8),
+        }
+    }
+
+    #[test]
+    fn eq_uses_density_without_histogram() {
+        let c = int_col(100, 0.0, 100.0);
+        assert!((Selectivity::compare(&c, CompareOp::Eq, 5.0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noteq_is_complement_of_eq() {
+        let c = int_col(100, 0.0, 100.0);
+        let eq = Selectivity::compare(&c, CompareOp::Eq, 5.0);
+        let ne = Selectivity::compare(&c, CompareOp::NotEq, 5.0);
+        assert!((eq + ne - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_is_linear_in_uniform_domain() {
+        let c = int_col(1000, 0.0, 100.0);
+        assert!((Selectivity::compare(&c, CompareOp::Lt, 25.0) - 0.25).abs() < 1e-12);
+        assert!((Selectivity::compare(&c, CompareOp::GtEq, 75.0) - 0.25).abs() < 1e-12);
+        assert!((Selectivity::range(&c, Some(10.0), Some(20.0)) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_clamps_outside_domain() {
+        let c = int_col(1000, 0.0, 100.0);
+        assert_eq!(Selectivity::range(&c, Some(200.0), Some(300.0)), 0.0);
+        assert!((Selectivity::range(&c, Some(-100.0), None) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_list_caps_at_one() {
+        let c = int_col(10, 0.0, 10.0);
+        assert!((Selectivity::in_list(&c, 3) - 0.3).abs() < 1e-12);
+        assert_eq!(Selectivity::in_list(&c, 50), 1.0);
+    }
+
+    #[test]
+    fn join_selectivity_uses_larger_ndv() {
+        let a = int_col(100, 0.0, 100.0);
+        let b = int_col(1000, 0.0, 1000.0);
+        assert!((Selectivity::equi_join(&a, &b) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn null_fraction_scales_comparisons() {
+        let mut c = int_col(100, 0.0, 100.0);
+        c.stats.null_frac = 0.5;
+        let s = Selectivity::compare(&c, CompareOp::Lt, 50.0);
+        assert!((s - 0.25).abs() < 1e-12);
+        assert_eq!(Selectivity::is_null(&c), 0.5);
+    }
+
+    #[test]
+    fn text_columns_use_defaults() {
+        let c = Column {
+            name: "s".into(),
+            ty: ColumnType::Text,
+            stats: ColumnStats::uniform(1000, 0.0, 0.0, 16),
+        };
+        assert_eq!(Selectivity::compare(&c, CompareOp::Like, 0.0), DEFAULT_LIKE);
+        assert_eq!(Selectivity::range(&c, Some(0.0), Some(1.0)), DEFAULT_UNKNOWN);
+    }
+
+    #[test]
+    fn degenerate_single_value_domain() {
+        let c = int_col(1, 42.0, 42.0);
+        assert_eq!(Selectivity::range(&c, Some(0.0), Some(100.0)), 1.0);
+        assert_eq!(Selectivity::range(&c, Some(43.0), Some(100.0)), 0.0);
+    }
+}

@@ -1,0 +1,363 @@
+//! `isum` — command-line workload compression and index tuning.
+//!
+//! ```text
+//! isum compress --schema schema.json --workload workload.sql -k 20 [--variant isum|isum-s|all-pairs]
+//! isum tune     --schema schema.json --workload workload.sql -k 20 -m 16 [--advisor dta|dexter] [--report]
+//! isum explain  --schema schema.json --workload workload.sql --query 3 [--tuned]
+//! ```
+//!
+//! The schema is a JSON statistics document (see `schema.rs`); the workload
+//! is a `;`-separated SQL script, optionally with `-- cost: <value>`
+//! annotations carrying logged costs (missing costs are filled by the
+//! bundled what-if optimizer).
+
+mod schema;
+
+use std::process::ExitCode;
+
+use isum_advisor::{
+    DexterAdvisor, DtaAdvisor, IndexAdvisor, TuningConstraints, TuningReport,
+};
+use isum_common::{Error, Result};
+use isum_core::{Compressor, Isum, IsumConfig};
+use isum_optimizer::{CostModel, IndexConfig, WhatIfOptimizer};
+use isum_workload::{load_script, Workload};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<()> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Err(Error::InvalidConfig("missing command".into()));
+    };
+    let opts = Options::parse(&args[1..])?;
+    match command.as_str() {
+        "compress" => compress(&opts),
+        "tune" => tune(&opts),
+        "explain" => explain(&opts),
+        "--help" | "-h" | "help" => {
+            print_usage();
+            Ok(())
+        }
+        other => {
+            print_usage();
+            Err(Error::InvalidConfig(format!("unknown command `{other}`")))
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:\n  \
+         isum compress --schema <json> --workload <sql> -k <n> [--variant isum|isum-s|all-pairs]\n  \
+         isum tune     --schema <json> --workload <sql> -k <n> [-m <indexes>] [--advisor dta|dexter] [--budget-bytes <n>] [--report]\n  \
+         isum explain  --schema <json> --workload <sql> --query <idx> [--tuned]"
+    );
+}
+
+/// Parsed flag set shared by all commands.
+struct Options {
+    schema: Option<String>,
+    workload: Option<String>,
+    k: usize,
+    m: usize,
+    query: usize,
+    variant: String,
+    advisor: String,
+    budget_bytes: Option<u64>,
+    report: bool,
+    tuned: bool,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self> {
+        let mut o = Options {
+            schema: None,
+            workload: None,
+            k: 10,
+            m: 16,
+            query: 0,
+            variant: "isum".into(),
+            advisor: "dta".into(),
+            budget_bytes: None,
+            report: false,
+            tuned: false,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut value = |name: &str| -> Result<String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| Error::InvalidConfig(format!("{name} needs a value")))
+            };
+            match a.as_str() {
+                "--schema" => o.schema = Some(value("--schema")?),
+                "--workload" => o.workload = Some(value("--workload")?),
+                "-k" => {
+                    o.k = value("-k")?
+                        .parse()
+                        .map_err(|_| Error::InvalidConfig("-k must be an integer".into()))?
+                }
+                "-m" => {
+                    o.m = value("-m")?
+                        .parse()
+                        .map_err(|_| Error::InvalidConfig("-m must be an integer".into()))?
+                }
+                "--query" => {
+                    o.query = value("--query")?
+                        .parse()
+                        .map_err(|_| Error::InvalidConfig("--query must be an index".into()))?
+                }
+                "--variant" => o.variant = value("--variant")?,
+                "--advisor" => o.advisor = value("--advisor")?,
+                "--budget-bytes" => {
+                    o.budget_bytes = Some(value("--budget-bytes")?.parse().map_err(|_| {
+                        Error::InvalidConfig("--budget-bytes must be an integer".into())
+                    })?)
+                }
+                "--report" => o.report = true,
+                "--tuned" => o.tuned = true,
+                other => {
+                    return Err(Error::InvalidConfig(format!("unknown flag `{other}`")));
+                }
+            }
+        }
+        Ok(o)
+    }
+
+    fn load(&self) -> Result<Workload> {
+        let schema_path = self
+            .schema
+            .as_ref()
+            .ok_or_else(|| Error::InvalidConfig("--schema is required".into()))?;
+        let workload_path = self
+            .workload
+            .as_ref()
+            .ok_or_else(|| Error::InvalidConfig("--workload is required".into()))?;
+        let schema_json = std::fs::read_to_string(schema_path)?;
+        let script = std::fs::read_to_string(workload_path)?;
+        let catalog = schema::parse_schema(&schema_json)?;
+        let mut w = load_script(catalog, &script)?;
+        if w.is_empty() {
+            return Err(Error::InvalidConfig("workload script has no statements".into()));
+        }
+        // Fill costs the script didn't annotate.
+        if w.queries.iter().any(|q| q.cost <= 0.0) {
+            let costs: Vec<f64> = {
+                let opt = WhatIfOptimizer::new(&w.catalog);
+                let empty = IndexConfig::empty();
+                w.queries
+                    .iter()
+                    .map(|q| {
+                        if q.cost > 0.0 {
+                            q.cost
+                        } else {
+                            opt.cost_bound(&q.bound, &empty)
+                        }
+                    })
+                    .collect()
+            };
+            w.set_costs(&costs);
+        }
+        Ok(w)
+    }
+
+    fn compressor(&self) -> Result<Isum> {
+        Ok(match self.variant.as_str() {
+            "isum" => Isum::new(),
+            "isum-s" => Isum::with_config(IsumConfig::isum_s()),
+            "all-pairs" => Isum::with_config(IsumConfig::all_pairs()),
+            other => {
+                return Err(Error::InvalidConfig(format!(
+                    "unknown variant `{other}` (isum | isum-s | all-pairs)"
+                )))
+            }
+        })
+    }
+
+    fn advisor(&self) -> Result<Box<dyn IndexAdvisor>> {
+        Ok(match self.advisor.as_str() {
+            "dta" => Box::new(DtaAdvisor::new()),
+            "dexter" => Box::new(DexterAdvisor::new()),
+            other => {
+                return Err(Error::InvalidConfig(format!(
+                    "unknown advisor `{other}` (dta | dexter)"
+                )))
+            }
+        })
+    }
+}
+
+fn compress(opts: &Options) -> Result<()> {
+    let w = opts.load()?;
+    let compressed = opts.compressor()?.compress(&w, opts.k)?;
+    println!(
+        "selected {} of {} queries ({} templates):",
+        compressed.len(),
+        w.len(),
+        w.template_count()
+    );
+    for (id, weight) in &compressed.entries {
+        let sql = &w.query(*id).sql;
+        println!("  {:>6.3}  [{}] {}", weight, id, &sql[..sql.len().min(90)]);
+    }
+    Ok(())
+}
+
+fn tune(opts: &Options) -> Result<()> {
+    let w = opts.load()?;
+    let compressed = opts.compressor()?.compress(&w, opts.k)?;
+    let advisor = opts.advisor()?;
+    let constraints = TuningConstraints {
+        max_indexes: opts.m,
+        storage_budget_bytes: opts.budget_bytes,
+    };
+    let opt = WhatIfOptimizer::new(&w.catalog);
+    let config = advisor.recommend(&opt, &w, &compressed, &constraints);
+    println!("recommended {} indexes (advisor {}):", config.len(), advisor.name());
+    for ix in config.indexes() {
+        println!("  CREATE INDEX ON {};", ix.display(&w.catalog));
+    }
+    println!("\nestimated workload improvement: {:.1}%", opt.improvement_pct(&w, &config));
+    if opts.report {
+        let report = TuningReport::exact(&opt, &w, &config);
+        println!("\nper-query drill-down:");
+        for e in &report.entries {
+            if e.improvement() > 0.005 {
+                let used: Vec<String> =
+                    e.indexes_used.iter().map(|ix| ix.display(&w.catalog)).collect();
+                println!(
+                    "  {}: {:.0} -> {:.0} ({:.0}%) via [{}]",
+                    e.query,
+                    e.cost_before,
+                    e.cost_after,
+                    e.improvement() * 100.0,
+                    used.join(", ")
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn explain(opts: &Options) -> Result<()> {
+    let w = opts.load()?;
+    if opts.query >= w.len() {
+        return Err(Error::InvalidConfig(format!(
+            "--query {} out of range (workload has {})",
+            opts.query,
+            w.len()
+        )));
+    }
+    let q = &w.queries[opts.query];
+    let model = CostModel::new(&w.catalog);
+    let config = if opts.tuned {
+        let compressed = opts.compressor()?.compress(&w, opts.k.min(w.len()))?;
+        let opt = WhatIfOptimizer::new(&w.catalog);
+        opts.advisor()?.recommend(
+            &opt,
+            &w,
+            &compressed,
+            &TuningConstraints::with_max_indexes(opts.m),
+        )
+    } else {
+        IndexConfig::empty()
+    };
+    println!("-- {}", q.sql);
+    match model.plan(&q.bound, &config) {
+        Some(plan) => {
+            println!("(total cost {:.0})", plan.total_cost());
+            print!("{}", plan.render(&w.catalog));
+        }
+        None => println!("(no tables referenced)"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_fixtures() -> (std::path::PathBuf, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("isum_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let schema = dir.join("schema.json");
+        std::fs::write(
+            &schema,
+            r#"{"tables":[{"name":"t","rows":100000,"columns":[
+                {"name":"id","type":"key"},
+                {"name":"grp","type":"int","distinct":500,"min":0,"max":500},
+                {"name":"ts","type":"date","min":19000,"max":20000}
+            ]}]}"#,
+        )
+        .expect("write schema");
+        let workload = dir.join("workload.sql");
+        std::fs::write(
+            &workload,
+            "-- cost: 250\nSELECT id FROM t WHERE grp = 7;\n\
+             SELECT id FROM t WHERE grp = 9;\n\
+             SELECT count(*) FROM t WHERE ts > DATE '2024-01-01' GROUP BY grp;",
+        )
+        .expect("write workload");
+        (schema, workload)
+    }
+
+    fn opts(extra: &[&str]) -> Options {
+        let (schema, workload) = write_fixtures();
+        let mut args = vec![
+            "--schema".to_string(),
+            schema.to_string_lossy().into_owned(),
+            "--workload".to_string(),
+            workload.to_string_lossy().into_owned(),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        Options::parse(&args).expect("flags parse")
+    }
+
+    #[test]
+    fn load_fills_missing_costs_keeps_annotated() {
+        let o = opts(&[]);
+        let w = o.load().expect("loads");
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.queries[0].cost, 250.0, "annotated cost preserved");
+        assert!(w.queries[1].cost > 0.0, "missing cost filled");
+    }
+
+    #[test]
+    fn commands_run_end_to_end() {
+        let o = opts(&["-k", "2", "-m", "4", "--report"]);
+        compress(&o).expect("compress runs");
+        tune(&o).expect("tune runs");
+        let o = opts(&["--query", "2", "--tuned", "-k", "2"]);
+        explain(&o).expect("explain runs");
+    }
+
+    #[test]
+    fn flag_errors_are_reported() {
+        assert!(Options::parse(&["--bogus".into()]).is_err());
+        assert!(Options::parse(&["-k".into()]).is_err());
+        assert!(Options::parse(&["-k".into(), "abc".into()]).is_err());
+        let o = opts(&["--variant", "nope"]);
+        assert!(o.compressor().is_err());
+        let o = opts(&["--advisor", "nope"]);
+        assert!(o.advisor().is_err());
+        let o = opts(&["--query", "99"]);
+        assert!(explain(&o).is_err());
+    }
+
+    #[test]
+    fn run_dispatches() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["help".into()]).is_ok());
+        assert!(run(&["bogus".into()]).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! JSON schema definitions for the CLI.
+//!
+//! Users describe their database as a JSON document (tables, row counts,
+//! per-column statistics — the same inputs a production deployment would
+//! pull from `pg_stats` / `sys.dm_db_stats`), which the CLI turns into an
+//! [`isum_catalog::Catalog`].
+
+use isum_catalog::{Catalog, CatalogBuilder};
+use isum_common::{Error, Result};
+use serde::Deserialize;
+
+/// Top-level schema document.
+#[derive(Debug, Deserialize)]
+pub struct SchemaDoc {
+    /// Table definitions.
+    pub tables: Vec<TableDoc>,
+}
+
+/// One table.
+#[derive(Debug, Deserialize)]
+pub struct TableDoc {
+    /// Table name.
+    pub name: String,
+    /// Row count.
+    pub rows: u64,
+    /// Columns.
+    pub columns: Vec<ColumnDoc>,
+}
+
+/// One column. `type` is one of `int`, `float`, `date`, `text`, `key`.
+#[derive(Debug, Deserialize)]
+pub struct ColumnDoc {
+    /// Column name.
+    pub name: String,
+    /// Logical type.
+    #[serde(rename = "type")]
+    pub ty: String,
+    /// Distinct values (defaults to the table's row count for `key`,
+    /// `rows / 10` otherwise).
+    #[serde(default)]
+    pub distinct: Option<u64>,
+    /// Domain minimum (ordered types; default 0).
+    #[serde(default)]
+    pub min: Option<f64>,
+    /// Domain maximum (ordered types; default `distinct`).
+    #[serde(default)]
+    pub max: Option<f64>,
+    /// Average width in bytes (text only; default 24).
+    #[serde(default)]
+    pub width: Option<u32>,
+    /// Zipf skew exponent for the value distribution (default 0 = uniform).
+    #[serde(default)]
+    pub skew: Option<f64>,
+}
+
+/// Parses a schema document and builds the catalog.
+///
+/// # Errors
+/// Returns [`Error::Io`] on malformed JSON and [`Error::Catalog`] on
+/// invalid definitions (duplicate tables, unknown column types).
+pub fn parse_schema(json: &str) -> Result<Catalog> {
+    let doc: SchemaDoc =
+        serde_json::from_str(json).map_err(|e| Error::Io(format!("schema JSON: {e}")))?;
+    let mut builder = CatalogBuilder::new();
+    for t in &doc.tables {
+        let mut tb = builder.table(&t.name, t.rows);
+        for c in &t.columns {
+            let distinct = c.distinct.unwrap_or(match c.ty.as_str() {
+                "key" => t.rows.max(1),
+                _ => (t.rows / 10).max(2),
+            });
+            let min = c.min.unwrap_or(0.0);
+            let max = c.max.unwrap_or(distinct as f64);
+            tb = match c.ty.as_str() {
+                "key" => tb.col_key(&c.name),
+                "int" => {
+                    if c.skew.unwrap_or(0.0) > 0.0 {
+                        tb.col_int_skewed(
+                            &c.name,
+                            distinct,
+                            min as i64,
+                            max as i64,
+                            c.skew.unwrap_or(0.0),
+                        )
+                    } else {
+                        tb.col_int(&c.name, distinct, min as i64, max as i64)
+                    }
+                }
+                "float" => tb.col_float(&c.name, distinct, min, max),
+                "date" => tb.col_date(&c.name, min as i64, max as i64),
+                "text" => tb.col_text(&c.name, distinct, c.width.unwrap_or(24)),
+                other => {
+                    return Err(Error::Catalog(format!(
+                        "unknown column type `{other}` for {}.{}",
+                        t.name, c.name
+                    )))
+                }
+            };
+        }
+        builder = tb.finish()?;
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "tables": [
+            {"name": "orders", "rows": 1500000, "columns": [
+                {"name": "o_orderkey", "type": "key"},
+                {"name": "o_custkey", "type": "int", "distinct": 100000, "min": 1, "max": 150000},
+                {"name": "o_orderdate", "type": "date", "min": 8035, "max": 10591},
+                {"name": "o_comment", "type": "text", "distinct": 500000, "width": 48}
+            ]},
+            {"name": "hot", "rows": 1000, "columns": [
+                {"name": "h_val", "type": "int", "skew": 1.2}
+            ]}
+        ]
+    }"#;
+
+    #[test]
+    fn parses_sample_schema() {
+        let cat = parse_schema(SAMPLE).expect("sample parses");
+        assert_eq!(cat.len(), 2);
+        let orders = cat.table(cat.table_id("orders").expect("table exists"));
+        assert_eq!(orders.row_count, 1_500_000);
+        assert_eq!(orders.columns.len(), 4);
+        let key = orders.column(orders.column_id("o_orderkey").expect("col"));
+        assert_eq!(key.stats.distinct, 1_500_000, "key defaults to row count");
+        let comment = orders.column(orders.column_id("o_comment").expect("col"));
+        assert_eq!(comment.stats.avg_width, 48);
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let cat = parse_schema(
+            r#"{"tables":[{"name":"t","rows":100,"columns":[{"name":"a","type":"int"}]}]}"#,
+        )
+        .expect("parses");
+        let t = cat.table(cat.table_id("t").expect("table"));
+        assert_eq!(t.column(t.column_id("a").expect("col")).stats.distinct, 10);
+    }
+
+    #[test]
+    fn rejects_unknown_type_and_bad_json() {
+        assert!(parse_schema(
+            r#"{"tables":[{"name":"t","rows":1,"columns":[{"name":"a","type":"uuid"}]}]}"#
+        )
+        .is_err());
+        assert!(parse_schema("not json").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_tables() {
+        let dup = r#"{"tables":[
+            {"name":"t","rows":1,"columns":[{"name":"a","type":"key"}]},
+            {"name":"t","rows":2,"columns":[{"name":"b","type":"key"}]}
+        ]}"#;
+        assert!(parse_schema(dup).is_err());
+    }
+}

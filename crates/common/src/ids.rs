@@ -1,0 +1,132 @@
+//! Strongly-typed identifiers.
+//!
+//! Every entity that crosses a crate boundary (tables, columns, queries,
+//! indexes, templates) is referred to by a small copyable id. Using newtypes
+//! instead of bare `usize` prevents the classic bug of indexing a table vector
+//! with a column id, at zero runtime cost.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index, suitable for indexing dense vectors.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense vector index.
+            ///
+            /// # Panics
+            /// Panics if `idx` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(idx: usize) -> Self {
+                Self(u32::try_from(idx).expect("id overflow"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(idx: usize) -> Self {
+                Self::from_index(idx)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a table within a [`Catalog`](https://docs.rs/isum-catalog).
+    TableId,
+    "t"
+);
+define_id!(
+    /// Identifies a column *within its table* (position in the table's column
+    /// list, not a global id). Pair with a [`TableId`] for a global reference.
+    ColumnId,
+    "c"
+);
+define_id!(
+    /// Identifies a query within a workload.
+    QueryId,
+    "q"
+);
+define_id!(
+    /// Identifies an index produced by candidate generation or an advisor.
+    IndexId,
+    "i"
+);
+define_id!(
+    /// Identifies a query template (queries identical up to parameter
+    /// bindings share a template, Sec 1 of the paper).
+    TemplateId,
+    "tpl"
+);
+
+/// A globally unique column reference: a table together with one of its
+/// columns. This is the feature key used throughout ISUM's featurization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalColumnId {
+    /// Owning table.
+    pub table: TableId,
+    /// Column within `table`.
+    pub column: ColumnId,
+}
+
+impl GlobalColumnId {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(table: TableId, column: ColumnId) -> Self {
+        Self { table, column }
+    }
+}
+
+impl fmt::Display for GlobalColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_through_index() {
+        let id = TableId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(TableId::from(7usize), TableId(7));
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(TableId(3).to_string(), "t3");
+        assert_eq!(ColumnId(0).to_string(), "c0");
+        assert_eq!(QueryId(12).to_string(), "q12");
+        assert_eq!(TemplateId(5).to_string(), "tpl5");
+        assert_eq!(GlobalColumnId::new(TableId(1), ColumnId(2)).to_string(), "t1.c2");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(QueryId(1) < QueryId(2));
+        let a = GlobalColumnId::new(TableId(0), ColumnId(9));
+        let b = GlobalColumnId::new(TableId(1), ColumnId(0));
+        assert!(a < b);
+    }
+
+    #[test]
+    #[should_panic(expected = "id overflow")]
+    fn id_overflow_panics() {
+        let _ = TableId::from_index(usize::MAX);
+    }
+}

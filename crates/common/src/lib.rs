@@ -1,0 +1,15 @@
+//! Shared utilities for the ISUM reproduction.
+//!
+//! This crate contains the foundation types used by every other crate in the
+//! workspace: strongly-typed identifiers ([`ids`]), the workspace error type
+//! ([`error`]), deterministic random number generation with skewed samplers
+//! ([`rng`]), and the statistical helpers used by the evaluation harness
+//! ([`stats`]).
+
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+
+pub use error::{Error, Result};
+pub use ids::{ColumnId, GlobalColumnId, IndexId, QueryId, TableId, TemplateId};

@@ -1,0 +1,191 @@
+//! Statistical helpers used by featurization and the evaluation harness.
+//!
+//! The paper reports Pearson correlations between estimated and actual
+//! improvements (Figs 5–8, Table 3); [`pearson`] and [`spearman`] implement
+//! those measurements. [`min_max_normalize`] implements the feature-weight
+//! normalization of Sec 4.2.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; `0.0` for fewer than two points.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `0.0` when either sample is degenerate (length < 2 or zero
+/// variance), which is the convention the harness wants when an estimator
+/// produces a constant signal.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson over mismatched lengths");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= f64::EPSILON || vy <= f64::EPSILON {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Spearman rank correlation (Pearson over average ranks, handling ties).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "spearman over mismatched lengths");
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Average ranks (1-based) with ties sharing the mean of their positions.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Min–max normalization per Sec 4.2 of the paper:
+/// `w̄ = w / (max(w) - min(w))`.
+///
+/// When all weights are equal (range zero) the paper's formula divides by
+/// zero; we fall back to dividing by the (positive) maximum so every weight
+/// maps to `1.0`, and to all-zeros when every weight is zero.
+pub fn min_max_normalize(ws: &[f64]) -> Vec<f64> {
+    if ws.is_empty() {
+        return Vec::new();
+    }
+    let max = ws.iter().cloned().fold(f64::MIN, f64::max);
+    let min = ws.iter().cloned().fold(f64::MAX, f64::min);
+    let range = max - min;
+    let denom = if range > f64::EPSILON {
+        range
+    } else if max > f64::EPSILON {
+        max
+    } else {
+        return vec![0.0; ws.len()];
+    };
+    ws.iter().map(|w| w / denom).collect()
+}
+
+/// Percentile (nearest-rank) of a sample; `p` in `\[0, 100\]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank]
+}
+
+/// Geometric mean of strictly positive samples; `0.0` if empty.
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let yneg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &yneg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_zero() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[2.0, 3.0, 4.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // Monotone but non-linear: spearman = 1, pearson < 1.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 4.0, 9.0, 16.0, 1000.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y) < 1.0);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn min_max_matches_paper_formula() {
+        // w / (max - min)
+        let out = min_max_normalize(&[1.0, 3.0, 5.0]);
+        assert_eq!(out, vec![0.25, 0.75, 1.25]);
+    }
+
+    #[test]
+    fn min_max_handles_constant_and_zero() {
+        assert_eq!(min_max_normalize(&[2.0, 2.0]), vec![1.0, 1.0]);
+        assert_eq!(min_max_normalize(&[0.0, 0.0]), vec![0.0, 0.0]);
+        assert!(min_max_normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+    }
+
+    #[test]
+    fn geo_mean_basic() {
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,222 @@
+//! Incremental workload compression (Sec 10 of the paper flags this as
+//! future work: "ISUM requires pre-processing all the queries from the
+//! input workload before it can select queries for tuning").
+//!
+//! [`IncrementalIsum`] removes the batch constraint: queries are *observed*
+//! one at a time (featurization, utility bookkeeping, and template
+//! interning happen per arrival, in O(features) each), and a compressed
+//! workload can be requested at any point from the state accumulated so
+//! far. Observing more queries never requires re-processing earlier ones —
+//! the expensive part of preprocessing is incremental; only the final
+//! greedy selection runs on demand.
+
+use isum_catalog::Catalog;
+use isum_common::{QueryId, Result, TemplateId};
+use isum_sql::TemplateRegistry;
+use isum_workload::{indexable_columns, QueryInfo, Workload};
+
+use crate::allpairs::Selection;
+use crate::features::{FeatureVec, Featurizer};
+use crate::isum::{Algorithm, IsumConfig};
+use crate::summary::select_summary;
+use crate::utility::UtilityMode;
+use crate::allpairs;
+use isum_workload::CompressedWorkload;
+
+/// Streaming ISUM: observe queries as they arrive, select any time.
+#[derive(Debug)]
+pub struct IncrementalIsum {
+    config: IsumConfig,
+    featurizer: Featurizer,
+    features: Vec<FeatureVec>,
+    /// Unnormalized Δ(q) per observed query.
+    raw_reductions: Vec<f64>,
+    costs: Vec<f64>,
+    templates: TemplateRegistry,
+    template_of: Vec<TemplateId>,
+}
+
+impl IncrementalIsum {
+    /// Streaming compressor with the given configuration.
+    pub fn new(config: IsumConfig) -> Self {
+        Self {
+            config,
+            featurizer: Featurizer {
+                scheme: config.scheme,
+                use_table_weight: config.use_table_weight,
+            },
+            features: Vec::new(),
+            raw_reductions: Vec::new(),
+            costs: Vec::new(),
+            templates: TemplateRegistry::new(),
+            template_of: Vec::new(),
+        }
+    }
+
+    /// Observes one query (with its cost already set). O(features of q).
+    pub fn observe(&mut self, q: &QueryInfo, catalog: &Catalog) {
+        let cols = indexable_columns(&q.bound, catalog);
+        self.features.push(self.featurizer.features(&cols, catalog));
+        let delta = match self.config.utility {
+            UtilityMode::CostOnly => q.cost,
+            UtilityMode::CostTimesSelectivity => {
+                (1.0 - q.bound.average_selectivity()).max(0.0) * q.cost
+            }
+        };
+        self.raw_reductions.push(delta);
+        self.costs.push(q.cost);
+        let stmt = isum_sql::parse(&q.sql).expect("previously parsed SQL re-parses");
+        let t = self.templates.intern(&stmt);
+        self.template_of.push(t);
+    }
+
+    /// Observes every query of a workload, in order.
+    pub fn observe_workload(&mut self, w: &Workload) {
+        for q in &w.queries {
+            self.observe(q, &w.catalog);
+        }
+    }
+
+    /// Number of queries observed so far.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Selects `k` queries from everything observed so far. Weights are the
+    /// normalized selection benefits (the full recalibration of Alg 5 needs
+    /// the closed workload, which streaming deliberately avoids).
+    ///
+    /// # Errors
+    /// `InvalidConfig` when `k == 0` or nothing has been observed.
+    pub fn select(&self, k: usize) -> Result<CompressedWorkload> {
+        if k == 0 {
+            return Err(isum_common::Error::InvalidConfig("k must be positive".into()));
+        }
+        if self.is_empty() {
+            return Err(isum_common::Error::InvalidConfig("no queries observed".into()));
+        }
+        let total: f64 = self.raw_reductions.iter().sum();
+        let utilities: Vec<f64> = if total > 0.0 {
+            self.raw_reductions.iter().map(|r| r / total).collect()
+        } else {
+            vec![0.0; self.len()]
+        };
+        let selection: Selection = match self.config.algorithm {
+            Algorithm::SummaryFeatures => select_summary(
+                self.features.clone(),
+                &self.features,
+                utilities,
+                k,
+                self.config.update,
+            ),
+            Algorithm::AllPairs => allpairs::select_all_pairs(
+                self.features.clone(),
+                &self.features,
+                utilities,
+                k,
+                self.config.update,
+            ),
+        };
+        let mut cw = CompressedWorkload {
+            entries: selection
+                .order
+                .iter()
+                .zip(&selection.benefits)
+                .map(|(&i, &b)| (QueryId::from_index(i), b.max(0.0)))
+                .collect(),
+        };
+        cw.normalize_weights();
+        Ok(cw)
+    }
+
+    /// Distinct templates observed so far.
+    pub fn template_count(&self) -> usize {
+        self.templates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isum_catalog::CatalogBuilder;
+
+    fn workload() -> Workload {
+        let catalog = CatalogBuilder::new()
+            .table("t", 500_000)
+            .col_key("a")
+            .col_int("b", 5_000, 0, 5_000)
+            .col_int("c", 100, 0, 100)
+            .finish()
+            .expect("fresh table")
+            .build();
+        let mut w = Workload::from_sql(
+            catalog,
+            &[
+                "SELECT a FROM t WHERE b = 1",
+                "SELECT a FROM t WHERE b = 2",
+                "SELECT a FROM t WHERE c > 50 GROUP BY c",
+                "SELECT a FROM t WHERE b = 3",
+                "SELECT count(*) FROM t WHERE c = 9 GROUP BY c ORDER BY c",
+            ],
+        )
+        .expect("queries bind");
+        w.set_costs(&[500.0, 450.0, 300.0, 400.0, 250.0]);
+        w
+    }
+
+    #[test]
+    fn streaming_matches_batch_selection_order() {
+        let w = workload();
+        let mut inc = IncrementalIsum::new(IsumConfig::isum());
+        inc.observe_workload(&w);
+        let streamed = inc.select(3).expect("valid state");
+        let batch = crate::Isum::new().select(&w, 3);
+        assert_eq!(
+            streamed.ids().iter().map(|i| i.index()).collect::<Vec<_>>(),
+            batch.order,
+            "same inputs, same greedy choices"
+        );
+    }
+
+    #[test]
+    fn can_select_between_observations() {
+        let w = workload();
+        let mut inc = IncrementalIsum::new(IsumConfig::isum());
+        inc.observe(&w.queries[0], &w.catalog);
+        inc.observe(&w.queries[1], &w.catalog);
+        let early = inc.select(1).expect("valid state");
+        assert_eq!(early.len(), 1);
+        inc.observe(&w.queries[2], &w.catalog);
+        inc.observe(&w.queries[3], &w.catalog);
+        inc.observe(&w.queries[4], &w.catalog);
+        let late = inc.select(3).expect("valid state");
+        assert_eq!(late.len(), 3);
+        assert_eq!(inc.len(), 5);
+        assert_eq!(inc.template_count(), 3);
+    }
+
+    #[test]
+    fn rejects_empty_and_k_zero() {
+        let inc = IncrementalIsum::new(IsumConfig::isum());
+        assert!(inc.select(1).is_err());
+        let w = workload();
+        let mut inc = IncrementalIsum::new(IsumConfig::isum());
+        inc.observe_workload(&w);
+        assert!(inc.select(0).is_err());
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let w = workload();
+        let mut inc = IncrementalIsum::new(IsumConfig::isum());
+        inc.observe_workload(&w);
+        let cw = inc.select(3).expect("valid state");
+        let total: f64 = cw.entries.iter().map(|(_, wt)| wt).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

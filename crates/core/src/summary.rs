@@ -1,0 +1,335 @@
+//! Workload summary features and the linear-time greedy algorithm
+//! (Sec 6 of the paper: Def 11, Algorithm 3, Theorem 3).
+//!
+//! The summary feature vector `V` aggregates query features weighted by
+//! utility: `V_c = Σ_i q_ic · U(q_i)`. A query's influence on the workload
+//! is then approximated by a *single* similarity computation
+//! `F_qs(V) = S(q_s, V)` instead of `n − 1` pairwise ones, giving the
+//! `O(k·n)` algorithm. After every pick, queries are updated exactly as in
+//! the all-pairs algorithm and the summary is *regenerated* (updating `V`
+//! in place is noted by the paper to be more erroneous).
+
+use crate::allpairs::Selection;
+use crate::features::FeatureVec;
+use crate::update::{apply_update, reset_if_exhausted, UpdateStrategy};
+
+/// Builds the summary feature vector `V = Σ_i U(q_i) · q_i` (Def 11).
+pub fn summary_features(features: &[FeatureVec], utilities: &[f64]) -> FeatureVec {
+    let mut v = FeatureVec::default();
+    for (f, &u) in features.iter().zip(utilities) {
+        if u > 0.0 {
+            v.add_scaled(f, u);
+        }
+    }
+    v
+}
+
+/// Influence of query `i` approximated against a summary that *excludes*
+/// `i` (Algorithm 3 lines 9–12): the query's own contribution is removed
+/// and the remainder rescaled so the total utility mass is preserved.
+pub fn influence_via_summary(
+    i: usize,
+    features: &[FeatureVec],
+    utilities: &[f64],
+    summary: &FeatureVec,
+    total_utility: f64,
+) -> f64 {
+    let reduced = total_utility - utilities[i];
+    if reduced <= f64::EPSILON {
+        return 0.0;
+    }
+    let scale = total_utility / reduced;
+    let u_i = utilities[i];
+    // Fused single pass over the two sorted vectors: for each feature,
+    // V'_c = max(0, summary_c − u_i·q_ic) · scale, then accumulate the
+    // weighted-Jaccard min/max sums against q_ic. No allocations — this is
+    // the inner loop of the linear-time algorithm.
+    let fe = features[i].entries();
+    let se = summary.entries();
+    let mut min_sum = 0.0;
+    let mut max_sum = 0.0;
+    let mut a = 0;
+    let mut b = 0;
+    while a < fe.len() || b < se.len() {
+        let take_f = b >= se.len() || (a < fe.len() && fe[a].0 <= se[b].0);
+        let take_s = a >= fe.len() || (b < se.len() && se[b].0 <= fe[a].0);
+        let (f_val, v_val) = match (take_f, take_s) {
+            (true, true) => {
+                let pair = (fe[a].1, ((se[b].1 - u_i * fe[a].1).max(0.0)) * scale);
+                a += 1;
+                b += 1;
+                pair
+            }
+            (true, false) => {
+                let pair = (fe[a].1, 0.0);
+                a += 1;
+                pair
+            }
+            (false, true) => {
+                let pair = (0.0, (se[b].1.max(0.0)) * scale);
+                b += 1;
+                pair
+            }
+            (false, false) => unreachable!("one side must advance"),
+        };
+        min_sum += f_val.min(v_val);
+        max_sum += f_val.max(v_val);
+    }
+    if max_sum <= 0.0 {
+        0.0
+    } else {
+        min_sum / max_sum
+    }
+}
+
+/// The linear-time greedy selection (Algorithm 3 inside the Algorithm 2
+/// loop): per iteration one summary build plus one similarity per query.
+pub fn select_summary(
+    mut features: Vec<FeatureVec>,
+    original: &[FeatureVec],
+    mut utilities: Vec<f64>,
+    k: usize,
+    strategy: UpdateStrategy,
+) -> Selection {
+    let n = features.len();
+    let k = k.min(n);
+    let mut selected = vec![false; n];
+    let mut out = Selection::default();
+
+    while out.order.len() < k {
+        // Regenerate the summary over unselected queries.
+        let (fs, us): (Vec<FeatureVec>, Vec<f64>) = features
+            .iter()
+            .zip(&utilities)
+            .zip(&selected)
+            .filter(|(_, &sel)| !sel)
+            .map(|((f, &u), _)| (f.clone(), u))
+            .unzip();
+        let summary = summary_features(&fs, &us);
+        let total_utility: f64 = us.iter().sum();
+
+        let mut best: Option<(usize, f64)> = None;
+        // Indices of unselected queries align with fs/us by construction.
+        let mut pos = 0;
+        for i in 0..n {
+            if selected[i] {
+                continue;
+            }
+            let my_pos = pos;
+            pos += 1;
+            if features[i].all_zero() {
+                continue;
+            }
+            let infl =
+                influence_via_summary(my_pos, &fs, &us, &summary, total_utility);
+            let b = utilities[i] + infl;
+            if best.is_none_or(|(_, bb)| b > bb) {
+                best = Some((i, b));
+            }
+        }
+        let Some((pick, benefit)) = best else {
+            if reset_if_exhausted(&mut features, original, &selected) {
+                continue;
+            }
+            break;
+        };
+        selected[pick] = true;
+        out.order.push(pick);
+        out.benefits.push(benefit);
+        let chosen = features[pick].clone();
+        apply_update(strategy, &chosen, &mut features, &mut utilities, &selected);
+        reset_if_exhausted(&mut features, original, &selected);
+    }
+    out
+}
+
+/// The two-sided bound of Theorem 3 on `F_qs(V) / F_qs(W)`:
+/// `R/(n·U_L) ≤ F(V)/F(W) ≤ 1/(n·R·U_S)` where `R` is the smallest ratio
+/// between any two values of the same feature, and `U_S`/`U_L` the extreme
+/// utilities. Returns `(lower, upper)`; degenerate inputs give `(0, ∞)`.
+pub fn theorem3_bounds(features: &[FeatureVec], utilities: &[f64]) -> (f64, f64) {
+    let n = features.len() as f64;
+    let us = utilities.iter().copied().filter(|u| *u > 0.0).fold(f64::INFINITY, f64::min);
+    let ul = utilities.iter().copied().fold(0.0, f64::max);
+    // R = min over columns of (min value / max value).
+    let mut per_col: std::collections::HashMap<isum_common::GlobalColumnId, (f64, f64)> =
+        std::collections::HashMap::new();
+    for f in features {
+        for &(g, w) in f.entries() {
+            if w > 0.0 {
+                let e = per_col.entry(g).or_insert((f64::INFINITY, 0.0));
+                e.0 = e.0.min(w);
+                e.1 = e.1.max(w);
+            }
+        }
+    }
+    let r = per_col
+        .values()
+        .map(|&(lo, hi)| if hi > 0.0 { lo / hi } else { 1.0 })
+        .fold(f64::INFINITY, f64::min);
+    if !r.is_finite() || n == 0.0 || ul <= 0.0 || !us.is_finite() {
+        return (0.0, f64::INFINITY);
+    }
+    (r / (n * ul), 1.0 / (n * r * us))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benefit::influence;
+    use isum_common::rng::DetRng;
+    use isum_common::{ColumnId, GlobalColumnId, TableId};
+
+    fn gid(c: u32) -> GlobalColumnId {
+        GlobalColumnId::new(TableId(0), ColumnId(c))
+    }
+
+    fn vec_of(entries: &[(u32, f64)]) -> FeatureVec {
+        FeatureVec::from_entries(entries.iter().map(|&(c, w)| (gid(c), w)).collect())
+    }
+
+    #[test]
+    fn summary_is_utility_weighted_sum() {
+        let features = vec![vec_of(&[(0, 1.0), (1, 0.5)]), vec_of(&[(1, 1.0)])];
+        let utilities = vec![0.6, 0.4];
+        let v = summary_features(&features, &utilities);
+        assert!((v.get(gid(0)) - 0.6).abs() < 1e-12);
+        assert!((v.get(gid(1)) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_influence_tracks_true_influence() {
+        // Random workload: F(V) should correlate with F(W) = Σ_j S(i,j)U(j).
+        let mut rng = DetRng::seeded(11);
+        let n = 40;
+        let features: Vec<FeatureVec> = (0..n)
+            .map(|_| {
+                let m = 2 + rng.below(5);
+                vec_of(
+                    &(0..m)
+                        .map(|_| (rng.below(12) as u32, 0.2 + rng.unit() * 0.8))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let raw: Vec<f64> = (0..n).map(|_| rng.unit() + 0.05).collect();
+        let total: f64 = raw.iter().sum();
+        let utilities: Vec<f64> = raw.iter().map(|r| r / total).collect();
+        let v = summary_features(&features, &utilities);
+        let tu: f64 = utilities.iter().sum();
+
+        let approx: Vec<f64> = (0..n)
+            .map(|i| influence_via_summary(i, &features, &utilities, &v, tu))
+            .collect();
+        let exact: Vec<f64> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| influence(&features[i], &features[j], utilities[j]))
+                    .sum()
+            })
+            .collect();
+        let corr = isum_common::stats::pearson(&approx, &exact);
+        assert!(corr > 0.5, "summary influence should track exact influence, r={corr:.3}");
+    }
+
+    #[test]
+    fn select_summary_matches_allpairs_on_disjoint_clusters() {
+        // Disjoint clusters: both algorithms must pick one query per
+        // cluster, highest-utility cluster first.
+        let features = vec![
+            vec_of(&[(0, 1.0)]),
+            vec_of(&[(0, 1.0)]),
+            vec_of(&[(5, 1.0)]),
+            vec_of(&[(5, 1.0)]),
+            vec_of(&[(9, 1.0)]),
+        ];
+        let utilities = vec![0.30, 0.25, 0.20, 0.15, 0.10];
+        let sum = select_summary(
+            features.clone(),
+            &features,
+            utilities.clone(),
+            3,
+            UpdateStrategy::ZeroFeatures,
+        );
+        let all = crate::allpairs::select_all_pairs(
+            features.clone(),
+            &features,
+            utilities,
+            3,
+            UpdateStrategy::ZeroFeatures,
+        );
+        assert_eq!(sum.order, all.order, "summary {:?} vs all-pairs {:?}", sum.order, all.order);
+        assert_eq!(sum.order, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn select_summary_selects_k_without_repeats() {
+        let mut rng = DetRng::seeded(3);
+        let features: Vec<FeatureVec> = (0..30)
+            .map(|_| {
+                vec_of(
+                    &(0..3)
+                        .map(|_| (rng.below(10) as u32, rng.unit()))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let utilities: Vec<f64> = (0..30).map(|_| rng.unit() / 30.0).collect();
+        let sel = select_summary(
+            features.clone(),
+            &features,
+            utilities,
+            10,
+            UpdateStrategy::ZeroFeatures,
+        );
+        assert_eq!(sel.order.len(), 10);
+        let mut s = sel.order.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn theorem3_bounds_bracket_the_ratio() {
+        let mut rng = DetRng::seeded(7);
+        let n = 20;
+        let features: Vec<FeatureVec> = (0..n)
+            .map(|_| {
+                vec_of(
+                    &(0..4)
+                        .map(|_| (rng.below(8) as u32, 0.3 + rng.unit() * 0.7))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let raw: Vec<f64> = (0..n).map(|_| 0.5 + rng.unit()).collect();
+        let total: f64 = raw.iter().sum();
+        let utilities: Vec<f64> = raw.iter().map(|r| r / total).collect();
+        let (lo, hi) = theorem3_bounds(&features, &utilities);
+        assert!(lo > 0.0 && hi.is_finite() && lo <= hi);
+        let v = summary_features(&features, &utilities);
+        let tu: f64 = utilities.iter().sum();
+        for i in 0..n {
+            let fv = influence_via_summary(i, &features, &utilities, &v, tu);
+            let fw: f64 = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| influence(&features[i], &features[j], utilities[j]))
+                .sum();
+            if fw > 1e-9 {
+                let ratio = fv / fw;
+                assert!(
+                    ratio >= lo * 0.999 && ratio <= hi * 1.001,
+                    "ratio {ratio} outside [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_give_trivial_bounds() {
+        let (lo, hi) = theorem3_bounds(&[], &[]);
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, f64::INFINITY);
+    }
+}

@@ -1,0 +1,173 @@
+//! Post-selection update strategies (Sec 4.3 of the paper, ablated in
+//! Fig 13).
+//!
+//! After a query is selected, the unselected queries' utilities and feature
+//! vectors are updated so the next greedy pick accounts for what the
+//! selected query already covers.
+
+use crate::features::FeatureVec;
+use crate::similarity::weighted_jaccard;
+
+/// How state is updated after each greedy selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateStrategy {
+    /// No updates at all (Fig 13 "No Update").
+    NoUpdate,
+    /// Only discount utilities: `U(qj) ← U(qj) − U(qj)·S(qs, qj)`
+    /// (Fig 13 "Utility Update").
+    UtilityOnly,
+    /// Utility update + subtract `S(qs, qj)` from `qj`'s feature weights
+    /// (Fig 13 "Utility Update + Weight Subtract").
+    SubtractWeights,
+    /// Utility update + zero `qj`'s features present in `qs` — the paper's
+    /// recommended option (Fig 13 "Utility Update + Feature Remove").
+    #[default]
+    ZeroFeatures,
+}
+
+/// Applies one selection's influence to every unselected query, mutating
+/// `features`/`utilities` in place. `selected_features` must be the selected
+/// query's feature vector *at selection time*.
+pub fn apply_update(
+    strategy: UpdateStrategy,
+    selected_features: &FeatureVec,
+    features: &mut [FeatureVec],
+    utilities: &mut [f64],
+    selected: &[bool],
+) {
+    if strategy == UpdateStrategy::NoUpdate {
+        return;
+    }
+    for j in 0..features.len() {
+        if selected[j] {
+            continue;
+        }
+        let s = weighted_jaccard(selected_features, &features[j]);
+        utilities[j] -= utilities[j] * s;
+        match strategy {
+            UpdateStrategy::SubtractWeights => features[j].subtract_scalar(s),
+            UpdateStrategy::ZeroFeatures => features[j].zero_where_present(selected_features),
+            UpdateStrategy::UtilityOnly | UpdateStrategy::NoUpdate => {}
+        }
+    }
+}
+
+/// Algorithm 2 line 12: when *every* unselected query has all-zero
+/// features, restore their original vectors so large compressed workloads
+/// can keep selecting. Returns true when a reset happened.
+pub fn reset_if_exhausted(
+    features: &mut [FeatureVec],
+    original: &[FeatureVec],
+    selected: &[bool],
+) -> bool {
+    let exhausted = features
+        .iter()
+        .zip(selected)
+        .filter(|(_, &sel)| !sel)
+        .all(|(f, _)| f.all_zero());
+    let any_unselected = selected.iter().any(|&s| !s);
+    if exhausted && any_unselected {
+        for j in 0..features.len() {
+            if !selected[j] {
+                features[j] = original[j].clone();
+            }
+        }
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isum_common::{ColumnId, GlobalColumnId, TableId};
+
+    fn vec_of(entries: &[(u32, f64)]) -> FeatureVec {
+        FeatureVec::from_entries(
+            entries
+                .iter()
+                .map(|&(c, w)| (GlobalColumnId::new(TableId(0), ColumnId(c)), w))
+                .collect(),
+        )
+    }
+
+    fn setup() -> (Vec<FeatureVec>, Vec<f64>, Vec<bool>) {
+        (
+            vec![vec_of(&[(0, 1.0)]), vec_of(&[(0, 1.0), (1, 1.0)]), vec_of(&[(2, 1.0)])],
+            vec![0.5, 0.3, 0.2],
+            vec![true, false, false],
+        )
+    }
+
+    #[test]
+    fn no_update_changes_nothing() {
+        let (mut f, mut u, sel) = setup();
+        let snapshot = (f.clone(), u.clone());
+        let chosen = f[0].clone();
+        apply_update(UpdateStrategy::NoUpdate, &chosen, &mut f, &mut u, &sel);
+        assert_eq!((f, u), snapshot);
+    }
+
+    #[test]
+    fn utility_only_discounts_by_similarity() {
+        let (mut f, mut u, sel) = setup();
+        let chosen = f[0].clone();
+        apply_update(UpdateStrategy::UtilityOnly, &chosen, &mut f, &mut u, &sel);
+        // S(q0, q1) = 0.5 → U(q1) = 0.3 * 0.5 = 0.15; q2 disjoint → unchanged.
+        assert!((u[1] - 0.15).abs() < 1e-12);
+        assert!((u[2] - 0.2).abs() < 1e-12);
+        // Features untouched.
+        assert_eq!(f[1], vec_of(&[(0, 1.0), (1, 1.0)]));
+    }
+
+    #[test]
+    fn zero_features_removes_covered_columns() {
+        let (mut f, mut u, sel) = setup();
+        let chosen = f[0].clone();
+        apply_update(UpdateStrategy::ZeroFeatures, &chosen, &mut f, &mut u, &sel);
+        assert_eq!(f[1].get(GlobalColumnId::new(TableId(0), ColumnId(0))), 0.0);
+        assert_eq!(f[1].get(GlobalColumnId::new(TableId(0), ColumnId(1))), 1.0);
+        assert_eq!(f[2], vec_of(&[(2, 1.0)]), "disjoint query untouched");
+    }
+
+    #[test]
+    fn subtract_weights_reduces_gradually() {
+        let (mut f, mut u, sel) = setup();
+        let chosen = f[0].clone();
+        apply_update(UpdateStrategy::SubtractWeights, &chosen, &mut f, &mut u, &sel);
+        // S(q0,q1) = 0.5 subtracted from both of q1's weights.
+        assert!((f[1].get(GlobalColumnId::new(TableId(0), ColumnId(0))) - 0.5).abs() < 1e-12);
+        assert!((f[1].get(GlobalColumnId::new(TableId(0), ColumnId(1))) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selected_queries_not_updated() {
+        let (mut f, mut u, sel) = setup();
+        let chosen = f[0].clone();
+        apply_update(UpdateStrategy::ZeroFeatures, &chosen, &mut f, &mut u, &sel);
+        assert_eq!(f[0], chosen, "selected query's own features untouched");
+        assert!((u[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_fires_only_when_all_unselected_exhausted() {
+        let original = vec![vec_of(&[(0, 1.0)]), vec_of(&[(1, 1.0)]), vec_of(&[(2, 1.0)])];
+        let mut f = vec![vec_of(&[(0, 1.0)]), vec_of(&[(1, 0.0)]), vec_of(&[(2, 0.0)])];
+        let sel = vec![true, false, false];
+        assert!(reset_if_exhausted(&mut f, &original, &sel));
+        assert_eq!(f[1], original[1]);
+        assert_eq!(f[2], original[2]);
+        assert_eq!(f[0], vec_of(&[(0, 1.0)]), "selected untouched");
+        // Not exhausted → no reset.
+        let mut f2 = vec![vec_of(&[(0, 1.0)]), vec_of(&[(1, 0.5)]), vec_of(&[(2, 0.0)])];
+        assert!(!reset_if_exhausted(&mut f2, &original, &sel));
+    }
+
+    #[test]
+    fn reset_noop_when_everything_selected() {
+        let original = vec![vec_of(&[(0, 1.0)])];
+        let mut f = vec![vec_of(&[(0, 0.0)])];
+        assert!(!reset_if_exhausted(&mut f, &original, &[true]));
+    }
+}

@@ -1,0 +1,43 @@
+//! Experiment runner CLI.
+//!
+//! ```text
+//! cargo run -p isum-experiments --release -- <id>... | all
+//! ISUM_SCALE=quick|medium|paper   selects workload sizes
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use isum_experiments::figs::{self, ALL_IDS};
+use isum_experiments::report;
+use isum_experiments::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: experiments <id>... | all");
+        eprintln!("ids: {}", ALL_IDS.join(" "));
+        eprintln!("env: ISUM_SCALE=quick|medium|paper (default medium)");
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in &ids {
+        if !ALL_IDS.contains(id) {
+            eprintln!("unknown experiment `{id}`; known: {}", ALL_IDS.join(" "));
+            std::process::exit(2);
+        }
+    }
+    let scale = Scale::from_env();
+    let out = PathBuf::from("results");
+    for id in ids {
+        let t0 = Instant::now();
+        println!("\n### running {id} ...");
+        let tables = figs::run(id, &scale);
+        report::emit(&tables, &out).expect("write results");
+        println!("### {id} done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+}

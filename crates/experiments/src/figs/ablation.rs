@@ -1,0 +1,143 @@
+//! Ablations of this implementation's own design decisions (DESIGN.md §5),
+//! beyond the paper's figures: index merging in the advisor, the what-if
+//! cost cache, and the anytime tuner's convergence under shrinking budgets.
+
+use std::time::{Duration, Instant};
+
+use isum_advisor::{AnytimeDta, DtaAdvisor, IndexAdvisor, TuningConstraints};
+use isum_core::{Compressor, Isum};
+use isum_workload::CompressedWorkload;
+
+use crate::harness::{ExperimentCtx, Scale};
+use crate::report::{f1, Table};
+
+/// Runs all ablations.
+pub fn ablation(scale: &Scale) -> Vec<Table> {
+    vec![merging_ablation(scale), cache_ablation(scale), anytime_ablation(scale)]
+}
+
+/// Index merging on/off: merging should match or beat the unmerged advisor
+/// (wider indexes that serve several queries), mirroring the DTA-vs-DEXTER
+/// gap the paper attributes partly to merging.
+fn merging_ablation(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "ablation_merging",
+        "Ablation: index merging in the DTA-like advisor",
+        &["workload", "k", "no_merging_pct", "merging_pct"],
+    );
+    for ctx in [ExperimentCtx::tpch(scale, 200), ExperimentCtx::tpcds(scale, 200)] {
+        let k = crate::harness::half_sqrt_n(ctx.workload.len());
+        let cw = Isum::new().compress(&ctx.workload, k).expect("valid inputs");
+        let constraints = TuningConstraints::with_max_indexes(16);
+        let mut imps = Vec::new();
+        for merging in [false, true] {
+            let advisor = DtaAdvisor { merging, ..DtaAdvisor::new() };
+            let opt = ctx.optimizer();
+            let cfg = advisor.recommend(&opt, &ctx.workload, &cw, &constraints);
+            imps.push(opt.improvement_pct(&ctx.workload, &cfg));
+        }
+        t.row(vec![ctx.name.into(), k.to_string(), f1(imps[0]), f1(imps[1])]);
+    }
+    t
+}
+
+/// What-if cache on/off: repeated enumeration passes should be dominated by
+/// cache hits (the optimizer-call–reduction literature of Sec 9).
+fn cache_ablation(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "ablation_whatif_cache",
+        "Ablation: what-if cache absorption during tuning",
+        &["workload", "optimizer_calls", "cache_hits", "hit_rate_pct"],
+    );
+    for ctx in [ExperimentCtx::tpch(scale, 201), ExperimentCtx::tpcds(scale, 201)] {
+        let k = crate::harness::half_sqrt_n(ctx.workload.len());
+        let cw = Isum::new().compress(&ctx.workload, k).expect("valid inputs");
+        let opt = ctx.optimizer();
+        let advisor = DtaAdvisor::new();
+        let _cfg =
+            advisor.recommend(&opt, &ctx.workload, &cw, &TuningConstraints::with_max_indexes(16));
+        let _ = opt.improvement_pct(&ctx.workload, &_cfg);
+        let calls = opt.optimizer_calls();
+        let hits = opt.cache_hits();
+        let rate = hits as f64 / (calls + hits).max(1) as f64 * 100.0;
+        t.row(vec![
+            ctx.name.into(),
+            calls.to_string(),
+            hits.to_string(),
+            f1(rate),
+        ]);
+    }
+    t
+}
+
+/// Anytime tuning: improvement as the time budget shrinks; the largest
+/// budget must reach the batch advisor's quality.
+fn anytime_ablation(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "ablation_anytime",
+        "Ablation: anytime tuner vs time budget (TPC-H)",
+        &["budget", "queries_consumed", "improvement_pct", "batch_pct"],
+    );
+    let mut ctx = ExperimentCtx::tpch(scale, 202);
+    // The anytime sweep tunes the full workload repeatedly; cap the input
+    // so the calibration run stays proportionate.
+    if ctx.workload.len() > 220 {
+        let ids: Vec<isum_common::QueryId> =
+            (0..220).map(isum_common::QueryId::from_index).collect();
+        ctx = ExperimentCtx { workload: ctx.workload.restricted_to(&ids), name: ctx.name };
+    }
+    let sub = CompressedWorkload::uniform(ctx.workload.queries.iter().map(|q| q.id).collect());
+    let constraints = TuningConstraints::with_max_indexes(16);
+    let opt = ctx.optimizer();
+    let batch = DtaAdvisor::new().recommend(&opt, &ctx.workload, &sub, &constraints);
+    let batch_imp = opt.improvement_pct(&ctx.workload, &batch);
+    // Calibrate: full run time defines the budget scale.
+    let t0 = Instant::now();
+    let _ = AnytimeDta::new().recommend_within(
+        &opt,
+        &ctx.workload,
+        &sub,
+        &constraints,
+        Duration::from_secs(3600),
+    );
+    let full = t0.elapsed();
+    for (label, frac) in [("1%", 0.01), ("10%", 0.1), ("50%", 0.5), ("100%", 1.0)] {
+        let budget = Duration::from_secs_f64(full.as_secs_f64() * frac);
+        let outcome =
+            AnytimeDta::new().recommend_within(&opt, &ctx.workload, &sub, &constraints, budget);
+        let imp = opt.improvement_pct(&ctx.workload, &outcome.config);
+        t.row(vec![
+            label.into(),
+            outcome.queries_consumed.to_string(),
+            f1(imp),
+            f1(batch_imp),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merging_never_hurts_quick() {
+        let scale = Scale::quick();
+        let t = merging_ablation(&scale);
+        for row in &t.rows {
+            let without: f64 = row[2].parse().expect("float cell");
+            let with: f64 = row[3].parse().expect("float cell");
+            assert!(with >= without - 1.0, "{}: merging {with} vs {without}", row[0]);
+        }
+    }
+
+    #[test]
+    fn cache_hit_rate_is_substantial() {
+        let scale = Scale::quick();
+        let t = cache_ablation(&scale);
+        for row in &t.rows {
+            let rate: f64 = row[3].parse().expect("float cell");
+            assert!(rate > 30.0, "{}: hit rate only {rate}%", row[0]);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Baseline comparisons: Fig 9a (compressed size sweep), Fig 9b
+//! (configuration size), Fig 10 (storage budget), Fig 15 (DEXTER advisor).
+
+use isum_advisor::{DexterAdvisor, TuningConstraints};
+use isum_core::{Compressor, Isum, IsumConfig};
+
+use crate::harness::{
+    dta, evaluate_method, half_sqrt_n, k_sweep, standard_methods, ExperimentCtx, Scale,
+};
+use crate::report::{f1, Table};
+
+fn contexts(scale: &Scale, seed: u64) -> Vec<ExperimentCtx> {
+    vec![
+        ExperimentCtx::tpch(scale, seed),
+        ExperimentCtx::tpcds(scale, seed),
+        ExperimentCtx::dsb(scale, seed),
+        ExperimentCtx::realm(scale, seed),
+    ]
+}
+
+/// Fig 9a: improvement vs compressed workload size, six methods, four
+/// workloads.
+pub fn fig9a(scale: &Scale) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for ctx in contexts(scale, 90) {
+        let methods = standard_methods(90);
+        let mut t = Table::new(
+            format!("fig9a_{}", slug(ctx.name)),
+            format!("Fig 9a ({}): improvement (%) vs compressed size", ctx.name),
+            &["k", "Uniform", "Cost", "Stratified", "GSUM", "ISUM", "ISUM-S"],
+        );
+        let constraints = TuningConstraints::with_max_indexes(16);
+        for k in k_sweep(ctx.workload.len()) {
+            let mut row = vec![k.to_string()];
+            for m in &methods {
+                let e = evaluate_method(m.as_ref(), &ctx, k, &dta(), &constraints);
+                row.push(f1(e.improvement_pct));
+            }
+            t.row(row);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// Fig 9b: improvement vs configuration size at `k = 0.5√n`.
+pub fn fig9b(scale: &Scale) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for ctx in contexts(scale, 91) {
+        let methods = standard_methods(91);
+        let k = half_sqrt_n(ctx.workload.len());
+        let mut t = Table::new(
+            format!("fig9b_{}", slug(ctx.name)),
+            format!("Fig 9b ({}): improvement (%) vs configuration size, k={k}", ctx.name),
+            &["m", "Uniform", "Cost", "Stratified", "GSUM", "ISUM", "ISUM-S"],
+        );
+        for m_indexes in [8usize, 16, 32, 64] {
+            let constraints = TuningConstraints::with_max_indexes(m_indexes);
+            let mut row = vec![m_indexes.to_string()];
+            for m in &methods {
+                let e = evaluate_method(m.as_ref(), &ctx, k, &dta(), &constraints);
+                row.push(f1(e.improvement_pct));
+            }
+            t.row(row);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// Fig 10: improvement vs storage budget (1.5×–3× database size),
+/// including the ISUM-NoTable ablation.
+pub fn fig10(scale: &Scale) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for ctx in contexts(scale, 92) {
+        let k = half_sqrt_n(ctx.workload.len());
+        let db_bytes = ctx.workload.catalog.total_bytes();
+        let mut methods: Vec<Box<dyn Compressor>> = standard_methods(92);
+        // The paper swaps ISUM-S for ISUM-NoTable in this figure.
+        methods.pop();
+        methods.push(Box::new(Isum::with_config(IsumConfig::isum_no_table())));
+        let mut t = Table::new(
+            format!("fig10_{}", slug(ctx.name)),
+            format!("Fig 10 ({}): improvement (%) vs storage budget, k={k}", ctx.name),
+            &["budget", "Uniform", "Cost", "Stratified", "GSUM", "ISUM", "ISUM-NoTable"],
+        );
+        for mult in [1.5f64, 2.0, 2.5, 3.0] {
+            // DTA's budget counts database + indexes: a 1.5x budget leaves
+            // 0.5x the database size for indexes.
+            let budget = (db_bytes as f64 * (mult - 1.0)) as u64;
+            let constraints = TuningConstraints::with_budget(16, budget);
+            let mut row = vec![format!("{mult}x")];
+            for m in &methods {
+                let e = evaluate_method(m.as_ref(), &ctx, k, &dta(), &constraints);
+                row.push(f1(e.improvement_pct));
+            }
+            t.row(row);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// Fig 15: methods compared under the DEXTER-like advisor (TPC-H, TPC-DS).
+pub fn fig15(scale: &Scale) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for ctx in [ExperimentCtx::tpch(scale, 95), ExperimentCtx::tpcds(scale, 95)] {
+        let methods = standard_methods(95);
+        let advisor = DexterAdvisor::new();
+        let constraints = TuningConstraints::with_max_indexes(16);
+        let mut t = Table::new(
+            format!("fig15_{}", slug(ctx.name)),
+            format!("Fig 15 ({}): improvement (%) under DEXTER", ctx.name),
+            &["k", "Uniform", "Cost", "Stratified", "GSUM", "ISUM", "ISUM-S"],
+        );
+        for k in k_sweep(ctx.workload.len()) {
+            let mut row = vec![k.to_string()];
+            for m in &methods {
+                let e = evaluate_method(m.as_ref(), &ctx, k, &advisor, &constraints);
+                row.push(f1(e.improvement_pct));
+            }
+            t.row(row);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+fn slug(name: &str) -> String {
+    name.to_ascii_lowercase().replace('-', "")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9a_isum_competitive_on_tpch_quick() {
+        let scale = Scale::quick();
+        let ctx = ExperimentCtx::tpch(&scale, 90);
+        let methods = standard_methods(90);
+        let constraints = TuningConstraints::with_max_indexes(16);
+        let k = 8;
+        let evals: Vec<f64> = methods
+            .iter()
+            .map(|m| evaluate_method(m.as_ref(), &ctx, k, &dta(), &constraints).improvement_pct)
+            .collect();
+        let isum = evals[4];
+        let best_baseline = evals[..4].iter().cloned().fold(0.0, f64::max);
+        assert!(
+            isum >= best_baseline * 0.8,
+            "ISUM {isum:.1}% should be near/above best baseline {best_baseline:.1}% (all: {evals:?})"
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! Estimation-quality experiments: Figs 5–8 and Table 3.
+//!
+//! These measure how well ISUM's cheap estimators (utility, similarity,
+//! benefit — with and without summary features) track the improvement an
+//! actual advisor delivers, reproducing the Pearson correlations the paper
+//! reports.
+
+use isum_advisor::{candidate_indexes, CandidateOptions, DexterAdvisor, IndexAdvisor, TuningConstraints};
+use isum_common::stats::pearson;
+use isum_common::QueryId;
+use isum_core::benefit::similarity_with_workload;
+use isum_core::features::{Featurizer, WeightScheme, WorkloadFeatures};
+use isum_core::similarity::{jaccard_ids, weighted_jaccard};
+use isum_core::summary::{influence_via_summary, summary_features};
+use isum_core::utility::{utilities, UtilityMode};
+use isum_workload::Workload;
+
+use crate::harness::{dta, ExperimentCtx, Scale};
+use crate::report::{f1, f3, Table};
+
+/// Restricts a context to one instance per template (the paper's per-query
+/// correlation studies run on the 22 / 91 template queries).
+fn one_per_template(ctx: ExperimentCtx) -> ExperimentCtx {
+    let mut seen = std::collections::HashSet::new();
+    let ids: Vec<QueryId> = ctx
+        .workload
+        .queries
+        .iter()
+        .filter(|q| seen.insert(q.template))
+        .map(|q| q.id)
+        .collect();
+    ExperimentCtx { workload: ctx.workload.restricted_to(&ids), name: ctx.name }
+}
+
+/// Per-query reduction in the query's own cost when tuned independently.
+fn per_query_reductions(ctx: &ExperimentCtx, advisor: &dyn IndexAdvisor) -> Vec<f64> {
+    let constraints = TuningConstraints::with_max_indexes(16);
+    let opt = ctx.optimizer();
+    ctx.workload
+        .queries
+        .iter()
+        .map(|q| {
+            let sub = isum_workload::CompressedWorkload::uniform(vec![q.id]);
+            let cfg = advisor.recommend(&opt, &ctx.workload, &sub, &constraints);
+            let tuned = opt.cost_query(&ctx.workload, q.id, &cfg);
+            (q.cost - tuned).max(0.0)
+        })
+        .collect()
+}
+
+/// Per-query improvement (%) over the *whole* workload when tuning just
+/// that query (Fig 6's y-axis).
+pub fn per_query_workload_improvements(
+    ctx: &ExperimentCtx,
+    advisor: &dyn IndexAdvisor,
+) -> Vec<f64> {
+    let constraints = TuningConstraints::with_max_indexes(16);
+    let opt = ctx.optimizer();
+    ctx.workload
+        .queries
+        .iter()
+        .map(|q| {
+            let sub = isum_workload::CompressedWorkload::uniform(vec![q.id]);
+            let cfg = advisor.recommend(&opt, &ctx.workload, &sub, &constraints);
+            opt.improvement_pct(&ctx.workload, &cfg)
+        })
+        .collect()
+}
+
+/// Fig 5: utility estimators vs actual per-query reduction (TPC-H).
+pub fn fig5(scale: &Scale) -> Vec<Table> {
+    let ctx = one_per_template(ExperimentCtx::tpch(scale, 5));
+    let advisor = dta();
+    let reductions = per_query_reductions(&ctx, &advisor);
+    let costs: Vec<f64> = ctx.workload.queries.iter().map(|q| q.cost).collect();
+    let util: Vec<f64> = (0..ctx.workload.len())
+        .map(|i| isum_core::utility::raw_reduction(&ctx.workload, i, UtilityMode::CostTimesSelectivity))
+        .collect();
+    let mut t = Table::new(
+        "fig5_utility_correlation",
+        "Fig 5 (TPC-H): correlation of utility estimators with actual reduction",
+        &["estimator", "pearson_r"],
+    );
+    t.row(vec!["cost_only".into(), f3(pearson(&costs, &reductions))]);
+    t.row(vec!["cost_x_selectivity".into(), f3(pearson(&util, &reductions))]);
+    let mut scatter = Table::new(
+        "fig5_scatter",
+        "Fig 5 scatter data (per query)",
+        &["query", "cost", "utility", "actual_reduction"],
+    );
+    for (i, q) in ctx.workload.queries.iter().enumerate() {
+        scatter.row(vec![
+            q.id.to_string(),
+            f1(costs[i]),
+            f1(util[i]),
+            f1(reductions[i]),
+        ]);
+    }
+    vec![t, scatter]
+}
+
+/// Estimator signal vectors shared by Figs 6–7 and Table 3.
+struct Signals {
+    utility_cost: Vec<f64>,
+    utility_sel: Vec<f64>,
+    sim_rule: Vec<f64>,
+    sim_stats: Vec<f64>,
+    benefit_rule: Vec<f64>,
+    benefit_stats: Vec<f64>,
+    benefit_candidates: Vec<f64>,
+    benefit_set_jaccard: Vec<f64>,
+    benefit_summary: Vec<f64>,
+}
+
+fn signals(workload: &Workload) -> Signals {
+    let n = workload.len();
+    let rule = WorkloadFeatures::build(
+        workload,
+        &Featurizer { scheme: WeightScheme::RuleBased, use_table_weight: true },
+    );
+    let stats = WorkloadFeatures::build(
+        workload,
+        &Featurizer { scheme: WeightScheme::StatsBased, use_table_weight: true },
+    );
+    let u_cost = utilities(workload, UtilityMode::CostOnly);
+    let u_sel = utilities(workload, UtilityMode::CostTimesSelectivity);
+
+    let benefit = |_features: &[isum_core::FeatureVec], sim: &dyn Fn(usize, usize) -> f64| {
+        (0..n)
+            .map(|i| {
+                u_sel[i]
+                    + (0..n).filter(|&j| j != i).map(|j| sim(i, j) * u_sel[j]).sum::<f64>()
+            })
+            .collect::<Vec<f64>>()
+    };
+
+    // Candidate-index sets, hashed to sortable ids (Fig 7a).
+    let cands: Vec<Vec<u64>> = workload
+        .queries
+        .iter()
+        .map(|q| {
+            let mut ids: Vec<u64> =
+                candidate_indexes(&q.bound, &workload.catalog, &CandidateOptions::default())
+                    .into_iter()
+                    .map(|ix| {
+                        use std::hash::{Hash, Hasher};
+                        let mut h = std::collections::hash_map::DefaultHasher::new();
+                        ix.hash(&mut h);
+                        h.finish()
+                    })
+                    .collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+
+    let sim_rule_sum: Vec<f64> = (0..n).map(|i| similarity_with_workload(i, &rule.original)).collect();
+    let sim_stats_sum: Vec<f64> =
+        (0..n).map(|i| similarity_with_workload(i, &stats.original)).collect();
+
+    // Summary-features benefit (Fig 8b).
+    let v = summary_features(&rule.original, &u_sel);
+    let total_u: f64 = u_sel.iter().sum();
+    let benefit_summary: Vec<f64> = (0..n)
+        .map(|i| u_sel[i] + influence_via_summary(i, &rule.original, &u_sel, &v, total_u))
+        .collect();
+
+    Signals {
+        utility_cost: u_cost,
+        utility_sel: u_sel.clone(),
+        sim_rule: sim_rule_sum,
+        sim_stats: sim_stats_sum,
+        benefit_rule: benefit(&rule.original, &|i, j| {
+            weighted_jaccard(&rule.original[i], &rule.original[j])
+        }),
+        benefit_stats: benefit(&stats.original, &|i, j| {
+            weighted_jaccard(&stats.original[i], &stats.original[j])
+        }),
+        benefit_candidates: benefit(&rule.original, &|i, j| jaccard_ids(&cands[i], &cands[j])),
+        benefit_set_jaccard: benefit(&rule.original, &|i, j| {
+            isum_core::similarity::set_jaccard(&rule.original[i], &rule.original[j])
+        }),
+        benefit_summary,
+    }
+}
+
+/// Fig 6: utility vs similarity vs benefit correlation with workload
+/// improvement (TPC-H, DTA).
+pub fn fig6(scale: &Scale) -> Vec<Table> {
+    let ctx = one_per_template(ExperimentCtx::tpch(scale, 6));
+    let improvements = per_query_workload_improvements(&ctx, &dta());
+    let s = signals(&ctx.workload);
+    let mut t = Table::new(
+        "fig6_benefit_correlation",
+        "Fig 6 (TPC-H): correlation with workload improvement",
+        &["signal", "pearson_r"],
+    );
+    t.row(vec!["utility".into(), f3(pearson(&s.utility_sel, &improvements))]);
+    t.row(vec!["similarity".into(), f3(pearson(&s.sim_rule, &improvements))]);
+    t.row(vec!["benefit".into(), f3(pearson(&s.benefit_rule, &improvements))]);
+    vec![t]
+}
+
+/// Fig 7: similarity-measure variants inside the benefit metric (TPC-H).
+pub fn fig7(scale: &Scale) -> Vec<Table> {
+    let ctx = one_per_template(ExperimentCtx::tpch(scale, 7));
+    let improvements = per_query_workload_improvements(&ctx, &dta());
+    let s = signals(&ctx.workload);
+    let mut t = Table::new(
+        "fig7_similarity_variants",
+        "Fig 7 (TPC-H): benefit correlation by similarity measure",
+        &["similarity_measure", "pearson_r"],
+    );
+    t.row(vec!["candidate_indexes".into(), f3(pearson(&s.benefit_candidates, &improvements))]);
+    t.row(vec!["jaccard_unweighted".into(), f3(pearson(&s.benefit_set_jaccard, &improvements))]);
+    t.row(vec![
+        "weighted_jaccard_rule".into(),
+        f3(pearson(&s.benefit_rule, &improvements)),
+    ]);
+    t.row(vec![
+        "weighted_jaccard_stats".into(),
+        f3(pearson(&s.benefit_stats, &improvements)),
+    ]);
+    vec![t]
+}
+
+/// Fig 8: summary-features approximation error and benefit correlation.
+pub fn fig8(scale: &Scale) -> Vec<Table> {
+    let mut err = Table::new(
+        "fig8a_summary_error",
+        "Fig 8a: F(V)/F(W) ratio distribution",
+        &["workload", "p10", "p50", "p90", "within_2x_pct"],
+    );
+    for (name, ctx) in [
+        ("TPC-H", one_per_template(ExperimentCtx::tpch(scale, 8))),
+        ("TPC-DS", one_per_template(ExperimentCtx::tpcds(scale, 8))),
+    ] {
+        let w = &ctx.workload;
+        let wf = WorkloadFeatures::build(w, &Featurizer::default());
+        let u = utilities(w, UtilityMode::CostTimesSelectivity);
+        let v = summary_features(&wf.original, &u);
+        let tu: f64 = u.iter().sum();
+        let mut ratios = Vec::new();
+        for i in 0..w.len() {
+            let fv = influence_via_summary(i, &wf.original, &u, &v, tu);
+            let fw: f64 = (0..w.len())
+                .filter(|&j| j != i)
+                .map(|j| weighted_jaccard(&wf.original[i], &wf.original[j]) * u[j])
+                .sum();
+            if fw > 1e-12 {
+                ratios.push(fv / fw);
+            }
+        }
+        let within: f64 = ratios.iter().filter(|&&r| (0.5..=2.0).contains(&r)).count() as f64
+            / ratios.len().max(1) as f64
+            * 100.0;
+        err.row(vec![
+            name.into(),
+            f3(isum_common::stats::percentile(&ratios, 10.0)),
+            f3(isum_common::stats::percentile(&ratios, 50.0)),
+            f3(isum_common::stats::percentile(&ratios, 90.0)),
+            f1(within),
+        ]);
+    }
+    // Fig 8b: benefit computed via summary features still correlates.
+    let ctx = one_per_template(ExperimentCtx::tpch(scale, 8));
+    let improvements = per_query_workload_improvements(&ctx, &dta());
+    let s = signals(&ctx.workload);
+    let mut corr = Table::new(
+        "fig8b_summary_benefit",
+        "Fig 8b (TPC-H): benefit via summary features vs improvement",
+        &["signal", "pearson_r"],
+    );
+    corr.row(vec!["benefit_all_pairs".into(), f3(pearson(&s.benefit_rule, &improvements))]);
+    corr.row(vec!["benefit_summary".into(), f3(pearson(&s.benefit_summary, &improvements))]);
+    vec![err, corr]
+}
+
+/// Table 3: correlation of the six estimation techniques with actual
+/// improvement under DTA and DEXTER, on TPC-H and TPC-DS.
+pub fn table3(scale: &Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "table3_estimator_correlations",
+        "Table 3: estimator correlation with actual improvement",
+        &["estimator", "tpch_dta", "tpch_dexter", "tpcds_dta", "tpcds_dexter"],
+    );
+    let mut cols: Vec<Vec<f64>> = Vec::new();
+    for (workload_idx, ctx) in [
+        one_per_template(ExperimentCtx::tpch(scale, 30)),
+        one_per_template(ExperimentCtx::tpcds(scale, 30)),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let s = signals(&ctx.workload);
+        for advisor in [&dta() as &dyn IndexAdvisor, &DexterAdvisor::new()] {
+            let improvements = per_query_workload_improvements(&ctx, advisor);
+            let col = vec![
+                pearson(&s.utility_cost, &improvements),
+                pearson(&s.utility_sel, &improvements),
+                pearson(&s.sim_rule, &improvements),
+                pearson(&s.sim_stats, &improvements),
+                pearson(&s.benefit_rule, &improvements),
+                pearson(&s.benefit_stats, &improvements),
+            ];
+            cols.push(col);
+            let _ = workload_idx;
+        }
+    }
+    let names = [
+        "Utility (only cost)",
+        "Utility (cost + selectivity)",
+        "Similarity (rule-based)",
+        "Similarity (stats-based)",
+        "Benefit (rule-based)",
+        "Benefit (stats-based)",
+    ];
+    for (r, name) in names.iter().enumerate() {
+        t.row(vec![
+            name.to_string(),
+            f3(cols[0][r]),
+            f3(cols[1][r]),
+            f3(cols[2][r]),
+            f3(cols[3][r]),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benefit_correlates_better_than_components() {
+        // The paper's central estimation claim (Fig 6 / Table 3 ordering):
+        // benefit ≥ max(utility, similarity) in correlation.
+        let scale = Scale::quick();
+        let ctx = one_per_template(ExperimentCtx::tpch(&scale, 6));
+        let improvements = per_query_workload_improvements(&ctx, &dta());
+        let s = signals(&ctx.workload);
+        let r_b = pearson(&s.benefit_rule, &improvements);
+        let r_u = pearson(&s.utility_sel, &improvements);
+        let r_s = pearson(&s.sim_rule, &improvements);
+        assert!(
+            r_b >= r_u.min(r_s) - 0.05,
+            "benefit r={r_b:.2} vs utility r={r_u:.2}, similarity r={r_s:.2}"
+        );
+        assert!(r_b > 0.3, "benefit should correlate positively, got {r_b:.2}");
+    }
+
+    #[test]
+    fn summary_ratio_mostly_within_2x() {
+        let scale = Scale::quick();
+        let tables = fig8(&scale);
+        let within: f64 = tables[0].rows[0][4].parse().unwrap();
+        assert!(within >= 50.0, "Fig 8a: only {within}% within 2x");
+    }
+}

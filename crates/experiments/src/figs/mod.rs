@@ -1,0 +1,48 @@
+//! One module per group of paper artifacts. Every public function returns
+//! the tables for one figure/table id; [`run`] dispatches by id.
+
+pub mod ablation;
+pub mod comparison;
+pub mod correlations;
+pub mod motivation;
+pub mod reporting;
+pub mod robustness;
+pub mod scalability;
+pub mod sensitivity;
+
+use crate::harness::Scale;
+use crate::report::Table;
+
+/// All experiment ids, in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "table3", "ablation", "reporting", "robustness",
+];
+
+/// Runs one experiment by id.
+///
+/// # Panics
+/// Panics on an unknown id (the binary validates first).
+pub fn run(id: &str, scale: &Scale) -> Vec<Table> {
+    match id {
+        "fig2" => motivation::fig2(scale),
+        "fig3" => motivation::fig3(scale),
+        "fig5" => correlations::fig5(scale),
+        "fig6" => correlations::fig6(scale),
+        "fig7" => correlations::fig7(scale),
+        "fig8" => correlations::fig8(scale),
+        "fig9a" => comparison::fig9a(scale),
+        "fig9b" => comparison::fig9b(scale),
+        "fig10" => comparison::fig10(scale),
+        "fig11" => scalability::fig11(scale),
+        "fig12" => sensitivity::fig12(scale),
+        "fig13" => sensitivity::fig13(scale),
+        "fig14" => sensitivity::fig14(scale),
+        "fig15" => comparison::fig15(scale),
+        "table3" => correlations::table3(scale),
+        "ablation" => ablation::ablation(scale),
+        "reporting" => reporting::reporting(scale),
+        "robustness" => robustness::robustness(scale),
+        other => panic!("unknown experiment id `{other}`"),
+    }
+}

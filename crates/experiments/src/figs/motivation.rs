@@ -1,0 +1,112 @@
+//! Motivation figures (Sec 2.1): the scalability pain of index tuning and
+//! the payoff of compression.
+
+use std::time::Instant;
+
+use isum_advisor::{IndexAdvisor, TuningConstraints};
+use isum_common::QueryId;
+use isum_core::Isum;
+
+use crate::harness::{dta, evaluate_method, ExperimentCtx, Scale};
+use crate::report::{f1, Table};
+
+/// Fig 2a/2b: tuning time and configurations explored vs workload size
+/// (TPC-DS, one instance per template as in the paper's 92-query setup).
+pub fn fig2(scale: &Scale) -> Vec<Table> {
+    let ctx = ExperimentCtx::tpcds(scale, 2);
+    let n_max = ctx.workload.len().min(91);
+    let advisor = dta();
+    let constraints = TuningConstraints::with_max_indexes(16);
+    let mut t_time = Table::new(
+        "fig2a_tuning_time",
+        "Fig 2a (TPC-DS): tuning time vs workload size",
+        &["n_queries", "tuning_time_s"],
+    );
+    let mut t_cfg = Table::new(
+        "fig2b_configs",
+        "Fig 2b (TPC-DS): configurations explored (what-if costings) vs workload size",
+        &["n_queries", "optimizer_calls", "cache_hits"],
+    );
+    let mut n = 1;
+    while n <= n_max {
+        let sub = ctx.workload.restricted_to(
+            &(0..n).map(QueryId::from_index).collect::<Vec<_>>(),
+        );
+        let opt = isum_optimizer::WhatIfOptimizer::new(&sub.catalog);
+        let t0 = Instant::now();
+        let _cfg = advisor.recommend_full(&opt, &sub, &constraints);
+        let secs = t0.elapsed().as_secs_f64();
+        // In our in-process model the what-if calls *are* the tuning cost;
+        // their count and the cache's absorption go in the 2b table.
+        t_time.row(vec![n.to_string(), format!("{secs:.3}")]);
+        t_cfg.row(vec![
+            n.to_string(),
+            opt.optimizer_calls().to_string(),
+            opt.cache_hits().to_string(),
+        ]);
+        n = if n == 1 { 20 } else { n + 20 };
+    }
+    vec![t_time, t_cfg]
+}
+
+/// Fig 3: improvement of ISUM-compressed workloads vs the full workload
+/// (TPC-DS, k ∈ {1, 20, 40, 60, 80, n}).
+pub fn fig3(scale: &Scale) -> Vec<Table> {
+    let ctx = ExperimentCtx::tpcds(scale, 3);
+    let n = ctx.workload.len().min(91);
+    let ctx = ExperimentCtx {
+        workload: ctx
+            .workload
+            .restricted_to(&(0..n).map(QueryId::from_index).collect::<Vec<_>>()),
+        name: "TPC-DS",
+    };
+    let advisor = dta();
+    let constraints = TuningConstraints::with_max_indexes(16);
+    // Full-workload reference line.
+    let opt = ctx.optimizer();
+    let t0 = Instant::now();
+    let full_cfg = advisor.recommend_full(&opt, &ctx.workload, &constraints);
+    let full_secs = t0.elapsed().as_secs_f64();
+    let full_imp = opt.improvement_pct(&ctx.workload, &full_cfg);
+
+    let mut table = Table::new(
+        "fig3_compression_payoff",
+        "Fig 3: compressed vs full workload improvement (TPC-DS)",
+        &["k", "improvement_pct", "full_workload_pct", "total_time_s", "full_time_s"],
+    );
+    let isum = Isum::new();
+    for k in [1usize, 20, 40, 60, 80, n] {
+        let k = k.min(n);
+        let eval = evaluate_method(&isum, &ctx, k, &advisor, &constraints);
+        table.row(vec![
+            k.to_string(),
+            f1(eval.improvement_pct),
+            f1(full_imp),
+            format!("{:.3}", eval.compression_secs + eval.tuning_secs),
+            format!("{full_secs:.3}"),
+        ]);
+        if k == n {
+            break;
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_converges_to_full_workload() {
+        let scale = Scale::quick();
+        let tables = fig3(&scale);
+        let t = &tables[0];
+        let last = t.rows.last().unwrap();
+        let imp: f64 = last[1].parse().unwrap();
+        let full: f64 = last[2].parse().unwrap();
+        assert!(
+            (imp - full).abs() < 5.0,
+            "k = n should match full tuning: {imp} vs {full}"
+        );
+    }
+}

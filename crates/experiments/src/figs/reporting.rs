@@ -1,0 +1,80 @@
+//! Sec 10 exploration: the cost of the advisor's reporting contract.
+//!
+//! Commercial advisors report per-query improvements over the *entire*
+//! input workload (one optimizer call per query), which Sec 10 notes can
+//! swamp the savings of compression. This experiment measures the
+//! trade-off our [`TuningReport`](isum_advisor::TuningReport) offers: the
+//! exact report's call count vs the extrapolated report's, and the
+//! resulting error in the total improvement estimate.
+
+use isum_advisor::{DtaAdvisor, IndexAdvisor, TuningConstraints, TuningReport};
+use isum_core::{Compressor, Isum};
+
+use crate::harness::{half_sqrt_n, ExperimentCtx, Scale};
+use crate::report::{f1, Table};
+
+/// Runs the reporting trade-off on all four workloads.
+pub fn reporting(scale: &Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "reporting_tradeoff",
+        "Sec 10: exact vs extrapolated improvement reporting",
+        &[
+            "workload",
+            "n",
+            "k",
+            "exact_calls",
+            "extrap_calls",
+            "exact_pct",
+            "extrap_pct",
+            "abs_error",
+        ],
+    );
+    for ctx in [
+        ExperimentCtx::tpch(scale, 210),
+        ExperimentCtx::tpcds(scale, 210),
+        ExperimentCtx::dsb(scale, 210),
+        ExperimentCtx::realm(scale, 210),
+    ] {
+        let n = ctx.workload.len();
+        let k = half_sqrt_n(n);
+        let cw = Isum::new().compress(&ctx.workload, k).expect("valid inputs");
+        let advisor = DtaAdvisor::new();
+        let cfg = {
+            let opt = ctx.optimizer();
+            advisor.recommend(&opt, &ctx.workload, &cw, &TuningConstraints::with_max_indexes(16))
+        };
+        let opt_exact = ctx.optimizer();
+        let exact = TuningReport::exact(&opt_exact, &ctx.workload, &cfg);
+        let exact_calls = opt_exact.optimizer_calls();
+        let opt_extra = ctx.optimizer();
+        let extra = TuningReport::extrapolated(&opt_extra, &ctx.workload, &cw, &cfg);
+        let extra_calls = opt_extra.optimizer_calls();
+        t.row(vec![
+            ctx.name.into(),
+            n.to_string(),
+            k.to_string(),
+            exact_calls.to_string(),
+            extra_calls.to_string(),
+            f1(exact.total_improvement_pct()),
+            f1(extra.total_improvement_pct()),
+            f1((exact.total_improvement_pct() - extra.total_improvement_pct()).abs()),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extrapolation_always_saves_calls() {
+        let scale = Scale::quick();
+        let tables = reporting(&scale);
+        for row in &tables[0].rows {
+            let exact: u64 = row[3].parse().expect("count");
+            let extra: u64 = row[4].parse().expect("count");
+            assert!(extra < exact, "{}: {extra} !< {exact}", row[0]);
+        }
+    }
+}

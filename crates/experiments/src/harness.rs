@@ -1,0 +1,252 @@
+//! Shared experiment pipeline: build workload → compress → tune → evaluate.
+
+use std::time::Instant;
+
+use isum_advisor::{DtaAdvisor, IndexAdvisor, TuningConstraints};
+use isum_baselines::{CostTopK, Gsum, KMedoid, Stratified, UniformSampling};
+use isum_core::{Compressor, Isum, IsumConfig};
+use isum_optimizer::WhatIfOptimizer;
+use isum_workload::gen::{dsb_workload, realm_workload_sized, tpch_workload, tpcds_workload};
+use isum_workload::Workload;
+
+/// Workload sizes for the evaluation, selectable via `ISUM_SCALE`.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// TPC-H query count (paper: 2200).
+    pub tpch: usize,
+    /// TPC-DS query count (paper: 9100).
+    pub tpcds: usize,
+    /// DSB query count (paper: 520).
+    pub dsb: usize,
+    /// Real-M query count (paper: 473).
+    pub realm: usize,
+    /// Scale factor for the benchmark catalogs.
+    pub sf: u64,
+}
+
+impl Scale {
+    /// Fast sizes for CI / smoke runs.
+    pub fn quick() -> Self {
+        Self { tpch: 66, tpcds: 91, dsb: 52, realm: 100, sf: 1 }
+    }
+
+    /// Default sizes: every template instantiated multiple times, runs in
+    /// minutes on a laptop.
+    pub fn medium() -> Self {
+        Self { tpch: 220, tpcds: 273, dsb: 156, realm: 473, sf: 10 }
+    }
+
+    /// Large sizes: DSB and Real-M at the paper's Table 2 sizes; TPC-H and
+    /// TPC-DS at 50%/10% of theirs (their full sizes exist mainly to stress
+    /// the commercial tuner; see EXPERIMENTS.md).
+    pub fn large() -> Self {
+        Self { tpch: 1100, tpcds: 910, dsb: 520, realm: 473, sf: 10 }
+    }
+
+    /// The paper's Table 2 sizes (slow).
+    pub fn paper() -> Self {
+        Self { tpch: 2200, tpcds: 9100, dsb: 520, realm: 473, sf: 10 }
+    }
+
+    /// Reads `ISUM_SCALE` (`quick` / `medium` / `paper`), defaulting to
+    /// medium.
+    pub fn from_env() -> Self {
+        match std::env::var("ISUM_SCALE").as_deref() {
+            Ok("quick") => Self::quick(),
+            Ok("large") => Self::large(),
+            Ok("paper") => Self::paper(),
+            _ => Self::medium(),
+        }
+    }
+}
+
+/// A prepared workload: queries with populated costs.
+#[derive(Debug)]
+pub struct ExperimentCtx {
+    /// Workload with `C(q)` filled in.
+    pub workload: Workload,
+    /// Display name (e.g. `TPC-H`).
+    pub name: &'static str,
+}
+
+impl ExperimentCtx {
+    /// Wraps a generated workload, populating costs.
+    pub fn prepare(name: &'static str, mut workload: Workload) -> Self {
+        let costs: Vec<f64> = {
+            let opt = WhatIfOptimizer::new(&workload.catalog);
+            let empty = isum_optimizer::IndexConfig::empty();
+            workload.queries.iter().map(|q| opt.cost_bound(&q.bound, &empty)).collect()
+        };
+        workload.set_costs(&costs);
+        Self { workload, name }
+    }
+
+    /// TPC-H context.
+    pub fn tpch(scale: &Scale, seed: u64) -> Self {
+        Self::prepare(
+            "TPC-H",
+            tpch_workload(scale.sf, scale.tpch, seed).expect("tpch templates bind"),
+        )
+    }
+
+    /// TPC-DS context.
+    pub fn tpcds(scale: &Scale, seed: u64) -> Self {
+        Self::prepare(
+            "TPC-DS",
+            tpcds_workload(scale.sf, scale.tpcds, seed).expect("tpcds templates bind"),
+        )
+    }
+
+    /// DSB context.
+    pub fn dsb(scale: &Scale, seed: u64) -> Self {
+        Self::prepare("DSB", dsb_workload(scale.sf, scale.dsb, seed).expect("dsb templates bind"))
+    }
+
+    /// Real-M context.
+    pub fn realm(scale: &Scale, seed: u64) -> Self {
+        Self::prepare(
+            "Real-M",
+            realm_workload_sized(scale.realm, seed).expect("realm templates bind"),
+        )
+    }
+
+    /// Fresh what-if optimizer over this context's catalog.
+    pub fn optimizer(&self) -> WhatIfOptimizer<'_> {
+        WhatIfOptimizer::new(&self.workload.catalog)
+    }
+}
+
+/// Outcome of compressing with one method and tuning the result.
+#[derive(Debug, Clone, Copy)]
+pub struct MethodEval {
+    /// Improvement (%) over the full workload.
+    pub improvement_pct: f64,
+    /// Wall-clock seconds spent inside the compressor.
+    pub compression_secs: f64,
+    /// Optimizer calls made while tuning the compressed workload.
+    pub tuning_calls: u64,
+    /// Wall-clock seconds spent tuning.
+    pub tuning_secs: f64,
+}
+
+/// Compresses with `method`, tunes the result with `advisor`, and measures
+/// the improvement over the entire workload.
+pub fn evaluate_method(
+    method: &dyn Compressor,
+    ctx: &ExperimentCtx,
+    k: usize,
+    advisor: &dyn IndexAdvisor,
+    constraints: &TuningConstraints,
+) -> MethodEval {
+    let t0 = Instant::now();
+    let cw = method.compress(&ctx.workload, k).expect("valid compression inputs");
+    let compression_secs = t0.elapsed().as_secs_f64();
+    let opt = ctx.optimizer();
+    let t1 = Instant::now();
+    let cfg = advisor.recommend(&opt, &ctx.workload, &cw, constraints);
+    let tuning_secs = t1.elapsed().as_secs_f64();
+    let tuning_calls = opt.optimizer_calls();
+    let improvement_pct = opt.improvement_pct(&ctx.workload, &cfg);
+    MethodEval { improvement_pct, compression_secs, tuning_calls, tuning_secs }
+}
+
+/// The standard comparison set of Sec 8.1: Uniform, Cost, Stratified,
+/// GSUM, ISUM, ISUM-S.
+pub fn standard_methods(seed: u64) -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(UniformSampling::new(seed)),
+        Box::new(CostTopK),
+        Box::new(Stratified::new(seed)),
+        Box::new(Gsum::new()),
+        Box::new(Isum::new()),
+        Box::new(Isum::with_config(IsumConfig::isum_s())),
+    ]
+}
+
+/// The scalability comparison set of Fig 11: all-pairs, k-medoid, summary
+/// features.
+pub fn fig11_methods(seed: u64) -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(Isum::with_config(IsumConfig::all_pairs())),
+        Box::new(KMedoid::new(seed)),
+        Box::new(Isum::new()),
+    ]
+}
+
+/// Default DTA advisor.
+pub fn dta() -> DtaAdvisor {
+    DtaAdvisor::new()
+}
+
+/// Compressed-size sweep `{2, 4, ..., 2√n}` used across Fig 9a/12/15.
+pub fn k_sweep(n: usize) -> Vec<usize> {
+    let max = (2.0 * (n as f64).sqrt()).ceil() as usize;
+    let mut ks = Vec::new();
+    let mut k = 2usize;
+    while k < max {
+        ks.push(k);
+        k *= 2;
+    }
+    ks.push(max.max(2));
+    ks.dedup();
+    ks
+}
+
+/// The paper's `0.5√n` default compressed size (Fig 9b, Fig 10).
+pub fn half_sqrt_n(n: usize) -> usize {
+    ((n as f64).sqrt() * 0.5).round().max(2.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_sweep_is_increasing_and_capped() {
+        let ks = k_sweep(100);
+        assert_eq!(*ks.last().unwrap(), 20);
+        assert!(ks.windows(2).all(|w| w[0] < w[1]));
+        assert!(ks[0] == 2);
+    }
+
+    #[test]
+    fn half_sqrt_n_floor() {
+        assert_eq!(half_sqrt_n(4), 2);
+        assert_eq!(half_sqrt_n(400), 10);
+    }
+
+    #[test]
+    fn quick_ctx_prepares_costs() {
+        let scale = Scale::quick();
+        let ctx = ExperimentCtx::tpch(&scale, 1);
+        assert!(ctx.workload.total_cost() > 0.0);
+        assert_eq!(ctx.workload.len(), scale.tpch);
+    }
+
+    #[test]
+    fn evaluate_method_end_to_end() {
+        let scale = Scale::quick();
+        let ctx = ExperimentCtx::tpch(&scale, 1);
+        let isum = Isum::new();
+        let eval = evaluate_method(
+            &isum,
+            &ctx,
+            6,
+            &dta(),
+            &TuningConstraints::with_max_indexes(8),
+        );
+        assert!(eval.improvement_pct >= 0.0 && eval.improvement_pct <= 100.0);
+        assert!(eval.tuning_calls > 0);
+    }
+
+    #[test]
+    fn standard_methods_have_unique_names() {
+        let ms = standard_methods(1);
+        let names: Vec<String> = ms.iter().map(|m| m.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "{names:?}");
+        assert_eq!(names.len(), 6);
+    }
+}

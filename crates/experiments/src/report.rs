@@ -1,0 +1,160 @@
+//! Result tables: aligned stdout rendering plus CSV/JSON persistence.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A result table corresponding to one paper artifact (or panel thereof).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Identifier, e.g. `fig9a_tpch`.
+    pub id: String,
+    /// Human title, e.g. `Fig 9a (TPC-H): improvement vs compressed size`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch in {}", self.id);
+        self.rows.push(cells);
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Saves as `results/<id>.csv`.
+    ///
+    /// # Errors
+    /// Propagates IO errors.
+    pub fn save_csv(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut f = fs::File::create(dir.join(format!("{}.csv", self.id)))?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for r in &self.rows {
+            writeln!(f, "{}", r.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Saves a batch of tables (CSV each + one combined JSON) and prints them.
+///
+/// # Errors
+/// Propagates IO errors.
+pub fn emit(tables: &[Table], dir: &Path) -> std::io::Result<()> {
+    for t in tables {
+        t.print();
+        t.save_csv(dir)?;
+    }
+    if let Some(first) = tables.first() {
+        let json = serde_json::to_string_pretty(tables).expect("tables serialize");
+        let stem: String =
+            first.id.split('_').next().unwrap_or(&first.id).to_string();
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{stem}.json")), json)?;
+    }
+    Ok(())
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("t1", "Test", &["k", "value"]);
+        t.row(vec!["2".into(), "10.5".into()]);
+        t.row(vec!["16".into(), "7.25".into()]);
+        let s = t.render();
+        assert!(s.contains("Test"));
+        assert!(s.contains(" k  value"));
+        assert!(s.lines().last().unwrap().contains("16"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("t", "T", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("isum_report_test");
+        let mut t = Table::new("unit_csv", "T", &["a", "b"]);
+        t.row(vec!["1".into(), "x".into()]);
+        t.save_csv(&dir).unwrap();
+        let body = std::fs::read_to_string(dir.join("unit_csv.csv")).unwrap();
+        assert_eq!(body, "a,b\n1,x\n");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f1(12.3456), "12.3");
+        assert_eq!(f2(12.3456), "12.35");
+        assert_eq!(f3(0.98765), "0.988");
+    }
+}

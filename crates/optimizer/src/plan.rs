@@ -1,0 +1,301 @@
+//! Physical plan trees and EXPLAIN-style rendering.
+//!
+//! The cost model doesn't just produce a number — it materializes the
+//! physical plan it priced (scans, seeks, join order and methods,
+//! aggregation, sorts), so users can ask *why* a configuration helps:
+//! [`crate::CostModel::plan`] is this library's `EXPLAIN`.
+
+use isum_common::TableId;
+
+use crate::index::Index;
+
+/// A node of a physical plan. Every node carries the *incremental* cost it
+/// adds (child costs excluded) and its output row estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Sequential heap scan with residual filters applied.
+    SeqScan {
+        /// Scanned table.
+        table: TableId,
+        /// Output rows after local predicates.
+        rows: f64,
+        /// Node cost.
+        cost: f64,
+    },
+    /// B-tree seek on a key prefix, optionally followed by RID lookups.
+    IndexSeek {
+        /// Base table.
+        table: TableId,
+        /// Index used.
+        index: Index,
+        /// True when the index covers every referenced column (no lookups).
+        covering: bool,
+        /// Output rows after local predicates.
+        rows: f64,
+        /// Node cost.
+        cost: f64,
+    },
+    /// Full scan of a narrow covering index instead of the heap.
+    IndexOnlyScan {
+        /// Base table.
+        table: TableId,
+        /// Index scanned.
+        index: Index,
+        /// Output rows after local predicates.
+        rows: f64,
+        /// Node cost.
+        cost: f64,
+    },
+    /// Hash join between the accumulated left side and a new right input.
+    HashJoin {
+        /// Accumulated input.
+        left: Box<PlanNode>,
+        /// Newly joined input.
+        right: Box<PlanNode>,
+        /// Semi-join flag (IN/EXISTS flattening).
+        semi: bool,
+        /// Output rows.
+        rows: f64,
+        /// Node cost (build + probe).
+        cost: f64,
+    },
+    /// Index nested-loop join: for each outer row, seek into `index`.
+    IndexNestedLoopJoin {
+        /// Outer (driving) input.
+        outer: Box<PlanNode>,
+        /// Inner table.
+        table: TableId,
+        /// Index seeked per outer row.
+        index: Index,
+        /// Output rows.
+        rows: f64,
+        /// Node cost (all inner seeks).
+        cost: f64,
+    },
+    /// Cross product (disconnected join graphs only).
+    CrossJoin {
+        /// Accumulated input.
+        left: Box<PlanNode>,
+        /// New input.
+        right: Box<PlanNode>,
+        /// Output rows.
+        rows: f64,
+        /// Node cost.
+        cost: f64,
+    },
+    /// Hash aggregation (also models scalar aggregates, `groups = 0`).
+    HashAggregate {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Number of grouping columns.
+        groups: usize,
+        /// Output rows.
+        rows: f64,
+        /// Node cost.
+        cost: f64,
+    },
+    /// Sort for `ORDER BY` (absent when an index discharges the order).
+    Sort {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Output rows.
+        rows: f64,
+        /// Node cost.
+        cost: f64,
+    },
+}
+
+impl PlanNode {
+    /// This node's output row estimate.
+    pub fn rows(&self) -> f64 {
+        match self {
+            PlanNode::SeqScan { rows, .. }
+            | PlanNode::IndexSeek { rows, .. }
+            | PlanNode::IndexOnlyScan { rows, .. }
+            | PlanNode::HashJoin { rows, .. }
+            | PlanNode::IndexNestedLoopJoin { rows, .. }
+            | PlanNode::CrossJoin { rows, .. }
+            | PlanNode::HashAggregate { rows, .. }
+            | PlanNode::Sort { rows, .. } => *rows,
+        }
+    }
+
+    /// This node's incremental cost.
+    pub fn node_cost(&self) -> f64 {
+        match self {
+            PlanNode::SeqScan { cost, .. }
+            | PlanNode::IndexSeek { cost, .. }
+            | PlanNode::IndexOnlyScan { cost, .. }
+            | PlanNode::HashJoin { cost, .. }
+            | PlanNode::IndexNestedLoopJoin { cost, .. }
+            | PlanNode::CrossJoin { cost, .. }
+            | PlanNode::HashAggregate { cost, .. }
+            | PlanNode::Sort { cost, .. } => *cost,
+        }
+    }
+
+    /// Total cost of the subtree (must equal the cost model's estimate).
+    pub fn total_cost(&self) -> f64 {
+        self.node_cost()
+            + match self {
+                PlanNode::SeqScan { .. }
+                | PlanNode::IndexSeek { .. }
+                | PlanNode::IndexOnlyScan { .. } => 0.0,
+                PlanNode::HashJoin { left, right, .. }
+                | PlanNode::CrossJoin { left, right, .. } => {
+                    left.total_cost() + right.total_cost()
+                }
+                PlanNode::IndexNestedLoopJoin { outer, .. } => outer.total_cost(),
+                PlanNode::HashAggregate { input, .. } | PlanNode::Sort { input, .. } => {
+                    input.total_cost()
+                }
+            }
+    }
+
+    /// True when any node in the subtree uses an index.
+    pub fn uses_index(&self) -> bool {
+        match self {
+            PlanNode::SeqScan { .. } => false,
+            PlanNode::IndexSeek { .. }
+            | PlanNode::IndexOnlyScan { .. }
+            | PlanNode::IndexNestedLoopJoin { .. } => true,
+            PlanNode::HashJoin { left, right, .. } | PlanNode::CrossJoin { left, right, .. } => {
+                left.uses_index() || right.uses_index()
+            }
+            PlanNode::HashAggregate { input, .. } | PlanNode::Sort { input, .. } => {
+                input.uses_index()
+            }
+        }
+    }
+
+    /// EXPLAIN-style indented rendering; table and index names resolved
+    /// through the catalog.
+    pub fn render(&self, catalog: &isum_catalog::Catalog) -> String {
+        let mut out = String::new();
+        self.render_into(catalog, 0, &mut out);
+        out
+    }
+
+    fn render_into(&self, catalog: &isum_catalog::Catalog, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        let line = match self {
+            PlanNode::SeqScan { table, rows, cost } => format!(
+                "{pad}SeqScan {} (rows≈{:.0}, cost≈{:.0})",
+                catalog.table(*table).name,
+                rows,
+                cost
+            ),
+            PlanNode::IndexSeek { index, covering, rows, cost, .. } => format!(
+                "{pad}IndexSeek {}{} (rows≈{:.0}, cost≈{:.0})",
+                index.display(catalog),
+                if *covering { " [covering]" } else { "" },
+                rows,
+                cost
+            ),
+            PlanNode::IndexOnlyScan { index, rows, cost, .. } => format!(
+                "{pad}IndexOnlyScan {} (rows≈{:.0}, cost≈{:.0})",
+                index.display(catalog),
+                rows,
+                cost
+            ),
+            PlanNode::HashJoin { semi, rows, cost, .. } => format!(
+                "{pad}HashJoin{} (rows≈{:.0}, cost≈{:.0})",
+                if *semi { " [semi]" } else { "" },
+                rows,
+                cost
+            ),
+            PlanNode::IndexNestedLoopJoin { index, rows, cost, .. } => format!(
+                "{pad}IndexNestedLoopJoin via {} (rows≈{:.0}, cost≈{:.0})",
+                index.display(catalog),
+                rows,
+                cost
+            ),
+            PlanNode::CrossJoin { rows, cost, .. } => {
+                format!("{pad}CrossJoin (rows≈{rows:.0}, cost≈{cost:.0})")
+            }
+            PlanNode::HashAggregate { groups, rows, cost, .. } => format!(
+                "{pad}HashAggregate [{groups} group cols] (rows≈{rows:.0}, cost≈{cost:.0})"
+            ),
+            PlanNode::Sort { rows, cost, .. } => {
+                format!("{pad}Sort (rows≈{rows:.0}, cost≈{cost:.0})")
+            }
+        };
+        out.push_str(&line);
+        out.push('\n');
+        match self {
+            PlanNode::HashJoin { left, right, .. } | PlanNode::CrossJoin { left, right, .. } => {
+                left.render_into(catalog, depth + 1, out);
+                right.render_into(catalog, depth + 1, out);
+            }
+            PlanNode::IndexNestedLoopJoin { outer, .. } => {
+                outer.render_into(catalog, depth + 1, out)
+            }
+            PlanNode::HashAggregate { input, .. } | PlanNode::Sort { input, .. } => {
+                input.render_into(catalog, depth + 1, out)
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isum_catalog::CatalogBuilder;
+    use isum_common::ColumnId;
+
+    fn sample() -> PlanNode {
+        PlanNode::Sort {
+            input: Box::new(PlanNode::HashJoin {
+                left: Box::new(PlanNode::SeqScan { table: TableId(0), rows: 100.0, cost: 10.0 }),
+                right: Box::new(PlanNode::IndexSeek {
+                    table: TableId(1),
+                    index: Index::new(TableId(1), vec![ColumnId(0)]),
+                    covering: true,
+                    rows: 5.0,
+                    cost: 2.0,
+                }),
+                semi: false,
+                rows: 50.0,
+                cost: 3.0,
+            }),
+            rows: 50.0,
+            cost: 1.0,
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_subtree() {
+        let p = sample();
+        assert!((p.total_cost() - 16.0).abs() < 1e-12);
+        assert_eq!(p.rows(), 50.0);
+        assert!(p.uses_index());
+    }
+
+    #[test]
+    fn render_is_indented_and_named() {
+        let catalog = CatalogBuilder::new()
+            .table("orders", 10)
+            .col_key("o_id")
+            .finish()
+            .expect("fresh table")
+            .table("lineitem", 10)
+            .col_key("l_id")
+            .finish()
+            .expect("unique tables")
+            .build();
+        let text = sample().render(&catalog);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("Sort"));
+        assert!(lines[1].starts_with("  HashJoin"));
+        assert!(lines[2].contains("SeqScan orders"));
+        assert!(lines[3].contains("IndexSeek lineitem(l_id) [covering]"));
+    }
+
+    #[test]
+    fn scan_only_plan_uses_no_index() {
+        let p = PlanNode::SeqScan { table: TableId(0), rows: 1.0, cost: 1.0 };
+        assert!(!p.uses_index());
+        assert_eq!(p.total_cost(), 1.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Property tests for the what-if cost model.
+//!
+//! The invariants here are the ones greedy enumeration relies on: adding
+//! indexes never increases estimated cost, costs are finite and positive,
+//! and caching never changes answers.
+
+use proptest::prelude::*;
+
+use isum_catalog::{Catalog, CatalogBuilder};
+use isum_common::{ColumnId, TableId};
+use isum_optimizer::{CostModel, Index, IndexConfig, WhatIfOptimizer};
+use isum_sql::{parse, Binder, BoundQuery};
+
+fn catalog() -> Catalog {
+    CatalogBuilder::new()
+        .table("f", 2_000_000)
+        .col_int("fk1", 10_000, 1, 10_000)
+        .col_int("fk2", 500, 1, 500)
+        .col_int("v1", 1_000, 0, 100_000)
+        .col_int("v2", 50, 0, 50)
+        .finish()
+        .expect("fresh table")
+        .table("d1", 10_000)
+        .col_key("d1k")
+        .col_int("d1a", 100, 0, 100)
+        .finish()
+        .expect("unique tables")
+        .table("d2", 500)
+        .col_key("d2k")
+        .col_int("d2a", 20, 0, 20)
+        .finish()
+        .expect("unique tables")
+        .build()
+}
+
+/// Random conjunctive star queries over the fixed schema.
+fn arb_query() -> impl Strategy<Value = String> {
+    (
+        any::<bool>(), // join d1
+        any::<bool>(), // join d2
+        prop::collection::vec((0usize..4, 0i64..100_000), 0..3),
+        any::<bool>(), // group by
+        any::<bool>(), // order by
+    )
+        .prop_map(|(j1, j2, filters, group, order)| {
+            let mut from = vec!["f"];
+            let mut preds: Vec<String> = Vec::new();
+            if j1 {
+                from.push("d1");
+                preds.push("f.fk1 = d1.d1k".into());
+            }
+            if j2 {
+                from.push("d2");
+                preds.push("f.fk2 = d2.d2k".into());
+            }
+            let cols = ["v1", "v2", "fk1", "fk2"];
+            for (c, v) in filters {
+                preds.push(format!("f.{} <= {}", cols[c], v));
+            }
+            let mut sql = if group {
+                format!("SELECT f.v2, count(*) FROM {}", from.join(", "))
+            } else {
+                format!("SELECT f.v1 FROM {}", from.join(", "))
+            };
+            if !preds.is_empty() {
+                sql.push_str(&format!(" WHERE {}", preds.join(" AND ")));
+            }
+            if group {
+                sql.push_str(" GROUP BY f.v2");
+            }
+            if order && group {
+                sql.push_str(" ORDER BY f.v2");
+            }
+            sql
+        })
+}
+
+/// Random index configurations over the schema's columns.
+fn arb_config() -> impl Strategy<Value = Vec<(u32, Vec<u32>)>> {
+    prop::collection::vec(
+        (0u32..3, prop::collection::vec(0u32..4, 1..3)),
+        0..4,
+    )
+}
+
+fn build_config(catalog: &Catalog, spec: &[(u32, Vec<u32>)]) -> IndexConfig {
+    let mut cfg = IndexConfig::empty();
+    for (t, cols) in spec {
+        let table = TableId(*t);
+        let ncols = catalog.table(table).columns.len() as u32;
+        let keys: Vec<ColumnId> = cols.iter().map(|c| ColumnId(c % ncols)).collect();
+        cfg.add(Index::new(table, keys));
+    }
+    cfg
+}
+
+fn bind(catalog: &Catalog, sql: &str) -> BoundQuery {
+    Binder::new(catalog).bind(&parse(sql).expect("generated SQL parses")).expect("binds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn costs_are_finite_and_positive(sql in arb_query(), spec in arb_config()) {
+        let cat = catalog();
+        let q = bind(&cat, &sql);
+        let cfg = build_config(&cat, &spec);
+        let cost = CostModel::new(&cat).cost(&q, &cfg);
+        prop_assert!(cost.is_finite());
+        prop_assert!(cost > 0.0, "cost {cost} for `{sql}`");
+    }
+
+    #[test]
+    fn adding_an_index_never_increases_cost(sql in arb_query(), spec in arb_config(), extra in (0u32..3, prop::collection::vec(0u32..4, 1..3))) {
+        let cat = catalog();
+        let q = bind(&cat, &sql);
+        let cfg = build_config(&cat, &spec);
+        let before = CostModel::new(&cat).cost(&q, &cfg);
+        let mut bigger = cfg.clone();
+        let (t, cols) = extra;
+        let table = TableId(t);
+        let ncols = cat.table(table).columns.len() as u32;
+        bigger.add(Index::new(table, cols.iter().map(|c| ColumnId(c % ncols)).collect()));
+        let after = CostModel::new(&cat).cost(&q, &bigger);
+        prop_assert!(after <= before + 1e-9, "`{sql}`: {after} > {before}");
+    }
+
+    #[test]
+    fn cached_and_uncached_costs_agree(sql in arb_query(), spec in arb_config()) {
+        let cat = catalog();
+        let mut w = isum_workload::Workload::from_sql(cat, &[sql]).expect("binds");
+        isum_optimizer::populate_costs(&mut w);
+        let cfg = build_config(&w.catalog, &spec);
+        let opt = WhatIfOptimizer::new(&w.catalog);
+        let direct = opt.cost_bound(&w.queries[0].bound, &cfg);
+        let cached1 = opt.cost_query(&w, w.queries[0].id, &cfg);
+        let cached2 = opt.cost_query(&w, w.queries[0].id, &cfg);
+        prop_assert_eq!(direct, cached1);
+        prop_assert_eq!(cached1, cached2);
+    }
+
+    #[test]
+    fn irrelevant_table_indexes_never_change_cost(sql in arb_query()) {
+        // Indexes on a table the query doesn't touch must be no-ops.
+        let cat = CatalogBuilder::new()
+            .table("f", 2_000_000)
+            .col_int("fk1", 10_000, 1, 10_000)
+            .col_int("fk2", 500, 1, 500)
+            .col_int("v1", 1_000, 0, 100_000)
+            .col_int("v2", 50, 0, 50)
+            .finish()
+            .expect("fresh table")
+            .table("d1", 10_000)
+            .col_key("d1k")
+            .col_int("d1a", 100, 0, 100)
+            .finish()
+            .expect("unique tables")
+            .table("d2", 500)
+            .col_key("d2k")
+            .col_int("d2a", 20, 0, 20)
+            .finish()
+            .expect("unique tables")
+            .table("unrelated", 1_000_000)
+            .col_key("uk")
+            .col_int("ua", 10, 0, 10)
+            .finish()
+            .expect("unique tables")
+            .build();
+        let q = bind(&cat, &sql);
+        let m = CostModel::new(&cat);
+        let base = m.cost(&q, &IndexConfig::empty());
+        let t = cat.table_id("unrelated").expect("table exists");
+        let cfg = IndexConfig::from_indexes([
+            Index::new(t, vec![ColumnId(0)]),
+            Index::new(t, vec![ColumnId(1), ColumnId(0)]),
+        ]);
+        prop_assert_eq!(base, m.cost(&q, &cfg));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The plan tree and the cost breakdown are built together; their
+    /// totals must agree exactly.
+    #[test]
+    fn plan_total_equals_breakdown_total(sql in arb_query(), spec in arb_config()) {
+        let cat = catalog();
+        let q = bind(&cat, &sql);
+        let cfg = build_config(&cat, &spec);
+        let m = CostModel::new(&cat);
+        let bd = m.cost_breakdown(&q, &cfg);
+        let plan = m.plan(&q, &cfg).expect("query has tables");
+        prop_assert!(
+            (plan.total_cost() - bd.total()).abs() < 1e-6 * bd.total().max(1.0),
+            "plan {} vs breakdown {} for `{sql}`",
+            plan.total_cost(),
+            bd.total()
+        );
+    }
+
+    /// When an index strictly lowers the cost, the chosen plan must
+    /// actually use an index somewhere.
+    #[test]
+    fn cheaper_config_shows_up_in_the_plan(sql in arb_query(), spec in arb_config()) {
+        let cat = catalog();
+        let q = bind(&cat, &sql);
+        let cfg = build_config(&cat, &spec);
+        let m = CostModel::new(&cat);
+        let base = m.cost(&q, &IndexConfig::empty());
+        let with = m.cost(&q, &cfg);
+        if with < base - 1e-9 {
+            let plan = m.plan(&q, &cfg).expect("query has tables");
+            prop_assert!(plan.uses_index(), "cost dropped {base} -> {with} but plan uses no index");
+        }
+    }
+}

@@ -1,0 +1,713 @@
+//! Abstract syntax tree for the supported SQL subset.
+//!
+//! The `Display` impls render the tree back to canonical SQL; the template
+//! module reuses that rendering with literals masked to compute fingerprints.
+
+use std::fmt;
+
+use crate::dates::days_to_iso;
+
+/// A (possibly qualified) column reference, e.g. `l.l_orderkey` or `o_custkey`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Table name or alias qualifier, when written.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+impl ColumnRef {
+    /// Unqualified reference.
+    pub fn bare(name: impl Into<String>) -> Self {
+        Self { qualifier: None, name: name.into().to_ascii_lowercase() }
+    }
+
+    /// Qualified reference.
+    pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>) -> Self {
+        Self {
+            qualifier: Some(qualifier.into().to_ascii_lowercase()),
+            name: name.into().to_ascii_lowercase(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+impl AggFunc {
+    /// Recognizes an aggregate function name.
+    pub fn parse(name: &str) -> Option<Self> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "avg" => AggFunc::Avg,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            _ => return None,
+        })
+    }
+}
+
+/// Binary operators in expression trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinaryOp {
+    And,
+    Or,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    String(String),
+    /// `DATE 'YYYY-MM-DD'` stored as days since epoch.
+    Date(i64),
+    /// `NULL`.
+    Null,
+    /// Binary operation (comparison, boolean, arithmetic).
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `expr [NOT] BETWEEN lo AND hi`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        lo: Box<Expr>,
+        /// Upper bound.
+        hi: Box<Expr>,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, ..., vn)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Literal list.
+        list: Vec<Expr>,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (SELECT ...)`.
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Subquery.
+        subquery: Box<SelectStatement>,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (SELECT ...)`.
+    Exists {
+        /// Subquery.
+        subquery: Box<SelectStatement>,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE 'pattern'`.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern text.
+        pattern: String,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// `NOT expr`.
+    Not(Box<Expr>),
+    /// Aggregate call, e.g. `SUM(l_quantity)`; `arg = None` is `COUNT(*)`.
+    Agg {
+        /// Function.
+        func: AggFunc,
+        /// Argument (`None` for `COUNT(*)`).
+        arg: Option<Box<Expr>>,
+        /// `DISTINCT` flag.
+        distinct: bool,
+    },
+    /// Uninterpreted scalar function call, e.g. `substring(x, 1, 2)`.
+    Func {
+        /// Function name (lower-cased).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Scalar subquery `(SELECT ...)` in an expression position.
+    ScalarSubquery(Box<SelectStatement>),
+}
+
+impl Expr {
+    /// Convenience for building comparisons.
+    pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// True when the expression is a literal (number/string/date/null).
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Expr::Number(_) | Expr::String(_) | Expr::Date(_) | Expr::Null)
+    }
+
+    /// Visits every column reference in the expression (including inside
+    /// subqueries when `into_subqueries` is set).
+    pub fn visit_columns<'a>(&'a self, into_subqueries: bool, f: &mut impl FnMut(&'a ColumnRef)) {
+        match self {
+            Expr::Column(c) => f(c),
+            Expr::Number(_) | Expr::String(_) | Expr::Date(_) | Expr::Null => {}
+            Expr::Binary { left, right, .. } => {
+                left.visit_columns(into_subqueries, f);
+                right.visit_columns(into_subqueries, f);
+            }
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.visit_columns(into_subqueries, f);
+                lo.visit_columns(into_subqueries, f);
+                hi.visit_columns(into_subqueries, f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.visit_columns(into_subqueries, f);
+                for e in list {
+                    e.visit_columns(into_subqueries, f);
+                }
+            }
+            Expr::InSubquery { expr, subquery, .. } => {
+                expr.visit_columns(into_subqueries, f);
+                if into_subqueries {
+                    subquery.visit_columns(f);
+                }
+            }
+            Expr::Exists { subquery, .. } => {
+                if into_subqueries {
+                    subquery.visit_columns(f);
+                }
+            }
+            Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => {
+                expr.visit_columns(into_subqueries, f)
+            }
+            Expr::Not(e) => e.visit_columns(into_subqueries, f),
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.visit_columns(into_subqueries, f);
+                }
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.visit_columns(into_subqueries, f);
+                }
+            }
+            Expr::ScalarSubquery(q) => {
+                if into_subqueries {
+                    q.visit_columns(f);
+                }
+            }
+        }
+    }
+}
+
+/// One item of a `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// An expression with an optional alias.
+    Expr {
+        /// Projected expression.
+        expr: Expr,
+        /// `AS alias`, when written.
+        alias: Option<String>,
+    },
+}
+
+/// A base table reference with an optional alias.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Alias, when written.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name other clauses use to refer to this table.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} {a}", self.table),
+            None => write!(f, "{}", self.table),
+        }
+    }
+}
+
+/// Explicit join flavors (we model LEFT OUTER as a kind; semantics only
+/// affect cardinality, which the optimizer handles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum JoinKind {
+    Inner,
+    LeftOuter,
+}
+
+/// `JOIN <table> ON <predicate>` clause attached to the `FROM` list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Join flavor.
+    pub kind: JoinKind,
+    /// Joined table.
+    pub table: TableRef,
+    /// `ON` predicate.
+    pub on: Expr,
+}
+
+/// One `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    /// Ordering expression (almost always a column).
+    pub expr: Expr,
+    /// Descending flag.
+    pub desc: bool,
+}
+
+/// A full `SELECT` statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStatement {
+    /// `DISTINCT` flag.
+    pub distinct: bool,
+    /// Projection list.
+    pub projections: Vec<SelectItem>,
+    /// Comma-separated base tables.
+    pub from: Vec<TableRef>,
+    /// Explicit joins.
+    pub joins: Vec<Join>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` columns.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate.
+    pub having: Option<Expr>,
+    /// `ORDER BY` items.
+    pub order_by: Vec<OrderByItem>,
+    /// `LIMIT` row count.
+    pub limit: Option<u64>,
+}
+
+impl SelectStatement {
+    /// Visits every column reference in the statement and its subqueries.
+    pub fn visit_columns<'a>(&'a self, f: &mut impl FnMut(&'a ColumnRef)) {
+        for item in &self.projections {
+            if let SelectItem::Expr { expr, .. } = item {
+                expr.visit_columns(true, f);
+            }
+        }
+        for j in &self.joins {
+            j.on.visit_columns(true, f);
+        }
+        if let Some(w) = &self.where_clause {
+            w.visit_columns(true, f);
+        }
+        for g in &self.group_by {
+            g.visit_columns(true, f);
+        }
+        if let Some(h) = &self.having {
+            h.visit_columns(true, f);
+        }
+        for o in &self.order_by {
+            o.expr.visit_columns(true, f);
+        }
+    }
+
+    /// All table names referenced in this statement and nested subqueries.
+    pub fn referenced_tables(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables<'a>(&'a self, out: &mut Vec<&'a str>) {
+        for t in &self.from {
+            out.push(&t.table);
+        }
+        for j in &self.joins {
+            out.push(&j.table.table);
+        }
+        let visit_expr = |e: &'a Expr, out: &mut Vec<&'a str>| {
+            collect_subquery_tables(e, out);
+        };
+        if let Some(w) = &self.where_clause {
+            visit_expr(w, out);
+        }
+        if let Some(h) = &self.having {
+            visit_expr(h, out);
+        }
+        for item in &self.projections {
+            if let SelectItem::Expr { expr, .. } = item {
+                visit_expr(expr, out);
+            }
+        }
+    }
+}
+
+fn collect_subquery_tables<'a>(e: &'a Expr, out: &mut Vec<&'a str>) {
+    match e {
+        Expr::InSubquery { subquery, expr, .. } => {
+            subquery.collect_tables(out);
+            collect_subquery_tables(expr, out);
+        }
+        Expr::Exists { subquery, .. } => subquery.collect_tables(out),
+        Expr::ScalarSubquery(q) => q.collect_tables(out),
+        Expr::Binary { left, right, .. } => {
+            collect_subquery_tables(left, out);
+            collect_subquery_tables(right, out);
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            collect_subquery_tables(expr, out);
+            collect_subquery_tables(lo, out);
+            collect_subquery_tables(hi, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_subquery_tables(expr, out);
+            for e in list {
+                collect_subquery_tables(e, out);
+            }
+        }
+        Expr::Not(e) | Expr::Like { expr: e, .. } | Expr::IsNull { expr: e, .. } => {
+            collect_subquery_tables(e, out)
+        }
+        Expr::Agg { arg: Some(a), .. } => collect_subquery_tables(a, out),
+        Expr::Func { args, .. } => {
+            for a in args {
+                collect_subquery_tables(a, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Expr::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Expr::Date(d) => write!(f, "DATE '{}'", days_to_iso(*d)),
+            Expr::Null => write!(f, "NULL"),
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Between { expr, lo, hi, negated } => {
+                let not = if *negated { "NOT " } else { "" };
+                write!(f, "({expr} {not}BETWEEN {lo} AND {hi})")
+            }
+            Expr::InList { expr, list, negated } => {
+                let not = if *negated { "NOT " } else { "" };
+                write!(f, "({expr} {not}IN (")?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+            Expr::InSubquery { expr, subquery, negated } => {
+                let not = if *negated { "NOT " } else { "" };
+                write!(f, "({expr} {not}IN ({subquery}))")
+            }
+            Expr::Exists { subquery, negated } => {
+                let not = if *negated { "NOT " } else { "" };
+                write!(f, "{not}EXISTS ({subquery})")
+            }
+            Expr::Like { expr, pattern, negated } => {
+                let not = if *negated { "NOT " } else { "" };
+                write!(f, "({expr} {not}LIKE '{pattern}')")
+            }
+            Expr::IsNull { expr, negated } => {
+                let not = if *negated { "NOT " } else { "" };
+                write!(f, "({expr} IS {not}NULL)")
+            }
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::Agg { func, arg, distinct } => {
+                let d = if *distinct { "DISTINCT " } else { "" };
+                match arg {
+                    Some(a) => write!(f, "{func}({d}{a})"),
+                    None => write!(f, "{func}(*)"),
+                }
+            }
+            Expr::Func { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::ScalarSubquery(q) => write!(f, "({q})"),
+        }
+    }
+}
+
+impl fmt::Display for SelectStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        if self.projections.is_empty() {
+            write!(f, "*")?;
+        }
+        for (i, p) in self.projections.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match p {
+                SelectItem::Wildcard => write!(f, "*")?,
+                SelectItem::Expr { expr, alias } => {
+                    write!(f, "{expr}")?;
+                    if let Some(a) = alias {
+                        write!(f, " AS {a}")?;
+                    }
+                }
+            }
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        for j in &self.joins {
+            let kw = match j.kind {
+                JoinKind::Inner => "JOIN",
+                JoinKind::LeftOuter => "LEFT JOIN",
+            };
+            write!(f, " {kw} {} ON {}", j.table, j.on)?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                if o.desc {
+                    write!(f, " DESC")?;
+                }
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_ref_display() {
+        assert_eq!(ColumnRef::bare("A").to_string(), "a");
+        assert_eq!(ColumnRef::qualified("T", "C").to_string(), "t.c");
+    }
+
+    #[test]
+    fn expr_display_renders_sql() {
+        let e = Expr::binary(
+            BinaryOp::And,
+            Expr::binary(BinaryOp::Eq, Expr::Column(ColumnRef::bare("a")), Expr::Number(3.0)),
+            Expr::Between {
+                expr: Box::new(Expr::Column(ColumnRef::bare("b"))),
+                lo: Box::new(Expr::Number(1.0)),
+                hi: Box::new(Expr::Number(2.0)),
+                negated: false,
+            },
+        );
+        assert_eq!(e.to_string(), "((a = 3) AND (b BETWEEN 1 AND 2))");
+    }
+
+    #[test]
+    fn date_display_roundtrips() {
+        let e = Expr::Date(crate::dates::parse_iso_date("1998-09-02").unwrap());
+        assert_eq!(e.to_string(), "DATE '1998-09-02'");
+    }
+
+    #[test]
+    fn visit_columns_descends_subqueries() {
+        let sub = SelectStatement {
+            projections: vec![SelectItem::Expr {
+                expr: Expr::Column(ColumnRef::bare("x")),
+                alias: None,
+            }],
+            from: vec![TableRef { table: "u".into(), alias: None }],
+            ..Default::default()
+        };
+        let e = Expr::InSubquery {
+            expr: Box::new(Expr::Column(ColumnRef::bare("a"))),
+            subquery: Box::new(sub),
+            negated: false,
+        };
+        let mut seen = Vec::new();
+        e.visit_columns(true, &mut |c| seen.push(c.name.clone()));
+        assert_eq!(seen, vec!["a".to_string(), "x".to_string()]);
+        let mut shallow = Vec::new();
+        e.visit_columns(false, &mut |c| shallow.push(c.name.clone()));
+        assert_eq!(shallow, vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn referenced_tables_include_subqueries() {
+        let sub = SelectStatement {
+            from: vec![TableRef { table: "inner_t".into(), alias: None }],
+            ..Default::default()
+        };
+        let stmt = SelectStatement {
+            from: vec![TableRef { table: "outer_t".into(), alias: None }],
+            where_clause: Some(Expr::Exists { subquery: Box::new(sub), negated: true }),
+            ..Default::default()
+        };
+        assert_eq!(stmt.referenced_tables(), vec!["outer_t", "inner_t"]);
+    }
+
+    #[test]
+    fn statement_display_full_clause_order() {
+        let stmt = SelectStatement {
+            distinct: false,
+            projections: vec![
+                SelectItem::Expr { expr: Expr::Column(ColumnRef::bare("a")), alias: None },
+                SelectItem::Expr {
+                    expr: Expr::Agg {
+                        func: AggFunc::Sum,
+                        arg: Some(Box::new(Expr::Column(ColumnRef::bare("b")))),
+                        distinct: false,
+                    },
+                    alias: Some("total".into()),
+                },
+            ],
+            from: vec![TableRef { table: "t".into(), alias: Some("x".into()) }],
+            joins: vec![Join {
+                kind: JoinKind::Inner,
+                table: TableRef { table: "u".into(), alias: None },
+                on: Expr::binary(
+                    BinaryOp::Eq,
+                    Expr::Column(ColumnRef::qualified("x", "id")),
+                    Expr::Column(ColumnRef::qualified("u", "id")),
+                ),
+            }],
+            where_clause: Some(Expr::binary(
+                BinaryOp::Gt,
+                Expr::Column(ColumnRef::bare("a")),
+                Expr::Number(10.0),
+            )),
+            group_by: vec![Expr::Column(ColumnRef::bare("a"))],
+            having: None,
+            order_by: vec![OrderByItem { expr: Expr::Column(ColumnRef::bare("a")), desc: true }],
+            limit: Some(5),
+        };
+        assert_eq!(
+            stmt.to_string(),
+            "SELECT a, sum(b) AS total FROM t x JOIN u ON (x.id = u.id) \
+             WHERE (a > 10) GROUP BY a ORDER BY a DESC LIMIT 5"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Date literal handling.
+//!
+//! Dates are represented everywhere as *days since 1970-01-01* so they can be
+//! treated as ordinary ordered integers by the statistics and cost model.
+
+use isum_common::{Error, Result};
+
+/// Days in each month of a non-leap year.
+const MONTH_DAYS: [i64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: i64) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Converts a calendar date to days since 1970-01-01 (may be negative).
+///
+/// # Errors
+/// Returns [`Error::Parse`] on out-of-range month/day.
+pub fn ymd_to_days(year: i64, month: i64, day: i64) -> Result<i64> {
+    if !(1..=12).contains(&month) {
+        return Err(Error::Parse { offset: 0, message: format!("bad month {month}") });
+    }
+    let mut max_day = MONTH_DAYS[(month - 1) as usize];
+    if month == 2 && is_leap(year) {
+        max_day += 1;
+    }
+    if !(1..=max_day).contains(&day) {
+        return Err(Error::Parse { offset: 0, message: format!("bad day {day}") });
+    }
+    // Days from year 1 to Jan 1 of `year`.
+    let y = year - 1;
+    let days_to_year = y * 365 + y / 4 - y / 100 + y / 400;
+    let mut days_in_year = 0;
+    for (m, &len) in MONTH_DAYS.iter().enumerate().take((month - 1) as usize) {
+        days_in_year += len;
+        if m == 1 && is_leap(year) {
+            days_in_year += 1;
+        }
+    }
+    days_in_year += day - 1;
+    // 1970-01-01 is day 719162 from year 1.
+    Ok(days_to_year + days_in_year - 719_162)
+}
+
+/// Parses `'YYYY-MM-DD'` into days since epoch.
+///
+/// # Errors
+/// Returns [`Error::Parse`] when the text is not a valid ISO date.
+pub fn parse_iso_date(s: &str) -> Result<i64> {
+    let mut parts = s.split('-');
+    let bad = || Error::Parse { offset: 0, message: format!("bad date literal '{s}'") };
+    let year: i64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let month: i64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let day: i64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    ymd_to_days(year, month, day)
+}
+
+/// Formats days-since-epoch back to `YYYY-MM-DD` (inverse of
+/// [`parse_iso_date`]; used by the AST pretty-printer).
+pub fn days_to_iso(days: i64) -> String {
+    // Walk forward/backward from 1970; fine for the century-scale ranges the
+    // benchmarks use.
+    let mut remaining = days;
+    let mut year = 1970i64;
+    loop {
+        let year_len = if is_leap(year) { 366 } else { 365 };
+        if remaining >= year_len {
+            remaining -= year_len;
+            year += 1;
+        } else if remaining < 0 {
+            year -= 1;
+            remaining += if is_leap(year) { 366 } else { 365 };
+        } else {
+            break;
+        }
+    }
+    let mut month = 1usize;
+    loop {
+        let mut len = MONTH_DAYS[month - 1];
+        if month == 2 && is_leap(year) {
+            len += 1;
+        }
+        if remaining >= len {
+            remaining -= len;
+            month += 1;
+        } else {
+            break;
+        }
+    }
+    format!("{year:04}-{month:02}-{:02}", remaining + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(ymd_to_days(1970, 1, 1).unwrap(), 0);
+        assert_eq!(ymd_to_days(1970, 1, 2).unwrap(), 1);
+        assert_eq!(ymd_to_days(1969, 12, 31).unwrap(), -1);
+    }
+
+    #[test]
+    fn known_benchmark_dates() {
+        // TPC-H date ranges: 1992-01-01 .. 1998-12-31.
+        assert_eq!(ymd_to_days(1992, 1, 1).unwrap(), 8035);
+        assert_eq!(ymd_to_days(1998, 12, 31).unwrap(), 10_591);
+        assert_eq!(parse_iso_date("1995-03-15").unwrap(), 9204);
+    }
+
+    #[test]
+    fn leap_years_handled() {
+        assert_eq!(
+            ymd_to_days(1996, 3, 1).unwrap() - ymd_to_days(1996, 2, 1).unwrap(),
+            29
+        );
+        assert_eq!(
+            ymd_to_days(1997, 3, 1).unwrap() - ymd_to_days(1997, 2, 1).unwrap(),
+            28
+        );
+        assert!(ymd_to_days(1997, 2, 29).is_err());
+        assert!(ymd_to_days(2000, 2, 29).is_ok()); // 400-year rule
+        assert!(ymd_to_days(1900, 2, 29).is_err()); // 100-year rule
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_iso_date("1995-13-01").is_err());
+        assert!(parse_iso_date("1995-00-01").is_err());
+        assert!(parse_iso_date("1995-01-32").is_err());
+        assert!(parse_iso_date("hello").is_err());
+        assert!(parse_iso_date("1995-01-01-01").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_iso() {
+        for &(y, m, d) in
+            &[(1970, 1, 1), (1992, 6, 17), (1996, 2, 29), (1998, 12, 31), (2024, 7, 4)]
+        {
+            let days = ymd_to_days(y, m, d).unwrap();
+            assert_eq!(days_to_iso(days), format!("{y:04}-{m:02}-{d:02}"));
+        }
+    }
+
+    #[test]
+    fn roundtrip_negative_days() {
+        assert_eq!(days_to_iso(-1), "1969-12-31");
+        assert_eq!(days_to_iso(-365), "1969-01-01");
+    }
+}

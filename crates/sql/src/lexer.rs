@@ -1,0 +1,289 @@
+//! Hand-written SQL lexer.
+//!
+//! Converts source text to a [`Token`] stream. Supports `--` line comments,
+//! single-quoted strings with `''` escaping, and decimal numeric literals.
+
+use isum_common::{Error, Result};
+
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Lexes an entire SQL string into tokens, terminated by [`TokenKind::Eof`].
+///
+/// # Errors
+/// Returns [`Error::Lex`] on unterminated strings or unexpected characters.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, offset: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, offset: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::NotEq, offset: start });
+                    i += 2;
+                } else {
+                    return Err(Error::Lex {
+                        offset: start,
+                        message: "expected `!=`".into(),
+                    });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token { kind: TokenKind::LtEq, offset: start });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Token { kind: TokenKind::NotEq, offset: start });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::GtEq, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(Error::Lex {
+                                offset: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(&b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(&b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::String(s), offset: start });
+            }
+            '0'..='9' => {
+                let mut end = i;
+                let mut seen_dot = false;
+                while end < bytes.len() {
+                    match bytes[end] {
+                        b'0'..=b'9' => end += 1,
+                        b'.' if !seen_dot
+                            && bytes.get(end + 1).is_some_and(|b| b.is_ascii_digit()) =>
+                        {
+                            seen_dot = true;
+                            end += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &input[i..end];
+                let value: f64 = text.parse().map_err(|_| Error::Lex {
+                    offset: start,
+                    message: format!("bad numeric literal `{text}`"),
+                })?;
+                tokens.push(Token { kind: TokenKind::Number(value), offset: start });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < bytes.len()
+                    && ((bytes[end] as char).is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                let word = &input[i..end];
+                let kind = match Keyword::parse(word) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(word.to_ascii_lowercase()),
+                };
+                tokens.push(Token { kind, offset: start });
+                i = end;
+            }
+            other => {
+                return Err(Error::Lex {
+                    offset: start,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("SELECT a FROM t;"),
+            vec![
+                Keyword(crate::token::Keyword::Select),
+                Ident("a".into()),
+                Keyword(crate::token::Keyword::From),
+                Ident("t".into()),
+                Semicolon,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a <= 1 <> 2 != 3 >= 4 < 5 > 6 = 7"),
+            vec![
+                Ident("a".into()),
+                LtEq,
+                Number(1.0),
+                NotEq,
+                Number(2.0),
+                NotEq,
+                Number(3.0),
+                GtEq,
+                Number(4.0),
+                Lt,
+                Number(5.0),
+                Gt,
+                Number(6.0),
+                Eq,
+                Number(7.0),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::String("it's".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_decimal_numbers_and_dots() {
+        use TokenKind::*;
+        // `t.c` must lex as Ident Dot Ident, while `1.5` is one number.
+        assert_eq!(
+            kinds("t.c 1.5"),
+            vec![Ident("t".into()), Dot, Ident("c".into()), Number(1.5), Eof]
+        );
+    }
+
+    #[test]
+    fn skips_line_comments_and_whitespace() {
+        assert_eq!(
+            kinds("-- a comment\n  42"),
+            vec![TokenKind::Number(42.0), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn identifiers_lowercased_keywords_detected() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("Lineitem WHERE"),
+            vec![
+                Ident("lineitem".into()),
+                Keyword(crate::token::Keyword::Where),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = lex("a @ b").unwrap_err();
+        match err {
+            Error::Lex { offset, .. } => assert_eq!(offset, 2),
+            other => panic!("expected lex error, got {other}"),
+        }
+        assert!(lex("'abc").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn minus_after_comment_dash_handled() {
+        // A single `-` is a minus, `--` starts a comment.
+        assert_eq!(
+            kinds("1 - 2"),
+            vec![TokenKind::Number(1.0), TokenKind::Minus, TokenKind::Number(2.0), TokenKind::Eof]
+        );
+    }
+}

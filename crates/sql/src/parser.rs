@@ -1,0 +1,732 @@
+//! Recursive-descent SQL parser.
+//!
+//! Grammar (roughly):
+//! ```text
+//! select    := SELECT [DISTINCT] items FROM tables {join} [WHERE expr]
+//!              [GROUP BY exprs] [HAVING expr] [ORDER BY order_items] [LIMIT n]
+//! expr      := or_expr
+//! or_expr   := and_expr {OR and_expr}
+//! and_expr  := not_expr {AND not_expr}
+//! not_expr  := NOT not_expr | predicate
+//! predicate := additive [cmp additive | [NOT] BETWEEN .. AND ..
+//!              | [NOT] IN (..) | [NOT] LIKE '..' | IS [NOT] NULL]
+//! additive  := multiplicative {(+|-) multiplicative}
+//! mult      := primary {(*|/) primary}
+//! primary   := literal | column | agg(..) | func(..) | (expr) | (select)
+//!              | EXISTS (select) | DATE '..' | CASE .. END
+//! ```
+
+use isum_common::{Error, Result};
+
+use crate::ast::{
+    AggFunc, BinaryOp, ColumnRef, Expr, Join, JoinKind, OrderByItem, SelectItem, SelectStatement,
+    TableRef,
+};
+use crate::dates::parse_iso_date;
+use crate::lexer::lex;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Parses one SQL `SELECT` statement (an optional trailing `;` is allowed).
+///
+/// ```
+/// let stmt = isum_sql::parse(
+///     "SELECT a, sum(b) FROM t WHERE c BETWEEN 1 AND 9 GROUP BY a ORDER BY a DESC",
+/// )?;
+/// assert_eq!(stmt.from[0].table, "t");
+/// assert_eq!(stmt.group_by.len(), 1);
+/// assert!(stmt.order_by[0].desc);
+/// # Ok::<(), isum_common::Error>(())
+/// ```
+///
+/// # Errors
+/// Returns [`Error::Lex`]/[`Error::Parse`] with a byte offset on bad input.
+pub fn parse(sql: &str) -> Result<SelectStatement> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.parse_select()?;
+    if p.peek_kind() == &TokenKind::Semicolon {
+        p.advance();
+    }
+    p.expect_kind(&TokenKind::Eof)?;
+    Ok(stmt)
+}
+
+/// Parses a file containing multiple `;`-separated statements.
+///
+/// # Errors
+/// Propagates the first parse error encountered.
+pub fn parse_many(sql: &str) -> Result<Vec<SelectStatement>> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.peek_kind() == &TokenKind::Semicolon {
+            p.advance();
+        }
+        if p.peek_kind() == &TokenKind::Eof {
+            return Ok(out);
+        }
+        out.push(p.parse_select()?);
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_kind_at(&self, ahead: usize) -> &TokenKind {
+        let idx = (self.pos + ahead).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> Error {
+        Error::Parse { offset: self.peek().offset, message: message.into() }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<()> {
+        if self.peek_kind() == &TokenKind::Keyword(kw) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kw:?}, found {}", self.peek_kind())))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if self.peek_kind() == &TokenKind::Keyword(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.peek_kind() == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek_kind())))
+        }
+    }
+
+    fn eat_kind(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<SelectStatement> {
+        self.expect_keyword(Keyword::Select)?;
+        let distinct = self.eat_keyword(Keyword::Distinct);
+        let mut projections = vec![self.parse_select_item()?];
+        while self.eat_kind(&TokenKind::Comma) {
+            projections.push(self.parse_select_item()?);
+        }
+        self.expect_keyword(Keyword::From)?;
+        let mut from = vec![self.parse_table_ref()?];
+        let mut joins = Vec::new();
+        loop {
+            if self.eat_kind(&TokenKind::Comma) {
+                from.push(self.parse_table_ref()?);
+            } else if self.peek_is_join() {
+                joins.push(self.parse_join()?);
+            } else {
+                break;
+            }
+        }
+        let where_clause =
+            if self.eat_keyword(Keyword::Where) { Some(self.parse_expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_keyword(Keyword::Group) {
+            self.expect_keyword(Keyword::By)?;
+            group_by.push(self.parse_expr()?);
+            while self.eat_kind(&TokenKind::Comma) {
+                group_by.push(self.parse_expr()?);
+            }
+        }
+        let having =
+            if self.eat_keyword(Keyword::Having) { Some(self.parse_expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_keyword(Keyword::Order) {
+            self.expect_keyword(Keyword::By)?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_keyword(Keyword::Desc) {
+                    true
+                } else {
+                    self.eat_keyword(Keyword::Asc);
+                    false
+                };
+                order_by.push(OrderByItem { expr, desc });
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword(Keyword::Limit) {
+            match self.peek_kind().clone() {
+                TokenKind::Number(n) if n >= 0.0 && n.fract() == 0.0 => {
+                    self.advance();
+                    Some(n as u64)
+                }
+                other => return Err(self.error(format!("expected row count, found {other}"))),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStatement {
+            distinct,
+            projections,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn peek_is_join(&self) -> bool {
+        matches!(
+            self.peek_kind(),
+            TokenKind::Keyword(Keyword::Join)
+                | TokenKind::Keyword(Keyword::Inner)
+                | TokenKind::Keyword(Keyword::Left)
+        )
+    }
+
+    fn parse_join(&mut self) -> Result<Join> {
+        let kind = if self.eat_keyword(Keyword::Left) {
+            self.eat_keyword(Keyword::Outer);
+            JoinKind::LeftOuter
+        } else {
+            self.eat_keyword(Keyword::Inner);
+            JoinKind::Inner
+        };
+        self.expect_keyword(Keyword::Join)?;
+        let table = self.parse_table_ref()?;
+        self.expect_keyword(Keyword::On)?;
+        let on = self.parse_expr()?;
+        Ok(Join { kind, table, on })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_kind(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_keyword(Keyword::As) {
+            Some(self.expect_ident()?)
+        } else if let TokenKind::Ident(name) = self.peek_kind().clone() {
+            // Bare alias: `SELECT a b FROM ...` — only if an identifier
+            // directly follows the expression.
+            self.advance();
+            Some(name)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let table = self.expect_ident()?;
+        let alias = if self.eat_keyword(Keyword::As) {
+            Some(self.expect_ident()?)
+        } else if let TokenKind::Ident(name) = self.peek_kind().clone() {
+            self.advance();
+            Some(name)
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword(Keyword::Or) {
+            let right = self.parse_and()?;
+            left = Expr::binary(BinaryOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword(Keyword::And) {
+            let right = self.parse_not()?;
+            left = Expr::binary(BinaryOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.peek_kind() == &TokenKind::Keyword(Keyword::Not)
+            && self.peek_kind_at(1) != &TokenKind::Keyword(Keyword::Exists)
+        {
+            self.advance();
+            return Ok(Expr::Not(Box::new(self.parse_not()?)));
+        }
+        self.parse_predicate()
+    }
+
+    fn parse_predicate(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        let negated = if self.peek_kind() == &TokenKind::Keyword(Keyword::Not)
+            && matches!(
+                self.peek_kind_at(1),
+                TokenKind::Keyword(Keyword::Between)
+                    | TokenKind::Keyword(Keyword::In)
+                    | TokenKind::Keyword(Keyword::Like)
+            ) {
+            self.advance();
+            true
+        } else {
+            false
+        };
+        match self.peek_kind().clone() {
+            TokenKind::Eq
+            | TokenKind::NotEq
+            | TokenKind::Lt
+            | TokenKind::LtEq
+            | TokenKind::Gt
+            | TokenKind::GtEq => {
+                let op = match self.advance().kind {
+                    TokenKind::Eq => BinaryOp::Eq,
+                    TokenKind::NotEq => BinaryOp::NotEq,
+                    TokenKind::Lt => BinaryOp::Lt,
+                    TokenKind::LtEq => BinaryOp::LtEq,
+                    TokenKind::Gt => BinaryOp::Gt,
+                    TokenKind::GtEq => BinaryOp::GtEq,
+                    _ => unreachable!("matched comparison token"),
+                };
+                let right = self.parse_additive()?;
+                Ok(Expr::binary(op, left, right))
+            }
+            TokenKind::Keyword(Keyword::Between) => {
+                self.advance();
+                let lo = self.parse_additive()?;
+                self.expect_keyword(Keyword::And)?;
+                let hi = self.parse_additive()?;
+                Ok(Expr::Between {
+                    expr: Box::new(left),
+                    lo: Box::new(lo),
+                    hi: Box::new(hi),
+                    negated,
+                })
+            }
+            TokenKind::Keyword(Keyword::In) => {
+                self.advance();
+                self.expect_kind(&TokenKind::LParen)?;
+                if self.peek_kind() == &TokenKind::Keyword(Keyword::Select) {
+                    let sub = self.parse_select()?;
+                    self.expect_kind(&TokenKind::RParen)?;
+                    Ok(Expr::InSubquery {
+                        expr: Box::new(left),
+                        subquery: Box::new(sub),
+                        negated,
+                    })
+                } else {
+                    let mut list = vec![self.parse_additive()?];
+                    while self.eat_kind(&TokenKind::Comma) {
+                        list.push(self.parse_additive()?);
+                    }
+                    self.expect_kind(&TokenKind::RParen)?;
+                    Ok(Expr::InList { expr: Box::new(left), list, negated })
+                }
+            }
+            TokenKind::Keyword(Keyword::Like) => {
+                self.advance();
+                match self.peek_kind().clone() {
+                    TokenKind::String(pattern) => {
+                        self.advance();
+                        Ok(Expr::Like { expr: Box::new(left), pattern, negated })
+                    }
+                    other => Err(self.error(format!("expected pattern string, found {other}"))),
+                }
+            }
+            TokenKind::Keyword(Keyword::Is) => {
+                self.advance();
+                let negated = self.eat_keyword(Keyword::Not);
+                self.expect_keyword(Keyword::Null)?;
+                Ok(Expr::IsNull { expr: Box::new(left), negated })
+            }
+            _ => Ok(left),
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_primary()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_primary()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek_kind().clone() {
+            TokenKind::Number(n) => {
+                self.advance();
+                Ok(Expr::Number(n))
+            }
+            TokenKind::Minus => {
+                self.advance();
+                match self.parse_primary()? {
+                    Expr::Number(n) => Ok(Expr::Number(-n)),
+                    e => Ok(Expr::binary(BinaryOp::Sub, Expr::Number(0.0), e)),
+                }
+            }
+            TokenKind::String(s) => {
+                self.advance();
+                Ok(Expr::String(s))
+            }
+            TokenKind::Keyword(Keyword::Null) => {
+                self.advance();
+                Ok(Expr::Null)
+            }
+            TokenKind::Keyword(Keyword::Date) => {
+                self.advance();
+                match self.peek_kind().clone() {
+                    TokenKind::String(s) => {
+                        self.advance();
+                        Ok(Expr::Date(parse_iso_date(&s)?))
+                    }
+                    other => Err(self.error(format!("expected date string, found {other}"))),
+                }
+            }
+            TokenKind::Keyword(Keyword::Interval) => {
+                // INTERVAL '<n>' DAY|MONTH|YEAR — folded to a day count so
+                // date arithmetic stays numeric.
+                self.advance();
+                let amount = match self.peek_kind().clone() {
+                    TokenKind::String(s) => {
+                        self.advance();
+                        s.trim().parse::<f64>().map_err(|_| {
+                            self.error(format!("bad interval amount '{s}'"))
+                        })?
+                    }
+                    TokenKind::Number(n) => {
+                        self.advance();
+                        n
+                    }
+                    other => {
+                        return Err(self.error(format!("expected interval amount, found {other}")))
+                    }
+                };
+                let unit = self.expect_ident()?;
+                let days = match unit.as_str() {
+                    "day" | "days" => amount,
+                    "month" | "months" => amount * 30.0,
+                    "year" | "years" => amount * 365.0,
+                    other => return Err(self.error(format!("unknown interval unit `{other}`"))),
+                };
+                Ok(Expr::Number(days))
+            }
+            TokenKind::Keyword(Keyword::Exists) => {
+                self.advance();
+                self.expect_kind(&TokenKind::LParen)?;
+                let sub = self.parse_select()?;
+                self.expect_kind(&TokenKind::RParen)?;
+                Ok(Expr::Exists { subquery: Box::new(sub), negated: false })
+            }
+            TokenKind::Keyword(Keyword::Not)
+                if self.peek_kind_at(1) == &TokenKind::Keyword(Keyword::Exists) =>
+            {
+                self.advance();
+                self.advance();
+                self.expect_kind(&TokenKind::LParen)?;
+                let sub = self.parse_select()?;
+                self.expect_kind(&TokenKind::RParen)?;
+                Ok(Expr::Exists { subquery: Box::new(sub), negated: true })
+            }
+            TokenKind::Keyword(Keyword::Case) => self.parse_case(),
+            TokenKind::LParen => {
+                self.advance();
+                if self.peek_kind() == &TokenKind::Keyword(Keyword::Select) {
+                    let sub = self.parse_select()?;
+                    self.expect_kind(&TokenKind::RParen)?;
+                    Ok(Expr::ScalarSubquery(Box::new(sub)))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect_kind(&TokenKind::RParen)?;
+                    Ok(e)
+                }
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                if self.peek_kind() == &TokenKind::LParen {
+                    self.advance();
+                    if let Some(func) = AggFunc::parse(&name) {
+                        // COUNT(*) / aggregate over expression.
+                        if func == AggFunc::Count && self.eat_kind(&TokenKind::Star) {
+                            self.expect_kind(&TokenKind::RParen)?;
+                            return Ok(Expr::Agg { func, arg: None, distinct: false });
+                        }
+                        let distinct = self.eat_keyword(Keyword::Distinct);
+                        let arg = self.parse_expr()?;
+                        self.expect_kind(&TokenKind::RParen)?;
+                        return Ok(Expr::Agg { func, arg: Some(Box::new(arg)), distinct });
+                    }
+                    let mut args = Vec::new();
+                    if self.peek_kind() != &TokenKind::RParen {
+                        args.push(self.parse_expr()?);
+                        while self.eat_kind(&TokenKind::Comma) {
+                            args.push(self.parse_expr()?);
+                        }
+                    }
+                    self.expect_kind(&TokenKind::RParen)?;
+                    return Ok(Expr::Func { name, args });
+                }
+                if self.peek_kind() == &TokenKind::Dot {
+                    self.advance();
+                    let col = self.expect_ident()?;
+                    return Ok(Expr::Column(ColumnRef::qualified(name, col)));
+                }
+                Ok(Expr::Column(ColumnRef::bare(name)))
+            }
+            other => Err(self.error(format!("unexpected {other}"))),
+        }
+    }
+
+    /// `CASE WHEN e THEN e [WHEN ...] [ELSE e] END`, lowered to an
+    /// uninterpreted function so downstream code sees its column refs.
+    fn parse_case(&mut self) -> Result<Expr> {
+        self.expect_keyword(Keyword::Case)?;
+        let mut args = Vec::new();
+        while self.eat_keyword(Keyword::When) {
+            args.push(self.parse_expr()?);
+            self.expect_keyword(Keyword::Then)?;
+            args.push(self.parse_expr()?);
+        }
+        if self.eat_keyword(Keyword::Else) {
+            args.push(self.parse_expr()?);
+        }
+        self.expect_keyword(Keyword::End)?;
+        if args.is_empty() {
+            return Err(self.error("CASE without WHEN branches"));
+        }
+        Ok(Expr::Func { name: "case".into(), args })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_select() {
+        let q = parse("SELECT a FROM t").unwrap();
+        assert_eq!(q.projections.len(), 1);
+        assert_eq!(q.from[0].table, "t");
+        assert!(q.where_clause.is_none());
+    }
+
+    #[test]
+    fn parses_full_clause_set() {
+        let q = parse(
+            "SELECT l_returnflag, sum(l_quantity) AS qty \
+             FROM lineitem \
+             WHERE l_shipdate <= DATE '1998-09-02' AND l_quantity > 10 \
+             GROUP BY l_returnflag \
+             HAVING sum(l_quantity) > 100 \
+             ORDER BY l_returnflag DESC LIMIT 10;",
+        )
+        .unwrap();
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+        assert_eq!(q.order_by.len(), 1);
+        assert!(q.order_by[0].desc);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_comma_joins_and_explicit_joins() {
+        let q = parse(
+            "SELECT * FROM a, b x JOIN c ON x.k = c.k LEFT JOIN d ON c.j = d.j WHERE a.k = x.k",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.joins[0].kind, JoinKind::Inner);
+        assert_eq!(q.joins[1].kind, JoinKind::LeftOuter);
+        assert_eq!(q.from[1].binding_name(), "x");
+    }
+
+    #[test]
+    fn parses_in_between_like() {
+        let q = parse(
+            "SELECT a FROM t WHERE a IN (1, 2, 3) AND b NOT IN (4) \
+             AND c BETWEEN 1 AND 9 AND d NOT BETWEEN 2 AND 3 \
+             AND e LIKE 'x%' AND f NOT LIKE '%y' AND g IS NOT NULL",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap().to_string();
+        assert!(w.contains("IN (1, 2, 3)"));
+        assert!(w.contains("NOT IN (4)"));
+        assert!(w.contains("BETWEEN 1 AND 9"));
+        assert!(w.contains("NOT BETWEEN 2 AND 3"));
+        assert!(w.contains("LIKE 'x%'"));
+        assert!(w.contains("NOT LIKE '%y'"));
+        assert!(w.contains("IS NOT NULL"));
+    }
+
+    #[test]
+    fn parses_subqueries() {
+        let q = parse(
+            "SELECT o_orderpriority FROM orders WHERE EXISTS \
+             (SELECT * FROM lineitem WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate)",
+        )
+        .unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Exists { subquery, negated } => {
+                assert!(!negated);
+                assert_eq!(subquery.from[0].table, "lineitem");
+            }
+            other => panic!("expected EXISTS, got {other:?}"),
+        }
+        let q2 = parse(
+            "SELECT a FROM t WHERE a NOT IN (SELECT b FROM u WHERE u.c > 5)",
+        )
+        .unwrap();
+        assert!(matches!(q2.where_clause.unwrap(), Expr::InSubquery { negated: true, .. }));
+    }
+
+    #[test]
+    fn parses_arithmetic_with_precedence() {
+        let q = parse("SELECT a + b * c FROM t").unwrap();
+        let SelectItem::Expr { expr, .. } = &q.projections[0] else { panic!() };
+        assert_eq!(expr.to_string(), "(a + (b * c))");
+    }
+
+    #[test]
+    fn parses_aggregates_and_functions() {
+        let q = parse(
+            "SELECT count(*), sum(DISTINCT x), avg(y), substring(s, 1, 2) FROM t",
+        )
+        .unwrap();
+        assert_eq!(q.projections.len(), 4);
+        let SelectItem::Expr { expr, .. } = &q.projections[1] else { panic!() };
+        assert!(matches!(expr, Expr::Agg { distinct: true, .. }));
+        let SelectItem::Expr { expr, .. } = &q.projections[3] else { panic!() };
+        assert!(matches!(expr, Expr::Func { .. }));
+    }
+
+    #[test]
+    fn parses_date_arithmetic_with_interval() {
+        let q = parse(
+            "SELECT a FROM t WHERE d < DATE '1995-01-01' + INTERVAL '3' MONTH",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        // INTERVAL '3' MONTH folds to 90 (days).
+        assert!(w.to_string().contains("90"), "{w}");
+    }
+
+    #[test]
+    fn parses_case_expression() {
+        let q = parse(
+            "SELECT sum(CASE WHEN a = 1 THEN b ELSE 0 END) FROM t GROUP BY c",
+        )
+        .unwrap();
+        let SelectItem::Expr { expr, .. } = &q.projections[0] else { panic!() };
+        assert!(expr.to_string().contains("case("));
+    }
+
+    #[test]
+    fn parse_many_splits_statements() {
+        let qs = parse_many("SELECT a FROM t; SELECT b FROM u;").unwrap();
+        assert_eq!(qs.len(), 2);
+        assert!(parse_many("  ;; ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn error_messages_point_at_offset() {
+        let err = parse("SELECT FROM t").unwrap_err();
+        match err {
+            Error::Parse { offset, .. } => assert_eq!(offset, 7),
+            other => panic!("unexpected {other}"),
+        }
+        assert!(parse("SELECT a t").is_err()); // missing FROM
+        assert!(parse("SELECT a FROM t WHERE").is_err());
+        assert!(parse("SELECT a FROM t LIMIT x").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_and_unary_minus() {
+        let q = parse("SELECT a FROM t WHERE a > -5").unwrap();
+        assert_eq!(q.where_clause.unwrap().to_string(), "(a > -5)");
+    }
+
+    #[test]
+    fn not_with_parenthesized_or() {
+        let q = parse("SELECT a FROM t WHERE NOT (a = 1 OR b = 2)").unwrap();
+        assert!(matches!(q.where_clause.unwrap(), Expr::Not(_)));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let sql = "SELECT a, sum(b) AS s FROM t x JOIN u ON (x.k = u.k) \
+                   WHERE ((a > 10) AND (b IN (1, 2))) GROUP BY a ORDER BY a DESC LIMIT 3";
+        let q1 = parse(sql).unwrap();
+        let q2 = parse(&q1.to_string()).unwrap();
+        assert_eq!(q1, q2);
+    }
+}

@@ -1,0 +1,248 @@
+//! Query-template fingerprinting.
+//!
+//! Two query *instances* share a template when they are identical up to
+//! parameter bindings (Sec 1 of the paper). We compute a fingerprint by
+//! rendering the AST with every literal masked to `?`, then intern
+//! fingerprints in a [`TemplateRegistry`] that hands out dense
+//! [`TemplateId`]s. Template identity drives the Stratified baseline, the
+//! per-template utility redistribution of Alg 4, and the Fig 12a
+//! instances-per-template experiment.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use isum_common::TemplateId;
+
+use crate::ast::{Expr, OrderByItem, SelectItem, SelectStatement};
+
+/// Renders a statement with literals masked, producing the template
+/// fingerprint text.
+pub fn fingerprint(stmt: &SelectStatement) -> String {
+    let masked = mask_statement(stmt);
+    masked.to_string()
+}
+
+fn mask_statement(stmt: &SelectStatement) -> SelectStatement {
+    SelectStatement {
+        distinct: stmt.distinct,
+        projections: stmt
+            .projections
+            .iter()
+            .map(|p| match p {
+                SelectItem::Wildcard => SelectItem::Wildcard,
+                SelectItem::Expr { expr, alias } => {
+                    SelectItem::Expr { expr: mask(expr), alias: alias.clone() }
+                }
+            })
+            .collect(),
+        from: stmt.from.clone(),
+        joins: stmt
+            .joins
+            .iter()
+            .map(|j| crate::ast::Join {
+                kind: j.kind,
+                table: j.table.clone(),
+                on: mask(&j.on),
+            })
+            .collect(),
+        where_clause: stmt.where_clause.as_ref().map(mask),
+        group_by: stmt.group_by.iter().map(mask).collect(),
+        having: stmt.having.as_ref().map(mask),
+        order_by: stmt
+            .order_by
+            .iter()
+            .map(|o| OrderByItem { expr: mask(&o.expr), desc: o.desc })
+            .collect(),
+        // LIMIT values are parameters too.
+        limit: stmt.limit.map(|_| 0),
+    }
+}
+
+/// Masks literals to a placeholder. `IN` lists collapse to a single
+/// placeholder so lists of different lengths share a template, matching how
+/// production plan-cache fingerprints behave.
+fn mask(e: &Expr) -> Expr {
+    match e {
+        Expr::Number(_) | Expr::String(_) | Expr::Date(_) => placeholder(),
+        Expr::Null => Expr::Null,
+        Expr::Column(c) => Expr::Column(c.clone()),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(mask(left)),
+            right: Box::new(mask(right)),
+        },
+        Expr::Between { expr, negated, .. } => Expr::Between {
+            expr: Box::new(mask(expr)),
+            lo: Box::new(placeholder()),
+            hi: Box::new(placeholder()),
+            negated: *negated,
+        },
+        Expr::InList { expr, negated, .. } => Expr::InList {
+            expr: Box::new(mask(expr)),
+            list: vec![placeholder()],
+            negated: *negated,
+        },
+        Expr::InSubquery { expr, subquery, negated } => Expr::InSubquery {
+            expr: Box::new(mask(expr)),
+            subquery: Box::new(mask_statement(subquery)),
+            negated: *negated,
+        },
+        Expr::Exists { subquery, negated } => Expr::Exists {
+            subquery: Box::new(mask_statement(subquery)),
+            negated: *negated,
+        },
+        Expr::Like { expr, negated, .. } => Expr::Like {
+            expr: Box::new(mask(expr)),
+            pattern: "?".into(),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => {
+            Expr::IsNull { expr: Box::new(mask(expr)), negated: *negated }
+        }
+        Expr::Not(inner) => Expr::Not(Box::new(mask(inner))),
+        Expr::Agg { func, arg, distinct } => Expr::Agg {
+            func: *func,
+            arg: arg.as_ref().map(|a| Box::new(mask(a))),
+            distinct: *distinct,
+        },
+        Expr::Func { name, args } => {
+            Expr::Func { name: name.clone(), args: args.iter().map(mask).collect() }
+        }
+        Expr::ScalarSubquery(q) => Expr::ScalarSubquery(Box::new(mask_statement(q))),
+    }
+}
+
+fn placeholder() -> Expr {
+    // Rendered as '?' by Display; distinct from any real literal the lexer
+    // can produce because bare strings render quoted.
+    Expr::Func { name: "?".into(), args: Vec::new() }
+}
+
+/// Interns template fingerprints, assigning dense [`TemplateId`]s.
+#[derive(Debug, Default)]
+pub struct TemplateRegistry {
+    by_fingerprint: HashMap<String, TemplateId>,
+    fingerprints: Vec<String>,
+}
+
+impl TemplateRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for a statement's template, creating it if new.
+    pub fn intern(&mut self, stmt: &SelectStatement) -> TemplateId {
+        let fp = fingerprint(stmt);
+        self.intern_fingerprint(fp)
+    }
+
+    /// Interns a pre-computed fingerprint string.
+    pub fn intern_fingerprint(&mut self, fp: String) -> TemplateId {
+        if let Some(&id) = self.by_fingerprint.get(&fp) {
+            return id;
+        }
+        let id = TemplateId::from_index(self.fingerprints.len());
+        self.by_fingerprint.insert(fp.clone(), id);
+        self.fingerprints.push(fp);
+        id
+    }
+
+    /// Number of distinct templates seen.
+    pub fn len(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// True when no templates were interned.
+    pub fn is_empty(&self) -> bool {
+        self.fingerprints.is_empty()
+    }
+
+    /// Fingerprint text for an id.
+    pub fn fingerprint_of(&self, id: TemplateId) -> &str {
+        &self.fingerprints[id.index()]
+    }
+
+    /// Short human label: the fingerprint truncated for reports.
+    pub fn label_of(&self, id: TemplateId) -> String {
+        let fp = self.fingerprint_of(id);
+        let mut s = String::new();
+        let _ = write!(s, "{}", &fp[..fp.len().min(60)]);
+        if fp.len() > 60 {
+            s.push('…');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn same_template_different_parameters() {
+        let a = parse("SELECT a FROM t WHERE b = 1 AND c LIKE 'x%'").unwrap();
+        let b = parse("SELECT a FROM t WHERE b = 999 AND c LIKE 'completely-different%'").unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn different_structure_different_template() {
+        let a = parse("SELECT a FROM t WHERE b = 1").unwrap();
+        let b = parse("SELECT a FROM t WHERE c = 1").unwrap();
+        let c = parse("SELECT a FROM t WHERE b = 1 ORDER BY a").unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn in_lists_of_different_lengths_share_template() {
+        let a = parse("SELECT a FROM t WHERE b IN (1, 2)").unwrap();
+        let b = parse("SELECT a FROM t WHERE b IN (3, 4, 5, 6)").unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn limit_values_are_parameters() {
+        let a = parse("SELECT a FROM t LIMIT 10").unwrap();
+        let b = parse("SELECT a FROM t LIMIT 99").unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let c = parse("SELECT a FROM t").unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn subquery_parameters_masked() {
+        let a = parse("SELECT a FROM t WHERE b IN (SELECT x FROM u WHERE y > 5)").unwrap();
+        let b = parse("SELECT a FROM t WHERE b IN (SELECT x FROM u WHERE y > 50)").unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn registry_interns_densely() {
+        let mut reg = TemplateRegistry::new();
+        let a = parse("SELECT a FROM t WHERE b = 1").unwrap();
+        let b = parse("SELECT a FROM t WHERE b = 2").unwrap();
+        let c = parse("SELECT a FROM t WHERE c = 2").unwrap();
+        let ta = reg.intern(&a);
+        let tb = reg.intern(&b);
+        let tc = reg.intern(&c);
+        assert_eq!(ta, tb);
+        assert_ne!(ta, tc);
+        assert_eq!(reg.len(), 2);
+        assert!(reg.fingerprint_of(ta).contains("?"));
+    }
+
+    #[test]
+    fn label_truncates_long_fingerprints() {
+        let mut reg = TemplateRegistry::new();
+        let q = parse(
+            "SELECT a_very_long_column_name_one, a_very_long_column_name_two FROM a_long_table_name WHERE x = 1",
+        )
+        .unwrap();
+        let id = reg.intern(&q);
+        let label = reg.label_of(id);
+        assert!(label.chars().count() <= 61);
+    }
+}

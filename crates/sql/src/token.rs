@@ -1,0 +1,186 @@
+//! Token definitions for the SQL lexer.
+
+use std::fmt;
+
+/// SQL keywords recognized by the lexer. Anything not in this list lexes as
+/// an identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants are the keywords themselves
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    Group,
+    Order,
+    By,
+    Having,
+    Limit,
+    As,
+    And,
+    Or,
+    Not,
+    In,
+    Between,
+    Like,
+    Is,
+    Null,
+    Exists,
+    Join,
+    Inner,
+    Left,
+    Outer,
+    On,
+    Asc,
+    Desc,
+    Distinct,
+    Date,
+    Interval,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+}
+
+impl Keyword {
+    /// Parses a keyword from an identifier-like string (case-insensitive).
+    pub fn parse(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Select,
+            "FROM" => From,
+            "WHERE" => Where,
+            "GROUP" => Group,
+            "ORDER" => Order,
+            "BY" => By,
+            "HAVING" => Having,
+            "LIMIT" => Limit,
+            "AS" => As,
+            "AND" => And,
+            "OR" => Or,
+            "NOT" => Not,
+            "IN" => In,
+            "BETWEEN" => Between,
+            "LIKE" => Like,
+            "IS" => Is,
+            "NULL" => Null,
+            "EXISTS" => Exists,
+            "JOIN" => Join,
+            "INNER" => Inner,
+            "LEFT" => Left,
+            "OUTER" => Outer,
+            "ON" => On,
+            "ASC" => Asc,
+            "DESC" => Desc,
+            "DISTINCT" => Distinct,
+            "DATE" => Date,
+            "INTERVAL" => Interval,
+            "CASE" => Case,
+            "WHEN" => When,
+            "THEN" => Then,
+            "ELSE" => Else,
+            "END" => End,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexed token with its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token start in the source text.
+    pub offset: usize,
+}
+
+/// Token payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A recognized keyword.
+    Keyword(Keyword),
+    /// An identifier (table, column, alias, or function name).
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// A single-quoted string literal (quotes stripped, `''` unescaped).
+    String(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k:?}"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::String(s) => write!(f, "string '{s}'"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::NotEq => write!(f, "<>"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::LtEq => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::GtEq => write!(f, ">="),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_parse_case_insensitively() {
+        assert_eq!(Keyword::parse("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::parse("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::parse("frobnicate"), None);
+    }
+
+    #[test]
+    fn token_kind_displays() {
+        assert_eq!(TokenKind::LtEq.to_string(), "<=");
+        assert_eq!(TokenKind::Ident("abc".into()).to_string(), "identifier `abc`");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the SQL front-end: display/parse round-trips over
+//! generated statements, and no-panic guarantees on arbitrary input.
+
+use proptest::prelude::*;
+
+use isum_sql::{fingerprint, parse};
+
+/// Generates random-but-valid SQL texts from a small grammar.
+fn arb_sql() -> impl Strategy<Value = String> {
+    let ident = prop::sample::select(vec!["a", "b", "c", "d", "price", "qty"]);
+    let table = prop::sample::select(vec!["t", "u", "orders"]);
+    let cmp = prop::sample::select(vec!["=", "<", "<=", ">", ">=", "<>"]);
+    let pred = (ident.clone(), cmp, -1000i64..1000).prop_map(|(c, op, v)| format!("{c} {op} {v}"));
+    let preds = prop::collection::vec(pred, 1..4).prop_map(|ps| ps.join(" AND "));
+    (
+        prop::collection::vec(ident.clone(), 1..3),
+        table,
+        prop::option::of(preds),
+        prop::option::of(ident.clone()),
+        prop::option::of((ident, any::<bool>())),
+        prop::option::of(1u64..100),
+    )
+        .prop_map(|(cols, table, where_, group, order, limit)| {
+            let mut sql = format!("SELECT {} FROM {table}", cols.join(", "));
+            if let Some(w) = where_ {
+                sql.push_str(&format!(" WHERE {w}"));
+            }
+            if let Some(g) = group {
+                sql.push_str(&format!(" GROUP BY {g}"));
+            }
+            if let Some((o, desc)) = order {
+                sql.push_str(&format!(" ORDER BY {o}{}", if desc { " DESC" } else { "" }));
+            }
+            if let Some(l) = limit {
+                sql.push_str(&format!(" LIMIT {l}"));
+            }
+            sql
+        })
+}
+
+proptest! {
+    #[test]
+    fn display_roundtrip_is_fixed_point(sql in arb_sql()) {
+        let ast1 = parse(&sql).expect("generated SQL parses");
+        let rendered = ast1.to_string();
+        let ast2 = parse(&rendered).unwrap_or_else(|e| panic!("rendering `{rendered}` failed to reparse: {e}"));
+        prop_assert_eq!(&ast1, &ast2);
+        // And rendering is a fixed point.
+        prop_assert_eq!(rendered.clone(), ast2.to_string());
+    }
+
+    #[test]
+    fn fingerprints_are_stable_under_roundtrip(sql in arb_sql()) {
+        let ast1 = parse(&sql).expect("generated SQL parses");
+        let ast2 = parse(&ast1.to_string()).expect("rendered SQL parses");
+        prop_assert_eq!(fingerprint(&ast1), fingerprint(&ast2));
+    }
+
+    #[test]
+    fn parser_never_panics_on_ascii_garbage(input in "[ -~]{0,80}") {
+        // Errors are fine; panics are not.
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..60)) {
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = isum_sql::lexer::lex(text);
+        }
+    }
+
+    #[test]
+    fn parameter_values_never_change_fingerprints(
+        v1 in -10_000i64..10_000,
+        v2 in -10_000i64..10_000,
+    ) {
+        let a = parse(&format!("SELECT a FROM t WHERE b = {v1} AND c > {v1} LIMIT 7")).expect("parses");
+        let b = parse(&format!("SELECT a FROM t WHERE b = {v2} AND c > {v2} LIMIT 9")).expect("parses");
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+}

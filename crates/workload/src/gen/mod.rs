@@ -1,0 +1,24 @@
+//! Workload generators for the paper's evaluation workloads (Table 2).
+//!
+//! | Generator | Queries | Templates | Tables | Notes |
+//! |-----------|---------|-----------|--------|-------|
+//! | [`tpch`]  | any     | 22        | 8      | real TPC-H schema & templates |
+//! | [`tpcds`] | any     | 91        | 24     | TPC-DS-shaped star schema |
+//! | [`dsb`]   | any     | 52        | 24     | skewed TPC-DS variant with SPJ/Agg/Complex classes |
+//! | [`realm`] | 473     | ~456      | 474    | Real-M-shaped: many tables, near-unique templates |
+//!
+//! All generators are deterministic given a seed. TPC-H uses the published
+//! schema statistics; the other three synthesize schemas and templates with
+//! the published *shape* (see DESIGN.md, "Substitutions").
+
+pub mod dsb;
+pub mod realm;
+pub mod synth;
+pub mod tpcds_templates;
+pub mod tpch;
+pub mod tpcds;
+
+pub use dsb::dsb_workload;
+pub use realm::{realm_workload, realm_workload_sized};
+pub use tpch::{tpch_catalog, tpch_workload};
+pub use tpcds::{tpcds_catalog, tpcds_workload};

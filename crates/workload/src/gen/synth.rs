@@ -1,0 +1,477 @@
+//! Synthetic template machinery.
+//!
+//! TPC-DS, DSB, and Real-M are reproduced *by shape*: a star (or
+//! multi-star) schema plus programmatically generated query templates.
+//! A [`SyntheticTemplate`] captures the structural choices (fact table,
+//! joined dimensions, filtered columns and operators, grouping/ordering,
+//! aggregates); [`SyntheticTemplate::instantiate`] fills in fresh parameter
+//! literals, so many *instances* of one template differ only in bindings —
+//! exactly the template/instance structure the paper's workloads have.
+
+use isum_catalog::{Catalog, ColumnType};
+use isum_common::rng::DetRng;
+
+use crate::query::QueryClass;
+
+/// Foreign-key edge: fact column → (dimension table, dimension key column).
+#[derive(Debug, Clone)]
+pub struct FkEdge {
+    /// Foreign-key column on the fact table.
+    pub fk_col: String,
+    /// Referenced dimension table.
+    pub dim: String,
+    /// Referenced (key) column.
+    pub pk_col: String,
+}
+
+/// Star-schema metadata for one fact table.
+#[derive(Debug, Clone)]
+pub struct FactMeta {
+    /// Fact table name.
+    pub table: String,
+    /// Available foreign keys.
+    pub fks: Vec<FkEdge>,
+    /// Numeric measure columns usable in aggregates.
+    pub measures: Vec<String>,
+}
+
+/// A filter slot in a template: the column plus the predicate shape; the
+/// literal itself is a parameter drawn per instance.
+#[derive(Debug, Clone)]
+pub struct FilterSpec {
+    /// Qualified-by-table column.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// Predicate shape.
+    pub op: FilterOp,
+    /// Domain minimum (from catalog stats).
+    pub lo: f64,
+    /// Domain maximum.
+    pub hi: f64,
+    /// Render literals as integers.
+    pub integral: bool,
+}
+
+/// Predicate shapes synthesized into templates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FilterOp {
+    /// `col = ?`
+    Eq,
+    /// `col BETWEEN ? AND ?` covering roughly `width` of the domain.
+    Range {
+        /// Fraction of the domain covered by an instance's range.
+        width: f64,
+    },
+    /// `col IN (?, ..)` with `n` values.
+    In {
+        /// List length.
+        n: usize,
+    },
+    /// `col <= ?`
+    LtEq,
+    /// `col >= ?`
+    GtEq,
+}
+
+/// A generated query template.
+#[derive(Debug, Clone)]
+pub struct SyntheticTemplate {
+    /// Complexity class this template was generated for.
+    pub class: QueryClass,
+    /// Fact (driving) table.
+    pub fact: String,
+    /// Joined dimensions (subset of the fact's FK edges).
+    pub joins: Vec<FkEdge>,
+    /// Filter slots.
+    pub filters: Vec<FilterSpec>,
+    /// `GROUP BY` columns as `(table, column)`.
+    pub group_by: Vec<(String, String)>,
+    /// `ORDER BY` columns as `(table, column)`.
+    pub order_by: Vec<(String, String)>,
+    /// Aggregates as `(func, measure column)`; empty means `SELECT` of
+    /// plain columns.
+    pub aggs: Vec<(String, String)>,
+    /// Adds an `IN (SELECT ...)` semi-join back to the fact table.
+    pub semijoin: Option<FkEdge>,
+    /// `LIMIT` clause.
+    pub limit: Option<u64>,
+}
+
+impl SyntheticTemplate {
+    /// Renders one instance with fresh parameters.
+    pub fn instantiate(&self, rng: &mut DetRng) -> String {
+        let mut select_items: Vec<String> = Vec::new();
+        for (t, c) in &self.group_by {
+            select_items.push(format!("{t}.{c}"));
+        }
+        for (f, m) in &self.aggs {
+            if f == "count" {
+                select_items.push("count(*)".to_string());
+            } else {
+                select_items.push(format!("{f}({}.{m})", self.fact));
+            }
+        }
+        if select_items.is_empty() {
+            // SPJ: project a couple of concrete columns.
+            select_items.push(format!("{}.{}", self.fact, self.first_projection()));
+        }
+        let mut from: Vec<String> = vec![self.fact.clone()];
+        for e in &self.joins {
+            from.push(e.dim.clone());
+        }
+        let mut preds: Vec<String> = self
+            .joins
+            .iter()
+            .map(|e| format!("{}.{} = {}.{}", self.fact, e.fk_col, e.dim, e.pk_col))
+            .collect();
+        for f in &self.filters {
+            preds.push(render_filter(f, rng));
+        }
+        if let Some(e) = &self.semijoin {
+            preds.push(format!(
+                "{}.{} IN (SELECT {}.{} FROM {} WHERE {}.{} > {})",
+                self.fact,
+                e.fk_col,
+                e.dim,
+                e.pk_col,
+                e.dim,
+                e.dim,
+                e.pk_col,
+                fmt_num(rng.unit() * 100.0, true),
+            ));
+        }
+        let mut sql = format!("SELECT {} FROM {}", select_items.join(", "), from.join(", "));
+        if !preds.is_empty() {
+            sql.push_str(" WHERE ");
+            sql.push_str(&preds.join(" AND "));
+        }
+        if !self.group_by.is_empty() {
+            let cols: Vec<String> =
+                self.group_by.iter().map(|(t, c)| format!("{t}.{c}")).collect();
+            sql.push_str(" GROUP BY ");
+            sql.push_str(&cols.join(", "));
+        }
+        if !self.order_by.is_empty() {
+            let cols: Vec<String> =
+                self.order_by.iter().map(|(t, c)| format!("{t}.{c}")).collect();
+            sql.push_str(" ORDER BY ");
+            sql.push_str(&cols.join(", "));
+        }
+        if let Some(l) = self.limit {
+            sql.push_str(&format!(" LIMIT {l}"));
+        }
+        sql
+    }
+
+    fn first_projection(&self) -> String {
+        self.filters
+            .iter()
+            .find(|f| f.table == self.fact)
+            .map(|f| f.column.clone())
+            .or_else(|| self.measures_fallback())
+            .unwrap_or_else(|| {
+                self.joins
+                    .first()
+                    .map(|e| e.fk_col.clone())
+                    .expect("template has at least a filter, measure, or join")
+            })
+    }
+
+    fn measures_fallback(&self) -> Option<String> {
+        self.aggs.first().map(|(_, m)| m.clone())
+    }
+}
+
+fn render_filter(f: &FilterSpec, rng: &mut DetRng) -> String {
+    let col = format!("{}.{}", f.table, f.column);
+    let span = (f.hi - f.lo).max(0.0);
+    match f.op {
+        FilterOp::Eq => {
+            let v = f.lo + rng.unit() * span;
+            format!("{col} = {}", fmt_num(v, f.integral))
+        }
+        FilterOp::Range { width } => {
+            let w = span * width;
+            let start = f.lo + rng.unit() * (span - w).max(0.0);
+            format!(
+                "{col} BETWEEN {} AND {}",
+                fmt_num(start, f.integral),
+                fmt_num(start + w, f.integral)
+            )
+        }
+        FilterOp::In { n } => {
+            let vals: Vec<String> =
+                (0..n).map(|_| fmt_num(f.lo + rng.unit() * span, f.integral)).collect();
+            format!("{col} IN ({})", vals.join(", "))
+        }
+        FilterOp::LtEq => {
+            let v = f.lo + rng.unit() * span;
+            format!("{col} <= {}", fmt_num(v, f.integral))
+        }
+        FilterOp::GtEq => {
+            let v = f.lo + rng.unit() * span;
+            format!("{col} >= {}", fmt_num(v, f.integral))
+        }
+    }
+}
+
+fn fmt_num(v: f64, integral: bool) -> String {
+    if integral {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Generates templates over a star schema, targeting a complexity class mix.
+#[derive(Debug)]
+pub struct TemplateGenerator<'a> {
+    catalog: &'a Catalog,
+    facts: Vec<FactMeta>,
+}
+
+impl<'a> TemplateGenerator<'a> {
+    /// Creates a generator over the given catalog and fact metadata.
+    pub fn new(catalog: &'a Catalog, facts: Vec<FactMeta>) -> Self {
+        assert!(!facts.is_empty(), "need at least one fact table");
+        Self { catalog, facts }
+    }
+
+    /// Generates one template of the requested class.
+    pub fn generate(&self, class: QueryClass, rng: &mut DetRng) -> SyntheticTemplate {
+        let fact = rng.pick(&self.facts).clone();
+        let (n_joins, n_filters, n_group, semi) = match class {
+            QueryClass::Spj => (rng.below(3), 1 + rng.below(3), 0, false),
+            QueryClass::Aggregate => (rng.below(2), 1 + rng.below(2), 1 + rng.below(2), false),
+            QueryClass::Complex => {
+                (2 + rng.below(3).min(fact.fks.len().saturating_sub(2)), 2 + rng.below(3), 1 + rng.below(2), rng.chance(0.4))
+            }
+        };
+        let n_joins = n_joins.min(fact.fks.len());
+        let join_idx = rng.sample_indices(fact.fks.len(), n_joins);
+        let joins: Vec<FkEdge> = join_idx.iter().map(|&i| fact.fks[i].clone()).collect();
+
+        // Candidate filter columns: ordered non-key columns from the fact
+        // table and joined dimensions.
+        let mut candidates: Vec<FilterSpec> = Vec::new();
+        self.collect_filterable(&fact.table, &mut candidates);
+        for e in &joins {
+            self.collect_filterable(&e.dim, &mut candidates);
+        }
+        let n_filters = n_filters.min(candidates.len());
+        let mut filters = Vec::with_capacity(n_filters);
+        for i in rng.sample_indices(candidates.len(), n_filters) {
+            let mut f = candidates[i].clone();
+            f.op = match rng.below(5) {
+                0 => FilterOp::Eq,
+                1 => FilterOp::Range { width: 0.01 + rng.unit() * 0.2 },
+                2 => FilterOp::In { n: 2 + rng.below(4) },
+                3 => FilterOp::LtEq,
+                _ => FilterOp::GtEq,
+            };
+            filters.push(f);
+        }
+
+        // Group by low-cardinality dimension columns when available.
+        let mut group_by = Vec::new();
+        if n_group > 0 {
+            let mut group_candidates: Vec<(String, String)> = Vec::new();
+            for e in &joins {
+                self.collect_groupable(&e.dim, &mut group_candidates);
+            }
+            self.collect_groupable(&fact.table, &mut group_candidates);
+            for i in rng.sample_indices(group_candidates.len(), n_group.min(group_candidates.len()))
+            {
+                group_by.push(group_candidates[i].clone());
+            }
+        }
+
+        let aggs = if class == QueryClass::Spj {
+            Vec::new()
+        } else {
+            let mut aggs = Vec::new();
+            let funcs = ["sum", "avg", "min", "max", "count"];
+            for _ in 0..(1 + rng.below(2)) {
+                let f = rng.pick(&funcs).to_string();
+                let m = if fact.measures.is_empty() {
+                    "count".into()
+                } else {
+                    rng.pick(&fact.measures).clone()
+                };
+                if f == "count" {
+                    aggs.push(("count".to_string(), String::new()));
+                } else {
+                    aggs.push((f, m));
+                }
+            }
+            aggs
+        };
+
+        let semijoin = if semi && !fact.fks.is_empty() {
+            Some(rng.pick(&fact.fks).clone())
+        } else {
+            None
+        };
+        let order_by = if !group_by.is_empty() && rng.chance(0.6) {
+            vec![group_by[0].clone()]
+        } else {
+            Vec::new()
+        };
+        let limit = if rng.chance(0.3) { Some(100) } else { None };
+
+        SyntheticTemplate {
+            class,
+            fact: fact.table,
+            joins,
+            filters,
+            group_by,
+            order_by,
+            aggs,
+            semijoin,
+            limit,
+        }
+    }
+
+    fn collect_filterable(&self, table: &str, out: &mut Vec<FilterSpec>) {
+        let tid = self.catalog.table_id(table).expect("schema tables registered");
+        let t = self.catalog.table(tid);
+        for c in &t.columns {
+            if c.ty.is_ordered() && c.stats.distinct > 1 && c.stats.distinct < t.row_count {
+                out.push(FilterSpec {
+                    table: table.to_string(),
+                    column: c.name.clone(),
+                    op: FilterOp::Eq,
+                    lo: c.stats.min,
+                    hi: c.stats.max,
+                    integral: !matches!(c.ty, ColumnType::Float),
+                });
+            }
+        }
+    }
+
+    fn collect_groupable(&self, table: &str, out: &mut Vec<(String, String)>) {
+        let tid = self.catalog.table_id(table).expect("schema tables registered");
+        let t = self.catalog.table(tid);
+        for c in &t.columns {
+            if c.stats.distinct > 1 && c.stats.distinct <= 1000 {
+                out.push((table.to_string(), c.name.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isum_catalog::CatalogBuilder;
+
+    fn setup() -> (Catalog, Vec<FactMeta>) {
+        let catalog = CatalogBuilder::new()
+            .table("fact", 1_000_000)
+            .col_int("fk_d1", 1000, 1, 1000)
+            .col_int("fk_d2", 500, 1, 500)
+            .col_float("amount", 10_000, 0.0, 1_000.0)
+            .col_int("qty", 100, 1, 100)
+            .finish()
+            .unwrap()
+            .table("d1", 1000)
+            .col_key("d1_key")
+            .col_int("d1_attr", 50, 1, 50)
+            .finish()
+            .unwrap()
+            .table("d2", 500)
+            .col_key("d2_key")
+            .col_int("d2_attr", 20, 1, 20)
+            .finish()
+            .unwrap()
+            .build();
+        let facts = vec![FactMeta {
+            table: "fact".into(),
+            fks: vec![
+                FkEdge { fk_col: "fk_d1".into(), dim: "d1".into(), pk_col: "d1_key".into() },
+                FkEdge { fk_col: "fk_d2".into(), dim: "d2".into(), pk_col: "d2_key".into() },
+            ],
+            measures: vec!["amount".into(), "qty".into()],
+        }];
+        (catalog, facts)
+    }
+
+    #[test]
+    fn generated_templates_parse_and_bind() {
+        let (catalog, facts) = setup();
+        let gen = TemplateGenerator::new(&catalog, facts);
+        let mut rng = DetRng::seeded(1);
+        let binder = isum_sql::Binder::new(&catalog);
+        for class in [QueryClass::Spj, QueryClass::Aggregate, QueryClass::Complex] {
+            for _ in 0..20 {
+                let t = gen.generate(class, &mut rng);
+                let sql = t.instantiate(&mut rng);
+                let stmt = isum_sql::parse(&sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+                binder.bind(&stmt).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn instances_share_template_fingerprint() {
+        let (catalog, facts) = setup();
+        let gen = TemplateGenerator::new(&catalog, facts);
+        let mut rng = DetRng::seeded(2);
+        let t = gen.generate(QueryClass::Aggregate, &mut rng);
+        let s1 = t.instantiate(&mut rng);
+        let s2 = t.instantiate(&mut rng);
+        let f1 = isum_sql::fingerprint(&isum_sql::parse(&s1).unwrap());
+        let f2 = isum_sql::fingerprint(&isum_sql::parse(&s2).unwrap());
+        assert_eq!(f1, f2, "instances of one template must share a fingerprint");
+    }
+
+    #[test]
+    fn spj_templates_have_no_aggregates() {
+        let (catalog, facts) = setup();
+        let gen = TemplateGenerator::new(&catalog, facts);
+        let mut rng = DetRng::seeded(3);
+        for _ in 0..10 {
+            let t = gen.generate(QueryClass::Spj, &mut rng);
+            assert!(t.aggs.is_empty());
+            assert!(t.group_by.is_empty());
+        }
+    }
+
+    #[test]
+    fn complex_templates_join_more() {
+        let (catalog, facts) = setup();
+        let gen = TemplateGenerator::new(&catalog, facts);
+        let mut rng = DetRng::seeded(4);
+        let mut total_joins = 0;
+        for _ in 0..20 {
+            let t = gen.generate(QueryClass::Complex, &mut rng);
+            total_joins += t.joins.len() + t.semijoin.is_some() as usize;
+            assert!(!t.aggs.is_empty());
+        }
+        assert!(total_joins >= 30, "complex templates should average >1.5 joins");
+    }
+
+    #[test]
+    fn filter_rendering_respects_domains() {
+        let f = FilterSpec {
+            table: "t".into(),
+            column: "c".into(),
+            op: FilterOp::Range { width: 0.1 },
+            lo: 0.0,
+            hi: 100.0,
+            integral: true,
+        };
+        let mut rng = DetRng::seeded(5);
+        for _ in 0..50 {
+            let s = render_filter(&f, &mut rng);
+            assert!(s.starts_with("t.c BETWEEN "));
+            let nums: Vec<i64> = s
+                .split(&[' ', ','][..])
+                .filter_map(|w| w.parse().ok())
+                .collect();
+            assert_eq!(nums.len(), 2);
+            assert!(nums[0] >= 0 && nums[1] <= 100 && nums[0] <= nums[1]);
+        }
+    }
+}

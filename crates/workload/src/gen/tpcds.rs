@@ -1,0 +1,466 @@
+//! TPC-DS-shaped workload generator.
+//!
+//! Builds the 24-table TPC-DS schema (7 fact + 17 dimension tables with
+//! spec-plausible cardinalities at the given scale factor) and 91 synthetic
+//! templates generated from a fixed template seed, so the "TPC-DS templates"
+//! are stable across runs while instance parameters vary with the caller's
+//! seed. See DESIGN.md for why shape-matched synthesis preserves the
+//! evaluation's comparisons.
+
+use isum_catalog::{Catalog, CatalogBuilder};
+use isum_common::rng::DetRng;
+use isum_common::Result;
+
+use crate::gen::synth::{FactMeta, FkEdge, SyntheticTemplate, TemplateGenerator};
+use crate::query::{QueryClass, Workload};
+
+/// Seed fixing the 91 template structures (instances use the caller's seed).
+const TEMPLATE_SEED: u64 = 0xD5_2022;
+
+/// Number of TPC-DS templates (Table 2 of the paper: 91).
+pub const N_TEMPLATES: usize = 91;
+
+/// Builds the TPC-DS-shaped catalog at scale factor `sf`.
+///
+/// `skew > 0` Zipf-skews the fact-table value distributions — the DSB
+/// generator reuses this with `skew = 1.5`.
+pub fn tpcds_catalog(sf: u64, skew: f64) -> Catalog {
+    let sf = sf.max(1);
+    let mut b = CatalogBuilder::new();
+    // --- dimensions ---
+    b = b
+        .table("date_dim", 73_049)
+        .col_key("d_date_sk")
+        .col_int("d_year", 200, 1900, 2100)
+        .col_int("d_moy", 12, 1, 12)
+        .col_int("d_dom", 31, 1, 31)
+        .col_int("d_qoy", 4, 1, 4)
+        .finish()
+        .expect("unique tables")
+        .table("time_dim", 86_400)
+        .col_key("t_time_sk")
+        .col_int("t_hour", 24, 0, 23)
+        .col_int("t_minute", 60, 0, 59)
+        .finish()
+        .expect("unique tables")
+        .table("item", 102_000 * sf / 10)
+        .col_key("i_item_sk")
+        .col_int("i_brand_id", 1000, 1_000_000, 10_000_000)
+        .col_int("i_class_id", 16, 1, 16)
+        .col_int("i_category_id", 10, 1, 10)
+        .col_int("i_manufact_id", 1000, 1, 1000)
+        .col_float("i_current_price", 100, 0.09, 99.99)
+        .finish()
+        .expect("unique tables")
+        .table("customer", 650_000 * sf / 10)
+        .col_key("c_customer_sk")
+        .col_int("c_current_cdemo_sk", 1_920_800, 1, 1_920_800)
+        .col_int("c_current_hdemo_sk", 7200, 1, 7200)
+        .col_int("c_current_addr_sk", 325_000 * sf / 10, 1, (325_000 * sf / 10) as i64)
+        .col_int("c_birth_year", 69, 1924, 1992)
+        .finish()
+        .expect("unique tables")
+        .table("customer_address", 325_000 * sf / 10)
+        .col_key("ca_address_sk")
+        .col_text("ca_state", 51, 2)
+        .col_int("ca_gmt_offset", 7, -10, -4)
+        .finish()
+        .expect("unique tables")
+        .table("customer_demographics", 1_920_800)
+        .col_key("cd_demo_sk")
+        .col_text("cd_gender", 2, 1)
+        .col_text("cd_marital_status", 5, 1)
+        .col_text("cd_education_status", 7, 15)
+        .col_int("cd_dep_count", 7, 0, 6)
+        .finish()
+        .expect("unique tables")
+        .table("household_demographics", 7200)
+        .col_key("hd_demo_sk")
+        .col_int("hd_income_band_sk", 20, 1, 20)
+        .col_int("hd_dep_count", 10, 0, 9)
+        .col_int("hd_vehicle_count", 6, -1, 4)
+        .finish()
+        .expect("unique tables")
+        .table("store", 502 * sf / 10)
+        .col_key("s_store_sk")
+        .col_int("s_number_employees", 100, 200, 300)
+        .col_float("s_tax_percentage", 12, 0.0, 0.11)
+        .col_text("s_state", 30, 2)
+        .finish()
+        .expect("unique tables")
+        .table("warehouse", 10)
+        .col_key("w_warehouse_sk")
+        .col_int("w_warehouse_sq_ft", 10, 50_000, 1_000_000)
+        .finish()
+        .expect("unique tables")
+        .table("promotion", 500)
+        .col_key("p_promo_sk")
+        .col_int("p_response_target", 1, 1, 1)
+        .col_text("p_channel_dmail", 2, 1)
+        .finish()
+        .expect("unique tables")
+        .table("ship_mode", 20)
+        .col_key("sm_ship_mode_sk")
+        .col_text("sm_type", 6, 30)
+        .finish()
+        .expect("unique tables")
+        .table("reason", 45)
+        .col_key("r_reason_sk")
+        .finish()
+        .expect("unique tables")
+        .table("income_band", 20)
+        .col_key("ib_income_band_sk")
+        .col_int("ib_lower_bound", 20, 0, 190_001)
+        .finish()
+        .expect("unique tables")
+        .table("call_center", 24)
+        .col_key("cc_call_center_sk")
+        .col_int("cc_employees", 22, 2935, 69_020)
+        .finish()
+        .expect("unique tables")
+        .table("catalog_page", 12_000 * sf / 10)
+        .col_key("cp_catalog_page_sk")
+        .col_int("cp_catalog_number", 109, 1, 109)
+        .finish()
+        .expect("unique tables")
+        .table("web_site", 42)
+        .col_key("web_site_sk")
+        .finish()
+        .expect("unique tables")
+        .table("web_page", 2040)
+        .col_key("wp_web_page_sk")
+        .col_int("wp_char_count", 2000, 303, 8523)
+        .finish()
+        .expect("unique tables");
+
+    // --- facts --- (rows at sf; value columns optionally skewed)
+    let item_ndv = 102_000 * sf / 10;
+    let cust_ndv = 650_000 * sf / 10;
+    let store_ndv = 502 * sf / 10;
+    let fact = |b: CatalogBuilder,
+                name: &str,
+                rows: u64,
+                fks: &[(&str, u64)],
+                measures: &[&str]|
+     -> CatalogBuilder {
+        let mut tb = b.table(name, rows);
+        for (col, ndv) in fks {
+            tb = tb.col_int(col, *ndv, 1, *ndv as i64);
+        }
+        for m in measures {
+            tb = if skew > 0.0 {
+                tb.col_int_skewed(m, 10_000, 0, 20_000, skew)
+            } else {
+                tb.col_int(m, 10_000, 0, 20_000)
+            };
+        }
+        tb.finish().expect("unique tables")
+    };
+    b = fact(
+        b,
+        "store_sales",
+        2_880_000 * sf,
+        &[
+            ("ss_sold_date_sk", 73_049),
+            ("ss_item_sk", item_ndv),
+            ("ss_customer_sk", cust_ndv),
+            ("ss_cdemo_sk", 1_920_800),
+            ("ss_hdemo_sk", 7200),
+            ("ss_store_sk", store_ndv),
+            ("ss_promo_sk", 500),
+        ],
+        &["ss_quantity", "ss_sales_price", "ss_ext_sales_price", "ss_net_profit"],
+    );
+    b = fact(
+        b,
+        "store_returns",
+        288_000 * sf,
+        &[
+            ("sr_returned_date_sk", 73_049),
+            ("sr_item_sk", item_ndv),
+            ("sr_customer_sk", cust_ndv),
+            ("sr_store_sk", store_ndv),
+            ("sr_reason_sk", 45),
+        ],
+        &["sr_return_quantity", "sr_return_amt"],
+    );
+    b = fact(
+        b,
+        "catalog_sales",
+        1_440_000 * sf,
+        &[
+            ("cs_sold_date_sk", 73_049),
+            ("cs_item_sk", item_ndv),
+            ("cs_bill_customer_sk", cust_ndv),
+            ("cs_call_center_sk", 24),
+            ("cs_catalog_page_sk", 12_000 * sf / 10),
+            ("cs_ship_mode_sk", 20),
+            ("cs_warehouse_sk", 10),
+        ],
+        &["cs_quantity", "cs_sales_price", "cs_ext_sales_price", "cs_net_profit"],
+    );
+    b = fact(
+        b,
+        "catalog_returns",
+        144_000 * sf,
+        &[
+            ("cr_returned_date_sk", 73_049),
+            ("cr_item_sk", item_ndv),
+            ("cr_refunded_customer_sk", cust_ndv),
+            ("cr_reason_sk", 45),
+        ],
+        &["cr_return_quantity", "cr_return_amount"],
+    );
+    b = fact(
+        b,
+        "web_sales",
+        720_000 * sf,
+        &[
+            ("ws_sold_date_sk", 73_049),
+            ("ws_item_sk", item_ndv),
+            ("ws_bill_customer_sk", cust_ndv),
+            ("ws_web_page_sk", 2040),
+            ("ws_web_site_sk", 42),
+            ("ws_ship_mode_sk", 20),
+            ("ws_warehouse_sk", 10),
+        ],
+        &["ws_quantity", "ws_sales_price", "ws_ext_sales_price", "ws_net_profit"],
+    );
+    b = fact(
+        b,
+        "web_returns",
+        72_000 * sf,
+        &[
+            ("wr_returned_date_sk", 73_049),
+            ("wr_item_sk", item_ndv),
+            ("wr_refunded_customer_sk", cust_ndv),
+            ("wr_reason_sk", 45),
+        ],
+        &["wr_return_quantity", "wr_return_amt"],
+    );
+    b = fact(
+        b,
+        "inventory",
+        11_745_000 * sf,
+        &[
+            ("inv_date_sk", 73_049),
+            ("inv_item_sk", item_ndv),
+            ("inv_warehouse_sk", 10),
+        ],
+        &["inv_quantity_on_hand"],
+    );
+    b.build()
+}
+
+/// Fact-table metadata for the TPC-DS schema (shared with DSB).
+pub fn tpcds_fact_meta() -> Vec<FactMeta> {
+    let edge = |fk: &str, dim: &str, pk: &str| FkEdge {
+        fk_col: fk.into(),
+        dim: dim.into(),
+        pk_col: pk.into(),
+    };
+    vec![
+        FactMeta {
+            table: "store_sales".into(),
+            fks: vec![
+                edge("ss_sold_date_sk", "date_dim", "d_date_sk"),
+                edge("ss_item_sk", "item", "i_item_sk"),
+                edge("ss_customer_sk", "customer", "c_customer_sk"),
+                edge("ss_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+                edge("ss_hdemo_sk", "household_demographics", "hd_demo_sk"),
+                edge("ss_store_sk", "store", "s_store_sk"),
+                edge("ss_promo_sk", "promotion", "p_promo_sk"),
+            ],
+            measures: vec![
+                "ss_quantity".into(),
+                "ss_sales_price".into(),
+                "ss_ext_sales_price".into(),
+                "ss_net_profit".into(),
+            ],
+        },
+        FactMeta {
+            table: "store_returns".into(),
+            fks: vec![
+                edge("sr_returned_date_sk", "date_dim", "d_date_sk"),
+                edge("sr_item_sk", "item", "i_item_sk"),
+                edge("sr_customer_sk", "customer", "c_customer_sk"),
+                edge("sr_store_sk", "store", "s_store_sk"),
+                edge("sr_reason_sk", "reason", "r_reason_sk"),
+            ],
+            measures: vec!["sr_return_quantity".into(), "sr_return_amt".into()],
+        },
+        FactMeta {
+            table: "catalog_sales".into(),
+            fks: vec![
+                edge("cs_sold_date_sk", "date_dim", "d_date_sk"),
+                edge("cs_item_sk", "item", "i_item_sk"),
+                edge("cs_bill_customer_sk", "customer", "c_customer_sk"),
+                edge("cs_call_center_sk", "call_center", "cc_call_center_sk"),
+                edge("cs_catalog_page_sk", "catalog_page", "cp_catalog_page_sk"),
+                edge("cs_ship_mode_sk", "ship_mode", "sm_ship_mode_sk"),
+                edge("cs_warehouse_sk", "warehouse", "w_warehouse_sk"),
+            ],
+            measures: vec![
+                "cs_quantity".into(),
+                "cs_sales_price".into(),
+                "cs_ext_sales_price".into(),
+                "cs_net_profit".into(),
+            ],
+        },
+        FactMeta {
+            table: "catalog_returns".into(),
+            fks: vec![
+                edge("cr_returned_date_sk", "date_dim", "d_date_sk"),
+                edge("cr_item_sk", "item", "i_item_sk"),
+                edge("cr_refunded_customer_sk", "customer", "c_customer_sk"),
+                edge("cr_reason_sk", "reason", "r_reason_sk"),
+            ],
+            measures: vec!["cr_return_quantity".into(), "cr_return_amount".into()],
+        },
+        FactMeta {
+            table: "web_sales".into(),
+            fks: vec![
+                edge("ws_sold_date_sk", "date_dim", "d_date_sk"),
+                edge("ws_item_sk", "item", "i_item_sk"),
+                edge("ws_bill_customer_sk", "customer", "c_customer_sk"),
+                edge("ws_web_page_sk", "web_page", "wp_web_page_sk"),
+                edge("ws_web_site_sk", "web_site", "web_site_sk"),
+                edge("ws_ship_mode_sk", "ship_mode", "sm_ship_mode_sk"),
+                edge("ws_warehouse_sk", "warehouse", "w_warehouse_sk"),
+            ],
+            measures: vec![
+                "ws_quantity".into(),
+                "ws_sales_price".into(),
+                "ws_ext_sales_price".into(),
+                "ws_net_profit".into(),
+            ],
+        },
+        FactMeta {
+            table: "web_returns".into(),
+            fks: vec![
+                edge("wr_returned_date_sk", "date_dim", "d_date_sk"),
+                edge("wr_item_sk", "item", "i_item_sk"),
+                edge("wr_refunded_customer_sk", "customer", "c_customer_sk"),
+                edge("wr_reason_sk", "reason", "r_reason_sk"),
+            ],
+            measures: vec!["wr_return_quantity".into(), "wr_return_amt".into()],
+        },
+        FactMeta {
+            table: "inventory".into(),
+            fks: vec![
+                edge("inv_date_sk", "date_dim", "d_date_sk"),
+                edge("inv_item_sk", "item", "i_item_sk"),
+                edge("inv_warehouse_sk", "warehouse", "w_warehouse_sk"),
+            ],
+            measures: vec!["inv_quantity_on_hand".into()],
+        },
+    ]
+}
+
+/// Generates the fixed set of TPC-DS templates over a catalog, with the
+/// class mix of the real benchmark (roughly 1/5 SPJ-ish reporting, 1/3
+/// aggregation, the rest complex).
+pub fn tpcds_templates(catalog: &Catalog, n: usize) -> Vec<SyntheticTemplate> {
+    let gen = TemplateGenerator::new(catalog, tpcds_fact_meta());
+    let mut rng = DetRng::seeded(TEMPLATE_SEED);
+    (0..n)
+        .map(|i| {
+            let class = match i % 10 {
+                0 | 1 => QueryClass::Spj,
+                2..=4 => QueryClass::Aggregate,
+                _ => QueryClass::Complex,
+            };
+            gen.generate(class, &mut rng)
+        })
+        .collect()
+}
+
+/// Generates a TPC-DS-shaped workload of `n_queries` instances over the 91
+/// templates (round-robin assignment, parameters from `seed`). The first
+/// [`crate::gen::tpcds_templates::N_HAND_WRITTEN`] templates are faithful
+/// adaptations of real TPC-DS queries; the rest are structurally
+/// synthesized.
+///
+/// # Errors
+/// Propagates parse/bind errors (generator bugs, not user error).
+pub fn tpcds_workload(sf: u64, n_queries: usize, seed: u64) -> Result<Workload> {
+    use crate::gen::tpcds_templates::{instantiate as hand_written, N_HAND_WRITTEN};
+    let catalog = tpcds_catalog(sf, 0.0);
+    let synthetic = tpcds_templates(&catalog, N_TEMPLATES - N_HAND_WRITTEN);
+    let mut rng = DetRng::seeded(seed);
+    let sqls: Vec<String> = (0..n_queries)
+        .map(|i| {
+            let t = i % N_TEMPLATES;
+            if t < N_HAND_WRITTEN {
+                hand_written(t, &mut rng)
+            } else {
+                synthetic[t - N_HAND_WRITTEN].instantiate(&mut rng)
+            }
+        })
+        .collect();
+    Workload::from_sql(catalog, &sqls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_24_tables() {
+        let c = tpcds_catalog(10, 0.0);
+        assert_eq!(c.len(), 24);
+        assert_eq!(c.table(c.table_id("store_sales").unwrap()).row_count, 28_800_000);
+    }
+
+    #[test]
+    fn workload_has_91_templates() {
+        let w = tpcds_workload(10, 182, 5).unwrap();
+        assert_eq!(w.len(), 182);
+        // All 91 appear twice; a handful may collide to identical
+        // fingerprints, so allow small slack.
+        assert!(w.template_count() >= 85, "got {}", w.template_count());
+    }
+
+    #[test]
+    fn fact_meta_matches_catalog() {
+        let c = tpcds_catalog(10, 0.0);
+        for f in tpcds_fact_meta() {
+            let tid = c.table_id(&f.table).expect("fact exists");
+            let t = c.table(tid);
+            for e in &f.fks {
+                assert!(t.column_id(&e.fk_col).is_some(), "{}.{}", f.table, e.fk_col);
+                let dim = c.table(c.table_id(&e.dim).expect("dim exists"));
+                assert!(dim.column_id(&e.pk_col).is_some(), "{}.{}", e.dim, e.pk_col);
+            }
+            for m in &f.measures {
+                assert!(t.column_id(m).is_some(), "{}.{m}", f.table);
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_catalog_differs_in_histograms() {
+        let flat = tpcds_catalog(10, 0.0);
+        let skew = tpcds_catalog(10, 1.5);
+        let t = flat.table(flat.table_id("store_sales").unwrap());
+        let cid = t.column_id("ss_quantity").unwrap();
+        let hf = t.column(cid).stats.histogram.as_ref().unwrap();
+        let ts = skew.table(skew.table_id("store_sales").unwrap());
+        let hs = ts.column(cid).stats.histogram.as_ref().unwrap();
+        assert!(
+            hs.selectivity_range(Some(0.0), Some(2000.0))
+                > hf.selectivity_range(Some(0.0), Some(2000.0))
+        );
+    }
+
+    #[test]
+    fn templates_are_stable_across_calls() {
+        let c = tpcds_catalog(10, 0.0);
+        let a = tpcds_templates(&c, 10);
+        let b = tpcds_templates(&c, 10);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.fact, y.fact);
+            assert_eq!(x.joins.len(), y.joins.len());
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! TPC-H workload generator: the real 8-table schema (statistics scaled by
+//! scale factor) and the 22 query templates, adapted to this crate's SQL
+//! subset, with per-instance parameter bindings drawn per the TPC-H
+//! specification's substitution rules.
+
+use isum_catalog::{Catalog, CatalogBuilder};
+use isum_common::rng::DetRng;
+use isum_common::Result;
+
+use crate::query::Workload;
+
+/// First day of the TPC-H date domain (1992-01-01) as days since epoch.
+pub const DATE_MIN: i64 = 8035;
+/// Last day of the TPC-H date domain (1998-12-31).
+pub const DATE_MAX: i64 = 10_591;
+
+/// Builds the TPC-H catalog at scale factor `sf` (row counts and distinct
+/// counts follow the specification; only benchmark-relevant columns are
+/// modeled).
+pub fn tpch_catalog(sf: u64) -> Catalog {
+    let sf = sf.max(1);
+    CatalogBuilder::new()
+        .table("region", 5)
+        .col_key("r_regionkey")
+        .col_text("r_name", 5, 12)
+        .finish()
+        .expect("fresh catalog")
+        .table("nation", 25)
+        .col_key("n_nationkey")
+        .col_text("n_name", 25, 12)
+        .col_int("n_regionkey", 5, 0, 4)
+        .finish()
+        .expect("unique tables")
+        .table("supplier", 10_000 * sf)
+        .col_key("s_suppkey")
+        .col_text("s_name", 10_000 * sf, 18)
+        .col_int("s_nationkey", 25, 0, 24)
+        .col_float("s_acctbal", 9_000, -1_000.0, 10_000.0)
+        .col_text("s_comment", 10_000 * sf, 62)
+        .finish()
+        .expect("unique tables")
+        .table("customer", 150_000 * sf)
+        .col_key("c_custkey")
+        .col_text("c_name", 150_000 * sf, 18)
+        .col_int("c_nationkey", 25, 0, 24)
+        .col_text("c_phone", 150_000 * sf, 15)
+        .col_float("c_acctbal", 11_000, -1_000.0, 10_000.0)
+        .col_text("c_mktsegment", 5, 10)
+        .col_text("c_comment", 150_000 * sf, 72)
+        .finish()
+        .expect("unique tables")
+        .table("part", 200_000 * sf)
+        .col_key("p_partkey")
+        .col_text("p_name", 200_000 * sf, 32)
+        .col_text("p_mfgr", 5, 25)
+        .col_text("p_brand", 25, 10)
+        .col_text("p_type", 150, 20)
+        .col_int("p_size", 50, 1, 50)
+        .col_text("p_container", 40, 10)
+        .col_float("p_retailprice", 100_000, 900.0, 2_100.0)
+        .finish()
+        .expect("unique tables")
+        .table("partsupp", 800_000 * sf)
+        .col_int("ps_partkey", 200_000 * sf, 1, (200_000 * sf) as i64)
+        .col_int("ps_suppkey", 10_000 * sf, 1, (10_000 * sf) as i64)
+        .col_int("ps_availqty", 9_999, 1, 9_999)
+        .col_float("ps_supplycost", 99_901, 1.0, 1_000.0)
+        .finish()
+        .expect("unique tables")
+        .table("orders", 1_500_000 * sf)
+        .col_key("o_orderkey")
+        .col_int("o_custkey", 99_996 * sf, 1, (150_000 * sf) as i64)
+        .col_text("o_orderstatus", 3, 1)
+        .col_float("o_totalprice", 1_400_000, 850.0, 560_000.0)
+        .col_date("o_orderdate", DATE_MIN, DATE_MAX - 151)
+        .col_text("o_orderpriority", 5, 15)
+        .col_int("o_shippriority", 1, 0, 0)
+        .col_text("o_comment", 1_500_000 * sf, 48)
+        .finish()
+        .expect("unique tables")
+        .table("lineitem", 6_000_000 * sf)
+        .col_int("l_orderkey", 1_500_000 * sf, 1, (1_500_000 * sf) as i64)
+        .col_int("l_partkey", 200_000 * sf, 1, (200_000 * sf) as i64)
+        .col_int("l_suppkey", 10_000 * sf, 1, (10_000 * sf) as i64)
+        .col_int("l_linenumber", 7, 1, 7)
+        .col_float("l_quantity", 50, 1.0, 50.0)
+        .col_float("l_extendedprice", 933_900, 900.0, 104_950.0)
+        .col_float("l_discount", 11, 0.0, 0.1)
+        .col_float("l_tax", 9, 0.0, 0.08)
+        .col_text("l_returnflag", 3, 1)
+        .col_text("l_linestatus", 2, 1)
+        .col_date("l_shipdate", DATE_MIN, DATE_MAX - 30)
+        .col_date("l_commitdate", DATE_MIN, DATE_MAX - 60)
+        .col_date("l_receiptdate", DATE_MIN + 1, DATE_MAX)
+        .col_text("l_shipmode", 7, 10)
+        .col_text("l_comment", 4_500_000 * sf, 27)
+        .finish()
+        .expect("unique tables")
+        .build()
+}
+
+/// Generates a TPC-H workload of `n_queries` instances over the 22 templates
+/// (template for instance `i` is `i % 22`, mirroring qgen's stream
+/// round-robin), with deterministic parameter substitution from `seed`.
+///
+/// # Errors
+/// Propagates parse/bind errors (a bug in the templates, not user error).
+pub fn tpch_workload(sf: u64, n_queries: usize, seed: u64) -> Result<Workload> {
+    let catalog = tpch_catalog(sf);
+    let mut rng = DetRng::seeded(seed);
+    let sqls: Vec<String> =
+        (0..n_queries).map(|i| instantiate_template(i % 22 + 1, &mut rng)).collect();
+    Workload::from_sql(catalog, &sqls)
+}
+
+/// Renders one instance of TPC-H query template `qno` (1-based, 1..=22).
+///
+/// # Panics
+/// Panics if `qno` is outside `1..=22`.
+pub fn instantiate_template(qno: usize, rng: &mut DetRng) -> String {
+    match qno {
+        1 => q1(rng),
+        2 => q2(rng),
+        3 => q3(rng),
+        4 => q4(rng),
+        5 => q5(rng),
+        6 => q6(rng),
+        7 => q7(rng),
+        8 => q8(rng),
+        9 => q9(rng),
+        10 => q10(rng),
+        11 => q11(rng),
+        12 => q12(rng),
+        13 => q13(rng),
+        14 => q14(rng),
+        15 => q15(rng),
+        16 => q16(rng),
+        17 => q17(rng),
+        18 => q18(rng),
+        19 => q19(rng),
+        20 => q20(rng),
+        21 => q21(rng),
+        22 => q22(rng),
+        other => panic!("TPC-H has 22 templates, got {other}"),
+    }
+}
+
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const NATIONS: [&str; 25] = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+];
+const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const TYPES_SYL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const CONTAINERS: [&str; 8] =
+    ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG", "WRAP JAR"];
+const COLORS: [&str; 10] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush",
+];
+
+fn date(rng: &mut DetRng, lo: i64, hi: i64) -> String {
+    let d = rng.range_inclusive(lo, hi);
+    format!("DATE '{}'", isum_sql::dates::days_to_iso(d))
+}
+
+fn brand(rng: &mut DetRng) -> String {
+    format!("Brand#{}{}", rng.range_inclusive(1, 5), rng.range_inclusive(1, 5))
+}
+
+fn q1(rng: &mut DetRng) -> String {
+    let delta = rng.range_inclusive(60, 120);
+    format!(
+        "SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty, \
+         sum(l_extendedprice) AS sum_base_price, avg(l_discount) AS avg_disc, count(*) AS count_order \
+         FROM lineitem WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '{delta}' DAY \
+         GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus"
+    )
+}
+
+fn q2(rng: &mut DetRng) -> String {
+    let size = rng.range_inclusive(1, 50);
+    let syl = rng.pick(&TYPES_SYL3);
+    let region = rng.pick(&REGIONS);
+    format!(
+        "SELECT s_acctbal, s_name, n_name, p_partkey FROM part, supplier, partsupp, nation, region \
+         WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey AND p_size = {size} \
+         AND p_type LIKE '%{syl}' AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey \
+         AND r_name = '{region}' AND ps_supplycost = \
+         (SELECT min(ps2.ps_supplycost) FROM partsupp ps2, supplier s2, nation n2, region r2 \
+          WHERE p_partkey = ps2.ps_partkey AND s2.s_suppkey = ps2.ps_suppkey \
+          AND s2.s_nationkey = n2.n_nationkey AND n2.n_regionkey = r2.r_regionkey \
+          AND r2.r_name = '{region}') \
+         ORDER BY s_acctbal DESC, n_name, s_name, p_partkey LIMIT 100"
+    )
+}
+
+fn q3(rng: &mut DetRng) -> String {
+    let seg = rng.pick(&SEGMENTS);
+    let d = date(rng, 9131, 9160); // March 1995
+    format!(
+        "SELECT l_orderkey, sum(l_extendedprice) AS revenue, o_orderdate, o_shippriority \
+         FROM customer, orders, lineitem \
+         WHERE c_mktsegment = '{seg}' AND c_custkey = o_custkey AND l_orderkey = o_orderkey \
+         AND o_orderdate < {d} AND l_shipdate > {d} \
+         GROUP BY l_orderkey, o_orderdate, o_shippriority \
+         ORDER BY o_orderdate LIMIT 10"
+    )
+}
+
+fn q4(rng: &mut DetRng) -> String {
+    let lo = rng.range_inclusive(8035, 10_400);
+    let d1 = format!("DATE '{}'", isum_sql::dates::days_to_iso(lo));
+    let d2 = format!("DATE '{}'", isum_sql::dates::days_to_iso(lo + 90));
+    format!(
+        "SELECT o_orderpriority, count(*) AS order_count FROM orders \
+         WHERE o_orderdate >= {d1} AND o_orderdate < {d2} AND EXISTS \
+         (SELECT * FROM lineitem WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate) \
+         GROUP BY o_orderpriority ORDER BY o_orderpriority"
+    )
+}
+
+fn q5(rng: &mut DetRng) -> String {
+    let region = rng.pick(&REGIONS);
+    let year = rng.range_inclusive(1993, 1997);
+    let d1 = isum_sql::dates::ymd_to_days(year, 1, 1).expect("valid date");
+    format!(
+        "SELECT n_name, sum(l_extendedprice) AS revenue \
+         FROM customer, orders, lineitem, supplier, nation, region \
+         WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = s_suppkey \
+         AND c_nationkey = s_nationkey AND s_nationkey = n_nationkey \
+         AND n_regionkey = r_regionkey AND r_name = '{region}' \
+         AND o_orderdate >= DATE '{}' AND o_orderdate < DATE '{}' \
+         GROUP BY n_name ORDER BY revenue DESC",
+        isum_sql::dates::days_to_iso(d1),
+        isum_sql::dates::days_to_iso(d1 + 365),
+    )
+}
+
+fn q6(rng: &mut DetRng) -> String {
+    let year = rng.range_inclusive(1993, 1997);
+    let discount = rng.range_inclusive(2, 9) as f64 / 100.0;
+    let qty = rng.range_inclusive(24, 25);
+    let d1 = isum_sql::dates::ymd_to_days(year, 1, 1).expect("valid date");
+    format!(
+        "SELECT sum(l_extendedprice * l_discount) AS revenue FROM lineitem \
+         WHERE l_shipdate >= DATE '{}' AND l_shipdate < DATE '{}' \
+         AND l_discount BETWEEN {} AND {} AND l_quantity < {qty}",
+        isum_sql::dates::days_to_iso(d1),
+        isum_sql::dates::days_to_iso(d1 + 365),
+        discount - 0.01,
+        discount + 0.01,
+    )
+}
+
+fn q7(rng: &mut DetRng) -> String {
+    let n1 = rng.pick(&NATIONS);
+    let n2 = rng.pick(&NATIONS);
+    format!(
+        "SELECT n1.n_name, n2.n_name, sum(l_extendedprice) AS revenue \
+         FROM supplier, lineitem, orders, customer, nation n1, nation n2 \
+         WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND c_custkey = o_custkey \
+         AND s_nationkey = n1.n_nationkey AND c_nationkey = n2.n_nationkey \
+         AND n1.n_name = '{n1}' AND n2.n_name = '{n2}' \
+         AND l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31' \
+         GROUP BY n1.n_name, n2.n_name ORDER BY n1.n_name, n2.n_name"
+    )
+}
+
+fn q8(rng: &mut DetRng) -> String {
+    let nation = rng.pick(&NATIONS);
+    let region = rng.pick(&REGIONS);
+    let syl = rng.pick(&TYPES_SYL3);
+    format!(
+        "SELECT o_orderdate, sum(l_extendedprice) AS volume \
+         FROM part, supplier, lineitem, orders, customer, nation n1, nation n2, region \
+         WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey AND l_orderkey = o_orderkey \
+         AND o_custkey = c_custkey AND c_nationkey = n1.n_nationkey \
+         AND n1.n_regionkey = r_regionkey AND r_name = '{region}' \
+         AND s_nationkey = n2.n_nationkey AND n2.n_name = '{nation}' \
+         AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31' \
+         AND p_type LIKE '%{syl}' \
+         GROUP BY o_orderdate ORDER BY o_orderdate"
+    )
+}
+
+fn q9(rng: &mut DetRng) -> String {
+    let color = rng.pick(&COLORS);
+    format!(
+        "SELECT n_name, o_orderdate, sum(l_extendedprice) AS amount \
+         FROM part, supplier, lineitem, partsupp, orders, nation \
+         WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey AND ps_partkey = l_partkey \
+         AND p_partkey = l_partkey AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey \
+         AND p_name LIKE '%{color}%' \
+         GROUP BY n_name, o_orderdate ORDER BY n_name, o_orderdate DESC"
+    )
+}
+
+fn q10(rng: &mut DetRng) -> String {
+    let lo = rng.range_inclusive(8400, 10_200);
+    format!(
+        "SELECT c_custkey, c_name, sum(l_extendedprice) AS revenue, c_acctbal, n_name \
+         FROM customer, orders, lineitem, nation \
+         WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey \
+         AND o_orderdate >= DATE '{}' AND o_orderdate < DATE '{}' \
+         AND l_returnflag = 'R' AND c_nationkey = n_nationkey \
+         GROUP BY c_custkey, c_name, c_acctbal, n_name \
+         ORDER BY revenue DESC LIMIT 20",
+        isum_sql::dates::days_to_iso(lo),
+        isum_sql::dates::days_to_iso(lo + 90),
+    )
+}
+
+fn q11(rng: &mut DetRng) -> String {
+    let nation = rng.pick(&NATIONS);
+    let frac = rng.range_inclusive(1, 10) as f64 * 1e-5;
+    format!(
+        "SELECT ps_partkey, sum(ps_supplycost * ps_availqty) AS value \
+         FROM partsupp, supplier, nation \
+         WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = '{nation}' \
+         GROUP BY ps_partkey HAVING sum(ps_supplycost * ps_availqty) > {} \
+         ORDER BY value DESC",
+        frac * 7e9,
+    )
+}
+
+fn q12(rng: &mut DetRng) -> String {
+    let m1 = rng.pick(&MODES);
+    let m2 = rng.pick(&MODES);
+    let year = rng.range_inclusive(1993, 1997);
+    let d1 = isum_sql::dates::ymd_to_days(year, 1, 1).expect("valid date");
+    format!(
+        "SELECT l_shipmode, count(*) AS line_count FROM orders, lineitem \
+         WHERE o_orderkey = l_orderkey AND l_shipmode IN ('{m1}', '{m2}') \
+         AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate \
+         AND l_receiptdate >= DATE '{}' AND l_receiptdate < DATE '{}' \
+         GROUP BY l_shipmode ORDER BY l_shipmode",
+        isum_sql::dates::days_to_iso(d1),
+        isum_sql::dates::days_to_iso(d1 + 365),
+    )
+}
+
+fn q13(rng: &mut DetRng) -> String {
+    let word = rng.pick(&["special", "pending", "unusual", "express"]);
+    format!(
+        "SELECT c_custkey, count(o_orderkey) AS c_count \
+         FROM customer LEFT JOIN orders ON c_custkey = o_custkey \
+         AND o_comment NOT LIKE '%{word}%requests%' \
+         GROUP BY c_custkey ORDER BY c_count DESC"
+    )
+}
+
+fn q14(rng: &mut DetRng) -> String {
+    let lo = rng.range_inclusive(8400, 10_300);
+    format!(
+        "SELECT sum(CASE WHEN p_type LIKE 'PROMO%' THEN l_extendedprice ELSE 0 END) AS promo_revenue \
+         FROM lineitem, part WHERE l_partkey = p_partkey \
+         AND l_shipdate >= DATE '{}' AND l_shipdate < DATE '{}'",
+        isum_sql::dates::days_to_iso(lo),
+        isum_sql::dates::days_to_iso(lo + 30),
+    )
+}
+
+fn q15(rng: &mut DetRng) -> String {
+    let lo = rng.range_inclusive(8400, 10_300);
+    format!(
+        "SELECT s_suppkey, s_name, sum(l_extendedprice) AS total_revenue \
+         FROM supplier, lineitem WHERE s_suppkey = l_suppkey \
+         AND l_shipdate >= DATE '{}' AND l_shipdate < DATE '{}' \
+         GROUP BY s_suppkey, s_name ORDER BY total_revenue DESC LIMIT 1",
+        isum_sql::dates::days_to_iso(lo),
+        isum_sql::dates::days_to_iso(lo + 90),
+    )
+}
+
+fn q16(rng: &mut DetRng) -> String {
+    let b = brand(rng);
+    let syl = rng.pick(&TYPES_SYL3);
+    let sizes: Vec<String> =
+        rng.sample_indices(50, 8).into_iter().map(|s| (s + 1).to_string()).collect();
+    format!(
+        "SELECT p_brand, p_type, p_size, count(DISTINCT ps_suppkey) AS supplier_cnt \
+         FROM partsupp, part WHERE p_partkey = ps_partkey AND p_brand <> '{b}' \
+         AND p_type NOT LIKE '{syl}%' AND p_size IN ({}) \
+         AND ps_suppkey NOT IN (SELECT s_suppkey FROM supplier WHERE s_comment LIKE '%Complaints%') \
+         GROUP BY p_brand, p_type, p_size ORDER BY supplier_cnt DESC",
+        sizes.join(", "),
+    )
+}
+
+fn q17(rng: &mut DetRng) -> String {
+    let b = brand(rng);
+    let container = rng.pick(&CONTAINERS);
+    format!(
+        "SELECT sum(l_extendedprice) AS avg_yearly FROM lineitem, part \
+         WHERE p_partkey = l_partkey AND p_brand = '{b}' AND p_container = '{container}' \
+         AND l_quantity < (SELECT avg(l2.l_quantity) FROM lineitem l2 \
+                           WHERE l2.l_partkey = p_partkey)"
+    )
+}
+
+fn q18(rng: &mut DetRng) -> String {
+    let qty = rng.range_inclusive(312, 315);
+    format!(
+        "SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice \
+         FROM customer, orders, lineitem \
+         WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem GROUP BY l_orderkey \
+                              HAVING sum(l_quantity) > {qty}) \
+         AND c_custkey = o_custkey AND o_orderkey = l_orderkey \
+         GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice \
+         ORDER BY o_totalprice DESC, o_orderdate LIMIT 100"
+    )
+}
+
+fn q19(rng: &mut DetRng) -> String {
+    let (b1, b2, b3) = (brand(rng), brand(rng), brand(rng));
+    let q1 = rng.range_inclusive(1, 10);
+    let q2 = rng.range_inclusive(10, 20);
+    let q3 = rng.range_inclusive(20, 30);
+    format!(
+        "SELECT sum(l_extendedprice) AS revenue FROM lineitem, part \
+         WHERE (p_partkey = l_partkey AND p_brand = '{b1}' AND p_container IN ('SM CASE', 'SM BOX') \
+                AND l_quantity BETWEEN {q1} AND {} AND p_size BETWEEN 1 AND 5 \
+                AND l_shipmode IN ('AIR', 'REG AIR')) \
+         OR (p_partkey = l_partkey AND p_brand = '{b2}' AND p_container IN ('MED BAG', 'MED BOX') \
+                AND l_quantity BETWEEN {q2} AND {} AND p_size BETWEEN 1 AND 10 \
+                AND l_shipmode IN ('AIR', 'REG AIR')) \
+         OR (p_partkey = l_partkey AND p_brand = '{b3}' AND p_container IN ('LG CASE', 'LG BOX') \
+                AND l_quantity BETWEEN {q3} AND {} AND p_size BETWEEN 1 AND 15 \
+                AND l_shipmode IN ('AIR', 'REG AIR'))",
+        q1 + 10,
+        q2 + 10,
+        q3 + 10,
+    )
+}
+
+fn q20(rng: &mut DetRng) -> String {
+    let color = rng.pick(&COLORS);
+    let nation = rng.pick(&NATIONS);
+    format!(
+        "SELECT s_name, s_acctbal FROM supplier, nation \
+         WHERE s_suppkey IN (SELECT ps_suppkey FROM partsupp \
+                             WHERE ps_partkey IN (SELECT p_partkey FROM part \
+                                                  WHERE p_name LIKE '{color}%') \
+                             AND ps_availqty > 100) \
+         AND s_nationkey = n_nationkey AND n_name = '{nation}' ORDER BY s_name"
+    )
+}
+
+fn q21(rng: &mut DetRng) -> String {
+    let nation = rng.pick(&NATIONS);
+    format!(
+        "SELECT s_name, count(*) AS numwait FROM supplier, lineitem l1, orders, nation \
+         WHERE s_suppkey = l1.l_suppkey AND o_orderkey = l1.l_orderkey AND o_orderstatus = 'F' \
+         AND l1.l_receiptdate > l1.l_commitdate \
+         AND EXISTS (SELECT * FROM lineitem l2 WHERE l2.l_orderkey = l1.l_orderkey \
+                     AND l2.l_suppkey <> l1.l_suppkey) \
+         AND NOT EXISTS (SELECT * FROM lineitem l3 WHERE l3.l_orderkey = l1.l_orderkey \
+                         AND l3.l_suppkey <> l1.l_suppkey \
+                         AND l3.l_receiptdate > l3.l_commitdate) \
+         AND s_nationkey = n_nationkey AND n_name = '{nation}' \
+         GROUP BY s_name ORDER BY numwait DESC, s_name LIMIT 100"
+    )
+}
+
+fn q22(rng: &mut DetRng) -> String {
+    let balance = rng.range_inclusive(0, 2000);
+    format!(
+        "SELECT c_custkey, c_acctbal FROM customer \
+         WHERE substring(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17') \
+         AND c_acctbal > {balance} \
+         AND NOT EXISTS (SELECT * FROM orders WHERE o_custkey = c_custkey) \
+         ORDER BY c_custkey"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryClass;
+
+    #[test]
+    fn catalog_has_eight_tables_with_published_cardinalities() {
+        let c = tpch_catalog(10);
+        assert_eq!(c.len(), 8);
+        let li = c.table(c.table_id("lineitem").unwrap());
+        assert_eq!(li.row_count, 60_000_000);
+        let orders = c.table(c.table_id("orders").unwrap());
+        assert_eq!(orders.row_count, 15_000_000);
+        assert!(li.column_id("l_shipdate").is_some());
+    }
+
+    #[test]
+    fn all_22_templates_parse_and_bind() {
+        let w = tpch_workload(1, 22, 42).expect("all templates must bind");
+        assert_eq!(w.len(), 22);
+        assert_eq!(w.template_count(), 22, "each of the 22 is a distinct template");
+    }
+
+    #[test]
+    fn instances_of_same_template_share_template_id() {
+        let w = tpch_workload(1, 44, 7).unwrap();
+        assert_eq!(w.template_count(), 22);
+        assert_eq!(w.queries[0].template, w.queries[22].template);
+        assert_ne!(w.queries[0].template, w.queries[1].template);
+        // Parameters differ between instances of the same template.
+        assert_ne!(w.queries[0].sql, w.queries[22].sql);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tpch_workload(1, 44, 9).unwrap();
+        let b = tpch_workload(1, 44, 9).unwrap();
+        assert_eq!(
+            a.queries.iter().map(|q| &q.sql).collect::<Vec<_>>(),
+            b.queries.iter().map(|q| &q.sql).collect::<Vec<_>>()
+        );
+        let c = tpch_workload(1, 44, 10).unwrap();
+        assert_ne!(a.queries[0].sql, c.queries[0].sql);
+    }
+
+    #[test]
+    fn classes_are_diverse() {
+        let w = tpch_workload(1, 22, 1).unwrap();
+        let agg = w.queries.iter().filter(|q| q.class == QueryClass::Aggregate).count();
+        let complex = w.queries.iter().filter(|q| q.class == QueryClass::Complex).count();
+        assert!(complex >= 10, "TPC-H is mostly complex, got {complex}");
+        assert!(agg + complex >= 20);
+    }
+
+    #[test]
+    fn q6_has_three_filters_no_joins() {
+        let mut rng = DetRng::seeded(3);
+        let sql = instantiate_template(6, &mut rng);
+        let w = tpch_workload(1, 0, 0).unwrap();
+        let stmt = isum_sql::parse(&sql).unwrap();
+        let bound = isum_sql::Binder::new(&w.catalog).bind(&stmt).unwrap();
+        assert!(bound.joins.is_empty());
+        assert_eq!(bound.tables.len(), 1);
+        assert!(bound.filters.len() >= 3);
+    }
+
+    #[test]
+    fn q5_joins_six_tables() {
+        let mut rng = DetRng::seeded(3);
+        let sql = instantiate_template(5, &mut rng);
+        let w = tpch_workload(1, 0, 0).unwrap();
+        let stmt = isum_sql::parse(&sql).unwrap();
+        let bound = isum_sql::Binder::new(&w.catalog).bind(&stmt).unwrap();
+        assert_eq!(bound.tables.len(), 6);
+        assert_eq!(bound.joins.len(), 6);
+    }
+}

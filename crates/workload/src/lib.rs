@@ -1,0 +1,23 @@
+//! Workload model and generators.
+//!
+//! A [`Workload`] is the unit every compression algorithm consumes: a catalog
+//! plus a list of [`QueryInfo`]s carrying the parsed/bound query, its
+//! template id, and its optimizer-estimated cost (Sec 2.2 of the paper: the
+//! input workload comes with costs, e.g. from Query Store). The
+//! [`indexable`] module extracts the indexable columns of Def 5 — filter,
+//! join, group-by, and order-by columns with their statistics — which feed
+//! both ISUM's featurization and the advisor's candidate generation.
+//!
+//! The [`gen`] module builds the four evaluation workloads of Table 2:
+//! TPC-H (real schema + 22 templates), TPC-DS-shaped, DSB-shaped (skewed,
+//! with SPJ/Aggregate/Complex classes), and Real-M-shaped (hundreds of small
+//! tables, near-unique templates).
+
+pub mod gen;
+pub mod indexable;
+pub mod loader;
+pub mod query;
+
+pub use indexable::{indexable_columns, ColumnPositions, IndexableColumn};
+pub use loader::load_script;
+pub use query::{CompressedWorkload, QueryClass, QueryInfo, Workload};

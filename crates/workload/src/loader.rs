@@ -1,0 +1,129 @@
+//! Loading workloads from SQL text and Query-Store-style logs.
+//!
+//! Production systems hand ISUM a batch of query texts plus their
+//! optimizer-estimated costs (Sec 2.2: "Many database systems typically log
+//! the plan details, e.g., Query Store"). This module parses
+//! `;`-separated SQL scripts and an optional `-- cost: <value>` annotation
+//! convention for carrying logged costs alongside each statement.
+
+use isum_catalog::Catalog;
+use isum_common::Result;
+
+use crate::query::Workload;
+
+/// Parses a `;`-separated SQL script into a workload. Statements may be
+/// preceded by `-- cost: <float>` comment lines carrying logged costs;
+/// unannotated statements get cost 0 (fill them via the optimizer's
+/// `populate_costs`).
+///
+/// # Errors
+/// Propagates parse/bind errors with the failing statement index.
+pub fn load_script(catalog: Catalog, script: &str) -> Result<Workload> {
+    let (sqls, costs) = split_script(script);
+    let mut w = Workload::from_sql(catalog, &sqls)?;
+    for (q, c) in w.queries.iter_mut().zip(costs) {
+        if let Some(c) = c {
+            q.cost = c;
+        }
+    }
+    Ok(w)
+}
+
+/// Splits a script into statements and their optional cost annotations.
+fn split_script(script: &str) -> (Vec<String>, Vec<Option<f64>>) {
+    let mut sqls = Vec::new();
+    let mut costs = Vec::new();
+    let mut pending_cost: Option<f64> = None;
+    let mut current = String::new();
+    for line in script.lines() {
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix("-- cost:") {
+            pending_cost = rest.trim().parse::<f64>().ok();
+            continue;
+        }
+        if trimmed.starts_with("--") || trimmed.is_empty() {
+            continue;
+        }
+        current.push_str(line);
+        current.push('\n');
+        if trimmed.ends_with(';') {
+            let stmt = current.trim().trim_end_matches(';').trim().to_string();
+            if !stmt.is_empty() {
+                sqls.push(stmt);
+                costs.push(pending_cost.take());
+            }
+            current.clear();
+        }
+    }
+    let tail = current.trim().trim_end_matches(';').trim().to_string();
+    if !tail.is_empty() {
+        sqls.push(tail);
+        costs.push(pending_cost);
+    }
+    (sqls, costs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isum_catalog::CatalogBuilder;
+
+    fn catalog() -> Catalog {
+        CatalogBuilder::new()
+            .table("t", 1000)
+            .col_key("a")
+            .col_int("b", 100, 0, 100)
+            .finish()
+            .expect("fresh table")
+            .build()
+    }
+
+    #[test]
+    fn loads_multi_statement_script() {
+        let script = "\
+-- a workload exported from the plan cache
+SELECT a FROM t WHERE b = 1;
+
+SELECT a FROM t
+WHERE b = 2;
+SELECT count(*) FROM t GROUP BY b
+";
+        let w = load_script(catalog(), script).expect("script loads");
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.queries[1].sql.replace('\n', " ").trim(), "SELECT a FROM t WHERE b = 2");
+    }
+
+    #[test]
+    fn cost_annotations_are_attached() {
+        let script = "\
+-- cost: 120.5
+SELECT a FROM t WHERE b = 1;
+SELECT a FROM t WHERE b = 2;
+-- cost: 33
+SELECT a FROM t WHERE b = 3;
+";
+        let w = load_script(catalog(), script).expect("script loads");
+        assert_eq!(w.queries[0].cost, 120.5);
+        assert_eq!(w.queries[1].cost, 0.0, "unannotated statement keeps default");
+        assert_eq!(w.queries[2].cost, 33.0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let script = "-- header\n\n-- more comments\nSELECT a FROM t;\n-- trailing\n";
+        let w = load_script(catalog(), script).expect("script loads");
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn bad_statement_reports_index() {
+        let err = load_script(catalog(), "SELECT a FROM t;\nSELECT FROM;").unwrap_err();
+        assert!(err.to_string().contains("query #1"), "{err}");
+    }
+
+    #[test]
+    fn empty_script_is_empty_workload() {
+        let w = load_script(catalog(), "  \n-- nothing here\n").expect("loads");
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! The workload data model.
+
+use isum_catalog::Catalog;
+use isum_common::{Error, QueryId, Result, TemplateId};
+use isum_sql::{parse, Binder, BoundQuery, TemplateRegistry};
+
+/// Complexity class of a query, following the DSB benchmark's split used by
+/// Fig 12 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// Select-project-join, no aggregation.
+    Spj,
+    /// Aggregation/grouping over one or two tables.
+    Aggregate,
+    /// Multi-join queries with aggregation and/or subqueries.
+    Complex,
+}
+
+impl QueryClass {
+    /// Derives the class from a bound query's shape.
+    pub fn classify(bound: &BoundQuery) -> Self {
+        let has_agg = bound.n_aggregates > 0 || !bound.group_by.is_empty();
+        let many_joins = bound.tables.len() >= 3 || bound.n_blocks > 1;
+        match (has_agg, many_joins) {
+            (false, _) => QueryClass::Spj,
+            (true, false) => QueryClass::Aggregate,
+            (true, true) => QueryClass::Complex,
+        }
+    }
+}
+
+/// One query of the workload, fully analyzed.
+#[derive(Debug, Clone)]
+pub struct QueryInfo {
+    /// Position in the workload.
+    pub id: QueryId,
+    /// Original SQL text.
+    pub sql: String,
+    /// Bound (flattened) form.
+    pub bound: BoundQuery,
+    /// Template id (instances identical up to parameters share one).
+    pub template: TemplateId,
+    /// Optimizer-estimated cost under the *current* physical design, `C(q)`.
+    /// Populated by the optimizer crate's `populate_costs`; defaults to 0.
+    pub cost: f64,
+    /// Complexity class.
+    pub class: QueryClass,
+}
+
+/// A workload: catalog + queries + template registry.
+#[derive(Debug)]
+pub struct Workload {
+    /// The database schema and statistics the queries run against.
+    pub catalog: Catalog,
+    /// The queries, indexed by [`QueryId`].
+    pub queries: Vec<QueryInfo>,
+    /// Template interner for all queries.
+    pub templates: TemplateRegistry,
+}
+
+impl Workload {
+    /// Parses, binds, and fingerprints SQL texts into a workload.
+    ///
+    /// # Errors
+    /// Propagates parse/bind errors, annotated with the failing query index.
+    pub fn from_sql<S: AsRef<str>>(catalog: Catalog, sqls: &[S]) -> Result<Workload> {
+        let binder = Binder::new(&catalog);
+        let mut templates = TemplateRegistry::new();
+        let mut queries = Vec::with_capacity(sqls.len());
+        for (i, sql) in sqls.iter().enumerate() {
+            let sql = sql.as_ref();
+            let stmt = parse(sql).map_err(|e| annotate(e, i, sql))?;
+            let bound = binder.bind(&stmt).map_err(|e| annotate(e, i, sql))?;
+            let template = templates.intern(&stmt);
+            let class = QueryClass::classify(&bound);
+            queries.push(QueryInfo {
+                id: QueryId::from_index(i),
+                sql: sql.to_string(),
+                bound,
+                template,
+                cost: 0.0,
+                class,
+            });
+        }
+        Ok(Workload { catalog, queries, templates })
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the workload has no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Query accessor.
+    pub fn query(&self, id: QueryId) -> &QueryInfo {
+        &self.queries[id.index()]
+    }
+
+    /// Total workload cost `C(W) = Σ C(q_i)` (Sec 2.2).
+    pub fn total_cost(&self) -> f64 {
+        self.queries.iter().map(|q| q.cost).sum()
+    }
+
+    /// Number of distinct templates.
+    pub fn template_count(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Sets `C(q_i)` for every query.
+    ///
+    /// # Panics
+    /// Panics when the length differs from the workload size.
+    pub fn set_costs(&mut self, costs: &[f64]) {
+        assert_eq!(costs.len(), self.queries.len(), "cost vector length mismatch");
+        for (q, &c) in self.queries.iter_mut().zip(costs) {
+            q.cost = c;
+        }
+    }
+
+    /// Builds a new workload containing only the selected queries (used by
+    /// experiments that scale the input size). Ids are re-densified; template
+    /// ids are preserved from the parent registry.
+    pub fn restricted_to(&self, ids: &[QueryId]) -> Workload {
+        let mut queries = Vec::with_capacity(ids.len());
+        for (i, id) in ids.iter().enumerate() {
+            let mut q = self.queries[id.index()].clone();
+            q.id = QueryId::from_index(i);
+            queries.push(q);
+        }
+        // Rebuild the registry so counts reflect the restricted set.
+        let mut templates = TemplateRegistry::new();
+        for q in &mut queries {
+            let fp = self.templates.fingerprint_of(q.template).to_string();
+            q.template = templates.intern_fingerprint(fp);
+        }
+        Workload { catalog: self.catalog.clone(), queries, templates }
+    }
+}
+
+fn annotate(e: Error, idx: usize, sql: &str) -> Error {
+    let head: String = sql.chars().take(80).collect();
+    match e {
+        Error::Parse { offset, message } => Error::Parse {
+            offset,
+            message: format!("query #{idx}: {message} in `{head}`"),
+        },
+        Error::Bind(m) => Error::Bind(format!("query #{idx}: {m} in `{head}`")),
+        other => other,
+    }
+}
+
+/// A compressed workload: selected queries with their weights (the paper's
+/// `W_k`, Problem 1). Weights are relative importances handed to the tuner.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompressedWorkload {
+    /// `(query, weight)` pairs, in selection order.
+    pub entries: Vec<(QueryId, f64)>,
+}
+
+impl CompressedWorkload {
+    /// Uniform weights over a set of queries.
+    pub fn uniform(ids: Vec<QueryId>) -> Self {
+        let w = if ids.is_empty() { 0.0 } else { 1.0 / ids.len() as f64 };
+        Self { entries: ids.into_iter().map(|id| (id, w)).collect() }
+    }
+
+    /// Selected query ids, in order.
+    pub fn ids(&self) -> Vec<QueryId> {
+        self.entries.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// Number of selected queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Rescales weights to sum to 1 (no-op when the sum is zero).
+    pub fn normalize_weights(&mut self) {
+        let total: f64 = self.entries.iter().map(|(_, w)| *w).sum();
+        if total > 0.0 {
+            for (_, w) in &mut self.entries {
+                *w /= total;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isum_catalog::CatalogBuilder;
+
+    fn catalog() -> Catalog {
+        CatalogBuilder::new()
+            .table("t", 1000)
+            .col_key("a")
+            .col_int("b", 100, 0, 100)
+            .finish()
+            .unwrap()
+            .table("u", 500)
+            .col_key("x")
+            .col_int("t_a", 1000, 1, 1000)
+            .finish()
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn builds_workload_from_sql() {
+        let w = Workload::from_sql(
+            catalog(),
+            &[
+                "SELECT a FROM t WHERE b = 5",
+                "SELECT a FROM t WHERE b = 77",
+                "SELECT count(*) FROM t GROUP BY b",
+                "SELECT a FROM t, u WHERE a = t_a AND b > 10 GROUP BY a ORDER BY a",
+            ],
+        )
+        .unwrap();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.template_count(), 3, "first two share a template");
+        assert_eq!(w.queries[0].class, QueryClass::Spj);
+        assert_eq!(w.queries[2].class, QueryClass::Aggregate);
+    }
+
+    #[test]
+    fn classify_complex_needs_joins_and_aggregates() {
+        let w = Workload::from_sql(
+            catalog(),
+            &["SELECT count(*) FROM t, u WHERE a = t_a AND b IN (SELECT x FROM u) GROUP BY b"],
+        )
+        .unwrap();
+        assert_eq!(w.queries[0].class, QueryClass::Complex);
+    }
+
+    #[test]
+    fn errors_name_the_query() {
+        let err = Workload::from_sql(catalog(), &["SELECT a FROM t", "SELECT FROM"]).unwrap_err();
+        assert!(err.to_string().contains("query #1"), "{err}");
+        // Unknown *qualified* columns are bind errors (bare unknowns are
+        // treated as select-list aliases and ignored).
+        let err =
+            Workload::from_sql(catalog(), &["SELECT a FROM t WHERE t.nope_col = 1"]).unwrap_err();
+        assert!(err.to_string().contains("query #0"), "{err}");
+    }
+
+    #[test]
+    fn costs_and_total() {
+        let mut w =
+            Workload::from_sql(catalog(), &["SELECT a FROM t", "SELECT x FROM u"]).unwrap();
+        w.set_costs(&[10.0, 30.0]);
+        assert_eq!(w.total_cost(), 40.0);
+        assert_eq!(w.query(QueryId(1)).cost, 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn set_costs_checks_length() {
+        let mut w = Workload::from_sql(catalog(), &["SELECT a FROM t"]).unwrap();
+        w.set_costs(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn restriction_redensifies_ids_and_templates() {
+        let mut w = Workload::from_sql(
+            catalog(),
+            &[
+                "SELECT a FROM t WHERE b = 1",
+                "SELECT x FROM u",
+                "SELECT a FROM t WHERE b = 9",
+            ],
+        )
+        .unwrap();
+        w.set_costs(&[1.0, 2.0, 3.0]);
+        let r = w.restricted_to(&[QueryId(2), QueryId(0)]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.queries[0].id, QueryId(0));
+        assert_eq!(r.queries[0].cost, 3.0);
+        assert_eq!(r.template_count(), 1, "both restricted queries share a template");
+    }
+
+    #[test]
+    fn compressed_workload_weights() {
+        let mut cw = CompressedWorkload {
+            entries: vec![(QueryId(0), 2.0), (QueryId(3), 6.0)],
+        };
+        cw.normalize_weights();
+        assert!((cw.entries[0].1 - 0.25).abs() < 1e-12);
+        assert!((cw.entries[1].1 - 0.75).abs() < 1e-12);
+        assert_eq!(cw.ids(), vec![QueryId(0), QueryId(3)]);
+        let u = CompressedWorkload::uniform(vec![QueryId(1), QueryId(2)]);
+        assert_eq!(u.entries[0].1, 0.5);
+        assert!(CompressedWorkload::uniform(vec![]).is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! Advisor generalizability (Sec 8.3 of the paper): the same ISUM-compressed
+//! workload tuned by the DTA-like advisor and the DEXTER-like advisor.
+//!
+//! ```text
+//! cargo run --release --example advisor_comparison
+//! ```
+
+use isum_advisor::{DexterAdvisor, DtaAdvisor, IndexAdvisor, TuningConstraints};
+use isum_core::{Compressor, Isum};
+use isum_optimizer::WhatIfOptimizer;
+use isum_workload::gen::tpcds_workload;
+
+fn main() {
+    let mut workload = tpcds_workload(10, 182, 7).expect("templates bind");
+    isum_optimizer::populate_costs(&mut workload);
+    println!(
+        "TPC-DS workload: {} queries, {} templates, C(W) = {:.0}\n",
+        workload.len(),
+        workload.template_count(),
+        workload.total_cost()
+    );
+
+    let compressed = Isum::new().compress(&workload, 14).expect("valid inputs");
+    println!("ISUM selected {} queries.\n", compressed.len());
+
+    let advisors: Vec<Box<dyn IndexAdvisor>> =
+        vec![Box::new(DtaAdvisor::new()), Box::new(DexterAdvisor::new())];
+    for advisor in &advisors {
+        for m in [8usize, 16, 32] {
+            let opt = WhatIfOptimizer::new(&workload.catalog);
+            let cfg = advisor.recommend(
+                &opt,
+                &workload,
+                &compressed,
+                &TuningConstraints::with_max_indexes(m),
+            );
+            println!(
+                "{:<7} m={m:<3} -> {} indexes, improvement {:.1}%",
+                advisor.name(),
+                cfg.len(),
+                opt.improvement_pct(&workload, &cfg)
+            );
+            if m == 16 {
+                for ix in cfg.indexes().iter().take(5) {
+                    println!("          {}", ix.display(&workload.catalog));
+                }
+                if cfg.len() > 5 {
+                    println!("          ... and {} more", cfg.len() - 5);
+                }
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,72 @@
+//! Bring-your-own workload: define a schema, load SQL, inspect what ISUM
+//! sees (indexable columns, feature weights, utilities, similarities).
+//!
+//! ```text
+//! cargo run --example custom_workload
+//! ```
+
+use isum_catalog::CatalogBuilder;
+use isum_core::features::{Featurizer, WorkloadFeatures};
+use isum_core::similarity::weighted_jaccard;
+use isum_core::utility::{utilities, UtilityMode};
+use isum_workload::{indexable_columns, Workload};
+
+fn main() {
+    // An "orders + events" operational schema.
+    let catalog = CatalogBuilder::new()
+        .table("accounts", 2_000_000)
+        .col_key("acct_id")
+        .col_int("region_id", 50, 1, 50)
+        .col_int("tier", 4, 1, 4)
+        .col_float("balance", 1_000_000, -10_000.0, 1_000_000.0)
+        .finish()
+        .expect("fresh catalog")
+        .table("events", 80_000_000)
+        .col_int("ev_acct_id", 2_000_000, 1, 2_000_000)
+        .col_int_skewed("ev_type", 30, 1, 30, 1.2)
+        .col_date("ev_day", 19_000, 20_000)
+        .col_float("ev_amount", 100_000, 0.0, 50_000.0)
+        .finish()
+        .expect("unique tables")
+        .build();
+
+    let sqls = [
+        "SELECT acct_id FROM accounts WHERE region_id = 7 AND tier = 1",
+        "SELECT acct_id FROM accounts WHERE region_id = 9 AND tier = 3",
+        "SELECT count(*) FROM events WHERE ev_type = 4 AND ev_day >= DATE '2024-06-01' GROUP BY ev_type",
+        "SELECT a.acct_id, sum(e.ev_amount) FROM accounts a, events e \
+         WHERE a.acct_id = e.ev_acct_id AND a.tier = 4 AND e.ev_day > DATE '2024-01-01' \
+         GROUP BY a.acct_id ORDER BY a.acct_id",
+    ];
+    let mut workload = Workload::from_sql(catalog, &sqls).expect("queries bind");
+    isum_optimizer::populate_costs(&mut workload);
+
+    // What ISUM extracts per query.
+    for q in &workload.queries {
+        println!("query {} (template {}, class {:?}, cost {:.0}):", q.id, q.template, q.class, q.cost);
+        for col in indexable_columns(&q.bound, &workload.catalog) {
+            let table = workload.catalog.table(col.gid.table);
+            println!(
+                "  {:<22} filter={} join={} group={} order={}  selectivity={:.4}",
+                format!("{}.{}", table.name, table.column(col.gid.column).name),
+                col.positions.filter as u8,
+                col.positions.join as u8,
+                col.positions.group_by as u8,
+                col.positions.order_by as u8,
+                col.selectivity,
+            );
+        }
+    }
+
+    // Feature vectors, utilities, pairwise similarity matrix.
+    let features = WorkloadFeatures::build(&workload, &Featurizer::default());
+    let utility = utilities(&workload, UtilityMode::CostTimesSelectivity);
+    println!("\nutilities: {:?}", utility.iter().map(|u| (u * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!("\npairwise weighted-Jaccard similarity:");
+    for i in 0..workload.len() {
+        let row: Vec<String> = (0..workload.len())
+            .map(|j| format!("{:.2}", weighted_jaccard(&features.original[i], &features.original[j])))
+            .collect();
+        println!("  q{i}: [{}]", row.join(", "));
+    }
+}

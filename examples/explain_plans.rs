@@ -1,0 +1,55 @@
+//! EXPLAIN: show the physical plans the what-if optimizer prices, before
+//! and after tuning a compressed workload.
+//!
+//! ```text
+//! cargo run --release --example explain_plans
+//! ```
+
+use isum_advisor::{DtaAdvisor, IndexAdvisor, TuningConstraints};
+use isum_core::{Compressor, Isum};
+use isum_optimizer::{CostModel, IndexConfig};
+use isum_workload::gen::tpch_workload;
+
+fn main() {
+    let mut workload = tpch_workload(10, 22, 11).expect("templates bind");
+    isum_optimizer::populate_costs(&mut workload);
+    let model = CostModel::new(&workload.catalog);
+
+    // Tune a compressed subset.
+    let compressed = Isum::new().compress(&workload, 6).expect("valid inputs");
+    let optimizer = isum_optimizer::WhatIfOptimizer::new(&workload.catalog);
+    let config = DtaAdvisor::new().recommend(
+        &optimizer,
+        &workload,
+        &compressed,
+        &TuningConstraints::with_max_indexes(8),
+    );
+    println!("Recommended configuration:");
+    for ix in config.indexes() {
+        println!("  {}", ix.display(&workload.catalog));
+    }
+
+    // Show before/after plans for the queries whose cost moved the most.
+    let mut deltas: Vec<(usize, f64)> = workload
+        .queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let after = model.cost(&q.bound, &config);
+            (i, q.cost - after)
+        })
+        .collect();
+    deltas.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite deltas"));
+
+    for &(i, delta) in deltas.iter().take(3) {
+        let q = &workload.queries[i];
+        println!("\n================================================================");
+        println!("query {} (Δcost {:.0}):\n  {}\n", q.id, delta, &q.sql[..q.sql.len().min(100)]);
+        let before = model.plan(&q.bound, &IndexConfig::empty()).expect("has tables");
+        let after = model.plan(&q.bound, &config).expect("has tables");
+        println!("-- before (cost {:.0}):", before.total_cost());
+        print!("{}", before.render(&workload.catalog));
+        println!("-- after (cost {:.0}):", after.total_cost());
+        print!("{}", after.render(&workload.catalog));
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: compress a small workload with ISUM and tune it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use isum_advisor::{DtaAdvisor, IndexAdvisor, TuningConstraints};
+use isum_catalog::CatalogBuilder;
+use isum_core::{Compressor, Isum};
+use isum_optimizer::WhatIfOptimizer;
+use isum_workload::Workload;
+
+fn main() {
+    // 1. Describe the database: tables, row counts, column statistics.
+    let catalog = CatalogBuilder::new()
+        .table("orders", 1_500_000)
+        .col_key("o_orderkey")
+        .col_int("o_custkey", 100_000, 1, 150_000)
+        .col_date("o_orderdate", 8035, 10_591)
+        .col_float("o_totalprice", 1_000_000, 850.0, 560_000.0)
+        .finish()
+        .expect("fresh catalog")
+        .table("lineitem", 6_000_000)
+        .col_int("l_orderkey", 1_500_000, 1, 1_500_000)
+        .col_float("l_quantity", 50, 1.0, 50.0)
+        .col_date("l_shipdate", 8035, 10_591)
+        .col_float("l_extendedprice", 900_000, 900.0, 105_000.0)
+        .finish()
+        .expect("unique tables")
+        .build();
+
+    // 2. Provide the workload as SQL text.
+    let sqls = [
+        "SELECT o_orderkey FROM orders WHERE o_custkey = 42",
+        "SELECT o_orderkey FROM orders WHERE o_custkey = 77",
+        "SELECT o_orderkey FROM orders WHERE o_custkey = 1234",
+        "SELECT sum(l_extendedprice) FROM lineitem WHERE l_shipdate >= DATE '1995-01-01' AND l_shipdate < DATE '1996-01-01' AND l_quantity < 24",
+        "SELECT o_orderkey, sum(l_extendedprice) FROM orders, lineitem WHERE o_orderkey = l_orderkey AND o_orderdate < DATE '1995-03-15' GROUP BY o_orderkey",
+        "SELECT o_totalprice FROM orders WHERE o_orderdate BETWEEN DATE '1994-01-01' AND DATE '1994-03-31' ORDER BY o_totalprice DESC LIMIT 10",
+    ];
+    let mut workload = Workload::from_sql(catalog, &sqls).expect("queries parse and bind");
+
+    // 3. Populate optimizer-estimated costs (in production these come from
+    //    Query Store; here the bundled what-if optimizer supplies them).
+    isum_optimizer::populate_costs(&mut workload);
+    let optimizer = WhatIfOptimizer::new(&workload.catalog);
+
+    // 4. Compress: pick the 2 most beneficial queries (with weights).
+    let compressed = Isum::new().compress(&workload, 2).expect("valid inputs");
+    println!("Selected {} of {} queries:", compressed.len(), workload.len());
+    for (id, weight) in &compressed.entries {
+        println!("  weight {:.2}  {}", weight, workload.query(*id).sql);
+    }
+
+    // 5. Tune only the compressed workload; evaluate on everything.
+    let advisor = DtaAdvisor::new();
+    let config = advisor.recommend(
+        &optimizer,
+        &workload,
+        &compressed,
+        &TuningConstraints::with_max_indexes(4),
+    );
+    println!("\nRecommended indexes:");
+    for ix in config.indexes() {
+        println!("  {}", ix.display(&workload.catalog));
+    }
+    let improvement = optimizer.improvement_pct(&workload, &config);
+    println!("\nFull-workload improvement: {improvement:.1}%");
+    assert!(improvement > 0.0, "quickstart should find useful indexes");
+}

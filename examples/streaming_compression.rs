@@ -1,0 +1,41 @@
+//! Streaming compression: observe queries incrementally (Sec 10 of the
+//! paper lists this as future work) and ask for a compressed workload at
+//! any point.
+//!
+//! ```text
+//! cargo run --release --example streaming_compression
+//! ```
+
+use isum_core::{IncrementalIsum, IsumConfig};
+use isum_workload::gen::tpch_workload;
+
+fn main() {
+    let mut workload = tpch_workload(10, 110, 21).expect("templates bind");
+    isum_optimizer::populate_costs(&mut workload);
+
+    let mut stream = IncrementalIsum::new(IsumConfig::isum());
+    for (i, q) in workload.queries.iter().enumerate() {
+        stream.observe(q, &workload.catalog);
+        // Every 22 arrivals (one template cycle), report the current pick.
+        if (i + 1) % 22 == 0 {
+            let cw = stream.select(5).expect("non-empty state");
+            let picks: Vec<String> = cw
+                .entries
+                .iter()
+                .map(|(id, w)| format!("q{}({:.0}%)", id.index(), w * 100.0))
+                .collect();
+            println!(
+                "after {:>3} queries / {:>2} templates: top-5 = [{}]",
+                stream.len(),
+                stream.template_count(),
+                picks.join(", ")
+            );
+        }
+    }
+    println!("\nFinal compressed workload (k = 10):");
+    let cw = stream.select(10).expect("non-empty state");
+    for (id, w) in &cw.entries {
+        let sql = &workload.query(*id).sql;
+        println!("  {:.2}  {}", w, &sql[..sql.len().min(90)]);
+    }
+}

@@ -1,0 +1,62 @@
+//! TPC-H end-to-end: generate a 220-query TPC-H workload, compare ISUM
+//! against uniform sampling and cost top-k at several compression levels.
+//!
+//! ```text
+//! cargo run --release --example tpch_tuning
+//! ```
+
+use std::time::Instant;
+
+use isum_advisor::{DtaAdvisor, IndexAdvisor, TuningConstraints};
+use isum_baselines::{CostTopK, UniformSampling};
+use isum_core::{Compressor, Isum};
+use isum_optimizer::WhatIfOptimizer;
+use isum_workload::gen::tpch_workload;
+
+fn main() {
+    let n = 220;
+    println!("Generating TPC-H workload (sf=10, {n} queries, 22 templates) ...");
+    let mut workload = tpch_workload(10, n, 42).expect("templates bind");
+    isum_optimizer::populate_costs(&mut workload);
+    println!(
+        "Workload cost C(W) = {:.0} optimizer units across {} templates\n",
+        workload.total_cost(),
+        workload.template_count()
+    );
+
+    let advisor = DtaAdvisor::new();
+    let constraints = TuningConstraints::with_max_indexes(16);
+    let methods: Vec<Box<dyn Compressor>> = vec![
+        Box::new(UniformSampling::new(42)),
+        Box::new(CostTopK),
+        Box::new(Isum::new()),
+    ];
+
+    println!("{:>4}  {:>12}  {:>14}  {:>12}", "k", "method", "improvement %", "time (s)");
+    for k in [4usize, 8, 16, 30] {
+        for method in &methods {
+            let t0 = Instant::now();
+            let compressed = method.compress(&workload, k).expect("valid inputs");
+            let opt = WhatIfOptimizer::new(&workload.catalog);
+            let cfg = advisor.recommend(&opt, &workload, &compressed, &constraints);
+            let improvement = opt.improvement_pct(&workload, &cfg);
+            println!(
+                "{k:>4}  {:>12}  {improvement:>14.1}  {:>12.2}",
+                method.name(),
+                t0.elapsed().as_secs_f64()
+            );
+        }
+        println!();
+    }
+
+    // Reference: tuning the whole workload.
+    let t0 = Instant::now();
+    let opt = WhatIfOptimizer::new(&workload.catalog);
+    let full = advisor.recommend_full(&opt, &workload, &constraints);
+    println!(
+        "full  {:>12}  {:>14.1}  {:>12.2}",
+        "(all n)",
+        opt.improvement_pct(&workload, &full),
+        t0.elapsed().as_secs_f64()
+    );
+}

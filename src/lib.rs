@@ -1,0 +1,2 @@
+//! Facade crate.
+pub use isum_core::*;

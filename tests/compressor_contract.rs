@@ -1,0 +1,105 @@
+//! Contract tests every `Compressor` implementation must satisfy, run
+//! uniformly over all seven implementations.
+
+use isum_baselines::{CostTopK, Gsum, KMedoid, Stratified, UniformSampling};
+use isum_core::{Compressor, Isum, IsumConfig};
+use isum_optimizer::populate_costs;
+use isum_workload::gen::tpch_workload;
+use isum_workload::Workload;
+
+fn methods() -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(UniformSampling::new(9)),
+        Box::new(CostTopK),
+        Box::new(Stratified::new(9)),
+        Box::new(Gsum::new()),
+        Box::new(KMedoid::new(9)),
+        Box::new(Isum::new()),
+        Box::new(Isum::with_config(IsumConfig::isum_s())),
+        Box::new(Isum::with_config(IsumConfig::isum_no_table())),
+        Box::new(Isum::with_config(IsumConfig::all_pairs())),
+    ]
+}
+
+fn workload() -> Workload {
+    let mut w = tpch_workload(1, 44, 9).expect("tpch binds");
+    populate_costs(&mut w);
+    w
+}
+
+#[test]
+fn rejects_k_zero() {
+    let w = workload();
+    for m in methods() {
+        assert!(m.compress(&w, 0).is_err(), "{} accepted k=0", m.name());
+    }
+}
+
+#[test]
+fn rejects_empty_workload() {
+    let empty = Workload::from_sql(
+        isum_catalog::CatalogBuilder::new()
+            .table("t", 1)
+            .col_key("a")
+            .finish()
+            .expect("fresh table")
+            .build(),
+        &Vec::<String>::new(),
+    )
+    .expect("empty workload builds");
+    for m in methods() {
+        assert!(m.compress(&empty, 3).is_err(), "{} accepted empty workload", m.name());
+    }
+}
+
+#[test]
+fn selects_at_most_k_valid_distinct_ids() {
+    let w = workload();
+    for m in methods() {
+        for k in [1usize, 3, 7, 44, 100] {
+            let cw = m.compress(&w, k).unwrap_or_else(|e| panic!("{} k={k}: {e}", m.name()));
+            assert!(cw.len() <= k.min(w.len()), "{} overselected at k={k}", m.name());
+            assert!(!cw.is_empty(), "{} selected nothing at k={k}", m.name());
+            let mut ids = cw.ids();
+            assert!(ids.iter().all(|id| id.index() < w.len()), "{}", m.name());
+            ids.sort();
+            let before = ids.len();
+            ids.dedup();
+            assert_eq!(ids.len(), before, "{} duplicated ids at k={k}", m.name());
+        }
+    }
+}
+
+#[test]
+fn weights_are_normalized_and_nonnegative() {
+    let w = workload();
+    for m in methods() {
+        let cw = m.compress(&w, 6).expect("valid inputs");
+        let total: f64 = cw.entries.iter().map(|(_, wt)| wt).sum();
+        assert!((total - 1.0).abs() < 1e-6, "{} weights sum to {total}", m.name());
+        assert!(
+            cw.entries.iter().all(|(_, wt)| *wt >= 0.0 && wt.is_finite()),
+            "{} produced bad weights",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn deterministic_given_same_inputs() {
+    let w = workload();
+    for m in methods() {
+        let a = m.compress(&w, 5).expect("valid inputs");
+        let b = m.compress(&w, 5).expect("valid inputs");
+        assert_eq!(a, b, "{} is nondeterministic", m.name());
+    }
+}
+
+#[test]
+fn names_are_stable_and_distinct() {
+    let names: Vec<String> = methods().iter().map(|m| m.name()).collect();
+    let mut d = names.clone();
+    d.sort();
+    d.dedup();
+    assert_eq!(d.len(), names.len(), "{names:?}");
+}

@@ -1,0 +1,165 @@
+//! End-to-end integration tests: SQL text → catalog binding → costing →
+//! compression → tuning → improvement, across all four workload generators.
+
+use isum_advisor::{DexterAdvisor, DtaAdvisor, IndexAdvisor, TuningConstraints};
+use isum_baselines::{CostTopK, Gsum, KMedoid, Stratified, UniformSampling};
+use isum_core::{Compressor, Isum, IsumConfig};
+use isum_optimizer::{populate_costs, IndexConfig, WhatIfOptimizer};
+use isum_workload::gen::{dsb_workload, realm_workload_sized, tpch_workload, tpcds_workload};
+use isum_workload::Workload;
+
+fn prepared_tpch(n: usize, seed: u64) -> Workload {
+    let mut w = tpch_workload(1, n, seed).expect("tpch binds");
+    populate_costs(&mut w);
+    w
+}
+
+#[test]
+fn full_pipeline_tpch() {
+    let w = prepared_tpch(44, 1);
+    let cw = Isum::new().compress(&w, 8).expect("valid inputs");
+    assert_eq!(cw.len(), 8);
+    let opt = WhatIfOptimizer::new(&w.catalog);
+    let cfg = DtaAdvisor::new().recommend(
+        &opt,
+        &w,
+        &cw,
+        &TuningConstraints::with_max_indexes(12),
+    );
+    assert!(!cfg.is_empty());
+    let imp = opt.improvement_pct(&w, &cfg);
+    assert!(imp > 5.0, "compressed TPC-H tuning should give >5%, got {imp:.1}%");
+}
+
+#[test]
+fn all_generators_produce_costable_workloads() {
+    let mut workloads = vec![
+        tpch_workload(1, 22, 2).expect("tpch binds"),
+        tpcds_workload(1, 91, 2).expect("tpcds binds"),
+        dsb_workload(1, 52, 2).expect("dsb binds"),
+        realm_workload_sized(60, 2).expect("realm binds"),
+    ];
+    for w in &mut workloads {
+        populate_costs(w);
+        assert!(w.total_cost() > 0.0);
+        assert!(w.queries.iter().all(|q| q.cost > 0.0 && q.cost.is_finite()));
+    }
+}
+
+#[test]
+fn every_compressor_runs_on_every_generator() {
+    let mut w = dsb_workload(1, 52, 3).expect("dsb binds");
+    populate_costs(&mut w);
+    let methods: Vec<Box<dyn Compressor>> = vec![
+        Box::new(UniformSampling::new(3)),
+        Box::new(CostTopK),
+        Box::new(Stratified::new(3)),
+        Box::new(Gsum::new()),
+        Box::new(KMedoid::new(3)),
+        Box::new(Isum::new()),
+        Box::new(Isum::with_config(IsumConfig::isum_s())),
+        Box::new(Isum::with_config(IsumConfig::all_pairs())),
+    ];
+    for m in methods {
+        let cw = m.compress(&w, 10).unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+        assert!(!cw.is_empty(), "{}", m.name());
+        assert!(cw.len() <= 10, "{}", m.name());
+        let total: f64 = cw.entries.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-6, "{} weights sum {total}", m.name());
+        // All ids valid and distinct.
+        let mut ids = cw.ids();
+        ids.sort();
+        let len_before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), len_before, "{} produced duplicates", m.name());
+        assert!(ids.iter().all(|id| id.index() < w.len()), "{}", m.name());
+    }
+}
+
+#[test]
+fn compressed_tuning_beats_no_tuning_and_approaches_full() {
+    let w = prepared_tpch(66, 4);
+    let opt = WhatIfOptimizer::new(&w.catalog);
+    let advisor = DtaAdvisor::new();
+    let constraints = TuningConstraints::with_max_indexes(16);
+    let full = advisor.recommend_full(&opt, &w, &constraints);
+    let full_imp = opt.improvement_pct(&w, &full);
+
+    let cw = Isum::new().compress(&w, 16).expect("valid inputs");
+    let cfg = advisor.recommend(&opt, &w, &cw, &constraints);
+    let comp_imp = opt.improvement_pct(&w, &cfg);
+
+    assert!(comp_imp > 0.0);
+    assert!(comp_imp <= full_imp + 1e-6, "subset cannot beat full tuning");
+    assert!(
+        comp_imp >= full_imp * 0.5,
+        "16-of-66 compression should retain half the improvement: {comp_imp:.1} vs {full_imp:.1}"
+    );
+}
+
+#[test]
+fn isum_beats_uniform_on_average_tpch() {
+    // The headline claim, averaged over seeds to be robust.
+    let mut isum_total = 0.0;
+    let mut uniform_total = 0.0;
+    for seed in 0..3 {
+        let w = prepared_tpch(44, 10 + seed);
+        let opt = WhatIfOptimizer::new(&w.catalog);
+        let advisor = DtaAdvisor::new();
+        let constraints = TuningConstraints::with_max_indexes(16);
+        let k = 6;
+        let cw = Isum::new().compress(&w, k).expect("valid inputs");
+        let cfg = advisor.recommend(&opt, &w, &cw, &constraints);
+        isum_total += opt.improvement_pct(&w, &cfg);
+        let cw = UniformSampling::new(seed).compress(&w, k).expect("valid inputs");
+        let cfg = advisor.recommend(&opt, &w, &cw, &constraints);
+        uniform_total += opt.improvement_pct(&w, &cfg);
+    }
+    assert!(
+        isum_total >= uniform_total,
+        "ISUM {isum_total:.1} vs Uniform {uniform_total:.1} (sum over 3 seeds)"
+    );
+}
+
+#[test]
+fn dexter_and_dta_both_tune_compressed_workloads() {
+    let mut w = tpcds_workload(1, 91, 5).expect("tpcds binds");
+    populate_costs(&mut w);
+    let cw = Isum::new().compress(&w, 10).expect("valid inputs");
+    let constraints = TuningConstraints::with_max_indexes(16);
+    let opt = WhatIfOptimizer::new(&w.catalog);
+    let dta_cfg = DtaAdvisor::new().recommend(&opt, &w, &cw, &constraints);
+    let dex_cfg = DexterAdvisor::new().recommend(&opt, &w, &cw, &constraints);
+    let dta_imp = opt.improvement_pct(&w, &dta_cfg);
+    let dex_imp = opt.improvement_pct(&w, &dex_cfg);
+    assert!(dta_imp > 0.0);
+    assert!(dex_imp >= 0.0);
+    assert!(dex_imp <= dta_imp + 1e-6, "DEXTER {dex_imp:.1} vs DTA {dta_imp:.1}");
+}
+
+#[test]
+fn what_if_costs_are_stable_across_optimizer_instances() {
+    let w = prepared_tpch(22, 6);
+    let cfg = IndexConfig::empty();
+    let a = WhatIfOptimizer::new(&w.catalog).workload_cost(&w, &cfg);
+    let b = WhatIfOptimizer::new(&w.catalog).workload_cost(&w, &cfg);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn weights_influence_tuning_outcome() {
+    // Putting all weight on a lineitem-only query must steer the advisor
+    // toward lineitem indexes.
+    let w = prepared_tpch(22, 7);
+    let opt = WhatIfOptimizer::new(&w.catalog);
+    let advisor = DtaAdvisor::new();
+    let constraints = TuningConstraints::with_max_indexes(2);
+    // Q6 is queries[5] (template order); it touches only lineitem.
+    let q6 = w.queries[5].id;
+    let li = w.catalog.table_id("lineitem").expect("tpch table");
+    let focused = isum_workload::CompressedWorkload { entries: vec![(q6, 1.0)] };
+    let cfg = advisor.recommend(&opt, &w, &focused, &constraints);
+    for ix in cfg.indexes() {
+        assert_eq!(ix.table, li);
+    }
+}

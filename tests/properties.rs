@@ -1,0 +1,240 @@
+//! Property-based tests over the core data structures and invariants,
+//! using randomly generated feature vectors, workloads, and predicates.
+
+use proptest::prelude::*;
+
+use isum_catalog::{CatalogBuilder, Histogram};
+use isum_common::stats::{min_max_normalize, pearson, spearman};
+use isum_core::features::FeatureVec;
+use isum_core::similarity::{set_jaccard, weighted_jaccard};
+use isum_core::summary::{influence_via_summary, summary_features, theorem3_bounds};
+use isum_common::{ColumnId, GlobalColumnId, TableId};
+
+fn gid(c: u32) -> GlobalColumnId {
+    GlobalColumnId::new(TableId(c / 16), ColumnId(c % 16))
+}
+
+prop_compose! {
+    /// A sparse feature vector with up to 8 features over a 48-feature space.
+    fn arb_features()(entries in prop::collection::vec((0u32..48, 0.0f64..1.0), 1..8)) -> FeatureVec {
+        FeatureVec::from_entries(entries.into_iter().map(|(c, w)| (gid(c), w)).collect())
+    }
+}
+
+proptest! {
+    #[test]
+    fn weighted_jaccard_in_unit_interval(a in arb_features(), b in arb_features()) {
+        let s = weighted_jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s), "similarity {s}");
+    }
+
+    #[test]
+    fn weighted_jaccard_symmetric(a in arb_features(), b in arb_features()) {
+        prop_assert!((weighted_jaccard(&a, &b) - weighted_jaccard(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_jaccard_reflexive(a in arb_features()) {
+        // Self-similarity is 1 unless the vector is all zeros.
+        let s = weighted_jaccard(&a, &a);
+        if a.all_zero() {
+            prop_assert_eq!(s, 0.0);
+        } else {
+            prop_assert!((s - 1.0).abs() < 1e-12, "self-similarity {}", s);
+        }
+    }
+
+    #[test]
+    fn set_jaccard_never_below_zero_never_above_one(a in arb_features(), b in arb_features()) {
+        let s = set_jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn zero_where_present_is_idempotent(mut a in arb_features(), b in arb_features()) {
+        a.zero_where_present(&b);
+        let once = a.clone();
+        a.zero_where_present(&b);
+        prop_assert_eq!(a, once);
+    }
+
+    #[test]
+    fn subtract_scalar_never_negative(mut a in arb_features(), s in 0.0f64..2.0) {
+        a.subtract_scalar(s);
+        prop_assert!(a.entries().iter().all(|(_, w)| *w >= 0.0));
+    }
+
+    #[test]
+    fn add_scaled_preserves_sorted_unique_keys(mut a in arb_features(), b in arb_features(), w in 0.0f64..3.0) {
+        a.add_scaled(&b, w);
+        let keys: Vec<_> = a.entries().iter().map(|(g, _)| *g).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn summary_total_matches_weighted_sum(
+        fs in prop::collection::vec(arb_features(), 1..12),
+        raw in prop::collection::vec(0.01f64..1.0, 12),
+    ) {
+        let n = fs.len();
+        let us: Vec<f64> = raw[..n].to_vec();
+        let v = summary_features(&fs, &us);
+        let expected: f64 = fs.iter().zip(&us).map(|(f, u)| f.total() * u).sum();
+        prop_assert!((v.total() - expected).abs() < 1e-9, "{} vs {}", v.total(), expected);
+    }
+
+    #[test]
+    fn theorem3_bounds_hold_on_dense_workloads(
+        // Theorem 3's R (min ratio between any two values of a column) is
+        // only meaningful when every query carries every column; sparse
+        // vectors make R degenerate, so we test the dense regime the
+        // paper's derivation assumes.
+        dense in prop::collection::vec(
+            prop::collection::vec(0.2f64..1.0, 6), 3..10),
+        raw in prop::collection::vec(0.05f64..1.0, 10),
+    ) {
+        let fs: Vec<FeatureVec> = dense
+            .iter()
+            .map(|ws| FeatureVec::from_entries(
+                ws.iter().enumerate().map(|(c, &w)| (gid(c as u32), w)).collect()))
+            .collect();
+        let n = fs.len();
+        let total: f64 = raw[..n].iter().sum();
+        let us: Vec<f64> = raw[..n].iter().map(|r| r / total).collect();
+        let (lo, hi) = theorem3_bounds(&fs, &us);
+        prop_assume!(lo > 0.0 && hi.is_finite());
+        let v = summary_features(&fs, &us);
+        let tu: f64 = us.iter().sum();
+        for i in 0..n {
+            let fv = influence_via_summary(i, &fs, &us, &v, tu);
+            let fw: f64 = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| weighted_jaccard(&fs[i], &fs[j]) * us[j])
+                .sum();
+            if fw > 1e-9 && fv > 1e-12 {
+                let ratio = fv / fw;
+                prop_assert!(ratio >= lo * 0.999, "ratio {ratio} < lower bound {lo}");
+                prop_assert!(ratio <= hi * 1.001, "ratio {ratio} > upper bound {hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn pearson_bounded_and_scale_invariant(
+        xs in prop::collection::vec(-100.0f64..100.0, 3..20),
+        scale in 0.1f64..10.0,
+        shift in -50.0f64..50.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
+        let r = pearson(&xs, &ys);
+        prop_assert!(r.abs() <= 1.0 + 1e-9);
+        // Perfectly linear relation: r = 1 unless xs is constant.
+        let constant = xs.iter().all(|&x| (x - xs[0]).abs() < 1e-12);
+        if !constant {
+            prop_assert!((r - 1.0).abs() < 1e-6, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform(
+        xs in prop::collection::vec(-100.0f64..100.0, 3..20),
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp().min(1e300)).collect();
+        let a = spearman(&xs, &xs);
+        let b = spearman(&xs, &ys);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn min_max_normalize_output_positive_and_proportional(
+        ws in prop::collection::vec(0.0f64..100.0, 1..20),
+    ) {
+        let out = min_max_normalize(&ws);
+        prop_assert_eq!(out.len(), ws.len());
+        prop_assert!(out.iter().all(|w| *w >= 0.0 && w.is_finite()));
+        // Order preserved.
+        for i in 0..ws.len() {
+            for j in 0..ws.len() {
+                if ws[i] < ws[j] {
+                    prop_assert!(out[i] <= out[j] + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_range_selectivity_monotone_in_width(
+        rows in 100u64..1_000_000,
+        distinct in 1u64..10_000,
+        hi1 in 0.0f64..500.0,
+        extra in 0.0f64..500.0,
+    ) {
+        let h = Histogram::uniform(rows, distinct, 0.0, 1000.0, 32);
+        let narrow = h.selectivity_range(Some(0.0), Some(hi1));
+        let wide = h.selectivity_range(Some(0.0), Some(hi1 + extra));
+        prop_assert!(wide + 1e-12 >= narrow, "widening a range lost rows: {narrow} > {wide}");
+        prop_assert!((0.0..=1.0).contains(&narrow));
+    }
+
+    #[test]
+    fn selection_never_repeats_and_respects_k(
+        raw_utils in prop::collection::vec(0.01f64..1.0, 2..15),
+        k in 1usize..20,
+        entries in prop::collection::vec(prop::collection::vec((0u32..24, 0.1f64..1.0), 1..5), 15),
+    ) {
+        let n = raw_utils.len();
+        let features: Vec<FeatureVec> = entries[..n]
+            .iter()
+            .map(|es| FeatureVec::from_entries(es.iter().map(|&(c, w)| (gid(c), w)).collect()))
+            .collect();
+        let total: f64 = raw_utils.iter().sum();
+        let utils: Vec<f64> = raw_utils.iter().map(|u| u / total).collect();
+        for sel in [
+            isum_core::allpairs::select_all_pairs(
+                features.clone(), &features, utils.clone(), k,
+                isum_core::UpdateStrategy::ZeroFeatures),
+            isum_core::summary::select_summary(
+                features.clone(), &features, utils.clone(), k,
+                isum_core::UpdateStrategy::ZeroFeatures),
+        ] {
+            prop_assert!(sel.order.len() <= k.min(n));
+            let mut o = sel.order.clone();
+            o.sort_unstable();
+            o.dedup();
+            prop_assert_eq!(o.len(), sel.order.len(), "repeated selection");
+            prop_assert!(sel.order.iter().all(|&i| i < n));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random SQL-ish workloads over a random schema always bind and cost.
+    #[test]
+    fn random_filter_queries_bind_and_cost(
+        n_cols in 2usize..6,
+        rows in 1_000u64..10_000_000,
+        preds in prop::collection::vec((0usize..6, 0.0f64..1.0), 1..5),
+    ) {
+        let mut tb = CatalogBuilder::new().table("t", rows);
+        for c in 0..n_cols {
+            tb = tb.col_int(&format!("c{c}"), (rows / 10).max(2), 0, 1_000_000);
+        }
+        let catalog = tb.finish().expect("fresh table").build();
+        let mut conjuncts = Vec::new();
+        for (c, frac) in &preds {
+            let col = c % n_cols;
+            let v = (frac * 1_000_000.0) as i64;
+            conjuncts.push(format!("c{col} <= {v}"));
+        }
+        let sql = format!("SELECT c0 FROM t WHERE {}", conjuncts.join(" AND "));
+        let mut w = isum_workload::Workload::from_sql(catalog, &[sql]).expect("binds");
+        isum_optimizer::populate_costs(&mut w);
+        let cost = w.queries[0].cost;
+        prop_assert!(cost.is_finite() && cost > 0.0);
+    }
+}
