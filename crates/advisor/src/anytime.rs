@@ -66,9 +66,7 @@ impl AnytimeDta {
         // doubles (and once more at the end), the classic anytime schedule.
         let mut next_enumeration = 1usize;
         let mut enumerated_at = 0usize;
-        let enumerate_now = |pool: &Vec<Index>,
-                                 best: &mut IndexConfig,
-                                 best_cost: &mut f64| {
+        let enumerate_now = |pool: &Vec<Index>, best: &mut IndexConfig, best_cost: &mut f64| {
             let mut trial_pool = pool.clone();
             if self.inner.merging {
                 trial_pool.extend(merged_candidates(pool, pool.len() / 2 + 1, 8));
@@ -170,8 +168,7 @@ mod tests {
         // Put all the weight on the last query; with a zero budget only it
         // is processed, so every index must belong to its tables.
         let last = w.queries.last().expect("non-empty").id;
-        let mut entries: Vec<_> =
-            w.queries.iter().map(|q| (q.id, 0.001)).collect();
+        let mut entries: Vec<_> = w.queries.iter().map(|q| (q.id, 0.001)).collect();
         entries.last_mut().expect("non-empty").1 = 1.0;
         let sub = CompressedWorkload { entries };
         let outcome = AnytimeDta::new().recommend_within(

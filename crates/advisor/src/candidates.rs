@@ -56,36 +56,20 @@ pub fn candidate_indexes(
     tables.dedup();
 
     for table in tables {
-        let per: Vec<&IndexableColumn> =
-            cols.iter().filter(|c| c.gid.table == table).collect();
+        let per: Vec<&IndexableColumn> = cols.iter().filter(|c| c.gid.table == table).collect();
         // Selection columns: sargable filters ordered by selectivity
         // (most selective first — the order advisors key indexes in).
-        let mut sel: Vec<&IndexableColumn> = per
-            .iter()
-            .copied()
-            .filter(|c| c.positions.filter && c.sargable)
-            .collect();
+        let mut sel: Vec<&IndexableColumn> =
+            per.iter().copied().filter(|c| c.positions.filter && c.sargable).collect();
         sel.sort_by(|a, b| a.selectivity.partial_cmp(&b.selectivity).expect("finite"));
         sel.truncate(opts.max_selection_cols);
         let sel: Vec<ColumnId> = sel.iter().map(|c| c.gid.column).collect();
-        let join: Vec<ColumnId> = per
-            .iter()
-            .copied()
-            .filter(|c| c.positions.join)
-            .map(|c| c.gid.column)
-            .collect();
-        let group: Vec<ColumnId> = per
-            .iter()
-            .copied()
-            .filter(|c| c.positions.group_by)
-            .map(|c| c.gid.column)
-            .collect();
-        let order: Vec<ColumnId> = per
-            .iter()
-            .copied()
-            .filter(|c| c.positions.order_by)
-            .map(|c| c.gid.column)
-            .collect();
+        let join: Vec<ColumnId> =
+            per.iter().copied().filter(|c| c.positions.join).map(|c| c.gid.column).collect();
+        let group: Vec<ColumnId> =
+            per.iter().copied().filter(|c| c.positions.group_by).map(|c| c.gid.column).collect();
+        let order: Vec<ColumnId> =
+            per.iter().copied().filter(|c| c.positions.order_by).map(|c| c.gid.column).collect();
 
         let mut push = |keys: Vec<ColumnId>| {
             let keys: Vec<ColumnId> = keys.into_iter().take(opts.max_key_cols).collect();

@@ -72,21 +72,27 @@ impl IndexAdvisor for DtaAdvisor {
         subset: &CompressedWorkload,
         constraints: &TuningConstraints,
     ) -> IndexConfig {
+        let _tune = isum_common::telemetry::span("tune");
         // Phase 1+2 per tuned query.
-        let mut pool: Vec<Index> = Vec::new();
-        for &(id, _) in &subset.entries {
-            for ix in self.selected_candidates(optimizer, workload, id) {
-                if !pool.contains(&ix) {
-                    pool.push(ix);
+        let mut pool: Vec<Index> = {
+            let _s = isum_common::telemetry::span("candidates");
+            let mut pool: Vec<Index> = Vec::new();
+            for &(id, _) in &subset.entries {
+                for ix in self.selected_candidates(optimizer, workload, id) {
+                    if !pool.contains(&ix) {
+                        pool.push(ix);
+                    }
                 }
             }
-        }
+            pool
+        };
         // Phase 2.5: index merging widens the pool with indexes that can
         // serve several queries at lower storage.
         if self.merging {
             let merged = merged_candidates(&pool, pool.len() / 2 + 1, 8);
             pool.extend(merged);
         }
+        isum_common::count!("advisor.candidates.pooled", pool.len() as u64);
         // Phase 3: greedy enumeration over the weighted subset.
         greedy_enumerate(optimizer, workload, &subset.entries, &pool, constraints)
     }

@@ -8,7 +8,8 @@
 //! explored-configuration count grow quadratically with candidates — the
 //! scalability pain Fig 2 of the paper measures.
 
-use isum_common::QueryId;
+use isum_common::telemetry;
+use isum_common::{count, record, QueryId};
 use isum_optimizer::{Index, IndexConfig, WhatIfOptimizer};
 use isum_workload::Workload;
 
@@ -23,6 +24,8 @@ pub fn greedy_enumerate(
     pool: &[Index],
     constraints: &TuningConstraints,
 ) -> IndexConfig {
+    let _s = telemetry::span("enumerate");
+    count!("advisor.greedy.pool_size", pool.len() as u64);
     let catalog = optimizer.catalog();
     let mut cfg = IndexConfig::empty();
     let mut remaining: Vec<&Index> = pool.iter().collect();
@@ -30,6 +33,8 @@ pub fn greedy_enumerate(
     let mut current = weighted_cost(optimizer, workload, tuned, &cfg);
 
     while cfg.len() < constraints.max_indexes && !remaining.is_empty() {
+        count!("advisor.greedy.iterations");
+        let calls_before = optimizer.optimizer_calls();
         let mut best: Option<(usize, f64, u64)> = None;
         for (i, ix) in remaining.iter().enumerate() {
             let bytes = ix.size_bytes(catalog);
@@ -46,6 +51,12 @@ pub fn greedy_enumerate(
                 best = Some((i, gain, bytes));
             }
         }
+        // Per-round what-if pressure: this is the quadratic growth Fig 2
+        // attributes 70–80% of tuning time to.
+        record!(
+            "advisor.greedy.whatif_calls_per_round",
+            optimizer.optimizer_calls() - calls_before
+        );
         match best {
             Some((i, gain, bytes)) => {
                 cfg.add(remaining.remove(i).clone());
@@ -66,10 +77,7 @@ pub fn weighted_cost(
     tuned: &[(QueryId, f64)],
     cfg: &IndexConfig,
 ) -> f64 {
-    tuned
-        .iter()
-        .map(|&(id, w)| w * optimizer.cost_query(workload, id, cfg))
-        .sum()
+    tuned.iter().map(|&(id, w)| w * optimizer.cost_query(workload, id, cfg)).sum()
 }
 
 #[cfg(test)]
@@ -101,7 +109,8 @@ mod tests {
         opt.populate_costs(&mut w);
         let pool = pool_for(&w);
         let tuned: Vec<_> = w.queries.iter().map(|q| (q.id, 1.0)).collect();
-        let cfg = greedy_enumerate(&opt, &w, &tuned, &pool, &TuningConstraints::with_max_indexes(3));
+        let cfg =
+            greedy_enumerate(&opt, &w, &tuned, &pool, &TuningConstraints::with_max_indexes(3));
         assert!(cfg.len() <= 3);
         assert!(!cfg.is_empty(), "TPC-H queries must benefit from some index");
     }
@@ -115,13 +124,8 @@ mod tests {
         let pool = pool_for(&w);
         let tuned: Vec<_> = w.queries.iter().map(|q| (q.id, 1.0)).collect();
         let budget = 50 * 1024 * 1024; // 50 MiB: tight at sf=1
-        let cfg = greedy_enumerate(
-            &opt,
-            &w,
-            &tuned,
-            &pool,
-            &TuningConstraints::with_budget(16, budget),
-        );
+        let cfg =
+            greedy_enumerate(&opt, &w, &tuned, &pool, &TuningConstraints::with_budget(16, budget));
         assert!(cfg.total_bytes(&catalog) <= budget);
     }
 
@@ -151,18 +155,10 @@ mod tests {
         let opt = WhatIfOptimizer::new(&catalog);
         opt.populate_costs(&mut w);
         let pool = pool_for(&w);
-        let only_first: Vec<_> = w
-            .queries
-            .iter()
-            .map(|q| (q.id, if q.id.index() == 0 { 1.0 } else { 0.0 }))
-            .collect();
-        let cfg = greedy_enumerate(
-            &opt,
-            &w,
-            &only_first,
-            &pool,
-            &TuningConstraints::with_max_indexes(4),
-        );
+        let only_first: Vec<_> =
+            w.queries.iter().map(|q| (q.id, if q.id.index() == 0 { 1.0 } else { 0.0 })).collect();
+        let cfg =
+            greedy_enumerate(&opt, &w, &only_first, &pool, &TuningConstraints::with_max_indexes(4));
         // Every selected index must be relevant to query 0's tables.
         let q0_tables = w.queries[0].bound.referenced_tables();
         for ix in cfg.indexes() {
@@ -177,8 +173,7 @@ mod tests {
         let opt = WhatIfOptimizer::new(&catalog);
         opt.populate_costs(&mut w);
         let tuned: Vec<_> = w.queries.iter().map(|q| (q.id, 1.0)).collect();
-        let cfg =
-            greedy_enumerate(&opt, &w, &tuned, &[], &TuningConstraints::with_max_indexes(4));
+        let cfg = greedy_enumerate(&opt, &w, &tuned, &[], &TuningConstraints::with_max_indexes(4));
         assert!(cfg.is_empty());
     }
 }

@@ -11,7 +11,7 @@
 //!
 //! * [`TuningReport::exact`] — one what-if call per input query (the
 //!   expensive, DTA-style report), with the indexes each query's plan uses
-//!   extracted from the priced [`PlanNode`](isum_optimizer::PlanNode).
+//!   extracted from the priced [`PlanNode`].
 //! * [`TuningReport::extrapolated`] — what-if calls only for the
 //!   *compressed* queries, extrapolating each unselected query's
 //!   improvement from its most similar selected representative (the
@@ -200,12 +200,8 @@ mod tests {
         populate_costs(&mut w);
         let cw = Isum::new().compress(&w, 6).expect("valid inputs");
         let opt = WhatIfOptimizer::new(&w.catalog);
-        let cfg = DtaAdvisor::new().recommend(
-            &opt,
-            &w,
-            &cw,
-            &TuningConstraints::with_max_indexes(10),
-        );
+        let cfg =
+            DtaAdvisor::new().recommend(&opt, &w, &cw, &TuningConstraints::with_max_indexes(10));
         (w, cfg, cw)
     }
 
@@ -258,8 +254,7 @@ mod tests {
             opt2.optimizer_calls() < opt.optimizer_calls(),
             "extrapolation must make fewer what-if calls"
         );
-        let err =
-            (extra.total_improvement_pct() - exact.total_improvement_pct()).abs();
+        let err = (extra.total_improvement_pct() - exact.total_improvement_pct()).abs();
         assert!(
             err < 25.0,
             "extrapolated {:.1}% vs exact {:.1}%",

@@ -16,6 +16,7 @@ impl Compressor for CostTopK {
     }
 
     fn compress(&self, workload: &Workload, k: usize) -> Result<CompressedWorkload> {
+        let _s = isum_common::telemetry::span("cost_topk");
         validate(workload, k)?;
         let mut order: Vec<usize> = (0..workload.len()).collect();
         order.sort_by(|&a, &b| {

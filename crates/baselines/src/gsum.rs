@@ -41,6 +41,7 @@ impl Compressor for Gsum {
     }
 
     fn compress(&self, workload: &Workload, k: usize) -> Result<CompressedWorkload> {
+        let _s = isum_common::telemetry::span("gsum");
         validate(workload, k)?;
         let n = workload.len();
         let k = k.min(n);
@@ -50,11 +51,10 @@ impl Compressor for Gsum {
             .queries
             .iter()
             .map(|q| {
-                let mut cols: Vec<GlobalColumnId> =
-                    indexable_columns(&q.bound, &workload.catalog)
-                        .into_iter()
-                        .map(|c| c.gid)
-                        .collect();
+                let mut cols: Vec<GlobalColumnId> = indexable_columns(&q.bound, &workload.catalog)
+                    .into_iter()
+                    .map(|c| c.gid)
+                    .collect();
                 // Projection columns count too (GSUM is syntax-driven).
                 cols.extend(q.bound.projections.iter().map(|p| p.gid));
                 cols.sort_unstable();
@@ -72,9 +72,7 @@ impl Compressor for Gsum {
         if total_freq <= 0.0 {
             // Degenerate workload (no columns anywhere): fall back to the
             // first k queries.
-            return Ok(CompressedWorkload::uniform(
-                (0..k).map(QueryId::from_index).collect(),
-            ));
+            return Ok(CompressedWorkload::uniform((0..k).map(QueryId::from_index).collect()));
         }
 
         // Greedy: maximize alpha * coverage_gain + (1-alpha) * representativity.
@@ -105,8 +103,8 @@ impl Compressor for Gsum {
                 let mut l1 = 0.0;
                 for (&c, &f) in &freq {
                     let p = f / total_freq;
-                    let q = trial.get(&c).copied().unwrap_or(0.0)
-                        / trial_total.max(f64::MIN_POSITIVE);
+                    let q =
+                        trial.get(&c).copied().unwrap_or(0.0) / trial_total.max(f64::MIN_POSITIVE);
                     l1 += (p - q).abs();
                 }
                 let repr = 1.0 - l1 / 2.0;
@@ -124,9 +122,7 @@ impl Compressor for Gsum {
             }
             summary_total += per_query[pick].len() as f64;
         }
-        Ok(CompressedWorkload::uniform(
-            picked.into_iter().map(QueryId::from_index).collect(),
-        ))
+        Ok(CompressedWorkload::uniform(picked.into_iter().map(QueryId::from_index).collect()))
     }
 }
 
@@ -148,10 +144,10 @@ mod tests {
         let mut w = Workload::from_sql(
             catalog,
             &[
-                "SELECT a FROM t WHERE b = 1",          // {a, b}
-                "SELECT a FROM t WHERE b = 2",          // {a, b} duplicate shape
-                "SELECT a FROM t WHERE c = 1",          // {a, c}
-                "SELECT a FROM t WHERE d = 1",          // {a, d}
+                "SELECT a FROM t WHERE b = 1",                     // {a, b}
+                "SELECT a FROM t WHERE b = 2",                     // {a, b} duplicate shape
+                "SELECT a FROM t WHERE c = 1",                     // {a, c}
+                "SELECT a FROM t WHERE d = 1",                     // {a, d}
                 "SELECT a FROM t WHERE b = 1 AND c = 2 AND d = 3", // covers all
             ],
         )
@@ -197,9 +193,6 @@ mod tests {
     #[test]
     fn deterministic() {
         let w = workload();
-        assert_eq!(
-            Gsum::new().compress(&w, 3).unwrap(),
-            Gsum::new().compress(&w, 3).unwrap()
-        );
+        assert_eq!(Gsum::new().compress(&w, 3).unwrap(), Gsum::new().compress(&w, 3).unwrap());
     }
 }

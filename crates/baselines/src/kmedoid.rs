@@ -36,6 +36,7 @@ impl Compressor for KMedoid {
     }
 
     fn compress(&self, workload: &Workload, k: usize) -> Result<CompressedWorkload> {
+        let _s = isum_common::telemetry::span("kmedoid");
         validate(workload, k)?;
         let n = workload.len();
         let k = k.min(n);
@@ -64,8 +65,7 @@ impl Compressor for KMedoid {
             // Recompute medoids.
             let mut moved = false;
             for (c, medoid) in medoids.iter_mut().enumerate() {
-                let members: Vec<usize> =
-                    (0..n).filter(|&q| assignment[q] == c).collect();
+                let members: Vec<usize> = (0..n).filter(|&q| assignment[q] == c).collect();
                 if members.is_empty() {
                     continue;
                 }
@@ -92,15 +92,9 @@ impl Compressor for KMedoid {
             .iter()
             .enumerate()
             .map(|(c, &m)| {
-                let cluster_cost: f64 = (0..n)
-                    .filter(|&q| assignment[q] == c)
-                    .map(|q| workload.queries[q].cost)
-                    .sum();
-                let w = if total_cost > 0.0 {
-                    cluster_cost / total_cost
-                } else {
-                    1.0 / k as f64
-                };
+                let cluster_cost: f64 =
+                    (0..n).filter(|&q| assignment[q] == c).map(|q| workload.queries[q].cost).sum();
+                let w = if total_cost > 0.0 { cluster_cost / total_cost } else { 1.0 / k as f64 };
                 (QueryId::from_index(m), w)
             })
             .collect();
@@ -164,8 +158,7 @@ mod tests {
     fn weights_reflect_cluster_cost_mass() {
         let mut w = workload();
         // Make the b-cluster carry 90% of the cost.
-        let costs: Vec<f64> =
-            (0..12).map(|i| if i < 6 { 90.0 } else { 10.0 }).collect();
+        let costs: Vec<f64> = (0..12).map(|i| if i < 6 { 90.0 } else { 10.0 }).collect();
         w.set_costs(&costs);
         let cw = KMedoid::new(3).compress(&w, 2).unwrap();
         let (b_weight, c_weight) = {

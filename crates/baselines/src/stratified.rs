@@ -30,6 +30,7 @@ impl Compressor for Stratified {
     }
 
     fn compress(&self, workload: &Workload, k: usize) -> Result<CompressedWorkload> {
+        let _s = isum_common::telemetry::span("stratified");
         validate(workload, k)?;
         let k = k.min(workload.len());
         let mut clusters: HashMap<TemplateId, Vec<usize>> = HashMap::new();
@@ -66,9 +67,7 @@ impl Compressor for Stratified {
             }
             round += 1;
         }
-        Ok(CompressedWorkload::uniform(
-            picked.into_iter().map(QueryId::from_index).collect(),
-        ))
+        Ok(CompressedWorkload::uniform(picked.into_iter().map(QueryId::from_index).collect()))
     }
 }
 
@@ -99,8 +98,7 @@ mod tests {
     fn one_per_template_before_seconds() {
         let w = workload();
         let cw = Stratified::new(3).compress(&w, 3).unwrap();
-        let templates: Vec<_> =
-            cw.ids().iter().map(|id| w.queries[id.index()].template).collect();
+        let templates: Vec<_> = cw.ids().iter().map(|id| w.queries[id.index()].template).collect();
         let mut t = templates.clone();
         t.sort();
         t.dedup();

@@ -27,6 +27,7 @@ impl Compressor for UniformSampling {
     }
 
     fn compress(&self, workload: &Workload, k: usize) -> Result<CompressedWorkload> {
+        let _s = isum_common::telemetry::span("uniform");
         validate(workload, k)?;
         let n = workload.len();
         let k = k.min(n);
@@ -50,8 +51,7 @@ mod tests {
             .finish()
             .unwrap()
             .build();
-        let sqls: Vec<String> =
-            (0..n).map(|i| format!("SELECT a FROM t WHERE b = {i}")).collect();
+        let sqls: Vec<String> = (0..n).map(|i| format!("SELECT a FROM t WHERE b = {i}")).collect();
         Workload::from_sql(catalog, &sqls).unwrap()
     }
 

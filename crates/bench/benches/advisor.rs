@@ -3,7 +3,9 @@
 //! (Fig 2a of the paper).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use isum_advisor::{candidate_indexes, CandidateOptions, DtaAdvisor, IndexAdvisor, TuningConstraints};
+use isum_advisor::{
+    candidate_indexes, CandidateOptions, DtaAdvisor, IndexAdvisor, TuningConstraints,
+};
 use isum_bench::prepared_tpch;
 use isum_optimizer::WhatIfOptimizer;
 use isum_workload::CompressedWorkload;
@@ -27,9 +29,7 @@ fn bench_tuning_vs_workload_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("dta_tuning");
     group.sample_size(10);
     for &n in &[4usize, 11, 22, 44] {
-        let sub = CompressedWorkload::uniform(
-            w.queries.iter().take(n).map(|q| q.id).collect(),
-        );
+        let sub = CompressedWorkload::uniform(w.queries.iter().take(n).map(|q| q.id).collect());
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let opt = WhatIfOptimizer::new(&w.catalog);

@@ -52,8 +52,7 @@ fn bench_summary_build(c: &mut Criterion) {
     group.sample_size(20);
     for &n in &[100usize, 500, 2000] {
         let mut rng = DetRng::seeded(11);
-        let features: Vec<FeatureVec> =
-            (0..n).map(|_| random_vec(&mut rng, 8, 64)).collect();
+        let features: Vec<FeatureVec> = (0..n).map(|_| random_vec(&mut rng, 8, 64)).collect();
         let utilities: Vec<f64> = (0..n).map(|_| rng.unit() / n as f64).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| summary_features(std::hint::black_box(&features), &utilities));

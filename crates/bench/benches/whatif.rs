@@ -15,10 +15,7 @@ fn bench_cost_bound(c: &mut Criterion) {
         Index::new(li, vec![t.column_id("l_shipdate").expect("col")]),
         Index::new(
             li,
-            vec![
-                t.column_id("l_orderkey").expect("col"),
-                t.column_id("l_quantity").expect("col"),
-            ],
+            vec![t.column_id("l_orderkey").expect("col"), t.column_id("l_quantity").expect("col")],
         ),
     ]);
     let mut group = c.benchmark_group("whatif");

@@ -158,12 +158,8 @@ mod tests {
 
     #[test]
     fn text_columns_have_no_histogram() {
-        let catalog = CatalogBuilder::new()
-            .table("t", 10)
-            .col_text("s", 5, 12)
-            .finish()
-            .unwrap()
-            .build();
+        let catalog =
+            CatalogBuilder::new().table("t", 10).col_text("s", 5, 12).finish().unwrap().build();
         let t = catalog.table(catalog.table_id("t").unwrap());
         assert!(t.column(t.column_id("s").unwrap()).stats.histogram.is_none());
     }

@@ -94,8 +94,7 @@ impl Table {
         for c in &mut columns {
             c.name.make_ascii_lowercase();
         }
-        let row_width: u32 =
-            16 + columns.iter().map(|c| c.stats.avg_width).sum::<u32>();
+        let row_width: u32 = 16 + columns.iter().map(|c| c.stats.avg_width).sum::<u32>();
         let name_to_col = columns
             .iter()
             .enumerate()

@@ -70,8 +70,7 @@ impl Selectivity {
         let span = stats.max - stats.min;
         if span <= 0.0 {
             // Single-valued domain: any range either covers it or not.
-            let covered = lo.is_none_or(|l| l <= stats.min)
-                && hi.is_none_or(|h| h >= stats.max);
+            let covered = lo.is_none_or(|l| l <= stats.min) && hi.is_none_or(|h| h >= stats.max);
             return if covered { 1.0 } else { 0.0 };
         }
         let l = lo.unwrap_or(stats.min).max(stats.min);

@@ -10,14 +10,17 @@
 //! is a `;`-separated SQL script, optionally with `-- cost: <value>`
 //! annotations carrying logged costs (missing costs are filled by the
 //! bundled what-if optimizer).
+//!
+//! Passing `--stats` (or setting `ISUM_TELEMETRY=1`) enables the
+//! [`isum_common::telemetry`] registry and prints a phase/counter table
+//! after the command finishes.
 
 mod schema;
 
 use std::process::ExitCode;
 
-use isum_advisor::{
-    DexterAdvisor, DtaAdvisor, IndexAdvisor, TuningConstraints, TuningReport,
-};
+use isum_advisor::{DexterAdvisor, DtaAdvisor, IndexAdvisor, TuningConstraints, TuningReport};
+use isum_common::telemetry;
 use isum_common::{Error, Result};
 use isum_core::{Compressor, Isum, IsumConfig};
 use isum_optimizer::{CostModel, IndexConfig, WhatIfOptimizer};
@@ -40,7 +43,11 @@ fn run(args: &[String]) -> Result<()> {
         return Err(Error::InvalidConfig("missing command".into()));
     };
     let opts = Options::parse(&args[1..])?;
-    match command.as_str() {
+    telemetry::init_from_env();
+    if opts.stats {
+        telemetry::set_enabled(true);
+    }
+    let result = match command.as_str() {
         "compress" => compress(&opts),
         "tune" => tune(&opts),
         "explain" => explain(&opts),
@@ -52,7 +59,14 @@ fn run(args: &[String]) -> Result<()> {
             print_usage();
             Err(Error::InvalidConfig(format!("unknown command `{other}`")))
         }
+    };
+    if result.is_ok() && telemetry::enabled() {
+        let snap = telemetry::snapshot();
+        if !snap.is_empty() {
+            println!("\n{}", snap.render_table());
+        }
     }
+    result
 }
 
 fn print_usage() {
@@ -60,7 +74,8 @@ fn print_usage() {
         "usage:\n  \
          isum compress --schema <json> --workload <sql> -k <n> [--variant isum|isum-s|all-pairs]\n  \
          isum tune     --schema <json> --workload <sql> -k <n> [-m <indexes>] [--advisor dta|dexter] [--budget-bytes <n>] [--report]\n  \
-         isum explain  --schema <json> --workload <sql> --query <idx> [--tuned]"
+         isum explain  --schema <json> --workload <sql> --query <idx> [--tuned]\n\
+         any command accepts --stats (or ISUM_TELEMETRY=1) to print a telemetry table"
     );
 }
 
@@ -76,6 +91,7 @@ struct Options {
     budget_bytes: Option<u64>,
     report: bool,
     tuned: bool,
+    stats: bool,
 }
 
 impl Options {
@@ -91,6 +107,7 @@ impl Options {
             budget_bytes: None,
             report: false,
             tuned: false,
+            stats: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -126,6 +143,7 @@ impl Options {
                 }
                 "--report" => o.report = true,
                 "--tuned" => o.tuned = true,
+                "--stats" => o.stats = true,
                 other => {
                     return Err(Error::InvalidConfig(format!("unknown flag `{other}`")));
                 }
@@ -157,13 +175,7 @@ impl Options {
                 let empty = IndexConfig::empty();
                 w.queries
                     .iter()
-                    .map(|q| {
-                        if q.cost > 0.0 {
-                            q.cost
-                        } else {
-                            opt.cost_bound(&q.bound, &empty)
-                        }
-                    })
+                    .map(|q| if q.cost > 0.0 { q.cost } else { opt.cost_bound(&q.bound, &empty) })
                     .collect()
             };
             w.set_costs(&costs);
@@ -217,10 +229,8 @@ fn tune(opts: &Options) -> Result<()> {
     let w = opts.load()?;
     let compressed = opts.compressor()?.compress(&w, opts.k)?;
     let advisor = opts.advisor()?;
-    let constraints = TuningConstraints {
-        max_indexes: opts.m,
-        storage_budget_bytes: opts.budget_bytes,
-    };
+    let constraints =
+        TuningConstraints { max_indexes: opts.m, storage_budget_bytes: opts.budget_bytes };
     let opt = WhatIfOptimizer::new(&w.catalog);
     let config = advisor.recommend(&opt, &w, &compressed, &constraints);
     println!("recommended {} indexes (advisor {}):", config.len(), advisor.name());
@@ -352,6 +362,14 @@ mod tests {
         assert!(o.advisor().is_err());
         let o = opts(&["--query", "99"]);
         assert!(explain(&o).is_err());
+    }
+
+    #[test]
+    fn stats_flag_parses() {
+        let o = opts(&["--stats"]);
+        assert!(o.stats);
+        let o = opts(&[]);
+        assert!(!o.stats);
     }
 
     #[test]

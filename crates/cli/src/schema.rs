@@ -3,21 +3,21 @@
 //! Users describe their database as a JSON document (tables, row counts,
 //! per-column statistics — the same inputs a production deployment would
 //! pull from `pg_stats` / `sys.dm_db_stats`), which the CLI turns into an
-//! [`isum_catalog::Catalog`].
+//! [`isum_catalog::Catalog`]. Parsing is hand-rolled over
+//! [`isum_common::Json`] so the CLI carries no serialization dependency.
 
 use isum_catalog::{Catalog, CatalogBuilder};
-use isum_common::{Error, Result};
-use serde::Deserialize;
+use isum_common::{Error, Json, Result};
 
 /// Top-level schema document.
-#[derive(Debug, Deserialize)]
+#[derive(Debug)]
 pub struct SchemaDoc {
     /// Table definitions.
     pub tables: Vec<TableDoc>,
 }
 
 /// One table.
-#[derive(Debug, Deserialize)]
+#[derive(Debug)]
 pub struct TableDoc {
     /// Table name.
     pub name: String,
@@ -28,29 +28,71 @@ pub struct TableDoc {
 }
 
 /// One column. `type` is one of `int`, `float`, `date`, `text`, `key`.
-#[derive(Debug, Deserialize)]
+#[derive(Debug)]
 pub struct ColumnDoc {
     /// Column name.
     pub name: String,
     /// Logical type.
-    #[serde(rename = "type")]
     pub ty: String,
     /// Distinct values (defaults to the table's row count for `key`,
     /// `rows / 10` otherwise).
-    #[serde(default)]
     pub distinct: Option<u64>,
     /// Domain minimum (ordered types; default 0).
-    #[serde(default)]
     pub min: Option<f64>,
     /// Domain maximum (ordered types; default `distinct`).
-    #[serde(default)]
     pub max: Option<f64>,
     /// Average width in bytes (text only; default 24).
-    #[serde(default)]
     pub width: Option<u32>,
     /// Zipf skew exponent for the value distribution (default 0 = uniform).
-    #[serde(default)]
     pub skew: Option<f64>,
+}
+
+fn bad(msg: impl Into<String>) -> Error {
+    Error::Io(format!("schema JSON: {}", msg.into()))
+}
+
+fn req_str(v: &Json, key: &str, ctx: &str) -> Result<String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| bad(format!("{ctx}: missing string field `{key}`")))
+}
+
+fn opt_f64(v: &Json, key: &str) -> Option<f64> {
+    v.get(key).and_then(Json::as_f64)
+}
+
+/// Decodes the document structure from parsed JSON.
+fn decode_doc(root: &Json) -> Result<SchemaDoc> {
+    let tables =
+        root.get("tables").and_then(Json::as_array).ok_or_else(|| bad("missing `tables` array"))?;
+    let mut out = Vec::with_capacity(tables.len());
+    for t in tables {
+        let name = req_str(t, "name", "table")?;
+        let rows = t
+            .get("rows")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad(format!("table `{name}`: missing numeric `rows`")))?;
+        let cols = t
+            .get("columns")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad(format!("table `{name}`: missing `columns` array")))?;
+        let mut columns = Vec::with_capacity(cols.len());
+        for c in cols {
+            let ctx = format!("table `{name}` column");
+            columns.push(ColumnDoc {
+                name: req_str(c, "name", &ctx)?,
+                ty: req_str(c, "type", &ctx)?,
+                distinct: c.get("distinct").and_then(Json::as_u64),
+                min: opt_f64(c, "min"),
+                max: opt_f64(c, "max"),
+                width: c.get("width").and_then(Json::as_u64).map(|w| w as u32),
+                skew: opt_f64(c, "skew"),
+            });
+        }
+        out.push(TableDoc { name, rows, columns });
+    }
+    Ok(SchemaDoc { tables: out })
 }
 
 /// Parses a schema document and builds the catalog.
@@ -59,8 +101,8 @@ pub struct ColumnDoc {
 /// Returns [`Error::Io`] on malformed JSON and [`Error::Catalog`] on
 /// invalid definitions (duplicate tables, unknown column types).
 pub fn parse_schema(json: &str) -> Result<Catalog> {
-    let doc: SchemaDoc =
-        serde_json::from_str(json).map_err(|e| Error::Io(format!("schema JSON: {e}")))?;
+    let root = Json::parse(json).map_err(|e| bad(e.to_string()))?;
+    let doc = decode_doc(&root)?;
     let mut builder = CatalogBuilder::new();
     for t in &doc.tables {
         let mut tb = builder.table(&t.name, t.rows);
@@ -159,5 +201,11 @@ mod tests {
             {"name":"t","rows":2,"columns":[{"name":"b","type":"key"}]}
         ]}"#;
         assert!(parse_schema(dup).is_err());
+    }
+
+    #[test]
+    fn missing_fields_reported() {
+        let err = parse_schema(r#"{"tables":[{"name":"t","columns":[]}]}"#).unwrap_err();
+        assert!(err.to_string().contains("rows"), "{err}");
     }
 }

@@ -3,13 +3,18 @@
 //! This crate contains the foundation types used by every other crate in the
 //! workspace: strongly-typed identifiers ([`ids`]), the workspace error type
 //! ([`error`]), deterministic random number generation with skewed samplers
-//! ([`rng`]), and the statistical helpers used by the evaluation harness
-//! ([`stats`]).
+//! ([`rng`]), the statistical helpers used by the evaluation harness
+//! ([`stats`]), a dependency-free JSON value ([`json`]), and the
+//! workload-compression telemetry layer ([`telemetry`]) every other crate
+//! reports spans and counters through.
 
 pub mod error;
 pub mod ids;
+pub mod json;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 
 pub use error::{Error, Result};
 pub use ids::{ColumnId, GlobalColumnId, IndexId, QueryId, TableId, TemplateId};
+pub use json::Json;

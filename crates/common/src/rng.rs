@@ -7,29 +7,66 @@
 //! produce the skewed value and template-frequency distributions the paper
 //! attributes to those workloads.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// Deterministic RNG used across the workspace.
 ///
-/// A thin wrapper over [`StdRng`] that can only be constructed from an
-/// explicit seed, making accidental use of entropy-based seeding impossible.
+/// A self-contained xoshiro256** generator seeded through SplitMix64 (the
+/// reference seeding procedure), so the workspace carries no external RNG
+/// dependency. It can only be constructed from an explicit seed, making
+/// accidental use of entropy-based seeding impossible.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seeded(seed: u64) -> Self {
-        Self { inner: StdRng::seed_from_u64(seed) }
+        // SplitMix64 expansion of the seed into the 256-bit state, per the
+        // xoshiro authors' recommendation (never leaves the state all-zero).
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self { state: [next(), next(), next(), next()] }
+    }
+
+    /// Next raw 64-bit output (xoshiro256**).
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s2n = s2 ^ s0;
+        let mut s3n = s3 ^ s1;
+        let s1n = s1 ^ s2n;
+        let s0n = s0 ^ s3n;
+        s2n ^= t;
+        s3n = s3n.rotate_left(45);
+        self.state = [s0n, s1n, s2n, s3n];
+        result
+    }
+
+    /// Uniform integer in `[0, bound)` over a `u64` bound, without modulo
+    /// bias (Lemire-style rejection on the widening multiply).
+    fn below_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = (self.next_u64() as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Derives an independent child generator; used to give each query
     /// template its own stream so that adding templates does not perturb
     /// the bindings of existing ones.
     pub fn fork(&mut self, salt: u64) -> Self {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Self::seeded(s)
     }
 
@@ -39,29 +76,36 @@ impl DetRng {
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "below(0)");
-        self.inner.gen_range(0..bound)
+        self.below_u64(bound as u64) as usize
     }
 
     /// Uniform integer in `[lo, hi]` (inclusive).
     pub fn range_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
         assert!(lo <= hi, "empty range");
-        self.inner.gen_range(lo..=hi)
+        let span = (hi as i128 - lo as i128) as u128 + 1;
+        if span > u64::MAX as u128 {
+            // Full-width range: any u64 reinterpreted is uniform.
+            return self.next_u64() as i64;
+        }
+        let off = self.below_u64(span as u64);
+        (lo as i128 + off as i128) as i64
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits scaled into [0, 1), the standard conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        self.unit() < p.clamp(0.0, 1.0)
     }
 
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i + 1);
             items.swap(i, j);
         }
     }
@@ -75,7 +119,7 @@ impl DetRng {
         assert!(k <= n, "cannot sample {k} from {n}");
         let mut idx: Vec<usize> = (0..n).collect();
         for i in 0..k {
-            let j = self.inner.gen_range(i..n);
+            let j = i + self.below(n - i);
             idx.swap(i, j);
         }
         idx.truncate(k);

@@ -1,0 +1,132 @@
+//! The global metric registry: name → metric interning.
+//!
+//! The registry mutex is taken only when a call site interns a name for
+//! the first time (or when a snapshot/reset walks the maps); steady-state
+//! increments go straight to the interned atomics.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use super::histogram::Histogram;
+use super::metrics::{Counter, Gauge};
+
+/// Name-keyed metric storage. `BTreeMap` keeps snapshot output sorted and
+/// deterministic without a post-pass.
+#[derive(Debug, Default)]
+pub(crate) struct Maps {
+    pub counters: BTreeMap<String, Arc<Counter>>,
+    pub gauges: BTreeMap<String, Arc<Gauge>>,
+    pub histograms: BTreeMap<String, Arc<Histogram>>,
+    /// Span-path → duration histogram, kept apart from plain histograms so
+    /// reports can render the phase tree separately.
+    pub spans: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// The process-wide metric registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    pub(crate) maps: Mutex<Maps>,
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The global registry.
+pub fn registry() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// Interns (or retrieves) a counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut maps = self.maps.lock().expect("registry poisoned");
+        Arc::clone(maps.counters.entry(name.to_string()).or_default())
+    }
+
+    /// Interns (or retrieves) a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut maps = self.maps.lock().expect("registry poisoned");
+        Arc::clone(maps.gauges.entry(name.to_string()).or_default())
+    }
+
+    /// Interns (or retrieves) a latency histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut maps = self.maps.lock().expect("registry poisoned");
+        Arc::clone(maps.histograms.entry(name.to_string()).or_default())
+    }
+
+    /// Interns (or retrieves) the duration histogram of a span path.
+    pub fn span_histogram(&self, path: &str) -> Arc<Histogram> {
+        let mut maps = self.maps.lock().expect("registry poisoned");
+        Arc::clone(maps.spans.entry(path.to_string()).or_default())
+    }
+
+    /// Zeroes every registered metric (names stay interned, so cached
+    /// call-site handles remain valid across resets).
+    pub fn reset(&self) {
+        let maps = self.maps.lock().expect("registry poisoned");
+        for c in maps.counters.values() {
+            c.reset();
+        }
+        for g in maps.gauges.values() {
+            g.reset();
+        }
+        for h in maps.histograms.values().chain(maps.spans.values()) {
+            h.reset();
+        }
+    }
+}
+
+/// Interns a counter in the global registry.
+pub fn counter(name: &str) -> Arc<Counter> {
+    registry().counter(name)
+}
+
+/// Interns a gauge in the global registry.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    registry().gauge(name)
+}
+
+/// Interns a histogram in the global registry.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    registry().histogram(name)
+}
+
+/// Interns a span-path histogram in the global registry.
+pub fn span_histogram(path: &str) -> Arc<Histogram> {
+    registry().span_histogram(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_returns_the_same_metric() {
+        let r = Registry::default();
+        let a = r.counter("x.same");
+        let b = r.counter("x.same");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn reset_preserves_handles() {
+        let r = Registry::default();
+        let c = r.counter("x.reset");
+        c.add(5);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(r.counter("x.reset").get(), 1, "handle still live after reset");
+    }
+
+    #[test]
+    fn spans_and_histograms_are_separate_namespaces() {
+        let r = Registry::default();
+        r.histogram("t.h").record(1);
+        r.span_histogram("t.h").record(2);
+        assert_eq!(r.histogram("t.h").snap().sum, 1);
+        assert_eq!(r.span_histogram("t.h").snap().sum, 2);
+    }
+}

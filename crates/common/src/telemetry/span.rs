@@ -1,0 +1,159 @@
+//! Hierarchical scoped timers.
+//!
+//! A [`span`] measures the wall time between its creation and drop and
+//! records it under a slash-separated path reflecting the nesting of live
+//! spans on the current thread: opening `"select"` inside `"compress"`
+//! records under `compress/select`. Each path accumulates into its own
+//! duration histogram, so phase breakdowns carry counts and quantiles,
+//! not just totals.
+//!
+//! When telemetry is disabled the guard is fully inert: no clock read, no
+//! allocation, no thread-local touch — construction and drop are each one
+//! branch.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use super::{enabled, registry};
+
+thread_local! {
+    /// Stack of open span paths on this thread; the top is the parent of
+    /// the next span opened.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a scoped span named `name` under the innermost live span of this
+/// thread. Dropping the guard records the elapsed time.
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { live: None };
+    }
+    let path = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let path = match s.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        s.push(path.clone());
+        path
+    });
+    SpanGuard { live: Some(LiveSpan { path, start: Instant::now() }) }
+}
+
+#[derive(Debug)]
+struct LiveSpan {
+    path: String,
+    start: Instant,
+}
+
+/// RAII guard returned by [`span`]; records on drop.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records ~0ns"]
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+impl SpanGuard {
+    /// The full slash-separated path of this span (`None` when telemetry
+    /// was disabled at creation).
+    pub fn path(&self) -> Option<&str> {
+        self.live.as_ref().map(|l| l.path.as_str())
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        let elapsed = live.start.elapsed();
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Pop this span. Guards are dropped in reverse creation order
+            // under normal scoping; tolerate out-of-order drops by
+            // removing the matching entry wherever it sits.
+            match s.iter().rposition(|p| *p == live.path) {
+                Some(i) => {
+                    s.remove(i);
+                }
+                None => debug_assert!(false, "span {} missing from stack", live.path),
+            }
+        });
+        registry().span_histogram(&live.path).record_duration(elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::set_enabled;
+    use super::*;
+
+    /// Serializes tests that toggle the global enabled flag.
+    fn with_enabled(f: impl FnOnce()) {
+        let _g = super::super::test_lock();
+        set_enabled(true);
+        f();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn nested_spans_build_paths() {
+        with_enabled(|| {
+            let outer = span("unit_outer");
+            assert_eq!(outer.path(), Some("unit_outer"));
+            let inner = span("unit_inner");
+            assert_eq!(inner.path(), Some("unit_outer/unit_inner"));
+            drop(inner);
+            let sibling = span("unit_sib");
+            assert_eq!(sibling.path(), Some("unit_outer/unit_sib"));
+        });
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _g = super::super::test_lock();
+        set_enabled(false);
+        let g = span("unit_disabled");
+        assert_eq!(g.path(), None);
+        drop(g);
+        // Nothing recorded under the bare name.
+        assert_eq!(registry().span_histogram("unit_disabled").snap().count, 0);
+    }
+
+    #[test]
+    fn child_span_time_never_exceeds_parent() {
+        with_enabled(|| {
+            {
+                let _outer = span("unit_parent");
+                {
+                    let _inner = span("unit_child");
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                // Parent keeps running after the child closed.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            let parent = registry().span_histogram("unit_parent").snap();
+            let child = registry().span_histogram("unit_parent/unit_child").snap();
+            assert_eq!(parent.count, 1);
+            assert_eq!(child.count, 1);
+            assert!(
+                child.sum <= parent.sum,
+                "child {}ns exceeds parent {}ns",
+                child.sum,
+                parent.sum
+            );
+            assert!(parent.sum >= 3_000_000, "parent spans both sleeps");
+        });
+    }
+
+    #[test]
+    fn drop_records_duration() {
+        with_enabled(|| {
+            {
+                let _g = span("unit_recorded");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            let snap = registry().span_histogram("unit_recorded").snap();
+            assert!(snap.count >= 1);
+            assert!(snap.sum >= 1_000_000, "at least the 1ms sleep: {}", snap.sum);
+        });
+    }
+}

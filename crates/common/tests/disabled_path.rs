@@ -1,0 +1,53 @@
+//! Proves the disabled telemetry hot path is branch-only.
+//!
+//! Lives in its own integration-test binary so the counting allocator and
+//! the global enabled flag are not shared with unrelated tests. The single
+//! test keeps the binary single-threaded during measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use isum_common::telemetry;
+
+/// System allocator that counts `alloc` calls.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_instrumentation_never_allocates() {
+    telemetry::set_enabled(false);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let _g = telemetry::span("disabled.span");
+        isum_common::count!("disabled.counter");
+        isum_common::count!("disabled.counter", i);
+        isum_common::record!("disabled.hist", i);
+        isum_common::record_ns!("disabled.hist_ns", i);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled telemetry must not allocate (span/count!/record! are branch-only)"
+    );
+    // Nothing was interned either: the registry never saw these names.
+    let snap = telemetry::snapshot();
+    assert_eq!(snap.counter("disabled.counter"), None);
+    assert_eq!(snap.histogram("disabled.hist"), None);
+    assert!(snap.span_total_ns("disabled.span").is_none());
+}

@@ -32,10 +32,12 @@ pub fn select_all_pairs(
 ) -> Selection {
     let n = features.len();
     let k = k.min(n);
+    isum_common::count!("core.select.candidates", n as u64);
     let mut selected = vec![false; n];
     let mut out = Selection::default();
 
     while out.order.len() < k {
+        isum_common::count!("core.select.iterations");
         // Algorithm 1: find the max-conditional-benefit query, skipping
         // queries whose features are fully covered (all-zero).
         let mut best: Option<(usize, f64)> = None;

@@ -91,11 +91,8 @@ mod tests {
 
     #[test]
     fn similarity_with_workload_sums_pairwise() {
-        let features = vec![
-            vec_of(&[(0, 1.0)]),
-            vec_of(&[(0, 1.0)]),
-            vec_of(&[(0, 1.0), (1, 1.0)]),
-        ];
+        let features =
+            vec![vec_of(&[(0, 1.0)]), vec_of(&[(0, 1.0)]), vec_of(&[(0, 1.0), (1, 1.0)])];
         let s = similarity_with_workload(0, &features);
         assert!((s - 1.5).abs() < 1e-12);
     }

@@ -35,12 +35,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_inputs() {
-        let catalog = CatalogBuilder::new()
-            .table("t", 10)
-            .col_key("a")
-            .finish()
-            .unwrap()
-            .build();
+        let catalog = CatalogBuilder::new().table("t", 10).col_key("a").finish().unwrap().build();
         let w = Workload::from_sql(catalog, &["SELECT a FROM t"]).unwrap();
         assert!(validate(&w, 0).is_err());
         assert!(validate(&w, 1).is_ok());

@@ -57,10 +57,7 @@ impl FeatureVec {
 
     /// Weight of a feature (0 when absent).
     pub fn get(&self, g: GlobalColumnId) -> f64 {
-        self.entries
-            .binary_search_by_key(&g, |(k, _)| *k)
-            .map(|i| self.entries[i].1)
-            .unwrap_or(0.0)
+        self.entries.binary_search_by_key(&g, |(k, _)| *k).map(|i| self.entries[i].1).unwrap_or(0.0)
     }
 
     /// Number of stored (possibly zero-valued) features.
@@ -127,10 +124,8 @@ impl FeatureVec {
                 || (j < other.entries.len() && other.entries[j].0 <= self.entries[i].0);
             match (take_self, take_other) {
                 (true, true) => {
-                    merged.push((
-                        self.entries[i].0,
-                        self.entries[i].1 + weight * other.entries[j].1,
-                    ));
+                    merged
+                        .push((self.entries[i].0, self.entries[i].1 + weight * other.entries[j].1));
                     i += 1;
                     j += 1;
                 }
@@ -167,11 +162,7 @@ impl Default for Featurizer {
 
 impl Featurizer {
     /// Featurizes one query from its indexable columns.
-    pub fn features(
-        &self,
-        cols: &[IndexableColumn],
-        catalog: &Catalog,
-    ) -> FeatureVec {
+    pub fn features(&self, cols: &[IndexableColumn], catalog: &Catalog) -> FeatureVec {
         if cols.is_empty() {
             return FeatureVec::default();
         }
@@ -205,15 +196,11 @@ impl Featurizer {
                     (1.0 - s).max(0.0) * table_weight(c.gid.table)
                 })
                 .collect(),
-            WeightScheme::RuleBased => {
-                rule_based_weights(cols, &|t| table_weight(t))
-            }
+            WeightScheme::RuleBased => rule_based_weights(cols, &|t| table_weight(t)),
         };
         let _ = catalog;
         let norm = min_max_normalize(&raw);
-        FeatureVec::from_entries(
-            cols.iter().map(|c| c.gid).zip(norm).collect(),
-        )
+        FeatureVec::from_entries(cols.iter().map(|c| c.gid).zip(norm).collect())
     }
 }
 
@@ -229,15 +216,10 @@ fn rule_based_weights(
     tables.sort_unstable();
     tables.dedup();
     for t in tables {
-        let idx: Vec<usize> =
-            (0..cols.len()).filter(|&i| cols[i].gid.table == t).collect();
-        let sel: Vec<usize> = idx
-            .iter()
-            .copied()
-            .filter(|&i| cols[i].positions.filter && cols[i].sargable)
-            .collect();
-        let join: Vec<usize> =
-            idx.iter().copied().filter(|&i| cols[i].positions.join).collect();
+        let idx: Vec<usize> = (0..cols.len()).filter(|&i| cols[i].gid.table == t).collect();
+        let sel: Vec<usize> =
+            idx.iter().copied().filter(|&i| cols[i].positions.filter && cols[i].sargable).collect();
+        let join: Vec<usize> = idx.iter().copied().filter(|&i| cols[i].positions.join).collect();
         let group: Vec<usize> =
             idx.iter().copied().filter(|&i| cols[i].positions.group_by).collect();
         let order: Vec<usize> =
@@ -361,7 +343,8 @@ mod tests {
 
     #[test]
     fn feature_vec_basics() {
-        let v = FeatureVec::from_entries(vec![(gid(0, 2), 0.5), (gid(0, 1), 1.0), (gid(0, 2), 0.3)]);
+        let v =
+            FeatureVec::from_entries(vec![(gid(0, 2), 0.5), (gid(0, 1), 1.0), (gid(0, 2), 0.3)]);
         assert_eq!(v.len(), 2, "duplicates merged");
         assert_eq!(v.get(gid(0, 2)), 0.5, "max kept");
         assert_eq!(v.get(gid(0, 9)), 0.0);

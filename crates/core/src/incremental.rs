@@ -15,12 +15,12 @@ use isum_common::{QueryId, Result, TemplateId};
 use isum_sql::TemplateRegistry;
 use isum_workload::{indexable_columns, QueryInfo, Workload};
 
+use crate::allpairs;
 use crate::allpairs::Selection;
 use crate::features::{FeatureVec, Featurizer};
 use crate::isum::{Algorithm, IsumConfig};
 use crate::summary::select_summary;
 use crate::utility::UtilityMode;
-use crate::allpairs;
 use isum_workload::CompressedWorkload;
 
 /// Streaming ISUM: observe queries as they arrive, select any time.
@@ -55,6 +55,8 @@ impl IncrementalIsum {
 
     /// Observes one query (with its cost already set). O(features of q).
     pub fn observe(&mut self, q: &QueryInfo, catalog: &Catalog) {
+        let _s = isum_common::telemetry::span("incremental");
+        isum_common::count!("core.incremental.observed");
         let cols = indexable_columns(&q.bound, catalog);
         self.features.push(self.featurizer.features(&cols, catalog));
         let delta = match self.config.utility {
@@ -100,6 +102,7 @@ impl IncrementalIsum {
         if self.is_empty() {
             return Err(isum_common::Error::InvalidConfig("no queries observed".into()));
         }
+        let _s = isum_common::telemetry::span("incremental");
         let total: f64 = self.raw_reductions.iter().sum();
         let utilities: Vec<f64> = if total > 0.0 {
             self.raw_reductions.iter().map(|r| r / total).collect()

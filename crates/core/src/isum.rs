@@ -5,6 +5,7 @@
 //! algorithm) or all-pairs comparisons — updating the remainder after each
 //! pick (step 3B), then weigh the selected queries (step 4).
 
+use isum_common::telemetry;
 use isum_common::{QueryId, Result};
 use isum_workload::{CompressedWorkload, Workload};
 
@@ -128,8 +129,13 @@ impl Isum {
             scheme: self.config.scheme,
             use_table_weight: self.config.use_table_weight,
         };
-        let wf = WorkloadFeatures::build(workload, &featurizer);
-        let u = utilities(workload, self.config.utility);
+        let (wf, u) = {
+            let _s = telemetry::span("featurize");
+            let wf = WorkloadFeatures::build(workload, &featurizer);
+            let u = utilities(workload, self.config.utility);
+            (wf, u)
+        };
+        let _s = telemetry::span("select");
         match self.config.algorithm {
             Algorithm::AllPairs => {
                 select_all_pairs(wf.features, &wf.original, u, k, self.config.update)
@@ -156,30 +162,38 @@ impl Compressor for Isum {
 
     fn compress(&self, workload: &Workload, k: usize) -> Result<CompressedWorkload> {
         validate(workload, k)?;
+        let _isum = telemetry::span("isum");
         let featurizer = Featurizer {
             scheme: self.config.scheme,
             use_table_weight: self.config.use_table_weight,
         };
-        let wf = WorkloadFeatures::build(workload, &featurizer);
-        let u = utilities(workload, self.config.utility);
-        let selection = match self.config.algorithm {
-            Algorithm::AllPairs => select_all_pairs(
-                wf.features.clone(),
-                &wf.original,
-                u.clone(),
-                k,
-                self.config.update,
-            ),
-            Algorithm::SummaryFeatures => select_summary(
-                wf.features.clone(),
-                &wf.original,
-                u.clone(),
-                k,
-                self.config.update,
-            ),
+        let (wf, u) = {
+            let _s = telemetry::span("featurize");
+            let wf = WorkloadFeatures::build(workload, &featurizer);
+            let u = utilities(workload, self.config.utility);
+            (wf, u)
         };
-        let weights =
-            weigh_selected(self.config.weighting, workload, &selection, &wf.original, &u);
+        let selection = {
+            let _s = telemetry::span("select");
+            match self.config.algorithm {
+                Algorithm::AllPairs => select_all_pairs(
+                    wf.features.clone(),
+                    &wf.original,
+                    u.clone(),
+                    k,
+                    self.config.update,
+                ),
+                Algorithm::SummaryFeatures => select_summary(
+                    wf.features.clone(),
+                    &wf.original,
+                    u.clone(),
+                    k,
+                    self.config.update,
+                ),
+            }
+        };
+        let _w = telemetry::span("weight");
+        let weights = weigh_selected(self.config.weighting, workload, &selection, &wf.original, &u);
         let mut cw = CompressedWorkload {
             entries: selection
                 .order

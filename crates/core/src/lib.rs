@@ -39,8 +39,8 @@ pub mod utility;
 pub mod weighting;
 
 pub use compressor::Compressor;
-pub use incremental::IncrementalIsum;
 pub use features::{FeatureVec, Featurizer, WeightScheme, WorkloadFeatures};
+pub use incremental::IncrementalIsum;
 pub use isum::{Algorithm, Isum, IsumConfig};
 pub use update::UpdateStrategy;
 pub use utility::UtilityMode;

@@ -20,6 +20,7 @@ use crate::features::FeatureVec;
 /// assert!((weighted_jaccard(&a, &b) - 0.25).abs() < 1e-12);
 /// ```
 pub fn weighted_jaccard(a: &FeatureVec, b: &FeatureVec) -> f64 {
+    isum_common::count!("core.similarity.computations");
     let mut min_sum = 0.0;
     let mut max_sum = 0.0;
     let ae = a.entries();
@@ -57,6 +58,7 @@ pub fn weighted_jaccard(a: &FeatureVec, b: &FeatureVec) -> f64 {
 /// Plain (unweighted) Jaccard over the *sets* of features with positive
 /// weight — the Fig 7b ablation.
 pub fn set_jaccard(a: &FeatureVec, b: &FeatureVec) -> f64 {
+    isum_common::count!("core.similarity.computations");
     let sa: Vec<_> = a.entries().iter().filter(|(_, w)| *w > 0.0).map(|(g, _)| *g).collect();
     let sb: Vec<_> = b.entries().iter().filter(|(_, w)| *w > 0.0).map(|(g, _)| *g).collect();
     jaccard_ids(&sa, &sb)

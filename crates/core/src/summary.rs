@@ -93,10 +93,12 @@ pub fn select_summary(
 ) -> Selection {
     let n = features.len();
     let k = k.min(n);
+    isum_common::count!("core.select.candidates", n as u64);
     let mut selected = vec![false; n];
     let mut out = Selection::default();
 
     while out.order.len() < k {
+        isum_common::count!("core.select.iterations");
         // Regenerate the summary over unselected queries.
         let (fs, us): (Vec<FeatureVec>, Vec<f64>) = features
             .iter()
@@ -120,8 +122,7 @@ pub fn select_summary(
             if features[i].all_zero() {
                 continue;
             }
-            let infl =
-                influence_via_summary(my_pos, &fs, &us, &summary, total_utility);
+            let infl = influence_via_summary(my_pos, &fs, &us, &summary, total_utility);
             let b = utilities[i] + infl;
             if best.is_none_or(|(_, bb)| b > bb) {
                 best = Some((i, b));
@@ -218,9 +219,8 @@ mod tests {
         let v = summary_features(&features, &utilities);
         let tu: f64 = utilities.iter().sum();
 
-        let approx: Vec<f64> = (0..n)
-            .map(|i| influence_via_summary(i, &features, &utilities, &v, tu))
-            .collect();
+        let approx: Vec<f64> =
+            (0..n).map(|i| influence_via_summary(i, &features, &utilities, &v, tu)).collect();
         let exact: Vec<f64> = (0..n)
             .map(|i| {
                 (0..n)
@@ -268,11 +268,7 @@ mod tests {
         let mut rng = DetRng::seeded(3);
         let features: Vec<FeatureVec> = (0..30)
             .map(|_| {
-                vec_of(
-                    &(0..3)
-                        .map(|_| (rng.below(10) as u32, rng.unit()))
-                        .collect::<Vec<_>>(),
-                )
+                vec_of(&(0..3).map(|_| (rng.below(10) as u32, rng.unit())).collect::<Vec<_>>())
             })
             .collect();
         let utilities: Vec<f64> = (0..30).map(|_| rng.unit() / 30.0).collect();

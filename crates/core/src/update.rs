@@ -60,11 +60,8 @@ pub fn reset_if_exhausted(
     original: &[FeatureVec],
     selected: &[bool],
 ) -> bool {
-    let exhausted = features
-        .iter()
-        .zip(selected)
-        .filter(|(_, &sel)| !sel)
-        .all(|(f, _)| f.all_zero());
+    let exhausted =
+        features.iter().zip(selected).filter(|(_, &sel)| !sel).all(|(f, _)| f.all_zero());
     let any_unselected = selected.iter().any(|&s| !s);
     if exhausted && any_unselected {
         for j in 0..features.len() {

@@ -33,8 +33,7 @@ pub fn raw_reduction(workload: &Workload, idx: usize, mode: UtilityMode) -> f64 
 /// Normalized utilities `U(q_i)` for the whole workload (sums to 1 when any
 /// reduction is positive; all zeros otherwise).
 pub fn utilities(workload: &Workload, mode: UtilityMode) -> Vec<f64> {
-    let raw: Vec<f64> =
-        (0..workload.len()).map(|i| raw_reduction(workload, i, mode)).collect();
+    let raw: Vec<f64> = (0..workload.len()).map(|i| raw_reduction(workload, i, mode)).collect();
     let total: f64 = raw.iter().sum();
     if total <= 0.0 {
         return vec![0.0; raw.len()];
@@ -58,9 +57,9 @@ mod tests {
         let mut w = Workload::from_sql(
             catalog,
             &[
-                "SELECT a FROM t WHERE b = 5",    // selective
-                "SELECT a FROM t WHERE b > 100",  // ~90% selectivity
-                "SELECT a FROM t",                // no predicates
+                "SELECT a FROM t WHERE b = 5",   // selective
+                "SELECT a FROM t WHERE b > 100", // ~90% selectivity
+                "SELECT a FROM t",               // no predicates
             ],
         )
         .unwrap();

@@ -74,8 +74,7 @@ pub fn weigh_selected(
             let mut template_utility: HashMap<TemplateId, f64> = HashMap::new();
             for (i, q) in workload.queries.iter().enumerate() {
                 if freq.contains_key(&q.template) {
-                    *template_utility.entry(q.template).or_insert(0.0) +=
-                        original_utilities[i];
+                    *template_utility.entry(q.template).or_insert(0.0) += original_utilities[i];
                 }
             }
             let utilities: Vec<f64> = selection
@@ -87,11 +86,8 @@ pub fn weigh_selected(
                 })
                 .collect();
             // W' = W minus queries whose template matches a selected one.
-            let excluded: Vec<bool> = workload
-                .queries
-                .iter()
-                .map(|q| freq.contains_key(&q.template))
-                .collect();
+            let excluded: Vec<bool> =
+                workload.queries.iter().map(|q| freq.contains_key(&q.template)).collect();
             recalibrate(
                 selection,
                 &utilities,
@@ -147,8 +143,8 @@ fn recalibrate(
             .iter()
             .map(|&pos| {
                 let qi = selection.order[pos];
-                let b = selected_utilities[pos]
-                    + weighted_jaccard(&original_features[qi], &summary);
+                let b =
+                    selected_utilities[pos] + weighted_jaccard(&original_features[qi], &summary);
                 (pos, b)
             })
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite benefits"))
@@ -262,10 +258,7 @@ mod tests {
         let w = workload();
         let (f, u, sel) = setup(&w);
         let ws = weigh_selected(WeightingStrategy::RecalibratedTemplate, &w, &sel, &f, &u);
-        assert!(
-            ws[0] > ws[1] * 1.5,
-            "template with 270 cost mass vs 50: {ws:?}"
-        );
+        assert!(ws[0] > ws[1] * 1.5, "template with 270 cost mass vs 50: {ws:?}");
     }
 
     #[test]

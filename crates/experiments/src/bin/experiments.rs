@@ -4,11 +4,17 @@
 //! cargo run -p isum-experiments --release -- <id>... | all
 //! ISUM_SCALE=quick|medium|paper   selects workload sizes
 //! ```
+//!
+//! Telemetry is always on here: each run resets the registry, and a
+//! per-run report lands in `results/telemetry_<id>.json` next to the
+//! result tables (see README.md § Observability for the schema).
 
 use std::path::PathBuf;
 use std::time::Instant;
 
+use isum_common::telemetry;
 use isum_experiments::figs::{self, ALL_IDS};
+use isum_experiments::harness::write_telemetry_report;
 use isum_experiments::report;
 use isum_experiments::Scale;
 
@@ -33,11 +39,15 @@ fn main() {
     }
     let scale = Scale::from_env();
     let out = PathBuf::from("results");
+    telemetry::set_enabled(true);
     for id in ids {
         let t0 = Instant::now();
         println!("\n### running {id} ...");
+        telemetry::reset();
         let tables = figs::run(id, &scale);
         report::emit(&tables, &out).expect("write results");
+        let path = write_telemetry_report(id, &out).expect("write telemetry report");
+        println!("### telemetry: {}", path.display());
         println!("### {id} done in {:.1}s", t0.elapsed().as_secs_f64());
     }
 }

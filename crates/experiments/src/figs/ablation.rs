@@ -60,12 +60,7 @@ fn cache_ablation(scale: &Scale) -> Table {
         let calls = opt.optimizer_calls();
         let hits = opt.cache_hits();
         let rate = hits as f64 / (calls + hits).max(1) as f64 * 100.0;
-        t.row(vec![
-            ctx.name.into(),
-            calls.to_string(),
-            hits.to_string(),
-            f1(rate),
-        ]);
+        t.row(vec![ctx.name.into(), calls.to_string(), hits.to_string(), f1(rate)]);
     }
     t
 }
@@ -106,12 +101,7 @@ fn anytime_ablation(scale: &Scale) -> Table {
         let outcome =
             AnytimeDta::new().recommend_within(&opt, &ctx.workload, &sub, &constraints, budget);
         let imp = opt.improvement_pct(&ctx.workload, &outcome.config);
-        t.row(vec![
-            label.into(),
-            outcome.queries_consumed.to_string(),
-            f1(imp),
-            f1(batch_imp),
-        ]);
+        t.row(vec![label.into(), outcome.queries_consumed.to_string(), f1(imp), f1(batch_imp)]);
     }
     t
 }

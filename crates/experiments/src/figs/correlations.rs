@@ -5,7 +5,9 @@
 //! actual advisor delivers, reproducing the Pearson correlations the paper
 //! reports.
 
-use isum_advisor::{candidate_indexes, CandidateOptions, DexterAdvisor, IndexAdvisor, TuningConstraints};
+use isum_advisor::{
+    candidate_indexes, CandidateOptions, DexterAdvisor, IndexAdvisor, TuningConstraints,
+};
 use isum_common::stats::pearson;
 use isum_common::QueryId;
 use isum_core::benefit::similarity_with_workload;
@@ -22,13 +24,8 @@ use crate::report::{f1, f3, Table};
 /// correlation studies run on the 22 / 91 template queries).
 fn one_per_template(ctx: ExperimentCtx) -> ExperimentCtx {
     let mut seen = std::collections::HashSet::new();
-    let ids: Vec<QueryId> = ctx
-        .workload
-        .queries
-        .iter()
-        .filter(|q| seen.insert(q.template))
-        .map(|q| q.id)
-        .collect();
+    let ids: Vec<QueryId> =
+        ctx.workload.queries.iter().filter(|q| seen.insert(q.template)).map(|q| q.id).collect();
     ExperimentCtx { workload: ctx.workload.restricted_to(&ids), name: ctx.name }
 }
 
@@ -74,7 +71,9 @@ pub fn fig5(scale: &Scale) -> Vec<Table> {
     let reductions = per_query_reductions(&ctx, &advisor);
     let costs: Vec<f64> = ctx.workload.queries.iter().map(|q| q.cost).collect();
     let util: Vec<f64> = (0..ctx.workload.len())
-        .map(|i| isum_core::utility::raw_reduction(&ctx.workload, i, UtilityMode::CostTimesSelectivity))
+        .map(|i| {
+            isum_core::utility::raw_reduction(&ctx.workload, i, UtilityMode::CostTimesSelectivity)
+        })
         .collect();
     let mut t = Table::new(
         "fig5_utility_correlation",
@@ -89,12 +88,7 @@ pub fn fig5(scale: &Scale) -> Vec<Table> {
         &["query", "cost", "utility", "actual_reduction"],
     );
     for (i, q) in ctx.workload.queries.iter().enumerate() {
-        scatter.row(vec![
-            q.id.to_string(),
-            f1(costs[i]),
-            f1(util[i]),
-            f1(reductions[i]),
-        ]);
+        scatter.row(vec![q.id.to_string(), f1(costs[i]), f1(util[i]), f1(reductions[i])]);
     }
     vec![t, scatter]
 }
@@ -128,8 +122,7 @@ fn signals(workload: &Workload) -> Signals {
     let benefit = |_features: &[isum_core::FeatureVec], sim: &dyn Fn(usize, usize) -> f64| {
         (0..n)
             .map(|i| {
-                u_sel[i]
-                    + (0..n).filter(|&j| j != i).map(|j| sim(i, j) * u_sel[j]).sum::<f64>()
+                u_sel[i] + (0..n).filter(|&j| j != i).map(|j| sim(i, j) * u_sel[j]).sum::<f64>()
             })
             .collect::<Vec<f64>>()
     };
@@ -154,7 +147,8 @@ fn signals(workload: &Workload) -> Signals {
         })
         .collect();
 
-    let sim_rule_sum: Vec<f64> = (0..n).map(|i| similarity_with_workload(i, &rule.original)).collect();
+    let sim_rule_sum: Vec<f64> =
+        (0..n).map(|i| similarity_with_workload(i, &rule.original)).collect();
     let sim_stats_sum: Vec<f64> =
         (0..n).map(|i| similarity_with_workload(i, &stats.original)).collect();
 
@@ -213,14 +207,8 @@ pub fn fig7(scale: &Scale) -> Vec<Table> {
     );
     t.row(vec!["candidate_indexes".into(), f3(pearson(&s.benefit_candidates, &improvements))]);
     t.row(vec!["jaccard_unweighted".into(), f3(pearson(&s.benefit_set_jaccard, &improvements))]);
-    t.row(vec![
-        "weighted_jaccard_rule".into(),
-        f3(pearson(&s.benefit_rule, &improvements)),
-    ]);
-    t.row(vec![
-        "weighted_jaccard_stats".into(),
-        f3(pearson(&s.benefit_stats, &improvements)),
-    ]);
+    t.row(vec!["weighted_jaccard_rule".into(), f3(pearson(&s.benefit_rule, &improvements))]);
+    t.row(vec!["weighted_jaccard_stats".into(), f3(pearson(&s.benefit_stats, &improvements))]);
     vec![t]
 }
 

@@ -15,8 +15,24 @@ use crate::report::Table;
 
 /// All experiment ids, in paper order.
 pub const ALL_IDS: &[&str] = &[
-    "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "table3", "ablation", "reporting", "robustness",
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "table3",
+    "ablation",
+    "reporting",
+    "robustness",
 ];
 
 /// Runs one experiment by id.

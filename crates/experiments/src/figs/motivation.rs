@@ -29,9 +29,7 @@ pub fn fig2(scale: &Scale) -> Vec<Table> {
     );
     let mut n = 1;
     while n <= n_max {
-        let sub = ctx.workload.restricted_to(
-            &(0..n).map(QueryId::from_index).collect::<Vec<_>>(),
-        );
+        let sub = ctx.workload.restricted_to(&(0..n).map(QueryId::from_index).collect::<Vec<_>>());
         let opt = isum_optimizer::WhatIfOptimizer::new(&sub.catalog);
         let t0 = Instant::now();
         let _cfg = advisor.recommend_full(&opt, &sub, &constraints);
@@ -55,9 +53,7 @@ pub fn fig3(scale: &Scale) -> Vec<Table> {
     let ctx = ExperimentCtx::tpcds(scale, 3);
     let n = ctx.workload.len().min(91);
     let ctx = ExperimentCtx {
-        workload: ctx
-            .workload
-            .restricted_to(&(0..n).map(QueryId::from_index).collect::<Vec<_>>()),
+        workload: ctx.workload.restricted_to(&(0..n).map(QueryId::from_index).collect::<Vec<_>>()),
         name: "TPC-DS",
     };
     let advisor = dta();
@@ -104,9 +100,6 @@ mod tests {
         let last = t.rows.last().unwrap();
         let imp: f64 = last[1].parse().unwrap();
         let full: f64 = last[2].parse().unwrap();
-        assert!(
-            (imp - full).abs() < 5.0,
-            "k = n should match full tuning: {imp} vs {full}"
-        );
+        assert!((imp - full).abs() < 5.0, "k = n should match full tuning: {imp} vs {full}");
     }
 }

@@ -3,7 +3,7 @@
 //! Commercial advisors report per-query improvements over the *entire*
 //! input workload (one optimizer call per query), which Sec 10 notes can
 //! swamp the savings of compression. This experiment measures the
-//! trade-off our [`TuningReport`](isum_advisor::TuningReport) offers: the
+//! trade-off our [`TuningReport`] offers: the
 //! exact report's call count vs the extrapolated report's, and the
 //! resulting error in the total improvement estimate.
 

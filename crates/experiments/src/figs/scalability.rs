@@ -85,9 +85,6 @@ mod tests {
         let t1 = Instant::now();
         Isum::new().compress(&w, k).unwrap();
         let summary = t1.elapsed();
-        assert!(
-            summary < all_pairs,
-            "summary {summary:?} should beat all-pairs {all_pairs:?}"
-        );
+        assert!(summary < all_pairs, "summary {summary:?} should beat all-pairs {all_pairs:?}");
     }
 }

@@ -1,12 +1,21 @@
 //! Shared experiment pipeline: build workload → compress → tune → evaluate.
+//!
+//! Phase accounting runs through [`isum_common::telemetry`]: the pipeline
+//! opens spans (`prepare`, `compress`, `tune`, `evaluate`) around each
+//! stage, the layers below contribute their own nested spans and counters,
+//! and [`telemetry_report`] folds the whole registry into one JSON document
+//! per run.
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use isum_advisor::{DtaAdvisor, IndexAdvisor, TuningConstraints};
 use isum_baselines::{CostTopK, Gsum, KMedoid, Stratified, UniformSampling};
+use isum_common::telemetry;
+use isum_common::Json;
 use isum_core::{Compressor, Isum, IsumConfig};
 use isum_optimizer::WhatIfOptimizer;
-use isum_workload::gen::{dsb_workload, realm_workload_sized, tpch_workload, tpcds_workload};
+use isum_workload::gen::{dsb_workload, realm_workload_sized, tpcds_workload, tpch_workload};
 use isum_workload::Workload;
 
 /// Workload sizes for the evaluation, selectable via `ISUM_SCALE`.
@@ -72,6 +81,7 @@ pub struct ExperimentCtx {
 impl ExperimentCtx {
     /// Wraps a generated workload, populating costs.
     pub fn prepare(name: &'static str, mut workload: Workload) -> Self {
+        let _s = telemetry::span("prepare");
         let costs: Vec<f64> = {
             let opt = WhatIfOptimizer::new(&workload.catalog);
             let empty = isum_optimizer::IndexConfig::empty();
@@ -138,15 +148,24 @@ pub fn evaluate_method(
     advisor: &dyn IndexAdvisor,
     constraints: &TuningConstraints,
 ) -> MethodEval {
+    // Spans carry the phase breakdown into the telemetry registry; the
+    // Instant reads feed the `MethodEval` the caller renders into result
+    // tables, which must work with telemetry off.
     let t0 = Instant::now();
-    let cw = method.compress(&ctx.workload, k).expect("valid compression inputs");
+    let cw = {
+        let _s = telemetry::span("compress");
+        method.compress(&ctx.workload, k).expect("valid compression inputs")
+    };
     let compression_secs = t0.elapsed().as_secs_f64();
     let opt = ctx.optimizer();
     let t1 = Instant::now();
     let cfg = advisor.recommend(&opt, &ctx.workload, &cw, constraints);
     let tuning_secs = t1.elapsed().as_secs_f64();
     let tuning_calls = opt.optimizer_calls();
-    let improvement_pct = opt.improvement_pct(&ctx.workload, &cfg);
+    let improvement_pct = {
+        let _e = telemetry::span("evaluate");
+        opt.improvement_pct(&ctx.workload, &cfg)
+    };
     MethodEval { improvement_pct, compression_secs, tuning_calls, tuning_secs }
 }
 
@@ -176,6 +195,70 @@ pub fn fig11_methods(seed: u64) -> Vec<Box<dyn Compressor>> {
 /// Default DTA advisor.
 pub fn dta() -> DtaAdvisor {
     DtaAdvisor::new()
+}
+
+/// Folds the current telemetry registry into the per-run JSON report.
+///
+/// Schema (see README.md § Observability):
+///
+/// ```json
+/// {
+///   "run": "<id>",
+///   "phases": {"featurize_ns": 0, "weight_ns": 0,
+///              "select_ns": 0, "incremental_ns": 0},
+///   "whatif": {"calls": 0, "cache_hits": 0, "cache_hit_rate": 0.0},
+///   "telemetry": { ...full snapshot (counters/gauges/histograms/spans)... }
+/// }
+/// ```
+///
+/// The four phase keys are always present — zero when that phase never
+/// ran — so downstream consumers can rely on the shape. Phase totals
+/// aggregate the matching span *leaf* across every nesting (`compress/
+/// isum/featurize` and a bare `featurize` both count).
+pub fn telemetry_report(run: &str) -> Json {
+    let snap = telemetry::snapshot();
+    let calls = snap.counter("optimizer.whatif.calls").unwrap_or(0);
+    let hits = snap.counter("optimizer.whatif.cache_hits").unwrap_or(0);
+    let lookups = calls + hits;
+    let hit_rate = if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 };
+    Json::Obj(vec![
+        ("run".into(), Json::from(run)),
+        (
+            "phases".into(),
+            Json::Obj(
+                [
+                    ("featurize_ns", "featurize"),
+                    ("weight_ns", "weight"),
+                    ("select_ns", "select"),
+                    ("incremental_ns", "incremental"),
+                ]
+                .into_iter()
+                .map(|(key, leaf)| (key.to_string(), Json::from(snap.leaf_total_ns(leaf))))
+                .collect(),
+            ),
+        ),
+        (
+            "whatif".into(),
+            Json::Obj(vec![
+                ("calls".into(), Json::from(calls)),
+                ("cache_hits".into(), Json::from(hits)),
+                ("cache_hit_rate".into(), Json::Num(hit_rate)),
+            ]),
+        ),
+        ("telemetry".into(), snap.to_json()),
+    ])
+}
+
+/// Writes [`telemetry_report`] to `<dir>/telemetry_<run>.json` and returns
+/// the path.
+///
+/// # Errors
+/// Propagates IO errors.
+pub fn write_telemetry_report(run: &str, dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("telemetry_{run}.json"));
+    std::fs::write(&path, telemetry_report(run).to_pretty())?;
+    Ok(path)
 }
 
 /// Compressed-size sweep `{2, 4, ..., 2√n}` used across Fig 9a/12/15.
@@ -228,13 +311,7 @@ mod tests {
         let scale = Scale::quick();
         let ctx = ExperimentCtx::tpch(&scale, 1);
         let isum = Isum::new();
-        let eval = evaluate_method(
-            &isum,
-            &ctx,
-            6,
-            &dta(),
-            &TuningConstraints::with_max_indexes(8),
-        );
+        let eval = evaluate_method(&isum, &ctx, 6, &dta(), &TuningConstraints::with_max_indexes(8));
         assert!(eval.improvement_pct >= 0.0 && eval.improvement_pct <= 100.0);
         assert!(eval.tuning_calls > 0);
     }

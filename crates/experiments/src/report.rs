@@ -4,10 +4,10 @@ use std::fs;
 use std::io::Write as _;
 use std::path::Path;
 
-use serde::Serialize;
+use isum_common::Json;
 
 /// A result table corresponding to one paper artifact (or panel thereof).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Identifier, e.g. `fig9a_tpch`.
     pub id: String,
@@ -70,6 +70,27 @@ impl Table {
         print!("{}", self.render());
     }
 
+    /// Converts the table to a JSON object mirroring its field layout.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".into(), Json::from(self.id.as_str())),
+            ("title".into(), Json::from(self.title.as_str())),
+            (
+                "headers".into(),
+                Json::Arr(self.headers.iter().map(|h| Json::from(h.as_str())).collect()),
+            ),
+            (
+                "rows".into(),
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| Json::Arr(r.iter().map(|c| Json::from(c.as_str())).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     /// Saves as `results/<id>.csv`.
     ///
     /// # Errors
@@ -95,9 +116,8 @@ pub fn emit(tables: &[Table], dir: &Path) -> std::io::Result<()> {
         t.save_csv(dir)?;
     }
     if let Some(first) = tables.first() {
-        let json = serde_json::to_string_pretty(tables).expect("tables serialize");
-        let stem: String =
-            first.id.split('_').next().unwrap_or(&first.id).to_string();
+        let json = Json::Arr(tables.iter().map(Table::to_json).collect()).to_pretty();
+        let stem: String = first.id.split('_').next().unwrap_or(&first.id).to_string();
         fs::create_dir_all(dir)?;
         fs::write(dir.join(format!("{stem}.json")), json)?;
     }
@@ -149,6 +169,18 @@ mod tests {
         t.save_csv(&dir).unwrap();
         let body = std::fs::read_to_string(dir.join("unit_csv.csv")).unwrap();
         assert_eq!(body, "a,b\n1,x\n");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = Table::new("unit_json", "T", &["a", "b"]);
+        t.row(vec!["1".into(), "x".into()]);
+        let text = t.to_json().to_pretty();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("id").and_then(Json::as_str), Some("unit_json"));
+        let rows = back.get("rows").and_then(Json::as_array).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].as_array().unwrap()[1].as_str(), Some("x"));
     }
 
     #[test]

@@ -121,8 +121,7 @@ impl<'a> CostModel<'a> {
         let mut bd = QueryCostBreakdown::default();
 
         // Access path per slot.
-        let paths: Vec<AccessPath> =
-            slots.iter().map(|s| self.best_access_path(s, cfg)).collect();
+        let paths: Vec<AccessPath> = slots.iter().map(|s| self.best_access_path(s, cfg)).collect();
 
         // Greedy join order: start from the smallest output, repeatedly take
         // the connected slot with the smallest output (falling back to a
@@ -136,8 +135,7 @@ impl<'a> CostModel<'a> {
         bd.access += paths[start].cost;
         let mut current_rows = paths[start].out_rows;
         let mut tree = paths[start].node.clone();
-        let mut last_order: Option<(usize, ColumnId)> =
-            paths[start].ordered_by.map(|c| (start, c));
+        let mut last_order: Option<(usize, ColumnId)> = paths[start].ordered_by.map(|c| (start, c));
 
         for _ in 1..n {
             // Pick the next slot: connected ones first, smallest output first.
@@ -182,12 +180,12 @@ impl<'a> CostModel<'a> {
             let best_inl: Option<(f64, &Index)> = edges
                 .iter()
                 .filter_map(|e| {
-                    let col = if e.left.slot == next { e.left.gid.column } else { e.right.gid.column };
+                    let col =
+                        if e.left.slot == next { e.left.gid.column } else { e.right.gid.column };
                     self.inl_seek_cost(s, col, cfg, edge_sel)
                 })
                 .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
-            let inl_cost =
-                best_inl.map_or(f64::INFINITY, |(per_row, _)| per_row * current_rows);
+            let inl_cost = best_inl.map_or(f64::INFINITY, |(per_row, _)| per_row * current_rows);
             current_rows = result.max(0.0);
             if inl_cost < hash_cost {
                 bd.join += inl_cost;
@@ -246,11 +244,7 @@ impl<'a> CostModel<'a> {
                 );
             if !discharged {
                 bd.sort = current_rows * current_rows.max(2.0).log2() * CPU_ROW;
-                tree = PlanNode::Sort {
-                    input: Box::new(tree),
-                    rows: current_rows,
-                    cost: bd.sort,
-                };
+                tree = PlanNode::Sort { input: Box::new(tree), rows: current_rows, cost: bd.sort };
             }
         }
         (Some(tree), bd)
@@ -473,8 +467,7 @@ mod tests {
         let m = CostModel::new(&c);
         let q = bound(&c, "SELECT o_totalprice FROM orders WHERE o_custkey = 42");
         let base = m.cost(&q, &IndexConfig::empty());
-        let with =
-            m.cost(&q, &IndexConfig::from_indexes([orders_ix(&c, &["o_custkey"])]));
+        let with = m.cost(&q, &IndexConfig::from_indexes([orders_ix(&c, &["o_custkey"])]));
         assert!(with < base / 10.0, "seek {with} should crush scan {base}");
     }
 
@@ -485,8 +478,7 @@ mod tests {
         // 90% of the table: lookups would dominate; scan must win.
         let q = bound(&c, "SELECT o_totalprice FROM orders WHERE o_orderdate >= DATE '1992-09-01'");
         let base = m.cost(&q, &IndexConfig::empty());
-        let with =
-            m.cost(&q, &IndexConfig::from_indexes([orders_ix(&c, &["o_orderdate"])]));
+        let with = m.cost(&q, &IndexConfig::from_indexes([orders_ix(&c, &["o_orderdate"])]));
         assert!((with - base).abs() < 1e-9, "optimizer must not regress: {with} vs {base}");
     }
 
@@ -498,10 +490,7 @@ mod tests {
             &c,
             "SELECT o_totalprice FROM orders WHERE o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1995-03-31'",
         );
-        let narrow = m.cost(
-            &q,
-            &IndexConfig::from_indexes([orders_ix(&c, &["o_orderdate"])]),
-        );
+        let narrow = m.cost(&q, &IndexConfig::from_indexes([orders_ix(&c, &["o_orderdate"])]));
         let covering = m.cost(
             &q,
             &IndexConfig::from_indexes([orders_ix(&c, &["o_orderdate", "o_totalprice"])]),
@@ -518,10 +507,8 @@ mod tests {
             "SELECT o_orderkey FROM orders WHERE o_custkey = 7 AND o_orderdate < DATE '1994-01-01'",
         );
         let single = m.cost(&q, &IndexConfig::from_indexes([orders_ix(&c, &["o_custkey"])]));
-        let compound = m.cost(
-            &q,
-            &IndexConfig::from_indexes([orders_ix(&c, &["o_custkey", "o_orderdate"])]),
-        );
+        let compound =
+            m.cost(&q, &IndexConfig::from_indexes([orders_ix(&c, &["o_custkey", "o_orderdate"])]));
         assert!(compound < single, "compound {compound} vs single {single}");
     }
 
@@ -547,16 +534,12 @@ mod tests {
     fn sort_discharged_by_matching_index_order() {
         let c = catalog();
         let m = CostModel::new(&c);
-        let q = bound(
-            &c,
-            "SELECT o_custkey FROM orders WHERE o_custkey > 140000 ORDER BY o_custkey",
-        );
+        let q =
+            bound(&c, "SELECT o_custkey FROM orders WHERE o_custkey > 140000 ORDER BY o_custkey");
         let bd_scan = m.cost_breakdown(&q, &IndexConfig::empty());
         assert!(bd_scan.sort > 0.0);
-        let bd_ix = m.cost_breakdown(
-            &q,
-            &IndexConfig::from_indexes([orders_ix(&c, &["o_custkey"])]),
-        );
+        let bd_ix =
+            m.cost_breakdown(&q, &IndexConfig::from_indexes([orders_ix(&c, &["o_custkey"])]));
         assert_eq!(bd_ix.sort, 0.0, "index order discharges the sort");
     }
 

@@ -47,11 +47,8 @@ impl Index {
     /// plus a row locator, matching how advisors charge storage budgets.
     pub fn size_bytes(&self, catalog: &Catalog) -> u64 {
         let t = catalog.table(self.table);
-        let key_width: u64 = self
-            .key_columns
-            .iter()
-            .map(|&c| t.column(c).stats.avg_width as u64)
-            .sum();
+        let key_width: u64 =
+            self.key_columns.iter().map(|&c| t.column(c).stats.avg_width as u64).sum();
         t.row_count * (key_width + 12)
     }
 
@@ -63,8 +60,7 @@ impl Index {
     /// Human-readable rendering, e.g. `lineitem(l_shipdate, l_quantity)`.
     pub fn display(&self, catalog: &Catalog) -> String {
         let t = catalog.table(self.table);
-        let cols: Vec<&str> =
-            self.key_columns.iter().map(|&c| t.column(c).name.as_str()).collect();
+        let cols: Vec<&str> = self.key_columns.iter().map(|&c| t.column(c).name.as_str()).collect();
         format!("{}({})", t.name, cols.join(", "))
     }
 }
@@ -124,11 +120,7 @@ impl IndexConfig {
 
     /// Indexes on one table.
     pub fn on_table(&self, table: TableId) -> impl Iterator<Item = &Index> {
-        self.by_table
-            .get(&table)
-            .into_iter()
-            .flatten()
-            .map(move |&i| &self.indexes[i])
+        self.by_table.get(&table).into_iter().flatten().map(move |&i| &self.indexes[i])
     }
 
     /// Number of indexes.
@@ -256,7 +248,8 @@ mod tests {
         let cfg2 = IndexConfig::from_indexes([b, z.clone(), a]);
         assert_eq!(cfg1.fingerprint_for(&[t]), cfg2.fingerprint_for(&[t]));
         // Indexes on unrelated tables don't perturb the fingerprint.
-        let cfg3 = IndexConfig::from_indexes(cfg1.indexes().iter().filter(|&i| i.table == t).cloned());
+        let cfg3 =
+            IndexConfig::from_indexes(cfg1.indexes().iter().filter(|&i| i.table == t).cloned());
         assert_eq!(cfg1.fingerprint_for(&[t]), cfg3.fingerprint_for(&[t]));
         assert_ne!(cfg1.fingerprint_for(&[t, u]), cfg3.fingerprint_for(&[t, u]));
     }

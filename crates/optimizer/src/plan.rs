@@ -142,9 +142,7 @@ impl PlanNode {
                 | PlanNode::IndexSeek { .. }
                 | PlanNode::IndexOnlyScan { .. } => 0.0,
                 PlanNode::HashJoin { left, right, .. }
-                | PlanNode::CrossJoin { left, right, .. } => {
-                    left.total_cost() + right.total_cost()
-                }
+                | PlanNode::CrossJoin { left, right, .. } => left.total_cost() + right.total_cost(),
                 PlanNode::IndexNestedLoopJoin { outer, .. } => outer.total_cost(),
                 PlanNode::HashAggregate { input, .. } | PlanNode::Sort { input, .. } => {
                     input.total_cost()
@@ -213,9 +211,9 @@ impl PlanNode {
             PlanNode::CrossJoin { rows, cost, .. } => {
                 format!("{pad}CrossJoin (rows≈{rows:.0}, cost≈{cost:.0})")
             }
-            PlanNode::HashAggregate { groups, rows, cost, .. } => format!(
-                "{pad}HashAggregate [{groups} group cols] (rows≈{rows:.0}, cost≈{cost:.0})"
-            ),
+            PlanNode::HashAggregate { groups, rows, cost, .. } => {
+                format!("{pad}HashAggregate [{groups} group cols] (rows≈{rows:.0}, cost≈{cost:.0})")
+            }
             PlanNode::Sort { rows, cost, .. } => {
                 format!("{pad}Sort (rows≈{rows:.0}, cost≈{cost:.0})")
             }

@@ -8,11 +8,12 @@
 //! by the per-query relevant index subset absorbs repeats, mirroring the
 //! optimizer-call–reduction techniques cited in Sec 9.
 
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use isum_catalog::Catalog;
-use isum_common::QueryId;
+use isum_common::telemetry::{self, Counter};
+use isum_common::{count, record_ns, QueryId};
 use isum_sql::BoundQuery;
 use isum_workload::Workload;
 
@@ -20,13 +21,18 @@ use crate::cost::CostModel;
 use crate::index::IndexConfig;
 
 /// Cached what-if optimizer over one catalog.
+///
+/// Per-instance call/hit counters are [`Counter`] atomics so callers can
+/// attribute calls to one tuning run; the same increments also feed the
+/// process-wide telemetry registry under `optimizer.whatif.*` when
+/// telemetry is enabled.
 #[derive(Debug)]
 pub struct WhatIfOptimizer<'a> {
     catalog: &'a Catalog,
     model: CostModel<'a>,
-    calls: Cell<u64>,
-    cache_hits: Cell<u64>,
-    cache: RefCell<HashMap<(usize, QueryId, u64), f64>>,
+    calls: Counter,
+    cache_hits: Counter,
+    cache: RefCell<HashMap<(u64, QueryId, u64), f64>>,
 }
 
 impl<'a> WhatIfOptimizer<'a> {
@@ -35,8 +41,8 @@ impl<'a> WhatIfOptimizer<'a> {
         Self {
             catalog,
             model: CostModel::new(catalog),
-            calls: Cell::new(0),
-            cache_hits: Cell::new(0),
+            calls: Counter::new(),
+            cache_hits: Counter::new(),
             cache: RefCell::new(HashMap::new()),
         }
     }
@@ -48,28 +54,42 @@ impl<'a> WhatIfOptimizer<'a> {
 
     /// Costs one workload query under a configuration, caching by the
     /// query's *relevant* index subset (indexes on referenced tables).
-    /// The cache also keys on the workload's identity (the address of its
-    /// query buffer), so one optimizer can safely serve several workloads
-    /// over the same catalog (e.g. a workload and its `restricted_to`
-    /// subsets) without QueryId collisions.
+    /// The cache also keys on the workload's process-unique
+    /// [`Workload::uid`], so one optimizer can safely serve several
+    /// workloads over the same catalog (e.g. a workload and its
+    /// `restricted_to` subsets) without QueryId collisions — including
+    /// when an earlier workload has been dropped and its heap addresses
+    /// recycled, which an address-based identity would alias.
     pub fn cost_query(&self, w: &Workload, id: QueryId, cfg: &IndexConfig) -> f64 {
         let q = w.query(id);
-        let workload_identity = w.queries.as_ptr() as usize;
-        let key = (workload_identity, id, cfg.fingerprint_for(&q.bound.referenced_tables()));
+        let key = (w.uid(), id, cfg.fingerprint_for(&q.bound.referenced_tables()));
         if let Some(&c) = self.cache.borrow().get(&key) {
-            self.cache_hits.set(self.cache_hits.get() + 1);
+            self.cache_hits.inc();
+            count!("optimizer.whatif.cache_hits");
             return c;
         }
         let c = self.cost_bound(&q.bound, cfg);
         self.cache.borrow_mut().insert(key, c);
+        if telemetry::enabled() {
+            telemetry::gauge("optimizer.whatif.cache_entries")
+                .set(self.cache.borrow().len() as i64);
+        }
         c
     }
 
     /// Costs a bound query directly (uncached); each call counts as one
     /// optimizer invocation.
     pub fn cost_bound(&self, bound: &BoundQuery, cfg: &IndexConfig) -> f64 {
-        self.calls.set(self.calls.get() + 1);
-        self.model.cost(bound, cfg)
+        self.calls.inc();
+        count!("optimizer.whatif.calls");
+        if telemetry::enabled() {
+            let start = std::time::Instant::now();
+            let c = self.model.cost(bound, cfg);
+            record_ns!("optimizer.whatif.cost_ns", start.elapsed().as_nanos() as u64);
+            c
+        } else {
+            self.model.cost(bound, cfg)
+        }
     }
 
     /// Total workload cost `C_I(W)` under a configuration.
@@ -94,17 +114,17 @@ impl<'a> WhatIfOptimizer<'a> {
     /// Query Store provides.
     pub fn populate_costs(&self, w: &mut Workload) {
         let empty = IndexConfig::empty();
-        let costs: Vec<f64> =
-            w.queries.iter().map(|q| self.cost_bound(&q.bound, &empty)).collect();
+        let costs: Vec<f64> = w.queries.iter().map(|q| self.cost_bound(&q.bound, &empty)).collect();
         w.set_costs(&costs);
     }
 
-    /// Number of optimizer invocations so far (cache hits excluded).
+    /// Number of optimizer invocations so far (cache hits excluded), for
+    /// this instance.
     pub fn optimizer_calls(&self) -> u64 {
         self.calls.get()
     }
 
-    /// Number of costings answered from the cache.
+    /// Number of costings answered from the cache, for this instance.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.get()
     }
@@ -183,6 +203,36 @@ mod tests {
         let base = opt.workload_cost(&w, &IndexConfig::empty());
         let tuned = opt.workload_cost(&w, &cfg);
         assert!(tuned < base, "covering shipdate index helps TPC-H: {tuned} vs {base}");
+    }
+
+    #[test]
+    fn cache_survives_workload_drop_and_reallocation() {
+        // Regression test for address-based cache identity: dropping a
+        // cached workload and building a different one often puts the new
+        // query buffer at the recycled address, which an `as_ptr`-keyed
+        // cache would alias to the dead workload's entries. Uids never
+        // recycle, so every fresh workload must cost exactly as if the
+        // cache were empty.
+        let catalog = tpch_catalog(1);
+        let opt = WhatIfOptimizer::new(&catalog);
+        let cfg = IndexConfig::empty();
+        for round in 0..10 {
+            // Vary the query count so buffers of several sizes cycle
+            // through the allocator.
+            let n = 3 + (round % 4);
+            let mut w = tpch_workload(1, n, round as u64 + 1).unwrap();
+            opt.populate_costs(&mut w);
+            for q in &w.queries {
+                let direct = opt.cost_bound(&q.bound, &cfg);
+                let cached = opt.cost_query(&w, q.id, &cfg);
+                assert_eq!(
+                    cached, direct,
+                    "round {round}: cached cost for query {:?} aliased a dropped workload",
+                    q.id
+                );
+            }
+            // `w` drops here; its heap buffers return to the allocator.
+        }
     }
 
     #[test]

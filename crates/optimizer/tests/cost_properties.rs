@@ -77,10 +77,7 @@ fn arb_query() -> impl Strategy<Value = String> {
 
 /// Random index configurations over the schema's columns.
 fn arb_config() -> impl Strategy<Value = Vec<(u32, Vec<u32>)>> {
-    prop::collection::vec(
-        (0u32..3, prop::collection::vec(0u32..4, 1..3)),
-        0..4,
-    )
+    prop::collection::vec((0u32..3, prop::collection::vec(0u32..4, 1..3)), 0..4)
 }
 
 fn build_config(catalog: &Catalog, spec: &[(u32, Vec<u32>)]) -> IndexConfig {

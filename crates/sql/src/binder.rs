@@ -167,14 +167,16 @@ struct Scope<'p> {
 }
 
 impl Scope<'_> {
-    fn resolve_qualified(&self, qualifier: &str, name: &str, catalog: &Catalog) -> Option<BoundColumn> {
+    fn resolve_qualified(
+        &self,
+        qualifier: &str,
+        name: &str,
+        catalog: &Catalog,
+    ) -> Option<BoundColumn> {
         for (alias, table, slot) in &self.slots {
             if alias == qualifier {
                 let col = catalog.table(*table).column_id(name)?;
-                return Some(BoundColumn {
-                    slot: *slot,
-                    gid: GlobalColumnId::new(*table, col),
-                });
+                return Some(BoundColumn { slot: *slot, gid: GlobalColumnId::new(*table, col) });
             }
         }
         self.parent.and_then(|p| p.resolve_qualified(qualifier, name, catalog))
@@ -244,8 +246,7 @@ impl<'a> Binder<'a> {
                     && fj.column == fi.column
                     && !fj.in_disjunction
                     && fj.sargable
-                    && (fi.lo.is_some() != fj.lo.is_some()
-                        || fi.hi.is_some() != fj.hi.is_some());
+                    && (fi.lo.is_some() != fj.lo.is_some() || fi.hi.is_some() != fj.hi.is_some());
                 if complementary {
                     let lo = match (fi.lo, fj.lo) {
                         (Some(a), Some(b)) => Some(a.max(b)),
@@ -289,17 +290,18 @@ impl<'a> Binder<'a> {
     ) -> Result<Option<BoundColumn>> {
         out.n_blocks += 1;
         let mut slots = Vec::new();
-        let mut register = |table_name: &str, alias: Option<&str>, out: &mut BoundQuery| -> Result<()> {
-            let table = self
-                .catalog
-                .table_id(table_name)
-                .ok_or_else(|| Error::Bind(format!("unknown table `{table_name}`")))?;
-            let binding = alias.unwrap_or(table_name).to_ascii_lowercase();
-            let slot = out.tables.len();
-            out.tables.push(BoundTable { table, alias: binding.clone() });
-            slots.push((binding, table, slot));
-            Ok(())
-        };
+        let mut register =
+            |table_name: &str, alias: Option<&str>, out: &mut BoundQuery| -> Result<()> {
+                let table = self
+                    .catalog
+                    .table_id(table_name)
+                    .ok_or_else(|| Error::Bind(format!("unknown table `{table_name}`")))?;
+                let binding = alias.unwrap_or(table_name).to_ascii_lowercase();
+                let slot = out.tables.len();
+                out.tables.push(BoundTable { table, alias: binding.clone() });
+                slots.push((binding, table, slot));
+                Ok(())
+            };
         for t in &stmt.from {
             register(&t.table, t.alias.as_deref(), out)?;
         }
@@ -858,7 +860,8 @@ mod tests {
 
     #[test]
     fn binds_explicit_join_on_clause() {
-        let q = bind("SELECT o_orderkey FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey");
+        let q =
+            bind("SELECT o_orderkey FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey");
         assert_eq!(q.joins.len(), 1);
         assert_eq!(q.joins[0].selectivity, 1.0 / 1500.0);
     }
@@ -874,10 +877,7 @@ mod tests {
         // The correlated equality becomes a join edge.
         assert_eq!(q.joins.len(), 1);
         // l_commitdate < l_receiptdate is a same-table non-sargable filter.
-        assert!(q
-            .filters
-            .iter()
-            .any(|f| f.kind == FilterKind::SameTable && !f.sargable));
+        assert!(q.filters.iter().any(|f| f.kind == FilterKind::SameTable && !f.sargable));
     }
 
     #[test]
@@ -890,9 +890,8 @@ mod tests {
 
     #[test]
     fn group_and_order_columns_captured() {
-        let q = bind(
-            "SELECT o_custkey, count(*) FROM orders GROUP BY o_custkey ORDER BY o_custkey",
-        );
+        let q =
+            bind("SELECT o_custkey, count(*) FROM orders GROUP BY o_custkey ORDER BY o_custkey");
         assert_eq!(q.group_by.len(), 1);
         assert_eq!(q.order_by.len(), 1);
         assert_eq!(q.n_aggregates, 1);
@@ -966,7 +965,9 @@ mod tests {
 
     #[test]
     fn self_join_gets_two_slots() {
-        let q = bind("SELECT o1.o_orderkey FROM orders o1, orders o2 WHERE o1.o_custkey = o2.o_custkey");
+        let q = bind(
+            "SELECT o1.o_orderkey FROM orders o1, orders o2 WHERE o1.o_custkey = o2.o_custkey",
+        );
         assert_eq!(q.tables.len(), 2);
         assert_eq!(q.joins.len(), 1);
         assert_eq!(q.referenced_tables().len(), 1, "same TableId deduplicated");
@@ -986,9 +987,8 @@ mod tests {
 
     #[test]
     fn slot_filter_selectivity_is_product() {
-        let q = bind(
-            "SELECT l_quantity FROM lineitem WHERE l_quantity > 40 AND l_shipmode = 'AIR'",
-        );
+        let q =
+            bind("SELECT l_quantity FROM lineitem WHERE l_quantity > 40 AND l_shipmode = 'AIR'");
         let expected: f64 = q.filters.iter().map(|f| f.selectivity).product();
         assert!((q.slot_filter_selectivity(0) - expected).abs() < 1e-12);
         assert_eq!(q.slot_filter_selectivity(5), 1.0);

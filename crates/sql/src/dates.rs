@@ -114,14 +114,8 @@ mod tests {
 
     #[test]
     fn leap_years_handled() {
-        assert_eq!(
-            ymd_to_days(1996, 3, 1).unwrap() - ymd_to_days(1996, 2, 1).unwrap(),
-            29
-        );
-        assert_eq!(
-            ymd_to_days(1997, 3, 1).unwrap() - ymd_to_days(1997, 2, 1).unwrap(),
-            28
-        );
+        assert_eq!(ymd_to_days(1996, 3, 1).unwrap() - ymd_to_days(1996, 2, 1).unwrap(), 29);
+        assert_eq!(ymd_to_days(1997, 3, 1).unwrap() - ymd_to_days(1997, 2, 1).unwrap(), 28);
         assert!(ymd_to_days(1997, 2, 29).is_err());
         assert!(ymd_to_days(2000, 2, 29).is_ok()); // 400-year rule
         assert!(ymd_to_days(1900, 2, 29).is_err()); // 100-year rule

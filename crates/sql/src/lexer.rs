@@ -72,10 +72,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     tokens.push(Token { kind: TokenKind::NotEq, offset: start });
                     i += 2;
                 } else {
-                    return Err(Error::Lex {
-                        offset: start,
-                        message: "expected `!=`".into(),
-                    });
+                    return Err(Error::Lex { offset: start, message: "expected `!=`".into() });
                 }
             }
             '<' => match bytes.get(i + 1) {
@@ -230,10 +227,7 @@ mod tests {
 
     #[test]
     fn lexes_strings_with_escapes() {
-        assert_eq!(
-            kinds("'it''s'"),
-            vec![TokenKind::String("it's".into()), TokenKind::Eof]
-        );
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::String("it's".into()), TokenKind::Eof]);
     }
 
     #[test]
@@ -248,10 +242,7 @@ mod tests {
 
     #[test]
     fn skips_line_comments_and_whitespace() {
-        assert_eq!(
-            kinds("-- a comment\n  42"),
-            vec![TokenKind::Number(42.0), TokenKind::Eof]
-        );
+        assert_eq!(kinds("-- a comment\n  42"), vec![TokenKind::Number(42.0), TokenKind::Eof]);
     }
 
     #[test]
@@ -259,11 +250,7 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds("Lineitem WHERE"),
-            vec![
-                Ident("lineitem".into()),
-                Keyword(crate::token::Keyword::Where),
-                Eof
-            ]
+            vec![Ident("lineitem".into()), Keyword(crate::token::Keyword::Where), Eof]
         );
     }
 

@@ -357,11 +357,7 @@ impl Parser {
                 if self.peek_kind() == &TokenKind::Keyword(Keyword::Select) {
                     let sub = self.parse_select()?;
                     self.expect_kind(&TokenKind::RParen)?;
-                    Ok(Expr::InSubquery {
-                        expr: Box::new(left),
-                        subquery: Box::new(sub),
-                        negated,
-                    })
+                    Ok(Expr::InSubquery { expr: Box::new(left), subquery: Box::new(sub), negated })
                 } else {
                     let mut list = vec![self.parse_additive()?];
                     while self.eat_kind(&TokenKind::Comma) {
@@ -459,9 +455,9 @@ impl Parser {
                 let amount = match self.peek_kind().clone() {
                     TokenKind::String(s) => {
                         self.advance();
-                        s.trim().parse::<f64>().map_err(|_| {
-                            self.error(format!("bad interval amount '{s}'"))
-                        })?
+                        s.trim()
+                            .parse::<f64>()
+                            .map_err(|_| self.error(format!("bad interval amount '{s}'")))?
                     }
                     TokenKind::Number(n) => {
                         self.advance();
@@ -642,10 +638,7 @@ mod tests {
             }
             other => panic!("expected EXISTS, got {other:?}"),
         }
-        let q2 = parse(
-            "SELECT a FROM t WHERE a NOT IN (SELECT b FROM u WHERE u.c > 5)",
-        )
-        .unwrap();
+        let q2 = parse("SELECT a FROM t WHERE a NOT IN (SELECT b FROM u WHERE u.c > 5)").unwrap();
         assert!(matches!(q2.where_clause.unwrap(), Expr::InSubquery { negated: true, .. }));
     }
 
@@ -658,10 +651,8 @@ mod tests {
 
     #[test]
     fn parses_aggregates_and_functions() {
-        let q = parse(
-            "SELECT count(*), sum(DISTINCT x), avg(y), substring(s, 1, 2) FROM t",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT count(*), sum(DISTINCT x), avg(y), substring(s, 1, 2) FROM t").unwrap();
         assert_eq!(q.projections.len(), 4);
         let SelectItem::Expr { expr, .. } = &q.projections[1] else { panic!() };
         assert!(matches!(expr, Expr::Agg { distinct: true, .. }));
@@ -671,10 +662,7 @@ mod tests {
 
     #[test]
     fn parses_date_arithmetic_with_interval() {
-        let q = parse(
-            "SELECT a FROM t WHERE d < DATE '1995-01-01' + INTERVAL '3' MONTH",
-        )
-        .unwrap();
+        let q = parse("SELECT a FROM t WHERE d < DATE '1995-01-01' + INTERVAL '3' MONTH").unwrap();
         let w = q.where_clause.unwrap();
         // INTERVAL '3' MONTH folds to 90 (days).
         assert!(w.to_string().contains("90"), "{w}");
@@ -682,10 +670,7 @@ mod tests {
 
     #[test]
     fn parses_case_expression() {
-        let q = parse(
-            "SELECT sum(CASE WHEN a = 1 THEN b ELSE 0 END) FROM t GROUP BY c",
-        )
-        .unwrap();
+        let q = parse("SELECT sum(CASE WHEN a = 1 THEN b ELSE 0 END) FROM t GROUP BY c").unwrap();
         let SelectItem::Expr { expr, .. } = &q.projections[0] else { panic!() };
         assert!(expr.to_string().contains("case("));
     }

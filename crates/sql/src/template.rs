@@ -39,11 +39,7 @@ fn mask_statement(stmt: &SelectStatement) -> SelectStatement {
         joins: stmt
             .joins
             .iter()
-            .map(|j| crate::ast::Join {
-                kind: j.kind,
-                table: j.table.clone(),
-                on: mask(&j.on),
-            })
+            .map(|j| crate::ast::Join { kind: j.kind, table: j.table.clone(), on: mask(&j.on) })
             .collect(),
         where_clause: stmt.where_clause.as_ref().map(mask),
         group_by: stmt.group_by.iter().map(mask).collect(),
@@ -66,11 +62,9 @@ fn mask(e: &Expr) -> Expr {
         Expr::Number(_) | Expr::String(_) | Expr::Date(_) => placeholder(),
         Expr::Null => Expr::Null,
         Expr::Column(c) => Expr::Column(c.clone()),
-        Expr::Binary { op, left, right } => Expr::Binary {
-            op: *op,
-            left: Box::new(mask(left)),
-            right: Box::new(mask(right)),
-        },
+        Expr::Binary { op, left, right } => {
+            Expr::Binary { op: *op, left: Box::new(mask(left)), right: Box::new(mask(right)) }
+        }
         Expr::Between { expr, negated, .. } => Expr::Between {
             expr: Box::new(mask(expr)),
             lo: Box::new(placeholder()),
@@ -87,15 +81,12 @@ fn mask(e: &Expr) -> Expr {
             subquery: Box::new(mask_statement(subquery)),
             negated: *negated,
         },
-        Expr::Exists { subquery, negated } => Expr::Exists {
-            subquery: Box::new(mask_statement(subquery)),
-            negated: *negated,
-        },
-        Expr::Like { expr, negated, .. } => Expr::Like {
-            expr: Box::new(mask(expr)),
-            pattern: "?".into(),
-            negated: *negated,
-        },
+        Expr::Exists { subquery, negated } => {
+            Expr::Exists { subquery: Box::new(mask_statement(subquery)), negated: *negated }
+        }
+        Expr::Like { expr, negated, .. } => {
+            Expr::Like { expr: Box::new(mask(expr)), pattern: "?".into(), negated: *negated }
+        }
         Expr::IsNull { expr, negated } => {
             Expr::IsNull { expr: Box::new(mask(expr)), negated: *negated }
         }

@@ -28,7 +28,11 @@ pub fn dsb_catalog(sf: u64) -> Catalog {
 /// Generates `n` DSB templates, optionally restricted to one class.
 /// The default mix is 25% SPJ / 25% Aggregate / 50% Complex (DSB skews
 /// complex relative to TPC-DS).
-pub fn dsb_templates(catalog: &Catalog, n: usize, class: Option<QueryClass>) -> Vec<SyntheticTemplate> {
+pub fn dsb_templates(
+    catalog: &Catalog,
+    n: usize,
+    class: Option<QueryClass>,
+) -> Vec<SyntheticTemplate> {
     let gen = TemplateGenerator::new(catalog, tpcds_fact_meta());
     let mut rng = DetRng::seeded(TEMPLATE_SEED);
     (0..n)
@@ -111,7 +115,11 @@ mod tests {
     fn paper_shape_520_queries_52_templates() {
         let w = dsb_workload(10, 104, 3).unwrap();
         assert_eq!(w.len(), 104);
-        assert!(w.template_count() >= 48, "52 templates minus rare collisions, got {}", w.template_count());
+        assert!(
+            w.template_count() >= 48,
+            "52 templates minus rare collisions, got {}",
+            w.template_count()
+        );
     }
 
     #[test]

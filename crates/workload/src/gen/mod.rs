@@ -14,11 +14,11 @@
 pub mod dsb;
 pub mod realm;
 pub mod synth;
+pub mod tpcds;
 pub mod tpcds_templates;
 pub mod tpch;
-pub mod tpcds;
 
 pub use dsb::dsb_workload;
 pub use realm::{realm_workload, realm_workload_sized};
-pub use tpch::{tpch_catalog, tpch_workload};
 pub use tpcds::{tpcds_catalog, tpcds_workload};
+pub use tpch::{tpch_catalog, tpch_workload};

@@ -90,11 +90,7 @@ fn realm_fact_meta(catalog: &Catalog) -> Vec<FactMeta> {
             });
         }
         debug_assert!(catalog.table_id(&table).is_some());
-        out.push(FactMeta {
-            table,
-            fks,
-            measures: vec![format!("hub{h:02}_amount")],
-        });
+        out.push(FactMeta { table, fks, measures: vec![format!("hub{h:02}_amount")] });
     }
     out
 }

@@ -147,14 +147,12 @@ impl SyntheticTemplate {
             sql.push_str(&preds.join(" AND "));
         }
         if !self.group_by.is_empty() {
-            let cols: Vec<String> =
-                self.group_by.iter().map(|(t, c)| format!("{t}.{c}")).collect();
+            let cols: Vec<String> = self.group_by.iter().map(|(t, c)| format!("{t}.{c}")).collect();
             sql.push_str(" GROUP BY ");
             sql.push_str(&cols.join(", "));
         }
         if !self.order_by.is_empty() {
-            let cols: Vec<String> =
-                self.order_by.iter().map(|(t, c)| format!("{t}.{c}")).collect();
+            let cols: Vec<String> = self.order_by.iter().map(|(t, c)| format!("{t}.{c}")).collect();
             sql.push_str(" ORDER BY ");
             sql.push_str(&cols.join(", "));
         }
@@ -244,9 +242,12 @@ impl<'a> TemplateGenerator<'a> {
         let (n_joins, n_filters, n_group, semi) = match class {
             QueryClass::Spj => (rng.below(3), 1 + rng.below(3), 0, false),
             QueryClass::Aggregate => (rng.below(2), 1 + rng.below(2), 1 + rng.below(2), false),
-            QueryClass::Complex => {
-                (2 + rng.below(3).min(fact.fks.len().saturating_sub(2)), 2 + rng.below(3), 1 + rng.below(2), rng.chance(0.4))
-            }
+            QueryClass::Complex => (
+                2 + rng.below(3).min(fact.fks.len().saturating_sub(2)),
+                2 + rng.below(3),
+                1 + rng.below(2),
+                rng.chance(0.4),
+            ),
         };
         let n_joins = n_joins.min(fact.fks.len());
         let join_idx = rng.sample_indices(fact.fks.len(), n_joins);
@@ -308,11 +309,8 @@ impl<'a> TemplateGenerator<'a> {
             aggs
         };
 
-        let semijoin = if semi && !fact.fks.is_empty() {
-            Some(rng.pick(&fact.fks).clone())
-        } else {
-            None
-        };
+        let semijoin =
+            if semi && !fact.fks.is_empty() { Some(rng.pick(&fact.fks).clone()) } else { None };
         let order_by = if !group_by.is_empty() && rng.chance(0.6) {
             vec![group_by[0].clone()]
         } else {
@@ -466,10 +464,7 @@ mod tests {
         for _ in 0..50 {
             let s = render_filter(&f, &mut rng);
             assert!(s.starts_with("t.c BETWEEN "));
-            let nums: Vec<i64> = s
-                .split(&[' ', ','][..])
-                .filter_map(|w| w.parse().ok())
-                .collect();
+            let nums: Vec<i64> = s.split(&[' ', ','][..]).filter_map(|w| w.parse().ok()).collect();
             assert_eq!(nums.len(), 2);
             assert!(nums[0] >= 0 && nums[1] <= 100 && nums[0] <= nums[1]);
         }

@@ -242,11 +242,7 @@ pub fn tpcds_catalog(sf: u64, skew: f64) -> Catalog {
         b,
         "inventory",
         11_745_000 * sf,
-        &[
-            ("inv_date_sk", 73_049),
-            ("inv_item_sk", item_ndv),
-            ("inv_warehouse_sk", 10),
-        ],
+        &[("inv_date_sk", 73_049), ("inv_item_sk", item_ndv), ("inv_warehouse_sk", 10)],
         &["inv_quantity_on_hand"],
     );
     b.build()

@@ -26,8 +26,8 @@ pub fn instantiate(idx: usize, rng: &mut DetRng) -> String {
 type Template = fn(&mut DetRng) -> String;
 
 const TEMPLATES: [Template; N_HAND_WRITTEN] = [
-    q3, q7, q13, q19, q25, q26, q29, q34, q42, q43, q46, q50, q52, q55, q61, q65, q68, q73,
-    q79, q88,
+    q3, q7, q13, q19, q25, q26, q29, q34, q42, q43, q46, q50, q52, q55, q61, q65, q68, q73, q79,
+    q88,
 ];
 
 fn year(rng: &mut DetRng) -> i64 {

@@ -147,17 +147,12 @@ mod tests {
     fn projection_only_columns_are_not_indexable() {
         let cols = setup("SELECT o_custkey FROM orders WHERE o_orderdate > DATE '1995-01-01'");
         assert_eq!(cols.len(), 1);
-        assert_eq!(
-            cols[0].gid,
-            cols.iter().find(|c| c.positions.filter).unwrap().gid
-        );
+        assert_eq!(cols[0].gid, cols.iter().find(|c| c.positions.filter).unwrap().gid);
     }
 
     #[test]
     fn duplicate_mentions_collapse_keeping_min_selectivity() {
-        let cols = setup(
-            "SELECT o_orderkey FROM orders WHERE o_custkey > 100 AND o_custkey = 3",
-        );
+        let cols = setup("SELECT o_orderkey FROM orders WHERE o_custkey > 100 AND o_custkey = 3");
         assert_eq!(cols.len(), 1);
         // Equality (1/150) is far more selective than > 100 (1/3).
         assert!(cols[0].selectivity < 0.01);
@@ -172,9 +167,7 @@ mod tests {
 
     #[test]
     fn disjunctive_only_filters_are_not_sargable() {
-        let cols = setup(
-            "SELECT o_orderkey FROM orders WHERE o_custkey = 1 OR o_custkey = 2",
-        );
+        let cols = setup("SELECT o_orderkey FROM orders WHERE o_custkey = 1 OR o_custkey = 2");
         assert_eq!(cols.len(), 1);
         assert!(!cols[0].sargable);
         assert!(cols[0].positions.filter);

@@ -56,6 +56,16 @@ pub struct Workload {
     pub queries: Vec<QueryInfo>,
     /// Template interner for all queries.
     pub templates: TemplateRegistry,
+    /// Process-unique identity (see [`Workload::uid`]).
+    uid: u64,
+}
+
+/// Monotonic source for [`Workload::uid`]. Never reused within a process,
+/// unlike heap addresses, which allocators recycle.
+static NEXT_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn next_uid() -> u64 {
+    NEXT_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 impl Workload {
@@ -82,7 +92,16 @@ impl Workload {
                 class,
             });
         }
-        Ok(Workload { catalog, queries, templates })
+        Ok(Workload { catalog, queries, templates, uid: next_uid() })
+    }
+
+    /// A process-unique identity for this workload, distinct across every
+    /// workload constructed in the process (including dropped ones).
+    /// Callers that key caches per workload — e.g. the what-if optimizer's
+    /// cost cache — must use this rather than any address-based identity,
+    /// which the allocator can recycle after a drop.
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Number of queries.
@@ -137,17 +156,16 @@ impl Workload {
             let fp = self.templates.fingerprint_of(q.template).to_string();
             q.template = templates.intern_fingerprint(fp);
         }
-        Workload { catalog: self.catalog.clone(), queries, templates }
+        Workload { catalog: self.catalog.clone(), queries, templates, uid: next_uid() }
     }
 }
 
 fn annotate(e: Error, idx: usize, sql: &str) -> Error {
     let head: String = sql.chars().take(80).collect();
     match e {
-        Error::Parse { offset, message } => Error::Parse {
-            offset,
-            message: format!("query #{idx}: {message} in `{head}`"),
-        },
+        Error::Parse { offset, message } => {
+            Error::Parse { offset, message: format!("query #{idx}: {message} in `{head}`") }
+        }
         Error::Bind(m) => Error::Bind(format!("query #{idx}: {m} in `{head}`")),
         other => other,
     }
@@ -255,8 +273,7 @@ mod tests {
 
     #[test]
     fn costs_and_total() {
-        let mut w =
-            Workload::from_sql(catalog(), &["SELECT a FROM t", "SELECT x FROM u"]).unwrap();
+        let mut w = Workload::from_sql(catalog(), &["SELECT a FROM t", "SELECT x FROM u"]).unwrap();
         w.set_costs(&[10.0, 30.0]);
         assert_eq!(w.total_cost(), 40.0);
         assert_eq!(w.query(QueryId(1)).cost, 30.0);
@@ -273,11 +290,7 @@ mod tests {
     fn restriction_redensifies_ids_and_templates() {
         let mut w = Workload::from_sql(
             catalog(),
-            &[
-                "SELECT a FROM t WHERE b = 1",
-                "SELECT x FROM u",
-                "SELECT a FROM t WHERE b = 9",
-            ],
+            &["SELECT a FROM t WHERE b = 1", "SELECT x FROM u", "SELECT a FROM t WHERE b = 9"],
         )
         .unwrap();
         w.set_costs(&[1.0, 2.0, 3.0]);
@@ -289,10 +302,21 @@ mod tests {
     }
 
     #[test]
+    fn uids_are_process_unique_even_after_drops() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let w = Workload::from_sql(catalog(), &["SELECT a FROM t"]).unwrap();
+            let r = w.restricted_to(&[QueryId(0)]);
+            assert!(seen.insert(w.uid()), "uid {} reused", w.uid());
+            assert!(seen.insert(r.uid()), "restricted uid {} reused", r.uid());
+            // `w` and `r` drop here; a later workload may reuse their heap
+            // addresses but never their uids.
+        }
+    }
+
+    #[test]
     fn compressed_workload_weights() {
-        let mut cw = CompressedWorkload {
-            entries: vec![(QueryId(0), 2.0), (QueryId(3), 6.0)],
-        };
+        let mut cw = CompressedWorkload { entries: vec![(QueryId(0), 2.0), (QueryId(3), 6.0)] };
         cw.normalize_weights();
         assert!((cw.entries[0].1 - 0.25).abs() < 1e-12);
         assert!((cw.entries[1].1 - 0.75).abs() < 1e-12);

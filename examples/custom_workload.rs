@@ -43,7 +43,10 @@ fn main() {
 
     // What ISUM extracts per query.
     for q in &workload.queries {
-        println!("query {} (template {}, class {:?}, cost {:.0}):", q.id, q.template, q.class, q.cost);
+        println!(
+            "query {} (template {}, class {:?}, cost {:.0}):",
+            q.id, q.template, q.class, q.cost
+        );
         for col in indexable_columns(&q.bound, &workload.catalog) {
             let table = workload.catalog.table(col.gid.table);
             println!(
@@ -61,11 +64,16 @@ fn main() {
     // Feature vectors, utilities, pairwise similarity matrix.
     let features = WorkloadFeatures::build(&workload, &Featurizer::default());
     let utility = utilities(&workload, UtilityMode::CostTimesSelectivity);
-    println!("\nutilities: {:?}", utility.iter().map(|u| (u * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "\nutilities: {:?}",
+        utility.iter().map(|u| (u * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
     println!("\npairwise weighted-Jaccard similarity:");
     for i in 0..workload.len() {
         let row: Vec<String> = (0..workload.len())
-            .map(|j| format!("{:.2}", weighted_jaccard(&features.original[i], &features.original[j])))
+            .map(|j| {
+                format!("{:.2}", weighted_jaccard(&features.original[i], &features.original[j]))
+            })
             .collect();
         println!("  q{i}: [{}]", row.join(", "));
     }

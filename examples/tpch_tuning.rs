@@ -26,11 +26,8 @@ fn main() {
 
     let advisor = DtaAdvisor::new();
     let constraints = TuningConstraints::with_max_indexes(16);
-    let methods: Vec<Box<dyn Compressor>> = vec![
-        Box::new(UniformSampling::new(42)),
-        Box::new(CostTopK),
-        Box::new(Isum::new()),
-    ];
+    let methods: Vec<Box<dyn Compressor>> =
+        vec![Box::new(UniformSampling::new(42)), Box::new(CostTopK), Box::new(Isum::new())];
 
     println!("{:>4}  {:>12}  {:>14}  {:>12}", "k", "method", "improvement %", "time (s)");
     for k in [4usize, 8, 16, 30] {

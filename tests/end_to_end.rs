@@ -5,7 +5,7 @@ use isum_advisor::{DexterAdvisor, DtaAdvisor, IndexAdvisor, TuningConstraints};
 use isum_baselines::{CostTopK, Gsum, KMedoid, Stratified, UniformSampling};
 use isum_core::{Compressor, Isum, IsumConfig};
 use isum_optimizer::{populate_costs, IndexConfig, WhatIfOptimizer};
-use isum_workload::gen::{dsb_workload, realm_workload_sized, tpch_workload, tpcds_workload};
+use isum_workload::gen::{dsb_workload, realm_workload_sized, tpcds_workload, tpch_workload};
 use isum_workload::Workload;
 
 fn prepared_tpch(n: usize, seed: u64) -> Workload {
@@ -20,12 +20,7 @@ fn full_pipeline_tpch() {
     let cw = Isum::new().compress(&w, 8).expect("valid inputs");
     assert_eq!(cw.len(), 8);
     let opt = WhatIfOptimizer::new(&w.catalog);
-    let cfg = DtaAdvisor::new().recommend(
-        &opt,
-        &w,
-        &cw,
-        &TuningConstraints::with_max_indexes(12),
-    );
+    let cfg = DtaAdvisor::new().recommend(&opt, &w, &cw, &TuningConstraints::with_max_indexes(12));
     assert!(!cfg.is_empty());
     let imp = opt.improvement_pct(&w, &cfg);
     assert!(imp > 5.0, "compressed TPC-H tuning should give >5%, got {imp:.1}%");

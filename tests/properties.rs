@@ -5,10 +5,10 @@ use proptest::prelude::*;
 
 use isum_catalog::{CatalogBuilder, Histogram};
 use isum_common::stats::{min_max_normalize, pearson, spearman};
+use isum_common::{ColumnId, GlobalColumnId, TableId};
 use isum_core::features::FeatureVec;
 use isum_core::similarity::{set_jaccard, weighted_jaccard};
 use isum_core::summary::{influence_via_summary, summary_features, theorem3_bounds};
-use isum_common::{ColumnId, GlobalColumnId, TableId};
 
 fn gid(c: u32) -> GlobalColumnId {
     GlobalColumnId::new(TableId(c / 16), ColumnId(c % 16))

@@ -1,0 +1,583 @@
+//! A vendored, dependency-free subset of the `proptest` API.
+//!
+//! This workspace builds in hermetic environments with no access to
+//! crates.io, so the property tests run against this minimal shim instead
+//! of the real crate. Supported surface (everything the workspace's tests
+//! use): the [`proptest!`] and [`prop_compose!`] macros, `prop_assert*!` /
+//! `prop_assume!`, [`Strategy`] with `prop_map`, `any::<T>()`, numeric
+//! ranges, tuple strategies, `prop::collection::vec`,
+//! `prop::sample::select`, `prop::option::of`, and single-character-class
+//! regex strategies like `"[ -~]{0,80}"`.
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failing case panics with the generated inputs in
+//!   the assertion message; rerunning reproduces it (generation is
+//!   deterministic per test name).
+//! - **Fewer cases by default** (64) to keep hermetic CI fast;
+//!   `ProptestConfig::with_cases` still overrides per block.
+
+use std::ops::Range;
+
+pub mod prelude {
+    //! Drop-in equivalent of `proptest::prelude::*`.
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose,
+        proptest, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Deterministic generator driving all strategies (SplitMix64 stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derives a deterministic stream from a test's full name, so each
+    /// test sees a stable but distinct input sequence across runs.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self { state: h | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        // Modulo bias is acceptable for a test-input generator.
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Per-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A value generator. The real crate's lazy `ValueTree` machinery is
+/// collapsed into direct generation, which is all that no-shrink testing
+/// needs.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    fn arbitrary() -> ArbitraryOf<Self>;
+}
+
+/// Strategy produced by [`any`].
+pub struct ArbitraryOf<T> {
+    gen_fn: fn(&mut TestRng) -> T,
+}
+
+impl<T> Clone for ArbitraryOf<T> {
+    fn clone(&self) -> Self {
+        Self { gen_fn: self.gen_fn }
+    }
+}
+
+impl<T> Strategy for ArbitraryOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen_fn)(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> ArbitraryOf<T> {
+    T::arbitrary()
+}
+
+macro_rules! impl_arbitrary {
+    ($($ty:ty => $gen:expr;)*) => {
+        $(impl Arbitrary for $ty {
+            fn arbitrary() -> ArbitraryOf<$ty> {
+                ArbitraryOf { gen_fn: $gen }
+            }
+        })*
+    };
+}
+
+impl_arbitrary! {
+    bool => |r| r.next_u64() & 1 == 1;
+    u8 => |r| r.next_u64() as u8;
+    u16 => |r| r.next_u64() as u16;
+    u32 => |r| r.next_u64() as u32;
+    u64 => |r| r.next_u64();
+    usize => |r| r.next_u64() as usize;
+    i8 => |r| r.next_u64() as i8;
+    i16 => |r| r.next_u64() as i16;
+    i32 => |r| r.next_u64() as i32;
+    i64 => |r| r.next_u64() as i64;
+    isize => |r| r.next_u64() as isize;
+    f64 => |r| r.unit() * 2e6 - 1e6;
+    f32 => |r| (r.unit() * 2e6 - 1e6) as f32;
+    char => |r| char::from_u32((r.below(0x80)) as u32).unwrap_or('a');
+}
+
+macro_rules! impl_int_range {
+    ($($ty:ty),*) => {
+        $(impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = if span > u64::MAX as u128 {
+                    rng.next_u64() as u128
+                } else {
+                    rng.below(span as u64) as u128
+                };
+                (self.start as i128 + off as i128) as $ty
+            }
+        })*
+    };
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit() as f32) * (self.end - self.start)
+    }
+}
+
+/// String literals act as regex strategies. Supported subset: a single
+/// character class with optional `{m,n}` repetition, e.g. `"[ -~]{0,80}"`
+/// or `"[a-z]{3}"`; a bare class means one repetition.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_class_pattern(self).unwrap_or_else(|| {
+            panic!("unsupported regex strategy `{self}` (shim supports `[class]{{m,n}}` only)")
+        });
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+    }
+}
+
+/// Parses `[class]{m,n}` into (alphabet, min_len, max_len).
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i] as u32, class[i + 2] as u32);
+            for c in a..=b {
+                alphabet.extend(char::from_u32(c));
+            }
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    let tail = &rest[close + 1..];
+    if tail.is_empty() {
+        return Some((alphabet, 1, 1));
+    }
+    let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((alphabet, lo, hi))
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+pub mod prop {
+    //! The `prop::` namespace: collection, sample, and option strategies.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Size specification: an exact `usize` or a `Range<usize>`.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // exclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                Self { lo: r.start, hi: r.end }
+            }
+        }
+
+        /// Strategy generating `Vec`s of `inner` values.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            inner: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo) as u64;
+                let len = self.size.lo + rng.below(span.max(1)) as usize;
+                (0..len).map(|_| self.inner.generate(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(strategy, size)`.
+        pub fn vec<S: Strategy>(inner: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { inner, size: size.into() }
+        }
+    }
+
+    pub mod sample {
+        //! Sampling strategies.
+
+        use crate::{Strategy, TestRng};
+
+        /// Strategy picking one element of a fixed set.
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            items: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.items[rng.below(self.items.len() as u64) as usize].clone()
+            }
+        }
+
+        /// `prop::sample::select(items)`.
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select over empty set");
+            Select { items }
+        }
+    }
+
+    pub mod option {
+        //! `Option` strategies.
+
+        use crate::{Strategy, TestRng};
+
+        /// Strategy generating `Option<T>` (`Some` half the time).
+        #[derive(Debug, Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.next_u64() & 1 == 1 {
+                    Some(self.inner.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+
+        /// `prop::option::of(strategy)`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+    }
+}
+
+/// Runs a block of property tests. Each `#[test] fn name(pat in strategy,
+/// ...) { body }` item expands to a normal unit test generating
+/// `ProptestConfig::cases` inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal item expander for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( config = $config:expr; ) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        // `#[test]` arrives as one of the pass-through metas.
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                // Bind via `let` so each value keeps its concrete strategy
+                // output type; the zero-arg closure scopes `prop_assume!`'s
+                // `return` to the current case.
+                let ($($pat,)+) = ($($crate::Strategy::generate(&($strat), &mut rng),)+);
+                #[allow(clippy::redundant_closure_call)]
+                (|| $body)();
+            }
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+/// Composes strategies into a named strategy-returning function, mirroring
+/// `proptest::prop_compose!`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:ident : $argty:ty),* $(,)?)
+                  ($($pat:pat in $strat:expr),+ $(,)?)
+                  -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg : $argty),*) -> impl $crate::Strategy<Value = $out> {
+            $crate::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($pat,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Asserts inside a property test (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current generated case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..200 {
+            let v = (10i64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (0.5f64..1.5).generate(&mut rng);
+            assert!((0.5..1.5).contains(&f));
+            let u = (0u32..1).generate(&mut rng);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn vec_and_select_and_option() {
+        let mut rng = TestRng::from_name("vec");
+        let s = prop::collection::vec(0u32..5, 2..4);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() >= 2 && v.len() < 4);
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let sel = prop::sample::select(vec!["a", "b"]);
+        assert!(["a", "b"].contains(&sel.generate(&mut rng)));
+        let opt = prop::option::of(0u32..5);
+        let got: Vec<Option<u32>> = (0..50).map(|_| opt.generate(&mut rng)).collect();
+        assert!(got.iter().any(Option::is_some) && got.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        let mut rng = TestRng::from_name("exact");
+        let s = prop::collection::vec(0.0f64..1.0, 12usize);
+        assert_eq!(s.generate(&mut rng).len(), 12);
+    }
+
+    #[test]
+    fn regex_class_strategy() {
+        let mut rng = TestRng::from_name("regex");
+        let s = "[ -~]{0,80}";
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v.len() <= 80);
+            assert!(v.chars().all(|c| (' '..='~').contains(&c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("same");
+        let mut b = TestRng::from_name("same");
+        let s = prop::collection::vec(0u64..1_000_000, 5..10);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    prop_compose! {
+        /// Pairs where the second element is at least the first.
+        fn ordered_pair()(a in 0i64..100, delta in 0i64..50) -> (i64, i64) {
+            (a, a + delta)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_strategy_holds(p in ordered_pair()) {
+            prop_assert!(p.0 <= p.1, "{p:?}");
+        }
+
+        #[test]
+        fn mut_patterns_and_assume(mut v in prop::collection::vec(0u32..100, 0..6)) {
+            prop_assume!(!v.is_empty());
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_cases_respected(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}
