@@ -35,18 +35,25 @@ pub fn greedy_enumerate(
     while cfg.len() < constraints.max_indexes && !remaining.is_empty() {
         count!("advisor.greedy.iterations");
         let calls_before = optimizer.optimizer_calls();
-        let mut best: Option<(usize, f64, u64)> = None;
-        for (i, ix) in remaining.iter().enumerate() {
+        // Every trial configuration of this round is independent: fan the
+        // what-if costings out over the pool, then pick the winner in a
+        // sequential index-order scan (first strict maximum), so the pick
+        // matches the sequential loop at any thread count.
+        let trials = isum_exec::par_map(&remaining, |ix| {
             let bytes = ix.size_bytes(catalog);
             if let Some(budget) = constraints.storage_budget_bytes {
                 if used_bytes + bytes > budget {
-                    continue;
+                    return None;
                 }
             }
             let mut trial = cfg.clone();
             trial.add((*ix).clone());
             let cost = weighted_cost(optimizer, workload, tuned, &trial);
-            let gain = current - cost;
+            Some((current - cost, bytes))
+        });
+        let mut best: Option<(usize, f64, u64)> = None;
+        for (i, t) in trials.into_iter().enumerate() {
+            let Some((gain, bytes)) = t else { continue };
             if gain > 1e-9 && best.is_none_or(|(_, g, _)| gain > g) {
                 best = Some((i, gain, bytes));
             }

@@ -13,7 +13,10 @@
 //!
 //! Passing `--stats` (or setting `ISUM_TELEMETRY=1`) enables the
 //! [`isum_common::telemetry`] registry and prints a phase/counter table
-//! after the command finishes.
+//! after the command finishes. Passing `--threads <n>` (or setting
+//! `ISUM_THREADS=<n>`) sizes the [`isum_exec`] worker pool; `--threads 1`
+//! runs everything sequentially and produces bit-identical results to any
+//! other thread count.
 
 mod schema;
 
@@ -47,6 +50,9 @@ fn run(args: &[String]) -> Result<()> {
     if opts.stats {
         telemetry::set_enabled(true);
     }
+    if let Some(n) = opts.threads {
+        isum_exec::set_global_threads(n);
+    }
     let result = match command.as_str() {
         "compress" => compress(&opts),
         "tune" => tune(&opts),
@@ -75,7 +81,8 @@ fn print_usage() {
          isum compress --schema <json> --workload <sql> -k <n> [--variant isum|isum-s|all-pairs]\n  \
          isum tune     --schema <json> --workload <sql> -k <n> [-m <indexes>] [--advisor dta|dexter] [--budget-bytes <n>] [--report]\n  \
          isum explain  --schema <json> --workload <sql> --query <idx> [--tuned]\n\
-         any command accepts --stats (or ISUM_TELEMETRY=1) to print a telemetry table"
+         any command accepts --stats (or ISUM_TELEMETRY=1) to print a telemetry table\n\
+         and --threads <n> (or ISUM_THREADS=<n>) to size the worker pool (1 = sequential)"
     );
 }
 
@@ -92,6 +99,7 @@ struct Options {
     report: bool,
     tuned: bool,
     stats: bool,
+    threads: Option<usize>,
 }
 
 impl Options {
@@ -108,6 +116,7 @@ impl Options {
             report: false,
             tuned: false,
             stats: false,
+            threads: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -140,6 +149,15 @@ impl Options {
                     o.budget_bytes = Some(value("--budget-bytes")?.parse().map_err(|_| {
                         Error::InvalidConfig("--budget-bytes must be an integer".into())
                     })?)
+                }
+                "--threads" => {
+                    let n: usize = value("--threads")?
+                        .parse()
+                        .map_err(|_| Error::InvalidConfig("--threads must be an integer".into()))?;
+                    if n == 0 {
+                        return Err(Error::InvalidConfig("--threads must be at least 1".into()));
+                    }
+                    o.threads = Some(n);
                 }
                 "--report" => o.report = true,
                 "--tuned" => o.tuned = true,
@@ -370,6 +388,17 @@ mod tests {
         assert!(o.stats);
         let o = opts(&[]);
         assert!(!o.stats);
+    }
+
+    #[test]
+    fn threads_flag_parses_and_rejects_bad_values() {
+        let o = opts(&["--threads", "4"]);
+        assert_eq!(o.threads, Some(4));
+        let o = opts(&[]);
+        assert_eq!(o.threads, None);
+        assert!(Options::parse(&["--threads".into()]).is_err());
+        assert!(Options::parse(&["--threads".into(), "abc".into()]).is_err());
+        assert!(Options::parse(&["--threads".into(), "0".into()]).is_err());
     }
 
     #[test]

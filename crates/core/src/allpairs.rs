@@ -39,13 +39,21 @@ pub fn select_all_pairs(
     while out.order.len() < k {
         isum_common::count!("core.select.iterations");
         // Algorithm 1: find the max-conditional-benefit query, skipping
-        // queries whose features are fully covered (all-zero).
-        let mut best: Option<(usize, f64)> = None;
-        for i in 0..n {
-            if selected[i] || features[i].all_zero() {
-                continue;
+        // queries whose features are fully covered (all-zero). Benefits
+        // are independent pure computations, so they fan out over the
+        // pool; the argmax below stays a sequential index-order scan, so
+        // the pick (first strict maximum) is identical to the sequential
+        // algorithm at any thread count.
+        let benefits = isum_exec::par_map_indexed(&features, |i, f| {
+            if selected[i] || f.all_zero() {
+                None
+            } else {
+                Some(conditional_benefit(i, &features, &utilities, &selected))
             }
-            let b = conditional_benefit(i, &features, &utilities, &selected);
+        });
+        let mut best: Option<(usize, f64)> = None;
+        for (i, b) in benefits.into_iter().enumerate() {
+            let Some(b) = b else { continue };
             if best.is_none_or(|(_, bb)| b > bb) {
                 best = Some((i, b));
             }

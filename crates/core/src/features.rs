@@ -278,16 +278,15 @@ pub struct WorkloadFeatures {
 }
 
 impl WorkloadFeatures {
-    /// Featurizes every query of a workload.
+    /// Featurizes every query of a workload. Queries are independent, so
+    /// featurization fans out over the [`isum_exec`] pool; results are
+    /// collected in query order, making the output identical to the
+    /// sequential map.
     pub fn build(workload: &Workload, featurizer: &Featurizer) -> Self {
-        let features: Vec<FeatureVec> = workload
-            .queries
-            .iter()
-            .map(|q| {
-                let cols = indexable_columns(&q.bound, &workload.catalog);
-                featurizer.features(&cols, &workload.catalog)
-            })
-            .collect();
+        let features: Vec<FeatureVec> = isum_exec::par_map(&workload.queries, |q| {
+            let cols = indexable_columns(&q.bound, &workload.catalog);
+            featurizer.features(&cols, &workload.catalog)
+        });
         Self { original: features.clone(), features }
     }
 

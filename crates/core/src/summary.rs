@@ -110,20 +110,30 @@ pub fn select_summary(
         let summary = summary_features(&fs, &us);
         let total_utility: f64 = us.iter().sum();
 
-        let mut best: Option<(usize, f64)> = None;
         // Indices of unselected queries align with fs/us by construction.
+        let mut positions = vec![usize::MAX; n];
         let mut pos = 0;
-        for i in 0..n {
-            if selected[i] {
-                continue;
+        for (i, &sel) in selected.iter().enumerate() {
+            if !sel {
+                positions[i] = pos;
+                pos += 1;
             }
-            let my_pos = pos;
-            pos += 1;
-            if features[i].all_zero() {
-                continue;
+        }
+        // One independent similarity per query: fan out over the pool,
+        // then run the argmax as a sequential index-order scan so the
+        // pick (first strict maximum) matches the sequential algorithm
+        // at any thread count.
+        let benefits = isum_exec::par_map_indexed(&features, |i, f| {
+            if selected[i] || f.all_zero() {
+                None
+            } else {
+                let infl = influence_via_summary(positions[i], &fs, &us, &summary, total_utility);
+                Some(utilities[i] + infl)
             }
-            let infl = influence_via_summary(my_pos, &fs, &us, &summary, total_utility);
-            let b = utilities[i] + infl;
+        });
+        let mut best: Option<(usize, f64)> = None;
+        for (i, b) in benefits.into_iter().enumerate() {
+            let Some(b) = b else { continue };
             if best.is_none_or(|(_, bb)| b > bb) {
                 best = Some((i, b));
             }

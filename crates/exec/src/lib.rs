@@ -1,0 +1,155 @@
+//! `isum_exec` — zero-dependency parallel execution for the ISUM
+//! reproduction.
+//!
+//! Every hot path in this codebase — all-pairs similarity, featurization,
+//! what-if costing inside the advisor's greedy rounds, and the experiment
+//! harness — fans out over independent inputs. This crate gives them a
+//! single, `std`-only substrate: a work-stealing scoped thread pool
+//! ([`ThreadPool`]) with three primitives:
+//!
+//! * [`par_map`] / [`ThreadPool::par_map`] — parallel map whose output is
+//!   collected **by input index**, so the result is bit-identical to the
+//!   sequential map for pure functions (the determinism contract the
+//!   regression tests in `tests/determinism.rs` enforce end-to-end);
+//! * [`par_chunks`] / [`ThreadPool::par_chunks`] — the chunked form;
+//! * [`scope`] / [`ThreadPool::scope`] — structured spawning of tasks that
+//!   borrow from the caller's stack, joined before the scope returns, with
+//!   panic propagation (first panic re-raised, pool never poisoned) and
+//!   nested-scope support (waiters execute queued tasks instead of
+//!   blocking).
+//!
+//! # Configuration
+//!
+//! The process-wide pool defaults to the machine's available parallelism,
+//! overridden by the `ISUM_THREADS` environment variable or
+//! programmatically via [`set_global_threads`] (the CLI's `--threads`
+//! flag). `threads == 1` is the sequential reference: no workers are
+//! spawned and every task runs inline on the caller in submission order.
+//!
+//! # Telemetry
+//!
+//! When [`isum_common::telemetry`] is enabled the pool reports under the
+//! `exec.*` vocabulary: per-worker task counters
+//! (`exec.worker.<i>.tasks`), tasks executed by scope-waiting helper
+//! threads (`exec.helper.tasks`), a total (`exec.tasks`), successful
+//! steals (`exec.steals`), the live queue depth (`exec.queue_depth`
+//! gauge), the configured executor count (`exec.pool.threads` gauge), and
+//! timing histograms for pool spans (`exec.scope_ns`, `exec.par_map_ns`).
+//!
+//! # Example
+//!
+//! ```
+//! let pool = isum_exec::ThreadPool::new(4);
+//! let squares = pool.par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]); // always in input order
+//! ```
+
+mod pool;
+
+pub use pool::{Scope, ThreadPool};
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+static GLOBAL: OnceLock<Mutex<Arc<ThreadPool>>> = OnceLock::new();
+
+/// Executor count for a fresh global pool: `ISUM_THREADS` when set to a
+/// positive integer, otherwise the machine's available parallelism.
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("ISUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+fn global_slot() -> &'static Mutex<Arc<ThreadPool>> {
+    GLOBAL.get_or_init(|| Mutex::new(Arc::new(ThreadPool::new(default_threads()))))
+}
+
+/// The process-wide pool (created on first use; sized per the
+/// configuration rules in the module docs).
+pub fn global() -> Arc<ThreadPool> {
+    global_slot().lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+}
+
+/// Replaces the global pool with one of `n` executors (clamped to at
+/// least 1). The previous pool finishes any in-flight scopes held by
+/// other threads and shuts down when its last handle drops. No-op when
+/// the pool already has `n` executors.
+pub fn set_global_threads(n: usize) {
+    let n = n.max(1);
+    let mut slot = global_slot().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if slot.threads() != n {
+        *slot = Arc::new(ThreadPool::new(n));
+    }
+}
+
+/// Executor count of the current global pool.
+pub fn global_threads() -> usize {
+    global().threads()
+}
+
+/// [`ThreadPool::par_map`] on the global pool.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    global().par_map(items, f)
+}
+
+/// [`ThreadPool::par_map_indexed`] on the global pool.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    global().par_map_indexed(items, f)
+}
+
+/// [`ThreadPool::par_chunks`] on the global pool.
+pub fn par_chunks<T, R, F>(items: &[T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    global().par_chunks(items, chunk_size, f)
+}
+
+/// [`ThreadPool::scope`] on the global pool.
+pub fn scope<'env, R>(f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+    global().scope(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_pool_is_reconfigurable() {
+        set_global_threads(2);
+        assert_eq!(global_threads(), 2);
+        let out = par_map(&[1u32, 2, 3], |&x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+        set_global_threads(1);
+        assert_eq!(global_threads(), 1);
+        let out = par_map_indexed(&[5u32, 6], |i, &x| (i, x));
+        assert_eq!(out, vec![(0, 5), (1, 6)]);
+    }
+
+    #[test]
+    fn global_scope_runs() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        scope(|s| {
+            let flag = &flag;
+            s.spawn(move || flag.store(true, std::sync::atomic::Ordering::SeqCst));
+        });
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

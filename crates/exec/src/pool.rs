@@ -1,0 +1,471 @@
+//! The work-stealing pool, scopes, and deterministic parallel primitives.
+//!
+//! Layout: one lock-striped deque per worker plus a round-robin submission
+//! cursor. Owners pop from the back of their own deque (LIFO keeps nested
+//! work hot in cache); idle workers steal from the front of a victim's
+//! deque (FIFO steals take the oldest, largest-granularity work first).
+//! Every queue transition updates the `exec.queue_depth` gauge and steals
+//! increment `exec.steals` when telemetry is enabled.
+//!
+//! # Determinism contract
+//!
+//! [`ThreadPool::par_map`] and [`ThreadPool::par_chunks`] write each
+//! result into a slot owned by its input index and assemble the output in
+//! input order, so the returned vector is bit-identical to what the
+//! sequential `items.iter().map(f).collect()` would produce — regardless
+//! of thread count, scheduling, or steal order — provided `f` itself is a
+//! pure function of its arguments. A pool with `threads == 1` never
+//! spawns workers and runs every task inline on the caller, in submission
+//! order, making `--threads 1` exactly the sequential program.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use isum_common::telemetry;
+use isum_common::{count, record_ns};
+
+/// An erased unit of work queued on the pool.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// How many chunks each executor gets per `par_map`/`par_chunks` call;
+/// more than one so stolen work rebalances a skewed cost distribution.
+const CHUNKS_PER_THREAD: usize = 4;
+
+thread_local! {
+    /// Worker index when the current thread is a pool worker.
+    static WORKER_INDEX: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Locks a mutex, ignoring poisoning: pool state is only mutated by this
+/// module, user panics are caught before any of these locks are released,
+/// and a poisoned-lock abort is exactly the "pool poisoning" the panic
+/// tests forbid.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    /// One deque per worker; owners pop from the back, thieves from the front.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Tasks queued but not yet claimed by any executor.
+    queued: AtomicUsize,
+    /// Parking lot for idle workers.
+    sleep: Mutex<()>,
+    /// Signalled when new work arrives or the pool shuts down.
+    wake: Condvar,
+    /// Set once by [`ThreadPool::drop`]; workers exit when they see it.
+    shutdown: AtomicBool,
+    /// Round-robin cursor for submissions from non-worker threads.
+    rr: AtomicUsize,
+}
+
+impl Shared {
+    /// Publishes the queue depth gauge (only when telemetry is enabled —
+    /// queue transitions are chunk-granular, so the registry lookup is off
+    /// the per-item path).
+    fn publish_depth(&self) {
+        if telemetry::enabled() {
+            telemetry::gauge("exec.queue_depth").set(self.queued.load(Ordering::SeqCst) as i64);
+        }
+    }
+
+    /// Enqueues a task: onto the current worker's own deque when called
+    /// from a worker (LIFO locality for nested scopes), else round-robin.
+    fn push(&self, task: Task) {
+        let slot = WORKER_INDEX
+            .with(std::cell::Cell::get)
+            .unwrap_or_else(|| self.rr.fetch_add(1, Ordering::Relaxed))
+            % self.queues.len();
+        lock(&self.queues[slot]).push_back(task);
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        self.publish_depth();
+        let _g = lock(&self.sleep);
+        self.wake.notify_one();
+    }
+
+    /// Takes a task for executor `home`: own deque first (back), then
+    /// steals from the other deques (front). `home` may exceed the worker
+    /// count for helper threads, which simply steal from everyone.
+    fn take(&self, home: usize) -> Option<Task> {
+        let n = self.queues.len();
+        if home < n {
+            if let Some(t) = lock(&self.queues[home]).pop_back() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                self.publish_depth();
+                return Some(t);
+            }
+        }
+        for off in 0..n {
+            let victim = home.wrapping_add(1 + off) % n;
+            if victim == home {
+                continue;
+            }
+            if let Some(t) = lock(&self.queues[victim]).pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                count!("exec.steals");
+                self.publish_depth();
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// Completion tracking for one [`Scope`]: a pending-task count, the first
+/// panic payload, and a condvar the scope owner parks on.
+#[derive(Default)]
+struct ScopeState {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done_lock: Mutex<()>,
+    done: Condvar,
+}
+
+/// A spawn handle tied to a [`ThreadPool::scope`] invocation. Tasks
+/// spawned on it may borrow anything that outlives the scope (`'env`);
+/// the scope does not return until every spawned task has finished.
+pub struct Scope<'pool, 'env> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`, like `std::thread::scope`.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Spawns a task that may borrow from the enclosing stack frame. On a
+    /// single-thread pool the task runs immediately, inline, in spawn
+    /// order. Panics inside the task are captured and re-raised by the
+    /// enclosing [`ThreadPool::scope`] call after all tasks finish; the
+    /// pool itself keeps working.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let wrapped = move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                lock(&state.panic).get_or_insert(payload);
+            }
+            if state.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let _g = lock(&state.done_lock);
+                state.done.notify_all();
+            }
+        };
+        if self.pool.threads == 1 {
+            wrapped();
+            return;
+        }
+        let boxed: Box<dyn FnOnce() + Send + 'env> = Box::new(wrapped);
+        // SAFETY: the closure only borrows data living at least `'env`,
+        // and `ThreadPool::scope` blocks until `pending` reaches zero
+        // before `'env` can end, so the erased lifetime never dangles.
+        let task: Task =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(boxed) };
+        self.pool.shared.push(task);
+    }
+}
+
+/// A work-stealing scoped thread pool built purely on `std`.
+///
+/// `threads` is the number of concurrent executors: `threads - 1` worker
+/// threads are spawned, and the thread that waits on a scope lends itself
+/// as the final executor (it executes queued tasks while waiting, so
+/// nested scopes never deadlock). `threads == 1` spawns nothing and runs
+/// every task inline — the sequential reference execution.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Builds a pool with `threads` executors (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let worker_count = threads - 1;
+        let shared = Arc::new(Shared {
+            queues: (0..worker_count.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            rr: AtomicUsize::new(0),
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("isum-exec-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        if telemetry::enabled() {
+            telemetry::gauge("exec.pool.threads").set(threads as i64);
+        }
+        Self { shared, workers, threads }
+    }
+
+    /// The number of concurrent executors this pool was built with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with a [`Scope`] on which borrowing tasks can be spawned,
+    /// then blocks until every spawned task has completed. While blocked,
+    /// the calling thread executes queued tasks itself (it is the pool's
+    /// final executor), which is also what makes nested scopes — a pool
+    /// task opening its own scope — deadlock-free. If any task panicked,
+    /// the first panic is re-raised here after all tasks finished.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        let start = Instant::now();
+        let state = Arc::new(ScopeState::default());
+        let s = Scope { pool: self, state: Arc::clone(&state), _env: PhantomData };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&s)));
+        self.wait(&state);
+        record_ns!("exec.scope_ns", start.elapsed().as_nanos() as u64);
+        if let Some(payload) = lock(&state.panic).take() {
+            resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Blocks until `state.pending` reaches zero, executing queued tasks
+    /// (from any scope) while waiting.
+    fn wait(&self, state: &ScopeState) {
+        while state.pending.load(Ordering::SeqCst) > 0 {
+            // Helpers have no home deque: index past the end steals from all.
+            if let Some(task) = self.shared.take(usize::MAX) {
+                run_task(task, None);
+            } else {
+                let g = lock(&state.done_lock);
+                if state.pending.load(Ordering::SeqCst) == 0 {
+                    return;
+                }
+                // Timed wait: a task taken by a worker between our queue
+                // scan and this park could finish instantly; the timeout
+                // bounds the window without busy-spinning.
+                let _ = state.done.wait_timeout(g, Duration::from_micros(200));
+            }
+        }
+    }
+
+    /// Parallel map with deterministic, input-ordered results: semantically
+    /// `items.iter().map(|t| f(t)).collect()`, bit-identical to that
+    /// sequential evaluation for pure `f` at any thread count.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_indexed(items, |_, t| f(t))
+    }
+
+    /// [`Self::par_map`] variant whose mapper also receives the input index.
+    pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        count!("exec.par_map.calls");
+        let start = Instant::now();
+        if self.threads == 1 || n <= 1 {
+            let out = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            record_ns!("exec.par_map_ns", start.elapsed().as_nanos() as u64);
+            return out;
+        }
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        {
+            let ptr = SendPtr(slots.as_mut_ptr());
+            let chunk = n.div_ceil(self.threads * CHUNKS_PER_THREAD).max(1);
+            let f = &f;
+            self.scope(|s| {
+                let mut lo = 0;
+                while lo < n {
+                    let hi = (lo + chunk).min(n);
+                    s.spawn(move || {
+                        // Rebind the wrapper so the closure captures the
+                        // `Send` wrapper, not the raw pointer field
+                        // (edition-2021 disjoint capture).
+                        let slots = ptr;
+                        for (i, item) in items.iter().enumerate().take(hi).skip(lo) {
+                            let value = f(i, item);
+                            // SAFETY: `i` is owned by exactly one chunk, so
+                            // no two tasks write the same slot, and `slots`
+                            // outlives the scope (which joins all tasks).
+                            unsafe { *slots.0.add(i) = Some(value) };
+                        }
+                    });
+                    lo = hi;
+                }
+            });
+        }
+        record_ns!("exec.par_map_ns", start.elapsed().as_nanos() as u64);
+        slots.into_iter().map(|slot| slot.expect("par_map slot filled")).collect()
+    }
+
+    /// Splits `items` into contiguous chunks of `chunk_size`, maps each
+    /// chunk (receiving the chunk's starting index) in parallel, and
+    /// returns the per-chunk results in chunk order — the deterministic
+    /// parallel form of `items.chunks(chunk_size).map(...)`.
+    pub fn par_chunks<T, R, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        let chunk_size = chunk_size.max(1);
+        let chunks: Vec<(usize, &[T])> =
+            items.chunks(chunk_size).enumerate().map(|(c, w)| (c * chunk_size, w)).collect();
+        self.par_map(&chunks, |&(start, window)| f(start, window))
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _g = lock(&self.shared.sleep);
+            self.shared.wake.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Raw pointer into the `par_map` slot vector, sendable because every
+/// task writes a disjoint index range.
+struct SendPtr<R>(*mut Option<R>);
+
+impl<R> Clone for SendPtr<R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<R> Copy for SendPtr<R> {}
+// SAFETY: tasks write disjoint slots of a vector that outlives the scope.
+unsafe impl<R: Send> Send for SendPtr<R> {}
+// SAFETY: shared only to move copies into tasks; see `Send` above.
+unsafe impl<R: Send> Sync for SendPtr<R> {}
+
+/// Executes one task, attributing it to `worker` in telemetry. Panics are
+/// contained here as a backstop (scope wrappers catch first), so a task
+/// can never take down a worker thread.
+fn run_task(task: Task, worker: Option<&Arc<telemetry::Counter>>) {
+    if telemetry::enabled() {
+        count!("exec.tasks");
+        match worker {
+            Some(c) => c.inc(),
+            None => count!("exec.helper.tasks"),
+        }
+    }
+    let _ = catch_unwind(AssertUnwindSafe(task));
+}
+
+/// The worker main loop: drain own deque, steal, park.
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    WORKER_INDEX.with(|w| w.set(Some(index)));
+    // Interned once per worker: the `count!` macro caches one name per call
+    // site, which would alias every worker onto one counter here.
+    let tasks = telemetry::counter(&format!("exec.worker.{index}.tasks"));
+    loop {
+        if let Some(task) = shared.take(index) {
+            run_task(task, Some(&tasks));
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let g = lock(&shared.sleep);
+        if shared.queued.load(Ordering::SeqCst) > 0 || shared.shutdown.load(Ordering::SeqCst) {
+            continue;
+        }
+        // Timed park: belt-and-braces against a missed notify.
+        let _ = shared.wake.wait_timeout(g, Duration::from_millis(5));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_matches_sequential_order() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u64> = (0..1000).collect();
+        let parallel = pool.par_map(&items, |&x| x * x + 1);
+        let sequential: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let tid = std::thread::current().id();
+        let seen = pool.par_map(&[1, 2, 3], |_| std::thread::current().id());
+        assert!(seen.iter().all(|&t| t == tid), "threads=1 must not leave the caller");
+    }
+
+    #[test]
+    fn par_chunks_covers_every_item_in_order() {
+        let pool = ThreadPool::new(3);
+        let items: Vec<usize> = (0..101).collect();
+        let sums = pool.par_chunks(&items, 10, |start, chunk| {
+            assert_eq!(chunk[0], start);
+            chunk.iter().sum::<usize>()
+        });
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<usize>(), items.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn scope_joins_borrowing_tasks() {
+        let pool = ThreadPool::new(4);
+        let data = vec![0u64; 64];
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            for w in data.chunks(16) {
+                let total = &total;
+                s.spawn(move || {
+                    total.fetch_add(w.len() as u64, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = ThreadPool::new(4);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.par_map(&empty, |&x| x).is_empty());
+        assert_eq!(pool.par_map(&[7u32], |&x| x + 1), vec![8]);
+        assert!(pool.par_chunks(&empty, 4, |_, c| c.len()).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Concurrency contract tests for `isum_exec`: exact counting under a
+//! saturated pool, panic containment without pool poisoning, nested-scope
+//! support, and the deterministic-reduction guarantee at several thread
+//! counts.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use isum_exec::ThreadPool;
+
+#[test]
+fn counters_are_exact_under_a_saturated_pool() {
+    // Far more tasks than executors, each touching a shared counter: every
+    // increment must land and every input index must be visited exactly
+    // once, regardless of stealing and scheduling.
+    let pool = ThreadPool::new(8);
+    let executed = AtomicU64::new(0);
+    let items: Vec<u64> = (0..50_000).collect();
+    let out = pool.par_map(&items, |&x| {
+        executed.fetch_add(1, Ordering::Relaxed);
+        x + 1
+    });
+    assert_eq!(executed.load(Ordering::Relaxed), items.len() as u64, "no lost or repeated tasks");
+    assert_eq!(out, (1..=50_000).collect::<Vec<u64>>(), "results in input order");
+}
+
+#[test]
+fn scope_spawn_counts_exactly_once_per_task() {
+    let pool = ThreadPool::new(4);
+    let hits = AtomicUsize::new(0);
+    pool.scope(|s| {
+        for _ in 0..10_000 {
+            let hits = &hits;
+            s.spawn(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 10_000);
+}
+
+#[test]
+fn task_panic_propagates_without_poisoning_the_pool() {
+    let pool = ThreadPool::new(4);
+    // A panicking task must surface its payload at the scope boundary...
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|s| {
+            s.spawn(|| panic!("boom in task"));
+            s.spawn(|| { /* healthy sibling */ });
+        });
+    }));
+    let payload = result.expect_err("scope must re-raise the task panic");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "boom in task");
+    // ...and the pool must keep working afterwards: same workers, fresh scope.
+    let after = pool.par_map(&[10u32, 20, 30], |&x| x / 10);
+    assert_eq!(after, vec![1, 2, 3], "pool unusable after a task panic");
+}
+
+#[test]
+fn panic_in_par_map_leaves_pool_usable() {
+    let pool = ThreadPool::new(4);
+    for round in 0..3 {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&(0..256).collect::<Vec<u32>>(), |&x| {
+                assert!(x != 128, "planted failure");
+                x
+            })
+        }));
+        assert!(result.is_err(), "round {round}: planted panic must propagate");
+    }
+    assert_eq!(pool.par_map(&[1u32, 2], |&x| x), vec![1, 2]);
+}
+
+#[test]
+fn nested_scopes_complete_without_deadlock() {
+    // Each outer task opens its own scope on the same pool; the waiting
+    // executors must help drain queues rather than block, so this finishes
+    // even when tasks outnumber threads.
+    let pool = ThreadPool::new(2);
+    let total = AtomicUsize::new(0);
+    pool.scope(|outer| {
+        for _ in 0..16 {
+            let total = &total;
+            let pool = &pool;
+            outer.spawn(move || {
+                pool.scope(|inner| {
+                    for _ in 0..8 {
+                        inner.spawn(move || {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+        }
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 16 * 8);
+}
+
+#[test]
+fn nested_par_map_is_deterministic() {
+    let pool = ThreadPool::new(4);
+    let items: Vec<u64> = (0..64).collect();
+    let nested = pool.par_map(&items, |&x| {
+        let inner: Vec<u64> = (0..x % 7).collect();
+        pool.par_map(&inner, |&y| y * y).iter().sum::<u64>() + x
+    });
+    let sequential: Vec<u64> =
+        items.iter().map(|&x| (0..x % 7).map(|y| y * y).sum::<u64>() + x).collect();
+    assert_eq!(nested, sequential);
+}
+
+#[test]
+fn results_identical_across_thread_counts() {
+    // The determinism contract at the primitive level: same bits out of
+    // 1, 2, 4, and 8 executors, including float accumulation per item.
+    let items: Vec<f64> = (1..500).map(|i| 1.0 / i as f64).collect();
+    let work = |&x: &f64| {
+        let mut acc = 0.0f64;
+        for k in 1..50 {
+            acc += (x * k as f64).sin();
+        }
+        acc
+    };
+    let reference = ThreadPool::new(1).par_map(&items, work);
+    for threads in [2usize, 4, 8] {
+        let got = ThreadPool::new(threads).par_map(&items, work);
+        let identical = reference.iter().zip(&got).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(identical, "par_map at {threads} threads diverged from sequential");
+    }
+}
+
+#[test]
+fn telemetry_attributes_every_task_to_one_executor() {
+    use isum_common::telemetry;
+    telemetry::set_enabled(true);
+    {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u64> = (0..4096).collect();
+        let _ = pool.par_map(&items, |&x| {
+            // Enough work per item that several executors participate.
+            (0..64).fold(x, |a, b| a.wrapping_mul(31).wrapping_add(b))
+        });
+        // Dropping the pool joins its workers before we snapshot.
+    }
+    telemetry::set_enabled(false);
+    // Any task mid-flight on another test's pool finishes its (total,
+    // attribution) counter pair within nanoseconds of the flag flip; the
+    // sleep closes that window before the consistency check below.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let snap = telemetry::snapshot();
+    let total = snap.counter("exec.tasks").unwrap_or(0);
+    assert!(total > 0, "pool must count executed tasks");
+    let attributed: u64 = snap
+        .counters
+        .iter()
+        .filter(|(n, _)| {
+            (n.starts_with("exec.worker.") && n.ends_with(".tasks")) || n == "exec.helper.tasks"
+        })
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(attributed, total, "every task attributed to exactly one executor");
+}

@@ -1,0 +1,71 @@
+//! Sequential-vs-parallel benchmark of the quick-scale harness.
+//!
+//! ```text
+//! cargo run -p isum-experiments --release --bin bench_exec [-- <out.json>]
+//! ```
+//!
+//! Runs the same quick-scale pipeline — prepare TPC-H, compress with the
+//! six standard methods, tune each subset with DTA — once on a 1-thread
+//! pool and once on a 4-thread pool, and writes the wall times, speedup,
+//! and the machine's CPU count to `BENCH_exec.json` (or the path given as
+//! the first argument). The two runs must agree on every improvement
+//! figure — the determinism contract — and the binary exits non-zero if
+//! they do not.
+
+use std::time::Instant;
+
+use isum_advisor::TuningConstraints;
+use isum_common::Json;
+use isum_experiments::harness::{dta, evaluate_methods, standard_methods, ExperimentCtx, Scale};
+
+/// One full quick-scale evaluation pass; returns (wall seconds,
+/// per-method improvements).
+fn run_once(threads: usize) -> (f64, Vec<f64>) {
+    isum_exec::set_global_threads(threads);
+    let t0 = Instant::now();
+    let scale = Scale::quick();
+    let ctx = ExperimentCtx::tpch(&scale, 1);
+    let methods = standard_methods(1);
+    let constraints = TuningConstraints::with_max_indexes(16);
+    let evals = evaluate_methods(&methods, &ctx, 8, &dta(), &constraints);
+    let improvements: Vec<f64> = evals.iter().map(|e| e.improvement_pct).collect();
+    (t0.elapsed().as_secs_f64(), improvements)
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_exec.json".into());
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // Warm-up pass so neither measured run pays one-time costs (lazy
+    // statics, allocator growth).
+    let _ = run_once(1);
+
+    let (secs_1, imp_1) = run_once(1);
+    let (secs_4, imp_4) = run_once(4);
+
+    let identical = imp_1.len() == imp_4.len()
+        && imp_1.iter().zip(&imp_4).all(|(a, b)| a.to_bits() == b.to_bits());
+    let speedup = if secs_4 > 0.0 { secs_1 / secs_4 } else { 0.0 };
+
+    let json = Json::Obj(vec![
+        ("bench".into(), Json::from("exec_quick_harness")),
+        ("workload".into(), Json::from("TPC-H quick (66 queries), 6 methods, k=8, DTA m=16")),
+        ("cpus".into(), Json::from(cpus as u64)),
+        ("threads_1_secs".into(), Json::Num(secs_1)),
+        ("threads_4_secs".into(), Json::Num(secs_4)),
+        ("speedup_4_over_1".into(), Json::Num(speedup)),
+        ("results_identical".into(), Json::Bool(identical)),
+        ("improvement_pct".into(), Json::Arr(imp_1.iter().map(|&v| Json::Num(v)).collect())),
+    ]);
+    std::fs::write(&out, json.to_pretty()).expect("write benchmark output");
+    println!(
+        "1 thread: {secs_1:.2}s  4 threads: {secs_4:.2}s  speedup: {speedup:.2}x  \
+         (on {cpus} cpu(s)) -> {out}"
+    );
+    if !identical {
+        eprintln!("determinism violation: improvements differ across thread counts");
+        eprintln!("  1 thread : {imp_1:?}");
+        eprintln!("  4 threads: {imp_4:?}");
+        std::process::exit(1);
+    }
+}

@@ -5,7 +5,7 @@ use isum_advisor::{DexterAdvisor, TuningConstraints};
 use isum_core::{Compressor, Isum, IsumConfig};
 
 use crate::harness::{
-    dta, evaluate_method, half_sqrt_n, k_sweep, standard_methods, ExperimentCtx, Scale,
+    dta, evaluate_methods, half_sqrt_n, k_sweep, standard_methods, ExperimentCtx, Scale,
 };
 use crate::report::{f1, Table};
 
@@ -32,8 +32,10 @@ pub fn fig9a(scale: &Scale) -> Vec<Table> {
         let constraints = TuningConstraints::with_max_indexes(16);
         for k in k_sweep(ctx.workload.len()) {
             let mut row = vec![k.to_string()];
-            for m in &methods {
-                let e = evaluate_method(m.as_ref(), &ctx, k, &dta(), &constraints);
+            // Quality figure: the six methods are independent, so they
+            // run concurrently (see `evaluate_methods` on why timing
+            // figures must not do this).
+            for e in evaluate_methods(&methods, &ctx, k, &dta(), &constraints) {
                 row.push(f1(e.improvement_pct));
             }
             t.row(row);
@@ -57,8 +59,7 @@ pub fn fig9b(scale: &Scale) -> Vec<Table> {
         for m_indexes in [8usize, 16, 32, 64] {
             let constraints = TuningConstraints::with_max_indexes(m_indexes);
             let mut row = vec![m_indexes.to_string()];
-            for m in &methods {
-                let e = evaluate_method(m.as_ref(), &ctx, k, &dta(), &constraints);
+            for e in evaluate_methods(&methods, &ctx, k, &dta(), &constraints) {
                 row.push(f1(e.improvement_pct));
             }
             t.row(row);
@@ -90,8 +91,7 @@ pub fn fig10(scale: &Scale) -> Vec<Table> {
             let budget = (db_bytes as f64 * (mult - 1.0)) as u64;
             let constraints = TuningConstraints::with_budget(16, budget);
             let mut row = vec![format!("{mult}x")];
-            for m in &methods {
-                let e = evaluate_method(m.as_ref(), &ctx, k, &dta(), &constraints);
+            for e in evaluate_methods(&methods, &ctx, k, &dta(), &constraints) {
                 row.push(f1(e.improvement_pct));
             }
             t.row(row);
@@ -115,8 +115,7 @@ pub fn fig15(scale: &Scale) -> Vec<Table> {
         );
         for k in k_sweep(ctx.workload.len()) {
             let mut row = vec![k.to_string()];
-            for m in &methods {
-                let e = evaluate_method(m.as_ref(), &ctx, k, &advisor, &constraints);
+            for e in evaluate_methods(&methods, &ctx, k, &advisor, &constraints) {
                 row.push(f1(e.improvement_pct));
             }
             t.row(row);
@@ -141,9 +140,9 @@ mod tests {
         let methods = standard_methods(90);
         let constraints = TuningConstraints::with_max_indexes(16);
         let k = 8;
-        let evals: Vec<f64> = methods
+        let evals: Vec<f64> = evaluate_methods(&methods, &ctx, k, &dta(), &constraints)
             .iter()
-            .map(|m| evaluate_method(m.as_ref(), &ctx, k, &dta(), &constraints).improvement_pct)
+            .map(|e| e.improvement_pct)
             .collect();
         let isum = evals[4];
         let best_baseline = evals[..4].iter().cloned().fold(0.0, f64::max);

@@ -85,7 +85,7 @@ impl ExperimentCtx {
         let costs: Vec<f64> = {
             let opt = WhatIfOptimizer::new(&workload.catalog);
             let empty = isum_optimizer::IndexConfig::empty();
-            workload.queries.iter().map(|q| opt.cost_bound(&q.bound, &empty)).collect()
+            isum_exec::par_map(&workload.queries, |q| opt.cost_bound(&q.bound, &empty))
         };
         workload.set_costs(&costs);
         Self { workload, name }
@@ -167,6 +167,25 @@ pub fn evaluate_method(
         opt.improvement_pct(&ctx.workload, &cfg)
     };
     MethodEval { improvement_pct, compression_secs, tuning_calls, tuning_secs }
+}
+
+/// Evaluates several independent methods concurrently (one pool task per
+/// method), returning results in method order.
+///
+/// Each evaluation builds its own [`WhatIfOptimizer`], so methods share
+/// nothing but the read-only context. Use this for quality-comparison
+/// figures only: concurrent methods contend for cores, so the per-method
+/// wall-clock fields of [`MethodEval`] are *not* comparable across
+/// methods here — timing figures (e.g. Fig 13 scalability) must keep
+/// calling [`evaluate_method`] sequentially.
+pub fn evaluate_methods(
+    methods: &[Box<dyn Compressor>],
+    ctx: &ExperimentCtx,
+    k: usize,
+    advisor: &(dyn IndexAdvisor + Sync),
+    constraints: &TuningConstraints,
+) -> Vec<MethodEval> {
+    isum_exec::par_map(methods, |m| evaluate_method(m.as_ref(), ctx, k, advisor, constraints))
 }
 
 /// The standard comparison set of Sec 8.1: Uniform, Cost, Stratified,

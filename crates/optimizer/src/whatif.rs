@@ -7,9 +7,27 @@
 //! *optimizer call* (70–80% of tuning time in the paper), and a cache keyed
 //! by the per-query relevant index subset absorbs repeats, mirroring the
 //! optimizer-call–reduction techniques cited in Sec 9.
+//!
+//! # Thread safety
+//!
+//! [`WhatIfOptimizer`] is `Sync`: the advisor's greedy rounds fan
+//! per-candidate costings out over [`isum_exec`]'s thread pool, so many
+//! threads cost queries against one optimizer concurrently. The cost
+//! cache is lock-striped across [`CACHE_SHARDS`] shards (keyed by a
+//! deterministic hash of the cache key), so concurrent costings of
+//! different keys rarely contend, and no shard lock is ever held across a
+//! cost-model evaluation. Costing itself ([`CostModel::cost`]) is a pure
+//! function of `(query, configuration)`, which makes cached values
+//! deterministic regardless of which thread inserted them. Two threads
+//! racing to cost the same uncached key may both invoke the cost model —
+//! both compute the identical value, the first insert wins, and each
+//! invocation is (correctly) counted as an optimizer call; counters are
+//! atomics, so no increment is ever lost.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Mutex;
 
 use isum_catalog::Catalog;
 use isum_common::telemetry::{self, Counter};
@@ -20,19 +38,41 @@ use isum_workload::Workload;
 use crate::cost::CostModel;
 use crate::index::IndexConfig;
 
+/// Number of lock stripes in the what-if cost cache. Power of two, sized
+/// so a pool of a few dozen threads rarely collides on a stripe.
+pub const CACHE_SHARDS: usize = 32;
+
+/// One cache key: (workload uid, query, relevant-config fingerprint).
+type CacheKey = (u64, QueryId, u64);
+
+/// Picks the shard of a key with `DefaultHasher::new()`, whose keys are
+/// fixed (unlike `RandomState`), keeping shard assignment deterministic
+/// across runs — shard contents then depend only on the key set, not on
+/// per-process hash seeds.
+fn shard_of(key: &CacheKey) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % CACHE_SHARDS
+}
+
 /// Cached what-if optimizer over one catalog.
 ///
 /// Per-instance call/hit counters are [`Counter`] atomics so callers can
 /// attribute calls to one tuning run; the same increments also feed the
 /// process-wide telemetry registry under `optimizer.whatif.*` when
-/// telemetry is enabled.
+/// telemetry is enabled. The instance is `Sync` — see the module docs for
+/// the sharded-cache thread-safety argument.
 #[derive(Debug)]
 pub struct WhatIfOptimizer<'a> {
     catalog: &'a Catalog,
     model: CostModel<'a>,
     calls: Counter,
     cache_hits: Counter,
-    cache: RefCell<HashMap<(u64, QueryId, u64), f64>>,
+    shards: Vec<Mutex<HashMap<CacheKey, f64>>>,
+    /// Total entries across all shards, maintained on insert/clear so the
+    /// `optimizer.whatif.cache_entries` gauge reports the true total
+    /// without sweeping (and locking) every shard.
+    entries: AtomicI64,
 }
 
 impl<'a> WhatIfOptimizer<'a> {
@@ -43,7 +83,8 @@ impl<'a> WhatIfOptimizer<'a> {
             model: CostModel::new(catalog),
             calls: Counter::new(),
             cache_hits: Counter::new(),
-            cache: RefCell::new(HashMap::new()),
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            entries: AtomicI64::new(0),
         }
     }
 
@@ -63,16 +104,20 @@ impl<'a> WhatIfOptimizer<'a> {
     pub fn cost_query(&self, w: &Workload, id: QueryId, cfg: &IndexConfig) -> f64 {
         let q = w.query(id);
         let key = (w.uid(), id, cfg.fingerprint_for(&q.bound.referenced_tables()));
-        if let Some(&c) = self.cache.borrow().get(&key) {
+        let shard = &self.shards[shard_of(&key)];
+        if let Some(&c) = lock(shard).get(&key) {
             self.cache_hits.inc();
             count!("optimizer.whatif.cache_hits");
             return c;
         }
+        // Compute outside the shard lock: the cost model is pure, so a
+        // racing thread that also misses produces the identical value.
         let c = self.cost_bound(&q.bound, cfg);
-        self.cache.borrow_mut().insert(key, c);
-        if telemetry::enabled() {
-            telemetry::gauge("optimizer.whatif.cache_entries")
-                .set(self.cache.borrow().len() as i64);
+        if lock(shard).insert(key, c).is_none() {
+            let total = self.entries.fetch_add(1, Ordering::Relaxed) + 1;
+            if telemetry::enabled() {
+                telemetry::gauge("optimizer.whatif.cache_entries").set(total);
+            }
         }
         c
     }
@@ -114,7 +159,7 @@ impl<'a> WhatIfOptimizer<'a> {
     /// Query Store provides.
     pub fn populate_costs(&self, w: &mut Workload) {
         let empty = IndexConfig::empty();
-        let costs: Vec<f64> = w.queries.iter().map(|q| self.cost_bound(&q.bound, &empty)).collect();
+        let costs = isum_exec::par_map(&w.queries, |q| self.cost_bound(&q.bound, &empty));
         w.set_costs(&costs);
     }
 
@@ -131,8 +176,27 @@ impl<'a> WhatIfOptimizer<'a> {
 
     /// Clears the cost cache (counters are preserved).
     pub fn clear_cache(&self) {
-        self.cache.borrow_mut().clear();
+        for shard in &self.shards {
+            lock(shard).clear();
+        }
+        self.entries.store(0, Ordering::Relaxed);
+        if telemetry::enabled() {
+            telemetry::gauge("optimizer.whatif.cache_entries").set(0);
+        }
     }
+
+    /// Number of cached (workload, query, relevant-config) entries across
+    /// all shards.
+    pub fn cache_entries(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed).max(0) as u64
+    }
+}
+
+/// Locks a shard, recovering from poisoning: a panic inside the cost
+/// model can never corrupt a `HashMap<_, f64>` mid-operation because no
+/// costing happens under a shard lock.
+fn lock<K, V>(m: &Mutex<HashMap<K, V>>) -> std::sync::MutexGuard<'_, HashMap<K, V>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Fills `C(q)` for every query with a scoped optimizer, sidestepping the
@@ -142,7 +206,7 @@ pub fn populate_costs(workload: &mut Workload) {
     let costs: Vec<f64> = {
         let opt = WhatIfOptimizer::new(&workload.catalog);
         let empty = IndexConfig::empty();
-        workload.queries.iter().map(|q| opt.cost_bound(&q.bound, &empty)).collect()
+        isum_exec::par_map(&workload.queries, |q| opt.cost_bound(&q.bound, &empty))
     };
     workload.set_costs(&costs);
 }
@@ -233,6 +297,48 @@ mod tests {
             }
             // `w` drops here; its heap buffers return to the allocator.
         }
+    }
+
+    #[test]
+    fn optimizer_is_send_and_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<WhatIfOptimizer<'_>>();
+    }
+
+    #[test]
+    fn concurrent_costing_matches_sequential_and_counts_entries() {
+        let mut w = tpch_workload(1, 22, 3).unwrap();
+        let catalog = tpch_catalog(1);
+        let reference = WhatIfOptimizer::new(&catalog);
+        reference.populate_costs(&mut w);
+        let cfg = IndexConfig::empty();
+        let expected: Vec<f64> =
+            w.queries.iter().map(|q| reference.cost_query(&w, q.id, &cfg)).collect();
+        let expected_entries = reference.cache_entries();
+
+        // Many threads hammer one shared optimizer with the same costings;
+        // values must match the sequential reference bit-for-bit and the
+        // entry count must equal the distinct-key count, not the number of
+        // insert attempts.
+        let opt = WhatIfOptimizer::new(&catalog);
+        let pool = isum_exec::ThreadPool::new(8);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                let opt = &opt;
+                let w = &w;
+                let cfg = &cfg;
+                let expected = &expected;
+                s.spawn(move || {
+                    for (q, want) in w.queries.iter().zip(expected) {
+                        let got = opt.cost_query(w, q.id, cfg);
+                        assert_eq!(got.to_bits(), want.to_bits());
+                    }
+                });
+            }
+        });
+        assert_eq!(opt.cache_entries(), expected_entries, "one entry per distinct key");
+        opt.clear_cache();
+        assert_eq!(opt.cache_entries(), 0);
     }
 
     #[test]
