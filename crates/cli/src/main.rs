@@ -16,7 +16,9 @@
 //! after the command finishes. Passing `--threads <n>` (or setting
 //! `ISUM_THREADS=<n>`) sizes the [`isum_exec`] worker pool; `--threads 1`
 //! runs everything sequentially and produces bit-identical results to any
-//! other thread count.
+//! other thread count. Passing `--faults <spec>` (or setting
+//! `ISUM_FAULTS=<spec>`) activates the deterministic fault injector —
+//! see DESIGN.md §9 for the spec grammar and degradation contract.
 
 mod schema;
 
@@ -47,6 +49,12 @@ fn run(args: &[String]) -> Result<()> {
     };
     let opts = Options::parse(&args[1..])?;
     telemetry::init_from_env();
+    isum_faults::init_from_env()
+        .map_err(|e| Error::InvalidConfig(format!("invalid ISUM_FAULTS: {e}")))?;
+    if let Some(spec) = &opts.faults {
+        isum_faults::set_global_spec(spec)
+            .map_err(|e| Error::InvalidConfig(format!("invalid --faults spec: {e}")))?;
+    }
     if opts.stats {
         telemetry::set_enabled(true);
     }
@@ -81,8 +89,10 @@ fn print_usage() {
          isum compress --schema <json> --workload <sql> -k <n> [--variant isum|isum-s|all-pairs]\n  \
          isum tune     --schema <json> --workload <sql> -k <n> [-m <indexes>] [--advisor dta|dexter] [--budget-bytes <n>] [--report]\n  \
          isum explain  --schema <json> --workload <sql> --query <idx> [--tuned]\n\
-         any command accepts --stats (or ISUM_TELEMETRY=1) to print a telemetry table\n\
-         and --threads <n> (or ISUM_THREADS=<n>) to size the worker pool (1 = sequential)"
+         any command accepts --stats (or ISUM_TELEMETRY=1) to print a telemetry table,\n\
+         --threads <n> (or ISUM_THREADS=<n>) to size the worker pool (1 = sequential),\n\
+         and --faults <spec> (or ISUM_FAULTS=<spec>) for deterministic fault injection\n\
+         (e.g. whatif_transient:0.05,parse:0.01,seed:7 — see DESIGN.md \u{a7}9)"
     );
 }
 
@@ -100,6 +110,7 @@ struct Options {
     tuned: bool,
     stats: bool,
     threads: Option<usize>,
+    faults: Option<String>,
 }
 
 impl Options {
@@ -117,6 +128,7 @@ impl Options {
             tuned: false,
             stats: false,
             threads: None,
+            faults: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -159,6 +171,7 @@ impl Options {
                     }
                     o.threads = Some(n);
                 }
+                "--faults" => o.faults = Some(value("--faults")?),
                 "--report" => o.report = true,
                 "--tuned" => o.tuned = true,
                 "--stats" => o.stats = true,
@@ -399,6 +412,15 @@ mod tests {
         assert!(Options::parse(&["--threads".into()]).is_err());
         assert!(Options::parse(&["--threads".into(), "abc".into()]).is_err());
         assert!(Options::parse(&["--threads".into(), "0".into()]).is_err());
+    }
+
+    #[test]
+    fn faults_flag_parses() {
+        let o = opts(&["--faults", "whatif_transient:0.1,seed:3"]);
+        assert_eq!(o.faults.as_deref(), Some("whatif_transient:0.1,seed:3"));
+        let o = opts(&[]);
+        assert!(o.faults.is_none());
+        assert!(Options::parse(&["--faults".into()]).is_err());
     }
 
     #[test]

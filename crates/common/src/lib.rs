@@ -15,6 +15,6 @@ pub mod rng;
 pub mod stats;
 pub mod telemetry;
 
-pub use error::{Error, Result};
+pub use error::{Error, ErrorClass, IsumError, IsumResult, Result};
 pub use ids::{ColumnId, GlobalColumnId, IndexId, QueryId, TableId, TemplateId};
 pub use json::Json;

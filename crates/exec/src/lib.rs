@@ -12,6 +12,9 @@
 //!   sequential map for pure functions (the determinism contract the
 //!   regression tests in `tests/determinism.rs` enforce end-to-end);
 //! * [`par_chunks`] / [`ThreadPool::par_chunks`] — the chunked form;
+//! * [`try_par_map`] / [`ThreadPool::try_par_map`] — the panic-isolating
+//!   form: a panicking item is quarantined into an `Err(TaskPanic)` slot
+//!   (counted as `faults.quarantined`) while every sibling completes;
 //! * [`scope`] / [`ThreadPool::scope`] — structured spawning of tasks that
 //!   borrow from the caller's stack, joined before the scope returns, with
 //!   panic propagation (first panic re-raised, pool never poisoned) and
@@ -46,7 +49,7 @@
 
 mod pool;
 
-pub use pool::{Scope, ThreadPool};
+pub use pool::{Scope, TaskPanic, ThreadPool};
 
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -110,6 +113,18 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     global().par_map_indexed(items, f)
+}
+
+/// [`ThreadPool::try_par_map`] on the global pool: parallel map with
+/// per-item panic quarantine (`Err(TaskPanic)` slots instead of a
+/// propagated panic).
+pub fn try_par_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, TaskPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    global().try_par_map(items, f)
 }
 
 /// [`ThreadPool::par_chunks`] on the global pool.

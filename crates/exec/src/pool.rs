@@ -118,12 +118,73 @@ impl Shared {
     }
 }
 
-/// Completion tracking for one [`Scope`]: a pending-task count, the first
-/// panic payload, and a condvar the scope owner parks on.
+/// A task panic captured by [`ThreadPool::try_par_map`]: the quarantined
+/// item's slot holds this instead of a result, and the run continues.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The panic payload rendered as text (`&str`/`String` payloads are
+    /// preserved verbatim; anything else is summarized).
+    pub message: String,
+}
+
+impl TaskPanic {
+    fn from_payload(payload: &(dyn std::any::Any + Send)) -> Self {
+        Self { message: payload_message(payload) }
+    }
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Renders a panic payload as text for logs and telemetry labels.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Every panic observed by one scope: the first payload (re-raised when
+/// the scope returns), a total count, and the label of each panicking
+/// task so diagnostics never lose panics past the first.
+#[derive(Default)]
+struct PanicLog {
+    first: Option<Box<dyn std::any::Any + Send>>,
+    count: usize,
+    labels: Vec<String>,
+}
+
+impl PanicLog {
+    /// Records one panic: counts `exec.task_panics` and a per-label
+    /// counter (`exec.panic.<label>`), keeps the first payload for
+    /// propagation, and remembers every label.
+    fn record(&mut self, label: &str, payload: Box<dyn std::any::Any + Send>) {
+        count!("exec.task_panics");
+        if telemetry::enabled() {
+            telemetry::counter(&format!("exec.panic.{label}")).inc();
+        }
+        self.count += 1;
+        self.labels.push(label.to_string());
+        if self.first.is_none() {
+            self.first = Some(payload);
+        }
+    }
+}
+
+/// Completion tracking for one [`Scope`]: a pending-task count, the panic
+/// log, and a condvar the scope owner parks on.
 #[derive(Default)]
 struct ScopeState {
     pending: AtomicUsize,
-    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    panics: Mutex<PanicLog>,
     done_lock: Mutex<()>,
     done: Condvar,
 }
@@ -148,11 +209,23 @@ impl<'env> Scope<'_, 'env> {
     where
         F: FnOnce() + Send + 'env,
     {
+        self.spawn_labeled("task", f);
+    }
+
+    /// [`Scope::spawn`] with a diagnostic label: if the task panics, the
+    /// label is recorded in the scope's panic log and counted in
+    /// telemetry as `exec.panic.<label>`, so a crashing run names its
+    /// poisoned stage instead of only surfacing the first payload.
+    pub fn spawn_labeled<F>(&self, label: &str, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
         self.state.pending.fetch_add(1, Ordering::SeqCst);
         let state = Arc::clone(&self.state);
+        let label = label.to_string();
         let wrapped = move || {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
-                lock(&state.panic).get_or_insert(payload);
+                lock(&state.panics).record(&label, payload);
             }
             if state.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
                 let _g = lock(&state.done_lock);
@@ -239,9 +312,21 @@ impl ThreadPool {
         let state = Arc::new(ScopeState::default());
         let s = Scope { pool: self, state: Arc::clone(&state), _env: PhantomData };
         let result = catch_unwind(AssertUnwindSafe(|| f(&s)));
+        // Drain first: every sibling task runs to completion (wait() keeps
+        // executing queued work) before any panic propagates, so one
+        // poisoned task never strands half-finished siblings.
         self.wait(&state);
         record_ns!("exec.scope_ns", start.elapsed().as_nanos() as u64);
-        if let Some(payload) = lock(&state.panic).take() {
+        let log = std::mem::take(&mut *lock(&state.panics));
+        if let Some(payload) = log.first {
+            if log.count > 1 {
+                eprintln!(
+                    "isum-exec: {} tasks panicked in one scope (labels: {}); \
+                     re-raising the first",
+                    log.count,
+                    log.labels.join(", ")
+                );
+            }
             resume_unwind(payload);
         }
         match result {
@@ -325,6 +410,27 @@ impl ThreadPool {
         }
         record_ns!("exec.par_map_ns", start.elapsed().as_nanos() as u64);
         slots.into_iter().map(|slot| slot.expect("par_map slot filled")).collect()
+    }
+
+    /// [`Self::par_map`] with per-item panic quarantine: a panicking item
+    /// yields `Err(TaskPanic)` in its slot while every other item still
+    /// completes — one poisoned input degrades one cell, not the run.
+    /// Quarantined items count `faults.quarantined` and
+    /// `exec.task_panics` in telemetry. Ordering and determinism match
+    /// [`Self::par_map`].
+    pub fn try_par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, TaskPanic>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map(items, |t| {
+            catch_unwind(AssertUnwindSafe(|| f(t))).map_err(|payload| {
+                count!("exec.task_panics");
+                count!("faults.quarantined");
+                TaskPanic::from_payload(payload.as_ref())
+            })
+        })
     }
 
     /// Splits `items` into contiguous chunks of `chunk_size`, maps each

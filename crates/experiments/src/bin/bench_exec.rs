@@ -24,11 +24,24 @@ fn run_once(threads: usize) -> (f64, Vec<f64>) {
     isum_exec::set_global_threads(threads);
     let t0 = Instant::now();
     let scale = Scale::quick();
-    let ctx = ExperimentCtx::tpch(&scale, 1);
+    let ctx = ExperimentCtx::tpch(&scale, 1).unwrap_or_else(|e| {
+        eprintln!("cannot prepare TPC-H workload: {e}");
+        std::process::exit(1);
+    });
     let methods = standard_methods(1);
     let constraints = TuningConstraints::with_max_indexes(16);
     let evals = evaluate_methods(&methods, &ctx, 8, &dta(), &constraints);
-    let improvements: Vec<f64> = evals.iter().map(|e| e.improvement_pct).collect();
+    // The benchmark runs fault-free; any evaluation error is a bug here.
+    let improvements: Vec<f64> = evals
+        .into_iter()
+        .map(|e| {
+            e.unwrap_or_else(|err| {
+                eprintln!("evaluation failed in fault-free benchmark: {err}");
+                std::process::exit(1);
+            })
+            .improvement_pct
+        })
+        .collect();
     (t0.elapsed().as_secs_f64(), improvements)
 }
 

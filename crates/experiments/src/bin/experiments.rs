@@ -1,35 +1,72 @@
 //! Experiment runner CLI.
 //!
 //! ```text
-//! cargo run -p isum-experiments --release -- <id>... | all
+//! cargo run -p isum-experiments --release -- [--resume] [--faults <spec>] <id>... | all
 //! ISUM_SCALE=quick|medium|paper   selects workload sizes
+//! ISUM_FAULTS=<spec>              deterministic fault injection (see DESIGN.md §9)
 //! ```
 //!
 //! Telemetry is always on here: each run resets the registry, and a
 //! per-run report lands in `results/telemetry_<id>.json` next to the
 //! result tables (see README.md § Observability for the schema).
+//!
+//! Every run checkpoints each completed method×workload cell to
+//! `results/checkpoint_<id>.json` (atomic rewrite after each cell).
+//! `--resume` replays cells recorded by an earlier — possibly killed —
+//! run instead of recomputing them, reproducing the uninterrupted run's
+//! quality results byte-for-byte.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use isum_common::telemetry;
+use isum_experiments::checkpoint;
 use isum_experiments::figs::{self, ALL_IDS};
 use isum_experiments::harness::write_telemetry_report;
 use isum_experiments::report;
 use isum_experiments::Scale;
 
+fn usage(code: i32) -> ! {
+    eprintln!("usage: experiments [--resume] [--faults <spec>] <id>... | all");
+    eprintln!("ids: {}", ALL_IDS.join(" "));
+    eprintln!("env: ISUM_SCALE=quick|medium|paper (default medium)");
+    eprintln!("     ISUM_FAULTS=<spec> deterministic fault injection, e.g.");
+    eprintln!("     whatif_transient:0.05,parse:0.01,seed:7 (DESIGN.md \u{a7}9)");
+    std::process::exit(code);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: experiments <id>... | all");
-        eprintln!("ids: {}", ALL_IDS.join(" "));
-        eprintln!("env: ISUM_SCALE=quick|medium|paper (default medium)");
-        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    if let Err(e) = isum_faults::init_from_env() {
+        eprintln!("invalid ISUM_FAULTS: {e}");
+        std::process::exit(2);
     }
-    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+    let mut resume = false;
+    let mut ids_raw: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => usage(0),
+            "--resume" => resume = true,
+            "--faults" => {
+                let spec = args.next().unwrap_or_else(|| {
+                    eprintln!("--faults requires a spec argument");
+                    std::process::exit(2);
+                });
+                if let Err(e) = isum_faults::set_global_spec(&spec) {
+                    eprintln!("invalid --faults spec: {e}");
+                    std::process::exit(2);
+                }
+            }
+            other => ids_raw.push(other.to_string()),
+        }
+    }
+    if ids_raw.is_empty() {
+        usage(2);
+    }
+    let ids: Vec<&str> = if ids_raw.iter().any(|a| a == "all") {
         ALL_IDS.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        ids_raw.iter().map(String::as_str).collect()
     };
     for id in &ids {
         if !ALL_IDS.contains(id) {
@@ -44,10 +81,29 @@ fn main() {
         let t0 = Instant::now();
         println!("\n### running {id} ...");
         telemetry::reset();
+        match checkpoint::begin(id, &out, resume) {
+            Ok(loaded) if resume && loaded > 0 => {
+                println!("### resume: replaying {loaded} checkpointed cell(s)");
+            }
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("cannot open checkpoint for {id}: {e}");
+                std::process::exit(1);
+            }
+        }
         let tables = figs::run(id, &scale);
-        report::emit(&tables, &out).expect("write results");
-        let path = write_telemetry_report(id, &out).expect("write telemetry report");
-        println!("### telemetry: {}", path.display());
+        checkpoint::finish();
+        if let Err(e) = report::emit(&tables, &out) {
+            eprintln!("cannot write results for {id}: {e}");
+            std::process::exit(1);
+        }
+        match write_telemetry_report(id, &out) {
+            Ok(path) => println!("### telemetry: {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write telemetry report for {id}: {e}");
+                std::process::exit(1);
+            }
+        }
         println!("### {id} done in {:.1}s", t0.elapsed().as_secs_f64());
     }
 }

@@ -8,7 +8,9 @@ use isum_advisor::{AnytimeDta, DtaAdvisor, IndexAdvisor, TuningConstraints};
 use isum_core::{Compressor, Isum};
 use isum_workload::CompressedWorkload;
 
-use crate::harness::{ExperimentCtx, Scale};
+use isum_common::count;
+
+use crate::harness::{ctx_or_skip, ExperimentCtx, Scale};
 use crate::report::{f1, Table};
 
 /// Runs all ablations.
@@ -25,9 +27,22 @@ fn merging_ablation(scale: &Scale) -> Table {
         "Ablation: index merging in the DTA-like advisor",
         &["workload", "k", "no_merging_pct", "merging_pct"],
     );
-    for ctx in [ExperimentCtx::tpch(scale, 200), ExperimentCtx::tpcds(scale, 200)] {
+    for ctx in [
+        ctx_or_skip(ExperimentCtx::tpch(scale, 200), "TPC-H"),
+        ctx_or_skip(ExperimentCtx::tpcds(scale, 200), "TPC-DS"),
+    ]
+    .into_iter()
+    .flatten()
+    {
         let k = crate::harness::half_sqrt_n(ctx.workload.len());
-        let cw = Isum::new().compress(&ctx.workload, k).expect("valid inputs");
+        let cw = match Isum::new().compress(&ctx.workload, k) {
+            Ok(cw) => cw,
+            Err(e) => {
+                count!("harness.cells_skipped");
+                eprintln!("isum-harness: merging ablation skipped ({}): {e}", ctx.name);
+                continue;
+            }
+        };
         let constraints = TuningConstraints::with_max_indexes(16);
         let mut imps = Vec::new();
         for merging in [false, true] {
@@ -49,9 +64,22 @@ fn cache_ablation(scale: &Scale) -> Table {
         "Ablation: what-if cache absorption during tuning",
         &["workload", "optimizer_calls", "cache_hits", "hit_rate_pct"],
     );
-    for ctx in [ExperimentCtx::tpch(scale, 201), ExperimentCtx::tpcds(scale, 201)] {
+    for ctx in [
+        ctx_or_skip(ExperimentCtx::tpch(scale, 201), "TPC-H"),
+        ctx_or_skip(ExperimentCtx::tpcds(scale, 201), "TPC-DS"),
+    ]
+    .into_iter()
+    .flatten()
+    {
         let k = crate::harness::half_sqrt_n(ctx.workload.len());
-        let cw = Isum::new().compress(&ctx.workload, k).expect("valid inputs");
+        let cw = match Isum::new().compress(&ctx.workload, k) {
+            Ok(cw) => cw,
+            Err(e) => {
+                count!("harness.cells_skipped");
+                eprintln!("isum-harness: cache ablation skipped ({}): {e}", ctx.name);
+                continue;
+            }
+        };
         let opt = ctx.optimizer();
         let advisor = DtaAdvisor::new();
         let _cfg =
@@ -73,7 +101,9 @@ fn anytime_ablation(scale: &Scale) -> Table {
         "Ablation: anytime tuner vs time budget (TPC-H)",
         &["budget", "queries_consumed", "improvement_pct", "batch_pct"],
     );
-    let mut ctx = ExperimentCtx::tpch(scale, 202);
+    let Some(mut ctx) = ctx_or_skip(ExperimentCtx::tpch(scale, 202), "TPC-H") else {
+        return t;
+    };
     // The anytime sweep tunes the full workload repeatedly; cap the input
     // so the calibration run stays proportionate.
     if ctx.workload.len() > 220 {

@@ -5,17 +5,21 @@ use isum_advisor::{DexterAdvisor, TuningConstraints};
 use isum_core::{Compressor, Isum, IsumConfig};
 
 use crate::harness::{
-    dta, evaluate_methods, half_sqrt_n, k_sweep, standard_methods, ExperimentCtx, Scale,
+    ctx_or_skip, dta, evaluate_methods, half_sqrt_n, improvement_cell, k_sweep, standard_methods,
+    ExperimentCtx, Scale,
 };
-use crate::report::{f1, Table};
+use crate::report::Table;
 
 fn contexts(scale: &Scale, seed: u64) -> Vec<ExperimentCtx> {
-    vec![
-        ExperimentCtx::tpch(scale, seed),
-        ExperimentCtx::tpcds(scale, seed),
-        ExperimentCtx::dsb(scale, seed),
-        ExperimentCtx::realm(scale, seed),
+    [
+        (ctx_or_skip(ExperimentCtx::tpch(scale, seed), "TPC-H")),
+        (ctx_or_skip(ExperimentCtx::tpcds(scale, seed), "TPC-DS")),
+        (ctx_or_skip(ExperimentCtx::dsb(scale, seed), "DSB")),
+        (ctx_or_skip(ExperimentCtx::realm(scale, seed), "Real-M")),
     ]
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Fig 9a: improvement vs compressed workload size, six methods, four
@@ -36,7 +40,7 @@ pub fn fig9a(scale: &Scale) -> Vec<Table> {
             // run concurrently (see `evaluate_methods` on why timing
             // figures must not do this).
             for e in evaluate_methods(&methods, &ctx, k, &dta(), &constraints) {
-                row.push(f1(e.improvement_pct));
+                row.push(improvement_cell(&e));
             }
             t.row(row);
         }
@@ -60,7 +64,7 @@ pub fn fig9b(scale: &Scale) -> Vec<Table> {
             let constraints = TuningConstraints::with_max_indexes(m_indexes);
             let mut row = vec![m_indexes.to_string()];
             for e in evaluate_methods(&methods, &ctx, k, &dta(), &constraints) {
-                row.push(f1(e.improvement_pct));
+                row.push(improvement_cell(&e));
             }
             t.row(row);
         }
@@ -92,7 +96,7 @@ pub fn fig10(scale: &Scale) -> Vec<Table> {
             let constraints = TuningConstraints::with_budget(16, budget);
             let mut row = vec![format!("{mult}x")];
             for e in evaluate_methods(&methods, &ctx, k, &dta(), &constraints) {
-                row.push(f1(e.improvement_pct));
+                row.push(improvement_cell(&e));
             }
             t.row(row);
         }
@@ -104,7 +108,13 @@ pub fn fig10(scale: &Scale) -> Vec<Table> {
 /// Fig 15: methods compared under the DEXTER-like advisor (TPC-H, TPC-DS).
 pub fn fig15(scale: &Scale) -> Vec<Table> {
     let mut tables = Vec::new();
-    for ctx in [ExperimentCtx::tpch(scale, 95), ExperimentCtx::tpcds(scale, 95)] {
+    for ctx in [
+        ctx_or_skip(ExperimentCtx::tpch(scale, 95), "TPC-H"),
+        ctx_or_skip(ExperimentCtx::tpcds(scale, 95), "TPC-DS"),
+    ]
+    .into_iter()
+    .flatten()
+    {
         let methods = standard_methods(95);
         let advisor = DexterAdvisor::new();
         let constraints = TuningConstraints::with_max_indexes(16);
@@ -116,7 +126,7 @@ pub fn fig15(scale: &Scale) -> Vec<Table> {
         for k in k_sweep(ctx.workload.len()) {
             let mut row = vec![k.to_string()];
             for e in evaluate_methods(&methods, &ctx, k, &advisor, &constraints) {
-                row.push(f1(e.improvement_pct));
+                row.push(improvement_cell(&e));
             }
             t.row(row);
         }
@@ -136,13 +146,13 @@ mod tests {
     #[test]
     fn fig9a_isum_competitive_on_tpch_quick() {
         let scale = Scale::quick();
-        let ctx = ExperimentCtx::tpch(&scale, 90);
+        let ctx = ExperimentCtx::tpch(&scale, 90).expect("tpch binds");
         let methods = standard_methods(90);
         let constraints = TuningConstraints::with_max_indexes(16);
         let k = 8;
         let evals: Vec<f64> = evaluate_methods(&methods, &ctx, k, &dta(), &constraints)
-            .iter()
-            .map(|e| e.improvement_pct)
+            .into_iter()
+            .map(|e| e.expect("quick eval succeeds").improvement_pct)
             .collect();
         let isum = evals[4];
         let best_baseline = evals[..4].iter().cloned().fold(0.0, f64::max);

@@ -17,7 +17,7 @@ use isum_core::summary::{influence_via_summary, summary_features};
 use isum_core::utility::{utilities, UtilityMode};
 use isum_workload::Workload;
 
-use crate::harness::{dta, ExperimentCtx, Scale};
+use crate::harness::{ctx_or_skip, dta, ExperimentCtx, Scale};
 use crate::report::{f1, f3, Table};
 
 /// Restricts a context to one instance per template (the paper's per-query
@@ -66,7 +66,10 @@ pub fn per_query_workload_improvements(
 
 /// Fig 5: utility estimators vs actual per-query reduction (TPC-H).
 pub fn fig5(scale: &Scale) -> Vec<Table> {
-    let ctx = one_per_template(ExperimentCtx::tpch(scale, 5));
+    let Some(ctx) = ctx_or_skip(ExperimentCtx::tpch(scale, 5), "TPC-H") else {
+        return Vec::new();
+    };
+    let ctx = one_per_template(ctx);
     let advisor = dta();
     let reductions = per_query_reductions(&ctx, &advisor);
     let costs: Vec<f64> = ctx.workload.queries.iter().map(|q| q.cost).collect();
@@ -181,7 +184,10 @@ fn signals(workload: &Workload) -> Signals {
 /// Fig 6: utility vs similarity vs benefit correlation with workload
 /// improvement (TPC-H, DTA).
 pub fn fig6(scale: &Scale) -> Vec<Table> {
-    let ctx = one_per_template(ExperimentCtx::tpch(scale, 6));
+    let Some(ctx) = ctx_or_skip(ExperimentCtx::tpch(scale, 6), "TPC-H") else {
+        return Vec::new();
+    };
+    let ctx = one_per_template(ctx);
     let improvements = per_query_workload_improvements(&ctx, &dta());
     let s = signals(&ctx.workload);
     let mut t = Table::new(
@@ -197,7 +203,10 @@ pub fn fig6(scale: &Scale) -> Vec<Table> {
 
 /// Fig 7: similarity-measure variants inside the benefit metric (TPC-H).
 pub fn fig7(scale: &Scale) -> Vec<Table> {
-    let ctx = one_per_template(ExperimentCtx::tpch(scale, 7));
+    let Some(ctx) = ctx_or_skip(ExperimentCtx::tpch(scale, 7), "TPC-H") else {
+        return Vec::new();
+    };
+    let ctx = one_per_template(ctx);
     let improvements = per_query_workload_improvements(&ctx, &dta());
     let s = signals(&ctx.workload);
     let mut t = Table::new(
@@ -219,10 +228,13 @@ pub fn fig8(scale: &Scale) -> Vec<Table> {
         "Fig 8a: F(V)/F(W) ratio distribution",
         &["workload", "p10", "p50", "p90", "within_2x_pct"],
     );
-    for (name, ctx) in [
-        ("TPC-H", one_per_template(ExperimentCtx::tpch(scale, 8))),
-        ("TPC-DS", one_per_template(ExperimentCtx::tpcds(scale, 8))),
-    ] {
+    for (name, ctx) in
+        [("TPC-H", ExperimentCtx::tpch(scale, 8)), ("TPC-DS", ExperimentCtx::tpcds(scale, 8))]
+    {
+        let Some(ctx) = ctx_or_skip(ctx, name) else {
+            continue;
+        };
+        let ctx = one_per_template(ctx);
         let w = &ctx.workload;
         let wf = WorkloadFeatures::build(w, &Featurizer::default());
         let u = utilities(w, UtilityMode::CostTimesSelectivity);
@@ -251,7 +263,10 @@ pub fn fig8(scale: &Scale) -> Vec<Table> {
         ]);
     }
     // Fig 8b: benefit computed via summary features still correlates.
-    let ctx = one_per_template(ExperimentCtx::tpch(scale, 8));
+    let Some(ctx) = ctx_or_skip(ExperimentCtx::tpch(scale, 8), "TPC-H") else {
+        return vec![err];
+    };
+    let ctx = one_per_template(ctx);
     let improvements = per_query_workload_improvements(&ctx, &dta());
     let s = signals(&ctx.workload);
     let mut corr = Table::new(
@@ -272,13 +287,17 @@ pub fn table3(scale: &Scale) -> Vec<Table> {
         "Table 3: estimator correlation with actual improvement",
         &["estimator", "tpch_dta", "tpch_dexter", "tpcds_dta", "tpcds_dexter"],
     );
+    // Table 3's columns pair both workloads with both advisors; with either
+    // workload unavailable the column layout collapses, so skip the table.
+    let Some(tpch) = ctx_or_skip(ExperimentCtx::tpch(scale, 30), "TPC-H") else {
+        return vec![t];
+    };
+    let Some(tpcds) = ctx_or_skip(ExperimentCtx::tpcds(scale, 30), "TPC-DS") else {
+        return vec![t];
+    };
     let mut cols: Vec<Vec<f64>> = Vec::new();
-    for (workload_idx, ctx) in [
-        one_per_template(ExperimentCtx::tpch(scale, 30)),
-        one_per_template(ExperimentCtx::tpcds(scale, 30)),
-    ]
-    .into_iter()
-    .enumerate()
+    for (workload_idx, ctx) in
+        [one_per_template(tpch), one_per_template(tpcds)].into_iter().enumerate()
     {
         let s = signals(&ctx.workload);
         for advisor in [&dta() as &dyn IndexAdvisor, &DexterAdvisor::new()] {
@@ -324,7 +343,7 @@ mod tests {
         // The paper's central estimation claim (Fig 6 / Table 3 ordering):
         // benefit ≥ max(utility, similarity) in correlation.
         let scale = Scale::quick();
-        let ctx = one_per_template(ExperimentCtx::tpch(&scale, 6));
+        let ctx = one_per_template(ExperimentCtx::tpch(&scale, 6).expect("tpch binds"));
         let improvements = per_query_workload_improvements(&ctx, &dta());
         let s = signals(&ctx.workload);
         let r_b = pearson(&s.benefit_rule, &improvements);

@@ -7,13 +7,15 @@ use isum_advisor::{IndexAdvisor, TuningConstraints};
 use isum_common::QueryId;
 use isum_core::Isum;
 
-use crate::harness::{dta, evaluate_method, ExperimentCtx, Scale};
+use crate::harness::{ctx_or_skip, dta, evaluate_method, ExperimentCtx, Scale};
 use crate::report::{f1, Table};
 
 /// Fig 2a/2b: tuning time and configurations explored vs workload size
 /// (TPC-DS, one instance per template as in the paper's 92-query setup).
 pub fn fig2(scale: &Scale) -> Vec<Table> {
-    let ctx = ExperimentCtx::tpcds(scale, 2);
+    let Some(ctx) = ctx_or_skip(ExperimentCtx::tpcds(scale, 2), "TPC-DS") else {
+        return Vec::new();
+    };
     let n_max = ctx.workload.len().min(91);
     let advisor = dta();
     let constraints = TuningConstraints::with_max_indexes(16);
@@ -50,7 +52,9 @@ pub fn fig2(scale: &Scale) -> Vec<Table> {
 /// Fig 3: improvement of ISUM-compressed workloads vs the full workload
 /// (TPC-DS, k ∈ {1, 20, 40, 60, 80, n}).
 pub fn fig3(scale: &Scale) -> Vec<Table> {
-    let ctx = ExperimentCtx::tpcds(scale, 3);
+    let Some(ctx) = ctx_or_skip(ExperimentCtx::tpcds(scale, 3), "TPC-DS") else {
+        return Vec::new();
+    };
     let n = ctx.workload.len().min(91);
     let ctx = ExperimentCtx {
         workload: ctx.workload.restricted_to(&(0..n).map(QueryId::from_index).collect::<Vec<_>>()),
@@ -73,7 +77,17 @@ pub fn fig3(scale: &Scale) -> Vec<Table> {
     let isum = Isum::new();
     for k in [1usize, 20, 40, 60, 80, n] {
         let k = k.min(n);
-        let eval = evaluate_method(&isum, &ctx, k, &advisor, &constraints);
+        let eval = match evaluate_method(&isum, &ctx, k, &advisor, &constraints) {
+            Ok(eval) => eval,
+            Err(e) => {
+                eprintln!("skipping fig3 cell k={k}: {e}");
+                isum_common::count!("harness.cells_skipped");
+                if k == n {
+                    break;
+                }
+                continue;
+            }
+        };
         table.row(vec![
             k.to_string(),
             f1(eval.improvement_pct),

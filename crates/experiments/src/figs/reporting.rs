@@ -10,7 +10,9 @@
 use isum_advisor::{DtaAdvisor, IndexAdvisor, TuningConstraints, TuningReport};
 use isum_core::{Compressor, Isum};
 
-use crate::harness::{half_sqrt_n, ExperimentCtx, Scale};
+use isum_common::count;
+
+use crate::harness::{ctx_or_skip, half_sqrt_n, ExperimentCtx, Scale};
 use crate::report::{f1, Table};
 
 /// Runs the reporting trade-off on all four workloads.
@@ -30,14 +32,24 @@ pub fn reporting(scale: &Scale) -> Vec<Table> {
         ],
     );
     for ctx in [
-        ExperimentCtx::tpch(scale, 210),
-        ExperimentCtx::tpcds(scale, 210),
-        ExperimentCtx::dsb(scale, 210),
-        ExperimentCtx::realm(scale, 210),
-    ] {
+        ctx_or_skip(ExperimentCtx::tpch(scale, 210), "TPC-H"),
+        ctx_or_skip(ExperimentCtx::tpcds(scale, 210), "TPC-DS"),
+        ctx_or_skip(ExperimentCtx::dsb(scale, 210), "DSB"),
+        ctx_or_skip(ExperimentCtx::realm(scale, 210), "Real-M"),
+    ]
+    .into_iter()
+    .flatten()
+    {
         let n = ctx.workload.len();
         let k = half_sqrt_n(n);
-        let cw = Isum::new().compress(&ctx.workload, k).expect("valid inputs");
+        let cw = match Isum::new().compress(&ctx.workload, k) {
+            Ok(cw) => cw,
+            Err(e) => {
+                count!("harness.cells_skipped");
+                eprintln!("isum-harness: reporting row skipped ({}): {e}", ctx.name);
+                continue;
+            }
+        };
         let advisor = DtaAdvisor::new();
         let cfg = {
             let opt = ctx.optimizer();

@@ -4,8 +4,11 @@
 
 use isum_advisor::TuningConstraints;
 use isum_common::stats::{mean, std_dev};
+use isum_common::{count, IsumResult};
 
-use crate::harness::{dta, evaluate_method, half_sqrt_n, standard_methods, ExperimentCtx, Scale};
+use crate::harness::{
+    ctx_or_skip, dta, evaluate_method, half_sqrt_n, standard_methods, ExperimentCtx, Scale,
+};
 use crate::report::Table;
 
 const SEEDS: [u64; 5] = [301, 302, 303, 304, 305];
@@ -18,7 +21,7 @@ pub fn robustness(scale: &Scale) -> Vec<Table> {
         "Robustness: improvement (%) mean ± std over 5 workload seeds, k = 0.5√n",
         &["workload", "Uniform", "Cost", "Stratified", "GSUM", "ISUM", "ISUM-S"],
     );
-    type CtxFn = fn(&Scale, u64) -> ExperimentCtx;
+    type CtxFn = fn(&Scale, u64) -> IsumResult<ExperimentCtx>;
     let makers: [(&str, CtxFn); 4] = [
         ("TPC-H", ExperimentCtx::tpch),
         ("TPC-DS", ExperimentCtx::tpcds),
@@ -28,12 +31,21 @@ pub fn robustness(scale: &Scale) -> Vec<Table> {
     for (name, make) in makers {
         let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); 6];
         for &seed in &SEEDS {
-            let ctx = make(scale, seed);
+            let Some(ctx) = ctx_or_skip(make(scale, seed), name) else {
+                continue;
+            };
             let k = half_sqrt_n(ctx.workload.len());
             let constraints = TuningConstraints::with_max_indexes(16);
             for (mi, m) in standard_methods(seed).iter().enumerate() {
-                let e = evaluate_method(m.as_ref(), &ctx, k, &dta(), &constraints);
-                per_method[mi].push(e.improvement_pct);
+                match evaluate_method(m.as_ref(), &ctx, k, &dta(), &constraints) {
+                    Ok(e) => per_method[mi].push(e.improvement_pct),
+                    Err(e) => {
+                        count!("harness.cells_skipped");
+                        eprintln!(
+                            "isum-harness: robustness cell skipped ({name}, seed {seed}): {e}"
+                        );
+                    }
+                }
             }
         }
         let mut row = vec![name.to_string()];
@@ -54,12 +66,13 @@ mod tests {
         // Structural check on one small workload (full run is exercised by
         // the binary).
         let scale = Scale::quick();
-        let ctx = ExperimentCtx::tpch(&scale, 301);
+        let ctx = ExperimentCtx::tpch(&scale, 301).expect("tpch binds");
         let k = half_sqrt_n(ctx.workload.len());
         let constraints = TuningConstraints::with_max_indexes(8);
         let methods = standard_methods(301);
         for m in &methods {
-            let e = evaluate_method(m.as_ref(), &ctx, k, &dta(), &constraints);
+            let e = evaluate_method(m.as_ref(), &ctx, k, &dta(), &constraints)
+                .expect("quick eval succeeds");
             assert!(e.improvement_pct.is_finite());
         }
     }

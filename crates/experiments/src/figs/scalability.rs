@@ -2,8 +2,9 @@
 //! compression time as the input workload grows.
 
 use isum_advisor::TuningConstraints;
+use isum_common::{count, IsumResult};
 
-use crate::harness::{dta, evaluate_method, fig11_methods, ExperimentCtx, Scale};
+use crate::harness::{ctx_or_skip, dta, evaluate_method, fig11_methods, ExperimentCtx, Scale};
 use crate::report::{f1, Table};
 
 /// Fig 11a–d.
@@ -21,20 +22,20 @@ pub fn fig11(scale: &Scale) -> Vec<Table> {
             "tpch",
             tpch_sizes,
             Box::new(|n: usize| {
-                ExperimentCtx::prepare(
+                Ok(ExperimentCtx::prepare(
                     "TPC-H",
-                    isum_workload::gen::tpch_workload(scale.sf, n, 110).expect("tpch binds"),
-                )
-            }) as Box<dyn Fn(usize) -> ExperimentCtx>,
+                    isum_workload::gen::tpch_workload(scale.sf, n, 110)?,
+                ))
+            }) as Box<dyn Fn(usize) -> IsumResult<ExperimentCtx>>,
         ),
         (
             "realm",
             realm_sizes,
             Box::new(|n: usize| {
-                ExperimentCtx::prepare(
+                Ok(ExperimentCtx::prepare(
                     "Real-M",
-                    isum_workload::gen::realm_workload_sized(n, 110).expect("realm binds"),
-                )
+                    isum_workload::gen::realm_workload_sized(n, 110)?,
+                ))
             }),
         ),
     ] {
@@ -49,16 +50,27 @@ pub fn fig11(scale: &Scale) -> Vec<Table> {
             &["n", "all-pairs", "k-medoid", "summary"],
         );
         for &n in &sizes {
-            let ctx = make(n);
+            let Some(ctx) = ctx_or_skip(make(n), name) else {
+                continue;
+            };
             let k = ((n as f64).sqrt() * 0.5).round().max(2.0) as usize;
             let methods = fig11_methods(110);
             let constraints = TuningConstraints::with_max_indexes(16);
             let mut imp_row = vec![n.to_string()];
             let mut time_row = vec![n.to_string()];
             for m in &methods {
-                let e = evaluate_method(m.as_ref(), &ctx, k, &dta(), &constraints);
-                imp_row.push(f1(e.improvement_pct));
-                time_row.push(format!("{:.4}", e.compression_secs));
+                match evaluate_method(m.as_ref(), &ctx, k, &dta(), &constraints) {
+                    Ok(e) => {
+                        imp_row.push(f1(e.improvement_pct));
+                        time_row.push(format!("{:.4}", e.compression_secs));
+                    }
+                    Err(e) => {
+                        count!("harness.cells_skipped");
+                        eprintln!("isum-harness: fig11 cell skipped (n={n}): {e}");
+                        imp_row.push("-".into());
+                        time_row.push("-".into());
+                    }
+                }
             }
             t_imp.row(imp_row);
             t_time.row(time_row);

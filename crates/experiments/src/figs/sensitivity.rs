@@ -6,8 +6,13 @@ use isum_core::{Algorithm, Isum, IsumConfig, UpdateStrategy, WeightingStrategy};
 use isum_workload::gen::dsb::{dsb_workload_classed, dsb_workload_instances};
 use isum_workload::QueryClass;
 
-use crate::harness::{dta, evaluate_method, k_sweep, standard_methods, ExperimentCtx, Scale};
-use crate::report::{f1, Table};
+use isum_common::IsumError;
+
+use crate::harness::{
+    ctx_or_skip, dta, evaluate_method, improvement_cell, k_sweep, standard_methods, ExperimentCtx,
+    Scale,
+};
+use crate::report::Table;
 
 /// Fig 12a: instances per template (DSB); 12b–d: per-class workloads.
 pub fn fig12(scale: &Scale) -> Vec<Table> {
@@ -19,14 +24,25 @@ pub fn fig12(scale: &Scale) -> Vec<Table> {
         &["instances", "Uniform", "Cost", "Stratified", "GSUM", "ISUM", "ISUM-S"],
     );
     for instances in [1usize, 2, 4, 8] {
-        let w = dsb_workload_instances(scale.sf, 26, instances, 120).expect("dsb binds");
-        let ctx = ExperimentCtx::prepare("DSB", w);
+        let Some(ctx) = ctx_or_skip(
+            dsb_workload_instances(scale.sf, 26, instances, 120)
+                .map(|w| ExperimentCtx::prepare("DSB", w))
+                .map_err(IsumError::from),
+            "DSB",
+        ) else {
+            continue;
+        };
         let methods = standard_methods(120);
         let constraints = TuningConstraints::with_max_indexes(16);
         let mut row = vec![instances.to_string()];
         for m in &methods {
-            let e = evaluate_method(m.as_ref(), &ctx, 16, &dta(), &constraints);
-            row.push(f1(e.improvement_pct));
+            row.push(improvement_cell(&evaluate_method(
+                m.as_ref(),
+                &ctx,
+                16,
+                &dta(),
+                &constraints,
+            )));
         }
         t.row(row);
     }
@@ -37,8 +53,14 @@ pub fn fig12(scale: &Scale) -> Vec<Table> {
         ("aggregate", QueryClass::Aggregate),
         ("complex", QueryClass::Complex),
     ] {
-        let w = dsb_workload_classed(scale.sf, class, scale.dsb, 121).expect("dsb binds");
-        let ctx = ExperimentCtx::prepare("DSB", w);
+        let Some(ctx) = ctx_or_skip(
+            dsb_workload_classed(scale.sf, class, scale.dsb, 121)
+                .map(|w| ExperimentCtx::prepare("DSB", w))
+                .map_err(IsumError::from),
+            "DSB",
+        ) else {
+            continue;
+        };
         let methods = standard_methods(121);
         let constraints = TuningConstraints::with_max_indexes(16);
         let mut t = Table::new(
@@ -49,8 +71,13 @@ pub fn fig12(scale: &Scale) -> Vec<Table> {
         for k in k_sweep(ctx.workload.len()) {
             let mut row = vec![k.to_string()];
             for m in &methods {
-                let e = evaluate_method(m.as_ref(), &ctx, k, &dta(), &constraints);
-                row.push(f1(e.improvement_pct));
+                row.push(improvement_cell(&evaluate_method(
+                    m.as_ref(),
+                    &ctx,
+                    k,
+                    &dta(),
+                    &constraints,
+                )));
             }
             t.row(row);
         }
@@ -68,7 +95,13 @@ pub fn fig13(scale: &Scale) -> Vec<Table> {
         ("utility+zero", UpdateStrategy::ZeroFeatures),
     ];
     let mut tables = Vec::new();
-    for mut ctx in [ExperimentCtx::tpch(scale, 130), ExperimentCtx::tpcds(scale, 130)] {
+    for mut ctx in [
+        ctx_or_skip(ExperimentCtx::tpch(scale, 130), "TPC-H"),
+        ctx_or_skip(ExperimentCtx::tpcds(scale, 130), "TPC-DS"),
+    ]
+    .into_iter()
+    .flatten()
+    {
         // The all-pairs greedy is O(k n^2); cap the input so paper-scale
         // runs stay tractable (the paper's own Fig 11 shows why).
         if ctx.workload.len() > 1000 {
@@ -90,8 +123,7 @@ pub fn fig13(scale: &Scale) -> Vec<Table> {
                     update: *s,
                     ..IsumConfig::isum()
                 });
-                let e = evaluate_method(&isum, &ctx, k, &dta(), &constraints);
-                row.push(f1(e.improvement_pct));
+                row.push(improvement_cell(&evaluate_method(&isum, &ctx, k, &dta(), &constraints)));
             }
             t.row(row);
         }
@@ -108,7 +140,9 @@ pub fn fig14(scale: &Scale) -> Vec<Table> {
         ("recalibrated", WeightingStrategy::Recalibrated),
         ("recalib+template", WeightingStrategy::RecalibratedTemplate),
     ];
-    let ctx = ExperimentCtx::tpch(scale, 140);
+    let Some(ctx) = ctx_or_skip(ExperimentCtx::tpch(scale, 140), "TPC-H") else {
+        return Vec::new();
+    };
     let constraints = TuningConstraints::with_max_indexes(16);
     let mut t = Table::new(
         "fig14_weighing",
@@ -122,8 +156,7 @@ pub fn fig14(scale: &Scale) -> Vec<Table> {
         let mut row = vec![k.to_string()];
         for (_, s) in &strategies {
             let isum = Isum::with_config(IsumConfig { weighting: *s, ..IsumConfig::isum() });
-            let e = evaluate_method(&isum, &ctx, k, &dta(), &constraints);
-            row.push(f1(e.improvement_pct));
+            row.push(improvement_cell(&evaluate_method(&isum, &ctx, k, &dta(), &constraints)));
         }
         t.row(row);
     }
@@ -138,7 +171,7 @@ mod tests {
     #[test]
     fn update_strategies_all_produce_valid_selections() {
         let scale = Scale::quick();
-        let ctx = ExperimentCtx::tpch(&scale, 130);
+        let ctx = ExperimentCtx::tpch(&scale, 130).expect("tpch binds");
         for s in [
             UpdateStrategy::NoUpdate,
             UpdateStrategy::UtilityOnly,

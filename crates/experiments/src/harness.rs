@@ -12,11 +12,14 @@ use std::time::Instant;
 use isum_advisor::{DtaAdvisor, IndexAdvisor, TuningConstraints};
 use isum_baselines::{CostTopK, Gsum, KMedoid, Stratified, UniformSampling};
 use isum_common::telemetry;
-use isum_common::Json;
+use isum_common::{count, IsumError, IsumResult, Json, QueryId};
 use isum_core::{Compressor, Isum, IsumConfig};
+use isum_faults::FaultInjector;
 use isum_optimizer::WhatIfOptimizer;
 use isum_workload::gen::{dsb_workload, realm_workload_sized, tpcds_workload, tpch_workload};
 use isum_workload::Workload;
+
+use crate::checkpoint;
 
 /// Workload sizes for the evaluation, selectable via `ISUM_SCALE`.
 #[derive(Debug, Clone, Copy)]
@@ -80,8 +83,20 @@ pub struct ExperimentCtx {
 
 impl ExperimentCtx {
     /// Wraps a generated workload, populating costs.
+    ///
+    /// When the process-wide fault injector is active, ingestion models a
+    /// production log pipeline: queries hit by `parse` faults are dropped
+    /// (unparseable log entries), and queries whose costing task is hit
+    /// by a `panic` fault are quarantined by the exec pool's panic
+    /// isolation (`faults.quarantined`) and likewise dropped — the run
+    /// continues over the surviving queries. With no active injector this
+    /// is the exact pre-existing path, bit-identical to earlier releases.
     pub fn prepare(name: &'static str, mut workload: Workload) -> Self {
         let _s = telemetry::span("prepare");
+        let injector = isum_faults::global();
+        if injector.is_active() {
+            return Self::prepare_with_faults(name, workload, &injector);
+        }
         let costs: Vec<f64> = {
             let opt = WhatIfOptimizer::new(&workload.catalog);
             let empty = isum_optimizer::IndexConfig::empty();
@@ -91,38 +106,124 @@ impl ExperimentCtx {
         Self { workload, name }
     }
 
+    /// The fault-aware ingestion pipeline (split out so the zero-fault
+    /// path above stays byte-for-byte the original).
+    fn prepare_with_faults(
+        name: &'static str,
+        workload: Workload,
+        injector: &FaultInjector,
+    ) -> Self {
+        // Fault sites are keyed by workload name + query position —
+        // deterministic across runs and thread counts, independent of
+        // construction order.
+        let salt = fnv1a(name.as_bytes());
+
+        // Parse faults: simulated unparseable statements in the query log,
+        // dropped before costing (mirrors `Workload::from_sql_lenient`).
+        let parsed: Vec<QueryId> = workload
+            .queries
+            .iter()
+            .filter(|q| !injector.parse_fault(salt ^ q.id.index() as u64))
+            .map(|q| q.id)
+            .collect();
+        let dropped_parse = workload.len() - parsed.len();
+        let mut workload =
+            if dropped_parse > 0 { workload.restricted_to(&parsed) } else { workload };
+
+        // Costing with panic injection: a poisoned query's task panics and
+        // is quarantined by `try_par_map` instead of killing the run.
+        let outcomes = {
+            let opt = WhatIfOptimizer::new(&workload.catalog);
+            let empty = isum_optimizer::IndexConfig::empty();
+            isum_exec::try_par_map(&workload.queries, |q| {
+                if injector.panic_fault(salt ^ q.id.index() as u64) {
+                    panic!("injected ingestion panic ({name} query #{})", q.id.index());
+                }
+                opt.cost_bound(&q.bound, &empty)
+            })
+        };
+        let survivors: Vec<(QueryId, f64)> = workload
+            .queries
+            .iter()
+            .zip(&outcomes)
+            .filter_map(|(q, r)| r.as_ref().ok().map(|&c| (q.id, c)))
+            .collect();
+        if survivors.len() < workload.len() {
+            let ids: Vec<QueryId> = survivors.iter().map(|&(id, _)| id).collect();
+            workload = workload.restricted_to(&ids);
+        }
+        let costs: Vec<f64> = survivors.iter().map(|&(_, c)| c).collect();
+        workload.set_costs(&costs);
+        if dropped_parse > 0 || survivors.len() < outcomes.len() {
+            eprintln!(
+                "isum-harness: {name}: dropped {dropped_parse} unparseable and quarantined {} \
+                 poisoned queries; continuing with {}",
+                outcomes.len() - survivors.len(),
+                workload.len()
+            );
+        }
+        Self { workload, name }
+    }
+
     /// TPC-H context.
-    pub fn tpch(scale: &Scale, seed: u64) -> Self {
-        Self::prepare(
-            "TPC-H",
-            tpch_workload(scale.sf, scale.tpch, seed).expect("tpch templates bind"),
-        )
+    ///
+    /// # Errors
+    /// Propagates workload generation/bind failures as permanent errors.
+    pub fn tpch(scale: &Scale, seed: u64) -> IsumResult<Self> {
+        Ok(Self::prepare("TPC-H", tpch_workload(scale.sf, scale.tpch, seed)?))
     }
 
     /// TPC-DS context.
-    pub fn tpcds(scale: &Scale, seed: u64) -> Self {
-        Self::prepare(
-            "TPC-DS",
-            tpcds_workload(scale.sf, scale.tpcds, seed).expect("tpcds templates bind"),
-        )
+    ///
+    /// # Errors
+    /// Propagates workload generation/bind failures as permanent errors.
+    pub fn tpcds(scale: &Scale, seed: u64) -> IsumResult<Self> {
+        Ok(Self::prepare("TPC-DS", tpcds_workload(scale.sf, scale.tpcds, seed)?))
     }
 
     /// DSB context.
-    pub fn dsb(scale: &Scale, seed: u64) -> Self {
-        Self::prepare("DSB", dsb_workload(scale.sf, scale.dsb, seed).expect("dsb templates bind"))
+    ///
+    /// # Errors
+    /// Propagates workload generation/bind failures as permanent errors.
+    pub fn dsb(scale: &Scale, seed: u64) -> IsumResult<Self> {
+        Ok(Self::prepare("DSB", dsb_workload(scale.sf, scale.dsb, seed)?))
     }
 
     /// Real-M context.
-    pub fn realm(scale: &Scale, seed: u64) -> Self {
-        Self::prepare(
-            "Real-M",
-            realm_workload_sized(scale.realm, seed).expect("realm templates bind"),
-        )
+    ///
+    /// # Errors
+    /// Propagates workload generation/bind failures as permanent errors.
+    pub fn realm(scale: &Scale, seed: u64) -> IsumResult<Self> {
+        Ok(Self::prepare("Real-M", realm_workload_sized(scale.realm, seed)?))
     }
 
     /// Fresh what-if optimizer over this context's catalog.
     pub fn optimizer(&self) -> WhatIfOptimizer<'_> {
         WhatIfOptimizer::new(&self.workload.catalog)
+    }
+}
+
+/// FNV-1a over bytes: a stable salt for per-workload fault keys.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Unwraps a context construction, reporting and skipping on failure
+/// (counted as `harness.workloads_skipped`): one failing workload costs
+/// its own cells, never the whole figure.
+pub fn ctx_or_skip(result: IsumResult<ExperimentCtx>, what: &str) -> Option<ExperimentCtx> {
+    match result {
+        Ok(ctx) => Some(ctx),
+        Err(e) => {
+            count!("harness.workloads_skipped");
+            eprintln!("isum-harness: skipping workload {what}: {e}");
+            None
+        }
     }
 }
 
@@ -141,20 +242,25 @@ pub struct MethodEval {
 
 /// Compresses with `method`, tunes the result with `advisor`, and measures
 /// the improvement over the entire workload.
+///
+/// # Errors
+/// Compression failures (invalid configuration, empty/too-small workload —
+/// e.g. after fault injection dropped queries) are returned as typed
+/// errors instead of panicking, so callers skip and report the cell.
 pub fn evaluate_method(
     method: &dyn Compressor,
     ctx: &ExperimentCtx,
     k: usize,
     advisor: &dyn IndexAdvisor,
     constraints: &TuningConstraints,
-) -> MethodEval {
+) -> IsumResult<MethodEval> {
     // Spans carry the phase breakdown into the telemetry registry; the
     // Instant reads feed the `MethodEval` the caller renders into result
     // tables, which must work with telemetry off.
     let t0 = Instant::now();
     let cw = {
         let _s = telemetry::span("compress");
-        method.compress(&ctx.workload, k).expect("valid compression inputs")
+        method.compress(&ctx.workload, k).map_err(IsumError::from)?
     };
     let compression_secs = t0.elapsed().as_secs_f64();
     let opt = ctx.optimizer();
@@ -166,11 +272,12 @@ pub fn evaluate_method(
         let _e = telemetry::span("evaluate");
         opt.improvement_pct(&ctx.workload, &cfg)
     };
-    MethodEval { improvement_pct, compression_secs, tuning_calls, tuning_secs }
+    Ok(MethodEval { improvement_pct, compression_secs, tuning_calls, tuning_secs })
 }
 
 /// Evaluates several independent methods concurrently (one pool task per
-/// method), returning results in method order.
+/// method), returning per-method outcomes in method order — a failed
+/// method occupies its own `Err` slot instead of aborting the figure.
 ///
 /// Each evaluation builds its own [`WhatIfOptimizer`], so methods share
 /// nothing but the read-only context. Use this for quality-comparison
@@ -178,14 +285,60 @@ pub fn evaluate_method(
 /// wall-clock fields of [`MethodEval`] are *not* comparable across
 /// methods here — timing figures (e.g. Fig 13 scalability) must keep
 /// calling [`evaluate_method`] sequentially.
+///
+/// When a checkpoint run is active (see [`crate::checkpoint`]), each
+/// method×context cell is recorded after it completes and replayed on
+/// `--resume` instead of recomputed.
 pub fn evaluate_methods(
     methods: &[Box<dyn Compressor>],
     ctx: &ExperimentCtx,
     k: usize,
     advisor: &(dyn IndexAdvisor + Sync),
     constraints: &TuningConstraints,
-) -> Vec<MethodEval> {
-    isum_exec::par_map(methods, |m| evaluate_method(m.as_ref(), ctx, k, advisor, constraints))
+) -> Vec<IsumResult<MethodEval>> {
+    isum_exec::par_map_indexed(methods, |i, m| {
+        let key = cell_key(ctx, i, &m.name(), k, advisor.name(), constraints);
+        checkpoint::cell(&key, || evaluate_method(m.as_ref(), ctx, k, advisor, constraints))
+    })
+}
+
+/// Checkpoint key for one method×context cell. Includes the workload's
+/// size and total-cost bit pattern (which discriminate seeds and scaling
+/// variants sharing a display name) plus the method's position and name,
+/// `k`, the advisor, and the tuning constraints — everything the cell's
+/// value depends on. Deterministic across runs and thread counts.
+fn cell_key(
+    ctx: &ExperimentCtx,
+    method_index: usize,
+    method_name: &str,
+    k: usize,
+    advisor_name: &str,
+    constraints: &TuningConstraints,
+) -> String {
+    let budget = match constraints.storage_budget_bytes {
+        Some(b) => format!("b{b}"),
+        None => "b-".to_string(),
+    };
+    format!(
+        "{}|n{}|c{:016x}|m{method_index}:{method_name}|k{k}|{advisor_name}|x{}|{budget}",
+        ctx.name,
+        ctx.workload.len(),
+        ctx.workload.total_cost().to_bits(),
+        constraints.max_indexes,
+    )
+}
+
+/// Renders one evaluation outcome as an improvement-percent table cell;
+/// a failed cell is reported (`harness.cells_skipped`) and rendered `-`.
+pub fn improvement_cell(eval: &IsumResult<MethodEval>) -> String {
+    match eval {
+        Ok(e) => crate::report::f1(e.improvement_pct),
+        Err(e) => {
+            count!("harness.cells_skipped");
+            eprintln!("isum-harness: cell skipped: {e}");
+            "-".to_string()
+        }
+    }
 }
 
 /// The standard comparison set of Sec 8.1: Uniform, Cost, Stratified,
@@ -320,7 +473,7 @@ mod tests {
     #[test]
     fn quick_ctx_prepares_costs() {
         let scale = Scale::quick();
-        let ctx = ExperimentCtx::tpch(&scale, 1);
+        let ctx = ExperimentCtx::tpch(&scale, 1).expect("tpch binds");
         assert!(ctx.workload.total_cost() > 0.0);
         assert_eq!(ctx.workload.len(), scale.tpch);
     }
@@ -328,11 +481,48 @@ mod tests {
     #[test]
     fn evaluate_method_end_to_end() {
         let scale = Scale::quick();
-        let ctx = ExperimentCtx::tpch(&scale, 1);
+        let ctx = ExperimentCtx::tpch(&scale, 1).expect("tpch binds");
         let isum = Isum::new();
-        let eval = evaluate_method(&isum, &ctx, 6, &dta(), &TuningConstraints::with_max_indexes(8));
+        let eval = evaluate_method(&isum, &ctx, 6, &dta(), &TuningConstraints::with_max_indexes(8))
+            .expect("valid inputs evaluate");
         assert!(eval.improvement_pct >= 0.0 && eval.improvement_pct <= 100.0);
         assert!(eval.tuning_calls > 0);
+    }
+
+    #[test]
+    fn evaluate_method_reports_errors_instead_of_panicking() {
+        let scale = Scale::quick();
+        let ctx = ExperimentCtx::tpch(&scale, 1).expect("tpch binds");
+        let isum = Isum::new();
+        // k = 0 is an invalid configuration: the old harness panicked
+        // here; now it is a typed, skippable error.
+        let err = evaluate_method(&isum, &ctx, 0, &dta(), &TuningConstraints::with_max_indexes(8))
+            .expect_err("k = 0 must fail");
+        assert!(!err.is_transient());
+        assert_eq!(improvement_cell(&Err(err)), "-");
+    }
+
+    #[test]
+    fn cell_keys_discriminate_every_input() {
+        let scale = Scale::quick();
+        let ctx = ExperimentCtx::tpch(&scale, 1).expect("tpch binds");
+        let other = ExperimentCtx::tpch(&scale, 2).expect("tpch binds");
+        let c16 = TuningConstraints::with_max_indexes(16);
+        let base = super::cell_key(&ctx, 0, "ISUM", 8, "DTA", &c16);
+        for (key, want_ne) in [
+            (super::cell_key(&ctx, 0, "ISUM", 8, "DTA", &c16), false),
+            (super::cell_key(&other, 0, "ISUM", 8, "DTA", &c16), true),
+            (super::cell_key(&ctx, 1, "ISUM", 8, "DTA", &c16), true),
+            (super::cell_key(&ctx, 0, "GSUM", 8, "DTA", &c16), true),
+            (super::cell_key(&ctx, 0, "ISUM", 9, "DTA", &c16), true),
+            (super::cell_key(&ctx, 0, "ISUM", 8, "Dexter", &c16), true),
+            (
+                super::cell_key(&ctx, 0, "ISUM", 8, "DTA", &TuningConstraints::with_budget(16, 9)),
+                true,
+            ),
+        ] {
+            assert_eq!(key != base, want_ne, "{key} vs {base}");
+        }
     }
 
     #[test]

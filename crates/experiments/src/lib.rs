@@ -8,6 +8,7 @@
 //! variable selects workload sizes: `quick`, `medium` (default), or
 //! `paper` (Table 2 sizes — slow).
 
+pub mod checkpoint;
 pub mod figs;
 pub mod harness;
 pub mod report;

@@ -1,0 +1,84 @@
+//! Crash-safe resume contract: cells recorded in the checkpoint file are
+//! replayed bit-identically by a `--resume` run, and only missing cells
+//! are recomputed. Single `#[test]`: the checkpoint store (and the
+//! telemetry registry it reports through) is process-global.
+
+use isum_advisor::TuningConstraints;
+use isum_common::telemetry;
+use isum_experiments::checkpoint;
+use isum_experiments::harness::{dta, evaluate_methods, standard_methods};
+use isum_experiments::{ExperimentCtx, Scale};
+
+#[test]
+fn resumed_run_replays_recorded_cells_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("isum_ckpt_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    telemetry::set_enabled(true);
+    telemetry::reset();
+
+    let ctx = ExperimentCtx::tpch(&Scale::quick(), 42).expect("tpch binds");
+    let methods = standard_methods(42);
+    let constraints = TuningConstraints::with_max_indexes(8);
+
+    // First (uninterrupted) run: every cell computes and is persisted.
+    let loaded = checkpoint::begin("ckpt_test", &dir, false).expect("begin");
+    assert_eq!(loaded, 0);
+    let first = evaluate_methods(&methods, &ctx, 6, &dta(), &constraints);
+    checkpoint::finish();
+    let path = dir.join("checkpoint_ckpt_test.json");
+    assert!(path.exists(), "checkpoint file persists after finish()");
+    let snap = telemetry::snapshot();
+    assert_eq!(snap.counter("harness.checkpoint.cells"), Some(methods.len() as u64));
+    assert_eq!(snap.counter("harness.checkpoint.hits").unwrap_or(0), 0);
+
+    // Resume: all cells replay from the file — bit-identical — with zero
+    // recomputation (checkpoint.cells does not grow).
+    telemetry::reset();
+    let loaded = checkpoint::begin("ckpt_test", &dir, true).expect("begin resume");
+    assert_eq!(loaded, methods.len());
+    let second = evaluate_methods(&methods, &ctx, 6, &dta(), &constraints);
+    checkpoint::finish();
+    let snap = telemetry::snapshot();
+    assert_eq!(snap.counter("harness.checkpoint.hits"), Some(methods.len() as u64));
+    assert_eq!(snap.counter("harness.checkpoint.cells").unwrap_or(0), 0, "nothing recomputed");
+    assert_eq!(first.len(), second.len());
+    for (a, b) in first.iter().zip(&second) {
+        let (a, b) = (a.as_ref().expect("fault-free eval"), b.as_ref().expect("fault-free eval"));
+        assert_eq!(a.improvement_pct.to_bits(), b.improvement_pct.to_bits());
+        assert_eq!(a.compression_secs.to_bits(), b.compression_secs.to_bits());
+        assert_eq!(a.tuning_calls, b.tuning_calls);
+        assert_eq!(a.tuning_secs.to_bits(), b.tuning_secs.to_bits());
+    }
+
+    // Partial resume — the killed-mid-run shape: a checkpoint holding one
+    // cell replays it (closure must not run) and computes the rest.
+    checkpoint::begin("ckpt_partial", &dir, false).expect("begin partial");
+    let recorded = checkpoint::cell("cell_a", || {
+        Ok(isum_experiments::MethodEval {
+            improvement_pct: 12.5,
+            compression_secs: 0.25,
+            tuning_calls: 77,
+            tuning_secs: 1.5,
+        })
+    });
+    checkpoint::finish();
+    checkpoint::begin("ckpt_partial", &dir, true).expect("resume partial");
+    let replayed = checkpoint::cell("cell_a", || panic!("recorded cell must not recompute"));
+    assert_eq!(
+        replayed.expect("replays").improvement_pct.to_bits(),
+        recorded.expect("records").improvement_pct.to_bits()
+    );
+    let fresh = checkpoint::cell("cell_b", || {
+        Ok(isum_experiments::MethodEval {
+            improvement_pct: 1.0,
+            compression_secs: 0.0,
+            tuning_calls: 1,
+            tuning_secs: 0.0,
+        })
+    });
+    assert!(fresh.is_ok(), "missing cell computes on resume");
+    checkpoint::finish();
+
+    telemetry::set_enabled(false);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -18,7 +18,7 @@ fn whatif_call_counter_matches_optimizer_exactly() {
     // Prepare the workload BEFORE enabling telemetry: prepare() runs its
     // own throwaway optimizer whose calls would otherwise land in the
     // global counter but not in `opt` below.
-    let ctx = ExperimentCtx::tpch(&Scale::quick(), 1);
+    let ctx = ExperimentCtx::tpch(&Scale::quick(), 1).expect("tpch binds");
     telemetry::set_enabled(true);
     telemetry::reset();
 

@@ -1,0 +1,251 @@
+//! The deterministic fault injector.
+//!
+//! Injection decisions are pure functions of `(seed, kind, site key,
+//! attempt)`: the tuple is hashed through a SplitMix64-style finalizer and
+//! the top 53 bits are compared against the configured rate as a uniform
+//! draw in `[0, 1)`. Because no state is consulted, two threads asking
+//! about the same site get the same answer, and re-running a workload
+//! replays exactly the same faults — the property the determinism tests
+//! pin.
+
+use crate::spec::FaultSpec;
+use isum_common::{count, Result};
+use std::time::Duration;
+
+/// The injectable fault kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Retryable what-if costing failure.
+    WhatIfTransient,
+    /// Non-retryable what-if costing failure.
+    WhatIfPermanent,
+    /// What-if latency spike of `latency_ms` milliseconds.
+    Latency,
+    /// Per-query parse failure at ingestion.
+    Parse,
+    /// Worker panic during ingestion costing.
+    Panic,
+}
+
+impl FaultKind {
+    /// Stable name used in spec text and telemetry counters.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::WhatIfTransient => "whatif_transient",
+            FaultKind::WhatIfPermanent => "whatif_permanent",
+            FaultKind::Latency => "latency",
+            FaultKind::Parse => "parse",
+            FaultKind::Panic => "panic",
+        }
+    }
+
+    /// Per-kind salt so the same site key draws independently per kind.
+    fn salt(self) -> u64 {
+        match self {
+            FaultKind::WhatIfTransient => 0x7472_616e_7369_656e,
+            FaultKind::WhatIfPermanent => 0x7065_726d_616e_656e,
+            FaultKind::Latency => 0x6c61_7465_6e63_7921,
+            FaultKind::Parse => 0x7061_7273_6566_6c74,
+            FaultKind::Panic => 0x7061_6e69_6366_6c74,
+        }
+    }
+}
+
+/// Outcome of a what-if costing injection roll ([`FaultInjector::whatif_fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WhatIfFault {
+    /// The call fails; retrying cannot help.
+    Permanent,
+    /// The call fails; a retry draws a fresh decision.
+    Transient,
+    /// The call succeeds after the given delay (may trip a timeout).
+    Latency(Duration),
+}
+
+/// Deterministic fault injector; see the module docs for the decision
+/// function. Cheap to share (`Arc`) and lock-free to query.
+#[derive(Debug)]
+pub struct FaultInjector {
+    spec: FaultSpec,
+    active: bool,
+}
+
+impl FaultInjector {
+    /// An injector that never fires. [`FaultInjector::is_active`] is
+    /// `false`, letting hot paths skip injection checks entirely.
+    pub fn disabled() -> Self {
+        Self::new(FaultSpec::none())
+    }
+
+    /// Builds an injector from a parsed spec.
+    pub fn new(spec: FaultSpec) -> Self {
+        Self { active: spec.is_active(), spec }
+    }
+
+    /// Parses the textual grammar (crate docs) and builds an injector.
+    pub fn from_spec(text: &str) -> Result<Self> {
+        Ok(Self::new(FaultSpec::parse(text)?))
+    }
+
+    /// True when at least one fault kind can fire. Callers use this to
+    /// keep the zero-fault hot path identical to a build without
+    /// injection.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The configured spec.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    fn rate(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::WhatIfTransient => self.spec.whatif_transient,
+            FaultKind::WhatIfPermanent => self.spec.whatif_permanent,
+            FaultKind::Latency => self.spec.latency,
+            FaultKind::Parse => self.spec.parse,
+            FaultKind::Panic => self.spec.panic,
+        }
+    }
+
+    /// Rolls the decision for `kind` at site `key`, attempt `attempt`.
+    /// Deterministic: the same `(spec, kind, key, attempt)` always returns
+    /// the same answer. Fired faults count `faults.injected` and
+    /// `faults.injected.<kind>`.
+    pub fn fires(&self, kind: FaultKind, key: u64, attempt: u32) -> bool {
+        let rate = self.rate(kind);
+        if rate <= 0.0 {
+            return false;
+        }
+        let fired = uniform(decision_hash(self.spec.seed, kind.salt(), key, attempt)) < rate;
+        if fired {
+            count!("faults.injected");
+            match kind {
+                FaultKind::WhatIfTransient => count!("faults.injected.whatif_transient"),
+                FaultKind::WhatIfPermanent => count!("faults.injected.whatif_permanent"),
+                FaultKind::Latency => count!("faults.injected.latency"),
+                FaultKind::Parse => count!("faults.injected.parse"),
+                FaultKind::Panic => count!("faults.injected.panic"),
+            }
+        }
+        fired
+    }
+
+    /// Rolls the what-if kinds for one costing attempt, with severity
+    /// precedence permanent > transient > latency (a call cannot both
+    /// fail and merely be slow).
+    pub fn whatif_fault(&self, key: u64, attempt: u32) -> Option<WhatIfFault> {
+        if !self.active {
+            return None;
+        }
+        if self.fires(FaultKind::WhatIfPermanent, key, attempt) {
+            return Some(WhatIfFault::Permanent);
+        }
+        if self.fires(FaultKind::WhatIfTransient, key, attempt) {
+            return Some(WhatIfFault::Transient);
+        }
+        if self.fires(FaultKind::Latency, key, attempt) {
+            return Some(WhatIfFault::Latency(Duration::from_millis(self.spec.latency_ms)));
+        }
+        None
+    }
+
+    /// Rolls the parse-failure fault for one ingested query.
+    pub fn parse_fault(&self, key: u64) -> bool {
+        self.active && self.fires(FaultKind::Parse, key, 0)
+    }
+
+    /// Rolls the worker-panic fault for one ingestion task.
+    pub fn panic_fault(&self, key: u64) -> bool {
+        self.active && self.fires(FaultKind::Panic, key, 0)
+    }
+}
+
+/// SplitMix64 finalizer (Steele et al.): full-avalanche mix of one word.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn decision_hash(seed: u64, salt: u64, key: u64, attempt: u32) -> u64 {
+    let mut h = mix(seed ^ salt);
+    h = mix(h ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    mix(h ^ u64::from(attempt))
+}
+
+/// Top 53 bits of the hash as a uniform draw in `[0, 1)`.
+fn uniform(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = FaultInjector::from_spec("whatif_transient:0.5,seed:9").unwrap();
+        let b = FaultInjector::from_spec("whatif_transient:0.5,seed:9").unwrap();
+        for key in 0..256u64 {
+            for attempt in 0..4 {
+                assert_eq!(
+                    a.fires(FaultKind::WhatIfTransient, key, attempt),
+                    b.fires(FaultKind::WhatIfTransient, key, attempt),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rate_extremes_and_frequency() {
+        let never = FaultInjector::disabled();
+        let always = FaultInjector::from_spec("parse:1.0").unwrap();
+        let half = FaultInjector::from_spec("parse:0.5,seed:1").unwrap();
+        let mut fired = 0;
+        for key in 0..10_000u64 {
+            assert!(!never.parse_fault(key));
+            assert!(always.parse_fault(key));
+            if half.parse_fault(key) {
+                fired += 1;
+            }
+        }
+        assert!((4_500..=5_500).contains(&fired), "rate 0.5 fired {fired}/10000");
+    }
+
+    #[test]
+    fn kinds_and_attempts_draw_independently() {
+        let inj =
+            FaultInjector::from_spec("whatif_transient:0.5,whatif_permanent:0.5,seed:4").unwrap();
+        let mut kind_diverged = false;
+        let mut attempt_diverged = false;
+        for key in 0..256u64 {
+            if inj.fires(FaultKind::WhatIfTransient, key, 0)
+                != inj.fires(FaultKind::WhatIfPermanent, key, 0)
+            {
+                kind_diverged = true;
+            }
+            if inj.fires(FaultKind::WhatIfTransient, key, 0)
+                != inj.fires(FaultKind::WhatIfTransient, key, 1)
+            {
+                attempt_diverged = true;
+            }
+        }
+        assert!(kind_diverged, "kinds share a decision stream");
+        assert!(attempt_diverged, "attempts share a decision stream");
+    }
+
+    #[test]
+    fn whatif_precedence_and_latency_duration() {
+        let inj = FaultInjector::from_spec(
+            "whatif_permanent:1.0,whatif_transient:1.0,latency:1.0,latency_ms:7",
+        )
+        .unwrap();
+        assert_eq!(inj.whatif_fault(3, 0), Some(WhatIfFault::Permanent));
+        let inj = FaultInjector::from_spec("latency:1.0,latency_ms:7").unwrap();
+        assert_eq!(inj.whatif_fault(3, 0), Some(WhatIfFault::Latency(Duration::from_millis(7))));
+        assert_eq!(FaultInjector::disabled().whatif_fault(3, 0), None);
+    }
+}

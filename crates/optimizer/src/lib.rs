@@ -23,4 +23,4 @@ pub mod whatif;
 pub use cost::{CostModel, QueryCostBreakdown};
 pub use index::{Index, IndexConfig};
 pub use plan::PlanNode;
-pub use whatif::{populate_costs, WhatIfOptimizer};
+pub use whatif::{populate_costs, WhatIfBudget, WhatIfOptimizer};

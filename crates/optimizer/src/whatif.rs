@@ -27,15 +27,17 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use isum_catalog::Catalog;
 use isum_common::telemetry::{self, Counter};
-use isum_common::{count, record_ns, QueryId};
+use isum_common::{count, record_ns, IsumError, IsumResult, QueryId};
+use isum_faults::{FaultInjector, WhatIfFault};
 use isum_sql::BoundQuery;
 use isum_workload::Workload;
 
-use crate::cost::CostModel;
+use crate::cost::{CostModel, CPU_ROW, IO_PAGE};
 use crate::index::IndexConfig;
 
 /// Number of lock stripes in the what-if cost cache. Power of two, sized
@@ -55,6 +57,87 @@ fn shard_of(key: &CacheKey) -> usize {
     (h.finish() as usize) % CACHE_SHARDS
 }
 
+/// Resource budget and retry policy for what-if costing (DESIGN.md §9).
+///
+/// * `max_calls` — hard cap on optimizer invocations for this instance;
+///   once reached, every further costing returns the heuristic fallback.
+///   The cutoff is by call-arrival order, so under a multi-thread pool
+///   *which* costings fall back is scheduling-dependent — budgets are a
+///   production-degradation knob, not an experiment knob, and default to
+///   unlimited (experiments keep bit-identical results at any thread
+///   count because the unlimited budget never engages).
+/// * `call_timeout` — per-call latency bound. The pure cost model is
+///   effectively instantaneous, so the timeout engages only against
+///   injected latency spikes ([`isum_faults`]); a spike longer than the
+///   timeout is reported as a transient timeout (no sleep is performed —
+///   the simulated call is abandoned at its deadline).
+/// * `max_retries` / `backoff_base` / `backoff_cap` — transient failures
+///   are retried up to `max_retries` times with exponential backoff
+///   `min(backoff_base · 2^attempt, backoff_cap)` before falling back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WhatIfBudget {
+    /// Maximum optimizer invocations (`None` = unlimited).
+    pub max_calls: Option<u64>,
+    /// Per-call latency bound (`None` = no timeout).
+    pub call_timeout: Option<Duration>,
+    /// Retry attempts after a transient failure.
+    pub max_retries: u32,
+    /// First-retry backoff.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for WhatIfBudget {
+    fn default() -> Self {
+        Self {
+            max_calls: None,
+            call_timeout: None,
+            max_retries: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(16),
+        }
+    }
+}
+
+impl WhatIfBudget {
+    /// The default budget overridden by environment knobs:
+    /// `ISUM_WHATIF_MAX_CALLS`, `ISUM_WHATIF_TIMEOUT_MS`,
+    /// `ISUM_WHATIF_RETRIES` (unparseable values are ignored).
+    pub fn from_env() -> Self {
+        let mut b = Self::default();
+        if let Ok(v) = std::env::var("ISUM_WHATIF_MAX_CALLS") {
+            if let Ok(n) = v.trim().parse::<u64>() {
+                b.max_calls = Some(n);
+            }
+        }
+        if let Ok(v) = std::env::var("ISUM_WHATIF_TIMEOUT_MS") {
+            if let Ok(ms) = v.trim().parse::<u64>() {
+                b.call_timeout = Some(Duration::from_millis(ms));
+            }
+        }
+        if let Ok(v) = std::env::var("ISUM_WHATIF_RETRIES") {
+            if let Ok(n) = v.trim().parse::<u32>() {
+                b.max_retries = n;
+            }
+        }
+        b
+    }
+
+    /// Backoff before retry `attempt` (0-based):
+    /// `min(backoff_base · 2^attempt, backoff_cap)`.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let mult = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.backoff_base.checked_mul(mult).map_or(self.backoff_cap, |d| d.min(self.backoff_cap))
+    }
+
+    /// True when the budget can change costing behaviour on its own
+    /// (without an active fault injector).
+    fn is_limiting(&self) -> bool {
+        self.max_calls.is_some()
+    }
+}
+
 /// Cached what-if optimizer over one catalog.
 ///
 /// Per-instance call/hit counters are [`Counter`] atomics so callers can
@@ -68,6 +151,11 @@ pub struct WhatIfOptimizer<'a> {
     model: CostModel<'a>,
     calls: Counter,
     cache_hits: Counter,
+    retries: Counter,
+    fallbacks: Counter,
+    timeouts: Counter,
+    budget: WhatIfBudget,
+    injector: Arc<FaultInjector>,
     shards: Vec<Mutex<HashMap<CacheKey, f64>>>,
     /// Total entries across all shards, maintained on insert/clear so the
     /// `optimizer.whatif.cache_entries` gauge reports the true total
@@ -76,16 +164,35 @@ pub struct WhatIfOptimizer<'a> {
 }
 
 impl<'a> WhatIfOptimizer<'a> {
-    /// Creates an optimizer over a catalog.
+    /// Creates an optimizer over a catalog, with the process-wide fault
+    /// injector and the environment-configured [`WhatIfBudget`].
     pub fn new(catalog: &'a Catalog) -> Self {
         Self {
             catalog,
             model: CostModel::new(catalog),
             calls: Counter::new(),
             cache_hits: Counter::new(),
+            retries: Counter::new(),
+            fallbacks: Counter::new(),
+            timeouts: Counter::new(),
+            budget: WhatIfBudget::from_env(),
+            injector: isum_faults::global(),
             shards: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             entries: AtomicI64::new(0),
         }
+    }
+
+    /// Replaces the budget (builder style).
+    pub fn with_budget(mut self, budget: WhatIfBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the fault injector (builder style) — tests inject faults
+    /// explicitly without touching the process-wide injector.
+    pub fn with_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = injector;
+        self
     }
 
     /// The underlying catalog.
@@ -112,8 +219,12 @@ impl<'a> WhatIfOptimizer<'a> {
         }
         // Compute outside the shard lock: the cost model is pure, so a
         // racing thread that also misses produces the identical value.
-        let c = self.cost_bound(&q.bound, cfg);
-        if lock(shard).insert(key, c).is_none() {
+        let (c, degraded) = self.cost_bound_outcome(&q.bound, cfg);
+        // A heuristic fallback is an *estimate in lieu of* an optimizer
+        // answer, never cached as authoritative: the next costing of this
+        // key retries the real optimizer, and the entry gauge stays exact
+        // (it counts genuine what-if answers only).
+        if !degraded && lock(shard).insert(key, c).is_none() {
             let total = self.entries.fetch_add(1, Ordering::Relaxed) + 1;
             if telemetry::enabled() {
                 telemetry::gauge("optimizer.whatif.cache_entries").set(total);
@@ -123,8 +234,26 @@ impl<'a> WhatIfOptimizer<'a> {
     }
 
     /// Costs a bound query directly (uncached); each call counts as one
-    /// optimizer invocation.
+    /// optimizer invocation. Never fails: transient faults are retried
+    /// with capped backoff, and a permanent fault or exhausted budget
+    /// degrades to [`Self::heuristic_cost`].
     pub fn cost_bound(&self, bound: &BoundQuery, cfg: &IndexConfig) -> f64 {
+        self.cost_bound_outcome(bound, cfg).0
+    }
+
+    /// [`Self::cost_bound`] plus a `degraded` flag: `true` when the value
+    /// is the heuristic fallback rather than a real optimizer answer.
+    fn cost_bound_outcome(&self, bound: &BoundQuery, cfg: &IndexConfig) -> (f64, bool) {
+        // Zero-fault, unlimited-budget runs take the exact pre-existing
+        // hot path: no key hashing, no retry loop, bit-identical output.
+        if !self.injector.is_active() && !self.budget.is_limiting() {
+            return (self.cost_raw(bound, cfg), false);
+        }
+        self.cost_resilient(fault_key(bound, cfg), bound, cfg)
+    }
+
+    /// One real cost-model invocation (counts as an optimizer call).
+    fn cost_raw(&self, bound: &BoundQuery, cfg: &IndexConfig) -> f64 {
         self.calls.inc();
         count!("optimizer.whatif.calls");
         if telemetry::enabled() {
@@ -135,6 +264,98 @@ impl<'a> WhatIfOptimizer<'a> {
         } else {
             self.model.cost(bound, cfg)
         }
+    }
+
+    /// The degradation pipeline (DESIGN.md §9): budget check, then up to
+    /// `1 + max_retries` attempts with capped exponential backoff between
+    /// transient failures, then the heuristic fallback. Injection
+    /// decisions are pure functions of `(fault key, attempt)`, so the
+    /// outcome is deterministic at any thread count.
+    fn cost_resilient(&self, key: u64, bound: &BoundQuery, cfg: &IndexConfig) -> (f64, bool) {
+        if let Some(max) = self.budget.max_calls {
+            if self.calls.get() >= max {
+                return (self.fallback(bound, "call budget exhausted"), true);
+            }
+        }
+        let mut attempt = 0u32;
+        loop {
+            match self.cost_attempt(key, attempt, bound, cfg) {
+                Ok(c) => return (c, false),
+                Err(e) if e.is_transient() && attempt < self.budget.max_retries => {
+                    self.retries.inc();
+                    count!("optimizer.whatif.retries");
+                    std::thread::sleep(self.budget.backoff_for(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return (self.fallback(bound, e.message()), true),
+            }
+        }
+    }
+
+    /// One costing attempt against the (possibly faulty) optimizer.
+    fn cost_attempt(
+        &self,
+        key: u64,
+        attempt: u32,
+        bound: &BoundQuery,
+        cfg: &IndexConfig,
+    ) -> IsumResult<f64> {
+        match self.injector.whatif_fault(key, attempt) {
+            Some(WhatIfFault::Permanent) => {
+                self.calls.inc();
+                count!("optimizer.whatif.calls");
+                return Err(IsumError::permanent("injected permanent what-if failure"));
+            }
+            Some(WhatIfFault::Transient) => {
+                self.calls.inc();
+                count!("optimizer.whatif.calls");
+                return Err(IsumError::transient("injected transient what-if failure"));
+            }
+            Some(WhatIfFault::Latency(spike)) => {
+                if let Some(limit) = self.budget.call_timeout {
+                    if spike > limit {
+                        // The simulated call is abandoned at its deadline;
+                        // a timed-out call still counts as an invocation.
+                        self.calls.inc();
+                        count!("optimizer.whatif.calls");
+                        self.timeouts.inc();
+                        count!("optimizer.whatif.timeouts");
+                        return Err(IsumError::transient(format!(
+                            "what-if call exceeded {limit:?} (injected {spike:?} spike)"
+                        )));
+                    }
+                }
+                std::thread::sleep(spike);
+            }
+            None => {}
+        }
+        Ok(self.cost_raw(bound, cfg))
+    }
+
+    /// Records one degradation to the heuristic estimate.
+    fn fallback(&self, bound: &BoundQuery, _reason: &str) -> f64 {
+        self.fallbacks.inc();
+        count!("optimizer.whatif.fallbacks");
+        self.heuristic_cost(bound)
+    }
+
+    /// Heuristic cost used when the what-if optimizer is unavailable: the
+    /// table-scan estimate from catalog statistics,
+    /// `Σ_{t ∈ tables(q)} pages(t)·IO_PAGE + rows(t)·CPU_ROW` — the cost
+    /// of scanning every referenced table once, ignoring predicates and
+    /// hypothetical indexes. A deliberate over-estimate: queries costed by
+    /// the fallback look expensive, which keeps them conservatively
+    /// represented in compression rather than silently dropped.
+    pub fn heuristic_cost(&self, bound: &BoundQuery) -> f64 {
+        bound
+            .referenced_tables()
+            .iter()
+            .map(|&tid| {
+                let t = self.catalog.table(tid);
+                t.pages() as f64 * IO_PAGE + t.row_count as f64 * CPU_ROW
+            })
+            .sum::<f64>()
+            .max(1.0)
     }
 
     /// Total workload cost `C_I(W)` under a configuration.
@@ -174,6 +395,21 @@ impl<'a> WhatIfOptimizer<'a> {
         self.cache_hits.get()
     }
 
+    /// Number of transient-failure retries, for this instance.
+    pub fn whatif_retries(&self) -> u64 {
+        self.retries.get()
+    }
+
+    /// Number of heuristic-cost fallbacks, for this instance.
+    pub fn whatif_fallbacks(&self) -> u64 {
+        self.fallbacks.get()
+    }
+
+    /// Number of per-call timeouts, for this instance.
+    pub fn whatif_timeouts(&self) -> u64 {
+        self.timeouts.get()
+    }
+
     /// Clears the cost cache (counters are preserved).
     pub fn clear_cache(&self) {
         for shard in &self.shards {
@@ -190,6 +426,24 @@ impl<'a> WhatIfOptimizer<'a> {
     pub fn cache_entries(&self) -> u64 {
         self.entries.load(Ordering::Relaxed).max(0) as u64
     }
+}
+
+/// Fault-site key for one costing: a deterministic hash of the query's
+/// structure (referenced tables, predicate/join/grouping shape) and the
+/// relevant-config fingerprint. Deliberately *not* keyed on workload uid
+/// or [`QueryId`] — those depend on construction order, which would let
+/// harness layout changes move faults around. Structurally identical
+/// costings share one fault decision, which is fine for sampling.
+fn fault_key(bound: &BoundQuery, cfg: &IndexConfig) -> u64 {
+    let tables = bound.referenced_tables();
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    tables.hash(&mut h);
+    bound.filters.len().hash(&mut h);
+    bound.joins.len().hash(&mut h);
+    bound.group_by.len().hash(&mut h);
+    bound.n_aggregates.hash(&mut h);
+    cfg.fingerprint_for(&tables).hash(&mut h);
+    h.finish()
 }
 
 /// Locks a shard, recovering from poisoning: a panic inside the cost

@@ -1,0 +1,109 @@
+//! Fuzz tests for the failure path: malformed, truncated, and mutated SQL
+//! must come back as typed errors ([`isum_common::Error`]) from the parser
+//! and the binder — never as a panic. Complements `parser_properties.rs`,
+//! which fuzzes the success path (valid SQL round-trips).
+
+use proptest::prelude::*;
+
+use isum_catalog::{Catalog, CatalogBuilder};
+use isum_common::Error;
+use isum_sql::{parse, Binder};
+
+fn catalog() -> Catalog {
+    CatalogBuilder::new()
+        .table("t", 10_000)
+        .col_key("a")
+        .col_int("b", 100, 0, 100)
+        .finish()
+        .expect("valid schema")
+        .table("u", 500)
+        .col_key("c")
+        .finish()
+        .expect("valid schema")
+        .build()
+}
+
+/// A pool of valid statements to mutate; every one parses and binds
+/// cleanly against [`catalog`].
+fn valid_sql() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "SELECT a FROM t WHERE b = 7",
+        "SELECT a, b FROM t WHERE b > 3 AND b < 90 ORDER BY a DESC LIMIT 5",
+        "SELECT count(*) FROM t GROUP BY b",
+        "SELECT a FROM t, u WHERE a = c",
+        "SELECT max(b) FROM t WHERE a IN (1, 2, 3)",
+    ])
+    .prop_map(str::to_string)
+}
+
+/// Feeds `sql` through parse → bind, asserting the all-errors-are-typed
+/// contract: any outcome is fine except a panic, and failures must render
+/// a non-empty message.
+fn assert_typed_outcome(sql: &str) {
+    let catalog = catalog();
+    match parse(sql) {
+        Ok(stmt) => {
+            if let Err(e) = Binder::new(&catalog).bind(&stmt) {
+                assert_typed_error(&e, sql);
+            }
+        }
+        Err(e) => assert_typed_error(&e, sql),
+    }
+}
+
+fn assert_typed_error(e: &Error, sql: &str) {
+    assert!(
+        matches!(
+            e,
+            Error::Lex { .. } | Error::Parse { .. } | Error::Bind(_) | Error::InvalidConfig(_)
+        ),
+        "front-end returned non-front-end error {e:?} for {sql:?}"
+    );
+    assert!(!e.to_string().is_empty());
+}
+
+proptest! {
+    #[test]
+    fn truncated_statements_error_not_panic(sql in valid_sql(), cut in 0usize..80) {
+        // Truncate at a char boundary anywhere in the statement.
+        let cut = cut.min(sql.len());
+        let cut = (0..=cut).rev().find(|&i| sql.is_char_boundary(i)).unwrap_or(0);
+        assert_typed_outcome(&sql[..cut]);
+    }
+
+    #[test]
+    fn spliced_garbage_errors_not_panic(
+        sql in valid_sql(),
+        at in 0usize..80,
+        garbage in "[ -~]{0,12}",
+    ) {
+        let at = at.min(sql.len());
+        let at = (0..=at).rev().find(|&i| sql.is_char_boundary(i)).unwrap_or(0);
+        let mutated = format!("{}{}{}", &sql[..at], garbage, &sql[at..]);
+        assert_typed_outcome(&mutated);
+    }
+
+    #[test]
+    fn byte_flips_error_not_panic(sql in valid_sql(), at in 0usize..80, with in "[ -~]") {
+        let mut bytes = sql.into_bytes();
+        let at = at.min(bytes.len().saturating_sub(1));
+        if !bytes.is_empty() {
+            bytes[at] = with.as_bytes()[0];
+        }
+        if let Ok(mutated) = String::from_utf8(bytes) {
+            assert_typed_outcome(&mutated);
+        }
+    }
+
+    #[test]
+    fn unknown_names_bind_to_typed_errors(table in "[a-z]{1,6}", col in "[a-z]{1,6}") {
+        // Structurally valid SQL over names that (mostly) don't exist:
+        // exercises the binder's error paths rather than the parser's.
+        assert_typed_outcome(&format!("SELECT {col} FROM {table} WHERE {col} = 1"));
+    }
+
+    #[test]
+    fn pure_garbage_errors_not_panic(input in "[ -~]{0,60}") {
+        assert_typed_outcome(&input);
+    }
+}

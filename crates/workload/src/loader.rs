@@ -29,6 +29,27 @@ pub fn load_script(catalog: Catalog, script: &str) -> Result<Workload> {
     Ok(w)
 }
 
+/// Lenient form of [`load_script`] for production logs: statements that
+/// fail to parse or bind are skipped (returned with their statement index
+/// and error) instead of failing the whole load; cost annotations stay
+/// attached to the statements that survive.
+pub fn load_script_lenient(
+    catalog: Catalog,
+    script: &str,
+) -> (Workload, Vec<(usize, isum_common::Error)>) {
+    let (sqls, costs) = split_script(script);
+    let (mut w, skipped) = Workload::from_sql_lenient(catalog, &sqls);
+    let dropped: std::collections::HashSet<usize> = skipped.iter().map(|&(i, _)| i).collect();
+    let kept_costs =
+        costs.iter().enumerate().filter(|(i, _)| !dropped.contains(i)).map(|(_, c)| *c);
+    for (q, c) in w.queries.iter_mut().zip(kept_costs) {
+        if let Some(c) = c {
+            q.cost = c;
+        }
+    }
+    (w, skipped)
+}
+
 /// Splits a script into statements and their optional cost annotations.
 fn split_script(script: &str) -> (Vec<String>, Vec<Option<f64>>) {
     let mut sqls = Vec::new();
@@ -119,6 +140,29 @@ SELECT a FROM t WHERE b = 3;
     fn bad_statement_reports_index() {
         let err = load_script(catalog(), "SELECT a FROM t;\nSELECT FROM;").unwrap_err();
         assert!(err.to_string().contains("query #1"), "{err}");
+    }
+
+    #[test]
+    fn lenient_load_skips_bad_statements_and_keeps_costs() {
+        let script = "\
+-- cost: 10
+SELECT a FROM t WHERE b = 1;
+SELECT FROM;
+-- cost: 30
+SELECT a FROM t WHERE b = 3;
+SELECT a FROM no_such_table;
+";
+        let (w, skipped) = load_script_lenient(catalog(), script);
+        assert_eq!(w.len(), 2, "two good statements survive");
+        assert_eq!(skipped.len(), 2, "parse and bind failures are both skipped");
+        assert_eq!(skipped[0].0, 1);
+        assert_eq!(skipped[1].0, 3);
+        assert!(skipped[0].1.to_string().contains("parse"), "{}", skipped[0].1);
+        assert!(skipped[1].1.to_string().contains("bind"), "{}", skipped[1].1);
+        // Costs follow their surviving statements; ids are re-densified.
+        assert_eq!(w.queries[0].cost, 10.0);
+        assert_eq!(w.queries[1].cost, 30.0);
+        assert_eq!(w.queries[1].id.index(), 1);
     }
 
     #[test]

@@ -95,6 +95,48 @@ impl Workload {
         Ok(Workload { catalog, queries, templates, uid: next_uid() })
     }
 
+    /// Lenient form of [`Workload::from_sql`] for real-world query logs,
+    /// where a fraction of statements is routinely truncated or
+    /// malformed: unparseable/unbindable statements are skipped (counted
+    /// as `workload.parse_skipped` in telemetry) and returned with their
+    /// input index and typed error, while the remainder builds a dense
+    /// workload exactly as the strict form would have.
+    pub fn from_sql_lenient<S: AsRef<str>>(
+        catalog: Catalog,
+        sqls: &[S],
+    ) -> (Workload, Vec<(usize, Error)>) {
+        let binder = Binder::new(&catalog);
+        let mut templates = TemplateRegistry::new();
+        let mut queries = Vec::with_capacity(sqls.len());
+        let mut skipped = Vec::new();
+        for (i, sql) in sqls.iter().enumerate() {
+            let sql = sql.as_ref();
+            let analyzed = parse(sql).and_then(|stmt| {
+                let bound = binder.bind(&stmt)?;
+                Ok((stmt, bound))
+            });
+            let (stmt, bound) = match analyzed {
+                Ok(ok) => ok,
+                Err(e) => {
+                    isum_common::count!("workload.parse_skipped");
+                    skipped.push((i, annotate(e, i, sql)));
+                    continue;
+                }
+            };
+            let template = templates.intern(&stmt);
+            let class = QueryClass::classify(&bound);
+            queries.push(QueryInfo {
+                id: QueryId::from_index(queries.len()),
+                sql: sql.to_string(),
+                bound,
+                template,
+                cost: 0.0,
+                class,
+            });
+        }
+        (Workload { catalog, queries, templates, uid: next_uid() }, skipped)
+    }
+
     /// A process-unique identity for this workload, distinct across every
     /// workload constructed in the process (including dropped ones).
     /// Callers that key caches per workload — e.g. the what-if optimizer's

@@ -1,0 +1,81 @@
+//! Degraded-ingestion contract: a workload script containing unparseable
+//! or unbindable statements loads leniently — bad statements are skipped
+//! with typed errors, the compressor runs over the remainder, and the
+//! compressed weights are a proper distribution over surviving queries,
+//! identical to loading the clean script alone.
+
+use isum_advisor::{DtaAdvisor, IndexAdvisor, TuningConstraints};
+use isum_common::Error;
+use isum_core::{Compressor, Isum};
+use isum_optimizer::WhatIfOptimizer;
+use isum_workload::{load_script, load_script_lenient};
+
+const GOOD: [&str; 6] = [
+    "SELECT l_orderkey FROM lineitem WHERE l_quantity > 30;",
+    "SELECT l_orderkey, l_partkey FROM lineitem WHERE l_discount < 5;",
+    "SELECT o_orderkey FROM orders WHERE o_totalprice > 1000;",
+    "SELECT count(*) FROM orders GROUP BY o_orderpriority;",
+    "SELECT l_orderkey FROM lineitem, orders WHERE l_orderkey = o_orderkey;",
+    "SELECT sum(l_extendedprice) FROM lineitem WHERE l_shipdate > DATE '1995-01-01';",
+];
+
+const BAD: [&str; 3] = [
+    "SELEC l_orderkey FRM lineitem;", // parse failure
+    "SELECT l_orderkey FROM lineitem WHERE l_quantity > @@@;", // lex/parse failure
+    "SELECT l_orderkey FROM no_such_table WHERE 1=1;", // bind failure: unknown table
+];
+
+fn mixed_script() -> String {
+    // Interleave bad statements between good ones.
+    let mut lines = Vec::new();
+    for (i, good) in GOOD.iter().enumerate() {
+        if i < BAD.len() {
+            lines.push(BAD[i]);
+        }
+        lines.push(good);
+    }
+    lines.join("\n")
+}
+
+#[test]
+fn lenient_load_compresses_over_surviving_queries() {
+    let catalog = isum_workload::gen::tpch::tpch_catalog(1);
+
+    let (mut dirty, skipped) = load_script_lenient(catalog.clone(), &mixed_script());
+    assert_eq!(skipped.len(), BAD.len(), "every bad statement skipped: {skipped:?}");
+    assert_eq!(dirty.len(), GOOD.len(), "every good statement survives");
+    for (i, e) in &skipped {
+        assert!(
+            matches!(e, Error::Parse { .. } | Error::Lex { .. } | Error::Bind(_)),
+            "statement {i} skipped with unexpected error {e:?}"
+        );
+    }
+
+    // The surviving workload is exactly the clean script's workload.
+    let mut clean = load_script(catalog, &GOOD.join("\n")).expect("clean script loads");
+    assert_eq!(dirty.len(), clean.len());
+    for (d, c) in dirty.queries.iter().zip(&clean.queries) {
+        assert_eq!(d.sql, c.sql);
+    }
+
+    // Compression over the remainder matches the clean workload: same
+    // selection, same weights (a proper distribution over survivors).
+    isum_optimizer::populate_costs(&mut dirty);
+    isum_optimizer::populate_costs(&mut clean);
+    let k = 3;
+    let cw_dirty = Isum::new().compress(&dirty, k).expect("dirty remainder compresses");
+    let cw_clean = Isum::new().compress(&clean, k).expect("clean workload compresses");
+    assert_eq!(cw_dirty.entries, cw_clean.entries, "weights preserved over the remainder");
+    let total: f64 = cw_dirty.entries.iter().map(|&(_, w)| w).sum();
+    assert!((total - 1.0).abs() < 1e-9, "weights normalize over survivors, got {total}");
+
+    // And the remainder tunes end to end.
+    let opt = WhatIfOptimizer::new(&dirty.catalog);
+    let cfg = DtaAdvisor::new().recommend(
+        &opt,
+        &dirty,
+        &cw_dirty,
+        &TuningConstraints::with_max_indexes(4),
+    );
+    assert!(opt.improvement_pct(&dirty, &cfg) >= 0.0);
+}
