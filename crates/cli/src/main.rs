@@ -1,15 +1,21 @@
 //! `isum` — command-line workload compression and index tuning.
 //!
 //! ```text
-//! isum compress --schema schema.json --workload workload.sql -k 20 [--variant isum|isum-s|all-pairs]
+//! isum compress --schema schema.json --workload workload.sql -k 20 [--variant isum|isum-s|all-pairs] [--json]
 //! isum tune     --schema schema.json --workload workload.sql -k 20 -m 16 [--advisor dta|dexter] [--report]
 //! isum explain  --schema schema.json --workload workload.sql --query 3 [--tuned]
+//! isum dump     --workload gen:tpch:1:200:42 [--out workload.sql]
+//! isum serve    --schema tpch:1 --listen 127.0.0.1:7071 [--checkpoint state.json] [--queue-cap 64]
+//! isum client   <ingest|summary|tune|healthz|telemetry|shutdown> --server 127.0.0.1:7071 ...
 //! ```
 //!
-//! The schema is a JSON statistics document (see `schema.rs`); the workload
-//! is a `;`-separated SQL script, optionally with `-- cost: <value>`
-//! annotations carrying logged costs (missing costs are filled by the
-//! bundled what-if optimizer).
+//! The schema is a JSON statistics document (see `schema.rs`) or a builtin
+//! spec (`tpch:<sf>`, `tpcds:<sf>`); the workload is a `;`-separated SQL
+//! script, optionally with `-- cost: <value>` annotations carrying logged
+//! costs (missing costs are filled by the bundled what-if optimizer), or a
+//! generator spec (`gen:tpch:<sf>:<n>:<seed>`, `gen:dsb:<sf>:<n>:<seed>`).
+//! `isum serve` runs the online compression daemon of DESIGN.md §10; `isum
+//! client` talks to it over its HTTP API.
 //!
 //! Passing `--stats` (or setting `ISUM_TELEMETRY=1`) enables the
 //! [`isum_common::telemetry`] registry and prints a phase/counter table
@@ -25,11 +31,13 @@ mod schema;
 use std::process::ExitCode;
 
 use isum_advisor::{DexterAdvisor, DtaAdvisor, IndexAdvisor, TuningConstraints, TuningReport};
+use isum_catalog::Catalog;
 use isum_common::telemetry;
 use isum_common::{Error, Result};
 use isum_core::{Compressor, Isum, IsumConfig};
 use isum_optimizer::{CostModel, IndexConfig, WhatIfOptimizer};
-use isum_workload::{load_script, Workload};
+use isum_server::{install_signal_handlers, summary_to_json, Client, Server, ServerConfig};
+use isum_workload::{load_script, split_script, Workload};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,7 +55,16 @@ fn run(args: &[String]) -> Result<()> {
         print_usage();
         return Err(Error::InvalidConfig("missing command".into()));
     };
-    let opts = Options::parse(&args[1..])?;
+    // `client` takes a verb before its flags: `isum client summary ...`.
+    let (verb, flags) = if command == "client" {
+        match args.get(1) {
+            Some(v) if !v.starts_with('-') => (Some(v.as_str()), &args[2..]),
+            _ => (None, &args[1..]),
+        }
+    } else {
+        (None, &args[1..])
+    };
+    let opts = Options::parse(flags)?;
     telemetry::init_from_env();
     isum_faults::init_from_env()
         .map_err(|e| Error::InvalidConfig(format!("invalid ISUM_FAULTS: {e}")))?;
@@ -65,6 +82,9 @@ fn run(args: &[String]) -> Result<()> {
         "compress" => compress(&opts),
         "tune" => tune(&opts),
         "explain" => explain(&opts),
+        "dump" => dump(&opts),
+        "serve" => serve(&opts),
+        "client" => client_cmd(verb, &opts),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())
@@ -88,7 +108,12 @@ fn print_usage() {
         "usage:\n  \
          isum compress --schema <json> --workload <sql> -k <n> [--variant isum|isum-s|all-pairs]\n  \
          isum tune     --schema <json> --workload <sql> -k <n> [-m <indexes>] [--advisor dta|dexter] [--budget-bytes <n>] [--report]\n  \
-         isum explain  --schema <json> --workload <sql> --query <idx> [--tuned]\n\
+         isum explain  --schema <json> --workload <sql> --query <idx> [--tuned]\n  \
+         isum dump     --workload gen:<kind>:<sf>:<n>:<seed> [--out <file>]\n  \
+         isum serve    --schema <json|tpch:sf|tpcds:sf|dsb:sf> [--listen <addr>]\n                \
+         [--checkpoint <file>] [--queue-cap <n>] [--variant <v>]\n  \
+         isum client   <ingest|summary|tune|healthz|telemetry|shutdown> --server <addr>\n                \
+         [--workload <sql|gen:spec>] [-k <n>] [-m <n>] [--batch <n>]\n\
          any command accepts --stats (or ISUM_TELEMETRY=1) to print a telemetry table,\n\
          --threads <n> (or ISUM_THREADS=<n>) to size the worker pool (1 = sequential),\n\
          and --faults <spec> (or ISUM_FAULTS=<spec>) for deterministic fault injection\n\
@@ -111,6 +136,13 @@ struct Options {
     stats: bool,
     threads: Option<usize>,
     faults: Option<String>,
+    json: bool,
+    out: Option<String>,
+    listen: String,
+    checkpoint: Option<String>,
+    queue_cap: usize,
+    server: Option<String>,
+    batch: usize,
 }
 
 impl Options {
@@ -129,6 +161,13 @@ impl Options {
             stats: false,
             threads: None,
             faults: None,
+            json: false,
+            out: None,
+            listen: "127.0.0.1:7071".into(),
+            checkpoint: None,
+            queue_cap: 64,
+            server: None,
+            batch: 32,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -172,6 +211,27 @@ impl Options {
                     o.threads = Some(n);
                 }
                 "--faults" => o.faults = Some(value("--faults")?),
+                "--out" => o.out = Some(value("--out")?),
+                "--listen" => o.listen = value("--listen")?,
+                "--checkpoint" => o.checkpoint = Some(value("--checkpoint")?),
+                "--server" => o.server = Some(value("--server")?),
+                "--queue-cap" => {
+                    o.queue_cap = value("--queue-cap")?.parse().map_err(|_| {
+                        Error::InvalidConfig("--queue-cap must be an integer".into())
+                    })?;
+                    if o.queue_cap == 0 {
+                        return Err(Error::InvalidConfig("--queue-cap must be at least 1".into()));
+                    }
+                }
+                "--batch" => {
+                    o.batch = value("--batch")?
+                        .parse()
+                        .map_err(|_| Error::InvalidConfig("--batch must be an integer".into()))?;
+                    if o.batch == 0 {
+                        return Err(Error::InvalidConfig("--batch must be at least 1".into()));
+                    }
+                }
+                "--json" => o.json = true,
                 "--report" => o.report = true,
                 "--tuned" => o.tuned = true,
                 "--stats" => o.stats = true,
@@ -184,18 +244,21 @@ impl Options {
     }
 
     fn load(&self) -> Result<Workload> {
-        let schema_path = self
-            .schema
-            .as_ref()
-            .ok_or_else(|| Error::InvalidConfig("--schema is required".into()))?;
-        let workload_path = self
+        let workload_spec = self
             .workload
             .as_ref()
             .ok_or_else(|| Error::InvalidConfig("--workload is required".into()))?;
-        let schema_json = std::fs::read_to_string(schema_path)?;
-        let script = std::fs::read_to_string(workload_path)?;
-        let catalog = schema::parse_schema(&schema_json)?;
-        let mut w = load_script(catalog, &script)?;
+        let mut w = if let Some(spec) = workload_spec.strip_prefix("gen:") {
+            gen_workload(spec)?
+        } else {
+            let schema_spec = self
+                .schema
+                .as_ref()
+                .ok_or_else(|| Error::InvalidConfig("--schema is required".into()))?;
+            let script = std::fs::read_to_string(workload_spec)?;
+            let catalog = resolve_catalog(schema_spec)?;
+            load_script(catalog, &script)?
+        };
         if w.is_empty() {
             return Err(Error::InvalidConfig("workload script has no statements".into()));
         }
@@ -243,6 +306,16 @@ impl Options {
 fn compress(opts: &Options) -> Result<()> {
     let w = opts.load()?;
     let compressed = opts.compressor()?.compress(&w, opts.k)?;
+    if opts.json {
+        // The canonical summary document — identical to what a live
+        // `GET /summary?k=N` returns for the same statements, so batch
+        // and served output can be compared byte for byte.
+        println!(
+            "{}",
+            summary_to_json(opts.k, w.len(), w.template_count(), &compressed.entries).to_pretty()
+        );
+        return Ok(());
+    }
     println!(
         "selected {} of {} queries ({} templates):",
         compressed.len(),
@@ -321,6 +394,188 @@ fn explain(opts: &Options) -> Result<()> {
         }
         None => println!("(no tables referenced)"),
     }
+    Ok(())
+}
+
+/// Resolves a `--schema` spec: a builtin catalog (`tpch:<sf>`,
+/// `tpcds:<sf>`, `dsb:<sf>`) or a JSON statistics document on disk.
+fn resolve_catalog(spec: &str) -> Result<Catalog> {
+    let sf = |rest: &str| -> Result<u64> {
+        rest.parse()
+            .map_err(|_| Error::InvalidConfig(format!("scale factor `{rest}` must be an integer")))
+    };
+    if let Some(rest) = spec.strip_prefix("tpch:") {
+        return Ok(isum_workload::gen::tpch_catalog(sf(rest)?));
+    }
+    if let Some(rest) = spec.strip_prefix("tpcds:") {
+        return Ok(isum_workload::gen::tpcds_catalog(sf(rest)?, 0.0));
+    }
+    if let Some(rest) = spec.strip_prefix("dsb:") {
+        return Ok(isum_workload::gen::dsb::dsb_catalog(sf(rest)?));
+    }
+    schema::parse_schema(&std::fs::read_to_string(spec)?)
+}
+
+/// Instantiates a `gen:` workload spec: `<kind>:<sf>:<n>:<seed>` for
+/// `tpch`/`tpcds`/`dsb`, or `realm:<n>:<seed>` (Real-M has no scale knob).
+fn gen_workload(spec: &str) -> Result<Workload> {
+    let bad = || {
+        Error::InvalidConfig(format!(
+            "bad generator spec `gen:{spec}` \
+             (expected gen:tpch|tpcds|dsb:<sf>:<n>:<seed> or gen:realm:<n>:<seed>)"
+        ))
+    };
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| s.parse::<u64>().map_err(|_| bad());
+    match parts.as_slice() {
+        ["realm", n, seed] => {
+            isum_workload::gen::realm_workload_sized(num(n)? as usize, num(seed)?)
+        }
+        [kind, sf, n, seed] => {
+            let (sf, n, seed) = (num(sf)?, num(n)? as usize, num(seed)?);
+            match *kind {
+                "tpch" => isum_workload::gen::tpch_workload(sf, n, seed),
+                "tpcds" => isum_workload::gen::tpcds_workload(sf, n, seed),
+                "dsb" => isum_workload::gen::dsb_workload(sf, n, seed),
+                _ => Err(bad()),
+            }
+        }
+        _ => Err(bad()),
+    }
+}
+
+/// Renders a workload back to a `;`-separated script with `-- cost:`
+/// annotations. Rust's shortest-round-trip float formatting makes the
+/// annotations lossless, so loading the dump reproduces the costs exactly.
+fn render_script(w: &Workload) -> String {
+    let mut out = String::new();
+    for q in &w.queries {
+        if q.cost > 0.0 {
+            out.push_str(&format!("-- cost: {}\n", q.cost));
+        }
+        out.push_str(q.sql.trim_end_matches(';'));
+        out.push_str(";\n");
+    }
+    out
+}
+
+fn dump(opts: &Options) -> Result<()> {
+    let w = opts.load()?;
+    let script = render_script(&w);
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, &script)?;
+            eprintln!("wrote {} statements to {path}", w.len());
+        }
+        None => print!("{script}"),
+    }
+    Ok(())
+}
+
+fn serve(opts: &Options) -> Result<()> {
+    let schema_spec = opts
+        .schema
+        .as_ref()
+        .ok_or_else(|| Error::InvalidConfig("serve requires --schema".into()))?;
+    let mut config = ServerConfig::new(resolve_catalog(schema_spec)?);
+    config.isum = match opts.variant.as_str() {
+        "isum" => IsumConfig::isum(),
+        "isum-s" => IsumConfig::isum_s(),
+        "all-pairs" => IsumConfig::all_pairs(),
+        other => {
+            return Err(Error::InvalidConfig(format!(
+                "unknown variant `{other}` (isum | isum-s | all-pairs)"
+            )))
+        }
+    };
+    config.checkpoint = opts.checkpoint.as_ref().map(std::path::PathBuf::from);
+    config.queue_cap = opts.queue_cap;
+    install_signal_handlers();
+    let server = Server::bind(&opts.listen, config)?;
+    eprintln!("isum-serve listening on {}", server.addr());
+    server.join(); // until SIGTERM/SIGINT or POST /shutdown
+    eprintln!("isum-serve drained and exited cleanly");
+    Ok(())
+}
+
+fn client_cmd(verb: Option<&str>, opts: &Options) -> Result<()> {
+    let addr = opts
+        .server
+        .as_ref()
+        .ok_or_else(|| Error::InvalidConfig("client requires --server <addr>".into()))?;
+    let client = Client::new(addr.clone());
+    let show = |resp: isum_server::ApiResponse| -> Result<()> {
+        print!("{}", resp.body);
+        if resp.status >= 400 {
+            return Err(Error::InvalidConfig(format!("server answered {}", resp.status)));
+        }
+        Ok(())
+    };
+    let send = |r: std::io::Result<isum_server::ApiResponse>| -> Result<()> { show(r?) };
+    match verb {
+        Some("healthz") => send(client.healthz()),
+        Some("telemetry") => send(client.telemetry()),
+        Some("shutdown") => send(client.shutdown()),
+        Some("summary") => send(client.summary(opts.k)),
+        Some("tune") => {
+            let mut target = format!("/tune?k={}&m={}&advisor={}", opts.k, opts.m, opts.advisor);
+            if let Some(b) = opts.budget_bytes {
+                target.push_str(&format!("&budget_bytes={b}"));
+            }
+            send(client.post(&target, ""))
+        }
+        Some("ingest") => client_ingest(&client, opts),
+        other => Err(Error::InvalidConfig(format!(
+            "client verb {} (expected ingest | summary | tune | healthz | telemetry | shutdown)",
+            other.map_or("missing".into(), |v| format!("`{v}`"))
+        ))),
+    }
+}
+
+/// Streams a workload to the server as sequenced batches of `--batch`
+/// statements, retrying through backpressure; prints one ack per batch.
+fn client_ingest(client: &Client, opts: &Options) -> Result<()> {
+    let spec = opts
+        .workload
+        .as_ref()
+        .ok_or_else(|| Error::InvalidConfig("client ingest requires --workload".into()))?;
+    let script = if let Some(gen) = spec.strip_prefix("gen:") {
+        render_script(&gen_workload(gen)?)
+    } else {
+        std::fs::read_to_string(spec)?
+    };
+    let (sqls, costs) = split_script(&script);
+    if sqls.is_empty() {
+        return Err(Error::InvalidConfig("workload script has no statements".into()));
+    }
+    let mut applied = 0u64;
+    let mut rejected = 0u64;
+    for (seq, chunk) in sqls.chunks(opts.batch).enumerate() {
+        let mut batch = String::new();
+        for (j, sql) in chunk.iter().enumerate() {
+            if let Some(c) = costs[seq * opts.batch + j] {
+                batch.push_str(&format!("-- cost: {c}\n"));
+            }
+            batch.push_str(sql.trim_end_matches(';'));
+            batch.push_str(";\n");
+        }
+        let resp = client
+            .ingest_with_retry(&batch, Some(seq as u64), 600)
+            .map_err(|e| Error::Io(format!("ingest seq {seq}: {e}")))?;
+        if resp.status != 200 {
+            return Err(Error::Io(format!(
+                "ingest seq {seq} failed ({}): {}",
+                resp.status, resp.body
+            )));
+        }
+        applied += resp.field("applied").and_then(|v| v.as_u64()).unwrap_or(0);
+        rejected += resp.field("rejected").and_then(|v| v.as_array()).map_or(0, |r| r.len() as u64);
+    }
+    println!(
+        "ingested {} statements in {} batches ({applied} applied, {rejected} rejected)",
+        sqls.len(),
+        sqls.len().div_ceil(opts.batch),
+    );
     Ok(())
 }
 

@@ -1,0 +1,39 @@
+//! Bit-exact `f64` text encoding.
+//!
+//! The determinism contract (DESIGN.md §5) promises bit-identical results,
+//! and JSON decimal round-tripping is not bit-exact. Every persisted `f64`
+//! — experiment checkpoints, the server's state checkpoint, `/summary`
+//! wire weights — is therefore written as its 16-hex-digit IEEE-754 bit
+//! pattern and restored via [`f64::from_bits`], which preserves every
+//! value including `-0.0` and NaN payloads.
+
+/// Encodes a float as its 16-hex-digit IEEE-754 bit pattern.
+pub fn hex_bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Decodes [`hex_bits`] output; `None` when the text is not hexadecimal.
+pub fn unhex_bits(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_bit_pattern_class() {
+        for v in [0.0, -0.0, 1.0 / 3.0, f64::MAX, f64::MIN_POSITIVE, -1e300, f64::INFINITY] {
+            let back = unhex_bits(&hex_bits(v)).expect("valid hex");
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        assert!(unhex_bits(&hex_bits(f64::NAN)).expect("valid hex").is_nan());
+        assert_eq!(hex_bits(-0.0), "8000000000000000", "sign bit survives");
+    }
+
+    #[test]
+    fn rejects_non_hex() {
+        assert_eq!(unhex_bits("not hex"), None);
+        assert_eq!(unhex_bits(""), None);
+    }
+}

@@ -95,6 +95,19 @@ impl ErrorClass {
             _ => None,
         }
     }
+
+    /// HTTP status the serving layer maps this class to: transient
+    /// failures are `503 Service Unavailable` (the client may retry),
+    /// permanent failures are `400 Bad Request` (retrying the same input
+    /// cannot help), and budget exhaustion is `429 Too Many Requests`
+    /// (back off until quota frees up).
+    pub fn http_status(self) -> u16 {
+        match self {
+            ErrorClass::Transient => 503,
+            ErrorClass::Permanent => 400,
+            ErrorClass::Budget => 429,
+        }
+    }
 }
 
 /// Result alias for fallible resilience-aware paths.
@@ -144,6 +157,11 @@ impl IsumError {
     /// True when the degradation policy should retry.
     pub fn is_transient(&self) -> bool {
         self.class == ErrorClass::Transient
+    }
+
+    /// HTTP status for this error (see [`ErrorClass::http_status`]).
+    pub fn http_status(&self) -> u16 {
+        self.class.http_status()
     }
 }
 
@@ -203,6 +221,14 @@ mod tests {
         let from_io: IsumError =
             std::io::Error::new(std::io::ErrorKind::Interrupted, "EINTR").into();
         assert_eq!(from_io.class(), ErrorClass::Transient);
+    }
+
+    #[test]
+    fn http_status_mapping_is_stable() {
+        assert_eq!(ErrorClass::Transient.http_status(), 503);
+        assert_eq!(ErrorClass::Permanent.http_status(), 400);
+        assert_eq!(ErrorClass::Budget.http_status(), 429);
+        assert_eq!(IsumError::budget("whatif quota").http_status(), 429);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! workload-compression telemetry layer ([`telemetry`]) every other crate
 //! reports spans and counters through.
 
+pub mod bits;
 pub mod error;
 pub mod ids;
 pub mod json;
@@ -15,6 +16,7 @@ pub mod rng;
 pub mod stats;
 pub mod telemetry;
 
+pub use bits::{hex_bits, unhex_bits};
 pub use error::{Error, ErrorClass, IsumError, IsumResult, Result};
 pub use ids::{ColumnId, GlobalColumnId, IndexId, QueryId, TableId, TemplateId};
 pub use json::Json;

@@ -178,8 +178,13 @@ impl Featurizer {
             if !self.use_table_weight || total_rows == 0 {
                 1.0
             } else {
-                let rows = tables.iter().find(|(tt, _)| *tt == t).expect("seen table").1;
-                rows as f64 / total_rows as f64
+                // Every queried table was collected above; an unknown id
+                // (impossible today) degrades to the neutral weight rather
+                // than panicking (no-panic contract, DESIGN.md §9).
+                match tables.iter().find(|(tt, _)| *tt == t) {
+                    Some(&(_, rows)) => rows as f64 / total_rows as f64,
+                    None => 1.0,
+                }
             }
         };
         let raw: Vec<f64> = match self.scheme {

@@ -9,9 +9,20 @@
 //! far. Observing more queries never requires re-processing earlier ones —
 //! the expensive part of preprocessing is incremental; only the final
 //! greedy selection runs on demand.
+//!
+//! [`IncrementalIsum::select`] runs the *identical* pipeline as the batch
+//! [`crate::Isum`]'s [`compress`](crate::Compressor::compress) — same
+//! utilities, same greedy selection, same
+//! Alg 4 + Alg 5 weighting — so for the same observed queries the streamed
+//! result is bit-identical to the batch result (pinned by the
+//! streaming/batch equivalence tests). The accumulated state also
+//! serializes to a crash-safe [`snapshot`](IncrementalIsum::snapshot) and
+//! [`restore`](IncrementalIsum::restore)s bit-exactly, which is how the
+//! serving daemon (`crates/server`) survives a SIGKILL.
 
 use isum_catalog::Catalog;
-use isum_common::{QueryId, Result, TemplateId};
+use isum_common::{hex_bits, unhex_bits, Json};
+use isum_common::{ColumnId, GlobalColumnId, QueryId, Result, TableId, TemplateId};
 use isum_sql::TemplateRegistry;
 use isum_workload::{indexable_columns, QueryInfo, Workload};
 
@@ -21,6 +32,7 @@ use crate::features::{FeatureVec, Featurizer};
 use crate::isum::{Algorithm, IsumConfig};
 use crate::summary::select_summary;
 use crate::utility::UtilityMode;
+use crate::weighting::weigh_selected;
 use isum_workload::CompressedWorkload;
 
 /// Streaming ISUM: observe queries as they arrive, select any time.
@@ -53,9 +65,21 @@ impl IncrementalIsum {
         }
     }
 
+    /// The configuration this compressor was built with.
+    pub fn config(&self) -> IsumConfig {
+        self.config
+    }
+
     /// Observes one query (with its cost already set). O(features of q).
-    pub fn observe(&mut self, q: &QueryInfo, catalog: &Catalog) {
+    ///
+    /// # Errors
+    /// Propagates a parse error when `q.sql` no longer parses (a corrupted
+    /// `QueryInfo`); the observer's state is unchanged in that case.
+    pub fn observe(&mut self, q: &QueryInfo, catalog: &Catalog) -> Result<()> {
         let _s = isum_common::telemetry::span("incremental");
+        // Template interning re-parses the SQL; do it first so a failure
+        // leaves no partial state behind.
+        let stmt = isum_sql::parse(&q.sql)?;
         isum_common::count!("core.incremental.observed");
         let cols = indexable_columns(&q.bound, catalog);
         self.features.push(self.featurizer.features(&cols, catalog));
@@ -67,16 +91,20 @@ impl IncrementalIsum {
         };
         self.raw_reductions.push(delta);
         self.costs.push(q.cost);
-        let stmt = isum_sql::parse(&q.sql).expect("previously parsed SQL re-parses");
         let t = self.templates.intern(&stmt);
         self.template_of.push(t);
+        Ok(())
     }
 
     /// Observes every query of a workload, in order.
-    pub fn observe_workload(&mut self, w: &Workload) {
+    ///
+    /// # Errors
+    /// Propagates the first [`observe`](Self::observe) failure.
+    pub fn observe_workload(&mut self, w: &Workload) -> Result<()> {
         for q in &w.queries {
-            self.observe(q, &w.catalog);
+            self.observe(q, &w.catalog)?;
         }
+        Ok(())
     }
 
     /// Number of queries observed so far.
@@ -89,9 +117,10 @@ impl IncrementalIsum {
         self.features.is_empty()
     }
 
-    /// Selects `k` queries from everything observed so far. Weights are the
-    /// normalized selection benefits (the full recalibration of Alg 5 needs
-    /// the closed workload, which streaming deliberately avoids).
+    /// Selects `k` queries from everything observed so far, weighted with
+    /// the configured strategy (by default Alg 4 template redistribution +
+    /// Alg 5 recalibration — the same pipeline as the batch compressor, so
+    /// streamed and batch results are bit-identical for the same input).
     ///
     /// # Errors
     /// `InvalidConfig` when `k == 0` or nothing has been observed.
@@ -103,34 +132,42 @@ impl IncrementalIsum {
             return Err(isum_common::Error::InvalidConfig("no queries observed".into()));
         }
         let _s = isum_common::telemetry::span("incremental");
+        // Same normalization as `utility::utilities` on the batch path.
         let total: f64 = self.raw_reductions.iter().sum();
-        let utilities: Vec<f64> = if total > 0.0 {
-            self.raw_reductions.iter().map(|r| r / total).collect()
-        } else {
+        let utilities: Vec<f64> = if total <= 0.0 {
             vec![0.0; self.len()]
+        } else {
+            self.raw_reductions.iter().map(|r| r / total).collect()
         };
         let selection: Selection = match self.config.algorithm {
             Algorithm::SummaryFeatures => select_summary(
                 self.features.clone(),
                 &self.features,
-                utilities,
+                utilities.clone(),
                 k,
                 self.config.update,
             ),
             Algorithm::AllPairs => allpairs::select_all_pairs(
                 self.features.clone(),
                 &self.features,
-                utilities,
+                utilities.clone(),
                 k,
                 self.config.update,
             ),
         };
+        let weights = weigh_selected(
+            self.config.weighting,
+            &self.template_of,
+            &selection,
+            &self.features,
+            &utilities,
+        );
         let mut cw = CompressedWorkload {
             entries: selection
                 .order
                 .iter()
-                .zip(&selection.benefits)
-                .map(|(&i, &b)| (QueryId::from_index(i), b.max(0.0)))
+                .zip(weights)
+                .map(|(&i, w)| (QueryId::from_index(i), w))
                 .collect(),
         };
         cw.normalize_weights();
@@ -141,11 +178,117 @@ impl IncrementalIsum {
     pub fn template_count(&self) -> usize {
         self.templates.len()
     }
+
+    /// Serializes the observed state to JSON. Every `f64` is stored as its
+    /// IEEE-754 bit pattern ([`isum_common::hex_bits`]), so
+    /// [`restore`](Self::restore) rebuilds the state bit-exactly and a
+    /// post-restore [`select`](Self::select) returns the same compressed
+    /// workload as the original instance would have.
+    pub fn snapshot(&self) -> Json {
+        let queries: Vec<Json> = (0..self.len())
+            .map(|i| {
+                let feats: Vec<Json> = self.features[i]
+                    .entries()
+                    .iter()
+                    .map(|(g, w)| {
+                        Json::Arr(vec![
+                            Json::from(g.table.index()),
+                            Json::from(g.column.index()),
+                            Json::from(hex_bits(*w)),
+                        ])
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("features".into(), Json::Arr(feats)),
+                    ("delta_bits".into(), Json::from(hex_bits(self.raw_reductions[i]))),
+                    ("cost_bits".into(), Json::from(hex_bits(self.costs[i]))),
+                    ("template".into(), Json::from(self.template_of[i].index())),
+                ])
+            })
+            .collect();
+        let fps: Vec<Json> = (0..self.templates.len())
+            .map(|t| Json::from(self.templates.fingerprint_of(TemplateId::from_index(t))))
+            .collect();
+        Json::Obj(vec![
+            ("version".into(), Json::from(1u64)),
+            ("templates".into(), Json::Arr(fps)),
+            ("queries".into(), Json::Arr(queries)),
+        ])
+    }
+
+    /// Rebuilds an observer from a [`snapshot`](Self::snapshot).
+    ///
+    /// # Errors
+    /// `Io` when the snapshot is structurally corrupt (missing fields, bad
+    /// bit patterns, out-of-range template references).
+    pub fn restore(config: IsumConfig, snapshot: &Json) -> Result<Self> {
+        fn corrupt(what: &str) -> isum_common::Error {
+            isum_common::Error::Io(format!("corrupt IncrementalIsum snapshot: {what}"))
+        }
+        let mut inc = Self::new(config);
+        let fps = snapshot
+            .get("templates")
+            .and_then(Json::as_array)
+            .ok_or_else(|| corrupt("missing `templates`"))?;
+        for fp in fps {
+            let fp = fp.as_str().ok_or_else(|| corrupt("non-string template fingerprint"))?;
+            inc.templates.intern_fingerprint(fp.to_string());
+        }
+        let queries = snapshot
+            .get("queries")
+            .and_then(Json::as_array)
+            .ok_or_else(|| corrupt("missing `queries`"))?;
+        for q in queries {
+            let feats = q
+                .get("features")
+                .and_then(Json::as_array)
+                .ok_or_else(|| corrupt("missing `features`"))?;
+            let mut entries = Vec::with_capacity(feats.len());
+            for f in feats {
+                let triple = f.as_array().ok_or_else(|| corrupt("non-array feature"))?;
+                let [t, c, w] = triple else {
+                    return Err(corrupt("feature is not [table, column, bits]"));
+                };
+                let gid = GlobalColumnId::new(
+                    TableId::from_index(
+                        t.as_u64().ok_or_else(|| corrupt("feature table id"))? as usize
+                    ),
+                    ColumnId::from_index(
+                        c.as_u64().ok_or_else(|| corrupt("feature column id"))? as usize
+                    ),
+                );
+                let w = w
+                    .as_str()
+                    .and_then(unhex_bits)
+                    .ok_or_else(|| corrupt("feature weight bits"))?;
+                entries.push((gid, w));
+            }
+            inc.features.push(FeatureVec::from_entries(entries));
+            let bits = |key: &str| -> Result<f64> {
+                q.get(key)
+                    .and_then(Json::as_str)
+                    .and_then(unhex_bits)
+                    .ok_or_else(|| corrupt(&format!("`{key}`")))
+            };
+            inc.raw_reductions.push(bits("delta_bits")?);
+            inc.costs.push(bits("cost_bits")?);
+            let t = q
+                .get("template")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| corrupt("missing `template`"))? as usize;
+            if t >= inc.templates.len() {
+                return Err(corrupt("template index out of range"));
+            }
+            inc.template_of.push(TemplateId::from_index(t));
+        }
+        Ok(inc)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Compressor;
     use isum_catalog::CatalogBuilder;
 
     fn workload() -> Workload {
@@ -173,30 +316,29 @@ mod tests {
     }
 
     #[test]
-    fn streaming_matches_batch_selection_order() {
+    fn streaming_matches_batch_bit_identically() {
         let w = workload();
         let mut inc = IncrementalIsum::new(IsumConfig::isum());
-        inc.observe_workload(&w);
+        inc.observe_workload(&w).expect("observes");
         let streamed = inc.select(3).expect("valid state");
-        let batch = crate::Isum::new().select(&w, 3);
-        assert_eq!(
-            streamed.ids().iter().map(|i| i.index()).collect::<Vec<_>>(),
-            batch.order,
-            "same inputs, same greedy choices"
-        );
+        let batch = crate::Isum::new().compress(&w, 3).expect("compresses");
+        assert_eq!(streamed.ids(), batch.ids(), "same inputs, same greedy choices");
+        for ((_, sw), (_, bw)) in streamed.entries.iter().zip(&batch.entries) {
+            assert_eq!(sw.to_bits(), bw.to_bits(), "weights must be bit-identical");
+        }
     }
 
     #[test]
     fn can_select_between_observations() {
         let w = workload();
         let mut inc = IncrementalIsum::new(IsumConfig::isum());
-        inc.observe(&w.queries[0], &w.catalog);
-        inc.observe(&w.queries[1], &w.catalog);
+        inc.observe(&w.queries[0], &w.catalog).expect("observes");
+        inc.observe(&w.queries[1], &w.catalog).expect("observes");
         let early = inc.select(1).expect("valid state");
         assert_eq!(early.len(), 1);
-        inc.observe(&w.queries[2], &w.catalog);
-        inc.observe(&w.queries[3], &w.catalog);
-        inc.observe(&w.queries[4], &w.catalog);
+        inc.observe(&w.queries[2], &w.catalog).expect("observes");
+        inc.observe(&w.queries[3], &w.catalog).expect("observes");
+        inc.observe(&w.queries[4], &w.catalog).expect("observes");
         let late = inc.select(3).expect("valid state");
         assert_eq!(late.len(), 3);
         assert_eq!(inc.len(), 5);
@@ -209,17 +351,58 @@ mod tests {
         assert!(inc.select(1).is_err());
         let w = workload();
         let mut inc = IncrementalIsum::new(IsumConfig::isum());
-        inc.observe_workload(&w);
+        inc.observe_workload(&w).expect("observes");
         assert!(inc.select(0).is_err());
+    }
+
+    #[test]
+    fn corrupted_sql_is_an_error_not_a_panic() {
+        let w = workload();
+        let mut q = w.queries[0].clone();
+        q.sql = "SELECT FROM".into();
+        let mut inc = IncrementalIsum::new(IsumConfig::isum());
+        assert!(inc.observe(&q, &w.catalog).is_err());
+        assert!(inc.is_empty(), "failed observe leaves no partial state");
     }
 
     #[test]
     fn weights_are_normalized() {
         let w = workload();
         let mut inc = IncrementalIsum::new(IsumConfig::isum());
-        inc.observe_workload(&w);
+        inc.observe_workload(&w).expect("observes");
         let cw = inc.select(3).expect("valid state");
         let total: f64 = cw.entries.iter().map(|(_, wt)| wt).sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_exact() {
+        let w = workload();
+        let mut inc = IncrementalIsum::new(IsumConfig::isum());
+        inc.observe_workload(&w).expect("observes");
+        let snap = inc.snapshot();
+        // Through a serialize/parse round trip, like the server checkpoint.
+        let reparsed = Json::parse(&snap.to_pretty()).expect("snapshot is valid JSON");
+        let back = IncrementalIsum::restore(IsumConfig::isum(), &reparsed).expect("restores");
+        assert_eq!(back.len(), inc.len());
+        assert_eq!(back.template_count(), inc.template_count());
+        let a = inc.select(3).expect("selects");
+        let b = back.select(3).expect("selects");
+        assert_eq!(a.ids(), b.ids());
+        for ((_, wa), (_, wb)) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(wa.to_bits(), wb.to_bits());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_snapshots() {
+        let bad = Json::parse(r#"{"version": 1, "templates": ["fp"]}"#).expect("parses");
+        assert!(IncrementalIsum::restore(IsumConfig::isum(), &bad).is_err());
+        let bad = Json::parse(
+            r#"{"version": 1, "templates": [], "queries":
+               [{"features": [], "delta_bits": "xyz", "cost_bits": "0", "template": 0}]}"#,
+        )
+        .expect("parses");
+        assert!(IncrementalIsum::restore(IsumConfig::isum(), &bad).is_err());
     }
 }

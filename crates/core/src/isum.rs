@@ -193,7 +193,10 @@ impl Compressor for Isum {
             }
         };
         let _w = telemetry::span("weight");
-        let weights = weigh_selected(self.config.weighting, workload, &selection, &wf.original, &u);
+        let templates: Vec<isum_common::TemplateId> =
+            workload.queries.iter().map(|q| q.template).collect();
+        let weights =
+            weigh_selected(self.config.weighting, &templates, &selection, &wf.original, &u);
         let mut cw = CompressedWorkload {
             entries: selection
                 .order

@@ -11,7 +11,6 @@
 use std::collections::HashMap;
 
 use isum_common::TemplateId;
-use isum_workload::Workload;
 
 use crate::allpairs::Selection;
 use crate::features::FeatureVec;
@@ -37,9 +36,15 @@ pub enum WeightingStrategy {
 
 /// Computes the weight of every selected query (aligned with
 /// `selection.order`). Weights are normalized to sum to 1.
+///
+/// `templates` gives the template id of every workload query (aligned with
+/// `original_features`/`original_utilities`); taking the slice rather than
+/// a `Workload` lets the streaming compressor — which never materializes a
+/// closed workload — run the exact same Alg 4 + Alg 5 weighting as the
+/// batch path, keeping the two bit-identical.
 pub fn weigh_selected(
     strategy: WeightingStrategy,
-    workload: &Workload,
+    templates: &[TemplateId],
     selection: &Selection,
     original_features: &[FeatureVec],
     original_utilities: &[f64],
@@ -54,14 +59,13 @@ pub fn weigh_selected(
         WeightingStrategy::Recalibrated => {
             let utilities: Vec<f64> =
                 selection.order.iter().map(|&i| original_utilities[i]).collect();
-            let excluded = vec![false; workload.len()];
+            let excluded = vec![false; templates.len()];
             recalibrate(
                 selection,
                 &utilities,
                 original_features,
                 original_utilities,
                 &excluded,
-                workload,
                 false,
             )
         }
@@ -69,32 +73,30 @@ pub fn weigh_selected(
             // Algorithm 4: template-based utility computation.
             let mut freq: HashMap<TemplateId, usize> = HashMap::new();
             for &i in &selection.order {
-                *freq.entry(workload.queries[i].template).or_insert(0) += 1;
+                *freq.entry(templates[i]).or_insert(0) += 1;
             }
             let mut template_utility: HashMap<TemplateId, f64> = HashMap::new();
-            for (i, q) in workload.queries.iter().enumerate() {
-                if freq.contains_key(&q.template) {
-                    *template_utility.entry(q.template).or_insert(0.0) += original_utilities[i];
+            for (i, &t) in templates.iter().enumerate() {
+                if freq.contains_key(&t) {
+                    *template_utility.entry(t).or_insert(0.0) += original_utilities[i];
                 }
             }
             let utilities: Vec<f64> = selection
                 .order
                 .iter()
                 .map(|&i| {
-                    let t = workload.queries[i].template;
+                    let t = templates[i];
                     template_utility[&t] / freq[&t] as f64
                 })
                 .collect();
             // W' = W minus queries whose template matches a selected one.
-            let excluded: Vec<bool> =
-                workload.queries.iter().map(|q| freq.contains_key(&q.template)).collect();
+            let excluded: Vec<bool> = templates.iter().map(|t| freq.contains_key(t)).collect();
             recalibrate(
                 selection,
                 &utilities,
                 original_features,
                 original_utilities,
                 &excluded,
-                workload,
                 true,
             )
         }
@@ -104,17 +106,15 @@ pub fn weigh_selected(
 /// Algorithm 5: greedy re-weighing of the selected queries against a
 /// summary of the *unselected* workload, updating the remainder after each
 /// pick.
-#[allow(clippy::too_many_arguments)]
 fn recalibrate(
     selection: &Selection,
     selected_utilities: &[f64],
     original_features: &[FeatureVec],
     original_utilities: &[f64],
     excluded: &[bool],
-    workload: &Workload,
     template_mode: bool,
 ) -> Vec<f64> {
-    let n = workload.len();
+    let n = original_features.len();
     // Build the unselected pool W_u.
     let in_selection = {
         let mut v = vec![false; n];
@@ -139,7 +139,9 @@ fn recalibrate(
     let mut weights = vec![0.0; selection.order.len()];
     while !remaining.is_empty() {
         let summary = summary_features(&pool_features, &pool_utilities);
-        let (pos, benefit) = remaining
+        // `total_cmp` orders every f64 (no-panic contract, DESIGN.md §9);
+        // benefits are finite in practice, where it agrees with `<`.
+        let Some((pos, benefit)) = remaining
             .iter()
             .map(|&pos| {
                 let qi = selection.order[pos];
@@ -147,8 +149,10 @@ fn recalibrate(
                     selected_utilities[pos] + weighted_jaccard(&original_features[qi], &summary);
                 (pos, b)
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite benefits"))
-            .expect("non-empty remaining");
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+        else {
+            break;
+        };
         weights[pos] = benefit;
         remaining.retain(|&p| p != pos);
         // Update the pool with the chosen query's influence.
@@ -185,6 +189,7 @@ mod tests {
     use crate::features::{Featurizer, WorkloadFeatures};
     use crate::utility::{utilities, UtilityMode};
     use isum_catalog::CatalogBuilder;
+    use isum_workload::Workload;
 
     fn workload() -> Workload {
         let catalog = CatalogBuilder::new()
@@ -209,26 +214,27 @@ mod tests {
         w
     }
 
-    fn setup(w: &Workload) -> (Vec<FeatureVec>, Vec<f64>, Selection) {
+    fn setup(w: &Workload) -> (Vec<TemplateId>, Vec<FeatureVec>, Vec<f64>, Selection) {
         let wf = WorkloadFeatures::build(w, &Featurizer::default());
         let u = utilities(w, UtilityMode::CostOnly);
         let selection = Selection { order: vec![0, 3], benefits: vec![0.9, 0.2] };
-        (wf.original, u, selection)
+        let templates = w.queries.iter().map(|q| q.template).collect();
+        (templates, wf.original, u, selection)
     }
 
     #[test]
     fn uniform_weights_are_equal() {
         let w = workload();
-        let (f, u, sel) = setup(&w);
-        let ws = weigh_selected(WeightingStrategy::Uniform, &w, &sel, &f, &u);
+        let (t, f, u, sel) = setup(&w);
+        let ws = weigh_selected(WeightingStrategy::Uniform, &t, &sel, &f, &u);
         assert_eq!(ws, vec![0.5, 0.5]);
     }
 
     #[test]
     fn selection_benefit_normalizes_recorded_benefits() {
         let w = workload();
-        let (f, u, sel) = setup(&w);
-        let ws = weigh_selected(WeightingStrategy::SelectionBenefit, &w, &sel, &f, &u);
+        let (t, f, u, sel) = setup(&w);
+        let ws = weigh_selected(WeightingStrategy::SelectionBenefit, &t, &sel, &f, &u);
         assert!((ws[0] - 0.9 / 1.1).abs() < 1e-9);
         assert!((ws[1] - 0.2 / 1.1).abs() < 1e-9);
     }
@@ -236,14 +242,14 @@ mod tests {
     #[test]
     fn all_strategies_normalize_to_one() {
         let w = workload();
-        let (f, u, sel) = setup(&w);
+        let (t, f, u, sel) = setup(&w);
         for s in [
             WeightingStrategy::Uniform,
             WeightingStrategy::SelectionBenefit,
             WeightingStrategy::Recalibrated,
             WeightingStrategy::RecalibratedTemplate,
         ] {
-            let ws = weigh_selected(s, &w, &sel, &f, &u);
+            let ws = weigh_selected(s, &t, &sel, &f, &u);
             assert_eq!(ws.len(), 2);
             assert!((ws.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{s:?}");
             assert!(ws.iter().all(|&x| x >= 0.0), "{s:?}");
@@ -256,26 +262,26 @@ mod tests {
         // query 3's template is unique and cheap. Template-based utility
         // must weigh query 0 well above query 3.
         let w = workload();
-        let (f, u, sel) = setup(&w);
-        let ws = weigh_selected(WeightingStrategy::RecalibratedTemplate, &w, &sel, &f, &u);
+        let (t, f, u, sel) = setup(&w);
+        let ws = weigh_selected(WeightingStrategy::RecalibratedTemplate, &t, &sel, &f, &u);
         assert!(ws[0] > ws[1] * 1.5, "template with 270 cost mass vs 50: {ws:?}");
     }
 
     #[test]
     fn empty_selection_empty_weights() {
         let w = workload();
-        let (f, u, _) = setup(&w);
+        let (t, f, u, _) = setup(&w);
         let sel = Selection::default();
-        let ws = weigh_selected(WeightingStrategy::RecalibratedTemplate, &w, &sel, &f, &u);
+        let ws = weigh_selected(WeightingStrategy::RecalibratedTemplate, &t, &sel, &f, &u);
         assert!(ws.is_empty());
     }
 
     #[test]
     fn zero_benefits_fall_back_to_uniform() {
         let w = workload();
-        let (f, _, _) = setup(&w);
+        let (t, f, _, _) = setup(&w);
         let sel = Selection { order: vec![0, 1], benefits: vec![0.0, 0.0] };
-        let ws = weigh_selected(WeightingStrategy::SelectionBenefit, &w, &sel, &f, &[0.0; 4]);
+        let ws = weigh_selected(WeightingStrategy::SelectionBenefit, &t, &sel, &f, &[0.0; 4]);
         assert_eq!(ws, vec![0.5, 0.5]);
     }
 }

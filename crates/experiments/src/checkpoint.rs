@@ -42,7 +42,7 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use isum_common::{count, ErrorClass, IsumError, IsumResult, Json};
+use isum_common::{count, hex_bits, unhex_bits, ErrorClass, IsumError, IsumResult, Json};
 
 use crate::harness::MethodEval;
 
@@ -109,14 +109,6 @@ fn outcome_from_json(j: &Json) -> Option<CellOutcome> {
         tuning_calls: j.get("tuning_calls")?.as_u64()?,
         tuning_secs: unhex_bits(j.get("tuning_secs_bits")?.as_str()?)?,
     }))
-}
-
-fn hex_bits(v: f64) -> String {
-    format!("{:016x}", v.to_bits())
-}
-
-fn unhex_bits(s: &str) -> Option<f64> {
-    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
 }
 
 static ACTIVE: Mutex<Option<Store>> = Mutex::new(None);

@@ -25,6 +25,8 @@ pub enum FaultKind {
     Parse,
     /// Worker panic during ingestion costing.
     Panic,
+    /// Transient ingest-batch failure in the serving daemon.
+    Ingest,
 }
 
 impl FaultKind {
@@ -36,6 +38,7 @@ impl FaultKind {
             FaultKind::Latency => "latency",
             FaultKind::Parse => "parse",
             FaultKind::Panic => "panic",
+            FaultKind::Ingest => "ingest",
         }
     }
 
@@ -47,6 +50,7 @@ impl FaultKind {
             FaultKind::Latency => 0x6c61_7465_6e63_7921,
             FaultKind::Parse => 0x7061_7273_6566_6c74,
             FaultKind::Panic => 0x7061_6e69_6366_6c74,
+            FaultKind::Ingest => 0x696e_6765_7374_666c,
         }
     }
 }
@@ -106,6 +110,7 @@ impl FaultInjector {
             FaultKind::Latency => self.spec.latency,
             FaultKind::Parse => self.spec.parse,
             FaultKind::Panic => self.spec.panic,
+            FaultKind::Ingest => self.spec.ingest,
         }
     }
 
@@ -127,6 +132,7 @@ impl FaultInjector {
                 FaultKind::Latency => count!("faults.injected.latency"),
                 FaultKind::Parse => count!("faults.injected.parse"),
                 FaultKind::Panic => count!("faults.injected.panic"),
+                FaultKind::Ingest => count!("faults.injected.ingest"),
             }
         }
         fired
@@ -159,6 +165,16 @@ impl FaultInjector {
     /// Rolls the worker-panic fault for one ingestion task.
     pub fn panic_fault(&self, key: u64) -> bool {
         self.active && self.fires(FaultKind::Panic, key, 0)
+    }
+
+    /// Rolls the transient ingest-batch fault for one server ingest batch
+    /// (keyed by its sequence number; `attempt` counts delivery attempts
+    /// of that batch so a client retry draws a fresh decision). A fired
+    /// fault rejects the whole batch with a retryable error before any
+    /// observer state changes, so a retrying client converges to the
+    /// fault-free state.
+    pub fn ingest_fault(&self, key: u64, attempt: u32) -> bool {
+        self.active && self.fires(FaultKind::Ingest, key, attempt)
     }
 }
 

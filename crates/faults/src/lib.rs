@@ -11,7 +11,9 @@
 //! * **what-if permanent errors** — immediate heuristic-cost fallback;
 //! * **latency spikes** — exercise per-call timeouts;
 //! * **parse failures** — queries dropped at workload ingestion;
-//! * **worker panics** — quarantined by the exec pool's panic isolation.
+//! * **worker panics** — quarantined by the exec pool's panic isolation;
+//! * **ingest-batch failures** — whole server ingest batches rejected
+//!   with a retryable 503 before any state changes (`crates/server`).
 //!
 //! # Determinism
 //!
@@ -32,7 +34,7 @@
 //!
 //! ```text
 //! seed:<u64>,whatif_transient:<rate>,whatif_permanent:<rate>,
-//! latency:<rate>,latency_ms:<u64>,parse:<rate>,panic:<rate>
+//! latency:<rate>,latency_ms:<u64>,parse:<rate>,panic:<rate>,ingest:<rate>
 //! ```
 //!
 //! Rates are probabilities in `[0, 1]`; unset kinds default to 0 (never

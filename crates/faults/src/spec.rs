@@ -21,6 +21,10 @@ pub struct FaultSpec {
     pub parse: f64,
     /// Rate of worker panics during workload ingestion.
     pub panic: f64,
+    /// Rate of transient ingest-batch failures in the serving daemon
+    /// (`crates/server`): an affected batch is rejected with a retryable
+    /// 503 before touching observer state.
+    pub ingest: f64,
 }
 
 impl FaultSpec {
@@ -34,6 +38,7 @@ impl FaultSpec {
             latency_ms: 10,
             parse: 0.0,
             panic: 0.0,
+            ingest: 0.0,
         }
     }
 
@@ -44,6 +49,7 @@ impl FaultSpec {
             || self.latency > 0.0
             || self.parse > 0.0
             || self.panic > 0.0
+            || self.ingest > 0.0
     }
 
     /// Parses the textual grammar (crate docs). Empty or whitespace-only
@@ -70,10 +76,11 @@ impl FaultSpec {
                 "latency" => spec.latency = parse_rate(key, value)?,
                 "parse" => spec.parse = parse_rate(key, value)?,
                 "panic" => spec.panic = parse_rate(key, value)?,
+                "ingest" => spec.ingest = parse_rate(key, value)?,
                 _ => {
                     return Err(Error::InvalidConfig(format!(
                         "unknown fault kind `{key}` (expected seed, latency_ms, \
-                         whatif_transient, whatif_permanent, latency, parse, or panic)"
+                         whatif_transient, whatif_permanent, latency, parse, panic, or ingest)"
                     )))
                 }
             }
@@ -116,7 +123,7 @@ mod tests {
     fn full_spec_round_trips() {
         let s = FaultSpec::parse(
             "seed:42, whatif_transient:0.05, whatif_permanent:0.01, \
-             latency:0.1, latency_ms:25, parse:0.02, panic:0.001",
+             latency:0.1, latency_ms:25, parse:0.02, panic:0.001, ingest:0.03",
         )
         .unwrap();
         assert_eq!(s.seed, 42);
@@ -126,7 +133,9 @@ mod tests {
         assert_eq!(s.latency_ms, 25);
         assert_eq!(s.parse, 0.02);
         assert_eq!(s.panic, 0.001);
+        assert_eq!(s.ingest, 0.03);
         assert!(s.is_active());
+        assert!(FaultSpec::parse("ingest:0.5").unwrap().is_active());
     }
 
     #[test]

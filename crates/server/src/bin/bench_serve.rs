@@ -1,0 +1,121 @@
+//! Serving-path benchmark: ingest throughput and `/summary` latency.
+//!
+//! ```text
+//! cargo run -p isum-server --release --bin bench_serve [-- <out.json>]
+//! ```
+//!
+//! Boots a daemon on an ephemeral port, streams the quick-scale TPC-H
+//! workload through real HTTP ingest in sequenced batches, then samples
+//! `GET /summary?k=10` repeatedly, and writes statements/sec plus
+//! p50/p99 latency to `BENCH_serve.json` (or the path given as the first
+//! argument) — the seed point of the serving-perf trajectory.
+
+use std::time::{Duration, Instant};
+
+use isum_common::Json;
+use isum_server::{Client, Server, ServerConfig};
+use isum_workload::gen::{tpch_catalog, tpch_workload};
+
+const N_QUERIES: usize = 120;
+const BATCH: usize = 16;
+const SUMMARY_SAMPLES: usize = 60;
+const SUMMARY_K: usize = 10;
+
+fn quantile(sorted_ms: &[f64], q: f64) -> f64 {
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".into());
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut workload = tpch_workload(1, N_QUERIES, 42).unwrap_or_else(|e| {
+        eprintln!("cannot generate TPC-H workload: {e}");
+        std::process::exit(1);
+    });
+    isum_optimizer::populate_costs(&mut workload);
+
+    // Render sequenced ingest batches exactly like `isum client ingest`.
+    let batches: Vec<String> = workload
+        .queries
+        .chunks(BATCH)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|q| format!("-- cost: {}\n{};\n", q.cost, q.sql.trim_end_matches(';')))
+                .collect()
+        })
+        .collect();
+
+    let server =
+        Server::bind("127.0.0.1:0", ServerConfig::new(tpch_catalog(1))).unwrap_or_else(|e| {
+            eprintln!("cannot bind benchmark server: {e}");
+            std::process::exit(1);
+        });
+    let client = Client::new(server.addr().to_string()).with_timeout(Duration::from_secs(30));
+
+    // Warm-up: one throwaway batch server (connection setup, lazy statics)
+    // is overkill — a single healthz round trip suffices.
+    let _ = client.healthz();
+
+    let t0 = Instant::now();
+    for (seq, batch) in batches.iter().enumerate() {
+        let resp = client.ingest_with_retry(batch, Some(seq as u64), 600).unwrap_or_else(|e| {
+            eprintln!("ingest seq {seq} failed: {e}");
+            std::process::exit(1);
+        });
+        if resp.status != 200 {
+            eprintln!("ingest seq {seq} answered {}: {}", resp.status, resp.body);
+            std::process::exit(1);
+        }
+    }
+    let ingest_secs = t0.elapsed().as_secs_f64();
+
+    let mut latencies_ms: Vec<f64> = (0..SUMMARY_SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            let resp = client.summary(SUMMARY_K).unwrap_or_else(|e| {
+                eprintln!("summary failed: {e}");
+                std::process::exit(1);
+            });
+            if resp.status != 200 {
+                eprintln!("summary answered {}: {}", resp.status, resp.body);
+                std::process::exit(1);
+            }
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+
+    server.shutdown();
+    server.join();
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::from("serve_quick_tpch")),
+        (
+            "workload".into(),
+            Json::from(format!(
+                "TPC-H quick ({N_QUERIES} queries), {BATCH}-statement batches, \
+                 summary k={SUMMARY_K}"
+            )),
+        ),
+        ("cpus".into(), Json::from(cpus)),
+        ("ingest_statements".into(), Json::from(N_QUERIES)),
+        ("ingest_batches".into(), Json::from(batches.len())),
+        ("ingest_secs".into(), Json::Num(ingest_secs)),
+        ("ingest_statements_per_sec".into(), Json::Num(N_QUERIES as f64 / ingest_secs)),
+        ("summary_samples".into(), Json::from(SUMMARY_SAMPLES)),
+        ("summary_p50_ms".into(), Json::Num(quantile(&latencies_ms, 0.5))),
+        ("summary_p99_ms".into(), Json::Num(quantile(&latencies_ms, 0.99))),
+        (
+            "summary_mean_ms".into(),
+            Json::Num(latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&out, format!("{}\n", doc.to_pretty())) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("{}", doc.to_pretty());
+}

@@ -1,0 +1,401 @@
+//! The serving engine: an incrementally grown [`Workload`] paired with an
+//! [`IncrementalIsum`] observer, plus a crash-safe checkpoint of both.
+//!
+//! # Bit-identity contract
+//!
+//! Every statement accepted here goes through exactly the pipeline the
+//! batch CLI uses: [`split_script`] carves up the script, `push_sql`
+//! parses/binds/interns, missing costs are filled by
+//! [`WhatIfOptimizer::cost_bound`] against the empty configuration, and
+//! the query is handed to [`IncrementalIsum::observe`]. Because the
+//! incremental observer shares the batch weighting code (`weigh_selected`
+//! over the observed template slice), a live `/summary` over ingested
+//! statements is bit-identical to `isum compress` over the same script.
+//!
+//! # Checkpoint format
+//!
+//! The checkpoint is a JSON document written atomically (temp file +
+//! rename) after each applied batch:
+//!
+//! ```text
+//! { "version": 1,
+//!   "next_seq": <u64>,                     // sequencer high-water mark
+//!   "statements": [[<sql>, <cost bits>]],  // accepted statements in order
+//!   "isum": { ... } }                      // IncrementalIsum snapshot
+//! ```
+//!
+//! Costs are serialized as 16-hex-digit IEEE-754 bit patterns
+//! ([`isum_common::hex_bits`]), so a restore rebuilds the observed
+//! workload bit-identically without re-running the what-if optimizer.
+
+use std::path::Path;
+
+use isum_advisor::{DexterAdvisor, DtaAdvisor, IndexAdvisor, TuningConstraints};
+use isum_catalog::Catalog;
+use isum_common::{count, hex_bits, unhex_bits, Error, Json, Result};
+use isum_core::{IncrementalIsum, IsumConfig};
+use isum_optimizer::{IndexConfig, WhatIfOptimizer};
+use isum_workload::{split_script, Workload};
+
+/// Per-batch ingest outcome: how many statements were applied and which
+/// were rejected (with the statement's index within the batch and the
+/// rejection reason). A rejected statement never mutates engine state.
+#[derive(Debug)]
+pub struct IngestOutcome {
+    /// Statements parsed, bound, costed, and observed.
+    pub accepted: usize,
+    /// `(statement index within the batch, reason)` for each reject.
+    pub rejected: Vec<(usize, String)>,
+    /// Total statements in the batch.
+    pub total: usize,
+}
+
+impl IngestOutcome {
+    /// Renders the outcome as the `/ingest` response body.
+    pub fn to_json(&self, seq: Option<u64>, observed: usize) -> Json {
+        let mut fields = vec![("status".into(), Json::from("ok"))];
+        if let Some(s) = seq {
+            fields.push(("seq".into(), Json::from(s)));
+        }
+        fields.push(("applied".into(), Json::from(self.accepted)));
+        fields.push(("total".into(), Json::from(self.total)));
+        fields.push((
+            "rejected".into(),
+            Json::Arr(
+                self.rejected
+                    .iter()
+                    .map(|(i, reason)| {
+                        Json::Obj(vec![
+                            ("statement".into(), Json::from(*i)),
+                            ("error".into(), Json::from(reason.as_str())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        fields.push(("observed".into(), Json::from(observed)));
+        Json::Obj(fields)
+    }
+}
+
+/// The observed workload plus its incremental compression state.
+pub struct Engine {
+    workload: Workload,
+    isum: IncrementalIsum,
+}
+
+impl Engine {
+    /// An engine with no observed queries.
+    pub fn new(catalog: Catalog, config: IsumConfig) -> Engine {
+        Engine { workload: Workload::empty(catalog), isum: IncrementalIsum::new(config) }
+    }
+
+    /// Number of observed queries.
+    pub fn observed(&self) -> usize {
+        self.workload.len()
+    }
+
+    /// Number of distinct templates among observed queries.
+    pub fn template_count(&self) -> usize {
+        self.isum.template_count()
+    }
+
+    /// Applies one `;`-separated script: each statement is parsed, bound,
+    /// costed (missing costs filled exactly like the batch CLI, via
+    /// `cost_bound` against the empty index configuration), and observed.
+    /// Statement failures are lenient — recorded per statement, never
+    /// aborting the batch — and leave no partial state behind.
+    pub fn apply_script(&mut self, script: &str) -> IngestOutcome {
+        let (sqls, costs) = split_script(script);
+        let mut outcome = IngestOutcome { accepted: 0, rejected: Vec::new(), total: sqls.len() };
+        for (i, sql) in sqls.iter().enumerate() {
+            match self.apply_one(sql, costs[i].unwrap_or(0.0)) {
+                Ok(()) => {
+                    outcome.accepted += 1;
+                    count!("server.ingest.statements");
+                }
+                Err(e) => {
+                    count!("server.ingest.rejected_statements");
+                    outcome.rejected.push((i, e.to_string()));
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Applies a single statement; see [`Engine::apply_script`].
+    fn apply_one(&mut self, sql: &str, cost: f64) -> Result<()> {
+        let id = self.workload.push_sql(sql, cost)?;
+        if self.workload.queries[id.index()].cost <= 0.0 {
+            let filled = {
+                let opt = WhatIfOptimizer::new(&self.workload.catalog);
+                opt.cost_bound(&self.workload.queries[id.index()].bound, &IndexConfig::empty())
+            };
+            self.workload.queries[id.index()].cost = filled;
+        }
+        let Engine { workload, isum } = self;
+        if let Err(e) = isum.observe(&workload.queries[id.index()], &workload.catalog) {
+            // Unreachable in practice (`push_sql` already parsed this
+            // statement), but keep workload and observer in lockstep.
+            self.workload.queries.pop();
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Compresses the observed workload to `k` queries and renders the
+    /// `/summary` response body — the same JSON `isum compress --json`
+    /// prints, so live and batch output can be compared byte for byte.
+    pub fn summary_json(&self, k: usize) -> Result<Json> {
+        let compressed = self.isum.select(k)?;
+        Ok(summary_to_json(k, self.observed(), self.template_count(), &compressed.entries))
+    }
+
+    /// Runs an index advisor on the compressed workload and renders the
+    /// `/tune` response body.
+    pub fn tune_json(
+        &self,
+        k: usize,
+        advisor_name: &str,
+        constraints: &TuningConstraints,
+    ) -> Result<Json> {
+        let compressed = self.isum.select(k)?;
+        let advisor: Box<dyn IndexAdvisor> = match advisor_name {
+            "dta" => Box::new(DtaAdvisor::new()),
+            "dexter" => Box::new(DexterAdvisor::new()),
+            other => {
+                return Err(Error::InvalidConfig(format!(
+                    "unknown advisor `{other}` (dta | dexter)"
+                )))
+            }
+        };
+        let opt = WhatIfOptimizer::new(&self.workload.catalog);
+        let config = advisor.recommend(&opt, &self.workload, &compressed, constraints);
+        let indexes: Vec<Json> = config
+            .indexes()
+            .iter()
+            .map(|ix| Json::from(ix.display(&self.workload.catalog)))
+            .collect();
+        Ok(Json::Obj(vec![
+            ("advisor".into(), Json::from(advisor.name())),
+            ("k".into(), Json::from(k)),
+            ("observed".into(), Json::from(self.observed())),
+            ("indexes".into(), Json::Arr(indexes)),
+            ("improvement_pct".into(), Json::from(opt.improvement_pct(&self.workload, &config))),
+        ]))
+    }
+
+    /// Serializes the full engine state plus the sequencer high-water
+    /// mark; see the module docs for the format.
+    pub fn snapshot(&self, next_seq: u64) -> Json {
+        let statements: Vec<Json> = self
+            .workload
+            .queries
+            .iter()
+            .map(|q| Json::Arr(vec![Json::from(q.sql.as_str()), Json::from(hex_bits(q.cost))]))
+            .collect();
+        Json::Obj(vec![
+            ("version".into(), Json::from(1u64)),
+            ("next_seq".into(), Json::from(next_seq)),
+            ("statements".into(), Json::Arr(statements)),
+            ("isum".into(), self.isum.snapshot()),
+        ])
+    }
+
+    /// Rebuilds an engine (and the sequencer high-water mark) from a
+    /// [`Engine::snapshot`] document. Statements are re-parsed and
+    /// re-bound in order with their checkpointed cost bits, and the
+    /// observer state is restored bit-exactly from its own snapshot.
+    pub fn restore(catalog: Catalog, config: IsumConfig, snap: &Json) -> Result<(Engine, u64)> {
+        let corrupt = |what: &str| Error::Io(format!("corrupt server checkpoint: {what}"));
+        let obj = snap.as_object().ok_or_else(|| corrupt("not an object"))?;
+        let field = |name: &str| obj.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        match field("version").and_then(Json::as_u64) {
+            Some(1) => {}
+            other => return Err(corrupt(&format!("unsupported version {other:?}"))),
+        }
+        let next_seq =
+            field("next_seq").and_then(Json::as_u64).ok_or_else(|| corrupt("missing next_seq"))?;
+        let statements = field("statements")
+            .and_then(Json::as_array)
+            .ok_or_else(|| corrupt("missing statements"))?;
+        let mut workload = Workload::empty(catalog);
+        for (i, entry) in statements.iter().enumerate() {
+            let Some([sql, bits]) = entry.as_array().and_then(|a| <&[Json; 2]>::try_from(a).ok())
+            else {
+                return Err(corrupt(&format!("statement {i} is not a [sql, cost] pair")));
+            };
+            let sql = sql.as_str().ok_or_else(|| corrupt("statement sql is not a string"))?;
+            let cost = bits
+                .as_str()
+                .and_then(unhex_bits)
+                .ok_or_else(|| corrupt("statement cost is not a bit pattern"))?;
+            workload
+                .push_sql(sql, cost)
+                .map_err(|e| corrupt(&format!("statement {i} no longer binds: {e}")))?;
+        }
+        let isum_snap = field("isum").ok_or_else(|| corrupt("missing isum snapshot"))?;
+        let isum = IncrementalIsum::restore(config, isum_snap)?;
+        if isum.len() != workload.len() {
+            return Err(corrupt(&format!(
+                "observer has {} queries but workload has {}",
+                isum.len(),
+                workload.len()
+            )));
+        }
+        Ok((Engine { workload, isum }, next_seq))
+    }
+
+    /// Writes [`Engine::snapshot`] to `path` atomically: the document is
+    /// written to `<path>.tmp` and renamed into place, so a crash leaves
+    /// either the previous checkpoint or the new one, never a torn file.
+    pub fn checkpoint_to(&self, path: &Path, next_seq: u64) -> Result<()> {
+        let doc = self.snapshot(next_seq).to_pretty();
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, doc)?;
+        std::fs::rename(&tmp, path)?;
+        count!("server.checkpoints");
+        Ok(())
+    }
+
+    /// Loads an engine from a checkpoint file written by
+    /// [`Engine::checkpoint_to`].
+    pub fn restore_from(
+        catalog: Catalog,
+        config: IsumConfig,
+        path: &Path,
+    ) -> Result<(Engine, u64)> {
+        let text = std::fs::read_to_string(path)?;
+        let snap =
+            Json::parse(&text).map_err(|e| Error::Io(format!("corrupt server checkpoint: {e}")))?;
+        Engine::restore(catalog, config, &snap)
+    }
+}
+
+/// Renders a compressed selection as the canonical summary JSON shared by
+/// `GET /summary` and `isum compress --json`: selection order is
+/// preserved and each weight carries its exact IEEE-754 bit pattern.
+pub fn summary_to_json(
+    k: usize,
+    observed: usize,
+    templates: usize,
+    entries: &[(isum_common::QueryId, f64)],
+) -> Json {
+    let selected: Vec<Json> = entries
+        .iter()
+        .map(|(id, w)| {
+            Json::Obj(vec![
+                ("query".into(), Json::from(id.index())),
+                ("weight".into(), Json::from(*w)),
+                ("weight_bits".into(), Json::from(hex_bits(*w))),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("k".into(), Json::from(k)),
+        ("observed".into(), Json::from(observed)),
+        ("templates".into(), Json::from(templates)),
+        ("selected".into(), Json::Arr(selected)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isum_catalog::CatalogBuilder;
+    use isum_core::Compressor;
+
+    fn catalog() -> Catalog {
+        CatalogBuilder::new()
+            .table("t", 100_000)
+            .col_key("id")
+            .col_int("grp", 500, 0, 500)
+            .col_int("v", 1000, 0, 10_000)
+            .finish()
+            .expect("fresh table")
+            .build()
+    }
+
+    fn script(n: usize) -> String {
+        (0..n)
+            .map(|i| format!("SELECT id FROM t WHERE grp = {} AND v > {};\n", i % 7, i * 3))
+            .collect()
+    }
+
+    #[test]
+    fn apply_matches_batch_cli_load_path() {
+        let mut engine = Engine::new(catalog(), IsumConfig::isum());
+        let outcome = engine.apply_script(&script(12));
+        assert_eq!(outcome.accepted, 12);
+        assert!(outcome.rejected.is_empty());
+
+        // The batch reference: load the same script through the loader and
+        // fill costs the way the CLI does.
+        let mut w = isum_workload::load_script(catalog(), &script(12)).expect("loads");
+        isum_optimizer::populate_costs(&mut w);
+        let batch = isum_core::Isum::new().compress(&w, 5).expect("compresses");
+        let live = engine.summary_json(5).expect("summarizes");
+        let reference = summary_to_json(5, w.len(), w.template_count(), &batch.entries);
+        assert_eq!(live.to_pretty(), reference.to_pretty(), "live /summary == batch compress");
+    }
+
+    #[test]
+    fn bad_statements_are_lenient_and_stateless() {
+        let mut engine = Engine::new(catalog(), IsumConfig::isum());
+        let outcome = engine.apply_script(
+            "SELECT id FROM t WHERE grp = 1;\n\
+             SELECT FROM;\n\
+             SELECT id FROM no_such_table;\n\
+             SELECT id FROM t WHERE grp = 2;",
+        );
+        assert_eq!(outcome.accepted, 2);
+        assert_eq!(outcome.total, 4);
+        assert_eq!(outcome.rejected.len(), 2);
+        assert_eq!(outcome.rejected[0].0, 1);
+        assert_eq!(outcome.rejected[1].0, 2);
+        assert_eq!(engine.observed(), 2, "rejected statements leave no state");
+        engine.summary_json(2).expect("engine still serves summaries");
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_bit_exact() {
+        let mut engine = Engine::new(catalog(), IsumConfig::isum());
+        engine.apply_script(&script(9));
+        let snap = engine.snapshot(4);
+        let reparsed = Json::parse(&snap.to_pretty()).expect("snapshot parses");
+        let (restored, next_seq) =
+            Engine::restore(catalog(), IsumConfig::isum(), &reparsed).expect("restores");
+        assert_eq!(next_seq, 4);
+        assert_eq!(restored.observed(), 9);
+        assert_eq!(
+            restored.summary_json(4).unwrap().to_pretty(),
+            engine.summary_json(4).unwrap().to_pretty(),
+            "restored engine summarizes bit-identically"
+        );
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_errors() {
+        for bad in [
+            "[]",
+            r#"{"version": 2, "next_seq": 0, "statements": [], "isum": {}}"#,
+            r#"{"version": 1, "statements": [], "isum": {}}"#,
+            r#"{"version": 1, "next_seq": 0, "statements": [["SELECT FROM", "0"]], "isum": {}}"#,
+        ] {
+            let snap = Json::parse(bad).expect("test doc parses");
+            let err =
+                Engine::restore(catalog(), IsumConfig::isum(), &snap).err().expect("must fail");
+            assert!(err.to_string().contains("corrupt"), "{bad} -> {err}");
+        }
+    }
+
+    #[test]
+    fn tune_runs_on_compressed_workload() {
+        let mut engine = Engine::new(catalog(), IsumConfig::isum());
+        engine.apply_script(&script(10));
+        let out = engine.tune_json(4, "dta", &TuningConstraints::with_max_indexes(2)).unwrap();
+        let obj = out.as_object().unwrap();
+        assert!(obj.iter().any(|(k, _)| k == "indexes"));
+        assert!(engine.tune_json(4, "nope", &TuningConstraints::with_max_indexes(2)).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! Minimal HTTP/1.1 framing over blocking `std::net` streams.
+//!
+//! The daemon speaks just enough HTTP for its wire API: one request per
+//! connection (`Connection: close`), `Content-Length`-delimited bodies,
+//! and percent-encoded query strings. No chunked transfer, no keep-alive,
+//! no TLS — the service fronts an in-process engine on a trusted network,
+//! and every byte of framing here is code we can test without a dependency.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use isum_common::Json;
+
+/// Hard cap on request bodies: an ingest batch is SQL text, so anything
+/// past this is a client bug, not a workload.
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// Cap on header section size (request line + headers).
+const MAX_HEAD: usize = 64 * 1024;
+
+/// A parsed HTTP request: method, path, decoded query parameters, and body.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the request target, without the query string.
+    pub path: String,
+    /// Percent-decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of query parameter `name`, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Reads one request from `stream`.
+    ///
+    /// The outer `Err` is a transport problem (peer hung up, timeout) —
+    /// there is nobody to answer, so callers just drop the connection.
+    /// The inner `Err` is a malformed request the caller should answer
+    /// with the given status code and message.
+    ///
+    /// `Expect: 100-continue` is honored by writing the interim response
+    /// before reading the body, so `curl -d @file` works out of the box.
+    pub fn read(stream: &TcpStream) -> io::Result<Result<Request, (u16, String)>> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        if read_head_line(&mut reader, &mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Ok(Err((400, format!("malformed request line `{}`", line.trim()))));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Ok(Err((400, format!("unsupported protocol `{version}`"))));
+        }
+        let method = method.to_ascii_uppercase();
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), parse_query(q)),
+            None => (target.to_string(), Vec::new()),
+        };
+
+        let mut headers = Vec::new();
+        let mut content_length: usize = 0;
+        let mut expect_continue = false;
+        let mut head_bytes = line.len();
+        loop {
+            line.clear();
+            if read_head_line(&mut reader, &mut line)? == 0 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "headers truncated"));
+            }
+            head_bytes += line.len();
+            if head_bytes > MAX_HEAD {
+                return Ok(Err((431, "header section too large".into())));
+            }
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            let Some((name, value)) = trimmed.split_once(':') else {
+                return Ok(Err((400, format!("malformed header `{trimmed}`"))));
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            match name.as_str() {
+                "content-length" => match value.parse::<usize>() {
+                    Ok(n) => content_length = n,
+                    Err(_) => return Ok(Err((400, format!("bad Content-Length `{value}`")))),
+                },
+                "expect" if value.eq_ignore_ascii_case("100-continue") => expect_continue = true,
+                _ => {}
+            }
+            headers.push((name, value));
+        }
+        if content_length > MAX_BODY {
+            return Ok(Err((413, format!("body of {content_length} bytes exceeds {MAX_BODY}"))));
+        }
+        if expect_continue && content_length > 0 {
+            let mut w = stream;
+            w.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        Ok(Ok(Request { method, path, query, headers, body }))
+    }
+}
+
+/// Reads one CRLF-terminated head line; returns 0 on clean EOF.
+fn read_head_line(reader: &mut BufReader<&TcpStream>, line: &mut String) -> io::Result<usize> {
+    line.clear();
+    reader.read_line(line)
+}
+
+/// Decodes an `application/x-www-form-urlencoded` query string.
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Percent-decoding with `+` as space; invalid escapes pass through verbatim.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 2 < bytes.len()
+                && bytes[i + 1].is_ascii_hexdigit()
+                && bytes[i + 2].is_ascii_hexdigit() =>
+            {
+                let hi = (bytes[i + 1] as char).to_digit(16).unwrap_or(0) as u8;
+                let lo = (bytes[i + 2] as char).to_digit(16).unwrap_or(0) as u8;
+                out.push(hi << 4 | lo);
+                i += 2;
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// An HTTP response under construction.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the synthesized framing headers.
+    pub headers: Vec<(String, String)>,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response (pretty-printed, trailing newline for curl comfort).
+    pub fn json(status: u16, body: &Json) -> Response {
+        let mut text = body.to_pretty();
+        text.push('\n');
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: text.into_bytes(),
+        }
+    }
+
+    /// A plain-text response (newline-terminated).
+    pub fn text(status: u16, body: &str) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "text/plain",
+            body: format!("{body}\n").into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": msg, "status": code}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            &Json::Obj(vec![
+                ("error".into(), Json::from(message)),
+                ("status".into(), Json::from(u64::from(status))),
+            ]),
+        )
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serializes the response onto `w` with `Connection: close` framing.
+    pub fn write(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, status_text(self.status))?;
+        write!(w, "Content-Type: {}\r\n", self.content_type)?;
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"Connection: close\r\n\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Canonical reason phrases for the status codes the daemon emits.
+pub fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// A raw response as read off the wire: status code, headers (lowercased
+/// names), and body bytes.
+pub type RawResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// Reads one HTTP response from `stream`: status code, headers
+/// (lowercased names), and the `Content-Length`-delimited body. The
+/// client half of the framing above, shared by [`crate::Client`].
+pub fn read_response(stream: &TcpStream) -> io::Result<RawResponse> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "no status line"));
+        }
+        // Skip interim 1xx responses (the server sends `100 Continue`).
+        if !line.starts_with("HTTP/1.1 1") {
+            break;
+        }
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "interim truncated"));
+            }
+            if line.trim_end().is_empty() {
+                break;
+            }
+        }
+    }
+    let status: u16 =
+        line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad status: {line}"))
+        })?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "headers truncated"));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().unwrap_or(0);
+            }
+            headers.push((name, value));
+        }
+    }
+    let mut body = vec![0u8; content_length.min(MAX_BODY)];
+    reader.read_exact(&mut body)?;
+    Ok((status, headers, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_strings_decode() {
+        let q = parse_query("k=10&sql=SELECT%20a+b&flag");
+        assert_eq!(q[0], ("k".to_string(), "10".to_string()));
+        assert_eq!(q[1], ("sql".to_string(), "SELECT a b".to_string()));
+        assert_eq!(q[2], ("flag".to_string(), String::new()));
+    }
+
+    #[test]
+    fn percent_decode_handles_truncated_escapes() {
+        assert_eq!(percent_decode("a%2"), "a%2");
+        assert_eq!(percent_decode("a%"), "a%");
+        assert_eq!(percent_decode("%41%zz"), "A%zz");
+    }
+
+    #[test]
+    fn response_frames_are_well_formed() {
+        let mut buf = Vec::new();
+        Response::text(200, "hi").with_header("Retry-After", "1").write(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 3\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nhi\n"), "{text}");
+    }
+
+    #[test]
+    fn error_envelope_is_json() {
+        let r = Response::error(429, "queue full");
+        let parsed = Json::parse(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        let obj = parsed.as_object().unwrap();
+        assert!(obj.iter().any(|(k, v)| k == "error" && v.as_str() == Some("queue full")));
+    }
+}

@@ -1,0 +1,46 @@
+//! `isum_server` — the online workload-compression service.
+//!
+//! Wraps [`isum_core::IncrementalIsum`] in a zero-dependency HTTP/1.1
+//! daemon (`std::net` only) so a database can stream its query log to a
+//! long-running compressor and ask for an up-to-date workload summary —
+//! or a full index recommendation — at any time, instead of re-running
+//! batch compression from scratch (DESIGN.md §10).
+//!
+//! # Wire API
+//!
+//! | Endpoint | Effect |
+//! |----------|--------|
+//! | `POST /ingest[?seq=N]` | apply a `;`-separated SQL script (lenient per statement) |
+//! | `GET /summary?k=N` | compress observed queries to `k`, with exact weight bits |
+//! | `POST /tune?k=N[&m=M&advisor=dta\|dexter&budget_bytes=B]` | advisor on the compressed workload |
+//! | `GET /healthz` | liveness + observed-query count |
+//! | `GET /telemetry` | telemetry snapshot (when enabled) |
+//! | `POST /shutdown` | graceful drain + final checkpoint |
+//!
+//! Error statuses follow the [`isum_common::IsumError`] taxonomy:
+//! Transient → 503 (+`Retry-After`), Permanent → 400, Budget → 429. A
+//! full ingest queue answers 429 with `Retry-After` — backpressure, not
+//! a dropped connection.
+//!
+//! # Guarantees
+//!
+//! * A live `/summary` over ingested statements is **bit-identical** to
+//!   `isum compress` over the same script (shared featurize → select →
+//!   weigh pipeline; weights compared by IEEE-754 bit pattern).
+//! * Sequenced concurrent ingest is **deterministic**: batches stamped
+//!   with contiguous `seq` numbers are applied in order no matter how
+//!   many connections deliver them.
+//! * With a checkpoint configured, every acknowledged batch is on disk
+//!   (atomic temp-file + rename) before the ack, so a `SIGKILL` and
+//!   restart resumes the observed workload bit-identically and client
+//!   retries of unacknowledged batches converge via duplicate detection.
+
+mod client;
+mod engine;
+mod http;
+mod server;
+
+pub use client::{ApiResponse, Client};
+pub use engine::{summary_to_json, Engine, IngestOutcome};
+pub use http::{Request, Response};
+pub use server::{install_signal_handlers, signal_pending, Server, ServerConfig};

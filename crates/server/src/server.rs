@@ -1,0 +1,611 @@
+//! The daemon: TCP accept loop, bounded ingest queue, sequencer thread,
+//! and graceful shutdown.
+//!
+//! # Architecture
+//!
+//! ```text
+//!           accept loop (nonblocking, polls shutdown flag)
+//!                │ one exec-pool task per connection
+//!                ▼
+//!   connection handler ──reads──► GET  /summary │ /telemetry │ /healthz
+//!                │                (lock engine, answer inline)
+//!                │ POST /ingest
+//!                ▼
+//!   bounded sync_channel (cap = queue_cap) ── full ⇒ 429 + Retry-After
+//!                │
+//!                ▼
+//!   sequencer thread: strict `seq` ordering with duplicate dedup,
+//!   deterministic ingest-fault rolls, apply batch under the engine lock,
+//!   atomic checkpoint, reply to the waiting handler
+//! ```
+//!
+//! # Determinism under concurrency
+//!
+//! Clients that partition a workload into batches and stamp each with a
+//! contiguous `seq` number (starting at the server's high-water mark, 0
+//! for a fresh server) may deliver them from any number of connections in
+//! any order: the sequencer applies batches strictly in `seq` order, so
+//! the observed workload — and therefore every `/summary` — is
+//! bit-identical to a serial ingest. A batch ahead of the stream is
+//! answered `503` + `Retry-After` immediately (parking it server-side
+//! would pin its connection's executor and deadlock small pools); the
+//! client retries until its predecessor lands. A batch below the
+//! high-water mark is acknowledged as a `duplicate` without touching
+//! state, which is what makes retry-after-crash (and
+//! retry-after-injected-fault) converge instead of double-observing.
+//!
+//! # Shutdown
+//!
+//! `POST /shutdown`, SIGTERM, or SIGINT set a flag the accept loop polls.
+//! The loop stops accepting, in-flight connection handlers finish, the
+//! ingest queue is closed and drained to the last acknowledged batch, a
+//! final checkpoint is written, and — when telemetry is enabled — a final
+//! snapshot is printed to stderr.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use isum_advisor::TuningConstraints;
+use isum_catalog::Catalog;
+use isum_common::{count, telemetry, IsumError, Json};
+use isum_core::IsumConfig;
+
+use crate::engine::Engine;
+use crate::http::{Request, Response};
+
+/// Marker bit for fault-injection keys of unsequenced batches, so they
+/// draw from a different site-key space than `seq` numbers.
+const UNSEQ_KEY_BASE: u64 = 1 << 63;
+
+/// Configuration for a [`Server`].
+pub struct ServerConfig {
+    /// Catalog the ingested statements bind against.
+    pub catalog: Catalog,
+    /// Compression configuration for the incremental observer.
+    pub isum: IsumConfig,
+    /// Checkpoint file: written atomically after every applied batch and
+    /// loaded (if present) at startup to resume the observed workload.
+    pub checkpoint: Option<PathBuf>,
+    /// Ingest queue capacity; a full queue answers 429 with `Retry-After`.
+    pub queue_cap: usize,
+    /// How long an ingest connection waits for its batch to be applied
+    /// before giving up with a 503 (the batch itself is not lost).
+    pub ingest_timeout: Duration,
+    /// Test knob: sleep this long while applying each batch, to make
+    /// backpressure and drain windows deterministic in tests.
+    pub apply_delay: Duration,
+}
+
+impl ServerConfig {
+    /// Defaults: queue of 64 batches, 30 s ingest wait, no checkpoint.
+    pub fn new(catalog: Catalog) -> ServerConfig {
+        ServerConfig {
+            catalog,
+            isum: IsumConfig::isum(),
+            checkpoint: None,
+            queue_cap: 64,
+            ingest_timeout: Duration::from_secs(30),
+            apply_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// One queued ingest batch and the channel its connection waits on.
+struct IngestJob {
+    seq: Option<u64>,
+    script: String,
+    reply: SyncSender<Response>,
+}
+
+/// State shared between the accept loop, connection handlers, and the
+/// sequencer thread.
+struct Shared {
+    engine: Mutex<Engine>,
+    /// `None` once shutdown begins; closing the channel is what lets the
+    /// sequencer drain to empty and exit.
+    ingest: Mutex<Option<SyncSender<IngestJob>>>,
+    shutdown: AtomicBool,
+    checkpoint: Option<PathBuf>,
+    ingest_timeout: Duration,
+    apply_delay: Duration,
+}
+
+/// A running daemon. Binding spawns the serve thread; [`Server::join`]
+/// blocks until shutdown (signal, `/shutdown`, or [`Server::shutdown`]).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `listen` (e.g. `127.0.0.1:7071`, port 0 for ephemeral),
+    /// restores the checkpoint if one exists, and starts serving on a
+    /// background thread.
+    pub fn bind(listen: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let (engine, next_seq) = match &config.checkpoint {
+            Some(path) if path.exists() => {
+                Engine::restore_from(config.catalog.clone(), config.isum, path)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            }
+            _ => (Engine::new(config.catalog.clone(), config.isum), 0),
+        };
+
+        let (tx, rx) = mpsc::sync_channel::<IngestJob>(config.queue_cap.max(1));
+        let shared = Arc::new(Shared {
+            engine: Mutex::new(engine),
+            ingest: Mutex::new(Some(tx)),
+            shutdown: AtomicBool::new(false),
+            checkpoint: config.checkpoint.clone(),
+            ingest_timeout: config.ingest_timeout,
+            apply_delay: config.apply_delay,
+        });
+
+        let serve_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("isum-serve".into())
+            .spawn(move || serve_loop(listener, serve_shared, rx, next_seq))?;
+        Ok(Server { addr, shared, thread: Some(thread) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown; returns immediately. Pair with [`Server::join`].
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the serve loop has drained and exited.
+    pub fn join(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The serve thread: accept loop, then drain and final checkpoint.
+fn serve_loop(listener: TcpListener, shared: Arc<Shared>, rx: Receiver<IngestJob>, next_seq: u64) {
+    let seq_shared = Arc::clone(&shared);
+    let sequencer = std::thread::Builder::new()
+        .name("isum-serve-ingest".into())
+        .spawn(move || sequencer_loop(rx, seq_shared, next_seq))
+        .expect("spawn sequencer thread");
+
+    // Request handling fans out on the exec pool. A 1-thread pool is the
+    // sequential reference execution — `scope::spawn` runs tasks inline,
+    // which would block the accept loop on a handler that is itself
+    // waiting on the sequencer — so in that configuration each connection
+    // gets a short-lived dedicated thread instead. Handler panics are
+    // caught inside `handle_connection` either way (panic quarantine).
+    let pool = isum_exec::global();
+    let mut conn_threads = Vec::new();
+    pool.scope(|s| {
+        while !shared.shutdown.load(Ordering::SeqCst) && !signal_pending() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    count!("server.connections");
+                    let shared = Arc::clone(&shared);
+                    if pool.threads() > 1 {
+                        s.spawn_labeled("server.conn", move || handle_connection(stream, &shared));
+                    } else {
+                        conn_threads.retain(|t: &std::thread::JoinHandle<()>| !t.is_finished());
+                        if let Ok(t) = std::thread::Builder::new()
+                            .name("isum-serve-conn".into())
+                            .spawn(move || handle_connection(stream, &shared))
+                        {
+                            conn_threads.push(t);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => {
+                    count!("server.accept_errors");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    });
+    for t in conn_threads {
+        let _ = t.join();
+    }
+    // All connection handlers have finished. Close the queue: the
+    // sequencer drains whatever was accepted, then exits.
+    shared.shutdown.store(true, Ordering::SeqCst);
+    *lock_ingest(&shared) = None;
+    let _ = sequencer.join();
+    if telemetry::enabled() {
+        let snap = telemetry::snapshot();
+        if !snap.is_empty() {
+            eprintln!("{}", snap.render_table());
+        }
+    }
+}
+
+fn lock_ingest(shared: &Shared) -> std::sync::MutexGuard<'_, Option<SyncSender<IngestJob>>> {
+    shared.ingest.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn lock_engine(shared: &Shared) -> std::sync::MutexGuard<'_, Engine> {
+    shared.engine.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The sequencer: applies ingest batches strictly in sequence order.
+fn sequencer_loop(rx: Receiver<IngestJob>, shared: Arc<Shared>, mut next_seq: u64) {
+    // Delivery attempts per fault key, so a retried batch draws a fresh
+    // (deterministic) fault decision.
+    let mut attempts: HashMap<u64, u32> = HashMap::new();
+    let mut unseq_counter: u64 = 0;
+    loop {
+        let job = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        dispatch(job, &shared, &mut next_seq, &mut attempts, &mut unseq_counter);
+    }
+    // Final checkpoint: everything acknowledged is on disk.
+    if let Some(path) = &shared.checkpoint {
+        let engine = lock_engine(&shared);
+        if let Err(e) = engine.checkpoint_to(path, next_seq) {
+            count!("server.checkpoint.errors");
+            eprintln!("isum-serve: final checkpoint failed: {e}");
+        }
+    }
+}
+
+/// Routes one job: duplicate (acknowledged without re-applying), early
+/// (told to retry — holding it would pin its connection's executor,
+/// which deadlocks small pools), or in-order (applied).
+fn dispatch(
+    job: IngestJob,
+    shared: &Shared,
+    next_seq: &mut u64,
+    attempts: &mut HashMap<u64, u32>,
+    unseq_counter: &mut u64,
+) {
+    match job.seq {
+        Some(seq) if seq < *next_seq => {
+            count!("server.ingest.duplicates");
+            let body = Json::Obj(vec![
+                ("status".into(), Json::from("duplicate")),
+                ("seq".into(), Json::from(seq)),
+                ("applied".into(), Json::from(0u64)),
+                ("next_seq".into(), Json::from(*next_seq)),
+            ]);
+            let _ = job.reply.try_send(Response::json(200, &body));
+        }
+        Some(seq) if seq > *next_seq => {
+            count!("server.ingest.out_of_order");
+            let resp = Response::error(
+                503,
+                &format!("seq {seq} is ahead of the stream (next is {next_seq}); retry shortly"),
+            )
+            .with_header("Retry-After", "0");
+            let _ = job.reply.try_send(resp);
+        }
+        seq => {
+            let key = match seq {
+                Some(s) => s,
+                None => {
+                    *unseq_counter += 1;
+                    UNSEQ_KEY_BASE | *unseq_counter
+                }
+            };
+            let resp = apply_job(&job, key, shared, attempts);
+            let applied = resp.status == 200;
+            if applied && seq.is_some() {
+                *next_seq += 1;
+                attempts.remove(&key);
+            }
+            if applied {
+                write_checkpoint(shared, *next_seq);
+            }
+            let _ = job.reply.try_send(resp);
+        }
+    }
+}
+
+/// Writes the post-batch checkpoint, if one is configured. Failures are
+/// counted and logged but do not fail the batch: the statements are still
+/// applied in memory, and the next successful checkpoint covers them.
+fn write_checkpoint(shared: &Shared, next_seq: u64) {
+    if let Some(path) = &shared.checkpoint {
+        let engine = lock_engine(shared);
+        if let Err(e) = engine.checkpoint_to(path, next_seq) {
+            count!("server.checkpoint.errors");
+            eprintln!("isum-serve: checkpoint failed: {e}");
+        }
+    }
+}
+
+/// Applies one batch: fault roll, engine mutation, checkpoint, response.
+fn apply_job(
+    job: &IngestJob,
+    key: u64,
+    shared: &Shared,
+    attempts: &mut HashMap<u64, u32>,
+) -> Response {
+    let attempt = attempts.entry(key).or_insert(0);
+    let this_attempt = *attempt;
+    *attempt += 1;
+    let injector = isum_faults::global();
+    if injector.is_active() && injector.ingest_fault(key, this_attempt) {
+        count!("server.ingest.faults");
+        let body = Json::Obj(vec![
+            ("error".into(), Json::from("injected transient ingest fault")),
+            ("status".into(), Json::from(503u64)),
+            ("retryable".into(), Json::from(true)),
+        ]);
+        return Response::json(503, &body).with_header("Retry-After", "0");
+    }
+    if !shared.apply_delay.is_zero() {
+        std::thread::sleep(shared.apply_delay);
+    }
+    count!("server.ingest.batches");
+    let body = {
+        let mut engine = lock_engine(shared);
+        let outcome = engine.apply_script(&job.script);
+        outcome.to_json(job.seq, engine.observed())
+    };
+    Response::json(200, &body)
+}
+
+/// Handles one connection end to end. Panics inside routing are caught
+/// here (before the exec scope can see them) and answered with a 500, so
+/// one poisoned request can neither kill a worker nor crash shutdown.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let req = match Request::read(&stream) {
+        Err(_) => return, // peer vanished; nobody to answer
+        Ok(Err((status, msg))) => {
+            count!("server.http_errors");
+            let mut w = &stream;
+            let _ = Response::error(status, &msg).write(&mut w);
+            return;
+        }
+        Ok(Ok(req)) => req,
+    };
+    count!("server.requests");
+    let resp = match catch_unwind(AssertUnwindSafe(|| route(&req, shared))) {
+        Ok(resp) => resp,
+        Err(payload) => {
+            count!("server.panics");
+            count!("faults.quarantined");
+            let msg = payload
+                .downcast_ref::<&'static str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".into());
+            Response::error(500, &format!("request handler panicked: {msg}"))
+        }
+    };
+    let mut w = &stream;
+    let _ = resp.write(&mut w);
+}
+
+/// Dispatches one parsed request to its endpoint.
+fn route(req: &Request, shared: &Shared) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let engine = lock_engine(shared);
+            Response::json(
+                200,
+                &Json::Obj(vec![
+                    ("status".into(), Json::from("ok")),
+                    ("observed".into(), Json::from(engine.observed())),
+                    ("templates".into(), Json::from(engine.template_count())),
+                    ("draining".into(), Json::from(shared.shutdown.load(Ordering::SeqCst))),
+                ]),
+            )
+        }
+        ("GET", "/telemetry") => {
+            count!("server.requests.telemetry");
+            if telemetry::enabled() {
+                Response::json(200, &telemetry::snapshot().to_json())
+            } else {
+                Response::json(200, &Json::Obj(vec![("enabled".into(), Json::from(false))]))
+            }
+        }
+        ("GET", "/summary") => {
+            count!("server.requests.summary");
+            let Some(k) = req.param("k") else {
+                return Response::error(400, "missing query parameter k");
+            };
+            let Ok(k) = k.parse::<usize>() else {
+                return Response::error(400, "k must be a non-negative integer");
+            };
+            let engine = lock_engine(shared);
+            match engine.summary_json(k) {
+                Ok(body) => Response::json(200, &body),
+                Err(e) => error_response(e.into()),
+            }
+        }
+        ("POST", "/ingest") => {
+            count!("server.requests.ingest");
+            handle_ingest(req, shared)
+        }
+        ("POST", "/tune") => {
+            count!("server.requests.tune");
+            let k = match parse_usize_param(req, "k") {
+                Ok(Some(k)) => k,
+                Ok(None) => return Response::error(400, "missing query parameter k"),
+                Err(resp) => return resp,
+            };
+            let m = match parse_usize_param(req, "m") {
+                Ok(v) => v.unwrap_or(16),
+                Err(resp) => return resp,
+            };
+            let advisor = req.param("advisor").unwrap_or("dta");
+            let constraints = match req.param("budget_bytes").map(str::parse::<u64>) {
+                None => TuningConstraints::with_max_indexes(m),
+                Some(Ok(b)) => TuningConstraints::with_budget(m, b),
+                Some(Err(_)) => return Response::error(400, "budget_bytes must be an integer"),
+            };
+            let engine = lock_engine(shared);
+            match engine.tune_json(k, advisor, &constraints) {
+                Ok(body) => Response::json(200, &body),
+                Err(e) => error_response(e.into()),
+            }
+        }
+        ("POST", "/shutdown") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::json(200, &Json::Obj(vec![("status".into(), Json::from("draining"))]))
+        }
+        (_, "/healthz" | "/telemetry" | "/summary") => {
+            Response::error(405, "use GET for this endpoint")
+        }
+        (_, "/ingest" | "/tune" | "/shutdown") => {
+            Response::error(405, "use POST for this endpoint")
+        }
+        _ => Response::error(404, &format!("no such endpoint: {}", req.path)),
+    }
+}
+
+/// Parses an optional non-negative integer query parameter; `Err` is a
+/// ready-to-send 400.
+fn parse_usize_param(req: &Request, name: &str) -> Result<Option<usize>, Response> {
+    match req.param(name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| Response::error(400, &format!("{name} must be a non-negative integer"))),
+    }
+}
+
+/// Maps an [`IsumError`] to its wire response via the taxonomy's
+/// [`IsumError::http_status`] (Transient → 503, Permanent → 400,
+/// Budget → 429); transient failures carry a `Retry-After`.
+fn error_response(e: IsumError) -> Response {
+    let status = e.http_status();
+    let resp = Response::json(
+        status,
+        &Json::Obj(vec![
+            ("error".into(), Json::from(e.to_string())),
+            ("class".into(), Json::from(format!("{:?}", e.class()))),
+            ("status".into(), Json::from(u64::from(status))),
+        ]),
+    );
+    if status == 503 || status == 429 {
+        resp.with_header("Retry-After", "1")
+    } else {
+        resp
+    }
+}
+
+/// Enqueues one ingest batch and waits for the sequencer's verdict.
+fn handle_ingest(req: &Request, shared: &Shared) -> Response {
+    let Ok(script) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "ingest body must be UTF-8 SQL text");
+    };
+    let seq = match req.param("seq") {
+        None => None,
+        Some(v) => match v.parse::<u64>() {
+            Ok(s) if s < UNSEQ_KEY_BASE => Some(s),
+            _ => return Response::error(400, "seq must be an integer below 2^63"),
+        },
+    };
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
+    let job = IngestJob { seq, script: script.to_string(), reply: reply_tx };
+    {
+        let guard = lock_ingest(shared);
+        let Some(tx) = guard.as_ref() else {
+            return Response::error(503, "server is shutting down");
+        };
+        match tx.try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                count!("server.backpressure");
+                return Response::error(429, "ingest queue is full; retry shortly")
+                    .with_header("Retry-After", "1");
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return Response::error(503, "server is shutting down");
+            }
+        }
+    }
+    match reply_rx.recv_timeout(shared.ingest_timeout) {
+        Ok(resp) => resp,
+        Err(_) => {
+            count!("server.ingest.timeouts");
+            Response::error(
+                503,
+                "batch not applied within the ingest timeout; retry with the same seq",
+            )
+            .with_header("Retry-After", "1")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Signal handling (Unix): SIGTERM / SIGINT flip a flag the accept loop
+// polls. `signal(2)` is in every libc std already links against; no
+// crate needed. Non-Unix builds fall back to `POST /shutdown` only.
+// ---------------------------------------------------------------------
+
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGTERM or SIGINT was received (after
+/// [`install_signal_handlers`]).
+pub fn signal_pending() -> bool {
+    SIGNALED.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+mod signals {
+    use super::SIGNALED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single atomic store.
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+
+    /// Routes SIGTERM and SIGINT to the shutdown flag.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+/// Installs SIGTERM/SIGINT handlers that request graceful shutdown
+/// (no-op off Unix; use `POST /shutdown` there).
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    signals::install();
+}

@@ -19,5 +19,5 @@ pub mod loader;
 pub mod query;
 
 pub use indexable::{indexable_columns, ColumnPositions, IndexableColumn};
-pub use loader::{load_script, load_script_lenient};
+pub use loader::{load_script, load_script_lenient, split_script};
 pub use query::{CompressedWorkload, QueryClass, QueryInfo, Workload};

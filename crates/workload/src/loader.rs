@@ -50,8 +50,10 @@ pub fn load_script_lenient(
     (w, skipped)
 }
 
-/// Splits a script into statements and their optional cost annotations.
-fn split_script(script: &str) -> (Vec<String>, Vec<Option<f64>>) {
+/// Splits a script into statements and their optional cost annotations
+/// (shared by the loaders above and the serving daemon's ingest path, so
+/// both carve up a script identically).
+pub fn split_script(script: &str) -> (Vec<String>, Vec<Option<f64>>) {
     let mut sqls = Vec::new();
     let mut costs = Vec::new();
     let mut pending_cost: Option<f64> = None;

@@ -137,6 +137,38 @@ impl Workload {
         (Workload { catalog, queries, templates, uid: next_uid() }, skipped)
     }
 
+    /// An empty workload over a catalog, grown one statement at a time via
+    /// [`push_sql`](Self::push_sql) — the shape of a live ingest stream,
+    /// where the closed workload of [`from_sql`](Self::from_sql) never
+    /// exists.
+    pub fn empty(catalog: Catalog) -> Workload {
+        Workload {
+            catalog,
+            queries: Vec::new(),
+            templates: TemplateRegistry::new(),
+            uid: next_uid(),
+        }
+    }
+
+    /// Parses, binds, and appends one statement with its logged cost,
+    /// returning the id it was assigned. Appending the statements of a
+    /// script in order builds the same workload as
+    /// [`from_sql`](Self::from_sql) on the whole script.
+    ///
+    /// # Errors
+    /// Propagates parse/bind errors annotated with the would-be query
+    /// index; the workload is unchanged in that case.
+    pub fn push_sql(&mut self, sql: &str, cost: f64) -> Result<QueryId> {
+        let i = self.queries.len();
+        let stmt = parse(sql).map_err(|e| annotate(e, i, sql))?;
+        let bound = Binder::new(&self.catalog).bind(&stmt).map_err(|e| annotate(e, i, sql))?;
+        let template = self.templates.intern(&stmt);
+        let class = QueryClass::classify(&bound);
+        let id = QueryId::from_index(i);
+        self.queries.push(QueryInfo { id, sql: sql.to_string(), bound, template, cost, class });
+        Ok(id)
+    }
+
     /// A process-unique identity for this workload, distinct across every
     /// workload constructed in the process (including dropped ones).
     /// Callers that key caches per workload — e.g. the what-if optimizer's
@@ -311,6 +343,31 @@ mod tests {
         let err =
             Workload::from_sql(catalog(), &["SELECT a FROM t WHERE t.nope_col = 1"]).unwrap_err();
         assert!(err.to_string().contains("query #0"), "{err}");
+    }
+
+    #[test]
+    fn push_sql_grows_like_from_sql() {
+        let sqls =
+            ["SELECT a FROM t WHERE b = 5", "SELECT a FROM t WHERE b = 9", "SELECT x FROM u"];
+        let batch = Workload::from_sql(catalog(), &sqls).unwrap();
+        let mut grown = Workload::empty(catalog());
+        assert!(grown.is_empty());
+        for (i, sql) in sqls.iter().enumerate() {
+            let id = grown.push_sql(sql, 10.0 * (i + 1) as f64).unwrap();
+            assert_eq!(id.index(), i);
+        }
+        assert_eq!(grown.len(), batch.len());
+        assert_eq!(grown.template_count(), batch.template_count());
+        for (g, b) in grown.queries.iter().zip(&batch.queries) {
+            assert_eq!(g.id, b.id);
+            assert_eq!(g.template, b.template);
+            assert_eq!(g.class, b.class);
+        }
+        assert_eq!(grown.total_cost(), 60.0);
+        // A bad statement is rejected without mutating the workload.
+        assert!(grown.push_sql("SELECT FROM", 1.0).is_err());
+        assert!(grown.push_sql("SELECT nope FROM missing", 1.0).is_err());
+        assert_eq!(grown.len(), 3);
     }
 
     #[test]

@@ -15,7 +15,7 @@ fn main() {
 
     let mut stream = IncrementalIsum::new(IsumConfig::isum());
     for (i, q) in workload.queries.iter().enumerate() {
-        stream.observe(q, &workload.catalog);
+        stream.observe(q, &workload.catalog).expect("generated SQL re-parses");
         // Every 22 arrivals (one template cycle), report the current pick.
         if (i + 1) % 22 == 0 {
             let cw = stream.select(5).expect("non-empty state");

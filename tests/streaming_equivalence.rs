@@ -1,0 +1,54 @@
+//! Streaming/batch equivalence: observing a workload query by query
+//! through `IncrementalIsum` and then selecting must produce the *same*
+//! compressed workload — same query ids, same weights to the last bit —
+//! as one-shot batch `Isum` on the same input.
+//!
+//! This is the contract that lets the serving daemon (`crates/server`)
+//! answer `GET /summary` from its incremental state while promising the
+//! result is identical to re-running batch compression from scratch.
+//! Pinned across two workload generators (TPC-H and DSB) and two values
+//! of `k`, per DESIGN.md §10.
+
+use isum_core::{Compressor, IncrementalIsum, Isum, IsumConfig};
+use isum_workload::gen::{dsb_workload, tpch_workload};
+use isum_workload::Workload;
+
+fn assert_equivalent(w: &Workload, k: usize, what: &str) {
+    let batch = Isum::new().compress(w, k).expect("batch compresses");
+
+    let mut inc = IncrementalIsum::new(IsumConfig::isum());
+    for q in &w.queries {
+        inc.observe(q, &w.catalog).expect("generated SQL observes");
+    }
+    let streamed = inc.select(k).expect("streamed state selects");
+
+    assert_eq!(streamed.len(), batch.len(), "{what}: selection sizes diverge");
+    assert_eq!(streamed.ids(), batch.ids(), "{what}: selected query ids diverge");
+    for (i, ((sid, sw), (bid, bw))) in streamed.entries.iter().zip(&batch.entries).enumerate() {
+        assert_eq!(sid, bid, "{what}: entry {i} id diverges");
+        assert_eq!(sw.to_bits(), bw.to_bits(), "{what}: entry {i} weight diverges ({sw} vs {bw})");
+    }
+}
+
+fn with_costs(mut w: Workload) -> Workload {
+    if w.queries.iter().any(|q| q.cost <= 0.0) {
+        isum_optimizer::populate_costs(&mut w);
+    }
+    w
+}
+
+#[test]
+fn tpch_streaming_matches_batch_at_two_ks() {
+    let w = with_costs(tpch_workload(1, 60, 17).expect("tpch binds"));
+    for k in [5, 14] {
+        assert_equivalent(&w, k, &format!("tpch k={k}"));
+    }
+}
+
+#[test]
+fn dsb_streaming_matches_batch_at_two_ks() {
+    let w = with_costs(dsb_workload(1, 48, 23).expect("dsb binds"));
+    for k in [5, 14] {
+        assert_equivalent(&w, k, &format!("dsb k={k}"));
+    }
+}
