@@ -66,6 +66,11 @@ fn run(args: &[String]) -> Result<()> {
     };
     let opts = Options::parse(flags)?;
     telemetry::init_from_env();
+    isum_common::trace::init_from_env();
+    if let Some(path) = &opts.log_file {
+        isum_common::trace::set_log_file(std::path::Path::new(path))
+            .map_err(|e| Error::InvalidConfig(format!("cannot open --log-file `{path}`: {e}")))?;
+    }
     isum_faults::init_from_env()
         .map_err(|e| Error::InvalidConfig(format!("invalid ISUM_FAULTS: {e}")))?;
     if let Some(spec) = &opts.faults {
@@ -116,8 +121,10 @@ fn print_usage() {
          [--workload <sql|gen:spec>] [-k <n>] [-m <n>] [--batch <n>]\n\
          any command accepts --stats (or ISUM_TELEMETRY=1) to print a telemetry table,\n\
          --threads <n> (or ISUM_THREADS=<n>) to size the worker pool (1 = sequential),\n\
-         and --faults <spec> (or ISUM_FAULTS=<spec>) for deterministic fault injection\n\
-         (e.g. whatif_transient:0.05,parse:0.01,seed:7 — see DESIGN.md \u{a7}9)"
+         --faults <spec> (or ISUM_FAULTS=<spec>) for deterministic fault injection\n\
+         (e.g. whatif_transient:0.05,parse:0.01,seed:7 — see DESIGN.md \u{a7}9),\n\
+         and ISUM_LOG=<filter> (e.g. info,server=debug) with --log-file <path>\n\
+         (or ISUM_LOG_FILE) for structured JSONL event logs"
     );
 }
 
@@ -136,6 +143,7 @@ struct Options {
     stats: bool,
     threads: Option<usize>,
     faults: Option<String>,
+    log_file: Option<String>,
     json: bool,
     out: Option<String>,
     listen: String,
@@ -161,6 +169,7 @@ impl Options {
             stats: false,
             threads: None,
             faults: None,
+            log_file: None,
             json: false,
             out: None,
             listen: "127.0.0.1:7071".into(),
@@ -211,6 +220,7 @@ impl Options {
                     o.threads = Some(n);
                 }
                 "--faults" => o.faults = Some(value("--faults")?),
+                "--log-file" => o.log_file = Some(value("--log-file")?),
                 "--out" => o.out = Some(value("--out")?),
                 "--listen" => o.listen = value("--listen")?,
                 "--checkpoint" => o.checkpoint = Some(value("--checkpoint")?),

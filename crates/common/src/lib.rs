@@ -2,11 +2,12 @@
 //!
 //! This crate contains the foundation types used by every other crate in the
 //! workspace: strongly-typed identifiers ([`ids`]), the workspace error type
-//! ([`error`]), deterministic random number generation with skewed samplers
+//! ([`mod@error`]), deterministic random number generation with skewed samplers
 //! ([`rng`]), the statistical helpers used by the evaluation harness
 //! ([`stats`]), a dependency-free JSON value ([`json`]), and the
 //! workload-compression telemetry layer ([`telemetry`]) every other crate
-//! reports spans and counters through.
+//! reports spans and counters through, and the structured tracing layer
+//! ([`trace`]) that attributes individual events to requests and workers.
 
 pub mod bits;
 pub mod error;
@@ -15,6 +16,7 @@ pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
+pub mod trace;
 
 pub use bits::{hex_bits, unhex_bits};
 pub use error::{Error, ErrorClass, IsumError, IsumResult, Result};

@@ -49,6 +49,7 @@
 
 mod histogram;
 mod metrics;
+mod prometheus;
 mod registry;
 mod snapshot;
 mod span;

@@ -1,0 +1,175 @@
+//! Prometheus text exposition (format version 0.0.4) of a telemetry
+//! [`Snapshot`], backing the daemon's `GET /metrics`.
+//!
+//! Internal dot-separated metric names (`optimizer.whatif.calls`) and
+//! slash-separated span paths (`compress/isum/select`) are mapped onto the
+//! Prometheus grammar by replacing every character outside `[a-zA-Z0-9_]`
+//! with `_` and prefixing `isum_` (spans get `isum_span_` so the two
+//! namespaces cannot collide). Histograms and spans render as cumulative
+//! `_bucket{le="..."}` series using the registry's power-of-two bucket
+//! bounds — quantiles read off them inherit the same documented 2×
+//! resolution — plus the exact `_sum` and `_count`.
+
+use std::fmt::Write as _;
+
+use super::histogram::{bucket_hi, HistogramSnapshot};
+use super::snapshot::Snapshot;
+
+/// Maps an internal metric name or span path onto a valid Prometheus
+/// metric name.
+fn sanitize(prefix: &str, name: &str) -> String {
+    let mut out = String::with_capacity(prefix.len() + name.len());
+    out.push_str(prefix);
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' });
+    }
+    out
+}
+
+/// Appends one histogram family: HELP/TYPE, cumulative buckets (only the
+/// bounds that hold samples, plus the mandatory `+Inf`), `_sum`, `_count`.
+fn push_histogram(out: &mut String, name: &str, help: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cumulative += c;
+        // Bucket 63's upper bound is u64::MAX; +Inf already covers it.
+        if i < 63 {
+            let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", bucket_hi(i));
+        }
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Every registered metric is emitted, including zero-valued ones —
+    /// scrapers rely on series existing before the first increment.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let pname = sanitize("isum_", name);
+            let _ = writeln!(out, "# HELP {pname} ISUM counter `{name}`.");
+            let _ = writeln!(out, "# TYPE {pname} counter");
+            let _ = writeln!(out, "{pname} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let pname = sanitize("isum_", name);
+            let _ = writeln!(out, "# HELP {pname} ISUM gauge `{name}`.");
+            let _ = writeln!(out, "# TYPE {pname} gauge");
+            let _ = writeln!(out, "{pname} {value}");
+        }
+        for (name, hist) in &self.histograms {
+            let pname = sanitize("isum_", name);
+            let unit = if name.ends_with("_ns") { " (nanoseconds)" } else { "" };
+            push_histogram(&mut out, &pname, &format!("ISUM histogram `{name}`{unit}."), hist);
+        }
+        for span in &self.spans {
+            let pname = sanitize("isum_span_", &span.path);
+            push_histogram(
+                &mut out,
+                &pname,
+                &format!("ISUM span `{}` duration (nanoseconds).", span.path),
+                &span.hist,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::snapshot::SpanStat;
+    use super::super::Histogram;
+    use super::*;
+
+    fn snap_of(h: &Histogram) -> HistogramSnapshot {
+        h.snap()
+    }
+
+    #[test]
+    fn sanitizes_names_into_prometheus_grammar() {
+        assert_eq!(sanitize("isum_", "optimizer.whatif.calls"), "isum_optimizer_whatif_calls");
+        assert_eq!(
+            sanitize("isum_span_", "compress/isum/select"),
+            "isum_span_compress_isum_select"
+        );
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(100);
+        let snap = Snapshot {
+            counters: vec![("server.requests".into(), 42)],
+            gauges: vec![("server.queue.depth".into(), -1)],
+            histograms: vec![("server.ingest_ns".into(), snap_of(&h))],
+            spans: vec![SpanStat { path: "compress/select".into(), hist: snap_of(&h) }],
+        };
+        let text = snap.render_prometheus();
+        assert!(text.contains("# TYPE isum_server_requests counter\nisum_server_requests 42\n"));
+        assert!(text.contains("# TYPE isum_server_queue_depth gauge\nisum_server_queue_depth -1\n"));
+        assert!(text.contains("# TYPE isum_server_ingest_ns histogram"));
+        assert!(text.contains("isum_server_ingest_ns_sum 105"));
+        assert!(text.contains("isum_server_ingest_ns_count 2"));
+        assert!(text.contains("isum_server_ingest_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("# TYPE isum_span_compress_select histogram"));
+        assert!(text.contains("isum_span_compress_select_count 2"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_capped_by_inf() {
+        let h = Histogram::new();
+        for v in [1u64, 1, 6, 6, 6, 1000] {
+            h.record(v);
+        }
+        let snap = Snapshot { histograms: vec![("m".into(), snap_of(&h))], ..Snapshot::default() };
+        let text = snap.render_prometheus();
+        // 1,1 land in bucket 0 (le=2); 6,6,6 in bucket 2 (le=8); 1000 in
+        // bucket 9 (le=1024). Cumulative counts must be monotone.
+        assert!(text.contains("isum_m_bucket{le=\"2\"} 2\n"), "{text}");
+        assert!(text.contains("isum_m_bucket{le=\"8\"} 5\n"), "{text}");
+        assert!(text.contains("isum_m_bucket{le=\"1024\"} 6\n"), "{text}");
+        assert!(text.contains("isum_m_bucket{le=\"+Inf\"} 6\n"), "{text}");
+        assert!(text.contains("isum_m_sum 1020\n"), "{text}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_exposition() {
+        assert!(Snapshot::default().render_prometheus().is_empty());
+    }
+
+    #[test]
+    fn every_line_is_help_type_or_sample() {
+        let h = Histogram::new();
+        h.record(7);
+        let snap = Snapshot {
+            counters: vec![("a.b".into(), 1)],
+            histograms: vec![("c.d_ns".into(), snap_of(&h))],
+            ..Snapshot::default()
+        };
+        for line in snap.render_prometheus().lines() {
+            if let Some(rest) = line.strip_prefix("# ") {
+                assert!(
+                    rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                    "bad comment line: {line}"
+                );
+            } else {
+                let (series, value) = line.rsplit_once(' ').expect("sample has value");
+                assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+                let name = series.split('{').next().unwrap();
+                assert!(
+                    name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                    "bad metric name: {line}"
+                );
+            }
+        }
+    }
+}

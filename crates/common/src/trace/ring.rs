@@ -1,0 +1,138 @@
+//! A bounded ring buffer of recent events backing the daemon's
+//! `GET /events` tail.
+//!
+//! Writers claim a slot with one lock-free `fetch_add` on the cursor and
+//! take only that slot's lock to store the event, so concurrent emitters
+//! from different workers never serialize on a shared lock (two writers
+//! contend only when the ring has fully wrapped between them). Readers
+//! snapshot the tail by walking the last `n` slots; an event being
+//! overwritten mid-read is simply skipped for that snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use super::event::Event;
+
+/// A bounded, append-only ring of events.
+#[derive(Debug)]
+pub struct Ring {
+    slots: Vec<Mutex<Option<Event>>>,
+    /// Total events ever pushed; `cursor % slots.len()` is the next slot.
+    cursor: AtomicU64,
+}
+
+impl Ring {
+    /// A ring holding the most recent `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Ring {
+        let capacity = capacity.max(1);
+        Ring { slots: (0..capacity).map(|_| Mutex::new(None)).collect(), cursor: AtomicU64::new(0) }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events pushed over the ring's lifetime (not the retained
+    /// count).
+    pub fn pushed(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Appends one event, evicting the oldest once full.
+    pub fn push(&self, event: Event) {
+        let at = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = (at % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(event);
+    }
+
+    /// The most recent `n` events in push order (oldest first). Returns
+    /// fewer when the ring holds fewer.
+    pub fn tail(&self, n: usize) -> Vec<Event> {
+        let end = self.cursor.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let span = n.min(self.slots.len()) as u64;
+        let start = end.saturating_sub(span.min(end));
+        let mut out = Vec::with_capacity((end - start) as usize);
+        for at in start..end {
+            let slot = (at % cap) as usize;
+            let guard = self.slots[slot].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(ev) = guard.as_ref() {
+                out.push(ev.clone());
+            }
+        }
+        // A wrap racing this read can leave a newer event in an "older"
+        // slot; keep the tail monotone by sequence number.
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Clears the ring (tests and between-run resets).
+    pub fn clear(&self) {
+        for slot in &self.slots {
+            *slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Level;
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            seq,
+            unix_ms: 0,
+            level: Level::Info,
+            target: "test".into(),
+            message: format!("event {seq}"),
+            fields: Vec::new(),
+            request_id: None,
+            thread_label: None,
+        }
+    }
+
+    #[test]
+    fn tail_returns_most_recent_in_order() {
+        let ring = Ring::new(4);
+        for i in 0..10 {
+            ring.push(ev(i));
+        }
+        let tail = ring.tail(3);
+        let seqs: Vec<u64> = tail.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+        assert_eq!(ring.tail(100).len(), 4, "bounded by capacity");
+        assert_eq!(ring.pushed(), 10);
+    }
+
+    #[test]
+    fn tail_of_partial_ring_is_everything() {
+        let ring = Ring::new(8);
+        ring.push(ev(0));
+        ring.push(ev(1));
+        assert_eq!(ring.tail(8).len(), 2);
+        ring.clear();
+        assert!(ring.tail(8).is_empty());
+    }
+
+    #[test]
+    fn concurrent_pushes_never_lose_the_ring() {
+        let ring = std::sync::Arc::new(Ring::new(64));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = std::sync::Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        ring.push(ev(t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ring.pushed(), 800);
+        assert_eq!(ring.tail(64).len(), 64, "full ring retains exactly capacity");
+    }
+}

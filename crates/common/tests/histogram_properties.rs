@@ -1,0 +1,73 @@
+//! Property tests for [`HistogramSnapshot::quantile`]: for any recorded
+//! value set, estimates must be monotone in `q` and never leave the
+//! observed `[min, max]` range (the invariants the reporting layer and
+//! the Prometheus exposition depend on).
+
+use isum_common::telemetry::Histogram;
+use proptest::prelude::*;
+
+/// Values spanning several orders of magnitude, including the zero and
+/// near-`u64::MAX` buckets, so the walk crosses sparse bucket patterns.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    (0u32..63).prop_map(|shift| 1u64 << shift)
+}
+
+proptest! {
+    #[test]
+    fn quantile_is_monotone_and_bounded(
+        exact in prop::collection::vec(0u64..2_000_000, 1..200),
+        wide in prop::collection::vec(value_strategy(), 0..40),
+        qs in prop::collection::vec(0.0f64..1.0, 2..20),
+    ) {
+        let h = Histogram::new();
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for &v in exact.iter().chain(wide.iter()) {
+            h.record(v);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let snap = h.snap();
+
+        let mut qs = qs;
+        qs.push(0.0);
+        qs.push(1.0);
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        let mut prev = None;
+        for &q in &qs {
+            let est = snap.quantile(q);
+            prop_assert!(
+                est >= min && est <= max,
+                "q={q} est={est} outside observed [{min}, {max}]"
+            );
+            if let Some((pq, pe)) = prev {
+                prop_assert!(
+                    est >= pe,
+                    "quantile not monotone: q={pq} -> {pe}, q={q} -> {est}"
+                );
+            }
+            prev = Some((q, est));
+        }
+        prop_assert_eq!(snap.quantile(1.0), max, "q=1 is the observed max");
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero(q in 0.0f64..1.0) {
+        let snap = Histogram::new().snap();
+        prop_assert_eq!(snap.quantile(q), 0);
+    }
+
+    #[test]
+    fn single_value_histogram_is_exact_at_every_q(
+        v in 0u64..u64::MAX,
+        q in 0.0f64..1.0,
+        n in 1u64..50,
+    ) {
+        let h = Histogram::new();
+        for _ in 0..n {
+            h.record(v);
+        }
+        prop_assert_eq!(h.snap().quantile(q), v);
+    }
+}

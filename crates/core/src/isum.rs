@@ -5,8 +5,8 @@
 //! algorithm) or all-pairs comparisons — updating the remainder after each
 //! pick (step 3B), then weigh the selected queries (step 4).
 
-use isum_common::telemetry;
-use isum_common::{QueryId, Result};
+use isum_common::trace::{self, Level};
+use isum_common::{telemetry, QueryId, Result};
 use isum_workload::{CompressedWorkload, Workload};
 
 use crate::allpairs::select_all_pairs;
@@ -163,16 +163,29 @@ impl Compressor for Isum {
     fn compress(&self, workload: &Workload, k: usize) -> Result<CompressedWorkload> {
         validate(workload, k)?;
         let _isum = telemetry::span("isum");
+        // Per-phase events are debug-level; the clock is only read when
+        // some sink or ring can actually receive them.
+        let trace_on = trace::enabled(Level::Debug);
         let featurizer = Featurizer {
             scheme: self.config.scheme,
             use_table_weight: self.config.use_table_weight,
         };
+        let t = trace_on.then(std::time::Instant::now);
         let (wf, u) = {
             let _s = telemetry::span("featurize");
             let wf = WorkloadFeatures::build(workload, &featurizer);
             let u = utilities(workload, self.config.utility);
             (wf, u)
         };
+        if let Some(t) = t {
+            isum_common::debug!(
+                "core.isum",
+                "featurize done",
+                queries = workload.queries.len(),
+                elapsed_us = t.elapsed().as_micros()
+            );
+        }
+        let t = trace_on.then(std::time::Instant::now);
         let selection = {
             let _s = telemetry::span("select");
             match self.config.algorithm {
@@ -192,6 +205,17 @@ impl Compressor for Isum {
                 ),
             }
         };
+        if let Some(t) = t {
+            isum_common::debug!(
+                "core.isum",
+                "select done",
+                candidates = workload.queries.len(),
+                selected = selection.order.len(),
+                k = k,
+                elapsed_us = t.elapsed().as_micros()
+            );
+        }
+        let t = trace_on.then(std::time::Instant::now);
         let _w = telemetry::span("weight");
         let templates: Vec<isum_common::TemplateId> =
             workload.queries.iter().map(|q| q.template).collect();
@@ -206,6 +230,14 @@ impl Compressor for Isum {
                 .collect(),
         };
         cw.normalize_weights();
+        if let Some(t) = t {
+            isum_common::debug!(
+                "core.isum",
+                "weight done",
+                entries = cw.entries.len(),
+                elapsed_us = t.elapsed().as_micros()
+            );
+        }
         Ok(cw)
     }
 }

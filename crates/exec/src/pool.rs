@@ -320,11 +320,11 @@ impl ThreadPool {
         let log = std::mem::take(&mut *lock(&state.panics));
         if let Some(payload) = log.first {
             if log.count > 1 {
-                eprintln!(
-                    "isum-exec: {} tasks panicked in one scope (labels: {}); \
-                     re-raising the first",
-                    log.count,
-                    log.labels.join(", ")
+                isum_common::warn!(
+                    "exec",
+                    "multiple tasks panicked in one scope; re-raising the first",
+                    count = log.count,
+                    labels = log.labels.join(", ")
                 );
             }
             resume_unwind(payload);
@@ -495,6 +495,9 @@ fn run_task(task: Task, worker: Option<&Arc<telemetry::Counter>>) {
 /// The worker main loop: drain own deque, steal, park.
 fn worker_loop(shared: &Arc<Shared>, index: usize) {
     WORKER_INDEX.with(|w| w.set(Some(index)));
+    // Events emitted inside tasks carry the worker identity, keeping
+    // 1-vs-8-thread runs attributable in /events and JSONL logs.
+    isum_common::trace::set_thread_label(&format!("exec-{index}"));
     // Interned once per worker: the `count!` macro caches one name per call
     // site, which would alias every worker onto one counter here.
     let tasks = telemetry::counter(&format!("exec.worker.{index}.tasks"));

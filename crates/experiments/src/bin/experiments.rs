@@ -36,6 +36,7 @@ fn usage(code: i32) -> ! {
 }
 
 fn main() {
+    isum_common::trace::init_from_env();
     if let Err(e) = isum_faults::init_from_env() {
         eprintln!("invalid ISUM_FAULTS: {e}");
         std::process::exit(2);

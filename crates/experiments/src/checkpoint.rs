@@ -197,7 +197,10 @@ pub fn cell(key: &str, compute: impl FnOnce() -> CellOutcome) -> CellOutcome {
         store.cells.insert(key.to_string(), outcome.clone());
         count!("harness.checkpoint.cells");
         if let Err(e) = store.persist() {
-            eprintln!("warning: failed to persist checkpoint {}: {e}", store.path.display());
+            isum_common::error!(
+                "harness.checkpoint",
+                format!("failed to persist checkpoint {}: {e}", store.path.display())
+            );
         }
     }
     outcome

@@ -39,7 +39,11 @@ fn merging_ablation(scale: &Scale) -> Table {
             Ok(cw) => cw,
             Err(e) => {
                 count!("harness.cells_skipped");
-                eprintln!("isum-harness: merging ablation skipped ({}): {e}", ctx.name);
+                isum_common::warn!(
+                    "harness.ablation",
+                    format!("merging ablation skipped: {e}"),
+                    workload = ctx.name
+                );
                 continue;
             }
         };
@@ -76,7 +80,11 @@ fn cache_ablation(scale: &Scale) -> Table {
             Ok(cw) => cw,
             Err(e) => {
                 count!("harness.cells_skipped");
-                eprintln!("isum-harness: cache ablation skipped ({}): {e}", ctx.name);
+                isum_common::warn!(
+                    "harness.ablation",
+                    format!("cache ablation skipped: {e}"),
+                    workload = ctx.name
+                );
                 continue;
             }
         };

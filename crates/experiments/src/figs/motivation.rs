@@ -80,7 +80,7 @@ pub fn fig3(scale: &Scale) -> Vec<Table> {
         let eval = match evaluate_method(&isum, &ctx, k, &advisor, &constraints) {
             Ok(eval) => eval,
             Err(e) => {
-                eprintln!("skipping fig3 cell k={k}: {e}");
+                isum_common::warn!("harness.fig3", format!("cell skipped: {e}"), k = k);
                 isum_common::count!("harness.cells_skipped");
                 if k == n {
                     break;

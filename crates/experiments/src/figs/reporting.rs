@@ -46,7 +46,11 @@ pub fn reporting(scale: &Scale) -> Vec<Table> {
             Ok(cw) => cw,
             Err(e) => {
                 count!("harness.cells_skipped");
-                eprintln!("isum-harness: reporting row skipped ({}): {e}", ctx.name);
+                isum_common::warn!(
+                    "harness.reporting",
+                    format!("row skipped: {e}"),
+                    workload = ctx.name
+                );
                 continue;
             }
         };

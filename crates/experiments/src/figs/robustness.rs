@@ -41,8 +41,11 @@ pub fn robustness(scale: &Scale) -> Vec<Table> {
                     Ok(e) => per_method[mi].push(e.improvement_pct),
                     Err(e) => {
                         count!("harness.cells_skipped");
-                        eprintln!(
-                            "isum-harness: robustness cell skipped ({name}, seed {seed}): {e}"
+                        isum_common::warn!(
+                            "harness.robustness",
+                            format!("cell skipped: {e}"),
+                            workload = name,
+                            seed = seed
                         );
                     }
                 }

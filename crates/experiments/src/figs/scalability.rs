@@ -66,7 +66,7 @@ pub fn fig11(scale: &Scale) -> Vec<Table> {
                     }
                     Err(e) => {
                         count!("harness.cells_skipped");
-                        eprintln!("isum-harness: fig11 cell skipped (n={n}): {e}");
+                        isum_common::warn!("harness.fig11", format!("cell skipped: {e}"), n = n);
                         imp_row.push("-".into());
                         time_row.push("-".into());
                     }

@@ -155,11 +155,14 @@ impl ExperimentCtx {
         let costs: Vec<f64> = survivors.iter().map(|&(_, c)| c).collect();
         workload.set_costs(&costs);
         if dropped_parse > 0 || survivors.len() < outcomes.len() {
-            eprintln!(
-                "isum-harness: {name}: dropped {dropped_parse} unparseable and quarantined {} \
-                 poisoned queries; continuing with {}",
-                outcomes.len() - survivors.len(),
-                workload.len()
+            isum_common::warn!(
+                "harness",
+                format!(
+                    "{name}: dropped {dropped_parse} unparseable and quarantined {} poisoned \
+                     queries; continuing with {}",
+                    outcomes.len() - survivors.len(),
+                    workload.len()
+                )
             );
         }
         Self { workload, name }
@@ -221,7 +224,7 @@ pub fn ctx_or_skip(result: IsumResult<ExperimentCtx>, what: &str) -> Option<Expe
         Ok(ctx) => Some(ctx),
         Err(e) => {
             count!("harness.workloads_skipped");
-            eprintln!("isum-harness: skipping workload {what}: {e}");
+            isum_common::warn!("harness", format!("skipping workload {what}: {e}"));
             None
         }
     }
@@ -335,7 +338,7 @@ pub fn improvement_cell(eval: &IsumResult<MethodEval>) -> String {
         Ok(e) => crate::report::f1(e.improvement_pct),
         Err(e) => {
             count!("harness.cells_skipped");
-            eprintln!("isum-harness: cell skipped: {e}");
+            isum_common::warn!("harness", format!("cell skipped: {e}"));
             "-".to_string()
         }
     }

@@ -284,6 +284,11 @@ impl<'a> WhatIfOptimizer<'a> {
                 Err(e) if e.is_transient() && attempt < self.budget.max_retries => {
                     self.retries.inc();
                     count!("optimizer.whatif.retries");
+                    isum_common::debug!(
+                        "optimizer.whatif",
+                        format!("transient what-if failure; retrying: {}", e.message()),
+                        attempt = attempt
+                    );
                     std::thread::sleep(self.budget.backoff_for(attempt));
                     attempt += 1;
                 }
@@ -332,10 +337,26 @@ impl<'a> WhatIfOptimizer<'a> {
         Ok(self.cost_raw(bound, cfg))
     }
 
-    /// Records one degradation to the heuristic estimate.
-    fn fallback(&self, bound: &BoundQuery, _reason: &str) -> f64 {
+    /// Records one degradation to the heuristic estimate. The first
+    /// fallback of an optimizer instance warns (results are about to be
+    /// degraded); the rest are debug-level so a budget-exhausted sweep
+    /// does not emit one warning per query.
+    fn fallback(&self, bound: &BoundQuery, reason: &str) -> f64 {
         self.fallbacks.inc();
         count!("optimizer.whatif.fallbacks");
+        if self.fallbacks.get() == 1 {
+            isum_common::warn!(
+                "optimizer.whatif",
+                format!("degrading to heuristic cost: {reason}"),
+                fallbacks = 1u64
+            );
+        } else {
+            isum_common::debug!(
+                "optimizer.whatif",
+                format!("degrading to heuristic cost: {reason}"),
+                fallbacks = self.fallbacks.get()
+            );
+        }
         self.heuristic_cost(bound)
     }
 

@@ -1,14 +1,20 @@
 //! Serving-path benchmark: ingest throughput and `/summary` latency.
 //!
 //! ```text
-//! cargo run -p isum-server --release --bin bench_serve [-- <out.json>]
+//! cargo run -p isum-server --release --bin bench_serve [-- <out.json> [<baseline.json>]]
 //! ```
 //!
 //! Boots a daemon on an ephemeral port, streams the quick-scale TPC-H
 //! workload through real HTTP ingest in sequenced batches, then samples
 //! `GET /summary?k=10` repeatedly, and writes statements/sec plus
 //! p50/p99 latency to `BENCH_serve.json` (or the path given as the first
-//! argument) — the seed point of the serving-perf trajectory.
+//! argument). A second argument names a baseline JSON from an earlier
+//! run; its headline numbers and the resulting ratios are embedded in the
+//! output, which is how `BENCH_obs.json` records the disabled-path
+//! overhead of the tracing layer against the PR 4 `BENCH_serve.json`.
+//!
+//! Fatal errors are reported as structured `error!` events (visible on
+//! stderr under the default `ISUM_LOG` filter) before exiting nonzero.
 
 use std::time::{Duration, Instant};
 
@@ -26,14 +32,25 @@ fn quantile(sorted_ms: &[f64], q: f64) -> f64 {
     sorted_ms[idx]
 }
 
+/// Reports a fatal benchmark error and exits.
+fn fail(message: String) -> ! {
+    isum_common::error!("bench.serve", message);
+    std::process::exit(1);
+}
+
+/// Reads a numeric field of a baseline benchmark JSON.
+fn baseline_num(doc: &Json, field: &str) -> Option<f64> {
+    doc.get(field).and_then(Json::as_f64)
+}
+
 fn main() {
+    isum_common::trace::init_from_env();
     let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".into());
+    let baseline_path = std::env::args().nth(2);
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
-    let mut workload = tpch_workload(1, N_QUERIES, 42).unwrap_or_else(|e| {
-        eprintln!("cannot generate TPC-H workload: {e}");
-        std::process::exit(1);
-    });
+    let mut workload = tpch_workload(1, N_QUERIES, 42)
+        .unwrap_or_else(|e| fail(format!("cannot generate TPC-H workload: {e}")));
     isum_optimizer::populate_costs(&mut workload);
 
     // Render sequenced ingest batches exactly like `isum client ingest`.
@@ -48,11 +65,8 @@ fn main() {
         })
         .collect();
 
-    let server =
-        Server::bind("127.0.0.1:0", ServerConfig::new(tpch_catalog(1))).unwrap_or_else(|e| {
-            eprintln!("cannot bind benchmark server: {e}");
-            std::process::exit(1);
-        });
+    let server = Server::bind("127.0.0.1:0", ServerConfig::new(tpch_catalog(1)))
+        .unwrap_or_else(|e| fail(format!("cannot bind benchmark server: {e}")));
     let client = Client::new(server.addr().to_string()).with_timeout(Duration::from_secs(30));
 
     // Warm-up: one throwaway batch server (connection setup, lazy statics)
@@ -61,13 +75,11 @@ fn main() {
 
     let t0 = Instant::now();
     for (seq, batch) in batches.iter().enumerate() {
-        let resp = client.ingest_with_retry(batch, Some(seq as u64), 600).unwrap_or_else(|e| {
-            eprintln!("ingest seq {seq} failed: {e}");
-            std::process::exit(1);
-        });
+        let resp = client
+            .ingest_with_retry(batch, Some(seq as u64), 600)
+            .unwrap_or_else(|e| fail(format!("ingest seq {seq} failed: {e}")));
         if resp.status != 200 {
-            eprintln!("ingest seq {seq} answered {}: {}", resp.status, resp.body);
-            std::process::exit(1);
+            fail(format!("ingest seq {seq} answered {}: {}", resp.status, resp.body));
         }
     }
     let ingest_secs = t0.elapsed().as_secs_f64();
@@ -75,13 +87,10 @@ fn main() {
     let mut latencies_ms: Vec<f64> = (0..SUMMARY_SAMPLES)
         .map(|_| {
             let t = Instant::now();
-            let resp = client.summary(SUMMARY_K).unwrap_or_else(|e| {
-                eprintln!("summary failed: {e}");
-                std::process::exit(1);
-            });
+            let resp =
+                client.summary(SUMMARY_K).unwrap_or_else(|e| fail(format!("summary failed: {e}")));
             if resp.status != 200 {
-                eprintln!("summary answered {}: {}", resp.status, resp.body);
-                std::process::exit(1);
+                fail(format!("summary answered {}: {}", resp.status, resp.body));
             }
             t.elapsed().as_secs_f64() * 1e3
         })
@@ -91,7 +100,10 @@ fn main() {
     server.shutdown();
     server.join();
 
-    let doc = Json::Obj(vec![
+    let ingest_sps = N_QUERIES as f64 / ingest_secs;
+    let p50 = quantile(&latencies_ms, 0.5);
+    let p99 = quantile(&latencies_ms, 0.99);
+    let mut fields = vec![
         ("bench".into(), Json::from("serve_quick_tpch")),
         (
             "workload".into(),
@@ -104,18 +116,38 @@ fn main() {
         ("ingest_statements".into(), Json::from(N_QUERIES)),
         ("ingest_batches".into(), Json::from(batches.len())),
         ("ingest_secs".into(), Json::Num(ingest_secs)),
-        ("ingest_statements_per_sec".into(), Json::Num(N_QUERIES as f64 / ingest_secs)),
+        ("ingest_statements_per_sec".into(), Json::Num(ingest_sps)),
         ("summary_samples".into(), Json::from(SUMMARY_SAMPLES)),
-        ("summary_p50_ms".into(), Json::Num(quantile(&latencies_ms, 0.5))),
-        ("summary_p99_ms".into(), Json::Num(quantile(&latencies_ms, 0.99))),
+        ("summary_p50_ms".into(), Json::Num(p50)),
+        ("summary_p99_ms".into(), Json::Num(p99)),
         (
             "summary_mean_ms".into(),
             Json::Num(latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64),
         ),
-    ]);
+    ];
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(format!("cannot read baseline {path}: {e}")));
+        let base = Json::parse(&text)
+            .unwrap_or_else(|e| fail(format!("baseline {path} is not JSON: {e}")));
+        let mut cmp = vec![("path".into(), Json::from(path.as_str()))];
+        if let Some(b) = baseline_num(&base, "ingest_statements_per_sec") {
+            cmp.push(("ingest_statements_per_sec".into(), Json::Num(b)));
+            cmp.push(("ingest_throughput_ratio".into(), Json::Num(ingest_sps / b)));
+        }
+        if let Some(b) = baseline_num(&base, "summary_p50_ms") {
+            cmp.push(("summary_p50_ms".into(), Json::Num(b)));
+            cmp.push(("summary_p50_ratio".into(), Json::Num(p50 / b)));
+        }
+        if let Some(b) = baseline_num(&base, "summary_p99_ms") {
+            cmp.push(("summary_p99_ms".into(), Json::Num(b)));
+            cmp.push(("summary_p99_ratio".into(), Json::Num(p99 / b)));
+        }
+        fields.push(("baseline".into(), Json::Obj(cmp)));
+    }
+    let doc = Json::Obj(fields);
     if let Err(e) = std::fs::write(&out, format!("{}\n", doc.to_pretty())) {
-        eprintln!("cannot write {out}: {e}");
-        std::process::exit(1);
+        fail(format!("cannot write {out}: {e}"));
     }
     println!("{}", doc.to_pretty());
 }

@@ -64,6 +64,18 @@ impl Client {
 
     /// Sends one request and reads the response.
     pub fn request(&self, method: &str, target: &str, body: &str) -> io::Result<ApiResponse> {
+        self.request_with_headers(method, target, body, &[])
+    }
+
+    /// Sends one request with extra headers (e.g. a client-chosen
+    /// `X-Isum-Request-Id`) and reads the response.
+    pub fn request_with_headers(
+        &self,
+        method: &str,
+        target: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> io::Result<ApiResponse> {
         let stream = TcpStream::connect(&self.addr)?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
@@ -71,11 +83,14 @@ impl Client {
             let mut w = &stream;
             write!(
                 w,
-                "{method} {target} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\
-                 Connection: close\r\n\r\n",
+                "{method} {target} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n",
                 self.addr,
                 body.len()
             )?;
+            for (name, value) in headers {
+                write!(w, "{name}: {value}\r\n")?;
+            }
+            w.write_all(b"Connection: close\r\n\r\n")?;
             w.write_all(body.as_bytes())?;
             w.flush()?;
         }
@@ -108,6 +123,16 @@ impl Client {
     /// `GET /telemetry`.
     pub fn telemetry(&self) -> io::Result<ApiResponse> {
         self.get("/telemetry")
+    }
+
+    /// `GET /metrics` (Prometheus text exposition in `body`).
+    pub fn metrics(&self) -> io::Result<ApiResponse> {
+        self.get("/metrics")
+    }
+
+    /// `GET /events?n=N` (JSONL tail of recent events in `body`).
+    pub fn events(&self, n: usize) -> io::Result<ApiResponse> {
+        self.get(&format!("/events?n={n}"))
     }
 
     /// `POST /shutdown`.

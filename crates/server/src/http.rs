@@ -196,6 +196,12 @@ impl Response {
         }
     }
 
+    /// A response with an explicit content type and raw body (used for
+    /// non-JSON expositions like Prometheus text and JSONL event tails).
+    pub fn raw(status: u16, content_type: &'static str, body: Vec<u8>) -> Response {
+        Response { status, headers: Vec::new(), content_type, body }
+    }
+
     /// A JSON error envelope: `{"error": msg, "status": code}`.
     pub fn error(status: u16, message: &str) -> Response {
         Response::json(

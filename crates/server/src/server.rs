@@ -7,7 +7,8 @@
 //!           accept loop (nonblocking, polls shutdown flag)
 //!                │ one exec-pool task per connection
 //!                ▼
-//!   connection handler ──reads──► GET  /summary │ /telemetry │ /healthz
+//!   connection handler ──reads──► GET  /summary │ /telemetry │ /metrics
+//!                │                     /events  │ /healthz
 //!                │                (lock engine, answer inline)
 //!                │ POST /ingest
 //!                ▼
@@ -54,6 +55,7 @@ use std::time::Duration;
 
 use isum_advisor::TuningConstraints;
 use isum_catalog::Catalog;
+use isum_common::trace::{self, Level};
 use isum_common::{count, telemetry, IsumError, Json};
 use isum_core::IsumConfig;
 
@@ -101,6 +103,10 @@ impl ServerConfig {
 struct IngestJob {
     seq: Option<u64>,
     script: String,
+    /// Request ID of the submitting connection; the sequencer stamps it
+    /// onto every event it emits while applying this batch, so faults hit
+    /// on the sequencer thread stay attributable to the request.
+    request_id: String,
     reply: SyncSender<Response>,
 }
 
@@ -133,6 +139,10 @@ impl Server {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        // `GET /events` serves the ring tail; capture at debug so the
+        // endpoint works without any ISUM_LOG configuration.
+        trace::enable_ring(Level::Debug);
+        isum_common::info!("server", format!("listening on {addr}"));
 
         let (engine, next_seq) = match &config.checkpoint {
             Some(path) if path.exists() => {
@@ -238,10 +248,15 @@ fn serve_loop(listener: TcpListener, shared: Arc<Shared>, rx: Receiver<IngestJob
     shared.shutdown.store(true, Ordering::SeqCst);
     *lock_ingest(&shared) = None;
     let _ = sequencer.join();
+    isum_common::info!("server", "drained and shut down");
     if telemetry::enabled() {
         let snap = telemetry::snapshot();
         if !snap.is_empty() {
-            eprintln!("{}", snap.render_table());
+            // The table is the product output --stats / ISUM_TELEMETRY
+            // asked for, not a diagnostic; it goes to stderr directly.
+            let stderr = io::stderr();
+            let mut w = stderr.lock();
+            let _ = std::io::Write::write_all(&mut w, snap.render_table().as_bytes());
         }
     }
 }
@@ -273,7 +288,11 @@ fn sequencer_loop(rx: Receiver<IngestJob>, shared: Arc<Shared>, mut next_seq: u6
         let engine = lock_engine(&shared);
         if let Err(e) = engine.checkpoint_to(path, next_seq) {
             count!("server.checkpoint.errors");
-            eprintln!("isum-serve: final checkpoint failed: {e}");
+            isum_common::error!(
+                "server.ingest",
+                format!("final checkpoint failed: {e}"),
+                next_seq = next_seq
+            );
         }
     }
 }
@@ -288,9 +307,11 @@ fn dispatch(
     attempts: &mut HashMap<u64, u32>,
     unseq_counter: &mut u64,
 ) {
+    let _rid = trace::with_request_id(&job.request_id);
     match job.seq {
         Some(seq) if seq < *next_seq => {
             count!("server.ingest.duplicates");
+            isum_common::debug!("server.ingest", "duplicate batch acknowledged", seq = seq);
             let body = Json::Obj(vec![
                 ("status".into(), Json::from("duplicate")),
                 ("seq".into(), Json::from(seq)),
@@ -301,6 +322,12 @@ fn dispatch(
         }
         Some(seq) if seq > *next_seq => {
             count!("server.ingest.out_of_order");
+            isum_common::debug!(
+                "server.ingest",
+                "batch ahead of the stream; told to retry",
+                seq = seq,
+                next_seq = *next_seq
+            );
             let resp = Response::error(
                 503,
                 &format!("seq {seq} is ahead of the stream (next is {next_seq}); retry shortly"),
@@ -338,7 +365,11 @@ fn write_checkpoint(shared: &Shared, next_seq: u64) {
         let engine = lock_engine(shared);
         if let Err(e) = engine.checkpoint_to(path, next_seq) {
             count!("server.checkpoint.errors");
-            eprintln!("isum-serve: checkpoint failed: {e}");
+            isum_common::error!(
+                "server.ingest",
+                format!("checkpoint failed: {e}"),
+                next_seq = next_seq
+            );
         }
     }
 }
@@ -356,6 +387,12 @@ fn apply_job(
     let injector = isum_faults::global();
     if injector.is_active() && injector.ingest_fault(key, this_attempt) {
         count!("server.ingest.faults");
+        isum_common::warn!(
+            "server.ingest",
+            "injected transient ingest fault",
+            key = key,
+            attempt = this_attempt
+        );
         let body = Json::Obj(vec![
             ("error".into(), Json::from("injected transient ingest fault")),
             ("status".into(), Json::from(503u64)),
@@ -370,14 +407,36 @@ fn apply_job(
     let body = {
         let mut engine = lock_engine(shared);
         let outcome = engine.apply_script(&job.script);
+        isum_common::debug!("server.ingest", "batch applied", observed = engine.observed());
         outcome.to_json(job.seq, engine.observed())
     };
     Response::json(200, &body)
 }
 
+/// The request-ID the connection runs under: a client-supplied
+/// `X-Isum-Request-Id` when it is well-formed (non-empty, at most 64
+/// visible-ASCII bytes — anything else could corrupt response framing),
+/// else a server-generated one. Either way the ID is echoed on the
+/// response and stamped on every event the request produces.
+fn request_id_for(req: &Request) -> String {
+    match req.header("x-isum-request-id") {
+        Some(id)
+            if !id.is_empty()
+                && id.len() <= 64
+                && id.bytes().all(|b| (0x21..=0x7e).contains(&b)) =>
+        {
+            id.to_string()
+        }
+        _ => trace::next_request_id(),
+    }
+}
+
 /// Handles one connection end to end. Panics inside routing are caught
 /// here (before the exec scope can see them) and answered with a 500, so
 /// one poisoned request can neither kill a worker nor crash shutdown.
+/// Every response — including parse failures, backpressure, and panic
+/// quarantines — carries an `X-Isum-Request-Id`, and every non-2xx path
+/// emits an event under that ID so `/events` can attribute it.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
@@ -385,13 +444,19 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         Err(_) => return, // peer vanished; nobody to answer
         Ok(Err((status, msg))) => {
             count!("server.http_errors");
+            let rid = trace::next_request_id();
+            let _rid = trace::with_request_id(&rid);
+            isum_common::warn!("server.conn", format!("malformed request: {msg}"), status = status);
             let mut w = &stream;
-            let _ = Response::error(status, &msg).write(&mut w);
+            let _ =
+                Response::error(status, &msg).with_header("X-Isum-Request-Id", &rid).write(&mut w);
             return;
         }
         Ok(Ok(req)) => req,
     };
     count!("server.requests");
+    let rid = request_id_for(&req);
+    let _rid = trace::with_request_id(&rid);
     let resp = match catch_unwind(AssertUnwindSafe(|| route(&req, shared))) {
         Ok(resp) => resp,
         Err(payload) => {
@@ -402,11 +467,30 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 .map(|s| (*s).to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "<non-string panic payload>".into());
+            isum_common::error!(
+                "server.conn",
+                format!("request handler panicked: {msg}"),
+                method = req.method,
+                path = req.path
+            );
             Response::error(500, &format!("request handler panicked: {msg}"))
         }
     };
+    if resp.status >= 400 {
+        isum_common::warn!(
+            "server.conn",
+            format!("{} {} failed", req.method, req.path),
+            status = resp.status
+        );
+    } else {
+        isum_common::debug!(
+            "server.conn",
+            format!("{} {}", req.method, req.path),
+            status = resp.status
+        );
+    }
     let mut w = &stream;
-    let _ = resp.write(&mut w);
+    let _ = resp.with_header("X-Isum-Request-Id", &rid).write(&mut w);
 }
 
 /// Dispatches one parsed request to its endpoint.
@@ -429,8 +513,46 @@ fn route(req: &Request, shared: &Shared) -> Response {
             if telemetry::enabled() {
                 Response::json(200, &telemetry::snapshot().to_json())
             } else {
-                Response::json(200, &Json::Obj(vec![("enabled".into(), Json::from(false))]))
+                Response::json(
+                    200,
+                    &Json::Obj(vec![
+                        ("enabled".into(), Json::from(false)),
+                        (
+                            "hint".into(),
+                            Json::from(
+                                "telemetry is disabled; start the server with ISUM_TELEMETRY=1 \
+                                 (or --stats) to collect metrics",
+                            ),
+                        ),
+                    ]),
+                )
             }
+        }
+        ("GET", "/metrics") => {
+            count!("server.requests.metrics");
+            let body = if telemetry::enabled() {
+                telemetry::snapshot().render_prometheus()
+            } else {
+                // Comment-only output is still valid Prometheus text
+                // exposition; say why it is empty and how to fix that.
+                "# telemetry is disabled; start the server with ISUM_TELEMETRY=1 (or --stats) \
+                 to collect metrics\n"
+                    .to_string()
+            };
+            Response::raw(200, "text/plain; version=0.0.4", body.into_bytes())
+        }
+        ("GET", "/events") => {
+            count!("server.requests.events");
+            let n = match parse_usize_param(req, "n") {
+                Ok(v) => v.unwrap_or(100),
+                Err(resp) => return resp,
+            };
+            let mut body = String::new();
+            for event in trace::ring_tail(n) {
+                body.push_str(&event.to_jsonl());
+                body.push('\n');
+            }
+            Response::raw(200, "application/x-ndjson", body.into_bytes())
         }
         ("GET", "/summary") => {
             count!("server.requests.summary");
@@ -477,7 +599,7 @@ fn route(req: &Request, shared: &Shared) -> Response {
             shared.shutdown.store(true, Ordering::SeqCst);
             Response::json(200, &Json::Obj(vec![("status".into(), Json::from("draining"))]))
         }
-        (_, "/healthz" | "/telemetry" | "/summary") => {
+        (_, "/healthz" | "/telemetry" | "/metrics" | "/events" | "/summary") => {
             Response::error(405, "use GET for this endpoint")
         }
         (_, "/ingest" | "/tune" | "/shutdown") => {
@@ -532,7 +654,8 @@ fn handle_ingest(req: &Request, shared: &Shared) -> Response {
         },
     };
     let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
-    let job = IngestJob { seq, script: script.to_string(), reply: reply_tx };
+    let request_id = trace::current_request_id().unwrap_or_else(trace::next_request_id);
+    let job = IngestJob { seq, script: script.to_string(), request_id, reply: reply_tx };
     {
         let guard = lock_ingest(shared);
         let Some(tx) = guard.as_ref() else {

@@ -1,0 +1,147 @@
+//! Observability end to end over real TCP: request-ID round-trip,
+//! `/metrics` Prometheus exposition, `/events` attribution of injected
+//! faults, and the explicit disabled-telemetry bodies.
+//!
+//! One test function: the trace ring, telemetry flag, and fault injector
+//! are process-global, so the phases must run in a fixed order (and this
+//! file is its own integration-test binary = its own process).
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use isum_catalog::{Catalog, CatalogBuilder};
+use isum_common::telemetry;
+use isum_server::{Client, Server, ServerConfig};
+
+fn catalog() -> Catalog {
+    CatalogBuilder::new()
+        .table("t", 50_000)
+        .col_key("id")
+        .col_int("grp", 200, 0, 200)
+        .col_int("v", 1_000, 0, 10_000)
+        .finish()
+        .expect("fresh table")
+        .build()
+}
+
+fn batch(i: usize) -> String {
+    format!("SELECT id FROM t WHERE grp = {} AND v > {};\n", i % 13, i * 17)
+}
+
+#[test]
+fn observability_end_to_end() {
+    telemetry::set_enabled(false);
+    let server = Server::bind("127.0.0.1:0", ServerConfig::new(catalog())).expect("binds");
+    let client = Client::new(server.addr().to_string()).with_timeout(Duration::from_secs(30));
+
+    // --- Disabled telemetry is explicit, not an empty response. ---
+    let telem = client.telemetry().expect("telemetry");
+    assert_eq!(telem.status, 200);
+    assert_eq!(telem.field("enabled").and_then(|v| v.as_bool()), Some(false));
+    assert!(
+        telem.field("hint").and_then(|v| v.as_str()).unwrap_or("").contains("ISUM_TELEMETRY"),
+        "disabled body names the enabling env var: {}",
+        telem.body
+    );
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(
+        metrics.body.starts_with('#') && metrics.body.contains("ISUM_TELEMETRY"),
+        "disabled /metrics is a comment naming the env var: {}",
+        metrics.body
+    );
+
+    telemetry::set_enabled(true);
+
+    // --- Client-supplied request IDs are echoed verbatim. ---
+    let resp = client
+        .request_with_headers(
+            "POST",
+            "/ingest?seq=0",
+            &batch(0),
+            &[("X-Isum-Request-Id", "my-batch-0")],
+        )
+        .expect("ingest");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(resp.header("x-isum-request-id"), Some("my-batch-0"));
+
+    // --- Server-generated IDs exist and are unique per request. ---
+    let mut generated = HashSet::new();
+    for _ in 0..5 {
+        let resp = client.healthz().expect("healthz");
+        let rid = resp.header("x-isum-request-id").expect("every response carries an ID");
+        assert!(!rid.is_empty());
+        assert!(generated.insert(rid.to_string()), "duplicate generated ID {rid}");
+    }
+
+    // --- Error responses carry an ID that appears in /events. ---
+    let bad = client.summary(usize::MAX).map(|r| r.status);
+    assert!(bad.is_ok(), "oversized k still answers");
+    let bad = client.get("/summary").expect("summary without k");
+    assert_eq!(bad.status, 400);
+    let bad_rid = bad.header("x-isum-request-id").expect("400 carries an ID").to_string();
+    let events = client.events(512).expect("events");
+    assert_eq!(events.status, 200);
+    assert!(
+        events.body.lines().any(|l| l.contains(&format!("\"request_id\":\"{bad_rid}\""))),
+        "the 400's request ID must appear in /events: rid={bad_rid}\n{}",
+        events.body
+    );
+
+    // --- An injected ingest fault is attributed to the failing request. ---
+    isum_faults::set_global_spec("ingest:0.6,seed:23").expect("valid spec");
+    let mut faulted_rid = None;
+    for i in 1..40usize {
+        let rid = format!("fault-probe-{i}");
+        let resp = client
+            .request_with_headers(
+                "POST",
+                &format!("/ingest?seq={i}"),
+                &batch(i),
+                &[("X-Isum-Request-Id", rid.as_str())],
+            )
+            .expect("ingest");
+        assert_eq!(resp.header("x-isum-request-id"), Some(rid.as_str()));
+        match resp.status {
+            503 => {
+                faulted_rid = Some(rid);
+                break;
+            }
+            200 => {}
+            other => panic!("unexpected status {other}: {}", resp.body),
+        }
+    }
+    isum_faults::set_global_spec("").expect("reset");
+    let faulted_rid = faulted_rid.expect("rate 0.6 over 39 batches faults at least once");
+    let events = client.events(1024).expect("events");
+    let attributed = events.body.lines().any(|l| {
+        l.contains("injected transient ingest fault")
+            && l.contains(&format!("\"request_id\":\"{faulted_rid}\""))
+    });
+    assert!(
+        attributed,
+        "fault event must carry the failing request's ID {faulted_rid}:\n{}",
+        events.body
+    );
+
+    // --- /metrics is Prometheus text exposition with histogram series. ---
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let ct = metrics.header("content-type").expect("content type");
+    assert!(ct.starts_with("text/plain"), "exposition is text/plain: {ct}");
+    let text = &metrics.body;
+    assert!(text.contains("# TYPE isum_server_requests counter"), "{text}");
+    assert!(text.contains("# HELP isum_server_requests"), "{text}");
+    let hist = text
+        .lines()
+        .find_map(|l| l.strip_prefix("# TYPE ").and_then(|r| r.strip_suffix(" histogram")))
+        .expect("at least one histogram family")
+        .to_string();
+    assert!(text.contains(&format!("{hist}_bucket{{le=\"+Inf\"}}")), "{text}");
+    assert!(text.contains(&format!("{hist}_sum")), "{text}");
+    assert!(text.contains(&format!("{hist}_count")), "{text}");
+
+    telemetry::set_enabled(false);
+    server.shutdown();
+    server.join();
+}
