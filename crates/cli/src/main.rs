@@ -6,7 +6,7 @@
 //! isum explain  --schema schema.json --workload workload.sql --query 3 [--tuned]
 //! isum dump     --workload gen:tpch:1:200:42 [--out workload.sql]
 //! isum serve    --schema tpch:1 --listen 127.0.0.1:7071 [--checkpoint state.json] [--queue-cap 64]
-//! isum client   <ingest|summary|tune|healthz|telemetry|shutdown> --server 127.0.0.1:7071 ...
+//! isum client   <ingest|summary|explain|status|tune|healthz|telemetry|shutdown> --server 127.0.0.1:7071 ...
 //! ```
 //!
 //! The schema is a JSON statistics document (see `schema.rs`) or a builtin
@@ -117,8 +117,10 @@ fn print_usage() {
          isum dump     --workload gen:<kind>:<sf>:<n>:<seed> [--out <file>]\n  \
          isum serve    --schema <json|tpch:sf|tpcds:sf|dsb:sf> [--listen <addr>]\n                \
          [--checkpoint <file>] [--queue-cap <n>] [--variant <v>]\n  \
-         isum client   <ingest|summary|tune|healthz|telemetry|shutdown> --server <addr>\n                \
+         isum client   <ingest|summary|explain|status|tune|healthz|telemetry|shutdown> --server <addr>\n                \
          [--workload <sql|gen:spec>] [-k <n>] [-m <n>] [--batch <n>]\n\
+         isum serve reads ISUM_DRIFT_WINDOW=<n> (0 disables) and ISUM_DRIFT_THRESHOLD=<0..1>\n\
+         to configure workload-drift tracking (see DESIGN.md \u{a7}12),\n\
          any command accepts --stats (or ISUM_TELEMETRY=1) to print a telemetry table,\n\
          --threads <n> (or ISUM_THREADS=<n>) to size the worker pool (1 = sequential),\n\
          --faults <spec> (or ISUM_FAULTS=<spec>) for deterministic fault injection\n\
@@ -500,6 +502,7 @@ fn serve(opts: &Options) -> Result<()> {
     };
     config.checkpoint = opts.checkpoint.as_ref().map(std::path::PathBuf::from);
     config.queue_cap = opts.queue_cap;
+    config = config.apply_drift_env(); // ISUM_DRIFT_WINDOW / ISUM_DRIFT_THRESHOLD
     install_signal_handlers();
     let server = Server::bind(&opts.listen, config)?;
     eprintln!("isum-serve listening on {}", server.addr());
@@ -527,6 +530,10 @@ fn client_cmd(verb: Option<&str>, opts: &Options) -> Result<()> {
         Some("telemetry") => send(client.telemetry()),
         Some("shutdown") => send(client.shutdown()),
         Some("summary") => send(client.summary(opts.k)),
+        Some("explain") => send(client.explain(opts.k)),
+        // `status` reports at the server's default coverage size; the
+        // daemon picks k = min(observed, 10) so the probe stays cheap.
+        Some("status") => send(client.status(None)),
         Some("tune") => {
             let mut target = format!("/tune?k={}&m={}&advisor={}", opts.k, opts.m, opts.advisor);
             if let Some(b) = opts.budget_bytes {
@@ -536,7 +543,7 @@ fn client_cmd(verb: Option<&str>, opts: &Options) -> Result<()> {
         }
         Some("ingest") => client_ingest(&client, opts),
         other => Err(Error::InvalidConfig(format!(
-            "client verb {} (expected ingest | summary | tune | healthz | telemetry | shutdown)",
+            "client verb {} (expected ingest | summary | explain | status | tune | healthz | telemetry | shutdown)",
             other.map_or("missing".into(), |v| format!("`{v}`"))
         ))),
     }

@@ -26,10 +26,25 @@ fn sanitize(prefix: &str, name: &str) -> String {
     out
 }
 
+/// Escapes HELP text per the exposition format: `\` becomes `\\` and a
+/// line feed becomes `\n` — anything else would truncate the comment line
+/// or be misread as an escape by the scraper.
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Appends one histogram family: HELP/TYPE, cumulative buckets (only the
 /// bounds that hold samples, plus the mandatory `+Inf`), `_sum`, `_count`.
 fn push_histogram(out: &mut String, name: &str, help: &str, h: &HistogramSnapshot) {
-    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
     let _ = writeln!(out, "# TYPE {name} histogram");
     let mut cumulative = 0u64;
     for (i, &c) in h.buckets.iter().enumerate() {
@@ -55,13 +70,15 @@ impl Snapshot {
         let mut out = String::new();
         for (name, value) in &self.counters {
             let pname = sanitize("isum_", name);
-            let _ = writeln!(out, "# HELP {pname} ISUM counter `{name}`.");
+            let help = escape_help(&format!("ISUM counter `{name}`."));
+            let _ = writeln!(out, "# HELP {pname} {help}");
             let _ = writeln!(out, "# TYPE {pname} counter");
             let _ = writeln!(out, "{pname} {value}");
         }
         for (name, value) in &self.gauges {
             let pname = sanitize("isum_", name);
-            let _ = writeln!(out, "# HELP {pname} ISUM gauge `{name}`.");
+            let help = escape_help(&format!("ISUM gauge `{name}`."));
+            let _ = writeln!(out, "# HELP {pname} {help}");
             let _ = writeln!(out, "# TYPE {pname} gauge");
             let _ = writeln!(out, "{pname} {value}");
         }
@@ -144,6 +161,71 @@ mod tests {
     #[test]
     fn empty_snapshot_renders_empty_exposition() {
         assert!(Snapshot::default().render_prometheus().is_empty());
+        // The drift family in particular is registered lazily: a registry
+        // that never saw a drift sample exposes no isum_drift_* series at
+        // all, rather than zero-valued placeholders.
+        assert!(!Snapshot::default().render_prometheus().contains("isum_drift"));
+    }
+
+    #[test]
+    fn negative_gauges_render_verbatim() {
+        let snap = Snapshot {
+            gauges: vec![("drift.score_ppm".into(), -1), ("lag".into(), i64::MIN)],
+            ..Snapshot::default()
+        };
+        let text = snap.render_prometheus();
+        assert!(text.contains("isum_drift_score_ppm -1\n"), "{text}");
+        assert!(text.contains(&format!("isum_lag {}\n", i64::MIN)), "{text}");
+    }
+
+    #[test]
+    fn help_text_escapes_backslash_and_newline() {
+        assert_eq!(escape_help(r"a\b"), r"a\\b");
+        assert_eq!(escape_help("a\nb"), "a\\nb");
+        assert_eq!(escape_help("plain"), "plain");
+        // A hostile internal name (sanitized in the metric name, raw in
+        // the HELP text) must not break the line-oriented exposition.
+        let snap = Snapshot {
+            counters: vec![("evil\\name\nwith.newline".into(), 3)],
+            ..Snapshot::default()
+        };
+        let text = snap.render_prometheus();
+        assert!(
+            text.contains(
+                "# HELP isum_evil_name_with_newline ISUM counter `evil\\\\name\\nwith.newline`.\n"
+            ),
+            "{text}"
+        );
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "help newline leaked into exposition: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn drift_family_renders_gauges_histogram_and_counter() {
+        let h = Histogram::new();
+        h.record(120_000); // one batch score sample, in ppm
+        let snap = Snapshot {
+            counters: vec![("drift.alerts".into(), 1)],
+            gauges: vec![("drift.score_ppm".into(), 120_000), ("drift.window_len".into(), 256)],
+            histograms: vec![("drift.batch_score_ppm".into(), snap_of(&h))],
+            ..Snapshot::default()
+        };
+        let text = snap.render_prometheus();
+        assert!(text.contains("# TYPE isum_drift_alerts counter\nisum_drift_alerts 1\n"));
+        assert!(text.contains("# TYPE isum_drift_score_ppm gauge\nisum_drift_score_ppm 120000\n"));
+        assert!(text.contains("# TYPE isum_drift_window_len gauge\nisum_drift_window_len 256\n"));
+        assert!(text.contains("# TYPE isum_drift_batch_score_ppm histogram"));
+        assert!(text.contains("isum_drift_batch_score_ppm_count 1\n"));
+        assert!(text.contains("isum_drift_batch_score_ppm_sum 120000\n"));
+        // Family names are distinct, so no HELP/TYPE line is repeated.
+        let mut type_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE")).collect();
+        let before = type_lines.len();
+        type_lines.dedup();
+        assert_eq!(before, type_lines.len(), "duplicate TYPE lines:\n{text}");
     }
 
     #[test]

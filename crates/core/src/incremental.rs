@@ -132,13 +132,7 @@ impl IncrementalIsum {
             return Err(isum_common::Error::InvalidConfig("no queries observed".into()));
         }
         let _s = isum_common::telemetry::span("incremental");
-        // Same normalization as `utility::utilities` on the batch path.
-        let total: f64 = self.raw_reductions.iter().sum();
-        let utilities: Vec<f64> = if total <= 0.0 {
-            vec![0.0; self.len()]
-        } else {
-            self.raw_reductions.iter().map(|r| r / total).collect()
-        };
+        let utilities = self.normalized_utilities();
         let selection: Selection = match self.config.algorithm {
             Algorithm::SummaryFeatures => select_summary(
                 self.features.clone(),
@@ -174,9 +168,60 @@ impl IncrementalIsum {
         Ok(cw)
     }
 
+    /// Same normalization as `utility::utilities` on the batch path.
+    fn normalized_utilities(&self) -> Vec<f64> {
+        let total: f64 = self.raw_reductions.iter().sum();
+        if total <= 0.0 {
+            vec![0.0; self.len()]
+        } else {
+            self.raw_reductions.iter().map(|r| r / total).collect()
+        }
+    }
+
+    /// Selects `k` queries and derives per-member attribution + coverage
+    /// for the result. Observation-only: the underlying selection is
+    /// exactly what [`select`](Self::select) returns, and this method
+    /// takes `&self` — it cannot perturb future selections.
+    ///
+    /// # Errors
+    /// Same failure modes as [`select`](Self::select).
+    pub fn explain(&self, k: usize) -> Result<crate::SummaryExplanation> {
+        let cw = self.select(k)?;
+        let utilities = self.normalized_utilities();
+        Ok(crate::explain::explain_selection(
+            &cw.entries,
+            &self.template_of,
+            &self.features,
+            &utilities,
+        ))
+    }
+
     /// Distinct templates observed so far.
     pub fn template_count(&self) -> usize {
         self.templates.len()
+    }
+
+    /// Fingerprint text of an observed template.
+    pub fn template_fingerprint(&self, t: TemplateId) -> &str {
+        self.templates.fingerprint_of(t)
+    }
+
+    /// Unnormalized utility mass (Δ) accumulated per template, indexed by
+    /// [`TemplateId`]. The drift detector normalizes this into the
+    /// "everything observed" distribution.
+    pub fn template_mass(&self) -> Vec<f64> {
+        let mut mass = vec![0.0; self.templates.len()];
+        for (i, t) in self.template_of.iter().enumerate() {
+            mass[t.index()] += self.raw_reductions[i];
+        }
+        mass
+    }
+
+    /// The `(template, unnormalized Δ)` pairs of observations number
+    /// `from..len()`, in arrival order — how the serving drift window
+    /// consumes new arrivals without re-reading earlier ones.
+    pub fn observations_since(&self, from: usize) -> Vec<(TemplateId, f64)> {
+        (from..self.len()).map(|i| (self.template_of[i], self.raw_reductions[i])).collect()
     }
 
     /// Serializes the observed state to JSON. Every `f64` is stored as its
@@ -373,6 +418,52 @@ mod tests {
         let cw = inc.select(3).expect("valid state");
         let total: f64 = cw.entries.iter().map(|(_, wt)| wt).sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explain_matches_select_and_covers_everything_at_k_n() {
+        let w = workload();
+        let mut inc = IncrementalIsum::new(IsumConfig::isum());
+        inc.observe_workload(&w).expect("observes");
+        let cw = inc.select(3).expect("selects");
+        let e = inc.explain(3).expect("explains");
+        assert_eq!(e.k, 3);
+        assert_eq!(e.observed, 5);
+        assert_eq!(e.templates, 3);
+        let member_ids: Vec<_> = e.members.iter().map(|m| m.query).collect();
+        assert_eq!(member_ids, cw.ids(), "explain reports the same selection");
+        for (m, (_, w)) in e.members.iter().zip(&cw.entries) {
+            assert_eq!(m.weight.to_bits(), w.to_bits());
+        }
+        assert!(e.coverage > 0.0 && e.coverage <= 1.0);
+        // Selecting everything covers everything.
+        let full = inc.explain(5).expect("explains");
+        assert!((full.coverage - 1.0).abs() < 1e-9);
+        assert_eq!(full.represented, 5);
+        // explain() took &self and perturbed nothing.
+        let again = inc.select(3).expect("selects");
+        assert_eq!(again, cw);
+    }
+
+    #[test]
+    fn template_mass_and_observations_since_track_arrivals() {
+        let w = workload();
+        let mut inc = IncrementalIsum::new(IsumConfig::isum());
+        inc.observe(&w.queries[0], &w.catalog).expect("observes");
+        inc.observe(&w.queries[1], &w.catalog).expect("observes");
+        let seen = inc.len();
+        inc.observe(&w.queries[2], &w.catalog).expect("observes");
+        let fresh = inc.observations_since(seen);
+        assert_eq!(fresh.len(), 1);
+        assert!(fresh[0].1 > 0.0, "cost-bearing query carries mass");
+        let mass = inc.template_mass();
+        assert_eq!(mass.len(), inc.template_count());
+        let total: f64 = mass.iter().sum();
+        let direct: f64 = (0..inc.len())
+            .map(|i| inc.observations_since(i).first().map_or(0.0, |(_, m)| *m))
+            .sum();
+        assert!((total - direct).abs() < 1e-9);
+        assert!(!inc.template_fingerprint(fresh[0].0).is_empty());
     }
 
     #[test]

@@ -145,6 +145,25 @@ impl Isum {
             }
         }
     }
+
+    /// Compresses and derives attribution + coverage for the result
+    /// (observation-only: the compression result is exactly what
+    /// [`Compressor::compress`] returns for the same input).
+    ///
+    /// # Errors
+    /// Same failure modes as [`Compressor::compress`].
+    pub fn explain(&self, workload: &Workload, k: usize) -> Result<crate::SummaryExplanation> {
+        let cw = self.compress(workload, k)?;
+        let featurizer = Featurizer {
+            scheme: self.config.scheme,
+            use_table_weight: self.config.use_table_weight,
+        };
+        let wf = WorkloadFeatures::build(workload, &featurizer);
+        let u = utilities(workload, self.config.utility);
+        let templates: Vec<isum_common::TemplateId> =
+            workload.queries.iter().map(|q| q.template).collect();
+        Ok(crate::explain::explain_selection(&cw.entries, &templates, &wf.original, &u))
+    }
 }
 
 impl Compressor for Isum {
@@ -330,6 +349,22 @@ mod tests {
         let mut ids: Vec<usize> = cw.ids().iter().map(|i| i.index()).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn explain_reports_the_compressed_selection() {
+        let w = workload();
+        let cw = Isum::new().compress(&w, 3).unwrap();
+        let e = Isum::new().explain(&w, 3).unwrap();
+        assert_eq!(e.k, 3);
+        assert_eq!(e.observed, 6);
+        let ids: Vec<_> = e.members.iter().map(|m| m.query).collect();
+        assert_eq!(ids, cw.ids());
+        for (m, (_, weight)) in e.members.iter().zip(&cw.entries) {
+            assert_eq!(m.weight.to_bits(), weight.to_bits());
+        }
+        assert!(e.coverage > 0.0 && e.coverage <= 1.0);
+        assert!(e.represented >= 3, "each member represents at least itself");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 pub mod allpairs;
 pub mod benefit;
 pub mod compressor;
+pub mod explain;
 pub mod features;
 pub mod incremental;
 pub mod isum;
@@ -39,6 +40,9 @@ pub mod utility;
 pub mod weighting;
 
 pub use compressor::Compressor;
+pub use explain::{
+    explain_selection, selection_coverage, workload_coverage, MemberAttribution, SummaryExplanation,
+};
 pub use features::{FeatureVec, Featurizer, WeightScheme, WorkloadFeatures};
 pub use incremental::IncrementalIsum;
 pub use isum::{Algorithm, Isum, IsumConfig};

@@ -216,6 +216,12 @@ impl<'env> Scope<'_, 'env> {
     /// label is recorded in the scope's panic log and counted in
     /// telemetry as `exec.panic.<label>`, so a crashing run names its
     /// poisoned stage instead of only surfacing the first payload.
+    ///
+    /// The spawning thread's request-ID (if one is installed — e.g. a
+    /// server handler running `/tune`) is captured here and re-installed
+    /// around the task body, so events emitted from inside pool workers
+    /// stay attributed to the request that spawned the work rather than
+    /// silently losing their ID at the thread boundary.
     pub fn spawn_labeled<F>(&self, label: &str, f: F)
     where
         F: FnOnce() + Send + 'env,
@@ -223,7 +229,9 @@ impl<'env> Scope<'_, 'env> {
         self.state.pending.fetch_add(1, Ordering::SeqCst);
         let state = Arc::clone(&self.state);
         let label = label.to_string();
+        let request_id = isum_common::trace::current_request_id();
         let wrapped = move || {
+            let _rid = request_id.as_deref().map(isum_common::trace::with_request_id);
             if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
                 lock(&state.panics).record(&label, payload);
             }
@@ -567,6 +575,28 @@ mod tests {
             }
         });
         assert_eq!(total.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn request_id_crosses_the_pool_boundary() {
+        // Events emitted inside pool tasks (e.g. core compression run by
+        // a server /tune handler) must stay attributed to the spawning
+        // request, on worker threads and inline alike.
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let _rid = isum_common::trace::with_request_id("rid-pool-42");
+            let ids = pool.par_map(&[0u32; 16], |_| isum_common::trace::current_request_id());
+            assert!(
+                ids.iter().all(|id| id.as_deref() == Some("rid-pool-42")),
+                "threads={threads}: every task carries the spawner's request ID: {ids:?}"
+            );
+            drop(_rid);
+            let ids = pool.par_map(&[0u32; 4], |_| isum_common::trace::current_request_id());
+            assert!(
+                ids.iter().all(Option::is_none),
+                "threads={threads}: no ambient ID leaks into later tasks: {ids:?}"
+            );
+        }
     }
 
     #[test]

@@ -86,6 +86,7 @@ fn outcome_to_json(outcome: &CellOutcome) -> Json {
             ("compression_secs_bits".into(), Json::from(hex_bits(eval.compression_secs))),
             ("tuning_calls".into(), Json::from(eval.tuning_calls)),
             ("tuning_secs_bits".into(), Json::from(hex_bits(eval.tuning_secs))),
+            ("coverage_bits".into(), Json::from(hex_bits(eval.coverage))),
         ]),
         Err(e) => Json::Obj(vec![
             ("error".into(), Json::from(e.message())),
@@ -108,6 +109,7 @@ fn outcome_from_json(j: &Json) -> Option<CellOutcome> {
         compression_secs: unhex_bits(j.get("compression_secs_bits")?.as_str()?)?,
         tuning_calls: j.get("tuning_calls")?.as_u64()?,
         tuning_secs: unhex_bits(j.get("tuning_secs_bits")?.as_str()?)?,
+        coverage: unhex_bits(j.get("coverage_bits")?.as_str()?)?,
     }))
 }
 
@@ -218,18 +220,21 @@ mod tests {
                 compression_secs: v * 0.5,
                 tuning_calls: 987654321,
                 tuning_secs: v * 2.0,
+                coverage: v * 0.25,
             };
             let back = outcome_from_json(&outcome_to_json(&Ok(eval))).unwrap().unwrap();
             assert_eq!(back.improvement_pct.to_bits(), eval.improvement_pct.to_bits());
             assert_eq!(back.compression_secs.to_bits(), eval.compression_secs.to_bits());
             assert_eq!(back.tuning_calls, eval.tuning_calls);
             assert_eq!(back.tuning_secs.to_bits(), eval.tuning_secs.to_bits());
+            assert_eq!(back.coverage.to_bits(), eval.coverage.to_bits());
         }
         let nan = outcome_from_json(&outcome_to_json(&Ok(MethodEval {
             improvement_pct: f64::NAN,
             compression_secs: 0.0,
             tuning_calls: 0,
             tuning_secs: 0.0,
+            coverage: 0.0,
         })))
         .unwrap()
         .unwrap();

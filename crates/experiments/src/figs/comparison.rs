@@ -5,8 +5,8 @@ use isum_advisor::{DexterAdvisor, TuningConstraints};
 use isum_core::{Compressor, Isum, IsumConfig};
 
 use crate::harness::{
-    ctx_or_skip, dta, evaluate_methods, half_sqrt_n, improvement_cell, k_sweep, standard_methods,
-    ExperimentCtx, Scale,
+    coverage_cell, ctx_or_skip, dta, evaluate_methods, half_sqrt_n, improvement_cell, k_sweep,
+    standard_methods, ExperimentCtx, Scale,
 };
 use crate::report::Table;
 
@@ -23,7 +23,9 @@ fn contexts(scale: &Scale, seed: u64) -> Vec<ExperimentCtx> {
 }
 
 /// Fig 9a: improvement vs compressed workload size, six methods, four
-/// workloads.
+/// workloads — plus a companion coverage table recorded from the same
+/// evaluations (no extra optimizer calls), so summary representativity
+/// sits next to the quality figure it explains.
 pub fn fig9a(scale: &Scale) -> Vec<Table> {
     let mut tables = Vec::new();
     for ctx in contexts(scale, 90) {
@@ -33,18 +35,27 @@ pub fn fig9a(scale: &Scale) -> Vec<Table> {
             format!("Fig 9a ({}): improvement (%) vs compressed size", ctx.name),
             &["k", "Uniform", "Cost", "Stratified", "GSUM", "ISUM", "ISUM-S"],
         );
+        let mut cov = Table::new(
+            format!("fig9a_coverage_{}", slug(ctx.name)),
+            format!("Fig 9a ({}): summary coverage vs compressed size", ctx.name),
+            &["k", "Uniform", "Cost", "Stratified", "GSUM", "ISUM", "ISUM-S"],
+        );
         let constraints = TuningConstraints::with_max_indexes(16);
         for k in k_sweep(ctx.workload.len()) {
             let mut row = vec![k.to_string()];
+            let mut cov_row = vec![k.to_string()];
             // Quality figure: the six methods are independent, so they
             // run concurrently (see `evaluate_methods` on why timing
             // figures must not do this).
             for e in evaluate_methods(&methods, &ctx, k, &dta(), &constraints) {
                 row.push(improvement_cell(&e));
+                cov_row.push(coverage_cell(&e));
             }
             t.row(row);
+            cov.row(cov_row);
         }
         tables.push(t);
+        tables.push(cov);
     }
     tables
 }

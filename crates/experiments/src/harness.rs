@@ -241,6 +241,10 @@ pub struct MethodEval {
     pub tuning_calls: u64,
     /// Wall-clock seconds spent tuning.
     pub tuning_secs: f64,
+    /// Coverage of the compressed selection over the full workload
+    /// ([`isum_core::workload_coverage`]): one gauge comparable across
+    /// methods, reported alongside the quality figures.
+    pub coverage: f64,
 }
 
 /// Compresses with `method`, tunes the result with `advisor`, and measures
@@ -266,6 +270,9 @@ pub fn evaluate_method(
         method.compress(&ctx.workload, k).map_err(IsumError::from)?
     };
     let compression_secs = t0.elapsed().as_secs_f64();
+    // Observation only: coverage reads the finished selection, after the
+    // compression clock stops, and never feeds back into tuning.
+    let coverage = isum_core::workload_coverage(&ctx.workload, &cw.ids());
     let opt = ctx.optimizer();
     let t1 = Instant::now();
     let cfg = advisor.recommend(&opt, &ctx.workload, &cw, constraints);
@@ -275,7 +282,7 @@ pub fn evaluate_method(
         let _e = telemetry::span("evaluate");
         opt.improvement_pct(&ctx.workload, &cfg)
     };
-    Ok(MethodEval { improvement_pct, compression_secs, tuning_calls, tuning_secs })
+    Ok(MethodEval { improvement_pct, compression_secs, tuning_calls, tuning_secs, coverage })
 }
 
 /// Evaluates several independent methods concurrently (one pool task per
@@ -341,6 +348,16 @@ pub fn improvement_cell(eval: &IsumResult<MethodEval>) -> String {
             isum_common::warn!("harness", format!("cell skipped: {e}"));
             "-".to_string()
         }
+    }
+}
+
+/// Renders one evaluation outcome as a coverage table cell (three decimal
+/// places — coverage lives in `[0, 1]`); a failed cell renders `-`
+/// without re-counting the skip ([`improvement_cell`] already did).
+pub fn coverage_cell(eval: &IsumResult<MethodEval>) -> String {
+    match eval {
+        Ok(e) => format!("{:.3}", e.coverage),
+        Err(_) => "-".to_string(),
     }
 }
 

@@ -48,6 +48,7 @@ fn resumed_run_replays_recorded_cells_bit_identically() {
         assert_eq!(a.compression_secs.to_bits(), b.compression_secs.to_bits());
         assert_eq!(a.tuning_calls, b.tuning_calls);
         assert_eq!(a.tuning_secs.to_bits(), b.tuning_secs.to_bits());
+        assert_eq!(a.coverage.to_bits(), b.coverage.to_bits());
     }
 
     // Partial resume — the killed-mid-run shape: a checkpoint holding one
@@ -59,6 +60,7 @@ fn resumed_run_replays_recorded_cells_bit_identically() {
             compression_secs: 0.25,
             tuning_calls: 77,
             tuning_secs: 1.5,
+            coverage: 0.875,
         })
     });
     checkpoint::finish();
@@ -74,6 +76,7 @@ fn resumed_run_replays_recorded_cells_bit_identically() {
             compression_secs: 0.0,
             tuning_calls: 1,
             tuning_secs: 0.0,
+            coverage: 1.0,
         })
     });
     assert!(fresh.is_ok(), "missing cell computes on resume");

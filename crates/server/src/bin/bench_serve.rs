@@ -65,7 +65,7 @@ fn main() {
         })
         .collect();
 
-    let server = Server::bind("127.0.0.1:0", ServerConfig::new(tpch_catalog(1)))
+    let server = Server::bind("127.0.0.1:0", ServerConfig::new(tpch_catalog(1)).apply_drift_env())
         .unwrap_or_else(|e| fail(format!("cannot bind benchmark server: {e}")));
     let client = Client::new(server.addr().to_string()).with_timeout(Duration::from_secs(30));
 

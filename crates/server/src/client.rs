@@ -120,6 +120,20 @@ impl Client {
         self.get(&format!("/summary?k={k}"))
     }
 
+    /// `GET /summary/explain?k=N` (per-member attribution + coverage).
+    pub fn explain(&self, k: usize) -> io::Result<ApiResponse> {
+        self.get(&format!("/summary/explain?k={k}"))
+    }
+
+    /// `GET /status` (one-document operational rollup); `k` overrides the
+    /// summary size the coverage gauge is computed at.
+    pub fn status(&self, k: Option<usize>) -> io::Result<ApiResponse> {
+        match k {
+            Some(k) => self.get(&format!("/status?k={k}")),
+            None => self.get("/status"),
+        }
+    }
+
     /// `GET /telemetry`.
     pub fn telemetry(&self) -> io::Result<ApiResponse> {
         self.get("/telemetry")

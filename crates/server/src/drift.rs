@@ -1,0 +1,192 @@
+//! Workload-drift detection on the ingest path.
+//!
+//! The sequencer keeps a bounded sliding window of the most recently
+//! observed `(template, utility mass)` pairs. After each applied batch it
+//! compares the window's normalized per-template mass distribution
+//! against the distribution over *everything* observed, using total
+//! variation distance (half the L1 norm): `0` means the recent stream
+//! looks exactly like the long-run workload, `1` means the recent
+//! templates carry none of the historical mass — the summary selected
+//! from history no longer represents what is arriving.
+//!
+//! The tracker is deterministic (pure arithmetic over engine state, no
+//! clocks, no randomness) and **observation-only**: nothing it computes
+//! feeds back into selection, weighting, or checkpoints, so `/summary`
+//! stays byte-identical with drift tracking on, off, or at any window
+//! size. Threshold crossings are edge-triggered — [`DriftSample::crossed`]
+//! is true only on the transition from below to above — which is the
+//! rate limit on the operator-facing `warn!` the server emits (one alert
+//! per excursion, not one per batch).
+
+use std::collections::VecDeque;
+
+use isum_common::TemplateId;
+
+/// Sliding-window drift detector; one per sequencer thread.
+#[derive(Debug)]
+pub struct DriftTracker {
+    /// Recent observations as `(template index, unnormalized mass)`.
+    window: VecDeque<(usize, f64)>,
+    /// Window capacity in observations; `0` disables tracking entirely.
+    cap: usize,
+    /// Score above which a crossing is reported.
+    threshold: f64,
+    /// Engine observations already consumed into the window.
+    seen: usize,
+    /// Whether the last computed score was above the threshold
+    /// (edge-trigger state for the rate-limited alert).
+    above: bool,
+}
+
+/// One post-batch drift measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSample {
+    /// Total variation distance in `[0, 1]` between the window's and the
+    /// full history's normalized template-mass distributions.
+    pub score: f64,
+    /// Observations currently in the window.
+    pub window_len: usize,
+    /// True exactly when this sample crossed the threshold from below.
+    pub crossed: bool,
+}
+
+impl DriftTracker {
+    /// A tracker holding at most `window` recent observations; `window`
+    /// of `0` disables tracking ([`on_batch`](Self::on_batch) returns
+    /// `None` and consumes nothing).
+    pub fn new(window: usize, threshold: f64) -> DriftTracker {
+        DriftTracker { window: VecDeque::new(), cap: window, threshold, seen: 0, above: false }
+    }
+
+    /// True when a nonzero window was configured.
+    pub fn enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    /// Starts consumption at observation `seen` instead of `0`, so a
+    /// checkpoint-restored history does not flood the window at startup.
+    pub fn starting_at(mut self, seen: usize) -> DriftTracker {
+        self.seen = seen;
+        self
+    }
+
+    /// Engine observations consumed so far — pass to
+    /// `Engine::observations_since` to fetch only the new arrivals.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Folds a batch's fresh observations into the window and scores the
+    /// window against `total_mass` (per-template unnormalized mass over
+    /// the whole observed history, indexed by [`TemplateId`]).
+    pub fn on_batch(
+        &mut self,
+        fresh: &[(TemplateId, f64)],
+        total_mass: &[f64],
+    ) -> Option<DriftSample> {
+        if !self.enabled() {
+            return None;
+        }
+        self.seen += fresh.len();
+        for &(t, mass) in fresh {
+            if self.window.len() == self.cap {
+                self.window.pop_front();
+            }
+            self.window.push_back((t.index(), mass));
+        }
+        let score = self.score(total_mass);
+        let crossed = score > self.threshold && !self.above;
+        self.above = score > self.threshold;
+        Some(DriftSample { score, window_len: self.window.len(), crossed })
+    }
+
+    /// Total variation distance between the window's and the history's
+    /// normalized template-mass distributions; `0.0` when either carries
+    /// no positive mass.
+    fn score(&self, total_mass: &[f64]) -> f64 {
+        let total: f64 = total_mass.iter().sum();
+        let mut window_mass = vec![0.0; total_mass.len()];
+        let mut window_total = 0.0;
+        for &(t, mass) in &self.window {
+            if t < window_mass.len() {
+                window_mass[t] += mass;
+                window_total += mass;
+            }
+        }
+        if total <= 0.0 || window_total <= 0.0 {
+            return 0.0;
+        }
+        let l1: f64 = total_mass
+            .iter()
+            .zip(&window_mass)
+            .map(|(&all, &win)| (all / total - win / window_total).abs())
+            .sum();
+        0.5 * l1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> TemplateId {
+        TemplateId::from_index(i)
+    }
+
+    #[test]
+    fn zero_window_disables_tracking() {
+        let mut d = DriftTracker::new(0, 0.5);
+        assert!(!d.enabled());
+        assert_eq!(d.on_batch(&[(t(0), 1.0)], &[1.0]), None);
+        assert_eq!(d.seen(), 0);
+    }
+
+    #[test]
+    fn identical_stream_scores_zero() {
+        let mut d = DriftTracker::new(8, 0.5);
+        let fresh: Vec<_> = (0..4).map(|i| (t(i % 2), 1.0)).collect();
+        let total = [2.0, 2.0];
+        let s = d.on_batch(&fresh, &total).expect("enabled");
+        assert_eq!(s.score, 0.0);
+        assert!(!s.crossed);
+        assert_eq!(s.window_len, 4);
+        assert_eq!(d.seen(), 4);
+    }
+
+    #[test]
+    fn template_shift_drives_score_up_and_crosses_once() {
+        let mut d = DriftTracker::new(4, 0.5);
+        // History: templates 0 and 1 half-and-half; first batch matches.
+        let s = d.on_batch(&[(t(0), 1.0), (t(1), 1.0)], &[4.0, 4.0]).unwrap();
+        assert!(s.score < 0.5 && !s.crossed);
+        // The stream shifts entirely to template 2. After the window fills
+        // with template-2 mass, the distributions are nearly disjoint.
+        let s = d.on_batch(&[(t(2), 1.0); 4], &[4.0, 4.0, 4.0]).unwrap();
+        assert!(s.score > 0.5, "window all template 2, history 2/3 elsewhere: {}", s.score);
+        assert!(s.crossed, "first excursion above the threshold alerts");
+        // Staying above the threshold does not re-alert.
+        let s = d.on_batch(&[(t(2), 1.0); 2], &[4.0, 4.0, 6.0]).unwrap();
+        assert!(s.score > 0.5);
+        assert!(!s.crossed, "alert is edge-triggered");
+        assert_eq!(s.window_len, 4, "window is bounded at its capacity");
+    }
+
+    #[test]
+    fn recovering_below_threshold_rearms_the_alert() {
+        let mut d = DriftTracker::new(2, 0.4);
+        let total = [1.0, 1.0];
+        assert!(d.on_batch(&[(t(0), 1.0), (t(0), 1.0)], &total).unwrap().crossed);
+        // Window returns to the historical mix: below threshold, re-armed.
+        let s = d.on_batch(&[(t(0), 1.0), (t(1), 1.0)], &total).unwrap();
+        assert!(s.score < 0.4 && !s.crossed);
+        // A second excursion alerts again.
+        assert!(d.on_batch(&[(t(1), 1.0), (t(1), 1.0)], &total).unwrap().crossed);
+    }
+
+    #[test]
+    fn empty_mass_is_zero_not_nan() {
+        let mut d = DriftTracker::new(4, 0.5);
+        let s = d.on_batch(&[(t(0), 0.0)], &[0.0]).unwrap();
+        assert_eq!(s.score, 0.0);
+    }
+}

@@ -151,6 +151,61 @@ impl Engine {
         Ok(summary_to_json(k, self.observed(), self.template_count(), &compressed.entries))
     }
 
+    /// Selects `k` queries and derives attribution + coverage for the
+    /// result (observation-only; see [`IncrementalIsum::explain`]).
+    ///
+    /// # Errors
+    /// Same failure modes as [`Engine::summary_json`].
+    pub fn explain(&self, k: usize) -> Result<isum_core::SummaryExplanation> {
+        self.isum.explain(k)
+    }
+
+    /// Renders the `/summary/explain` response body: the summary members
+    /// with per-template attribution and the coverage gauges. Weights and
+    /// shares carry exact IEEE-754 bit patterns next to their decimal
+    /// renderings, like `/summary`.
+    pub fn explain_json(&self, k: usize) -> Result<Json> {
+        let e = self.explain(k)?;
+        let selected: Vec<Json> = e
+            .members
+            .iter()
+            .map(|m| {
+                Json::Obj(vec![
+                    ("query".into(), Json::from(m.query.index())),
+                    ("weight".into(), Json::from(m.weight)),
+                    ("weight_bits".into(), Json::from(hex_bits(m.weight))),
+                    ("template".into(), Json::from(m.template.index())),
+                    ("instances".into(), Json::from(m.instances)),
+                    ("selected_instances".into(), Json::from(m.selected_instances)),
+                    ("utility_share".into(), Json::from(m.utility_share)),
+                    ("fingerprint".into(), Json::from(self.isum.template_fingerprint(m.template))),
+                ])
+            })
+            .collect();
+        Ok(Json::Obj(vec![
+            ("k".into(), Json::from(e.k)),
+            ("observed".into(), Json::from(e.observed)),
+            ("templates".into(), Json::from(e.templates)),
+            ("coverage".into(), Json::from(e.coverage)),
+            ("coverage_bits".into(), Json::from(hex_bits(e.coverage))),
+            ("represented".into(), Json::from(e.represented)),
+            ("represented_fraction".into(), Json::from(e.represented_fraction())),
+            ("selected".into(), Json::Arr(selected)),
+        ]))
+    }
+
+    /// Per-template unnormalized utility mass over everything observed;
+    /// see [`IncrementalIsum::template_mass`].
+    pub fn template_mass(&self) -> Vec<f64> {
+        self.isum.template_mass()
+    }
+
+    /// `(template, mass)` of observations `from..observed()`, in arrival
+    /// order; see [`IncrementalIsum::observations_since`].
+    pub fn observations_since(&self, from: usize) -> Vec<(isum_common::TemplateId, f64)> {
+        self.isum.observations_since(from)
+    }
+
     /// Runs an index advisor on the compressed workload and renders the
     /// `/tune` response body.
     pub fn tune_json(

@@ -12,6 +12,8 @@
 //! |----------|--------|
 //! | `POST /ingest[?seq=N]` | apply a `;`-separated SQL script (lenient per statement) |
 //! | `GET /summary?k=N` | compress observed queries to `k`, with exact weight bits |
+//! | `GET /summary/explain?k=N` | per-member template attribution + coverage gauges |
+//! | `GET /status[?k=N]` | one-document rollup: seq, queue, checkpoint age, coverage, drift, span timings |
 //! | `POST /tune?k=N[&m=M&advisor=dta\|dexter&budget_bytes=B]` | advisor on the compressed workload |
 //! | `GET /healthz` | liveness + observed-query count |
 //! | `GET /telemetry` | telemetry snapshot (when enabled) |
@@ -36,6 +38,7 @@
 //!   retries of unacknowledged batches converge via duplicate detection.
 
 mod client;
+mod drift;
 mod engine;
 mod http;
 mod server;

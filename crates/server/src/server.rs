@@ -48,17 +48,18 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use isum_advisor::TuningConstraints;
 use isum_catalog::Catalog;
 use isum_common::trace::{self, Level};
-use isum_common::{count, telemetry, IsumError, Json};
+use isum_common::{count, hex_bits, record, telemetry, IsumError, Json};
 use isum_core::IsumConfig;
 
+use crate::drift::DriftTracker;
 use crate::engine::Engine;
 use crate::http::{Request, Response};
 
@@ -83,10 +84,17 @@ pub struct ServerConfig {
     /// Test knob: sleep this long while applying each batch, to make
     /// backpressure and drain windows deterministic in tests.
     pub apply_delay: Duration,
+    /// Drift window capacity in observations; `0` disables drift
+    /// tracking entirely (no window, no score, no alerts).
+    pub drift_window: usize,
+    /// Drift score above which the sequencer emits its (edge-triggered)
+    /// `warn!` alert.
+    pub drift_threshold: f64,
 }
 
 impl ServerConfig {
-    /// Defaults: queue of 64 batches, 30 s ingest wait, no checkpoint.
+    /// Defaults: queue of 64 batches, 30 s ingest wait, no checkpoint,
+    /// drift window of 256 observations with an alert threshold of 0.5.
     pub fn new(catalog: Catalog) -> ServerConfig {
         ServerConfig {
             catalog,
@@ -95,7 +103,37 @@ impl ServerConfig {
             queue_cap: 64,
             ingest_timeout: Duration::from_secs(30),
             apply_delay: Duration::ZERO,
+            drift_window: 256,
+            drift_threshold: 0.5,
         }
+    }
+
+    /// Applies the drift environment knobs: `ISUM_DRIFT_WINDOW`
+    /// (observations, `0` disables) and `ISUM_DRIFT_THRESHOLD` (score in
+    /// `[0, 1]`). Malformed values are reported as `warn!` events and
+    /// ignored, never fatal. Called by the daemon entry points (`isum
+    /// serve`, `bench_serve`) rather than [`ServerConfig::new`] so tests
+    /// stay independent of the ambient environment.
+    pub fn apply_drift_env(mut self) -> ServerConfig {
+        if let Ok(v) = std::env::var("ISUM_DRIFT_WINDOW") {
+            match v.parse::<usize>() {
+                Ok(w) => self.drift_window = w,
+                Err(_) => isum_common::warn!(
+                    "server.drift",
+                    format!("ignoring malformed ISUM_DRIFT_WINDOW `{v}` (want an integer)")
+                ),
+            }
+        }
+        if let Ok(v) = std::env::var("ISUM_DRIFT_THRESHOLD") {
+            match v.parse::<f64>() {
+                Ok(t) if (0.0..=1.0).contains(&t) => self.drift_threshold = t,
+                _ => isum_common::warn!(
+                    "server.drift",
+                    format!("ignoring malformed ISUM_DRIFT_THRESHOLD `{v}` (want 0..=1)")
+                ),
+            }
+        }
+        self
     }
 }
 
@@ -121,6 +159,30 @@ struct Shared {
     checkpoint: Option<PathBuf>,
     ingest_timeout: Duration,
     apply_delay: Duration,
+    queue_cap: usize,
+    drift_window: usize,
+    drift_threshold: f64,
+    status: StatusCells,
+}
+
+/// Mirror cells the hot paths update so `GET /status` can answer without
+/// touching the sequencer. Strictly observation-only: nothing reads these
+/// back into any decision.
+#[derive(Default)]
+struct StatusCells {
+    /// Ingest jobs accepted into the queue and not yet received by the
+    /// sequencer.
+    queue_depth: AtomicU64,
+    /// Sequencer high-water mark (next expected `seq`).
+    next_seq: AtomicU64,
+    /// Wall-clock ms of the last successful checkpoint; `0` = never.
+    last_checkpoint_unix_ms: AtomicU64,
+    /// Last drift score in parts-per-million; `-1` = no sample yet.
+    drift_score_ppm: AtomicI64,
+    /// Observations currently in the drift window.
+    drift_window_len: AtomicU64,
+    /// Threshold crossings since startup.
+    drift_alerts: AtomicU64,
 }
 
 /// A running daemon. Binding spawns the serve thread; [`Server::join`]
@@ -153,6 +215,9 @@ impl Server {
         };
 
         let (tx, rx) = mpsc::sync_channel::<IngestJob>(config.queue_cap.max(1));
+        let status = StatusCells::default();
+        status.next_seq.store(next_seq, Ordering::Relaxed);
+        status.drift_score_ppm.store(-1, Ordering::Relaxed);
         let shared = Arc::new(Shared {
             engine: Mutex::new(engine),
             ingest: Mutex::new(Some(tx)),
@@ -160,6 +225,10 @@ impl Server {
             checkpoint: config.checkpoint.clone(),
             ingest_timeout: config.ingest_timeout,
             apply_delay: config.apply_delay,
+            queue_cap: config.queue_cap.max(1),
+            drift_window: config.drift_window,
+            drift_threshold: config.drift_threshold,
+            status,
         });
 
         let serve_shared = Arc::clone(&shared);
@@ -275,13 +344,19 @@ fn sequencer_loop(rx: Receiver<IngestJob>, shared: Arc<Shared>, mut next_seq: u6
     // (deterministic) fault decision.
     let mut attempts: HashMap<u64, u32> = HashMap::new();
     let mut unseq_counter: u64 = 0;
+    // Drift tracking starts at the current engine high-water mark, so a
+    // checkpoint-restored history counts as "already summarized" and only
+    // post-restart arrivals enter the window.
+    let mut drift = DriftTracker::new(shared.drift_window, shared.drift_threshold)
+        .starting_at(lock_engine(&shared).observed());
     loop {
         let job = match rx.recv_timeout(Duration::from_millis(50)) {
             Ok(job) => job,
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         };
-        dispatch(job, &shared, &mut next_seq, &mut attempts, &mut unseq_counter);
+        shared.status.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        dispatch(job, &shared, &mut next_seq, &mut attempts, &mut unseq_counter, &mut drift);
     }
     // Final checkpoint: everything acknowledged is on disk.
     if let Some(path) = &shared.checkpoint {
@@ -293,6 +368,8 @@ fn sequencer_loop(rx: Receiver<IngestJob>, shared: Arc<Shared>, mut next_seq: u6
                 format!("final checkpoint failed: {e}"),
                 next_seq = next_seq
             );
+        } else {
+            shared.status.last_checkpoint_unix_ms.store(unix_ms(), Ordering::Relaxed);
         }
     }
 }
@@ -306,6 +383,7 @@ fn dispatch(
     next_seq: &mut u64,
     attempts: &mut HashMap<u64, u32>,
     unseq_counter: &mut u64,
+    drift: &mut DriftTracker,
 ) {
     let _rid = trace::with_request_id(&job.request_id);
     match job.seq {
@@ -350,10 +428,55 @@ fn dispatch(
                 attempts.remove(&key);
             }
             if applied {
+                shared.status.next_seq.store(*next_seq, Ordering::Relaxed);
                 write_checkpoint(shared, *next_seq);
+                observe_drift(shared, drift, seq);
             }
             let _ = job.reply.try_send(resp);
         }
+    }
+}
+
+/// Post-batch drift observation: folds the batch's fresh observations
+/// into the sliding window, publishes the score (telemetry gauges +
+/// histogram and the `/status` mirror cells), and emits the
+/// edge-triggered `warn!` when the score first exceeds the threshold.
+/// Runs on the sequencer thread with the submitting request's ID already
+/// installed, so the alert is attributed to the batch that caused it.
+/// Strictly observation-only: reads engine state, feeds nothing back.
+fn observe_drift(shared: &Shared, drift: &mut DriftTracker, seq: Option<u64>) {
+    if !drift.enabled() {
+        return;
+    }
+    let (fresh, total_mass) = {
+        let engine = lock_engine(shared);
+        (engine.observations_since(drift.seen()), engine.template_mass())
+    };
+    let Some(sample) = drift.on_batch(&fresh, &total_mass) else {
+        return;
+    };
+    let ppm = (sample.score * 1e6).round() as i64;
+    shared.status.drift_score_ppm.store(ppm, Ordering::Relaxed);
+    shared.status.drift_window_len.store(sample.window_len as u64, Ordering::Relaxed);
+    if telemetry::enabled() {
+        telemetry::gauge("drift.score_ppm").set(ppm);
+        telemetry::gauge("drift.window_len").set(sample.window_len as i64);
+        record!("drift.batch_score_ppm", ppm.max(0) as u64);
+    }
+    if sample.crossed {
+        shared.status.drift_alerts.fetch_add(1, Ordering::Relaxed);
+        count!("drift.alerts");
+        isum_common::warn!(
+            "server.drift",
+            format!(
+                "workload drift score {:.4} crossed threshold {:.4}; \
+                 recent templates diverge from the summarized history",
+                sample.score, shared.drift_threshold
+            ),
+            seq = seq.map_or_else(|| "unsequenced".into(), |s| s.to_string()),
+            window_len = sample.window_len,
+            score_ppm = ppm
+        );
     }
 }
 
@@ -370,8 +493,16 @@ fn write_checkpoint(shared: &Shared, next_seq: u64) {
                 format!("checkpoint failed: {e}"),
                 next_seq = next_seq
             );
+        } else {
+            shared.status.last_checkpoint_unix_ms.store(unix_ms(), Ordering::Relaxed);
         }
     }
+}
+
+/// Wall-clock milliseconds since the Unix epoch — used only to annotate
+/// `/status` (checkpoint age), never in any data-path decision.
+fn unix_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_millis() as u64)
 }
 
 /// Applies one batch: fault roll, engine mutation, checkpoint, response.
@@ -544,6 +675,7 @@ fn route(req: &Request, shared: &Shared) -> Response {
         ("GET", "/events") => {
             count!("server.requests.events");
             let n = match parse_usize_param(req, "n") {
+                Ok(Some(0)) => return param_error("n", "must be a positive integer"),
                 Ok(v) => v.unwrap_or(100),
                 Err(resp) => return resp,
             };
@@ -553,6 +685,29 @@ fn route(req: &Request, shared: &Shared) -> Response {
                 body.push('\n');
             }
             Response::raw(200, "application/x-ndjson", body.into_bytes())
+        }
+        ("GET", "/status") => {
+            count!("server.requests.status");
+            let k = match parse_usize_param(req, "k") {
+                Ok(Some(0)) => return param_error("k", "must be a positive integer"),
+                Ok(v) => v,
+                Err(resp) => return resp,
+            };
+            status_response(shared, k)
+        }
+        ("GET", "/summary/explain") => {
+            count!("server.requests.explain");
+            let Some(k) = req.param("k") else {
+                return Response::error(400, "missing query parameter k");
+            };
+            let Ok(k) = k.parse::<usize>() else {
+                return param_error("k", "must be a non-negative integer");
+            };
+            let engine = lock_engine(shared);
+            match engine.explain_json(k) {
+                Ok(body) => Response::json(200, &body),
+                Err(e) => error_response(e.into()),
+            }
         }
         ("GET", "/summary") => {
             count!("server.requests.summary");
@@ -599,9 +754,11 @@ fn route(req: &Request, shared: &Shared) -> Response {
             shared.shutdown.store(true, Ordering::SeqCst);
             Response::json(200, &Json::Obj(vec![("status".into(), Json::from("draining"))]))
         }
-        (_, "/healthz" | "/telemetry" | "/metrics" | "/events" | "/summary") => {
-            Response::error(405, "use GET for this endpoint")
-        }
+        (
+            _,
+            "/healthz" | "/telemetry" | "/metrics" | "/events" | "/summary" | "/status"
+            | "/summary/explain",
+        ) => Response::error(405, "use GET for this endpoint"),
         (_, "/ingest" | "/tune" | "/shutdown") => {
             Response::error(405, "use POST for this endpoint")
         }
@@ -610,15 +767,126 @@ fn route(req: &Request, shared: &Shared) -> Response {
 }
 
 /// Parses an optional non-negative integer query parameter; `Err` is a
-/// ready-to-send 400.
+/// ready-to-send typed 400 naming the offending parameter.
 fn parse_usize_param(req: &Request, name: &str) -> Result<Option<usize>, Response> {
     match req.param(name) {
         None => Ok(None),
         Some(v) => v
             .parse::<usize>()
             .map(Some)
-            .map_err(|_| Response::error(400, &format!("{name} must be a non-negative integer"))),
+            .map_err(|_| param_error(name, "must be a non-negative integer")),
     }
+}
+
+/// A typed 400 for a malformed query parameter: the body names the
+/// parameter in a machine-readable `param` field next to the usual
+/// `error`/`status` envelope.
+fn param_error(name: &str, what: &str) -> Response {
+    Response::json(
+        400,
+        &Json::Obj(vec![
+            ("error".into(), Json::from(format!("query parameter `{name}` {what}"))),
+            ("param".into(), Json::from(name)),
+            ("status".into(), Json::from(400u64)),
+        ]),
+    )
+}
+
+/// Builds the `GET /status` document: one JSON object rolling up the
+/// sequencer position, queue pressure, checkpoint age, summary quality
+/// (coverage at `k`, default `min(observed, 10)`), drift state, and the
+/// hierarchical span timings — reads only, so polling it cannot perturb
+/// results.
+fn status_response(shared: &Shared, k_param: Option<usize>) -> Response {
+    let (observed, templates, summary) = {
+        let engine = lock_engine(shared);
+        let observed = engine.observed();
+        let templates = engine.template_count();
+        let summary = if observed == 0 {
+            Json::Null
+        } else {
+            let k = k_param.unwrap_or_else(|| observed.min(10));
+            match engine.explain(k) {
+                Ok(e) => Json::Obj(vec![
+                    ("k".into(), Json::from(e.k)),
+                    ("coverage".into(), Json::from(e.coverage)),
+                    ("coverage_bits".into(), Json::from(hex_bits(e.coverage))),
+                    ("represented".into(), Json::from(e.represented)),
+                    ("represented_fraction".into(), Json::from(e.represented_fraction())),
+                ]),
+                Err(e) => return error_response(e.into()),
+            }
+        };
+        (observed, templates, summary)
+    };
+    let checkpoint = {
+        let last = shared.status.last_checkpoint_unix_ms.load(Ordering::Relaxed);
+        let mut fields = vec![("configured".into(), Json::from(shared.checkpoint.is_some()))];
+        if last == 0 {
+            fields.push(("last_unix_ms".into(), Json::Null));
+            fields.push(("age_ms".into(), Json::Null));
+        } else {
+            fields.push(("last_unix_ms".into(), Json::from(last)));
+            fields.push(("age_ms".into(), Json::from(unix_ms().saturating_sub(last))));
+        }
+        Json::Obj(fields)
+    };
+    let drift = {
+        let enabled = shared.drift_window > 0;
+        let ppm = shared.status.drift_score_ppm.load(Ordering::Relaxed);
+        Json::Obj(vec![
+            ("enabled".into(), Json::from(enabled)),
+            ("window".into(), Json::from(shared.drift_window)),
+            (
+                "window_len".into(),
+                Json::from(shared.status.drift_window_len.load(Ordering::Relaxed)),
+            ),
+            ("threshold".into(), Json::from(shared.drift_threshold)),
+            ("score".into(), if ppm < 0 { Json::Null } else { Json::from(ppm as f64 / 1e6) }),
+            ("alerts".into(), Json::from(shared.status.drift_alerts.load(Ordering::Relaxed))),
+        ])
+    };
+    let spans = if telemetry::enabled() {
+        let snap = telemetry::snapshot();
+        let tree: Vec<Json> = snap
+            .spans
+            .iter()
+            .map(|s| {
+                let count = s.count();
+                let total_ns = s.total_ns();
+                Json::Obj(vec![
+                    ("path".into(), Json::from(s.path.as_str())),
+                    ("count".into(), Json::from(count)),
+                    ("total_ns".into(), Json::from(total_ns)),
+                    ("mean_ns".into(), Json::from(total_ns.checked_div(count).unwrap_or(0))),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![("enabled".into(), Json::from(true)), ("tree".into(), Json::Arr(tree))])
+    } else {
+        Json::Obj(vec![("enabled".into(), Json::from(false)), ("tree".into(), Json::Arr(vec![]))])
+    };
+    let draining = shared.shutdown.load(Ordering::SeqCst);
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("status".into(), Json::from(if draining { "draining" } else { "ok" })),
+            ("seq".into(), Json::from(shared.status.next_seq.load(Ordering::Relaxed))),
+            (
+                "queue".into(),
+                Json::Obj(vec![
+                    ("depth".into(), Json::from(shared.status.queue_depth.load(Ordering::Relaxed))),
+                    ("capacity".into(), Json::from(shared.queue_cap)),
+                ]),
+            ),
+            ("observed".into(), Json::from(observed)),
+            ("templates".into(), Json::from(templates)),
+            ("checkpoint".into(), checkpoint),
+            ("summary".into(), summary),
+            ("drift".into(), drift),
+            ("spans".into(), spans),
+        ]),
+    )
 }
 
 /// Maps an [`IsumError`] to its wire response via the taxonomy's
@@ -662,7 +930,9 @@ fn handle_ingest(req: &Request, shared: &Shared) -> Response {
             return Response::error(503, "server is shutting down");
         };
         match tx.try_send(job) {
-            Ok(()) => {}
+            Ok(()) => {
+                shared.status.queue_depth.fetch_add(1, Ordering::Relaxed);
+            }
             Err(TrySendError::Full(_)) => {
                 count!("server.backpressure");
                 return Response::error(429, "ingest queue is full; retry shortly")
@@ -731,4 +1001,72 @@ mod signals {
 pub fn install_signal_handlers() {
     #[cfg(unix)]
     signals::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header<'a>(resp: &'a Response, name: &str) -> Option<&'a str> {
+        resp.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    #[test]
+    fn every_429_and_503_carries_retry_after() {
+        // The taxonomy path (Budget → 429, Transient → 503) and the
+        // queue-full path must agree: a retryable status always tells the
+        // client when to come back.
+        let budget = error_response(IsumError::budget("what-if budget exhausted"));
+        assert_eq!(budget.status, 429);
+        assert_eq!(header(&budget, "Retry-After"), Some("1"));
+        let transient = error_response(IsumError::transient("flake"));
+        assert_eq!(transient.status, 503);
+        assert_eq!(header(&transient, "Retry-After"), Some("1"));
+        let permanent = error_response(IsumError::permanent("bad input"));
+        assert_eq!(permanent.status, 400);
+        assert_eq!(header(&permanent, "Retry-After"), None, "400 is not retryable");
+    }
+
+    #[test]
+    fn param_errors_are_typed() {
+        let resp = param_error("n", "must be a positive integer");
+        assert_eq!(resp.status, 400);
+        let body = String::from_utf8(resp.body.clone()).unwrap();
+        let j = Json::parse(&body).expect("typed body is JSON");
+        assert_eq!(j.get("param").and_then(Json::as_str), Some("n"));
+        assert_eq!(j.get("status").and_then(Json::as_u64), Some(400));
+        assert!(j.get("error").and_then(Json::as_str).unwrap().contains('`'));
+    }
+
+    #[test]
+    fn drift_env_overrides_parse_and_reject_garbage() {
+        // Serial by nature: env vars are process-global, so exercise all
+        // cases inside one test.
+        std::env::remove_var("ISUM_DRIFT_WINDOW");
+        std::env::remove_var("ISUM_DRIFT_THRESHOLD");
+        let catalog = isum_catalog::CatalogBuilder::new()
+            .table("t", 10)
+            .col_key("id")
+            .finish()
+            .unwrap()
+            .build();
+        let base = ServerConfig::new(catalog.clone()).apply_drift_env();
+        assert_eq!(base.drift_window, 256, "defaults survive unset env");
+        assert_eq!(base.drift_threshold, 0.5);
+
+        std::env::set_var("ISUM_DRIFT_WINDOW", "64");
+        std::env::set_var("ISUM_DRIFT_THRESHOLD", "0.25");
+        let tuned = ServerConfig::new(catalog.clone()).apply_drift_env();
+        assert_eq!(tuned.drift_window, 64);
+        assert!((tuned.drift_threshold - 0.25).abs() < 1e-12);
+
+        std::env::set_var("ISUM_DRIFT_WINDOW", "not-a-number");
+        std::env::set_var("ISUM_DRIFT_THRESHOLD", "1.5"); // outside 0..=1
+        let kept = ServerConfig::new(catalog).apply_drift_env();
+        assert_eq!(kept.drift_window, 256, "garbage is ignored, not applied");
+        assert_eq!(kept.drift_threshold, 0.5);
+
+        std::env::remove_var("ISUM_DRIFT_WINDOW");
+        std::env::remove_var("ISUM_DRIFT_THRESHOLD");
+    }
 }
