@@ -5,8 +5,8 @@
 //! isum tune     --schema schema.json --workload workload.sql -k 20 -m 16 [--advisor dta|dexter] [--report]
 //! isum explain  --schema schema.json --workload workload.sql --query 3 [--tuned]
 //! isum dump     --workload gen:tpch:1:200:42 [--out workload.sql]
-//! isum serve    --schema tpch:1 --listen 127.0.0.1:7071 [--checkpoint state.json] [--queue-cap 64]
-//! isum client   <ingest|summary|explain|status|tune|healthz|telemetry|shutdown> --server 127.0.0.1:7071 ...
+//! isum serve    --schema tpch:1 --listen 127.0.0.1:7071 [--checkpoint state.json] [--queue-cap 64] [--shards 4]
+//! isum client   <ingest|summary|explain|status|tune|healthz|telemetry|shutdown> --server 127.0.0.1:7071 [--tenant acme] ...
 //! ```
 //!
 //! The schema is a JSON statistics document (see `schema.rs`) or a builtin
@@ -36,7 +36,9 @@ use isum_common::telemetry;
 use isum_common::{Error, Result};
 use isum_core::{Compressor, Isum, IsumConfig};
 use isum_optimizer::{CostModel, IndexConfig, WhatIfOptimizer};
-use isum_server::{install_signal_handlers, summary_to_json, Client, Server, ServerConfig};
+use isum_server::{
+    install_signal_handlers, summary_to_json, Client, Server, ServerConfig, ShardMode,
+};
 use isum_workload::{load_script, split_script, Workload};
 
 fn main() -> ExitCode {
@@ -116,9 +118,13 @@ fn print_usage() {
          isum explain  --schema <json> --workload <sql> --query <idx> [--tuned]\n  \
          isum dump     --workload gen:<kind>:<sf>:<n>:<seed> [--out <file>]\n  \
          isum serve    --schema <json|tpch:sf|tpcds:sf|dsb:sf> [--listen <addr>]\n                \
-         [--checkpoint <file>] [--queue-cap <n>] [--variant <v>]\n  \
+         [--checkpoint <file>] [--queue-cap <n>] [--variant <v>] [--shards <n>]\n  \
          isum client   <ingest|summary|explain|status|tune|healthz|telemetry|shutdown> --server <addr>\n                \
-         [--workload <sql|gen:spec>] [-k <n>] [-m <n>] [--batch <n>]\n\
+         [--workload <sql|gen:spec>] [-k <n>] [-m <n>] [--batch <n>] [--tenant <name>]\n\
+         isum serve shards by X-Isum-Tenant header by default; --shards <n> (or ISUM_SHARDS=<n>)\n\
+         switches to n hash-routed shards for parallel single-tenant ingest (DESIGN.md \u{a7}13),\n\
+         isum client --tenant <name> pins every request to one tenant\n\
+         (names: \u{2264}64 bytes, visible ASCII, no `/`),\n\
          isum serve reads ISUM_DRIFT_WINDOW=<n> (0 disables) and ISUM_DRIFT_THRESHOLD=<0..1>\n\
          to configure workload-drift tracking (see DESIGN.md \u{a7}12),\n\
          any command accepts --stats (or ISUM_TELEMETRY=1) to print a telemetry table,\n\
@@ -153,6 +159,8 @@ struct Options {
     queue_cap: usize,
     server: Option<String>,
     batch: usize,
+    tenant: Option<String>,
+    shards: Option<usize>,
 }
 
 impl Options {
@@ -179,6 +187,8 @@ impl Options {
             queue_cap: 64,
             server: None,
             batch: 32,
+            tenant: None,
+            shards: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -234,6 +244,23 @@ impl Options {
                     if o.queue_cap == 0 {
                         return Err(Error::InvalidConfig("--queue-cap must be at least 1".into()));
                     }
+                }
+                "--tenant" => {
+                    // Same rule the server enforces, checked before any
+                    // network I/O so a bad name never reaches the wire.
+                    let t = value("--tenant")?;
+                    isum_server::validate_tenant(&t)
+                        .map_err(|why| Error::InvalidConfig(format!("--tenant name {why}")))?;
+                    o.tenant = Some(t);
+                }
+                "--shards" => {
+                    let n: usize = value("--shards")?
+                        .parse()
+                        .map_err(|_| Error::InvalidConfig("--shards must be an integer".into()))?;
+                    if n == 0 {
+                        return Err(Error::InvalidConfig("--shards must be at least 1".into()));
+                    }
+                    o.shards = Some(n);
                 }
                 "--batch" => {
                     o.batch = value("--batch")?
@@ -503,6 +530,11 @@ fn serve(opts: &Options) -> Result<()> {
     config.checkpoint = opts.checkpoint.as_ref().map(std::path::PathBuf::from);
     config.queue_cap = opts.queue_cap;
     config = config.apply_drift_env(); // ISUM_DRIFT_WINDOW / ISUM_DRIFT_THRESHOLD
+    config = config.apply_shards_env(); // ISUM_SHARDS
+    if let Some(n) = opts.shards {
+        // The CLI flag wins over the environment.
+        config.shards = ShardMode::Hashed(n);
+    }
     install_signal_handlers();
     let server = Server::bind(&opts.listen, config)?;
     eprintln!("isum-serve listening on {}", server.addr());
@@ -516,7 +548,11 @@ fn client_cmd(verb: Option<&str>, opts: &Options) -> Result<()> {
         .server
         .as_ref()
         .ok_or_else(|| Error::InvalidConfig("client requires --server <addr>".into()))?;
-    let client = Client::new(addr.clone());
+    let mut client = Client::new(addr.clone());
+    if let Some(tenant) = &opts.tenant {
+        client = client.with_tenant(tenant).map_err(Error::InvalidConfig)?;
+    }
+    let client = client;
     let show = |resp: isum_server::ApiResponse| -> Result<()> {
         print!("{}", resp.body);
         if resp.status >= 400 {
@@ -693,6 +729,32 @@ mod tests {
         let o = opts(&[]);
         assert!(o.faults.is_none());
         assert!(Options::parse(&["--faults".into()]).is_err());
+    }
+
+    #[test]
+    fn tenant_flag_validates_like_the_server() {
+        let o = opts(&["--tenant", "acme-prod"]);
+        assert_eq!(o.tenant.as_deref(), Some("acme-prod"));
+        let o = opts(&[]);
+        assert!(o.tenant.is_none());
+        assert!(Options::parse(&["--tenant".into()]).is_err());
+        // The same three rejections the server's typed 400 covers:
+        // empty, over 64 bytes, and characters outside visible ASCII / `/`.
+        assert!(Options::parse(&["--tenant".into(), String::new()]).is_err());
+        assert!(Options::parse(&["--tenant".into(), "x".repeat(65)]).is_err());
+        assert!(Options::parse(&["--tenant".into(), "a/b".into()]).is_err());
+        assert!(Options::parse(&["--tenant".into(), "sp ace".into()]).is_err());
+    }
+
+    #[test]
+    fn shards_flag_parses_and_rejects_bad_values() {
+        let o = opts(&["--shards", "4"]);
+        assert_eq!(o.shards, Some(4));
+        let o = opts(&[]);
+        assert_eq!(o.shards, None);
+        assert!(Options::parse(&["--shards".into()]).is_err());
+        assert!(Options::parse(&["--shards".into(), "abc".into()]).is_err());
+        assert!(Options::parse(&["--shards".into(), "0".into()]).is_err());
     }
 
     #[test]

@@ -56,6 +56,7 @@ mod span;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge};
+pub use prometheus::{escape_label_value, labeled_sample};
 pub use registry::{counter, gauge, histogram, registry, span_histogram, Registry};
 pub use snapshot::{snapshot, Snapshot, SpanStat};
 pub use span::{span, SpanGuard};

@@ -41,6 +41,50 @@ fn escape_help(text: &str) -> String {
     out
 }
 
+/// Escapes a label *value* per the exposition format: inside the double
+/// quotes of `{label="value"}`, `\` becomes `\\`, `"` becomes `\"`, and a
+/// line feed becomes `\n`. Label values (unlike metric names) may carry
+/// arbitrary text — the daemon puts tenant names here — so an unescaped
+/// quote or newline would let one tenant's name break the line-oriented
+/// exposition for every scraper.
+pub fn escape_label_value(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one labeled sample line, `name{label="escaped"} value`, with
+/// every label value escaped via [`escape_label_value`]. The metric name
+/// and label names are expected to already be valid Prometheus
+/// identifiers (the caller picks them; they are not attacker-supplied).
+pub fn labeled_sample(
+    name: &str,
+    labels: &[(&str, &str)],
+    value: impl std::fmt::Display,
+) -> String {
+    let mut out = String::new();
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+        }
+        out.push('}');
+    }
+    let _ = writeln!(out, " {value}");
+    out
+}
+
 /// Appends one histogram family: HELP/TYPE, cumulative buckets (only the
 /// bounds that hold samples, plus the mandatory `+Inf`), `_sum`, `_count`.
 fn push_histogram(out: &mut String, name: &str, help: &str, h: &HistogramSnapshot) {
@@ -202,6 +246,31 @@ mod tests {
                 "help newline leaked into exposition: {line:?}"
             );
         }
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(escape_label_value("plain-tenant_1"), "plain-tenant_1");
+        // All three at once, in order.
+        assert_eq!(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+    }
+
+    #[test]
+    fn labeled_samples_render_escaped_single_line() {
+        assert_eq!(
+            labeled_sample("isum_shard_observed", &[("tenant", "acme")], 7),
+            "isum_shard_observed{tenant=\"acme\"} 7\n"
+        );
+        assert_eq!(labeled_sample("isum_up", &[], 1), "isum_up 1\n");
+        assert_eq!(labeled_sample("m", &[("a", "x"), ("b", "y")], -3), "m{a=\"x\",b=\"y\"} -3\n");
+        // A hostile tenant name (quote + newline + backslash) must stay on
+        // one line and keep the quoting intact.
+        let line = labeled_sample("isum_shard_observed", &[("tenant", "ev\"il\\x")], 1);
+        assert_eq!(line, "isum_shard_observed{tenant=\"ev\\\"il\\\\x\"} 1\n");
+        assert_eq!(line.matches('\n').count(), 1, "exactly the terminating newline");
     }
 
     #[test]

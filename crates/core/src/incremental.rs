@@ -224,6 +224,26 @@ impl IncrementalIsum {
         (from..self.len()).map(|i| (self.template_of[i], self.raw_reductions[i])).collect()
     }
 
+    /// Exports this observer's contribution to a cross-shard merge: every
+    /// observed query's `(Δ, features)` grouped by template fingerprint
+    /// (the shard-independent template identity — local [`TemplateId`]s
+    /// mean nothing to other shards). See [`crate::merge`] for how the
+    /// partials fold deterministically.
+    pub fn shard_partial(&self) -> crate::merge::ShardPartial {
+        let mut grouped: Vec<(String, Vec<crate::merge::Contribution>)> = (0..self.templates.len())
+            .map(|t| {
+                (self.templates.fingerprint_of(TemplateId::from_index(t)).to_string(), Vec::new())
+            })
+            .collect();
+        for i in 0..self.len() {
+            grouped[self.template_of[i].index()].1.push(crate::merge::Contribution {
+                delta: self.raw_reductions[i],
+                entries: self.features[i].entries().to_vec(),
+            });
+        }
+        crate::merge::ShardPartial { templates: grouped }
+    }
+
     /// Serializes the observed state to JSON. Every `f64` is stored as its
     /// IEEE-754 bit pattern ([`isum_common::hex_bits`]), so
     /// [`restore`](Self::restore) rebuilds the state bit-exactly and a
@@ -464,6 +484,31 @@ mod tests {
             .sum();
         assert!((total - direct).abs() < 1e-9);
         assert!(!inc.template_fingerprint(fresh[0].0).is_empty());
+    }
+
+    #[test]
+    fn shard_partials_merge_like_a_single_observer() {
+        let w = workload();
+        let mut whole = IncrementalIsum::new(IsumConfig::isum());
+        whole.observe_workload(&w).expect("observes");
+        let mut a = IncrementalIsum::new(IsumConfig::isum());
+        let mut b = IncrementalIsum::new(IsumConfig::isum());
+        for (i, q) in w.queries.iter().enumerate() {
+            let shard = if i % 2 == 0 { &mut a } else { &mut b };
+            shard.observe(q, &w.catalog).expect("observes");
+        }
+        let merged_whole = crate::merge::merge_partials(&[whole.shard_partial()]);
+        let merged_split = crate::merge::merge_partials(&[a.shard_partial(), b.shard_partial()]);
+        assert_eq!(merged_split.observed, merged_whole.observed);
+        assert_eq!(merged_split.templates.len(), merged_whole.templates.len());
+        let bits = |m: &crate::merge::MergedWorkload| -> Vec<(isum_common::GlobalColumnId, u64)> {
+            m.summary_features().entries().iter().map(|&(g, v)| (g, v.to_bits())).collect()
+        };
+        assert_eq!(
+            bits(&merged_split),
+            bits(&merged_whole),
+            "split observers merge bit-identically"
+        );
     }
 
     #[test]

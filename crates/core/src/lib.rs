@@ -33,6 +33,7 @@ pub mod explain;
 pub mod features;
 pub mod incremental;
 pub mod isum;
+pub mod merge;
 pub mod similarity;
 pub mod summary;
 pub mod update;
@@ -46,6 +47,9 @@ pub use explain::{
 pub use features::{FeatureVec, Featurizer, WeightScheme, WorkloadFeatures};
 pub use incremental::IncrementalIsum;
 pub use isum::{Algorithm, Isum, IsumConfig};
+pub use merge::{
+    merge_partials, Contribution, MergedPick, MergedTemplate, MergedWorkload, ShardPartial,
+};
 pub use update::UpdateStrategy;
 pub use utility::UtilityMode;
 pub use weighting::WeightingStrategy;

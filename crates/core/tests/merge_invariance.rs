@@ -1,0 +1,126 @@
+//! Property tests for the cross-shard merge (DESIGN.md §13): for any
+//! pool of contributions and any assignment of them to shards, the
+//! merged summary state must be bit-identical to merging the whole pool
+//! in one shard. This is the determinism contract the sharded service's
+//! `GET /summary` relies on — the unit tests in `merge.rs` pin a few
+//! hand-built partitions, these pin arbitrary ones.
+
+use std::collections::BTreeMap;
+
+use isum_common::{ColumnId, GlobalColumnId, TableId};
+use isum_core::{merge_partials, Contribution, IsumConfig, ShardPartial};
+use proptest::prelude::*;
+
+/// One generated contribution, in integer space so generation stays in
+/// the shim's strategy surface; floats are derived deterministically.
+/// `(template, delta_raw, exponent, entries)`.
+type RawContribution = (usize, u32, u32, Vec<(u32, u32)>);
+
+fn contribution(raw: &RawContribution) -> (String, Contribution) {
+    let (template, delta_raw, exponent, entries) = raw;
+    let fp = format!("template-{template}");
+    // Deltas spanning ten orders of magnitude make float association
+    // error visible if the fold order ever varied; `+1` keeps Δ > 0 for
+    // most cases while `delta_raw == u32::MAX` wraps to 0, covering the
+    // zero-mass path too.
+    let delta = f64::from(delta_raw.wrapping_add(1)) * 10f64.powi(*exponent as i32 % 11 - 5);
+    let entries = entries
+        .iter()
+        .map(|&(col, w)| (GlobalColumnId::new(TableId(0), ColumnId(col)), f64::from(w) / 997.0))
+        .collect();
+    (fp, Contribution { delta, entries })
+}
+
+/// Splits the pool into `shards` partials, assigning contribution `i`
+/// to shard `(i * mult + salt) % shards` — an arbitrary deterministic
+/// scatter — and permuting each shard's arrival order by reversal when
+/// `reverse` is set.
+fn partition(
+    pool: &[(String, Contribution)],
+    shards: usize,
+    mult: usize,
+    salt: usize,
+    reverse: bool,
+) -> Vec<ShardPartial> {
+    let mut grouped: Vec<BTreeMap<String, Vec<Contribution>>> = vec![BTreeMap::new(); shards];
+    for (i, (fp, c)) in pool.iter().enumerate() {
+        let shard = i.wrapping_mul(mult).wrapping_add(salt) % shards;
+        grouped[shard].entry(fp.clone()).or_default().push(c.clone());
+    }
+    grouped
+        .into_iter()
+        .map(|m| {
+            let mut templates: Vec<(String, Vec<Contribution>)> = m.into_iter().collect();
+            if reverse {
+                templates.reverse();
+                for (_, contributions) in &mut templates {
+                    contributions.reverse();
+                }
+            }
+            ShardPartial { templates }
+        })
+        .collect()
+}
+
+fn feature_bits(v: &isum_core::FeatureVec) -> Vec<(GlobalColumnId, u64)> {
+    v.entries().iter().map(|&(g, w)| (g, w.to_bits())).collect()
+}
+
+proptest! {
+    #[test]
+    fn merged_features_are_shard_partition_invariant(
+        raw in prop::collection::vec(
+            (0usize..5, 0u32..100_000, 0u32..11, prop::collection::vec((0u32..9, 0u32..1000), 1..5)),
+            1..60,
+        ),
+        shards in 1usize..6,
+        mult in 1usize..1000,
+        salt in 0usize..1000,
+        reverse in any::<bool>(),
+    ) {
+        let pool: Vec<(String, Contribution)> = raw.iter().map(contribution).collect();
+        let whole = merge_partials(&partition(&pool, 1, 1, 0, false));
+        let split = merge_partials(&partition(&pool, shards, mult, salt, reverse));
+
+        prop_assert_eq!(split.observed, whole.observed);
+        prop_assert_eq!(split.total_mass.to_bits(), whole.total_mass.to_bits());
+        prop_assert_eq!(
+            feature_bits(&split.summary_features()),
+            feature_bits(&whole.summary_features()),
+            "global V must be bit-identical for shards={} mult={} salt={} reverse={}",
+            shards, mult, salt, reverse
+        );
+        prop_assert_eq!(split.templates.len(), whole.templates.len());
+        for (a, b) in split.templates.iter().zip(whole.templates.iter()) {
+            prop_assert_eq!(&a.fingerprint, &b.fingerprint);
+            prop_assert_eq!(a.count, b.count);
+            prop_assert_eq!(a.mass.to_bits(), b.mass.to_bits());
+            prop_assert_eq!(feature_bits(&a.features), feature_bits(&b.features));
+        }
+    }
+
+    #[test]
+    fn merged_selection_is_shard_partition_invariant(
+        raw in prop::collection::vec(
+            (0usize..4, 1u32..100_000, 0u32..7, prop::collection::vec((0u32..6, 1u32..1000), 1..4)),
+            4..40,
+        ),
+        shards in 2usize..5,
+        salt in 0usize..100,
+        k in 1usize..4,
+    ) {
+        let pool: Vec<(String, Contribution)> = raw.iter().map(contribution).collect();
+        let whole = merge_partials(&partition(&pool, 1, 1, 0, false));
+        let split = merge_partials(&partition(&pool, shards, 2654435761, salt, true));
+        let a = whole.select(k, IsumConfig::isum()).unwrap();
+        let b = split.select(k, IsumConfig::isum()).unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(x.template, y.template);
+            prop_assert_eq!(
+                x.weight.to_bits(), y.weight.to_bits(),
+                "weights must match bit-for-bit (shards={} salt={} k={})", shards, salt, k
+            );
+        }
+    }
+}

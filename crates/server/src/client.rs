@@ -14,10 +14,11 @@ use isum_common::Json;
 
 use crate::http::read_response;
 
-/// A client for one server address.
+/// A client for one server address, optionally pinned to a tenant.
 pub struct Client {
     addr: String,
     timeout: Duration,
+    tenant: Option<String>,
 }
 
 /// One response: status code, headers (lowercased names), parsed body.
@@ -53,13 +54,26 @@ impl ApiResponse {
 impl Client {
     /// A client for `addr` (e.g. `127.0.0.1:7071`) with a 30 s timeout.
     pub fn new(addr: impl Into<String>) -> Client {
-        Client { addr: addr.into(), timeout: Duration::from_secs(30) }
+        Client { addr: addr.into(), timeout: Duration::from_secs(30), tenant: None }
     }
 
     /// Overrides the per-request read/write timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Client {
         self.timeout = timeout;
         self
+    }
+
+    /// Pins every request to `tenant` via the `X-Isum-Tenant` header.
+    /// The name must pass [`crate::validate_tenant`] — the same rule the
+    /// server enforces — so a bad name fails here, before any bytes hit
+    /// the wire.
+    ///
+    /// # Errors
+    /// The validation failure, phrased like the server's typed 400.
+    pub fn with_tenant(mut self, tenant: &str) -> Result<Client, String> {
+        crate::validate_tenant(tenant).map_err(|why| format!("tenant name {why}"))?;
+        self.tenant = Some(tenant.to_string());
+        Ok(self)
     }
 
     /// Sends one request and reads the response.
@@ -87,6 +101,9 @@ impl Client {
                 self.addr,
                 body.len()
             )?;
+            if let Some(tenant) = &self.tenant {
+                write!(w, "X-Isum-Tenant: {tenant}\r\n")?;
+            }
             for (name, value) in headers {
                 write!(w, "{name}: {value}\r\n")?;
             }

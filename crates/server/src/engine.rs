@@ -107,9 +107,17 @@ impl Engine {
     /// aborting the batch — and leave no partial state behind.
     pub fn apply_script(&mut self, script: &str) -> IngestOutcome {
         let (sqls, costs) = split_script(script);
-        let mut outcome = IngestOutcome { accepted: 0, rejected: Vec::new(), total: sqls.len() };
-        for (i, sql) in sqls.iter().enumerate() {
-            match self.apply_one(sql, costs[i].unwrap_or(0.0)) {
+        let stmts: Vec<(String, Option<f64>)> = sqls.into_iter().zip(costs).collect();
+        self.apply_statements(&stmts)
+    }
+
+    /// Applies pre-split `(sql, explicit cost)` statements — the shard
+    /// router uses this to apply a hash-routed slice of a batch without
+    /// re-splitting. Identical semantics to [`Engine::apply_script`].
+    pub fn apply_statements(&mut self, stmts: &[(String, Option<f64>)]) -> IngestOutcome {
+        let mut outcome = IngestOutcome { accepted: 0, rejected: Vec::new(), total: stmts.len() };
+        for (i, (sql, cost)) in stmts.iter().enumerate() {
+            match self.apply_one(sql, cost.unwrap_or(0.0)) {
                 Ok(()) => {
                     outcome.accepted += 1;
                     count!("server.ingest.statements");
@@ -121,6 +129,12 @@ impl Engine {
             }
         }
         outcome
+    }
+
+    /// This engine's contribution to a cross-shard merge; see
+    /// [`isum_core::IncrementalIsum::shard_partial`].
+    pub fn shard_partial(&self) -> isum_core::ShardPartial {
+        self.isum.shard_partial()
     }
 
     /// Applies a single statement; see [`Engine::apply_script`].

@@ -4,46 +4,68 @@
 //! daemon (`std::net` only) so a database can stream its query log to a
 //! long-running compressor and ask for an up-to-date workload summary —
 //! or a full index recommendation — at any time, instead of re-running
-//! batch compression from scratch (DESIGN.md §10).
+//! batch compression from scratch (DESIGN.md §10). The daemon is
+//! multi-tenant: each `X-Isum-Tenant` value owns an isolated shard
+//! (engine + sequencer + drift tracker + checkpoint), and a cross-shard
+//! `GET /summary` merges every shard's partial sums deterministically
+//! (DESIGN.md §13). `ISUM_SHARDS=n` instead spreads a single-tenant
+//! stream over `n` hash-routed shards for parallel ingest.
 //!
 //! # Wire API
 //!
 //! | Endpoint | Effect |
 //! |----------|--------|
-//! | `POST /ingest[?seq=N]` | apply a `;`-separated SQL script (lenient per statement) |
-//! | `GET /summary?k=N` | compress observed queries to `k`, with exact weight bits |
-//! | `GET /summary/explain?k=N` | per-member template attribution + coverage gauges |
-//! | `GET /status[?k=N]` | one-document rollup: seq, queue, checkpoint age, coverage, drift, span timings |
-//! | `POST /tune?k=N[&m=M&advisor=dta\|dexter&budget_bytes=B]` | advisor on the compressed workload |
-//! | `GET /healthz` | liveness + observed-query count |
+//! | `POST /ingest[?seq=N]` | apply a `;`-separated SQL script (lenient per statement) to the request's tenant |
+//! | `GET /summary?k=N[&tenant=T]` | per-tenant: compress that shard to `k`, exact weight bits; no tenant + several shards: the merged template-level summary |
+//! | `GET /summary/explain?k=N[&tenant=T]` | per-member template attribution + coverage gauges (per-shard) |
+//! | `GET /status[?k=N]` | one-document rollup: seq, queue, checkpoint age, coverage, drift, span timings, per-shard breakdown |
+//! | `POST /tune?k=N[&m=M&advisor=dta\|dexter&budget_bytes=B&tenant=T]` | advisor on the shard's compressed workload |
+//! | `GET /healthz` | liveness + totals + shard count |
 //! | `GET /telemetry` | telemetry snapshot (when enabled) |
-//! | `POST /shutdown` | graceful drain + final checkpoint |
+//! | `GET /metrics` | Prometheus exposition + tenant-labeled `isum_shard_*` families |
+//! | `POST /shutdown` | graceful drain + final per-shard checkpoints |
+//!
+//! Every endpoint accepts the tenant as either the `X-Isum-Tenant`
+//! header or a `tenant` query parameter (the parameter wins). Tenant
+//! names are validated identically on the server and in `isum client
+//! --tenant`: non-empty, ≤ 64 bytes, visible ASCII, no `/`
+//! ([`validate_tenant`]).
 //!
 //! Error statuses follow the [`isum_common::IsumError`] taxonomy:
 //! Transient → 503 (+`Retry-After`), Permanent → 400, Budget → 429. A
 //! full ingest queue answers 429 with `Retry-After` — backpressure, not
-//! a dropped connection.
+//! a dropped connection. Malformed query parameters answer a typed 400
+//! whose body names the parameter (`{"error", "param", "status"}`).
 //!
 //! # Guarantees
 //!
-//! * A live `/summary` over ingested statements is **bit-identical** to
-//!   `isum compress` over the same script (shared featurize → select →
-//!   weigh pipeline; weights compared by IEEE-754 bit pattern).
+//! * A live per-tenant `/summary` over ingested statements is
+//!   **bit-identical** to `isum compress` over the same script (shared
+//!   featurize → select → weigh pipeline; weights compared by IEEE-754
+//!   bit pattern).
 //! * Sequenced concurrent ingest is **deterministic**: batches stamped
 //!   with contiguous `seq` numbers are applied in order no matter how
-//!   many connections deliver them.
+//!   many connections deliver them. Each tenant's stream is ordered
+//!   independently.
+//! * The **merged** `/summary` is bit-deterministic under shard count,
+//!   shard assignment, and ingest interleaving: partial sums are
+//!   re-sorted canonically before every floating-point fold and ties
+//!   break on template fingerprints ([`isum_core::merge_partials`]).
 //! * With a checkpoint configured, every acknowledged batch is on disk
-//!   (atomic temp-file + rename) before the ack, so a `SIGKILL` and
-//!   restart resumes the observed workload bit-identically and client
-//!   retries of unacknowledged batches converge via duplicate detection.
+//!   (atomic temp-file + rename, one file per shard) before the ack, so
+//!   a `SIGKILL` and restart resumes every shard bit-identically and
+//!   client retries of unacknowledged batches converge via duplicate
+//!   detection.
 
 mod client;
 mod drift;
 mod engine;
 mod http;
 mod server;
+mod shards;
 
 pub use client::{ApiResponse, Client};
 pub use engine::{summary_to_json, Engine, IngestOutcome};
 pub use http::{Request, Response};
 pub use server::{install_signal_handlers, signal_pending, Server, ServerConfig};
+pub use shards::{validate_tenant, ShardMode, DEFAULT_TENANT};

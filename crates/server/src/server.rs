@@ -1,5 +1,4 @@
-//! The daemon: TCP accept loop, bounded ingest queue, sequencer thread,
-//! and graceful shutdown.
+//! The daemon: TCP accept loop, the shard router, and graceful shutdown.
 //!
 //! # Architecture
 //!
@@ -8,16 +7,15 @@
 //!                │ one exec-pool task per connection
 //!                ▼
 //!   connection handler ──reads──► GET  /summary │ /telemetry │ /metrics
-//!                │                     /events  │ /healthz
-//!                │                (lock engine, answer inline)
-//!                │ POST /ingest
+//!                │                     /events  │ /healthz   │ /status
+//!                │              (resolve tenant's shard, answer inline;
+//!                │               no tenant + many shards ⇒ merged view)
+//!                │ POST /ingest (tenant from X-Isum-Tenant)
 //!                ▼
-//!   bounded sync_channel (cap = queue_cap) ── full ⇒ 429 + Retry-After
-//!                │
-//!                ▼
-//!   sequencer thread: strict `seq` ordering with duplicate dedup,
-//!   deterministic ingest-fault rolls, apply batch under the engine lock,
-//!   atomic checkpoint, reply to the waiting handler
+//!   shard router (crate::shards): per-tenant shards, each with its own
+//!   bounded queue ── full ⇒ 429 + Retry-After ── sequencer thread,
+//!   drift tracker, and checkpoint file; hashed mode adds a router
+//!   thread that splits batches by template-fingerprint hash
 //! ```
 //!
 //! # Determinism under concurrency
@@ -25,8 +23,8 @@
 //! Clients that partition a workload into batches and stamp each with a
 //! contiguous `seq` number (starting at the server's high-water mark, 0
 //! for a fresh server) may deliver them from any number of connections in
-//! any order: the sequencer applies batches strictly in `seq` order, so
-//! the observed workload — and therefore every `/summary` — is
+//! any order: the tenant's sequencer applies batches strictly in `seq`
+//! order, so the observed workload — and therefore every `/summary` — is
 //! bit-identical to a serial ingest. A batch ahead of the stream is
 //! answered `503` + `Retry-After` immediately (parking it server-side
 //! would pin its connection's executor and deadlock small pools); the
@@ -34,49 +32,49 @@
 //! high-water mark is acknowledged as a `duplicate` without touching
 //! state, which is what makes retry-after-crash (and
 //! retry-after-injected-fault) converge instead of double-observing.
+//! Each tenant's `seq` stream is independent; in hashed mode one global
+//! stream feeds every shard (see `crate::shards`).
 //!
 //! # Shutdown
 //!
 //! `POST /shutdown`, SIGTERM, or SIGINT set a flag the accept loop polls.
-//! The loop stops accepting, in-flight connection handlers finish, the
-//! ingest queue is closed and drained to the last acknowledged batch, a
-//! final checkpoint is written, and — when telemetry is enabled — a final
-//! snapshot is printed to stderr.
+//! The loop stops accepting, in-flight connection handlers finish, every
+//! ingest queue is closed and drained to the last acknowledged batch,
+//! final per-shard checkpoints are written, and — when telemetry is
+//! enabled — a final snapshot is printed to stderr.
 
-use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use isum_advisor::TuningConstraints;
 use isum_catalog::Catalog;
 use isum_common::trace::{self, Level};
-use isum_common::{count, hex_bits, record, telemetry, IsumError, Json};
+use isum_common::{count, hex_bits, telemetry, IsumError, Json};
 use isum_core::IsumConfig;
 
-use crate::drift::DriftTracker;
-use crate::engine::Engine;
 use crate::http::{Request, Response};
-
-/// Marker bit for fault-injection keys of unsequenced batches, so they
-/// draw from a different site-key space than `seq` numbers.
-const UNSEQ_KEY_BASE: u64 = 1 << 63;
+use crate::shards::{
+    unix_ms, validate_tenant, Shard, ShardCtx, ShardMode, ShardRouter, DEFAULT_TENANT,
+    UNSEQ_KEY_BASE,
+};
 
 /// Configuration for a [`Server`].
 pub struct ServerConfig {
     /// Catalog the ingested statements bind against.
     pub catalog: Catalog,
-    /// Compression configuration for the incremental observer.
+    /// Compression configuration for the incremental observers.
     pub isum: IsumConfig,
-    /// Checkpoint file: written atomically after every applied batch and
-    /// loaded (if present) at startup to resume the observed workload.
+    /// Checkpoint stem: the default tenant checkpoints to exactly this
+    /// path; other shards derive sibling files from it (see
+    /// `crate::shards` for the layout).
     pub checkpoint: Option<PathBuf>,
-    /// Ingest queue capacity; a full queue answers 429 with `Retry-After`.
+    /// Per-queue ingest capacity; a full queue answers 429 with
+    /// `Retry-After`.
     pub queue_cap: usize,
     /// How long an ingest connection waits for its batch to be applied
     /// before giving up with a 503 (the batch itself is not lost).
@@ -87,14 +85,20 @@ pub struct ServerConfig {
     /// Drift window capacity in observations; `0` disables drift
     /// tracking entirely (no window, no score, no alerts).
     pub drift_window: usize,
-    /// Drift score above which the sequencer emits its (edge-triggered)
-    /// `warn!` alert.
+    /// Drift score above which a shard's sequencer emits its
+    /// (edge-triggered) `warn!` alert.
     pub drift_threshold: f64,
+    /// Shard layout: per-tenant shards (default) or `n` hash-routed
+    /// shards (`ISUM_SHARDS` / `--shards`).
+    pub shards: ShardMode,
+    /// Cap on concurrently live tenant shards; the cap answers 429.
+    pub max_tenants: usize,
 }
 
 impl ServerConfig {
     /// Defaults: queue of 64 batches, 30 s ingest wait, no checkpoint,
-    /// drift window of 256 observations with an alert threshold of 0.5.
+    /// drift window of 256 observations with an alert threshold of 0.5,
+    /// tenant-mode sharding capped at 64 tenants.
     pub fn new(catalog: Catalog) -> ServerConfig {
         ServerConfig {
             catalog,
@@ -105,6 +109,8 @@ impl ServerConfig {
             apply_delay: Duration::ZERO,
             drift_window: 256,
             drift_threshold: 0.5,
+            shards: ShardMode::Tenant,
+            max_tenants: 64,
         }
     }
 
@@ -135,54 +141,35 @@ impl ServerConfig {
         }
         self
     }
+
+    /// Applies the sharding environment knob: `ISUM_SHARDS=n` (n ≥ 1)
+    /// switches the daemon to hashed mode with `n` shards. Malformed
+    /// values are reported as `warn!` events and ignored, never fatal.
+    /// Like [`ServerConfig::apply_drift_env`], called only by the daemon
+    /// entry points.
+    pub fn apply_shards_env(mut self) -> ServerConfig {
+        if let Ok(v) = std::env::var("ISUM_SHARDS") {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => self.shards = ShardMode::Hashed(n),
+                _ => isum_common::warn!(
+                    "server.shards",
+                    format!("ignoring malformed ISUM_SHARDS `{v}` (want an integer >= 1)")
+                ),
+            }
+        }
+        self
+    }
 }
 
-/// One queued ingest batch and the channel its connection waits on.
-struct IngestJob {
-    seq: Option<u64>,
-    script: String,
-    /// Request ID of the submitting connection; the sequencer stamps it
-    /// onto every event it emits while applying this batch, so faults hit
-    /// on the sequencer thread stay attributable to the request.
-    request_id: String,
-    reply: SyncSender<Response>,
-}
-
-/// State shared between the accept loop, connection handlers, and the
-/// sequencer thread.
+/// State shared between the accept loop and connection handlers.
 struct Shared {
-    engine: Mutex<Engine>,
-    /// `None` once shutdown begins; closing the channel is what lets the
-    /// sequencer drain to empty and exit.
-    ingest: Mutex<Option<SyncSender<IngestJob>>>,
+    router: ShardRouter,
     shutdown: AtomicBool,
-    checkpoint: Option<PathBuf>,
-    ingest_timeout: Duration,
-    apply_delay: Duration,
     queue_cap: usize,
+    checkpoint_configured: bool,
     drift_window: usize,
     drift_threshold: f64,
-    status: StatusCells,
-}
-
-/// Mirror cells the hot paths update so `GET /status` can answer without
-/// touching the sequencer. Strictly observation-only: nothing reads these
-/// back into any decision.
-#[derive(Default)]
-struct StatusCells {
-    /// Ingest jobs accepted into the queue and not yet received by the
-    /// sequencer.
-    queue_depth: AtomicU64,
-    /// Sequencer high-water mark (next expected `seq`).
-    next_seq: AtomicU64,
-    /// Wall-clock ms of the last successful checkpoint; `0` = never.
-    last_checkpoint_unix_ms: AtomicU64,
-    /// Last drift score in parts-per-million; `-1` = no sample yet.
-    drift_score_ppm: AtomicI64,
-    /// Observations currently in the drift window.
-    drift_window_len: AtomicU64,
-    /// Threshold crossings since startup.
-    drift_alerts: AtomicU64,
+    isum: IsumConfig,
 }
 
 /// A running daemon. Binding spawns the serve thread; [`Server::join`]
@@ -195,7 +182,7 @@ pub struct Server {
 
 impl Server {
     /// Binds `listen` (e.g. `127.0.0.1:7071`, port 0 for ephemeral),
-    /// restores the checkpoint if one exists, and starts serving on a
+    /// restores every discoverable checkpoint, and starts serving on a
     /// background thread.
     pub fn bind(listen: &str, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(listen)?;
@@ -206,35 +193,33 @@ impl Server {
         trace::enable_ring(Level::Debug);
         isum_common::info!("server", format!("listening on {addr}"));
 
-        let (engine, next_seq) = match &config.checkpoint {
-            Some(path) if path.exists() => {
-                Engine::restore_from(config.catalog.clone(), config.isum, path)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
-            }
-            _ => (Engine::new(config.catalog.clone(), config.isum), 0),
-        };
-
-        let (tx, rx) = mpsc::sync_channel::<IngestJob>(config.queue_cap.max(1));
-        let status = StatusCells::default();
-        status.next_seq.store(next_seq, Ordering::Relaxed);
-        status.drift_score_ppm.store(-1, Ordering::Relaxed);
-        let shared = Arc::new(Shared {
-            engine: Mutex::new(engine),
-            ingest: Mutex::new(Some(tx)),
-            shutdown: AtomicBool::new(false),
+        let ctx = ShardCtx {
+            catalog: config.catalog,
+            isum: config.isum,
             checkpoint: config.checkpoint.clone(),
+            queue_cap: config.queue_cap.max(1),
             ingest_timeout: config.ingest_timeout,
             apply_delay: config.apply_delay,
-            queue_cap: config.queue_cap.max(1),
             drift_window: config.drift_window,
             drift_threshold: config.drift_threshold,
-            status,
+            mode: config.shards,
+            max_tenants: config.max_tenants.max(1),
+        };
+        let router = ShardRouter::start(ctx)?;
+        let shared = Arc::new(Shared {
+            router,
+            shutdown: AtomicBool::new(false),
+            queue_cap: config.queue_cap.max(1),
+            checkpoint_configured: config.checkpoint.is_some(),
+            drift_window: config.drift_window,
+            drift_threshold: config.drift_threshold,
+            isum: config.isum,
         });
 
         let serve_shared = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
             .name("isum-serve".into())
-            .spawn(move || serve_loop(listener, serve_shared, rx, next_seq))?;
+            .spawn(move || serve_loop(listener, serve_shared))?;
         Ok(Server { addr, shared, thread: Some(thread) })
     }
 
@@ -265,18 +250,12 @@ impl Drop for Server {
     }
 }
 
-/// The serve thread: accept loop, then drain and final checkpoint.
-fn serve_loop(listener: TcpListener, shared: Arc<Shared>, rx: Receiver<IngestJob>, next_seq: u64) {
-    let seq_shared = Arc::clone(&shared);
-    let sequencer = std::thread::Builder::new()
-        .name("isum-serve-ingest".into())
-        .spawn(move || sequencer_loop(rx, seq_shared, next_seq))
-        .expect("spawn sequencer thread");
-
+/// The serve thread: accept loop, then drain and final checkpoints.
+fn serve_loop(listener: TcpListener, shared: Arc<Shared>) {
     // Request handling fans out on the exec pool. A 1-thread pool is the
     // sequential reference execution — `scope::spawn` runs tasks inline,
     // which would block the accept loop on a handler that is itself
-    // waiting on the sequencer — so in that configuration each connection
+    // waiting on a sequencer — so in that configuration each connection
     // gets a short-lived dedicated thread instead. Handler panics are
     // caught inside `handle_connection` either way (panic quarantine).
     let pool = isum_exec::global();
@@ -312,11 +291,10 @@ fn serve_loop(listener: TcpListener, shared: Arc<Shared>, rx: Receiver<IngestJob
     for t in conn_threads {
         let _ = t.join();
     }
-    // All connection handlers have finished. Close the queue: the
-    // sequencer drains whatever was accepted, then exits.
+    // All connection handlers have finished. Close every queue: each
+    // shard drains whatever was accepted, checkpoints, and exits.
     shared.shutdown.store(true, Ordering::SeqCst);
-    *lock_ingest(&shared) = None;
-    let _ = sequencer.join();
+    shared.router.drain();
     isum_common::info!("server", "drained and shut down");
     if telemetry::enabled() {
         let snap = telemetry::snapshot();
@@ -330,218 +308,8 @@ fn serve_loop(listener: TcpListener, shared: Arc<Shared>, rx: Receiver<IngestJob
     }
 }
 
-fn lock_ingest(shared: &Shared) -> std::sync::MutexGuard<'_, Option<SyncSender<IngestJob>>> {
-    shared.ingest.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-fn lock_engine(shared: &Shared) -> std::sync::MutexGuard<'_, Engine> {
-    shared.engine.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-/// The sequencer: applies ingest batches strictly in sequence order.
-fn sequencer_loop(rx: Receiver<IngestJob>, shared: Arc<Shared>, mut next_seq: u64) {
-    // Delivery attempts per fault key, so a retried batch draws a fresh
-    // (deterministic) fault decision.
-    let mut attempts: HashMap<u64, u32> = HashMap::new();
-    let mut unseq_counter: u64 = 0;
-    // Drift tracking starts at the current engine high-water mark, so a
-    // checkpoint-restored history counts as "already summarized" and only
-    // post-restart arrivals enter the window.
-    let mut drift = DriftTracker::new(shared.drift_window, shared.drift_threshold)
-        .starting_at(lock_engine(&shared).observed());
-    loop {
-        let job = match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(job) => job,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => break,
-        };
-        shared.status.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        dispatch(job, &shared, &mut next_seq, &mut attempts, &mut unseq_counter, &mut drift);
-    }
-    // Final checkpoint: everything acknowledged is on disk.
-    if let Some(path) = &shared.checkpoint {
-        let engine = lock_engine(&shared);
-        if let Err(e) = engine.checkpoint_to(path, next_seq) {
-            count!("server.checkpoint.errors");
-            isum_common::error!(
-                "server.ingest",
-                format!("final checkpoint failed: {e}"),
-                next_seq = next_seq
-            );
-        } else {
-            shared.status.last_checkpoint_unix_ms.store(unix_ms(), Ordering::Relaxed);
-        }
-    }
-}
-
-/// Routes one job: duplicate (acknowledged without re-applying), early
-/// (told to retry — holding it would pin its connection's executor,
-/// which deadlocks small pools), or in-order (applied).
-fn dispatch(
-    job: IngestJob,
-    shared: &Shared,
-    next_seq: &mut u64,
-    attempts: &mut HashMap<u64, u32>,
-    unseq_counter: &mut u64,
-    drift: &mut DriftTracker,
-) {
-    let _rid = trace::with_request_id(&job.request_id);
-    match job.seq {
-        Some(seq) if seq < *next_seq => {
-            count!("server.ingest.duplicates");
-            isum_common::debug!("server.ingest", "duplicate batch acknowledged", seq = seq);
-            let body = Json::Obj(vec![
-                ("status".into(), Json::from("duplicate")),
-                ("seq".into(), Json::from(seq)),
-                ("applied".into(), Json::from(0u64)),
-                ("next_seq".into(), Json::from(*next_seq)),
-            ]);
-            let _ = job.reply.try_send(Response::json(200, &body));
-        }
-        Some(seq) if seq > *next_seq => {
-            count!("server.ingest.out_of_order");
-            isum_common::debug!(
-                "server.ingest",
-                "batch ahead of the stream; told to retry",
-                seq = seq,
-                next_seq = *next_seq
-            );
-            let resp = Response::error(
-                503,
-                &format!("seq {seq} is ahead of the stream (next is {next_seq}); retry shortly"),
-            )
-            .with_header("Retry-After", "0");
-            let _ = job.reply.try_send(resp);
-        }
-        seq => {
-            let key = match seq {
-                Some(s) => s,
-                None => {
-                    *unseq_counter += 1;
-                    UNSEQ_KEY_BASE | *unseq_counter
-                }
-            };
-            let resp = apply_job(&job, key, shared, attempts);
-            let applied = resp.status == 200;
-            if applied && seq.is_some() {
-                *next_seq += 1;
-                attempts.remove(&key);
-            }
-            if applied {
-                shared.status.next_seq.store(*next_seq, Ordering::Relaxed);
-                write_checkpoint(shared, *next_seq);
-                observe_drift(shared, drift, seq);
-            }
-            let _ = job.reply.try_send(resp);
-        }
-    }
-}
-
-/// Post-batch drift observation: folds the batch's fresh observations
-/// into the sliding window, publishes the score (telemetry gauges +
-/// histogram and the `/status` mirror cells), and emits the
-/// edge-triggered `warn!` when the score first exceeds the threshold.
-/// Runs on the sequencer thread with the submitting request's ID already
-/// installed, so the alert is attributed to the batch that caused it.
-/// Strictly observation-only: reads engine state, feeds nothing back.
-fn observe_drift(shared: &Shared, drift: &mut DriftTracker, seq: Option<u64>) {
-    if !drift.enabled() {
-        return;
-    }
-    let (fresh, total_mass) = {
-        let engine = lock_engine(shared);
-        (engine.observations_since(drift.seen()), engine.template_mass())
-    };
-    let Some(sample) = drift.on_batch(&fresh, &total_mass) else {
-        return;
-    };
-    let ppm = (sample.score * 1e6).round() as i64;
-    shared.status.drift_score_ppm.store(ppm, Ordering::Relaxed);
-    shared.status.drift_window_len.store(sample.window_len as u64, Ordering::Relaxed);
-    if telemetry::enabled() {
-        telemetry::gauge("drift.score_ppm").set(ppm);
-        telemetry::gauge("drift.window_len").set(sample.window_len as i64);
-        record!("drift.batch_score_ppm", ppm.max(0) as u64);
-    }
-    if sample.crossed {
-        shared.status.drift_alerts.fetch_add(1, Ordering::Relaxed);
-        count!("drift.alerts");
-        isum_common::warn!(
-            "server.drift",
-            format!(
-                "workload drift score {:.4} crossed threshold {:.4}; \
-                 recent templates diverge from the summarized history",
-                sample.score, shared.drift_threshold
-            ),
-            seq = seq.map_or_else(|| "unsequenced".into(), |s| s.to_string()),
-            window_len = sample.window_len,
-            score_ppm = ppm
-        );
-    }
-}
-
-/// Writes the post-batch checkpoint, if one is configured. Failures are
-/// counted and logged but do not fail the batch: the statements are still
-/// applied in memory, and the next successful checkpoint covers them.
-fn write_checkpoint(shared: &Shared, next_seq: u64) {
-    if let Some(path) = &shared.checkpoint {
-        let engine = lock_engine(shared);
-        if let Err(e) = engine.checkpoint_to(path, next_seq) {
-            count!("server.checkpoint.errors");
-            isum_common::error!(
-                "server.ingest",
-                format!("checkpoint failed: {e}"),
-                next_seq = next_seq
-            );
-        } else {
-            shared.status.last_checkpoint_unix_ms.store(unix_ms(), Ordering::Relaxed);
-        }
-    }
-}
-
-/// Wall-clock milliseconds since the Unix epoch — used only to annotate
-/// `/status` (checkpoint age), never in any data-path decision.
-fn unix_ms() -> u64 {
-    SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_millis() as u64)
-}
-
-/// Applies one batch: fault roll, engine mutation, checkpoint, response.
-fn apply_job(
-    job: &IngestJob,
-    key: u64,
-    shared: &Shared,
-    attempts: &mut HashMap<u64, u32>,
-) -> Response {
-    let attempt = attempts.entry(key).or_insert(0);
-    let this_attempt = *attempt;
-    *attempt += 1;
-    let injector = isum_faults::global();
-    if injector.is_active() && injector.ingest_fault(key, this_attempt) {
-        count!("server.ingest.faults");
-        isum_common::warn!(
-            "server.ingest",
-            "injected transient ingest fault",
-            key = key,
-            attempt = this_attempt
-        );
-        let body = Json::Obj(vec![
-            ("error".into(), Json::from("injected transient ingest fault")),
-            ("status".into(), Json::from(503u64)),
-            ("retryable".into(), Json::from(true)),
-        ]);
-        return Response::json(503, &body).with_header("Retry-After", "0");
-    }
-    if !shared.apply_delay.is_zero() {
-        std::thread::sleep(shared.apply_delay);
-    }
-    count!("server.ingest.batches");
-    let body = {
-        let mut engine = lock_engine(shared);
-        let outcome = engine.apply_script(&job.script);
-        isum_common::debug!("server.ingest", "batch applied", observed = engine.observed());
-        outcome.to_json(job.seq, engine.observed())
-    };
-    Response::json(200, &body)
+fn lock_engine(shard: &Shard) -> std::sync::MutexGuard<'_, crate::engine::Engine> {
+    shard.engine.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// The request-ID the connection runs under: a client-supplied
@@ -624,17 +392,67 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = resp.with_header("X-Isum-Request-Id", &rid).write(&mut w);
 }
 
+/// The tenant a request addresses: the `tenant` query parameter when
+/// present, else the `X-Isum-Tenant` header, validated either way.
+/// `None` means the request named no tenant at all.
+fn tenant_spec(req: &Request) -> Result<Option<String>, Response> {
+    let spec = req
+        .param("tenant")
+        .map(str::to_string)
+        .or_else(|| req.header("x-isum-tenant").map(str::to_string));
+    match spec {
+        None => Ok(None),
+        Some(t) => match validate_tenant(&t) {
+            Ok(()) => Ok(Some(t)),
+            Err(why) => Err(param_error("tenant", &why)),
+        },
+    }
+}
+
+/// Resolves the shard a read endpoint should answer from. `Ok(None)`
+/// means "no tenant named and several shards exist" — the caller serves
+/// the merged view (or requires a tenant, endpoint depending). In hashed
+/// mode, `tenant` may name a shard (`h0`…) to inspect it directly;
+/// `default` reads the global view.
+fn resolve_read_shard(
+    shared: &Shared,
+    spec: Option<String>,
+) -> Result<Option<Arc<Shard>>, Response> {
+    match spec {
+        None => Ok(shared.router.single()),
+        Some(t) => match shared.router.mode() {
+            ShardMode::Hashed(_) if t == DEFAULT_TENANT => Ok(shared.router.single()),
+            ShardMode::Hashed(n) => shared.router.shard_named(&t).map(Some).ok_or_else(|| {
+                param_error(
+                    "tenant",
+                    &format!("does not name a shard in hashed mode (use h0..h{})", n.max(1) - 1),
+                )
+            }),
+            ShardMode::Tenant => shared
+                .router
+                .shard_named(&t)
+                .map(Some)
+                .ok_or_else(|| Response::error(404, &format!("unknown tenant `{t}`"))),
+        },
+    }
+}
+
 /// Dispatches one parsed request to its endpoint.
 fn route(req: &Request, shared: &Shared) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
-            let engine = lock_engine(shared);
+            let mode = match shared.router.mode() {
+                ShardMode::Tenant => "tenant",
+                ShardMode::Hashed(_) => "hashed",
+            };
             Response::json(
                 200,
                 &Json::Obj(vec![
                     ("status".into(), Json::from("ok")),
-                    ("observed".into(), Json::from(engine.observed())),
-                    ("templates".into(), Json::from(engine.template_count())),
+                    ("observed".into(), Json::from(shared.router.observed_total())),
+                    ("templates".into(), Json::from(shared.router.templates_total())),
+                    ("shards".into(), Json::from(shared.router.shard_count())),
+                    ("mode".into(), Json::from(mode)),
                     ("draining".into(), Json::from(shared.shutdown.load(Ordering::SeqCst))),
                 ]),
             )
@@ -661,7 +479,7 @@ fn route(req: &Request, shared: &Shared) -> Response {
         }
         ("GET", "/metrics") => {
             count!("server.requests.metrics");
-            let body = if telemetry::enabled() {
+            let mut body = if telemetry::enabled() {
                 telemetry::snapshot().render_prometheus()
             } else {
                 // Comment-only output is still valid Prometheus text
@@ -670,6 +488,7 @@ fn route(req: &Request, shared: &Shared) -> Response {
                  to collect metrics\n"
                     .to_string()
             };
+            shared.router.render_shard_metrics(&mut body);
             Response::raw(200, "text/plain; version=0.0.4", body.into_bytes())
         }
         ("GET", "/events") => {
@@ -698,29 +517,52 @@ fn route(req: &Request, shared: &Shared) -> Response {
         ("GET", "/summary/explain") => {
             count!("server.requests.explain");
             let Some(k) = req.param("k") else {
-                return Response::error(400, "missing query parameter k");
+                return param_error("k", "is required");
             };
             let Ok(k) = k.parse::<usize>() else {
                 return param_error("k", "must be a non-negative integer");
             };
-            let engine = lock_engine(shared);
-            match engine.explain_json(k) {
-                Ok(body) => Response::json(200, &body),
-                Err(e) => error_response(e.into()),
+            let spec = match tenant_spec(req) {
+                Ok(spec) => spec,
+                Err(resp) => return resp,
+            };
+            match resolve_read_shard(shared, spec) {
+                Err(resp) => resp,
+                Ok(None) => param_error(
+                    "tenant",
+                    "is required when multiple shards exist (explain is per-shard)",
+                ),
+                Ok(Some(shard)) => {
+                    let engine = lock_engine(&shard);
+                    match engine.explain_json(k) {
+                        Ok(body) => Response::json(200, &body),
+                        Err(e) => error_response(e.into()),
+                    }
+                }
             }
         }
         ("GET", "/summary") => {
             count!("server.requests.summary");
             let Some(k) = req.param("k") else {
-                return Response::error(400, "missing query parameter k");
+                return param_error("k", "is required");
             };
             let Ok(k) = k.parse::<usize>() else {
-                return Response::error(400, "k must be a non-negative integer");
+                return param_error("k", "must be a non-negative integer");
             };
-            let engine = lock_engine(shared);
-            match engine.summary_json(k) {
-                Ok(body) => Response::json(200, &body),
-                Err(e) => error_response(e.into()),
+            let spec = match tenant_spec(req) {
+                Ok(spec) => spec,
+                Err(resp) => return resp,
+            };
+            match resolve_read_shard(shared, spec) {
+                Err(resp) => resp,
+                Ok(Some(shard)) => {
+                    let engine = lock_engine(&shard);
+                    match engine.summary_json(k) {
+                        Ok(body) => Response::json(200, &body),
+                        Err(e) => error_response(e.into()),
+                    }
+                }
+                Ok(None) => merged_summary_response(shared, k),
             }
         }
         ("POST", "/ingest") => {
@@ -731,7 +573,7 @@ fn route(req: &Request, shared: &Shared) -> Response {
             count!("server.requests.tune");
             let k = match parse_usize_param(req, "k") {
                 Ok(Some(k)) => k,
-                Ok(None) => return Response::error(400, "missing query parameter k"),
+                Ok(None) => return param_error("k", "is required"),
                 Err(resp) => return resp,
             };
             let m = match parse_usize_param(req, "m") {
@@ -742,12 +584,25 @@ fn route(req: &Request, shared: &Shared) -> Response {
             let constraints = match req.param("budget_bytes").map(str::parse::<u64>) {
                 None => TuningConstraints::with_max_indexes(m),
                 Some(Ok(b)) => TuningConstraints::with_budget(m, b),
-                Some(Err(_)) => return Response::error(400, "budget_bytes must be an integer"),
+                Some(Err(_)) => return param_error("budget_bytes", "must be an integer"),
             };
-            let engine = lock_engine(shared);
-            match engine.tune_json(k, advisor, &constraints) {
-                Ok(body) => Response::json(200, &body),
-                Err(e) => error_response(e.into()),
+            let spec = match tenant_spec(req) {
+                Ok(spec) => spec,
+                Err(resp) => return resp,
+            };
+            match resolve_read_shard(shared, spec) {
+                Err(resp) => resp,
+                Ok(None) => param_error(
+                    "tenant",
+                    "is required when multiple shards exist (tuning is per-shard)",
+                ),
+                Ok(Some(shard)) => {
+                    let engine = lock_engine(&shard);
+                    match engine.tune_json(k, advisor, &constraints) {
+                        Ok(body) => Response::json(200, &body),
+                        Err(e) => error_response(e.into()),
+                    }
+                }
             }
         }
         ("POST", "/shutdown") => {
@@ -792,36 +647,93 @@ fn param_error(name: &str, what: &str) -> Response {
     )
 }
 
-/// Builds the `GET /status` document: one JSON object rolling up the
-/// sequencer position, queue pressure, checkpoint age, summary quality
-/// (coverage at `k`, default `min(observed, 10)`), drift state, and the
-/// hierarchical span timings — reads only, so polling it cannot perturb
-/// results.
-fn status_response(shared: &Shared, k_param: Option<usize>) -> Response {
-    let (observed, templates, summary) = {
-        let engine = lock_engine(shared);
-        let observed = engine.observed();
-        let templates = engine.template_count();
-        let summary = if observed == 0 {
-            Json::Null
-        } else {
-            let k = k_param.unwrap_or_else(|| observed.min(10));
-            match engine.explain(k) {
-                Ok(e) => Json::Obj(vec![
-                    ("k".into(), Json::from(e.k)),
-                    ("coverage".into(), Json::from(e.coverage)),
-                    ("coverage_bits".into(), Json::from(hex_bits(e.coverage))),
-                    ("represented".into(), Json::from(e.represented)),
-                    ("represented_fraction".into(), Json::from(e.represented_fraction())),
+/// The cross-shard `GET /summary`: merges every shard's partial sums
+/// deterministically ([`isum_core::merge_partials`]) and selects `k`
+/// representative *templates* with stable fingerprint tie-breaks. The
+/// document is shaped like the per-shard summary but flagged
+/// `"merged": true` and keyed by fingerprint, because shard-local query
+/// indexes are meaningless globally.
+fn merged_summary_response(shared: &Shared, k: usize) -> Response {
+    let merged = shared.router.merged();
+    match merged.select(k, shared.isum) {
+        Err(e) => error_response(e.into()),
+        Ok(picks) => {
+            let selected: Vec<Json> = picks
+                .iter()
+                .map(|p| {
+                    let t = &merged.templates[p.template];
+                    Json::Obj(vec![
+                        ("template".into(), Json::from(p.template)),
+                        ("fingerprint".into(), Json::from(t.fingerprint.as_str())),
+                        ("instances".into(), Json::from(t.count)),
+                        ("mass".into(), Json::from(t.mass)),
+                        ("mass_bits".into(), Json::from(hex_bits(t.mass))),
+                        ("weight".into(), Json::from(p.weight)),
+                        ("weight_bits".into(), Json::from(hex_bits(p.weight))),
+                    ])
+                })
+                .collect();
+            Response::json(
+                200,
+                &Json::Obj(vec![
+                    ("k".into(), Json::from(k)),
+                    ("merged".into(), Json::from(true)),
+                    ("shards".into(), Json::from(shared.router.shard_count())),
+                    ("observed".into(), Json::from(merged.observed)),
+                    ("templates".into(), Json::from(merged.templates.len())),
+                    ("selected".into(), Json::Arr(selected)),
                 ]),
-                Err(e) => return error_response(e.into()),
-            }
-        };
-        (observed, templates, summary)
+            )
+        }
+    }
+}
+
+/// Builds the `GET /status` document: one JSON object rolling up the
+/// lead sequencer position, total queue pressure, checkpoint age,
+/// summary quality (coverage at `k`, default `min(observed, 10)` —
+/// single-shard only), drift state, span timings, and a per-shard
+/// breakdown — reads only, so polling it cannot perturb results.
+fn status_response(shared: &Shared, k_param: Option<usize>) -> Response {
+    let shards = shared.router.shards();
+    let single = shared.router.single();
+    let (observed, templates, summary) = match &single {
+        Some(shard) => {
+            let engine = lock_engine(shard);
+            let observed = engine.observed();
+            let templates = engine.template_count();
+            let summary = if observed == 0 {
+                Json::Null
+            } else {
+                let k = k_param.unwrap_or_else(|| observed.min(10));
+                match engine.explain(k) {
+                    Ok(e) => Json::Obj(vec![
+                        ("k".into(), Json::from(e.k)),
+                        ("coverage".into(), Json::from(e.coverage)),
+                        ("coverage_bits".into(), Json::from(hex_bits(e.coverage))),
+                        ("represented".into(), Json::from(e.represented)),
+                        ("represented_fraction".into(), Json::from(e.represented_fraction())),
+                    ]),
+                    Err(e) => return error_response(e.into()),
+                }
+            };
+            (observed, templates, summary)
+        }
+        // Several shards: totals come from the mirror cells; the summary
+        // gauge is per-shard by construction (ask `/summary` for the
+        // merged one).
+        None => {
+            (shared.router.observed_total() as usize, shared.router.templates_total() as usize, {
+                Json::Null
+            })
+        }
     };
     let checkpoint = {
-        let last = shared.status.last_checkpoint_unix_ms.load(Ordering::Relaxed);
-        let mut fields = vec![("configured".into(), Json::from(shared.checkpoint.is_some()))];
+        let last = shards
+            .iter()
+            .map(|s| s.cells.last_checkpoint_unix_ms.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0);
+        let mut fields = vec![("configured".into(), Json::from(shared.checkpoint_configured))];
         if last == 0 {
             fields.push(("last_unix_ms".into(), Json::Null));
             fields.push(("age_ms".into(), Json::Null));
@@ -833,17 +745,23 @@ fn status_response(shared: &Shared, k_param: Option<usize>) -> Response {
     };
     let drift = {
         let enabled = shared.drift_window > 0;
-        let ppm = shared.status.drift_score_ppm.load(Ordering::Relaxed);
+        // Single-shard: that shard's cells verbatim. Multi-shard: the
+        // worst (maximum) score, summed window lengths and alerts.
+        let ppm = shards
+            .iter()
+            .map(|s| s.cells.drift_score_ppm.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(-1);
+        let window_len: u64 =
+            shards.iter().map(|s| s.cells.drift_window_len.load(Ordering::Relaxed)).sum();
+        let alerts: u64 = shards.iter().map(|s| s.cells.drift_alerts.load(Ordering::Relaxed)).sum();
         Json::Obj(vec![
             ("enabled".into(), Json::from(enabled)),
             ("window".into(), Json::from(shared.drift_window)),
-            (
-                "window_len".into(),
-                Json::from(shared.status.drift_window_len.load(Ordering::Relaxed)),
-            ),
+            ("window_len".into(), Json::from(window_len)),
             ("threshold".into(), Json::from(shared.drift_threshold)),
             ("score".into(), if ppm < 0 { Json::Null } else { Json::from(ppm as f64 / 1e6) }),
-            ("alerts".into(), Json::from(shared.status.drift_alerts.load(Ordering::Relaxed))),
+            ("alerts".into(), Json::from(alerts)),
         ])
     };
     let spans = if telemetry::enabled() {
@@ -866,16 +784,52 @@ fn status_response(shared: &Shared, k_param: Option<usize>) -> Response {
     } else {
         Json::Obj(vec![("enabled".into(), Json::from(false)), ("tree".into(), Json::Arr(vec![]))])
     };
+    let shard_docs: Vec<Json> = shards
+        .iter()
+        .map(|s| {
+            let last = s.cells.last_checkpoint_unix_ms.load(Ordering::Relaxed);
+            let ppm = s.cells.drift_score_ppm.load(Ordering::Relaxed);
+            Json::Obj(vec![
+                ("tenant".into(), Json::from(s.name.as_str())),
+                ("seq".into(), Json::from(s.cells.next_seq.load(Ordering::Relaxed))),
+                ("queue_depth".into(), Json::from(s.cells.queue_depth.load(Ordering::Relaxed))),
+                ("observed".into(), Json::from(s.cells.observed.load(Ordering::Relaxed))),
+                ("templates".into(), Json::from(s.cells.templates.load(Ordering::Relaxed))),
+                (
+                    "checkpoint_unix_ms".into(),
+                    if last == 0 { Json::Null } else { Json::from(last) },
+                ),
+                (
+                    "drift".into(),
+                    Json::Obj(vec![
+                        (
+                            "score".into(),
+                            if ppm < 0 { Json::Null } else { Json::from(ppm as f64 / 1e6) },
+                        ),
+                        (
+                            "window_len".into(),
+                            Json::from(s.cells.drift_window_len.load(Ordering::Relaxed)),
+                        ),
+                        ("alerts".into(), Json::from(s.cells.drift_alerts.load(Ordering::Relaxed))),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    let mode = match shared.router.mode() {
+        ShardMode::Tenant => "tenant",
+        ShardMode::Hashed(_) => "hashed",
+    };
     let draining = shared.shutdown.load(Ordering::SeqCst);
     Response::json(
         200,
         &Json::Obj(vec![
             ("status".into(), Json::from(if draining { "draining" } else { "ok" })),
-            ("seq".into(), Json::from(shared.status.next_seq.load(Ordering::Relaxed))),
+            ("seq".into(), Json::from(shared.router.lead_seq())),
             (
                 "queue".into(),
                 Json::Obj(vec![
-                    ("depth".into(), Json::from(shared.status.queue_depth.load(Ordering::Relaxed))),
+                    ("depth".into(), Json::from(shared.router.queue_depth_total())),
                     ("capacity".into(), Json::from(shared.queue_cap)),
                 ]),
             ),
@@ -885,6 +839,8 @@ fn status_response(shared: &Shared, k_param: Option<usize>) -> Response {
             ("summary".into(), summary),
             ("drift".into(), drift),
             ("spans".into(), spans),
+            ("mode".into(), Json::from(mode)),
+            ("shards".into(), Json::Arr(shard_docs)),
         ]),
     )
 }
@@ -909,7 +865,7 @@ fn error_response(e: IsumError) -> Response {
     }
 }
 
-/// Enqueues one ingest batch and waits for the sequencer's verdict.
+/// Resolves the ingest tenant and hands the batch to the router.
 fn handle_ingest(req: &Request, shared: &Shared) -> Response {
     let Ok(script) = std::str::from_utf8(&req.body) else {
         return Response::error(400, "ingest body must be UTF-8 SQL text");
@@ -918,42 +874,28 @@ fn handle_ingest(req: &Request, shared: &Shared) -> Response {
         None => None,
         Some(v) => match v.parse::<u64>() {
             Ok(s) if s < UNSEQ_KEY_BASE => Some(s),
-            _ => return Response::error(400, "seq must be an integer below 2^63"),
+            _ => return param_error("seq", "must be an integer below 2^63"),
         },
     };
-    let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
+    let spec = match tenant_spec(req) {
+        Ok(spec) => spec,
+        Err(resp) => return resp,
+    };
+    let tenant = match shared.router.mode() {
+        ShardMode::Hashed(_) => match spec {
+            None => DEFAULT_TENANT.to_string(),
+            Some(t) if t == DEFAULT_TENANT => t,
+            Some(_) => {
+                return param_error(
+                    "tenant",
+                    "cannot steer hashed-mode ingest (statements are split by template hash)",
+                )
+            }
+        },
+        ShardMode::Tenant => spec.unwrap_or_else(|| DEFAULT_TENANT.to_string()),
+    };
     let request_id = trace::current_request_id().unwrap_or_else(trace::next_request_id);
-    let job = IngestJob { seq, script: script.to_string(), request_id, reply: reply_tx };
-    {
-        let guard = lock_ingest(shared);
-        let Some(tx) = guard.as_ref() else {
-            return Response::error(503, "server is shutting down");
-        };
-        match tx.try_send(job) {
-            Ok(()) => {
-                shared.status.queue_depth.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(TrySendError::Full(_)) => {
-                count!("server.backpressure");
-                return Response::error(429, "ingest queue is full; retry shortly")
-                    .with_header("Retry-After", "1");
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                return Response::error(503, "server is shutting down");
-            }
-        }
-    }
-    match reply_rx.recv_timeout(shared.ingest_timeout) {
-        Ok(resp) => resp,
-        Err(_) => {
-            count!("server.ingest.timeouts");
-            Response::error(
-                503,
-                "batch not applied within the ingest timeout; retry with the same seq",
-            )
-            .with_header("Retry-After", "1")
-        }
-    }
+    shared.router.ingest(&tenant, seq, script.to_string(), request_id)
 }
 
 // ---------------------------------------------------------------------
@@ -1068,5 +1010,29 @@ mod tests {
 
         std::env::remove_var("ISUM_DRIFT_WINDOW");
         std::env::remove_var("ISUM_DRIFT_THRESHOLD");
+    }
+
+    #[test]
+    fn shards_env_override_parses_and_rejects_garbage() {
+        std::env::remove_var("ISUM_SHARDS");
+        let catalog = isum_catalog::CatalogBuilder::new()
+            .table("t", 10)
+            .col_key("id")
+            .finish()
+            .unwrap()
+            .build();
+        let base = ServerConfig::new(catalog.clone()).apply_shards_env();
+        assert_eq!(base.shards, ShardMode::Tenant, "default survives unset env");
+
+        std::env::set_var("ISUM_SHARDS", "4");
+        let hashed = ServerConfig::new(catalog.clone()).apply_shards_env();
+        assert_eq!(hashed.shards, ShardMode::Hashed(4));
+
+        for garbage in ["0", "-2", "lots"] {
+            std::env::set_var("ISUM_SHARDS", garbage);
+            let kept = ServerConfig::new(catalog.clone()).apply_shards_env();
+            assert_eq!(kept.shards, ShardMode::Tenant, "`{garbage}` is ignored, not applied");
+        }
+        std::env::remove_var("ISUM_SHARDS");
     }
 }

@@ -1,0 +1,1189 @@
+//! Multi-tenant sharding: the router, per-shard state, and both ingest
+//! topologies (DESIGN.md §13).
+//!
+//! # Two sharding modes
+//!
+//! * **Tenant mode** (the default): every distinct `X-Isum-Tenant` header
+//!   value owns one shard — its own engine, sequencer thread, drift
+//!   tracker, and checkpoint file. Requests without the header land on
+//!   the `default` tenant, whose checkpoint stays at the exact configured
+//!   path so a single-tenant deployment is indistinguishable from the
+//!   pre-sharding daemon. Tenant streams are fully independent: each
+//!   shard enforces the strict contiguous `seq` contract on its own
+//!   high-water mark.
+//! * **Hashed mode** (`ISUM_SHARDS=n` / `--shards n`): a single-tenant
+//!   workload is spread over `n` fixed shards `h0..h{n-1}` by the FNV-1a
+//!   hash of each statement's *template fingerprint* (computed in
+//!   parallel on the exec pool; unparseable statements hash their raw
+//!   text). A router thread owns the global strict `seq` stream and the
+//!   fault rolls, splits each batch into per-shard sub-batches, and acks
+//!   the client only after every involved shard has applied *and
+//!   checkpointed* its slice. Shards dedup sub-batches monotonically
+//!   (apply iff `seq >= shard_next`), which is what makes crash recovery
+//!   converge: the restarted router resumes at the *maximum* shard
+//!   high-water mark, and a retried below-maximum batch is still split
+//!   and offered so lagging shards catch up while caught-up shards skip.
+//!
+//! # Checkpoint layout
+//!
+//! With checkpoint stem `dir/ckpt.json`:
+//!
+//! ```text
+//! dir/ckpt.json                 default tenant (pre-sharding path, unchanged)
+//! dir/ckpt.t-<hex(tenant)>.json every other tenant (hex keeps names filesystem-safe)
+//! dir/ckpt.h<i>.json            hashed shard i
+//! ```
+//!
+//! Startup scans the stem's directory for `.t-<hex>` siblings, so a
+//! restart resurrects every tenant that ever checkpointed. Each file is
+//! the ordinary [`Engine`] snapshot, written atomically per shard.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use isum_catalog::Catalog;
+use isum_common::trace;
+use isum_common::{count, telemetry, Json};
+use isum_core::{merge_partials, IsumConfig, MergedWorkload};
+use isum_workload::split_script;
+
+use crate::drift::DriftTracker;
+use crate::engine::Engine;
+use crate::http::Response;
+
+/// Marker bit for fault-injection keys of unsequenced batches, so they
+/// draw from a different site-key space than `seq` numbers.
+pub(crate) const UNSEQ_KEY_BASE: u64 = 1 << 63;
+
+/// The tenant requests land on when no `X-Isum-Tenant` header is sent.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// How shards are laid out; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMode {
+    /// One shard per distinct tenant name, created on first ingest.
+    Tenant,
+    /// `n` fixed shards fed by hashing template fingerprints.
+    Hashed(usize),
+}
+
+/// Validates a tenant name the same way on both ends of the wire: the
+/// server rejects bad names with a typed 400, and `isum client --tenant`
+/// refuses to send them at all. Names must be non-empty, at most 64
+/// bytes, all visible ASCII (no spaces or control bytes — they would ride
+/// in an HTTP header), and must not contain `/` (they appear in
+/// checkpoint-derived contexts and metrics labels).
+pub fn validate_tenant(name: &str) -> Result<(), String> {
+    if name.is_empty() {
+        return Err("must be non-empty".into());
+    }
+    if name.len() > 64 {
+        return Err("must be at most 64 bytes".into());
+    }
+    if !name.bytes().all(|b| (0x21..=0x7e).contains(&b)) {
+        return Err("must be visible ASCII (no spaces or control bytes)".into());
+    }
+    if name.contains('/') {
+        return Err("must not contain `/`".into());
+    }
+    Ok(())
+}
+
+/// Everything a shard sequencer needs that is fixed at bind time.
+pub(crate) struct ShardCtx {
+    pub catalog: Catalog,
+    pub isum: IsumConfig,
+    /// Checkpoint *stem*; each shard derives its own file from it.
+    pub checkpoint: Option<PathBuf>,
+    pub queue_cap: usize,
+    pub ingest_timeout: Duration,
+    pub apply_delay: Duration,
+    pub drift_window: usize,
+    pub drift_threshold: f64,
+    pub mode: ShardMode,
+    pub max_tenants: usize,
+}
+
+/// Mirror cells the shard's hot paths update so `/status`, `/healthz`,
+/// and `/metrics` can answer without touching the sequencer. Strictly
+/// observation-only: nothing reads these back into any decision.
+#[derive(Default)]
+pub(crate) struct ShardCells {
+    /// Ingest jobs accepted into this shard's queue and not yet received.
+    pub queue_depth: AtomicU64,
+    /// Shard high-water mark (next expected `seq`).
+    pub next_seq: AtomicU64,
+    /// Queries observed by this shard's engine.
+    pub observed: AtomicU64,
+    /// Distinct templates in this shard's engine.
+    pub templates: AtomicU64,
+    /// Wall-clock ms of the last successful checkpoint; `0` = never.
+    pub last_checkpoint_unix_ms: AtomicU64,
+    /// Last drift score in parts-per-million; `-1` = no sample yet.
+    pub drift_score_ppm: AtomicI64,
+    /// Observations currently in the drift window.
+    pub drift_window_len: AtomicU64,
+    /// Threshold crossings since startup.
+    pub drift_alerts: AtomicU64,
+}
+
+/// One shard: a name, an engine, a bounded queue, and its sequencer's
+/// observable state.
+pub(crate) struct Shard {
+    pub name: String,
+    pub engine: Mutex<Engine>,
+    /// `None` once drain begins; closing the channel is what lets the
+    /// shard sequencer drain to empty and exit.
+    ingest: Mutex<Option<SyncSender<ShardJob>>>,
+    pub cells: ShardCells,
+    pub checkpoint: Option<PathBuf>,
+    /// XOR-folded into fault-injection keys so distinct tenants draw
+    /// independent deterministic fault decisions. `0` for the default
+    /// tenant, keeping its keys equal to bare `seq` numbers (the contract
+    /// the fault-injection suite pins).
+    fault_salt: u64,
+}
+
+/// One queued unit of shard work.
+enum ShardJob {
+    /// A whole client batch (tenant mode): strict contiguous `seq` dedup.
+    Batch { seq: Option<u64>, script: String, request_id: String, reply: SyncSender<Response> },
+    /// A hashed-mode sub-batch: the router already serialized the global
+    /// stream, so the shard dedups monotonically (apply iff
+    /// `seq >= shard_next`) and never answers "ahead".
+    Sub {
+        seq: Option<u64>,
+        /// `(index in the original batch, sql, explicit cost)`.
+        stmts: Vec<(usize, String, Option<f64>)>,
+        request_id: String,
+        reply: SyncSender<SubOutcome>,
+    },
+}
+
+/// What a shard reports back to the router for one sub-batch.
+struct SubOutcome {
+    /// Statements applied (0 when the sub-batch was a monotone duplicate).
+    applied: usize,
+    /// Rejects, re-keyed to indexes in the *original* batch.
+    rejected: Vec<(usize, String)>,
+    /// Whether the sub-batch mutated state (false = deduped).
+    fresh: bool,
+}
+
+/// A queued hashed-mode client batch, waiting on the router thread.
+struct RouterJob {
+    seq: Option<u64>,
+    script: String,
+    request_id: String,
+    reply: SyncSender<Response>,
+}
+
+/// Observable router-thread state (hashed mode).
+#[derive(Default)]
+pub(crate) struct RouterCells {
+    pub queue_depth: AtomicU64,
+    pub next_seq: AtomicU64,
+}
+
+/// The shard router: owns every shard, their sequencer threads, and (in
+/// hashed mode) the router thread that serializes the global stream.
+pub(crate) struct ShardRouter {
+    ctx: Arc<ShardCtx>,
+    /// Shards by name; `BTreeMap` so every iteration (status, metrics,
+    /// merge) walks shards in one deterministic order.
+    shards: Mutex<BTreeMap<String, Arc<Shard>>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    router_tx: Mutex<Option<SyncSender<RouterJob>>>,
+    router_thread: Mutex<Option<JoinHandle<()>>>,
+    pub router_cells: Arc<RouterCells>,
+}
+
+impl ShardRouter {
+    /// Builds the shard layout for `ctx`: restores every discoverable
+    /// checkpoint, spawns one sequencer per shard, and (in hashed mode)
+    /// the router thread. Fails if any checkpoint is corrupt — refusing
+    /// to serve beats silently dropping acknowledged history.
+    pub(crate) fn start(ctx: ShardCtx) -> io::Result<ShardRouter> {
+        let ctx = Arc::new(ctx);
+        let router = ShardRouter {
+            ctx: Arc::clone(&ctx),
+            shards: Mutex::new(BTreeMap::new()),
+            threads: Mutex::new(Vec::new()),
+            router_tx: Mutex::new(None),
+            router_thread: Mutex::new(None),
+            router_cells: Arc::new(RouterCells::default()),
+        };
+        match ctx.mode {
+            ShardMode::Tenant => {
+                router.create_shard(DEFAULT_TENANT)?;
+                if let Some(stem) = &ctx.checkpoint {
+                    for tenant in discover_tenant_checkpoints(stem) {
+                        router.create_shard(&tenant)?;
+                    }
+                }
+            }
+            ShardMode::Hashed(n) => {
+                let n = n.max(1);
+                let mut senders = Vec::with_capacity(n);
+                for i in 0..n {
+                    let shard = router.create_shard(&format!("h{i}"))?;
+                    let tx = lock(&shard.ingest).clone().expect("fresh shard has a sender");
+                    senders.push((Arc::clone(&shard), tx));
+                }
+                let next = senders
+                    .iter()
+                    .map(|(s, _)| s.cells.next_seq.load(Ordering::Relaxed))
+                    .max()
+                    .unwrap_or(0);
+                router.router_cells.next_seq.store(next, Ordering::Relaxed);
+                let (tx, rx) = mpsc::sync_channel::<RouterJob>(ctx.queue_cap.max(1));
+                *lock(&router.router_tx) = Some(tx);
+                let rctx = Arc::clone(&ctx);
+                let cells = Arc::clone(&router.router_cells);
+                let handle = std::thread::Builder::new()
+                    .name("isum-shard-router".into())
+                    .spawn(move || router_loop(rx, senders, rctx, cells, next))?;
+                *lock(&router.router_thread) = Some(handle);
+            }
+        }
+        Ok(router)
+    }
+
+    /// The configured mode.
+    pub(crate) fn mode(&self) -> ShardMode {
+        self.ctx.mode
+    }
+
+    /// Shards in name order.
+    pub(crate) fn shards(&self) -> Vec<Arc<Shard>> {
+        lock(&self.shards).values().cloned().collect()
+    }
+
+    /// The shard named `name`, if it exists.
+    pub(crate) fn shard_named(&self, name: &str) -> Option<Arc<Shard>> {
+        lock(&self.shards).get(name).cloned()
+    }
+
+    /// The only shard, when exactly one exists — the fast path every
+    /// pre-sharding behavior (and its bit-identity contract) rides on.
+    pub(crate) fn single(&self) -> Option<Arc<Shard>> {
+        let shards = lock(&self.shards);
+        if shards.len() == 1 {
+            shards.values().next().cloned()
+        } else {
+            None
+        }
+    }
+
+    /// Number of shards.
+    pub(crate) fn shard_count(&self) -> usize {
+        lock(&self.shards).len()
+    }
+
+    /// The deterministic cross-shard merge of every shard's partial sums
+    /// (see [`isum_core::merge_partials`] for the determinism contract).
+    pub(crate) fn merged(&self) -> MergedWorkload {
+        let shards = self.shards();
+        let partials: Vec<_> = shards.iter().map(|s| lock(&s.engine).shard_partial()).collect();
+        merge_partials(&partials)
+    }
+
+    /// Routes one ingest batch: tenant mode enqueues onto the tenant's
+    /// shard (creating it on first contact), hashed mode enqueues onto
+    /// the router thread. Returns the wire response either way.
+    pub(crate) fn ingest(
+        &self,
+        tenant: &str,
+        seq: Option<u64>,
+        script: String,
+        request_id: String,
+    ) -> Response {
+        let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
+        match self.ctx.mode {
+            ShardMode::Hashed(_) => {
+                let guard = lock(&self.router_tx);
+                let Some(tx) = guard.as_ref() else {
+                    return Response::error(503, "server is shutting down");
+                };
+                let job = RouterJob { seq, script, request_id, reply: reply_tx };
+                match tx.try_send(job) {
+                    Ok(()) => {
+                        self.router_cells.queue_depth.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        count!("server.backpressure");
+                        return Response::error(429, "ingest queue is full; retry shortly")
+                            .with_header("Retry-After", "1");
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        return Response::error(503, "server is shutting down");
+                    }
+                }
+                drop(guard);
+            }
+            ShardMode::Tenant => {
+                let shard = match self.shard_for_tenant(tenant) {
+                    Ok(s) => s,
+                    Err(resp) => return resp,
+                };
+                let guard = lock(&shard.ingest);
+                let Some(tx) = guard.as_ref() else {
+                    return Response::error(503, "server is shutting down");
+                };
+                let job = ShardJob::Batch { seq, script, request_id, reply: reply_tx };
+                match tx.try_send(job) {
+                    Ok(()) => {
+                        shard.cells.queue_depth.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        count!("server.backpressure");
+                        return Response::error(429, "ingest queue is full; retry shortly")
+                            .with_header("Retry-After", "1");
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        return Response::error(503, "server is shutting down");
+                    }
+                }
+                drop(guard);
+            }
+        }
+        match reply_rx.recv_timeout(self.ctx.ingest_timeout) {
+            Ok(resp) => resp,
+            Err(_) => {
+                count!("server.ingest.timeouts");
+                Response::error(
+                    503,
+                    "batch not applied within the ingest timeout; retry with the same seq",
+                )
+                .with_header("Retry-After", "1")
+            }
+        }
+    }
+
+    /// The tenant's shard, created on first contact (tenant mode only).
+    fn shard_for_tenant(&self, tenant: &str) -> Result<Arc<Shard>, Response> {
+        if let Some(shard) = self.shard_named(tenant) {
+            return Ok(shard);
+        }
+        if self.shard_count() >= self.ctx.max_tenants {
+            count!("server.shards.tenant_cap");
+            return Err(Response::error(
+                429,
+                &format!(
+                    "tenant cap reached ({} shards); retire a tenant or raise the cap",
+                    self.ctx.max_tenants
+                ),
+            )
+            .with_header("Retry-After", "1"));
+        }
+        self.create_shard(tenant).map_err(|e| {
+            Response::error(503, &format!("could not create shard for tenant: {e}"))
+                .with_header("Retry-After", "1")
+        })
+    }
+
+    /// Creates and registers one shard (restoring its checkpoint if
+    /// present) and spawns its sequencer thread. Racing creators for the
+    /// same name converge on the first registration.
+    fn create_shard(&self, name: &str) -> io::Result<Arc<Shard>> {
+        let mut shards = lock(&self.shards);
+        if let Some(existing) = shards.get(name) {
+            return Ok(Arc::clone(existing));
+        }
+        let ctx = &self.ctx;
+        let checkpoint = ctx.checkpoint.as_ref().map(|stem| checkpoint_path_for(stem, name));
+        let (engine, next_seq) = match &checkpoint {
+            Some(path) if path.exists() => {
+                Engine::restore_from(ctx.catalog.clone(), ctx.isum, path)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            }
+            _ => (Engine::new(ctx.catalog.clone(), ctx.isum), 0),
+        };
+        let (tx, rx) = mpsc::sync_channel::<ShardJob>(ctx.queue_cap.max(1));
+        let cells = ShardCells::default();
+        cells.next_seq.store(next_seq, Ordering::Relaxed);
+        cells.observed.store(engine.observed() as u64, Ordering::Relaxed);
+        cells.templates.store(engine.template_count() as u64, Ordering::Relaxed);
+        cells.drift_score_ppm.store(-1, Ordering::Relaxed);
+        let shard = Arc::new(Shard {
+            name: name.to_string(),
+            engine: Mutex::new(engine),
+            ingest: Mutex::new(Some(tx)),
+            cells,
+            checkpoint,
+            fault_salt: fault_salt_for(name),
+        });
+        let thread_shard = Arc::clone(&shard);
+        let thread_ctx = Arc::clone(ctx);
+        let handle = std::thread::Builder::new()
+            .name(format!("isum-shard-{name}"))
+            .spawn(move || shard_loop(rx, thread_shard, thread_ctx, next_seq))?;
+        lock(&self.threads).push(handle);
+        shards.insert(name.to_string(), Arc::clone(&shard));
+        isum_common::info!("server.shards", format!("shard `{name}` online"), seq = next_seq);
+        Ok(shard)
+    }
+
+    /// Graceful drain: stops accepting, lets every queue empty, writes
+    /// the final per-shard checkpoints, and joins every thread. Order
+    /// matters in hashed mode: the router thread must drain (and receive
+    /// its last sub-acks) before the shard queues close.
+    pub(crate) fn drain(&self) {
+        *lock(&self.router_tx) = None;
+        if let Some(handle) = lock(&self.router_thread).take() {
+            let _ = handle.join();
+        }
+        for shard in self.shards() {
+            *lock(&shard.ingest) = None;
+        }
+        let handles: Vec<_> = lock(&self.threads).drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Renders the tenant-labeled `isum_shard_*` Prometheus families
+    /// appended to `GET /metrics`. Every sample goes through
+    /// [`telemetry::labeled_sample`], so hostile tenant names cannot
+    /// corrupt the exposition.
+    pub(crate) fn render_shard_metrics(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let shards = self.shards();
+        let gauge = |out: &mut String, name: &str, help: &str, value: &dyn Fn(&Shard) -> i64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for s in &shards {
+                out.push_str(&telemetry::labeled_sample(
+                    name,
+                    &[("tenant", s.name.as_str())],
+                    value(s),
+                ));
+            }
+        };
+        gauge(out, "isum_shard_observed", "Queries observed by the shard.", &|s| {
+            s.cells.observed.load(Ordering::Relaxed) as i64
+        });
+        gauge(out, "isum_shard_templates", "Distinct templates in the shard.", &|s| {
+            s.cells.templates.load(Ordering::Relaxed) as i64
+        });
+        gauge(out, "isum_shard_queue_depth", "Queued ingest jobs on the shard.", &|s| {
+            s.cells.queue_depth.load(Ordering::Relaxed) as i64
+        });
+        gauge(out, "isum_shard_next_seq", "Shard sequencer high-water mark.", &|s| {
+            s.cells.next_seq.load(Ordering::Relaxed) as i64
+        });
+        gauge(
+            out,
+            "isum_shard_drift_score_ppm",
+            "Last drift score in ppm (-1 before any sample).",
+            &|s| s.cells.drift_score_ppm.load(Ordering::Relaxed),
+        );
+        let _ = writeln!(out, "# HELP isum_shard_drift_alerts Drift threshold crossings.");
+        let _ = writeln!(out, "# TYPE isum_shard_drift_alerts counter");
+        for s in &shards {
+            out.push_str(&telemetry::labeled_sample(
+                "isum_shard_drift_alerts",
+                &[("tenant", s.name.as_str())],
+                s.cells.drift_alerts.load(Ordering::Relaxed),
+            ));
+        }
+    }
+
+    /// Total observed queries across all shards.
+    pub(crate) fn observed_total(&self) -> u64 {
+        self.shards().iter().map(|s| s.cells.observed.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of per-shard distinct-template counts. Shards can share
+    /// templates, so across shards this is an upper bound on the merged
+    /// distinct count — `/summary`'s merged document reports the exact
+    /// one.
+    pub(crate) fn templates_total(&self) -> u64 {
+        self.shards().iter().map(|s| s.cells.templates.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Queue depth summed over every queue (router + shards).
+    pub(crate) fn queue_depth_total(&self) -> u64 {
+        let shard_depth: u64 =
+            self.shards().iter().map(|s| s.cells.queue_depth.load(Ordering::Relaxed)).sum();
+        shard_depth + self.router_cells.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// The `seq` the `/status` document leads with: the router's global
+    /// high-water mark in hashed mode, otherwise the maximum shard mark
+    /// (equal to the only shard's mark single-tenant).
+    pub(crate) fn lead_seq(&self) -> u64 {
+        match self.ctx.mode {
+            ShardMode::Hashed(_) => self.router_cells.next_seq.load(Ordering::Relaxed),
+            ShardMode::Tenant => self
+                .shards()
+                .iter()
+                .map(|s| s.cells.next_seq.load(Ordering::Relaxed))
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Wall-clock milliseconds since the Unix epoch — used only to annotate
+/// `/status` (checkpoint age), never in any data-path decision.
+pub(crate) fn unix_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_millis() as u64)
+}
+
+/// FNV-1a over `bytes` — the stable, dependency-free hash both the
+/// statement router and the tenant fault salt use.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Fault-key salt for a shard: `0` for the default tenant (its keys stay
+/// bare `seq` numbers, the contract the fault suite pins), otherwise a
+/// name-derived pattern confined to bit 62 downward so it cannot collide
+/// with the [`UNSEQ_KEY_BASE`] marker.
+fn fault_salt_for(name: &str) -> u64 {
+    if name == DEFAULT_TENANT {
+        0
+    } else {
+        (fnv1a(name.as_bytes()) & !(UNSEQ_KEY_BASE)) | (1 << 62)
+    }
+}
+
+/// The shard hash of one statement: the FNV-1a of its template
+/// fingerprint when it parses, else of the raw SQL text (so malformed
+/// statements still land deterministically — on whichever shard then
+/// rejects them).
+pub(crate) fn route_hash(sql: &str) -> u64 {
+    match isum_sql::parse(sql) {
+        Ok(stmt) => fnv1a(isum_sql::fingerprint(&stmt).as_bytes()),
+        Err(_) => fnv1a(sql.as_bytes()),
+    }
+}
+
+/// The checkpoint file for shard `name` under checkpoint stem `stem`.
+/// The default tenant keeps the stem itself — bit-for-bit the
+/// pre-sharding layout — and every other shard gets a sibling file (see
+/// the module docs for the naming).
+pub(crate) fn checkpoint_path_for(stem: &Path, name: &str) -> PathBuf {
+    if name == DEFAULT_TENANT {
+        return stem.to_path_buf();
+    }
+    let tag = if name.starts_with('h') && name[1..].chars().all(|c| c.is_ascii_digit()) {
+        name.to_string()
+    } else {
+        format!("t-{}", hex_of(name))
+    };
+    sibling_with_tag(stem, &tag)
+}
+
+fn hex_of(name: &str) -> String {
+    name.bytes().map(|b| format!("{b:02x}")).collect()
+}
+
+fn unhex_name(hex: &str) -> Option<String> {
+    if !hex.len().is_multiple_of(2) {
+        return None;
+    }
+    let bytes: Option<Vec<u8>> =
+        (0..hex.len()).step_by(2).map(|i| u8::from_str_radix(&hex[i..i + 2], 16).ok()).collect();
+    String::from_utf8(bytes?).ok()
+}
+
+/// `dir/ckpt.json` + tag `t-<hex>` → `dir/ckpt.t-<hex>.json`.
+fn sibling_with_tag(stem: &Path, tag: &str) -> PathBuf {
+    let file = stem.file_name().and_then(|f| f.to_str()).unwrap_or("checkpoint");
+    let named = match file.rsplit_once('.') {
+        Some((base, ext)) => format!("{base}.{tag}.{ext}"),
+        None => format!("{file}.{tag}"),
+    };
+    stem.with_file_name(named)
+}
+
+/// Tenants with a `.t-<hex>` checkpoint next to `stem`, so a restart in
+/// tenant mode resurrects every tenant that ever checkpointed.
+fn discover_tenant_checkpoints(stem: &Path) -> Vec<String> {
+    let Some(file) = stem.file_name().and_then(|f| f.to_str()) else {
+        return Vec::new();
+    };
+    let (prefix, suffix) = match file.rsplit_once('.') {
+        Some((base, ext)) => (format!("{base}.t-"), format!(".{ext}")),
+        None => (format!("{file}.t-"), String::new()),
+    };
+    let dir = stem.parent().filter(|p| !p.as_os_str().is_empty());
+    let Ok(entries) = std::fs::read_dir(dir.unwrap_or(Path::new("."))) else {
+        return Vec::new();
+    };
+    let mut tenants = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix(&prefix) else { continue };
+        let Some(hex) = rest.strip_suffix(&suffix) else { continue };
+        if let Some(tenant) = unhex_name(hex) {
+            if validate_tenant(&tenant).is_ok() && tenant != DEFAULT_TENANT {
+                tenants.push(tenant);
+            }
+        }
+    }
+    tenants.sort();
+    tenants
+}
+
+// ---------------------------------------------------------------------
+// Shard sequencer
+// ---------------------------------------------------------------------
+
+/// One shard's sequencer: applies its queue strictly in order, writes
+/// the shard checkpoint after every applied job, and exits (with a final
+/// checkpoint) when the queue closes.
+fn shard_loop(rx: Receiver<ShardJob>, shard: Arc<Shard>, ctx: Arc<ShardCtx>, mut next_seq: u64) {
+    let mut attempts: HashMap<u64, u32> = HashMap::new();
+    let mut unseq_counter: u64 = 0;
+    // Drift tracking starts at the current engine high-water mark, so a
+    // checkpoint-restored history counts as "already summarized" and only
+    // post-restart arrivals enter the window.
+    let mut drift = DriftTracker::new(ctx.drift_window, ctx.drift_threshold)
+        .starting_at(lock(&shard.engine).observed());
+    loop {
+        let job = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        shard.cells.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        match job {
+            ShardJob::Batch { seq, script, request_id, reply } => {
+                let _rid = trace::with_request_id(&request_id);
+                let resp = dispatch_batch(
+                    &shard,
+                    &ctx,
+                    seq,
+                    &script,
+                    &mut next_seq,
+                    &mut attempts,
+                    &mut unseq_counter,
+                    &mut drift,
+                );
+                let _ = reply.try_send(resp);
+            }
+            ShardJob::Sub { seq, stmts, request_id, reply } => {
+                let _rid = trace::with_request_id(&request_id);
+                let outcome = dispatch_sub(&shard, &ctx, seq, stmts, &mut next_seq, &mut drift);
+                let _ = reply.try_send(outcome);
+            }
+        }
+    }
+    // Final checkpoint: everything acknowledged is on disk.
+    if let Some(path) = &shard.checkpoint {
+        let engine = lock(&shard.engine);
+        if let Err(e) = engine.checkpoint_to(path, next_seq) {
+            count!("server.checkpoint.errors");
+            isum_common::error!(
+                "server.ingest",
+                format!("final checkpoint failed: {e}"),
+                tenant = shard.name,
+                next_seq = next_seq
+            );
+        } else {
+            shard.cells.last_checkpoint_unix_ms.store(unix_ms(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Tenant-mode dispatch: duplicate (acknowledged without re-applying),
+/// early (told to retry — holding it would pin its connection's
+/// executor, which deadlocks small pools), or in-order (applied).
+#[allow(clippy::too_many_arguments)]
+fn dispatch_batch(
+    shard: &Shard,
+    ctx: &ShardCtx,
+    seq: Option<u64>,
+    script: &str,
+    next_seq: &mut u64,
+    attempts: &mut HashMap<u64, u32>,
+    unseq_counter: &mut u64,
+    drift: &mut DriftTracker,
+) -> Response {
+    match seq {
+        Some(seq) if seq < *next_seq => {
+            count!("server.ingest.duplicates");
+            isum_common::debug!(
+                "server.ingest",
+                "duplicate batch acknowledged",
+                tenant = shard.name,
+                seq = seq
+            );
+            let body = Json::Obj(vec![
+                ("status".into(), Json::from("duplicate")),
+                ("seq".into(), Json::from(seq)),
+                ("applied".into(), Json::from(0u64)),
+                ("next_seq".into(), Json::from(*next_seq)),
+            ]);
+            Response::json(200, &body)
+        }
+        Some(seq) if seq > *next_seq => {
+            count!("server.ingest.out_of_order");
+            isum_common::debug!(
+                "server.ingest",
+                "batch ahead of the stream; told to retry",
+                tenant = shard.name,
+                seq = seq,
+                next_seq = *next_seq
+            );
+            Response::error(
+                503,
+                &format!("seq {seq} is ahead of the stream (next is {next_seq}); retry shortly"),
+            )
+            .with_header("Retry-After", "0")
+        }
+        seq => {
+            let key = shard.fault_salt
+                ^ match seq {
+                    Some(s) => s,
+                    None => {
+                        *unseq_counter += 1;
+                        UNSEQ_KEY_BASE | *unseq_counter
+                    }
+                };
+            if let Some(resp) = fault_roll(key, attempts) {
+                return resp;
+            }
+            if !ctx.apply_delay.is_zero() {
+                std::thread::sleep(ctx.apply_delay);
+            }
+            count!("server.ingest.batches");
+            let body = {
+                let mut engine = lock(&shard.engine);
+                let outcome = engine.apply_script(script);
+                publish_engine_cells(shard, &engine);
+                isum_common::debug!(
+                    "server.ingest",
+                    "batch applied",
+                    tenant = shard.name,
+                    observed = engine.observed()
+                );
+                outcome.to_json(seq, engine.observed())
+            };
+            if seq.is_some() {
+                *next_seq += 1;
+                attempts.remove(&key);
+            }
+            shard.cells.next_seq.store(*next_seq, Ordering::Relaxed);
+            write_shard_checkpoint(shard, *next_seq);
+            observe_drift(shard, ctx, drift, seq);
+            Response::json(200, &body)
+        }
+    }
+}
+
+/// Hashed-mode dispatch: monotone dedup, then apply the sub-batch.
+fn dispatch_sub(
+    shard: &Shard,
+    ctx: &ShardCtx,
+    seq: Option<u64>,
+    stmts: Vec<(usize, String, Option<f64>)>,
+    next_seq: &mut u64,
+    drift: &mut DriftTracker,
+) -> SubOutcome {
+    if let Some(s) = seq {
+        if s < *next_seq {
+            count!("server.ingest.duplicates");
+            isum_common::debug!(
+                "server.ingest",
+                "sub-batch below shard high-water mark; skipped",
+                tenant = shard.name,
+                seq = s,
+                next_seq = *next_seq
+            );
+            return SubOutcome { applied: 0, rejected: Vec::new(), fresh: false };
+        }
+    }
+    if !ctx.apply_delay.is_zero() {
+        std::thread::sleep(ctx.apply_delay);
+    }
+    let (indexes, pairs): (Vec<usize>, Vec<(String, Option<f64>)>) =
+        stmts.into_iter().map(|(i, sql, cost)| (i, (sql, cost))).unzip();
+    let outcome = {
+        let mut engine = lock(&shard.engine);
+        let outcome = engine.apply_statements(&pairs);
+        publish_engine_cells(shard, &engine);
+        isum_common::debug!(
+            "server.ingest",
+            "sub-batch applied",
+            tenant = shard.name,
+            observed = engine.observed()
+        );
+        outcome
+    };
+    if let Some(s) = seq {
+        *next_seq = s + 1;
+    }
+    shard.cells.next_seq.store(*next_seq, Ordering::Relaxed);
+    write_shard_checkpoint(shard, *next_seq);
+    observe_drift(shard, ctx, drift, seq);
+    SubOutcome {
+        applied: outcome.accepted,
+        rejected: outcome.rejected.into_iter().map(|(i, why)| (indexes[i], why)).collect(),
+        fresh: true,
+    }
+}
+
+/// Rolls the deterministic ingest fault for `key`; `Some` is the 503 the
+/// client must retry.
+fn fault_roll(key: u64, attempts: &mut HashMap<u64, u32>) -> Option<Response> {
+    let attempt = attempts.entry(key).or_insert(0);
+    let this_attempt = *attempt;
+    *attempt += 1;
+    let injector = isum_faults::global();
+    if injector.is_active() && injector.ingest_fault(key, this_attempt) {
+        count!("server.ingest.faults");
+        isum_common::warn!(
+            "server.ingest",
+            "injected transient ingest fault",
+            key = key,
+            attempt = this_attempt
+        );
+        let body = Json::Obj(vec![
+            ("error".into(), Json::from("injected transient ingest fault")),
+            ("status".into(), Json::from(503u64)),
+            ("retryable".into(), Json::from(true)),
+        ]);
+        return Some(Response::json(503, &body).with_header("Retry-After", "0"));
+    }
+    None
+}
+
+/// Publishes the engine's observable counters into the shard's mirror
+/// cells (caller holds the engine lock).
+fn publish_engine_cells(shard: &Shard, engine: &Engine) {
+    shard.cells.observed.store(engine.observed() as u64, Ordering::Relaxed);
+    shard.cells.templates.store(engine.template_count() as u64, Ordering::Relaxed);
+}
+
+/// Writes the post-batch shard checkpoint, if one is configured.
+/// Failures are counted and logged but do not fail the batch: the
+/// statements are still applied in memory, and the next successful
+/// checkpoint covers them.
+fn write_shard_checkpoint(shard: &Shard, next_seq: u64) {
+    if let Some(path) = &shard.checkpoint {
+        let engine = lock(&shard.engine);
+        if let Err(e) = engine.checkpoint_to(path, next_seq) {
+            count!("server.checkpoint.errors");
+            isum_common::error!(
+                "server.ingest",
+                format!("checkpoint failed: {e}"),
+                tenant = shard.name,
+                next_seq = next_seq
+            );
+        } else {
+            shard.cells.last_checkpoint_unix_ms.store(unix_ms(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Post-batch drift observation: folds the batch's fresh observations
+/// into the shard's sliding window, publishes the score (telemetry
+/// gauges + histogram and the `/status` mirror cells), and emits the
+/// edge-triggered `warn!` when the score first exceeds the threshold.
+/// Runs on the shard thread with the submitting request's ID already
+/// installed, so the alert is attributed to the batch that caused it.
+/// Strictly observation-only: reads engine state, feeds nothing back.
+fn observe_drift(shard: &Shard, ctx: &ShardCtx, drift: &mut DriftTracker, seq: Option<u64>) {
+    if !drift.enabled() {
+        return;
+    }
+    let (fresh, total_mass) = {
+        let engine = lock(&shard.engine);
+        (engine.observations_since(drift.seen()), engine.template_mass())
+    };
+    let Some(sample) = drift.on_batch(&fresh, &total_mass) else {
+        return;
+    };
+    let ppm = (sample.score * 1e6).round() as i64;
+    shard.cells.drift_score_ppm.store(ppm, Ordering::Relaxed);
+    shard.cells.drift_window_len.store(sample.window_len as u64, Ordering::Relaxed);
+    if telemetry::enabled() {
+        telemetry::gauge("drift.score_ppm").set(ppm);
+        telemetry::gauge("drift.window_len").set(sample.window_len as i64);
+        isum_common::record!("drift.batch_score_ppm", ppm.max(0) as u64);
+    }
+    if sample.crossed {
+        shard.cells.drift_alerts.fetch_add(1, Ordering::Relaxed);
+        count!("drift.alerts");
+        isum_common::warn!(
+            "server.drift",
+            format!(
+                "workload drift score {:.4} crossed threshold {:.4}; \
+                 recent templates diverge from the summarized history",
+                sample.score, ctx.drift_threshold
+            ),
+            tenant = shard.name,
+            seq = seq.map_or_else(|| "unsequenced".into(), |s| s.to_string()),
+            window_len = sample.window_len,
+            score_ppm = ppm
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hashed-mode router thread
+// ---------------------------------------------------------------------
+
+/// The hashed-mode router: owns the global strict `seq` stream and the
+/// fault rolls, splits each batch by template-fingerprint hash (in
+/// parallel on the exec pool), and acks only after every involved shard
+/// has applied and checkpointed its slice.
+fn router_loop(
+    rx: Receiver<RouterJob>,
+    shards: Vec<(Arc<Shard>, SyncSender<ShardJob>)>,
+    ctx: Arc<ShardCtx>,
+    cells: Arc<RouterCells>,
+    mut next_seq: u64,
+) {
+    let mut attempts: HashMap<u64, u32> = HashMap::new();
+    let mut unseq_counter: u64 = 0;
+    loop {
+        let job = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        cells.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let _rid = trace::with_request_id(&job.request_id);
+        let resp = route_job(&job, &shards, &ctx, &mut next_seq, &mut attempts, &mut unseq_counter);
+        cells.next_seq.store(next_seq, Ordering::Relaxed);
+        let _ = job.reply.try_send(resp);
+    }
+}
+
+/// Handles one hashed-mode batch on the router thread; see
+/// [`router_loop`].
+fn route_job(
+    job: &RouterJob,
+    shards: &[(Arc<Shard>, SyncSender<ShardJob>)],
+    ctx: &ShardCtx,
+    next_seq: &mut u64,
+    attempts: &mut HashMap<u64, u32>,
+    unseq_counter: &mut u64,
+) -> Response {
+    if let Some(seq) = job.seq {
+        if seq > *next_seq {
+            count!("server.ingest.out_of_order");
+            isum_common::debug!(
+                "server.ingest",
+                "batch ahead of the stream; told to retry",
+                seq = seq,
+                next_seq = *next_seq
+            );
+            return Response::error(
+                503,
+                &format!("seq {seq} is ahead of the stream (next is {next_seq}); retry shortly"),
+            )
+            .with_header("Retry-After", "0");
+        }
+    }
+    let duplicate = matches!(job.seq, Some(s) if s < *next_seq);
+    let key = match job.seq {
+        Some(s) => s,
+        None => {
+            *unseq_counter += 1;
+            UNSEQ_KEY_BASE | *unseq_counter
+        }
+    };
+    // A below-high-water batch is *still split and offered*: after a
+    // crash the router resumes at the maximum shard mark, and the
+    // client's retries are how lagging shards receive the slices they
+    // missed (each shard's monotone dedup skips what it already has).
+    // Fault rolls only guard fresh sequence positions — re-offers ride
+    // on the retry the client already performed.
+    if !duplicate {
+        if let Some(resp) = fault_roll(key, attempts) {
+            return resp;
+        }
+    }
+    count!("server.ingest.batches");
+    let (sqls, costs) = split_script(&job.script);
+    let total = sqls.len();
+    let mut per_shard: Vec<Vec<(usize, String, Option<f64>)>> = vec![Vec::new(); shards.len()];
+    if !sqls.is_empty() {
+        let hashes = isum_exec::par_map(&sqls, |sql| route_hash(sql));
+        for (i, sql) in sqls.into_iter().enumerate() {
+            let target = (hashes[i] % shards.len() as u64) as usize;
+            per_shard[target].push((i, sql, costs[i]));
+        }
+    }
+    let mut waits: Vec<(usize, mpsc::Receiver<SubOutcome>)> = Vec::new();
+    for (idx, stmts) in per_shard.into_iter().enumerate() {
+        if stmts.is_empty() {
+            continue;
+        }
+        let (reply_tx, reply_rx) = mpsc::sync_channel::<SubOutcome>(1);
+        let sub = ShardJob::Sub {
+            seq: job.seq,
+            stmts,
+            request_id: job.request_id.clone(),
+            reply: reply_tx,
+        };
+        shards[idx].0.cells.queue_depth.fetch_add(1, Ordering::Relaxed);
+        if shards[idx].1.send(sub).is_err() {
+            return Response::error(503, "server is shutting down");
+        }
+        waits.push((idx, reply_rx));
+    }
+    let mut applied = 0usize;
+    let mut rejected: Vec<(usize, String)> = Vec::new();
+    let mut any_fresh = false;
+    for (idx, rx) in waits {
+        match rx.recv_timeout(ctx.ingest_timeout.max(Duration::from_secs(1))) {
+            Ok(outcome) => {
+                applied += outcome.applied;
+                any_fresh |= outcome.fresh;
+                rejected.extend(outcome.rejected);
+            }
+            Err(_) => {
+                count!("server.ingest.timeouts");
+                isum_common::warn!(
+                    "server.ingest",
+                    format!("shard h{idx} did not ack its sub-batch in time"),
+                    seq = job.seq.map_or_else(|| "unsequenced".into(), |s| s.to_string())
+                );
+                return Response::error(
+                    503,
+                    "a shard did not apply its slice in time; retry with the same seq",
+                )
+                .with_header("Retry-After", "1");
+            }
+        }
+    }
+    rejected.sort_by_key(|(i, _)| *i);
+    if job.seq == Some(*next_seq) {
+        *next_seq += 1;
+        attempts.remove(&key);
+    }
+    let observed: u64 = shards.iter().map(|(s, _)| s.cells.observed.load(Ordering::Relaxed)).sum();
+    if duplicate && !any_fresh {
+        let body = Json::Obj(vec![
+            ("status".into(), Json::from("duplicate")),
+            ("seq".into(), Json::from(job.seq.unwrap_or(0))),
+            ("applied".into(), Json::from(0u64)),
+            ("next_seq".into(), Json::from(*next_seq)),
+        ]);
+        return Response::json(200, &body);
+    }
+    let mut fields =
+        vec![("status".into(), Json::from(if duplicate { "duplicate" } else { "ok" }))];
+    if let Some(s) = job.seq {
+        fields.push(("seq".into(), Json::from(s)));
+    }
+    fields.push(("applied".into(), Json::from(applied)));
+    fields.push(("total".into(), Json::from(total)));
+    fields.push((
+        "rejected".into(),
+        Json::Arr(
+            rejected
+                .iter()
+                .map(|(i, reason)| {
+                    Json::Obj(vec![
+                        ("statement".into(), Json::from(*i)),
+                        ("error".into(), Json::from(reason.as_str())),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    fields.push(("observed".into(), Json::from(observed)));
+    if duplicate {
+        // A recovery re-offer that refreshed a lagging shard: report it
+        // as a duplicate (the stream position did not move) but keep the
+        // applied count honest.
+        fields.push(("next_seq".into(), Json::from(*next_seq)));
+    }
+    Response::json(200, &Json::Obj(fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_validation_matches_the_wire_contract() {
+        assert!(validate_tenant("default").is_ok());
+        assert!(validate_tenant("acme-prod_7").is_ok());
+        assert!(validate_tenant(&"x".repeat(64)).is_ok());
+        assert!(validate_tenant("").is_err());
+        assert!(validate_tenant(&"x".repeat(65)).is_err());
+        assert!(validate_tenant("has space").is_err());
+        assert!(validate_tenant("tab\tname").is_err());
+        assert!(validate_tenant("path/traversal").is_err());
+        assert!(validate_tenant("utf8-héllo").is_err());
+    }
+
+    #[test]
+    fn checkpoint_paths_keep_default_at_the_stem() {
+        let stem = Path::new("dir/ckpt.json");
+        assert_eq!(checkpoint_path_for(stem, DEFAULT_TENANT), stem);
+        assert_eq!(
+            checkpoint_path_for(stem, "acme"),
+            Path::new("dir/ckpt.t-61636d65.json"),
+            "tenant files are hex-tagged siblings"
+        );
+        assert_eq!(checkpoint_path_for(stem, "h3"), Path::new("dir/ckpt.h3.json"));
+        // No extension: tags append without inventing one.
+        assert_eq!(checkpoint_path_for(Path::new("ckpt"), "acme"), Path::new("ckpt.t-61636d65"));
+    }
+
+    #[test]
+    fn tenant_checkpoints_round_trip_through_discovery() {
+        let dir = std::env::temp_dir().join(format!("isum-shards-disc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("ckpt.json");
+        for tenant in ["acme", "zeta-9"] {
+            std::fs::write(checkpoint_path_for(&stem, tenant), "{}").unwrap();
+        }
+        // Distractors: the default stem, a hashed shard, junk hex.
+        std::fs::write(&stem, "{}").unwrap();
+        std::fs::write(checkpoint_path_for(&stem, "h0"), "{}").unwrap();
+        std::fs::write(dir.join("ckpt.t-zz.json"), "{}").unwrap();
+        let mut found = discover_tenant_checkpoints(&stem);
+        found.sort();
+        assert_eq!(found, vec!["acme".to_string(), "zeta-9".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_salts_separate_tenants_but_not_the_default() {
+        assert_eq!(fault_salt_for(DEFAULT_TENANT), 0, "default keys stay bare seq numbers");
+        let a = fault_salt_for("acme");
+        let b = fault_salt_for("zeta");
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        assert_eq!(a & UNSEQ_KEY_BASE, 0, "salts never touch the unsequenced marker bit");
+        assert_ne!(a & (1 << 62), 0, "salts are confined to a distinct key plane");
+    }
+
+    #[test]
+    fn route_hash_groups_template_instances_together() {
+        let a = route_hash("SELECT id FROM t WHERE grp = 1");
+        let b = route_hash("SELECT id FROM t WHERE grp = 99");
+        assert_eq!(a, b, "same template (different literals) routes to the same shard");
+        let c = route_hash("SELECT other FROM t WHERE grp = 1");
+        assert_ne!(a, c, "different templates may split");
+        // Unparseable text still hashes deterministically.
+        assert_eq!(route_hash("NOT SQL AT ALL"), route_hash("NOT SQL AT ALL"));
+    }
+}
