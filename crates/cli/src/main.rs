@@ -118,7 +118,8 @@ fn print_usage() {
          isum explain  --schema <json> --workload <sql> --query <idx> [--tuned]\n  \
          isum dump     --workload gen:<kind>:<sf>:<n>:<seed> [--out <file>]\n  \
          isum serve    --schema <json|tpch:sf|tpcds:sf|dsb:sf> [--listen <addr>]\n                \
-         [--checkpoint <file>] [--queue-cap <n>] [--variant <v>] [--shards <n>]\n  \
+         [--checkpoint <file>] [--queue-cap <n>] [--variant <v>] [--shards <n>]\n                \
+         [--wal-compact-every <records>] [--wal-compact-bytes <n>]\n  \
          isum client   <ingest|summary|explain|status|tune|healthz|telemetry|shutdown> --server <addr>\n                \
          [--workload <sql|gen:spec>] [-k <n>] [-m <n>] [--batch <n>] [--tenant <name>]\n\
          isum serve shards by X-Isum-Tenant header by default; --shards <n> (or ISUM_SHARDS=<n>)\n\
@@ -127,6 +128,10 @@ fn print_usage() {
          (names: \u{2264}64 bytes, visible ASCII, no `/`),\n\
          isum serve reads ISUM_DRIFT_WINDOW=<n> (0 disables) and ISUM_DRIFT_THRESHOLD=<0..1>\n\
          to configure workload-drift tracking (see DESIGN.md \u{a7}12),\n\
+         with --checkpoint each acknowledged batch is fsynced to a per-shard write-ahead log\n\
+         before the ack; --wal-compact-every <records> / --wal-compact-bytes <n>\n\
+         (or ISUM_WAL_COMPACT_EVERY / ISUM_WAL_COMPACT_BYTES) set the snapshot+truncate\n\
+         cadence (see DESIGN.md \u{a7}14),\n\
          any command accepts --stats (or ISUM_TELEMETRY=1) to print a telemetry table,\n\
          --threads <n> (or ISUM_THREADS=<n>) to size the worker pool (1 = sequential),\n\
          --faults <spec> (or ISUM_FAULTS=<spec>) for deterministic fault injection\n\
@@ -161,6 +166,8 @@ struct Options {
     batch: usize,
     tenant: Option<String>,
     shards: Option<usize>,
+    wal_compact_every: Option<u64>,
+    wal_compact_bytes: Option<u64>,
 }
 
 impl Options {
@@ -189,6 +196,8 @@ impl Options {
             batch: 32,
             tenant: None,
             shards: None,
+            wal_compact_every: None,
+            wal_compact_bytes: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -261,6 +270,28 @@ impl Options {
                         return Err(Error::InvalidConfig("--shards must be at least 1".into()));
                     }
                     o.shards = Some(n);
+                }
+                "--wal-compact-every" => {
+                    let n: u64 = value("--wal-compact-every")?.parse().map_err(|_| {
+                        Error::InvalidConfig("--wal-compact-every must be an integer".into())
+                    })?;
+                    if n == 0 {
+                        return Err(Error::InvalidConfig(
+                            "--wal-compact-every must be at least 1".into(),
+                        ));
+                    }
+                    o.wal_compact_every = Some(n);
+                }
+                "--wal-compact-bytes" => {
+                    let n: u64 = value("--wal-compact-bytes")?.parse().map_err(|_| {
+                        Error::InvalidConfig("--wal-compact-bytes must be an integer".into())
+                    })?;
+                    if n == 0 {
+                        return Err(Error::InvalidConfig(
+                            "--wal-compact-bytes must be at least 1".into(),
+                        ));
+                    }
+                    o.wal_compact_bytes = Some(n);
                 }
                 "--batch" => {
                     o.batch = value("--batch")?
@@ -531,9 +562,16 @@ fn serve(opts: &Options) -> Result<()> {
     config.queue_cap = opts.queue_cap;
     config = config.apply_drift_env(); // ISUM_DRIFT_WINDOW / ISUM_DRIFT_THRESHOLD
     config = config.apply_shards_env(); // ISUM_SHARDS
+    config = config.apply_wal_env(); // ISUM_WAL_COMPACT_EVERY / ISUM_WAL_COMPACT_BYTES
     if let Some(n) = opts.shards {
         // The CLI flag wins over the environment.
         config.shards = ShardMode::Hashed(n);
+    }
+    if let Some(n) = opts.wal_compact_every {
+        config.wal_compact_every = n;
+    }
+    if let Some(n) = opts.wal_compact_bytes {
+        config.wal_compact_bytes = n;
     }
     install_signal_handlers();
     let server = Server::bind(&opts.listen, config)?;
@@ -755,6 +793,22 @@ mod tests {
         assert!(Options::parse(&["--shards".into()]).is_err());
         assert!(Options::parse(&["--shards".into(), "abc".into()]).is_err());
         assert!(Options::parse(&["--shards".into(), "0".into()]).is_err());
+    }
+
+    #[test]
+    fn wal_flags_parse_and_reject_bad_values() {
+        let o = opts(&["--wal-compact-every", "5", "--wal-compact-bytes", "4096"]);
+        assert_eq!(o.wal_compact_every, Some(5));
+        assert_eq!(o.wal_compact_bytes, Some(4096));
+        let o = opts(&[]);
+        assert_eq!(o.wal_compact_every, None, "unset flags defer to env/defaults");
+        assert_eq!(o.wal_compact_bytes, None);
+        assert!(Options::parse(&["--wal-compact-every".into()]).is_err());
+        assert!(Options::parse(&["--wal-compact-every".into(), "abc".into()]).is_err());
+        assert!(Options::parse(&["--wal-compact-every".into(), "0".into()]).is_err());
+        assert!(Options::parse(&["--wal-compact-bytes".into()]).is_err());
+        assert!(Options::parse(&["--wal-compact-bytes".into(), "-1".into()]).is_err());
+        assert!(Options::parse(&["--wal-compact-bytes".into(), "0".into()]).is_err());
     }
 
     #[test]

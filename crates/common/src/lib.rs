@@ -7,10 +7,13 @@
 //! ([`stats`]), a dependency-free JSON value ([`json`]), and the
 //! workload-compression telemetry layer ([`telemetry`]) every other crate
 //! reports spans and counters through, and the structured tracing layer
-//! ([`trace`]) that attributes individual events to requests and workers.
+//! ([`trace`]) that attributes individual events to requests and workers, and
+//! the CRC32 record framing ([`framing`]) shared by the server's
+//! write-ahead log and its tests.
 
 pub mod bits;
 pub mod error;
+pub mod framing;
 pub mod ids;
 pub mod json;
 pub mod rng;

@@ -13,7 +13,10 @@
 //! * **parse failures** — queries dropped at workload ingestion;
 //! * **worker panics** — quarantined by the exec pool's panic isolation;
 //! * **ingest-batch failures** — whole server ingest batches rejected
-//!   with a retryable 503 before any state changes (`crates/server`).
+//!   with a retryable 503 before any state changes (`crates/server`);
+//! * **torn WAL appends** — a batch's write-ahead-log record truncated
+//!   at a seeded byte offset, simulating a crash mid-write that the
+//!   server's recovery path must repair (`crates/server`).
 //!
 //! # Determinism
 //!
@@ -34,7 +37,8 @@
 //!
 //! ```text
 //! seed:<u64>,whatif_transient:<rate>,whatif_permanent:<rate>,
-//! latency:<rate>,latency_ms:<u64>,parse:<rate>,panic:<rate>,ingest:<rate>
+//! latency:<rate>,latency_ms:<u64>,parse:<rate>,panic:<rate>,
+//! ingest:<rate>,wal_torn:<rate>
 //! ```
 //!
 //! Rates are probabilities in `[0, 1]`; unset kinds default to 0 (never

@@ -25,6 +25,11 @@ pub struct FaultSpec {
     /// (`crates/server`): an affected batch is rejected with a retryable
     /// 503 before touching observer state.
     pub ingest: f64,
+    /// Rate of torn write-ahead-log appends in the serving daemon: an
+    /// affected batch's WAL record is truncated at a seeded byte offset
+    /// as if the process died mid-write, simulating a crash point the
+    /// recovery path must repair.
+    pub wal_torn: f64,
 }
 
 impl FaultSpec {
@@ -39,6 +44,7 @@ impl FaultSpec {
             parse: 0.0,
             panic: 0.0,
             ingest: 0.0,
+            wal_torn: 0.0,
         }
     }
 
@@ -50,6 +56,7 @@ impl FaultSpec {
             || self.parse > 0.0
             || self.panic > 0.0
             || self.ingest > 0.0
+            || self.wal_torn > 0.0
     }
 
     /// Parses the textual grammar (crate docs). Empty or whitespace-only
@@ -77,10 +84,12 @@ impl FaultSpec {
                 "parse" => spec.parse = parse_rate(key, value)?,
                 "panic" => spec.panic = parse_rate(key, value)?,
                 "ingest" => spec.ingest = parse_rate(key, value)?,
+                "wal_torn" => spec.wal_torn = parse_rate(key, value)?,
                 _ => {
                     return Err(Error::InvalidConfig(format!(
                         "unknown fault kind `{key}` (expected seed, latency_ms, \
-                         whatif_transient, whatif_permanent, latency, parse, panic, or ingest)"
+                         whatif_transient, whatif_permanent, latency, parse, panic, \
+                         ingest, or wal_torn)"
                     )))
                 }
             }
@@ -123,7 +132,8 @@ mod tests {
     fn full_spec_round_trips() {
         let s = FaultSpec::parse(
             "seed:42, whatif_transient:0.05, whatif_permanent:0.01, \
-             latency:0.1, latency_ms:25, parse:0.02, panic:0.001, ingest:0.03",
+             latency:0.1, latency_ms:25, parse:0.02, panic:0.001, ingest:0.03, \
+             wal_torn:0.04",
         )
         .unwrap();
         assert_eq!(s.seed, 42);
@@ -134,8 +144,10 @@ mod tests {
         assert_eq!(s.parse, 0.02);
         assert_eq!(s.panic, 0.001);
         assert_eq!(s.ingest, 0.03);
+        assert_eq!(s.wal_torn, 0.04);
         assert!(s.is_active());
         assert!(FaultSpec::parse("ingest:0.5").unwrap().is_active());
+        assert!(FaultSpec::parse("wal_torn:0.5").unwrap().is_active());
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! WAL-durability benchmark: fsync-per-batch ingest throughput against
+//! the no-durability serving path (DESIGN.md §14).
+//!
+//! ```text
+//! cargo run -p isum-server --release --bin bench_wal [-- <out.json> [<baseline.json>]]
+//! ```
+//!
+//! Boots a daemon with a checkpoint configured in a scratch directory —
+//! so every acknowledged batch is appended to the write-ahead log and
+//! `fsync`ed before the ack — streams the quick-scale TPC-H workload
+//! through sequenced HTTP ingest, samples `GET /summary?k=10`, and
+//! writes statements/sec plus p50/p99 latency to `BENCH_wal.json` (or
+//! the path given as the first argument). A second argument names a
+//! baseline JSON (CI passes the WAL-less `BENCH_shard.json`), whose
+//! headline numbers and the resulting ratios are embedded in the
+//! output; the CI gate bounds the throughput ratio so per-batch
+//! durability cannot silently regress the serving path beyond the cost
+//! of the fsyncs themselves.
+//!
+//! Fatal errors are reported as structured `error!` events (visible on
+//! stderr under the default `ISUM_LOG` filter) before exiting nonzero.
+
+use std::time::{Duration, Instant};
+
+use isum_common::Json;
+use isum_server::{Client, Server, ServerConfig};
+use isum_workload::gen::{tpch_catalog, tpch_workload};
+
+const N_QUERIES: usize = 120;
+const BATCH: usize = 16;
+const SUMMARY_SAMPLES: usize = 60;
+const SUMMARY_K: usize = 10;
+
+fn quantile(sorted_ms: &[f64], q: f64) -> f64 {
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Reports a fatal benchmark error and exits.
+fn fail(message: String) -> ! {
+    isum_common::error!("bench.wal", message);
+    std::process::exit(1);
+}
+
+/// Reads a numeric field of a baseline benchmark JSON.
+fn baseline_num(doc: &Json, field: &str) -> Option<f64> {
+    doc.get(field).and_then(Json::as_f64)
+}
+
+fn main() {
+    isum_common::trace::init_from_env();
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_wal.json".into());
+    let baseline_path = std::env::args().nth(2);
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut workload = tpch_workload(1, N_QUERIES, 42)
+        .unwrap_or_else(|e| fail(format!("cannot generate TPC-H workload: {e}")));
+    isum_optimizer::populate_costs(&mut workload);
+
+    // Render sequenced ingest batches exactly like `isum client ingest`.
+    let batches: Vec<String> = workload
+        .queries
+        .chunks(BATCH)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|q| format!("-- cost: {}\n{};\n", q.cost, q.sql.trim_end_matches(';')))
+                .collect()
+        })
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("isum_bench_wal_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        fail(format!("cannot create scratch dir {}: {e}", dir.display()));
+    }
+    let mut config = ServerConfig::new(tpch_catalog(1)).apply_drift_env().apply_wal_env();
+    config.checkpoint = Some(dir.join("ckpt.json"));
+    let server = Server::bind("127.0.0.1:0", config)
+        .unwrap_or_else(|e| fail(format!("cannot bind benchmark server: {e}")));
+    let client = Client::new(server.addr().to_string()).with_timeout(Duration::from_secs(30));
+    let _ = client.healthz();
+
+    let t0 = Instant::now();
+    for (seq, batch) in batches.iter().enumerate() {
+        let resp = client
+            .ingest_with_retry(batch, Some(seq as u64), 600)
+            .unwrap_or_else(|e| fail(format!("ingest seq {seq} failed: {e}")));
+        if resp.status != 200 {
+            fail(format!("ingest seq {seq} answered {}: {}", resp.status, resp.body));
+        }
+    }
+    let ingest_secs = t0.elapsed().as_secs_f64();
+
+    let mut latencies_ms: Vec<f64> = (0..SUMMARY_SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            let resp =
+                client.summary(SUMMARY_K).unwrap_or_else(|e| fail(format!("summary failed: {e}")));
+            if resp.status != 200 {
+                fail(format!("summary answered {}: {}", resp.status, resp.body));
+            }
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let ingest_sps = N_QUERIES as f64 / ingest_secs;
+    let p50 = quantile(&latencies_ms, 0.5);
+    let p99 = quantile(&latencies_ms, 0.99);
+    let mut fields = vec![
+        ("bench".into(), Json::from("wal_quick_tpch")),
+        (
+            "workload".into(),
+            Json::from(format!(
+                "TPC-H quick ({N_QUERIES} queries), {BATCH}-statement batches with \
+                 fsync-per-batch WAL durability, summary k={SUMMARY_K}"
+            )),
+        ),
+        ("cpus".into(), Json::from(cpus)),
+        ("ingest_statements".into(), Json::from(N_QUERIES)),
+        ("ingest_batches".into(), Json::from(batches.len())),
+        ("ingest_secs".into(), Json::Num(ingest_secs)),
+        ("ingest_statements_per_sec".into(), Json::Num(ingest_sps)),
+        ("summary_samples".into(), Json::from(SUMMARY_SAMPLES)),
+        ("summary_p50_ms".into(), Json::Num(p50)),
+        ("summary_p99_ms".into(), Json::Num(p99)),
+        (
+            "summary_mean_ms".into(),
+            Json::Num(latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64),
+        ),
+    ];
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(format!("cannot read baseline {path}: {e}")));
+        let base = Json::parse(&text)
+            .unwrap_or_else(|e| fail(format!("baseline {path} is not JSON: {e}")));
+        let mut cmp = vec![("path".into(), Json::from(path.as_str()))];
+        if let Some(b) = baseline_num(&base, "ingest_statements_per_sec") {
+            cmp.push(("ingest_statements_per_sec".into(), Json::Num(b)));
+            cmp.push(("ingest_throughput_ratio".into(), Json::Num(ingest_sps / b)));
+        }
+        if let Some(b) = baseline_num(&base, "summary_p50_ms") {
+            cmp.push(("summary_p50_ms".into(), Json::Num(b)));
+            cmp.push(("summary_p50_ratio".into(), Json::Num(p50 / b)));
+        }
+        if let Some(b) = baseline_num(&base, "summary_p99_ms") {
+            cmp.push(("summary_p99_ms".into(), Json::Num(b)));
+            cmp.push(("summary_p99_ratio".into(), Json::Num(p99 / b)));
+        }
+        fields.push(("baseline".into(), Json::Obj(cmp)));
+    }
+    let doc = Json::Obj(fields);
+    if let Err(e) = std::fs::write(&out, format!("{}\n", doc.to_pretty())) {
+        fail(format!("cannot write {out}: {e}"));
+    }
+    println!("{}", doc.to_pretty());
+}

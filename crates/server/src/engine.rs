@@ -12,17 +12,27 @@
 //! over the observed template slice), a live `/summary` over ingested
 //! statements is bit-identical to `isum compress` over the same script.
 //!
-//! # Checkpoint format
+//! # Snapshot format
 //!
-//! The checkpoint is a JSON document written atomically (temp file +
-//! rename) after each applied batch:
+//! The snapshot is a JSON document written atomically (temp file +
+//! rename). Since the write-ahead log became the primary durability
+//! mechanism (DESIGN.md §14) it is a periodic *compaction artifact* —
+//! written every N batches / M bytes of WAL growth and at drain, not
+//! after every batch:
 //!
 //! ```text
 //! { "version": 1,
 //!   "next_seq": <u64>,                     // sequencer high-water mark
+//!   "wal_seq": <u64>,                      // WAL records already folded in
 //!   "statements": [[<sql>, <cost bits>]],  // accepted statements in order
 //!   "isum": { ... } }                      // IncrementalIsum snapshot
 //! ```
+//!
+//! `wal_seq` is the per-shard WAL record watermark: recovery replays only
+//! log records with `wal_seq >=` the snapshot's value, so a crash between
+//! snapshot rotation and WAL truncation converges instead of
+//! double-applying. Snapshots written before the WAL existed carry no
+//! `wal_seq` field and restore as watermark 0.
 //!
 //! Costs are serialized as 16-hex-digit IEEE-754 bit patterns
 //! ([`isum_common::hex_bits`]), so a restore rebuilds the observed
@@ -255,8 +265,9 @@ impl Engine {
     }
 
     /// Serializes the full engine state plus the sequencer high-water
-    /// mark; see the module docs for the format.
-    pub fn snapshot(&self, next_seq: u64) -> Json {
+    /// mark and the WAL record watermark; see the module docs for the
+    /// format.
+    pub fn snapshot(&self, next_seq: u64, wal_seq: u64) -> Json {
         let statements: Vec<Json> = self
             .workload
             .queries
@@ -266,16 +277,22 @@ impl Engine {
         Json::Obj(vec![
             ("version".into(), Json::from(1u64)),
             ("next_seq".into(), Json::from(next_seq)),
+            ("wal_seq".into(), Json::from(wal_seq)),
             ("statements".into(), Json::Arr(statements)),
             ("isum".into(), self.isum.snapshot()),
         ])
     }
 
-    /// Rebuilds an engine (and the sequencer high-water mark) from a
-    /// [`Engine::snapshot`] document. Statements are re-parsed and
-    /// re-bound in order with their checkpointed cost bits, and the
-    /// observer state is restored bit-exactly from its own snapshot.
-    pub fn restore(catalog: Catalog, config: IsumConfig, snap: &Json) -> Result<(Engine, u64)> {
+    /// Rebuilds an engine (plus the sequencer high-water mark and the WAL
+    /// record watermark) from a [`Engine::snapshot`] document. Statements
+    /// are re-parsed and re-bound in order with their checkpointed cost
+    /// bits, and the observer state is restored bit-exactly from its own
+    /// snapshot. A missing `wal_seq` (pre-WAL snapshot) restores as 0.
+    pub fn restore(
+        catalog: Catalog,
+        config: IsumConfig,
+        snap: &Json,
+    ) -> Result<(Engine, u64, u64)> {
         let corrupt = |what: &str| Error::Io(format!("corrupt server checkpoint: {what}"));
         let obj = snap.as_object().ok_or_else(|| corrupt("not an object"))?;
         let field = |name: &str| obj.iter().find(|(k, _)| k == name).map(|(_, v)| v);
@@ -285,6 +302,7 @@ impl Engine {
         }
         let next_seq =
             field("next_seq").and_then(Json::as_u64).ok_or_else(|| corrupt("missing next_seq"))?;
+        let wal_seq = field("wal_seq").and_then(Json::as_u64).unwrap_or(0);
         let statements = field("statements")
             .and_then(Json::as_array)
             .ok_or_else(|| corrupt("missing statements"))?;
@@ -312,14 +330,14 @@ impl Engine {
                 workload.len()
             )));
         }
-        Ok((Engine { workload, isum }, next_seq))
+        Ok((Engine { workload, isum }, next_seq, wal_seq))
     }
 
     /// Writes [`Engine::snapshot`] to `path` atomically: the document is
     /// written to `<path>.tmp` and renamed into place, so a crash leaves
     /// either the previous checkpoint or the new one, never a torn file.
-    pub fn checkpoint_to(&self, path: &Path, next_seq: u64) -> Result<()> {
-        let doc = self.snapshot(next_seq).to_pretty();
+    pub fn checkpoint_to(&self, path: &Path, next_seq: u64, wal_seq: u64) -> Result<()> {
+        let doc = self.snapshot(next_seq, wal_seq).to_pretty();
         let tmp = path.with_extension("json.tmp");
         std::fs::write(&tmp, doc)?;
         std::fs::rename(&tmp, path)?;
@@ -333,7 +351,7 @@ impl Engine {
         catalog: Catalog,
         config: IsumConfig,
         path: &Path,
-    ) -> Result<(Engine, u64)> {
+    ) -> Result<(Engine, u64, u64)> {
         let text = std::fs::read_to_string(path)?;
         let snap =
             Json::parse(&text).map_err(|e| Error::Io(format!("corrupt server checkpoint: {e}")))?;
@@ -430,17 +448,31 @@ mod tests {
     fn checkpoint_round_trip_is_bit_exact() {
         let mut engine = Engine::new(catalog(), IsumConfig::isum());
         engine.apply_script(&script(9));
-        let snap = engine.snapshot(4);
+        let snap = engine.snapshot(4, 17);
         let reparsed = Json::parse(&snap.to_pretty()).expect("snapshot parses");
-        let (restored, next_seq) =
+        let (restored, next_seq, wal_seq) =
             Engine::restore(catalog(), IsumConfig::isum(), &reparsed).expect("restores");
         assert_eq!(next_seq, 4);
+        assert_eq!(wal_seq, 17);
         assert_eq!(restored.observed(), 9);
         assert_eq!(
             restored.summary_json(4).unwrap().to_pretty(),
             engine.summary_json(4).unwrap().to_pretty(),
             "restored engine summarizes bit-identically"
         );
+
+        // Snapshots written before the WAL existed carry no `wal_seq`
+        // field and restore with watermark 0, not an error.
+        let legacy = snap
+            .to_pretty()
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("\"wal_seq\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let legacy = Json::parse(&legacy).expect("legacy doc parses");
+        let (_, next_seq, wal_seq) =
+            Engine::restore(catalog(), IsumConfig::isum(), &legacy).expect("legacy restores");
+        assert_eq!((next_seq, wal_seq), (4, 0));
     }
 
     #[test]

@@ -18,12 +18,12 @@
 //! | `POST /ingest[?seq=N]` | apply a `;`-separated SQL script (lenient per statement) to the request's tenant |
 //! | `GET /summary?k=N[&tenant=T]` | per-tenant: compress that shard to `k`, exact weight bits; no tenant + several shards: the merged template-level summary |
 //! | `GET /summary/explain?k=N[&tenant=T]` | per-member template attribution + coverage gauges (per-shard) |
-//! | `GET /status[?k=N]` | one-document rollup: seq, queue, checkpoint age, coverage, drift, span timings, per-shard breakdown |
+//! | `GET /status[?k=N]` | one-document rollup: seq, queue, checkpoint age, WAL durability, coverage, drift, span timings, per-shard breakdown |
 //! | `POST /tune?k=N[&m=M&advisor=dta\|dexter&budget_bytes=B&tenant=T]` | advisor on the shard's compressed workload |
 //! | `GET /healthz` | liveness + totals + shard count |
 //! | `GET /telemetry` | telemetry snapshot (when enabled) |
 //! | `GET /metrics` | Prometheus exposition + tenant-labeled `isum_shard_*` families |
-//! | `POST /shutdown` | graceful drain + final per-shard checkpoints |
+//! | `POST /shutdown` | graceful drain + final per-shard WAL compactions |
 //!
 //! Every endpoint accepts the tenant as either the `X-Isum-Tenant`
 //! header or a `tenant` query parameter (the parameter wins). Tenant
@@ -51,11 +51,16 @@
 //!   shard assignment, and ingest interleaving: partial sums are
 //!   re-sorted canonically before every floating-point fold and ties
 //!   break on template fingerprints ([`isum_core::merge_partials`]).
-//! * With a checkpoint configured, every acknowledged batch is on disk
-//!   (atomic temp-file + rename, one file per shard) before the ack, so
-//!   a `SIGKILL` and restart resumes every shard bit-identically and
-//!   client retries of unacknowledged batches converge via duplicate
-//!   detection.
+//! * With a checkpoint configured, every acknowledged batch is **durably
+//!   logged** before the ack: the batch's statements are appended to a
+//!   per-shard write-ahead log (CRC-checksummed, length-prefixed
+//!   records) and `fsync`ed first; snapshots are periodic compaction
+//!   artifacts, after which the log is truncated. A `SIGKILL` at any
+//!   point and restart replays the newest valid snapshot plus the WAL
+//!   tail through the normal observe path and resumes every shard
+//!   bit-identically; a torn final record (crash mid-append) is
+//!   truncated with a warning, and client retries of unacknowledged
+//!   batches converge via duplicate detection (DESIGN.md §14).
 
 mod client;
 mod drift;
@@ -63,6 +68,7 @@ mod engine;
 mod http;
 mod server;
 mod shards;
+mod wal;
 
 pub use client::{ApiResponse, Client};
 pub use engine::{summary_to_json, Engine, IngestOutcome};

@@ -14,7 +14,8 @@
 //!                ▼
 //!   shard router (crate::shards): per-tenant shards, each with its own
 //!   bounded queue ── full ⇒ 429 + Retry-After ── sequencer thread,
-//!   drift tracker, and checkpoint file; hashed mode adds a router
+//!   drift tracker, and durability files (WAL + snapshot); hashed mode
+//!   adds a router
 //!   thread that splits batches by template-fingerprint hash
 //! ```
 //!
@@ -40,8 +41,9 @@
 //! `POST /shutdown`, SIGTERM, or SIGINT set a flag the accept loop polls.
 //! The loop stops accepting, in-flight connection handlers finish, every
 //! ingest queue is closed and drained to the last acknowledged batch,
-//! final per-shard checkpoints are written, and — when telemetry is
-//! enabled — a final snapshot is printed to stderr.
+//! final per-shard WAL compactions run (snapshot, then truncate the
+//! log), and — when telemetry is enabled — a final snapshot is printed
+//! to stderr.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -93,12 +95,20 @@ pub struct ServerConfig {
     pub shards: ShardMode,
     /// Cap on concurrently live tenant shards; the cap answers 429.
     pub max_tenants: usize,
+    /// Compact (snapshot + truncate) a shard's WAL after this many
+    /// appended records (`ISUM_WAL_COMPACT_EVERY` / `--wal-compact-every`).
+    pub wal_compact_every: u64,
+    /// Compact a shard's WAL once it exceeds this many bytes, whichever
+    /// of the two triggers first (`ISUM_WAL_COMPACT_BYTES` /
+    /// `--wal-compact-bytes`).
+    pub wal_compact_bytes: u64,
 }
 
 impl ServerConfig {
     /// Defaults: queue of 64 batches, 30 s ingest wait, no checkpoint,
     /// drift window of 256 observations with an alert threshold of 0.5,
-    /// tenant-mode sharding capped at 64 tenants.
+    /// tenant-mode sharding capped at 64 tenants, WAL compaction every
+    /// 64 records or 1 MiB.
     pub fn new(catalog: Catalog) -> ServerConfig {
         ServerConfig {
             catalog,
@@ -111,6 +121,8 @@ impl ServerConfig {
             drift_threshold: 0.5,
             shards: ShardMode::Tenant,
             max_tenants: 64,
+            wal_compact_every: 64,
+            wal_compact_bytes: 1 << 20,
         }
     }
 
@@ -154,6 +166,38 @@ impl ServerConfig {
                 _ => isum_common::warn!(
                     "server.shards",
                     format!("ignoring malformed ISUM_SHARDS `{v}` (want an integer >= 1)")
+                ),
+            }
+        }
+        self
+    }
+
+    /// Applies the WAL compaction environment knobs:
+    /// `ISUM_WAL_COMPACT_EVERY` (records, ≥ 1) and
+    /// `ISUM_WAL_COMPACT_BYTES` (bytes, ≥ 1). Malformed or zero values
+    /// are reported as `warn!` events and ignored, never fatal. Like
+    /// [`ServerConfig::apply_drift_env`], called only by the daemon
+    /// entry points so tests stay independent of the ambient environment.
+    pub fn apply_wal_env(mut self) -> ServerConfig {
+        if let Ok(v) = std::env::var("ISUM_WAL_COMPACT_EVERY") {
+            match v.parse::<u64>() {
+                Ok(n) if n >= 1 => self.wal_compact_every = n,
+                _ => isum_common::warn!(
+                    "server.wal",
+                    format!(
+                        "ignoring malformed ISUM_WAL_COMPACT_EVERY `{v}` (want an integer >= 1)"
+                    )
+                ),
+            }
+        }
+        if let Ok(v) = std::env::var("ISUM_WAL_COMPACT_BYTES") {
+            match v.parse::<u64>() {
+                Ok(n) if n >= 1 => self.wal_compact_bytes = n,
+                _ => isum_common::warn!(
+                    "server.wal",
+                    format!(
+                        "ignoring malformed ISUM_WAL_COMPACT_BYTES `{v}` (want an integer >= 1)"
+                    )
                 ),
             }
         }
@@ -204,6 +248,8 @@ impl Server {
             drift_threshold: config.drift_threshold,
             mode: config.shards,
             max_tenants: config.max_tenants.max(1),
+            wal_compact_every: config.wal_compact_every.max(1),
+            wal_compact_bytes: config.wal_compact_bytes.max(1),
         };
         let router = ShardRouter::start(ctx)?;
         let shared = Arc::new(Shared {
@@ -690,6 +736,7 @@ fn merged_summary_response(shared: &Shared, k: usize) -> Response {
 
 /// Builds the `GET /status` document: one JSON object rolling up the
 /// lead sequencer position, total queue pressure, checkpoint age,
+/// durability state (WAL position, size, and compaction backlog),
 /// summary quality (coverage at `k`, default `min(observed, 10)` —
 /// single-shard only), drift state, span timings, and a per-shard
 /// breakdown — reads only, so polling it cannot perturb results.
@@ -742,6 +789,41 @@ fn status_response(shared: &Shared, k_param: Option<usize>) -> Response {
             fields.push(("age_ms".into(), Json::from(unix_ms().saturating_sub(last))));
         }
         Json::Obj(fields)
+    };
+    let durability = {
+        // WAL positions roll up across shards: the high-water `wal_seq`
+        // and newest timestamps are maxima, sizes and backlogs are sums.
+        let wal_seq =
+            shards.iter().map(|s| s.cells.wal_seq.load(Ordering::Relaxed)).max().unwrap_or(0);
+        let wal_bytes: u64 = shards.iter().map(|s| s.cells.wal_bytes.load(Ordering::Relaxed)).sum();
+        let backlog: u64 = shards
+            .iter()
+            .map(|s| s.cells.wal_records_since_compaction.load(Ordering::Relaxed))
+            .sum();
+        let last_fsync = shards
+            .iter()
+            .map(|s| s.cells.wal_last_fsync_unix_ms.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0);
+        let last_compaction = shards
+            .iter()
+            .map(|s| s.cells.wal_last_compaction_unix_ms.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0);
+        Json::Obj(vec![
+            ("configured".into(), Json::from(shared.checkpoint_configured)),
+            ("wal_seq".into(), Json::from(wal_seq)),
+            ("wal_bytes".into(), Json::from(wal_bytes)),
+            ("records_since_compaction".into(), Json::from(backlog)),
+            (
+                "last_fsync_unix_ms".into(),
+                if last_fsync == 0 { Json::Null } else { Json::from(last_fsync) },
+            ),
+            (
+                "last_compaction_unix_ms".into(),
+                if last_compaction == 0 { Json::Null } else { Json::from(last_compaction) },
+            ),
+        ])
     };
     let drift = {
         let enabled = shared.drift_window > 0;
@@ -800,6 +882,19 @@ fn status_response(shared: &Shared, k_param: Option<usize>) -> Response {
                     if last == 0 { Json::Null } else { Json::from(last) },
                 ),
                 (
+                    "wal".into(),
+                    Json::Obj(vec![
+                        ("seq".into(), Json::from(s.cells.wal_seq.load(Ordering::Relaxed))),
+                        ("bytes".into(), Json::from(s.cells.wal_bytes.load(Ordering::Relaxed))),
+                        (
+                            "records_since_compaction".into(),
+                            Json::from(
+                                s.cells.wal_records_since_compaction.load(Ordering::Relaxed),
+                            ),
+                        ),
+                    ]),
+                ),
+                (
                     "drift".into(),
                     Json::Obj(vec![
                         (
@@ -836,6 +931,7 @@ fn status_response(shared: &Shared, k_param: Option<usize>) -> Response {
             ("observed".into(), Json::from(observed)),
             ("templates".into(), Json::from(templates)),
             ("checkpoint".into(), checkpoint),
+            ("durability".into(), durability),
             ("summary".into(), summary),
             ("drift".into(), drift),
             ("spans".into(), spans),
@@ -1010,6 +1106,39 @@ mod tests {
 
         std::env::remove_var("ISUM_DRIFT_WINDOW");
         std::env::remove_var("ISUM_DRIFT_THRESHOLD");
+    }
+
+    #[test]
+    fn wal_env_overrides_parse_and_reject_garbage() {
+        // Serial by nature: env vars are process-global, so exercise all
+        // cases inside one test.
+        std::env::remove_var("ISUM_WAL_COMPACT_EVERY");
+        std::env::remove_var("ISUM_WAL_COMPACT_BYTES");
+        let catalog = isum_catalog::CatalogBuilder::new()
+            .table("t", 10)
+            .col_key("id")
+            .finish()
+            .unwrap()
+            .build();
+        let base = ServerConfig::new(catalog.clone()).apply_wal_env();
+        assert_eq!(base.wal_compact_every, 64, "defaults survive unset env");
+        assert_eq!(base.wal_compact_bytes, 1 << 20);
+
+        std::env::set_var("ISUM_WAL_COMPACT_EVERY", "5");
+        std::env::set_var("ISUM_WAL_COMPACT_BYTES", "4096");
+        let tuned = ServerConfig::new(catalog.clone()).apply_wal_env();
+        assert_eq!(tuned.wal_compact_every, 5);
+        assert_eq!(tuned.wal_compact_bytes, 4096);
+
+        for garbage in ["0", "-3", "soon"] {
+            std::env::set_var("ISUM_WAL_COMPACT_EVERY", garbage);
+            std::env::set_var("ISUM_WAL_COMPACT_BYTES", garbage);
+            let kept = ServerConfig::new(catalog.clone()).apply_wal_env();
+            assert_eq!(kept.wal_compact_every, 64, "`{garbage}` is ignored, not applied");
+            assert_eq!(kept.wal_compact_bytes, 1 << 20);
+        }
+        std::env::remove_var("ISUM_WAL_COMPACT_EVERY");
+        std::env::remove_var("ISUM_WAL_COMPACT_BYTES");
     }
 
     #[test]

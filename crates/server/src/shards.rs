@@ -17,26 +17,35 @@
 //!   parallel on the exec pool; unparseable statements hash their raw
 //!   text). A router thread owns the global strict `seq` stream and the
 //!   fault rolls, splits each batch into per-shard sub-batches, and acks
-//!   the client only after every involved shard has applied *and
-//!   checkpointed* its slice. Shards dedup sub-batches monotonically
+//!   the client only after every involved shard has *durably logged and
+//!   applied* its slice. Shards dedup sub-batches monotonically
 //!   (apply iff `seq >= shard_next`), which is what makes crash recovery
 //!   converge: the restarted router resumes at the *maximum* shard
 //!   high-water mark, and a retried below-maximum batch is still split
 //!   and offered so lagging shards catch up while caught-up shards skip.
 //!
-//! # Checkpoint layout
+//! # Durability layout
 //!
-//! With checkpoint stem `dir/ckpt.json`:
+//! Durability is WAL-first (DESIGN.md §14): every applied batch appends
+//! one fsynced record to the shard's write-ahead log *before* the ack,
+//! and the [`Engine`] snapshot is a periodic compaction artifact. With
+//! checkpoint stem `dir/ckpt.json`:
 //!
 //! ```text
-//! dir/ckpt.json                 default tenant (pre-sharding path, unchanged)
+//! dir/ckpt.json                 default tenant snapshot (pre-sharding path)
+//! dir/ckpt.wal                  default tenant WAL
 //! dir/ckpt.t-<hex(tenant)>.json every other tenant (hex keeps names filesystem-safe)
+//! dir/ckpt.t-<hex(tenant)>.wal  that tenant's WAL
 //! dir/ckpt.h<i>.json            hashed shard i
+//! dir/ckpt.h<i>.wal             hashed shard i's WAL
+//! dir/ckpt.*.json.prev          the pre-compaction snapshot, kept for fallback
 //! ```
 //!
 //! Startup scans the stem's directory for `.t-<hex>` siblings, so a
-//! restart resurrects every tenant that ever checkpointed. Each file is
-//! the ordinary [`Engine`] snapshot, written atomically per shard.
+//! restart resurrects every tenant that ever checkpointed. Recovery per
+//! shard = newest valid snapshot (quarantining a corrupt one and falling
+//! back to `.prev`) + replay of the WAL tail through the normal observe
+//! path, byte-identical to the never-crashed run.
 
 use std::collections::{BTreeMap, HashMap};
 use std::io;
@@ -56,6 +65,7 @@ use isum_workload::split_script;
 use crate::drift::DriftTracker;
 use crate::engine::Engine;
 use crate::http::Response;
+use crate::wal::{self, FsyncHist, WalWriter};
 
 /// Marker bit for fault-injection keys of unsequenced batches, so they
 /// draw from a different site-key space than `seq` numbers.
@@ -108,6 +118,11 @@ pub(crate) struct ShardCtx {
     pub drift_threshold: f64,
     pub mode: ShardMode,
     pub max_tenants: usize,
+    /// Compact (write a snapshot + truncate the WAL) after this many
+    /// appended records…
+    pub wal_compact_every: u64,
+    /// …or once the WAL grows past this many bytes, whichever first.
+    pub wal_compact_bytes: u64,
 }
 
 /// Mirror cells the shard's hot paths update so `/status`, `/healthz`,
@@ -131,6 +146,22 @@ pub(crate) struct ShardCells {
     pub drift_window_len: AtomicU64,
     /// Threshold crossings since startup.
     pub drift_alerts: AtomicU64,
+    /// WAL record watermark: the `wal_seq` the next append gets.
+    pub wal_seq: AtomicU64,
+    /// Current WAL file length in bytes (header included).
+    pub wal_bytes: AtomicU64,
+    /// Records appended since the last compaction.
+    pub wal_records_since_compaction: AtomicU64,
+    /// Wall-clock ms of the last WAL fsync; `0` = never. Annotates only.
+    pub wal_last_fsync_unix_ms: AtomicU64,
+    /// Wall-clock ms of the last compaction; `0` = never. Annotates only.
+    pub wal_last_compaction_unix_ms: AtomicU64,
+    /// Total bytes ever appended to the WAL (monotone counter).
+    pub wal_appended_bytes_total: AtomicU64,
+    /// Compactions since startup.
+    pub wal_compactions: AtomicU64,
+    /// WAL fsync latency histogram.
+    pub wal_fsync_hist: FsyncHist,
 }
 
 /// One shard: a name, an engine, a bounded queue, and its sequencer's
@@ -174,6 +205,10 @@ struct SubOutcome {
     rejected: Vec<(usize, String)>,
     /// Whether the sub-batch mutated state (false = deduped).
     fresh: bool,
+    /// Set when the shard could not log the slice durably: nothing was
+    /// applied, and the router must answer a retryable 503 without
+    /// advancing the global stream.
+    error: Option<String>,
 }
 
 /// A queued hashed-mode client batch, waiting on the router thread.
@@ -205,10 +240,11 @@ pub(crate) struct ShardRouter {
 }
 
 impl ShardRouter {
-    /// Builds the shard layout for `ctx`: restores every discoverable
-    /// checkpoint, spawns one sequencer per shard, and (in hashed mode)
-    /// the router thread. Fails if any checkpoint is corrupt — refusing
-    /// to serve beats silently dropping acknowledged history.
+    /// Builds the shard layout for `ctx`: recovers every discoverable
+    /// shard (snapshot + WAL replay, quarantining a corrupt snapshot),
+    /// spawns one sequencer per shard, and (in hashed mode) the router
+    /// thread. Fails on mid-log WAL corruption — refusing to serve beats
+    /// silently dropping acknowledged history.
     pub(crate) fn start(ctx: ShardCtx) -> io::Result<ShardRouter> {
         let ctx = Arc::new(ctx);
         let router = ShardRouter {
@@ -398,19 +434,17 @@ impl ShardRouter {
         }
         let ctx = &self.ctx;
         let checkpoint = ctx.checkpoint.as_ref().map(|stem| checkpoint_path_for(stem, name));
-        let (engine, next_seq) = match &checkpoint {
-            Some(path) if path.exists() => {
-                Engine::restore_from(ctx.catalog.clone(), ctx.isum, path)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
-            }
-            _ => (Engine::new(ctx.catalog.clone(), ctx.isum), 0),
-        };
+        let (engine, next_seq, wal_writer) = recover_shard_state(ctx, name, checkpoint.as_ref())?;
         let (tx, rx) = mpsc::sync_channel::<ShardJob>(ctx.queue_cap.max(1));
         let cells = ShardCells::default();
         cells.next_seq.store(next_seq, Ordering::Relaxed);
         cells.observed.store(engine.observed() as u64, Ordering::Relaxed);
         cells.templates.store(engine.template_count() as u64, Ordering::Relaxed);
         cells.drift_score_ppm.store(-1, Ordering::Relaxed);
+        if let Some(w) = &wal_writer {
+            cells.wal_seq.store(w.next_wal_seq(), Ordering::Relaxed);
+            cells.wal_bytes.store(w.len(), Ordering::Relaxed);
+        }
         let shard = Arc::new(Shard {
             name: name.to_string(),
             engine: Mutex::new(engine),
@@ -423,15 +457,15 @@ impl ShardRouter {
         let thread_ctx = Arc::clone(ctx);
         let handle = std::thread::Builder::new()
             .name(format!("isum-shard-{name}"))
-            .spawn(move || shard_loop(rx, thread_shard, thread_ctx, next_seq))?;
+            .spawn(move || shard_loop(rx, thread_shard, thread_ctx, next_seq, wal_writer))?;
         lock(&self.threads).push(handle);
         shards.insert(name.to_string(), Arc::clone(&shard));
         isum_common::info!("server.shards", format!("shard `{name}` online"), seq = next_seq);
         Ok(shard)
     }
 
-    /// Graceful drain: stops accepting, lets every queue empty, writes
-    /// the final per-shard checkpoints, and joins every thread. Order
+    /// Graceful drain: stops accepting, lets every queue empty, runs the
+    /// final per-shard compactions, and joins every thread. Order
     /// matters in hashed mode: the router thread must drain (and receive
     /// its last sub-acks) before the shard queues close.
     pub(crate) fn drain(&self) {
@@ -491,6 +525,59 @@ impl ShardRouter {
                 "isum_shard_drift_alerts",
                 &[("tenant", s.name.as_str())],
                 s.cells.drift_alerts.load(Ordering::Relaxed),
+            ));
+        }
+        let counter = |out: &mut String, name: &str, help: &str, value: &dyn Fn(&Shard) -> u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for s in &shards {
+                out.push_str(&telemetry::labeled_sample(
+                    name,
+                    &[("tenant", s.name.as_str())],
+                    value(s),
+                ));
+            }
+        };
+        counter(
+            out,
+            "isum_wal_appended_bytes_total",
+            "Bytes appended to the shard's write-ahead log.",
+            &|s| s.cells.wal_appended_bytes_total.load(Ordering::Relaxed),
+        );
+        counter(
+            out,
+            "isum_wal_compactions_total",
+            "WAL compactions (snapshot written, log truncated).",
+            &|s| s.cells.wal_compactions.load(Ordering::Relaxed),
+        );
+        let _ = writeln!(out, "# HELP isum_wal_fsync_seconds WAL append fsync latency.");
+        let _ = writeln!(out, "# TYPE isum_wal_fsync_seconds histogram");
+        for s in &shards {
+            let (counts, overflow, count, sum) = s.cells.wal_fsync_hist.snapshot();
+            let mut cumulative = 0u64;
+            for (i, hi) in wal::FSYNC_BUCKET_BOUNDS.iter().enumerate() {
+                cumulative += counts[i];
+                out.push_str(&telemetry::labeled_sample(
+                    "isum_wal_fsync_seconds_bucket",
+                    &[("tenant", s.name.as_str()), ("le", &hi.to_string())],
+                    cumulative,
+                ));
+            }
+            cumulative += overflow;
+            out.push_str(&telemetry::labeled_sample(
+                "isum_wal_fsync_seconds_bucket",
+                &[("tenant", s.name.as_str()), ("le", "+Inf")],
+                cumulative,
+            ));
+            out.push_str(&telemetry::labeled_sample(
+                "isum_wal_fsync_seconds_sum",
+                &[("tenant", s.name.as_str())],
+                sum,
+            ));
+            out.push_str(&telemetry::labeled_sample(
+                "isum_wal_fsync_seconds_count",
+                &[("tenant", s.name.as_str())],
+                count,
             ));
         }
     }
@@ -645,13 +732,146 @@ fn discover_tenant_checkpoints(stem: &Path) -> Vec<String> {
 }
 
 // ---------------------------------------------------------------------
+// Recovery: snapshot + WAL replay
+// ---------------------------------------------------------------------
+
+/// Where a corrupt snapshot is quarantined: `<path>.corrupt-<unix_ms>`.
+fn quarantine_path(path: &Path) -> PathBuf {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("snapshot");
+    path.with_file_name(format!("{name}.corrupt-{}", unix_ms()))
+}
+
+/// Where compaction parks the pre-compaction snapshot: `<path>.prev`.
+fn snapshot_prev_path(path: &Path) -> PathBuf {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("snapshot");
+    path.with_file_name(format!("{name}.prev"))
+}
+
+/// Loads the newest usable snapshot for a shard. A current snapshot that
+/// fails to parse is renamed to `<path>.corrupt-<unix_ms>` (never
+/// deleted) and recovery falls back to the `.prev` snapshot from the
+/// previous compaction, then to an empty engine — the WAL tail replays
+/// on top either way. Returns `(engine, next_seq, wal_seq watermark)`.
+fn load_snapshot_with_quarantine(ctx: &ShardCtx, path: &Path) -> (Engine, u64, u64) {
+    if path.exists() {
+        match Engine::restore_from(ctx.catalog.clone(), ctx.isum, path) {
+            Ok(state) => return state,
+            Err(e) => {
+                let quarantine = quarantine_path(path);
+                let moved = std::fs::rename(path, &quarantine);
+                count!("server.checkpoint.corrupt");
+                isum_common::error!(
+                    "server.wal",
+                    format!(
+                        "corrupt snapshot {} ({e}); quarantined to {} and falling back",
+                        path.display(),
+                        quarantine.display()
+                    ),
+                    renamed = moved.is_ok()
+                );
+            }
+        }
+    }
+    let prev = snapshot_prev_path(path);
+    if prev.exists() {
+        match Engine::restore_from(ctx.catalog.clone(), ctx.isum, &prev) {
+            Ok(state) => {
+                isum_common::warn!(
+                    "server.wal",
+                    format!(
+                        "recovering from previous snapshot {}; the WAL tail replays on top",
+                        prev.display()
+                    )
+                );
+                return state;
+            }
+            Err(e) => {
+                isum_common::error!(
+                    "server.wal",
+                    format!("previous snapshot {} is also unusable: {e}", prev.display())
+                );
+            }
+        }
+    }
+    (Engine::new(ctx.catalog.clone(), ctx.isum), 0, 0)
+}
+
+/// Recovers one shard's full state: newest usable snapshot plus a replay
+/// of the WAL tail through the normal observe path, then an open WAL
+/// writer positioned after the last valid record. Mid-log WAL corruption
+/// is the only fatal case.
+fn recover_shard_state(
+    ctx: &ShardCtx,
+    name: &str,
+    checkpoint: Option<&PathBuf>,
+) -> io::Result<(Engine, u64, Option<WalWriter>)> {
+    let Some(path) = checkpoint else {
+        return Ok((Engine::new(ctx.catalog.clone(), ctx.isum), 0, None));
+    };
+    let (mut engine, mut next_seq, snap_wal_seq) = load_snapshot_with_quarantine(ctx, path);
+    let wal_path = wal::wal_sibling(path);
+    let replay = wal::read_wal(&wal_path)
+        .map_err(|e| io::Error::new(e.kind(), format!("shard `{name}`: {e}")))?;
+    if replay.torn_at.is_some() {
+        // `read_wal` already warned with the byte offset; the counter
+        // makes crash-repair visible to telemetry-only observers.
+        count!("server.wal.torn_repairs");
+    }
+    let mut next_wal_seq = snap_wal_seq;
+    let mut replayed = 0usize;
+    for rec in &replay.records {
+        next_wal_seq = next_wal_seq.max(rec.wal_seq + 1);
+        if rec.wal_seq < snap_wal_seq {
+            // Already folded into the snapshot (a crash between snapshot
+            // write and WAL truncation leaves such records behind).
+            continue;
+        }
+        if rec.shard != name {
+            isum_common::warn!(
+                "server.wal",
+                format!(
+                    "WAL record {} names shard `{}` but this is `{name}`; skipped \
+                     (was the log file moved?)",
+                    rec.wal_seq, rec.shard
+                )
+            );
+            continue;
+        }
+        // The same lenient path the live batch took: rejects re-reject,
+        // accepts re-apply, bit-identically.
+        engine.apply_statements(&rec.stmts);
+        if let Some(s) = rec.seq {
+            next_seq = next_seq.max(s + 1);
+        }
+        replayed += 1;
+    }
+    if replayed > 0 {
+        isum_common::info!(
+            "server.wal",
+            format!("replayed {replayed} WAL record(s) from {}", wal_path.display()),
+            tenant = name,
+            next_seq = next_seq
+        );
+    }
+    let writer = WalWriter::open(&wal_path, replay.valid_len, next_wal_seq)?;
+    Ok((engine, next_seq, Some(writer)))
+}
+
+// ---------------------------------------------------------------------
 // Shard sequencer
 // ---------------------------------------------------------------------
 
-/// One shard's sequencer: applies its queue strictly in order, writes
-/// the shard checkpoint after every applied job, and exits (with a final
-/// checkpoint) when the queue closes.
-fn shard_loop(rx: Receiver<ShardJob>, shard: Arc<Shard>, ctx: Arc<ShardCtx>, mut next_seq: u64) {
+/// One shard's sequencer: applies its queue strictly in order, logging
+/// each applied job to the WAL (fsync before ack) and compacting into a
+/// snapshot at the configured interval, and exits (with a final
+/// compaction) when the queue closes.
+fn shard_loop(
+    rx: Receiver<ShardJob>,
+    shard: Arc<Shard>,
+    ctx: Arc<ShardCtx>,
+    mut next_seq: u64,
+    mut wal: Option<WalWriter>,
+) {
     let mut attempts: HashMap<u64, u32> = HashMap::new();
     let mut unseq_counter: u64 = 0;
     // Drift tracking starts at the current engine high-water mark, so a
@@ -678,29 +898,33 @@ fn shard_loop(rx: Receiver<ShardJob>, shard: Arc<Shard>, ctx: Arc<ShardCtx>, mut
                     &mut attempts,
                     &mut unseq_counter,
                     &mut drift,
+                    &mut wal,
                 );
                 let _ = reply.try_send(resp);
             }
             ShardJob::Sub { seq, stmts, request_id, reply } => {
                 let _rid = trace::with_request_id(&request_id);
-                let outcome = dispatch_sub(&shard, &ctx, seq, stmts, &mut next_seq, &mut drift);
+                let outcome =
+                    dispatch_sub(&shard, &ctx, seq, stmts, &mut next_seq, &mut drift, &mut wal);
                 let _ = reply.try_send(outcome);
             }
         }
     }
-    // Final checkpoint: everything acknowledged is on disk.
+    // Final compaction: everything acknowledged is folded into the
+    // snapshot and the WAL truncated — unless an earlier torn append
+    // poisoned the writer, in which case the on-disk WAL is exactly what
+    // a crash would leave and recovery repairs it at the next start.
     if let Some(path) = &shard.checkpoint {
-        let engine = lock(&shard.engine);
-        if let Err(e) = engine.checkpoint_to(path, next_seq) {
-            count!("server.checkpoint.errors");
-            isum_common::error!(
-                "server.ingest",
-                format!("final checkpoint failed: {e}"),
-                tenant = shard.name,
-                next_seq = next_seq
-            );
-        } else {
-            shard.cells.last_checkpoint_unix_ms.store(unix_ms(), Ordering::Relaxed);
+        match &mut wal {
+            Some(w) if w.poisoned() => {
+                isum_common::warn!(
+                    "server.wal",
+                    "skipping final compaction: WAL is poisoned; recovery will repair the tail",
+                    tenant = shard.name
+                );
+            }
+            Some(w) => compact_shard(&shard, path, w, next_seq),
+            None => {}
         }
     }
 }
@@ -718,6 +942,7 @@ fn dispatch_batch(
     attempts: &mut HashMap<u64, u32>,
     unseq_counter: &mut u64,
     drift: &mut DriftTracker,
+    wal: &mut Option<WalWriter>,
 ) -> Response {
     match seq {
         Some(seq) if seq < *next_seq => {
@@ -767,9 +992,22 @@ fn dispatch_batch(
                 std::thread::sleep(ctx.apply_delay);
             }
             count!("server.ingest.batches");
+            // Split exactly the way `apply_script` would, so the logged
+            // statements replay bit-identically through
+            // `apply_statements` at recovery.
+            let (sqls, costs) = split_script(script);
+            let stmts: Vec<(String, Option<f64>)> = sqls.into_iter().zip(costs).collect();
+            // Log-then-apply: the record is fsynced before any state
+            // changes, so an acked batch survives any crash and a failed
+            // append leaves nothing applied.
+            if let Some(w) = wal.as_mut() {
+                if let Err(why) = wal_append(shard, w, seq, &stmts, key) {
+                    return Response::error(503, &why).with_header("Retry-After", "1");
+                }
+            }
             let body = {
                 let mut engine = lock(&shard.engine);
-                let outcome = engine.apply_script(script);
+                let outcome = engine.apply_statements(&stmts);
                 publish_engine_cells(shard, &engine);
                 isum_common::debug!(
                     "server.ingest",
@@ -784,7 +1022,7 @@ fn dispatch_batch(
                 attempts.remove(&key);
             }
             shard.cells.next_seq.store(*next_seq, Ordering::Relaxed);
-            write_shard_checkpoint(shard, *next_seq);
+            maybe_compact(shard, ctx, wal, *next_seq);
             observe_drift(shard, ctx, drift, seq);
             Response::json(200, &body)
         }
@@ -799,6 +1037,7 @@ fn dispatch_sub(
     stmts: Vec<(usize, String, Option<f64>)>,
     next_seq: &mut u64,
     drift: &mut DriftTracker,
+    wal: &mut Option<WalWriter>,
 ) -> SubOutcome {
     if let Some(s) = seq {
         if s < *next_seq {
@@ -810,7 +1049,7 @@ fn dispatch_sub(
                 seq = s,
                 next_seq = *next_seq
             );
-            return SubOutcome { applied: 0, rejected: Vec::new(), fresh: false };
+            return SubOutcome { applied: 0, rejected: Vec::new(), fresh: false, error: None };
         }
     }
     if !ctx.apply_delay.is_zero() {
@@ -818,6 +1057,15 @@ fn dispatch_sub(
     }
     let (indexes, pairs): (Vec<usize>, Vec<(String, Option<f64>)>) =
         stmts.into_iter().map(|(i, sql, cost)| (i, (sql, cost))).unzip();
+    // Log-then-apply, as in tenant mode. The router rolled the ingest
+    // fault already; the torn-append site is keyed per shard so distinct
+    // shards tear independently under the same seeded spec.
+    if let Some(w) = wal.as_mut() {
+        let key = shard.fault_salt ^ seq.unwrap_or(UNSEQ_KEY_BASE);
+        if let Err(why) = wal_append(shard, w, seq, &pairs, key) {
+            return SubOutcome { applied: 0, rejected: Vec::new(), fresh: false, error: Some(why) };
+        }
+    }
     let outcome = {
         let mut engine = lock(&shard.engine);
         let outcome = engine.apply_statements(&pairs);
@@ -834,12 +1082,13 @@ fn dispatch_sub(
         *next_seq = s + 1;
     }
     shard.cells.next_seq.store(*next_seq, Ordering::Relaxed);
-    write_shard_checkpoint(shard, *next_seq);
+    maybe_compact(shard, ctx, wal, *next_seq);
     observe_drift(shard, ctx, drift, seq);
     SubOutcome {
         applied: outcome.accepted,
         rejected: outcome.rejected.into_iter().map(|(i, why)| (indexes[i], why)).collect(),
         fresh: true,
+        error: None,
     }
 }
 
@@ -875,23 +1124,122 @@ fn publish_engine_cells(shard: &Shard, engine: &Engine) {
     shard.cells.templates.store(engine.template_count() as u64, Ordering::Relaxed);
 }
 
-/// Writes the post-batch shard checkpoint, if one is configured.
-/// Failures are counted and logged but do not fail the batch: the
-/// statements are still applied in memory, and the next successful
-/// checkpoint covers them.
-fn write_shard_checkpoint(shard: &Shard, next_seq: u64) {
-    if let Some(path) = &shard.checkpoint {
+/// Appends one batch to the shard's WAL and fsyncs, updating the mirror
+/// cells. `Err` carries the 503 body: the batch was *not* applied (and a
+/// torn append poisons the writer until restart), so a retrying client
+/// converges once the shard recovers.
+fn wal_append(
+    shard: &Shard,
+    w: &mut WalWriter,
+    seq: Option<u64>,
+    stmts: &[(String, Option<f64>)],
+    key: u64,
+) -> Result<(), String> {
+    let injector = isum_faults::global();
+    let tear = |frame_len: usize| {
+        if injector.is_active() {
+            injector.wal_torn_fault(key, frame_len)
+        } else {
+            None
+        }
+    };
+    match w.append(seq, &shard.name, stmts, tear) {
+        Ok(stats) => {
+            shard.cells.wal_seq.store(stats.wal_seq + 1, Ordering::Relaxed);
+            shard.cells.wal_bytes.store(w.len(), Ordering::Relaxed);
+            shard
+                .cells
+                .wal_records_since_compaction
+                .store(w.records_since_compaction(), Ordering::Relaxed);
+            shard.cells.wal_last_fsync_unix_ms.store(unix_ms(), Ordering::Relaxed);
+            shard.cells.wal_appended_bytes_total.fetch_add(stats.bytes, Ordering::Relaxed);
+            shard.cells.wal_fsync_hist.observe(stats.fsync);
+            Ok(())
+        }
+        Err(e) => {
+            isum_common::error!(
+                "server.wal",
+                format!("WAL append failed: {e}"),
+                tenant = shard.name,
+                seq = seq.map_or_else(|| "unsequenced".into(), |s| s.to_string())
+            );
+            Err(format!("write-ahead log append failed ({e}); batch not applied, retry"))
+        }
+    }
+}
+
+/// Compacts when the WAL has grown past either configured bound.
+fn maybe_compact(shard: &Shard, ctx: &ShardCtx, wal: &mut Option<WalWriter>, next_seq: u64) {
+    let Some(w) = wal.as_mut() else { return };
+    let Some(path) = &shard.checkpoint else { return };
+    if w.poisoned() || w.records_since_compaction() == 0 {
+        return;
+    }
+    if w.records_since_compaction() >= ctx.wal_compact_every || w.len() >= ctx.wal_compact_bytes {
+        compact_shard(shard, path, w, next_seq);
+    }
+}
+
+/// One compaction: parks the current snapshot as `.prev`, writes a fresh
+/// snapshot carrying the WAL watermark, then truncates the WAL back to
+/// its header. Every step is crash-ordered — at any interruption point,
+/// snapshot-or-`.prev` plus the surviving WAL tail reconstruct the full
+/// state (the `wal_seq` watermark dedups records the snapshot already
+/// folded in). Failures are logged, never fatal: the WAL still holds
+/// everything since the last successful compaction.
+fn compact_shard(shard: &Shard, path: &Path, w: &mut WalWriter, next_seq: u64) {
+    let wal_seq = w.next_wal_seq();
+    let result = {
         let engine = lock(&shard.engine);
-        if let Err(e) = engine.checkpoint_to(path, next_seq) {
+        if path.exists() {
+            if let Err(e) = std::fs::rename(path, snapshot_prev_path(path)) {
+                isum_common::warn!(
+                    "server.wal",
+                    format!("could not park previous snapshot: {e}"),
+                    tenant = shard.name
+                );
+            }
+        }
+        engine.checkpoint_to(path, next_seq, wal_seq)
+    };
+    match result {
+        Ok(()) => {
+            if let Err(e) = w.truncate_for_compaction() {
+                // Safe to leave the tail: every record is below the
+                // snapshot's watermark, so replay skips it.
+                count!("server.wal.errors");
+                isum_common::error!(
+                    "server.wal",
+                    format!("WAL truncation after compaction failed: {e}"),
+                    tenant = shard.name
+                );
+            }
+            count!("server.wal.compactions");
+            let now = unix_ms();
+            shard.cells.last_checkpoint_unix_ms.store(now, Ordering::Relaxed);
+            shard.cells.wal_last_compaction_unix_ms.store(now, Ordering::Relaxed);
+            shard.cells.wal_compactions.fetch_add(1, Ordering::Relaxed);
+            shard.cells.wal_bytes.store(w.len(), Ordering::Relaxed);
+            shard
+                .cells
+                .wal_records_since_compaction
+                .store(w.records_since_compaction(), Ordering::Relaxed);
+            isum_common::debug!(
+                "server.wal",
+                "compacted WAL into snapshot",
+                tenant = shard.name,
+                next_seq = next_seq,
+                wal_seq = wal_seq
+            );
+        }
+        Err(e) => {
             count!("server.checkpoint.errors");
             isum_common::error!(
                 "server.ingest",
-                format!("checkpoint failed: {e}"),
+                format!("compaction snapshot failed: {e}"),
                 tenant = shard.name,
                 next_seq = next_seq
             );
-        } else {
-            shard.cells.last_checkpoint_unix_ms.store(unix_ms(), Ordering::Relaxed);
         }
     }
 }
@@ -947,7 +1295,7 @@ fn observe_drift(shard: &Shard, ctx: &ShardCtx, drift: &mut DriftTracker, seq: O
 /// The hashed-mode router: owns the global strict `seq` stream and the
 /// fault rolls, splits each batch by template-fingerprint hash (in
 /// parallel on the exec pool), and acks only after every involved shard
-/// has applied and checkpointed its slice.
+/// has durably logged and applied its slice.
 fn router_loop(
     rx: Receiver<RouterJob>,
     shards: Vec<(Arc<Shard>, SyncSender<ShardJob>)>,
@@ -1051,6 +1399,17 @@ fn route_job(
     for (idx, rx) in waits {
         match rx.recv_timeout(ctx.ingest_timeout.max(Duration::from_secs(1))) {
             Ok(outcome) => {
+                if let Some(err) = outcome.error {
+                    // The shard could not log its slice durably; nothing
+                    // applied there. Do not advance the stream — the
+                    // client's retry re-offers every slice, and already
+                    // caught-up shards dedup monotonically.
+                    return Response::error(
+                        503,
+                        &format!("a shard could not log its slice: {err}"),
+                    )
+                    .with_header("Retry-After", "1");
+                }
                 applied += outcome.applied;
                 any_fresh |= outcome.fresh;
                 rejected.extend(outcome.rejected);

@@ -1,0 +1,773 @@
+//! Per-shard append-only write-ahead log — the daemon's primary
+//! durability mechanism (DESIGN.md §14).
+//!
+//! Each applied batch appends exactly one record and fsyncs before the
+//! sequencer acks, so an acknowledged batch survives any crash. The
+//! engine snapshot is demoted to a periodic compaction artifact: every N
+//! records / M bytes the shard writes a fresh snapshot and truncates the
+//! log back to its header. Recovery loads the newest valid snapshot and
+//! replays the WAL tail through the normal observe path, which keeps a
+//! restarted server byte-identical to one that never crashed.
+//!
+//! # File format
+//!
+//! ```text
+//! [8-byte magic "ISUMWAL1"]
+//! [frame]*            // isum_common::framing: [len u32][crc32 u32][payload]
+//! ```
+//!
+//! Each frame's payload is one record, all integers little-endian:
+//!
+//! ```text
+//! wal_seq: u64        // per-shard monotone record number
+//! has_seq: u8         // 1 if the batch was client-sequenced
+//! seq:     u64        // the client sequence number (0 if has_seq = 0)
+//! shard_len: u16, shard: [u8]   // owning shard name (UTF-8)
+//! count:   u32        // statements in the batch
+//! per statement:
+//!   sql_len: u32, sql: [u8]     // lenient-parsed statement text (UTF-8)
+//!   has_cost: u8                // 1 if the client annotated a cost
+//!   cost_bits: u64              // IEEE-754 bits of the cost (0 if absent)
+//! ```
+//!
+//! # Torn tail vs mid-log corruption
+//!
+//! A crash can only tear the *final* record (appends are sequential and
+//! fsynced), so [`read_wal`] truncates at the first bad length or CRC
+//! **iff nothing follows it** and warns with the byte offset. A bad frame
+//! with more bytes after it cannot be a torn write — that is mid-log
+//! corruption, and the reader refuses to start rather than silently drop
+//! acknowledged batches.
+
+use std::fs::OpenOptions;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use isum_common::framing::{encode_frame, ByteReader, FrameStatus, MAX_FRAME_PAYLOAD};
+use isum_common::{count, warn};
+
+/// Leading magic identifying a WAL file and its format version.
+pub const WAL_MAGIC: &[u8; 8] = b"ISUMWAL1";
+
+/// One logged ingest batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Per-shard monotone record number; recovery replays records with
+    /// `wal_seq >=` the snapshot's watermark.
+    pub wal_seq: u64,
+    /// Client sequence number, when the batch was sequenced.
+    pub seq: Option<u64>,
+    /// Name of the shard that applied the batch — a safety check that a
+    /// log file was not moved between shards.
+    pub shard: String,
+    /// The batch's lenient-split `(sql, explicit cost)` statements, in
+    /// order — exactly the input `Engine::apply_statements` consumes.
+    pub stmts: Vec<(String, Option<f64>)>,
+}
+
+/// Encodes a record as one frame payload (module docs for the layout).
+pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let mut out =
+        Vec::with_capacity(64 + rec.stmts.iter().map(|(s, _)| s.len() + 13).sum::<usize>());
+    out.extend_from_slice(&rec.wal_seq.to_le_bytes());
+    out.push(rec.seq.is_some() as u8);
+    out.extend_from_slice(&rec.seq.unwrap_or(0).to_le_bytes());
+    let shard = rec.shard.as_bytes();
+    assert!(shard.len() <= u16::MAX as usize, "shard name too long for WAL record");
+    out.extend_from_slice(&(shard.len() as u16).to_le_bytes());
+    out.extend_from_slice(shard);
+    out.extend_from_slice(&(rec.stmts.len() as u32).to_le_bytes());
+    for (sql, cost) in &rec.stmts {
+        let sql = sql.as_bytes();
+        assert!(sql.len() <= MAX_FRAME_PAYLOAD, "statement too long for WAL record");
+        out.extend_from_slice(&(sql.len() as u32).to_le_bytes());
+        out.extend_from_slice(sql);
+        out.push(cost.is_some() as u8);
+        out.extend_from_slice(&cost.unwrap_or(0.0).to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Decodes one frame payload back into a record. `Err` carries the parse
+/// failure; a CRC-valid payload that does not decode is corruption, not a
+/// torn write.
+pub fn decode_record(payload: &[u8]) -> Result<WalRecord, String> {
+    let mut r = ByteReader::new(payload);
+    let short = || "record payload truncated".to_string();
+    let wal_seq = r.u64().ok_or_else(short)?;
+    let has_seq = r.u8().ok_or_else(short)?;
+    let seq_raw = r.u64().ok_or_else(short)?;
+    if has_seq > 1 {
+        return Err(format!("bad seq flag {has_seq}"));
+    }
+    let shard_len = r.u16().ok_or_else(short)? as usize;
+    let shard = std::str::from_utf8(r.bytes(shard_len).ok_or_else(short)?)
+        .map_err(|_| "shard name is not UTF-8".to_string())?
+        .to_string();
+    let n = r.u32().ok_or_else(short)? as usize;
+    let mut stmts = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let sql_len = r.u32().ok_or_else(short)? as usize;
+        let sql = std::str::from_utf8(r.bytes(sql_len).ok_or_else(short)?)
+            .map_err(|_| "statement is not UTF-8".to_string())?
+            .to_string();
+        let has_cost = r.u8().ok_or_else(short)?;
+        let bits = r.u64().ok_or_else(short)?;
+        if has_cost > 1 {
+            return Err(format!("bad cost flag {has_cost}"));
+        }
+        stmts.push((sql, (has_cost == 1).then(|| f64::from_bits(bits))));
+    }
+    if r.remaining() != 0 {
+        return Err(format!("{} trailing bytes after record", r.remaining()));
+    }
+    Ok(WalRecord { wal_seq, seq: (has_seq == 1).then_some(seq_raw), shard, stmts })
+}
+
+/// Everything recovery needs from an existing log file.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Whole records, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (≥ the 8-byte header). The writer
+    /// truncates the file here before appending.
+    pub valid_len: u64,
+    /// When the log ended in a torn record, the byte offset of the cut.
+    pub torn_at: Option<u64>,
+}
+
+/// Reads and repairs a WAL file. A missing file is an empty log. A torn
+/// final record truncates with a warning (the crash the log exists to
+/// survive); a bad frame with bytes after it is mid-log corruption and an
+/// `InvalidData` error — see the module docs for the policy.
+pub fn read_wal(path: &Path) -> io::Result<WalReplay> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(WalReplay {
+                records: Vec::new(),
+                valid_len: WAL_MAGIC.len() as u64,
+                torn_at: None,
+            })
+        }
+        Err(e) => return Err(e),
+    };
+    if bytes.len() < WAL_MAGIC.len() {
+        // Crash while writing the header itself: nothing was ever logged.
+        warn!(
+            "server.wal",
+            format!("torn WAL header in {}, starting empty", path.display()),
+            len = bytes.len()
+        );
+        return Ok(WalReplay {
+            records: Vec::new(),
+            valid_len: WAL_MAGIC.len() as u64,
+            torn_at: Some(0),
+        });
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{} is not an ISUM WAL (bad magic)", path.display()),
+        ));
+    }
+    let mut records = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    while pos < bytes.len() {
+        match isum_common::framing::decode_frame(&bytes[pos..]) {
+            FrameStatus::Complete { payload, consumed } => {
+                let rec = decode_record(payload).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt WAL record at byte {pos} of {}: {e}", path.display()),
+                    )
+                })?;
+                records.push(rec);
+                pos += consumed;
+            }
+            FrameStatus::Torn => {
+                warn!(
+                    "server.wal",
+                    format!("torn final WAL record in {}, truncating", path.display()),
+                    offset = pos,
+                    dropped_bytes = bytes.len() - pos
+                );
+                return Ok(WalReplay { records, valid_len: pos as u64, torn_at: Some(pos as u64) });
+            }
+            FrameStatus::Corrupt { consumed } => {
+                if pos + consumed >= bytes.len() {
+                    // The bad frame is the last thing in the file — a torn
+                    // write whose tail happened to be present-but-wrong.
+                    warn!(
+                        "server.wal",
+                        format!(
+                            "checksum-failed final WAL record in {}, truncating",
+                            path.display()
+                        ),
+                        offset = pos,
+                        dropped_bytes = bytes.len() - pos
+                    );
+                    return Ok(WalReplay {
+                        records,
+                        valid_len: pos as u64,
+                        torn_at: Some(pos as u64),
+                    });
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "mid-log corruption at byte {pos} of {} ({} bytes follow the bad record); \
+                         refusing to drop acknowledged batches",
+                        path.display(),
+                        bytes.len() - pos - consumed
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(WalReplay { records, valid_len: pos as u64, torn_at: None })
+}
+
+/// The append side of the log, owned by a shard's sequencer thread.
+///
+/// `append` writes one frame and fsyncs before returning, so a batch is
+/// durable before it is acknowledged. A failed or injected-torn append
+/// poisons the writer: the partial bytes stay on disk (exactly what a
+/// crash would leave) and every later append refuses, turning the shard
+/// read-only-for-ingest until restart — recovery then truncates the torn
+/// tail.
+pub struct WalWriter {
+    file: std::fs::File,
+    path: PathBuf,
+    len: u64,
+    next_wal_seq: u64,
+    records_since_compaction: u64,
+    poisoned: bool,
+}
+
+/// What one successful append cost, for telemetry.
+#[derive(Debug)]
+pub struct AppendStats {
+    /// The record's assigned `wal_seq`.
+    pub wal_seq: u64,
+    /// Bytes appended (framing + payload).
+    pub bytes: u64,
+    /// How long the fsync took.
+    pub fsync: Duration,
+}
+
+impl WalWriter {
+    /// Opens (creating if absent) the log at `path`, truncating to
+    /// `valid_len` as reported by [`read_wal`] so a torn tail is repaired
+    /// before the first append. `next_wal_seq` seeds record numbering —
+    /// `max(snapshot watermark, last replayed record + 1)`.
+    pub fn open(path: &Path, valid_len: u64, next_wal_seq: u64) -> io::Result<WalWriter> {
+        // truncate(false): existing log bytes are the durability state —
+        // any tail repair happens below via the explicit `set_len`.
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let disk_len = file.metadata()?.len();
+        if disk_len < WAL_MAGIC.len() as u64 {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(WAL_MAGIC)?;
+            file.sync_data()?;
+        } else {
+            if valid_len < WAL_MAGIC.len() as u64 || valid_len > disk_len {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("WAL valid_len {valid_len} out of range for {} bytes", disk_len),
+                ));
+            }
+            if valid_len < disk_len {
+                file.set_len(valid_len)?;
+                file.sync_data()?;
+            }
+            // Double-check the header really is ours before appending.
+            let mut magic = [0u8; 8];
+            file.seek(SeekFrom::Start(0))?;
+            file.read_exact(&mut magic)?;
+            if &magic != WAL_MAGIC {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{} is not an ISUM WAL (bad magic)", path.display()),
+                ));
+            }
+        }
+        let len = valid_len.max(WAL_MAGIC.len() as u64);
+        file.seek(SeekFrom::Start(len))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            len,
+            next_wal_seq,
+            records_since_compaction: 0,
+            poisoned: false,
+        })
+    }
+
+    /// Logs one batch durably: encodes the record (assigning the next
+    /// `wal_seq`), appends its frame, and fsyncs before returning. `tear`
+    /// is the fault-injection hook — given the frame length, returning
+    /// `Some(offset)` writes only that prefix (as a crash mid-write
+    /// would) and poisons the writer.
+    pub fn append(
+        &mut self,
+        seq: Option<u64>,
+        shard: &str,
+        stmts: &[(String, Option<f64>)],
+        tear: impl FnOnce(usize) -> Option<usize>,
+    ) -> io::Result<AppendStats> {
+        if self.poisoned {
+            return Err(io::Error::other(format!(
+                "WAL {} is poisoned by an earlier failed append; restart to recover",
+                self.path.display()
+            )));
+        }
+        let wal_seq = self.next_wal_seq;
+        let record = WalRecord { wal_seq, seq, shard: shard.to_string(), stmts: stmts.to_vec() };
+        let frame = encode_frame(&encode_record(&record));
+        if let Some(cut) = tear(frame.len()) {
+            let cut = cut.min(frame.len());
+            let wrote = self.file.write_all(&frame[..cut]).and_then(|()| self.file.sync_data());
+            self.poisoned = true;
+            count!("server.wal.errors");
+            return Err(match wrote {
+                Ok(()) => io::Error::other(format!(
+                    "injected torn WAL append at byte {} of a {}-byte record",
+                    cut,
+                    frame.len()
+                )),
+                Err(e) => e,
+            });
+        }
+        let start = Instant::now();
+        if let Err(e) = self.file.write_all(&frame).and_then(|()| self.file.sync_data()) {
+            self.poisoned = true;
+            count!("server.wal.errors");
+            return Err(e);
+        }
+        let fsync = start.elapsed();
+        self.len += frame.len() as u64;
+        self.next_wal_seq += 1;
+        self.records_since_compaction += 1;
+        count!("server.wal.appends");
+        Ok(AppendStats { wal_seq, bytes: frame.len() as u64, fsync })
+    }
+
+    /// Truncates the log back to its header after a snapshot compaction
+    /// folded every logged record into the snapshot.
+    pub fn truncate_for_compaction(&mut self) -> io::Result<()> {
+        self.file.set_len(WAL_MAGIC.len() as u64)?;
+        self.file.seek(SeekFrom::Start(WAL_MAGIC.len() as u64))?;
+        self.file.sync_data()?;
+        self.len = WAL_MAGIC.len() as u64;
+        self.records_since_compaction = 0;
+        Ok(())
+    }
+
+    /// Current file length in bytes (header included).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `wal_seq` the next append will be assigned.
+    pub fn next_wal_seq(&self) -> u64 {
+        self.next_wal_seq
+    }
+
+    /// Records appended since the last compaction (or open).
+    pub fn records_since_compaction(&self) -> u64 {
+        self.records_since_compaction
+    }
+
+    /// True once an append failed; all later appends refuse.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+/// Derives a shard's WAL path from its snapshot path by swapping the
+/// final extension: `ckpt.json → ckpt.wal`, `ckpt.t-<hex>.json →
+/// ckpt.t-<hex>.wal`, extensionless `ckpt → ckpt.wal`.
+pub fn wal_sibling(snapshot: &Path) -> PathBuf {
+    let name = snapshot.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+    let base = match name.rsplit_once('.') {
+        Some((base, _ext)) => base,
+        None => name,
+    };
+    snapshot.with_file_name(format!("{base}.wal"))
+}
+
+/// Fixed-bucket histogram of fsync latencies, mirrored by lock-free
+/// atomics so `/metrics` never touches the sequencer thread. Bucket
+/// upper bounds are seconds; counts are stored per-bucket and rendered
+/// cumulatively by the exposition code.
+#[derive(Debug, Default)]
+pub struct FsyncHist {
+    buckets: [AtomicU64; FSYNC_BUCKET_BOUNDS.len()],
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+/// Upper bounds (seconds) of the fsync histogram's finite buckets.
+pub const FSYNC_BUCKET_BOUNDS: [f64; 7] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
+
+impl FsyncHist {
+    /// Records one fsync duration.
+    pub fn observe(&self, d: Duration) {
+        let secs = d.as_secs_f64();
+        match FSYNC_BUCKET_BOUNDS.iter().position(|&hi| secs <= hi) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// `(per-bucket counts, overflow count, total count, total sum in
+    /// seconds)` — per-bucket counts are *not* cumulative.
+    pub fn snapshot(&self) -> ([u64; FSYNC_BUCKET_BOUNDS.len()], u64, u64, f64) {
+        let mut counts = [0u64; FSYNC_BUCKET_BOUNDS.len()];
+        for (i, b) in self.buckets.iter().enumerate() {
+            counts[i] = b.load(Ordering::Relaxed);
+        }
+        (
+            counts,
+            self.overflow.load(Ordering::Relaxed),
+            self.count.load(Ordering::Relaxed),
+            self.sum_ns.load(Ordering::Relaxed) as f64 / 1e9,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isum_common::framing::FRAME_HEADER_LEN;
+    use proptest::prelude::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("isum_wal_{tag}_{}.wal", std::process::id()))
+    }
+
+    fn rec(wal_seq: u64, seq: Option<u64>, n: usize) -> WalRecord {
+        WalRecord {
+            wal_seq,
+            seq,
+            shard: "default".into(),
+            stmts: (0..n)
+                .map(|i| {
+                    (
+                        format!("SELECT id FROM t WHERE v = {i};"),
+                        (i % 2 == 0).then_some(i as f64 * 1.5 + 0.25),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn records_round_trip_bit_exactly() {
+        for record in [
+            rec(0, Some(0), 0),
+            rec(7, None, 3),
+            rec(u64::MAX, Some(u64::MAX), 1),
+            WalRecord {
+                wal_seq: 2,
+                seq: Some(9),
+                shard: "t-61636d65".into(),
+                stmts: vec![
+                    ("".into(), Some(f64::MIN_POSITIVE)),
+                    ("sql with \u{00e9} unicode".into(), Some(-0.0)),
+                    ("x".repeat(10_000), None),
+                ],
+            },
+        ] {
+            let decoded = decode_record(&encode_record(&record)).expect("decodes");
+            assert_eq!(decoded.wal_seq, record.wal_seq);
+            assert_eq!(decoded.seq, record.seq);
+            assert_eq!(decoded.shard, record.shard);
+            assert_eq!(decoded.stmts.len(), record.stmts.len());
+            for ((sql, cost), (dsql, dcost)) in record.stmts.iter().zip(&decoded.stmts) {
+                assert_eq!(sql, dsql);
+                // Bit-exact, including -0.0 and subnormals.
+                assert_eq!(cost.map(f64::to_bits), dcost.map(f64::to_bits));
+            }
+        }
+    }
+
+    #[test]
+    fn undecodable_payloads_error_without_panicking() {
+        let good = encode_record(&rec(1, Some(2), 2));
+        for cut in 0..good.len() {
+            decode_record(&good[..cut]).expect_err("truncated payload must not decode");
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode_record(&trailing).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn writer_appends_and_reader_replays() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, WAL_MAGIC.len() as u64, 0).expect("opens");
+        let mut appended = 0u64;
+        for i in 0..5u64 {
+            let r = rec(0, Some(i), 2);
+            let stats = w.append(r.seq, &r.shard, &r.stmts, |_| None).expect("appends");
+            assert_eq!(stats.wal_seq, i);
+            appended += stats.bytes;
+        }
+        assert_eq!(w.len(), WAL_MAGIC.len() as u64 + appended);
+        assert_eq!(w.records_since_compaction(), 5);
+        drop(w);
+
+        let replay = read_wal(&path).expect("reads");
+        assert_eq!(replay.torn_at, None);
+        assert_eq!(replay.records.len(), 5);
+        assert_eq!(replay.valid_len, WAL_MAGIC.len() as u64 + appended);
+        for (i, r) in replay.records.iter().enumerate() {
+            assert_eq!(r.wal_seq, i as u64);
+            assert_eq!(r.seq, Some(i as u64));
+            assert_eq!(r.stmts.len(), 2);
+        }
+
+        // Reopening resumes numbering and appending where the log ends.
+        let mut w =
+            WalWriter::open(&path, replay.valid_len, replay.records.last().unwrap().wal_seq + 1)
+                .expect("reopens");
+        assert_eq!(w.next_wal_seq(), 5);
+        w.append(None, "default", &rec(0, None, 1).stmts, |_| None).expect("appends");
+        drop(w);
+        assert_eq!(read_wal(&path).expect("reads").records.len(), 6);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_appends_poison_the_writer_and_recover_as_a_prefix() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, WAL_MAGIC.len() as u64, 0).expect("opens");
+        let stmts = rec(0, None, 3).stmts;
+        w.append(Some(0), "default", &stmts, |_| None).expect("appends");
+        let err = w.append(Some(1), "default", &stmts, |len| Some(len / 2)).expect_err("tears");
+        assert!(err.to_string().contains("torn"), "{err}");
+        assert!(w.poisoned());
+        let err = w.append(Some(2), "default", &stmts, |_| None).expect_err("poisoned");
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        drop(w);
+
+        let replay = read_wal(&path).expect("repairs");
+        assert_eq!(replay.records.len(), 1, "only the fsynced record survives");
+        assert!(replay.torn_at.is_some());
+        assert_eq!(replay.valid_len, replay.torn_at.unwrap());
+        // The repaired length is where the next writer resumes.
+        let mut w = WalWriter::open(&path, replay.valid_len, 1).expect("reopens");
+        w.append(Some(1), "default", &stmts, |_| None).expect("appends after repair");
+        drop(w);
+        let replay = read_wal(&path).expect("reads");
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.torn_at, None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_truncates_to_the_header_and_keeps_numbering() {
+        let path = temp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, WAL_MAGIC.len() as u64, 0).expect("opens");
+        let stmts = rec(0, None, 2).stmts;
+        for i in 0..3 {
+            w.append(Some(i), "default", &stmts, |_| None).expect("appends");
+        }
+        w.truncate_for_compaction().expect("truncates");
+        assert_eq!(w.len(), WAL_MAGIC.len() as u64);
+        assert_eq!(w.records_since_compaction(), 0);
+        assert_eq!(w.next_wal_seq(), 3, "record numbering survives compaction");
+        let stats = w.append(Some(3), "default", &stmts, |_| None).expect("appends");
+        assert_eq!(stats.wal_seq, 3);
+        drop(w);
+        let replay = read_wal(&path).expect("reads");
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.records[0].wal_seq, 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_and_foreign_files_are_handled() {
+        let path = temp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        let replay = read_wal(&path).expect("missing file is an empty log");
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.valid_len, WAL_MAGIC.len() as u64);
+        assert_eq!(replay.torn_at, None);
+
+        std::fs::write(&path, b"NOTAWAL0 trailing bytes").expect("writes");
+        let err = read_wal(&path).expect_err("bad magic must refuse");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::write(&path, b"abc").expect("writes");
+        let replay = read_wal(&path).expect("short header is torn-empty");
+        assert_eq!(replay.torn_at, Some(0));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wal_sibling_swaps_the_final_extension() {
+        assert_eq!(wal_sibling(Path::new("/x/ckpt.json")), Path::new("/x/ckpt.wal"));
+        assert_eq!(
+            wal_sibling(Path::new("/x/ckpt.t-61636d65.json")),
+            Path::new("/x/ckpt.t-61636d65.wal")
+        );
+        assert_eq!(wal_sibling(Path::new("/x/ckpt.h3.json")), Path::new("/x/ckpt.h3.wal"));
+        assert_eq!(wal_sibling(Path::new("/x/ckpt")), Path::new("/x/ckpt.wal"));
+    }
+
+    #[test]
+    fn truncating_a_log_at_every_offset_yields_an_exact_prefix_or_torn() {
+        // The crash-repair contract, exhaustively: whatever byte a crash
+        // stops the disk at, recovery either replays a whole-record
+        // prefix (clean cut on a frame boundary) or reports a torn tail
+        // at the last boundary — never a panic, never half a batch.
+        let path = temp_path("offset_fuzz");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, WAL_MAGIC.len() as u64, 0).expect("opens");
+        for i in 0..3u64 {
+            w.append(Some(i), "default", &rec(0, Some(i), 2).stmts, |_| None).expect("appends");
+        }
+        drop(w);
+        let bytes = std::fs::read(&path).expect("reads");
+        // Frame end offsets, from the framing layer the reader trusts.
+        let mut boundaries = vec![WAL_MAGIC.len()];
+        let mut pos = WAL_MAGIC.len();
+        while pos < bytes.len() {
+            match isum_common::framing::decode_frame(&bytes[pos..]) {
+                FrameStatus::Complete { consumed, .. } => {
+                    pos += consumed;
+                    boundaries.push(pos);
+                }
+                other => panic!("fresh log has a bad frame at {pos}: {other:?}"),
+            }
+        }
+        assert_eq!(boundaries.len(), 4, "header + three records");
+
+        for cut in 0..=bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).expect("writes truncation");
+            let replay = read_wal(&path).expect("truncations are torn, never mid-log corrupt");
+            if cut < WAL_MAGIC.len() {
+                assert_eq!((replay.records.len(), replay.torn_at), (0, Some(0)), "cut {cut}");
+                continue;
+            }
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(replay.records.len(), whole, "cut {cut} must replay whole records only");
+            for (i, r) in replay.records.iter().enumerate() {
+                assert_eq!((r.wal_seq, r.seq), (i as u64, Some(i as u64)), "cut {cut}");
+            }
+            if boundaries.contains(&cut) {
+                assert_eq!(replay.torn_at, None, "cut {cut} is a clean frame boundary");
+                assert_eq!(replay.valid_len, cut as u64);
+            } else {
+                let last = *boundaries.iter().filter(|&&b| b <= cut).max().unwrap();
+                assert_eq!(replay.torn_at, Some(last as u64), "cut {cut}");
+                assert_eq!(replay.valid_len, last as u64);
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_log_corruption_refuses_but_final_frame_corruption_truncates() {
+        let path = temp_path("midlog");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, WAL_MAGIC.len() as u64, 0).expect("opens");
+        for i in 0..3u64 {
+            w.append(Some(i), "default", &rec(0, Some(i), 2).stmts, |_| None).expect("appends");
+        }
+        drop(w);
+        let good = std::fs::read(&path).expect("reads");
+
+        // Flip one payload byte in the *first* frame: the CRC fails with
+        // two frames after it — unambiguous mid-log corruption.
+        let mut bad = good.clone();
+        bad[WAL_MAGIC.len() + FRAME_HEADER_LEN + 3] ^= 0x40;
+        std::fs::write(&path, &bad).expect("writes");
+        let err = read_wal(&path).expect_err("mid-log corruption must refuse");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("mid-log"), "{err}");
+
+        // The same flip in the *final* frame is indistinguishable from a
+        // torn write and truncates to the previous boundary.
+        let mut last_frame = WAL_MAGIC.len();
+        let mut pos = WAL_MAGIC.len();
+        while pos < good.len() {
+            match isum_common::framing::decode_frame(&good[pos..]) {
+                FrameStatus::Complete { consumed, .. } => {
+                    last_frame = pos;
+                    pos += consumed;
+                }
+                other => panic!("bad frame: {other:?}"),
+            }
+        }
+        let mut bad = good.clone();
+        bad[last_frame + FRAME_HEADER_LEN + 3] ^= 0x40;
+        std::fs::write(&path, &bad).expect("writes");
+        let replay = read_wal(&path).expect("final-frame corruption is repaired as torn");
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.torn_at, Some(last_frame as u64));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fsync_hist_buckets_and_sums() {
+        let h = FsyncHist::default();
+        h.observe(Duration::from_nanos(500)); // <= 1e-6
+        h.observe(Duration::from_micros(50)); // <= 1e-4
+        h.observe(Duration::from_millis(500)); // <= 1.0
+        h.observe(Duration::from_secs(3)); // overflow
+        let (counts, overflow, count, sum) = h.snapshot();
+        assert_eq!(counts, [1, 0, 1, 0, 0, 0, 1]);
+        assert_eq!(overflow, 1);
+        assert_eq!(count, 4);
+        assert!((sum - 3.50005005).abs() < 1e-6, "sum {sum}");
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_records_round_trip_bit_exactly(
+            wal_seq in any::<u64>(),
+            has_seq in any::<bool>(),
+            seq in any::<u64>(),
+            shard in "[ -~]{0,40}",
+            raw_stmts in prop::collection::vec(("[ -~]{0,120}", prop::option::of(any::<u64>())), 0..8),
+        ) {
+            // Costs travel as raw bits so NaNs, -0.0, and subnormals are
+            // all fair inputs — the codec must preserve every pattern.
+            let stmts: Vec<(String, Option<f64>)> =
+                raw_stmts.into_iter().map(|(s, c)| (s, c.map(f64::from_bits))).collect();
+            let record = WalRecord { wal_seq, seq: has_seq.then_some(seq), shard, stmts };
+            let decoded = decode_record(&encode_record(&record)).expect("decodes");
+            prop_assert_eq!(decoded.wal_seq, record.wal_seq);
+            prop_assert_eq!(decoded.seq, record.seq);
+            prop_assert_eq!(&decoded.shard, &record.shard);
+            prop_assert_eq!(decoded.stmts.len(), record.stmts.len());
+            for ((sql, cost), (dsql, dcost)) in record.stmts.iter().zip(&decoded.stmts) {
+                prop_assert_eq!(sql, dsql);
+                prop_assert_eq!(cost.map(f64::to_bits), dcost.map(f64::to_bits));
+            }
+        }
+
+        #[test]
+        fn arbitrary_byte_soup_never_panics_the_decoder(
+            payload in prop::collection::vec(any::<u8>(), 0..200),
+        ) {
+            // Random payloads overwhelmingly fail to decode; the contract
+            // is that they fail with an error, not a panic or a bogus
+            // record that smuggles garbage into replay.
+            let _ = decode_record(&payload);
+        }
+    }
+}

@@ -226,7 +226,8 @@ fn hashed_restart_resumes_and_replays_dedup() {
         let resp = client.summary(5).expect("summary");
         assert_eq!(resp.status, 200, "{}", resp.body);
         let body = resp.body.clone();
-        // No /shutdown: only the per-shard per-batch checkpoints survive.
+        // No /shutdown: dropping drains, and each shard's WAL is
+        // compacted into its snapshot before the thread exits.
         drop(server);
         body
     };
@@ -283,7 +284,7 @@ fn tenant_checkpoints_restart_bit_identically() {
         ingest_all(&server, "bolt", &bolt);
         let a = client.get("/summary?k=4&tenant=acme").expect("summary").body;
         let b = client.get("/summary?k=4&tenant=bolt").expect("summary").body;
-        drop(server); // crash: per-tenant checkpoints are all that survive
+        drop(server); // drain: per-tenant WALs compact into their snapshots
         (a, b)
     };
 
