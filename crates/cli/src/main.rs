@@ -7,6 +7,7 @@
 //! isum dump     --workload gen:tpch:1:200:42 [--out workload.sql]
 //! isum serve    --schema tpch:1 --listen 127.0.0.1:7071 [--checkpoint state.json] [--queue-cap 64] [--shards 4]
 //! isum client   <ingest|summary|explain|status|tune|healthz|telemetry|shutdown> --server 127.0.0.1:7071 [--tenant acme] ...
+//! isum load     --server 127.0.0.1:7071 [--seed 42] [--connections 4] [--tenants 4] [--templates 12] [--rate 2.5]
 //! ```
 //!
 //! The schema is a JSON statistics document (see `schema.rs`) or a builtin
@@ -15,7 +16,10 @@
 //! costs (missing costs are filled by the bundled what-if optimizer), or a
 //! generator spec (`gen:tpch:<sf>:<n>:<seed>`, `gen:dsb:<sf>:<n>:<seed>`).
 //! `isum serve` runs the online compression daemon of DESIGN.md §10; `isum
-//! client` talks to it over its HTTP API.
+//! client` talks to it over its HTTP API. `isum load` drives a running
+//! daemon with the deterministic seeded load generator of DESIGN.md §15:
+//! a Zipf-skewed multi-tenant TPC-H mix over N concurrent keep-alive
+//! connections, with an optional mid-run mix shift to provoke drift.
 //!
 //! Passing `--stats` (or setting `ISUM_TELEMETRY=1`) enables the
 //! [`isum_common::telemetry`] registry and prints a phase/counter table
@@ -92,6 +96,7 @@ fn run(args: &[String]) -> Result<()> {
         "dump" => dump(&opts),
         "serve" => serve(&opts),
         "client" => client_cmd(verb, &opts),
+        "load" => load_cmd(&opts),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())
@@ -121,11 +126,17 @@ fn print_usage() {
          [--checkpoint <file>] [--queue-cap <n>] [--variant <v>] [--shards <n>]\n                \
          [--wal-compact-every <records>] [--wal-compact-bytes <n>]\n  \
          isum client   <ingest|summary|explain|status|tune|healthz|telemetry|shutdown> --server <addr>\n                \
-         [--workload <sql|gen:spec>] [-k <n>] [-m <n>] [--batch <n>] [--tenant <name>]\n\
+         [--workload <sql|gen:spec>] [-k <n>] [-m <n>] [--batch <n>] [--tenant <name>]\n  \
+         isum load     --server <addr> [--seed <n>] [--connections <n>] [--tenants <n>]\n                \
+         [--templates <1..22>] [--batch <n>] [--warmup <n>] [--measure <n>] [--soak <n>]\n                \
+         [--shift-at <batch|off>] [--rate <batches/s per conn>] [-k <n>] [--out <file>]\n\
          isum serve shards by X-Isum-Tenant header by default; --shards <n> (or ISUM_SHARDS=<n>)\n\
          switches to n hash-routed shards for parallel single-tenant ingest (DESIGN.md \u{a7}13),\n\
          isum client --tenant <name> pins every request to one tenant\n\
          (names: \u{2264}64 bytes, visible ASCII, no `/`),\n\
+         isum load replays a seeded Zipf-skewed multi-tenant plan over concurrent keep-alive\n\
+         connections (closed loop by default; --rate paces each connection open-loop,\n\
+         --shift-at off disables the drift-provoking mix shift) and prints a JSON report,\n\
          isum serve reads ISUM_DRIFT_WINDOW=<n> (0 disables) and ISUM_DRIFT_THRESHOLD=<0..1>\n\
          to configure workload-drift tracking (see DESIGN.md \u{a7}12),\n\
          with --checkpoint each acknowledged batch is fsynced to a per-shard write-ahead log\n\
@@ -168,6 +179,16 @@ struct Options {
     shards: Option<usize>,
     wal_compact_every: Option<u64>,
     wal_compact_bytes: Option<u64>,
+    seed: u64,
+    connections: usize,
+    tenants: Option<usize>,
+    templates: Option<usize>,
+    warmup: Option<usize>,
+    measure: Option<usize>,
+    soak: Option<usize>,
+    /// `None` = flag absent (plan default); `Some(None)` = `off`.
+    shift_at: Option<Option<usize>>,
+    rate: Option<f64>,
 }
 
 impl Options {
@@ -198,6 +219,15 @@ impl Options {
             shards: None,
             wal_compact_every: None,
             wal_compact_bytes: None,
+            seed: 42,
+            connections: 4,
+            tenants: None,
+            templates: None,
+            warmup: None,
+            measure: None,
+            soak: None,
+            shift_at: None,
+            rate: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -300,6 +330,81 @@ impl Options {
                     if o.batch == 0 {
                         return Err(Error::InvalidConfig("--batch must be at least 1".into()));
                     }
+                }
+                "--seed" => {
+                    o.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| Error::InvalidConfig("--seed must be an integer".into()))?
+                }
+                "--connections" => {
+                    o.connections = value("--connections")?.parse().map_err(|_| {
+                        Error::InvalidConfig("--connections must be an integer".into())
+                    })?;
+                    if o.connections == 0 {
+                        return Err(Error::InvalidConfig(
+                            "--connections must be at least 1".into(),
+                        ));
+                    }
+                }
+                "--tenants" => {
+                    let n: usize = value("--tenants")?
+                        .parse()
+                        .map_err(|_| Error::InvalidConfig("--tenants must be an integer".into()))?;
+                    if n == 0 {
+                        return Err(Error::InvalidConfig("--tenants must be at least 1".into()));
+                    }
+                    o.tenants = Some(n);
+                }
+                "--templates" => {
+                    let n: usize = value("--templates")?.parse().map_err(|_| {
+                        Error::InvalidConfig("--templates must be an integer".into())
+                    })?;
+                    if !(1..=22).contains(&n) {
+                        return Err(Error::InvalidConfig(
+                            "--templates must be 1..=22 (TPC-H has 22 templates)".into(),
+                        ));
+                    }
+                    o.templates = Some(n);
+                }
+                "--warmup" => {
+                    o.warmup =
+                        Some(value("--warmup")?.parse().map_err(|_| {
+                            Error::InvalidConfig("--warmup must be an integer".into())
+                        })?)
+                }
+                "--measure" => {
+                    let n: usize = value("--measure")?
+                        .parse()
+                        .map_err(|_| Error::InvalidConfig("--measure must be an integer".into()))?;
+                    if n == 0 {
+                        return Err(Error::InvalidConfig("--measure must be at least 1".into()));
+                    }
+                    o.measure = Some(n);
+                }
+                "--soak" => {
+                    o.soak =
+                        Some(value("--soak")?.parse().map_err(|_| {
+                            Error::InvalidConfig("--soak must be an integer".into())
+                        })?)
+                }
+                "--shift-at" => {
+                    let v = value("--shift-at")?;
+                    o.shift_at = Some(if v == "off" {
+                        None
+                    } else {
+                        Some(v.parse().map_err(|_| {
+                            Error::InvalidConfig("--shift-at must be a batch index or `off`".into())
+                        })?)
+                    });
+                }
+                "--rate" => {
+                    let r: f64 = value("--rate")?
+                        .parse()
+                        .map_err(|_| Error::InvalidConfig("--rate must be a number".into()))?;
+                    if !(r > 0.0 && r.is_finite()) {
+                        return Err(Error::InvalidConfig("--rate must be positive".into()));
+                    }
+                    o.rate = Some(r);
                 }
                 "--json" => o.json = true,
                 "--report" => o.report = true,
@@ -670,6 +775,61 @@ fn client_ingest(client: &Client, opts: &Options) -> Result<()> {
     Ok(())
 }
 
+/// Drives a running daemon with the deterministic load generator and
+/// prints the client-side report as JSON (to `--out` when given).
+fn load_cmd(opts: &Options) -> Result<()> {
+    use isum_loadgen::{LoadPlan, Mode, PlanConfig, RunConfig};
+    let addr = opts
+        .server
+        .as_ref()
+        .ok_or_else(|| Error::InvalidConfig("load requires --server <addr>".into()))?;
+    let mut plan_config = PlanConfig::new(opts.seed);
+    if let Some(n) = opts.tenants {
+        plan_config.tenants = n;
+    }
+    if let Some(n) = opts.templates {
+        plan_config.templates = n;
+    }
+    plan_config.batch_size = opts.batch;
+    if let Some(n) = opts.warmup {
+        plan_config.warmup_batches = n;
+    }
+    if let Some(n) = opts.measure {
+        plan_config.measure_batches = n;
+    }
+    if let Some(n) = opts.soak {
+        plan_config.soak_batches = n;
+    }
+    if let Some(shift) = opts.shift_at {
+        plan_config.mix_shift_at = shift;
+    }
+    let plan = LoadPlan::generate(&plan_config);
+    let mut run_config = RunConfig::new(addr.clone());
+    run_config.connections = opts.connections;
+    run_config.summary_k = opts.k;
+    if let Some(rate) = opts.rate {
+        run_config.mode = Mode::Open { batches_per_sec: rate };
+    }
+    eprintln!(
+        "driving {addr}: {} batches ({} statements) over {} connection(s), \
+         plan fingerprint {:016x}",
+        plan.batches.len(),
+        plan.total_statements(),
+        run_config.connections,
+        plan.fingerprint(),
+    );
+    let report = isum_loadgen::run(&plan, &run_config).map_err(Error::Io)?;
+    let doc = report.to_json();
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, format!("{}\n", doc.to_pretty()))?;
+            eprintln!("wrote load report to {path}");
+        }
+        None => println!("{}", doc.to_pretty()),
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -809,6 +969,56 @@ mod tests {
         assert!(Options::parse(&["--wal-compact-bytes".into()]).is_err());
         assert!(Options::parse(&["--wal-compact-bytes".into(), "-1".into()]).is_err());
         assert!(Options::parse(&["--wal-compact-bytes".into(), "0".into()]).is_err());
+    }
+
+    #[test]
+    fn load_flags_parse_and_reject_bad_values() {
+        let o = opts(&[
+            "--seed",
+            "7",
+            "--connections",
+            "8",
+            "--tenants",
+            "3",
+            "--templates",
+            "10",
+            "--warmup",
+            "2",
+            "--measure",
+            "20",
+            "--soak",
+            "2",
+            "--shift-at",
+            "12",
+            "--rate",
+            "2.5",
+        ]);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.connections, 8);
+        assert_eq!(o.tenants, Some(3));
+        assert_eq!(o.templates, Some(10));
+        assert_eq!(o.warmup, Some(2));
+        assert_eq!(o.measure, Some(20));
+        assert_eq!(o.soak, Some(2));
+        assert_eq!(o.shift_at, Some(Some(12)));
+        assert_eq!(o.rate, Some(2.5));
+        let o = opts(&["--shift-at", "off"]);
+        assert_eq!(o.shift_at, Some(None), "`off` disables the mix shift");
+        let o = opts(&[]);
+        assert_eq!(o.seed, 42, "defaults match the benchmark plan");
+        assert_eq!(o.connections, 4);
+        assert_eq!(o.shift_at, None, "absent flag defers to the plan default");
+        assert!(Options::parse(&["--connections".into(), "0".into()]).is_err());
+        assert!(Options::parse(&["--tenants".into(), "0".into()]).is_err());
+        assert!(Options::parse(&["--templates".into(), "23".into()]).is_err());
+        assert!(Options::parse(&["--templates".into(), "0".into()]).is_err());
+        assert!(Options::parse(&["--measure".into(), "0".into()]).is_err());
+        assert!(Options::parse(&["--shift-at".into(), "abc".into()]).is_err());
+        assert!(Options::parse(&["--rate".into(), "0".into()]).is_err());
+        assert!(Options::parse(&["--rate".into(), "-1".into()]).is_err());
+        assert!(Options::parse(&["--rate".into(), "nan".into()]).is_err());
+        // Without --server the command fails before any network I/O.
+        assert!(load_cmd(&opts(&[])).is_err());
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Sustained-load benchmark: concurrent keep-alive ingest throughput and
+//! `/summary` tail latency under a Zipf-skewed multi-tenant mix
+//! (DESIGN.md §15).
+//!
+//! ```text
+//! cargo run -p isum-loadgen --release --bin bench_load [-- <out.json> [<baseline.json>]]
+//! ```
+//!
+//! Boots a daemon with a checkpoint in a scratch directory (so ingest
+//! pays the same fsync-per-batch durability as `bench_wal`), generates a
+//! seeded load plan shaped like `bench_wal`'s stream — one tenant,
+//! 16-statement batches, 12 Zipf-skewed TPC-H templates, mix shift
+//! mid-run — and drives it closed-loop over 4 keep-alive connections
+//! while a fifth polls `GET /summary?k=10` every 10 ms. Writes measured
+//! ingest statements/sec and summary p50/p90/p99 to `BENCH_load.json`
+//! (or the path given as the first argument). A second argument names a
+//! baseline JSON (CI passes the serial `BENCH_wal.json`), whose headline
+//! throughput and the resulting ratio are embedded; the CI gate bounds
+//! the ratio so concurrent keep-alive ingest cannot silently fall behind
+//! the serial client.
+//!
+//! Fatal errors are reported as structured `error!` events before
+//! exiting nonzero.
+
+use std::time::Duration;
+
+use isum_common::Json;
+use isum_loadgen::{run, LoadPlan, PlanConfig, RunConfig};
+use isum_server::{Server, ServerConfig};
+use isum_workload::gen::tpch_catalog;
+
+const SEED: u64 = 42;
+const CONNECTIONS: usize = 4;
+const SUMMARY_K: usize = 10;
+
+/// Reports a fatal benchmark error and exits.
+fn fail(message: String) -> ! {
+    isum_common::error!("bench.load", message);
+    std::process::exit(1);
+}
+
+/// Reads a numeric field of a baseline benchmark JSON.
+fn baseline_num(doc: &Json, field: &str) -> Option<f64> {
+    doc.get(field).and_then(Json::as_f64)
+}
+
+fn main() {
+    isum_common::trace::init_from_env();
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_load.json".into());
+    let baseline_path = std::env::args().nth(2);
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // Shaped to compare against the serial `bench_wal` stream: a single
+    // tenant (one sequencer, one WAL — the same fsync-per-batch bill)
+    // with the same batch size, so the ratio isolates what the
+    // client-side path adds, not a topology difference.
+    let mut plan_config = PlanConfig::new(SEED);
+    plan_config.tenants = 1;
+    plan_config.batch_size = 16;
+    plan_config.warmup_batches = 16;
+    plan_config.measure_batches = 192;
+    plan_config.soak_batches = 16;
+    let plan = LoadPlan::generate(&plan_config);
+
+    let dir = std::env::temp_dir().join(format!("isum_bench_load_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        fail(format!("cannot create scratch dir {}: {e}", dir.display()));
+    }
+    let mut config = ServerConfig::new(tpch_catalog(1)).apply_drift_env().apply_wal_env();
+    config.checkpoint = Some(dir.join("ckpt.json"));
+    let server = Server::bind("127.0.0.1:0", config)
+        .unwrap_or_else(|e| fail(format!("cannot bind benchmark server: {e}")));
+
+    let mut run_config = RunConfig::new(server.addr().to_string());
+    run_config.connections = CONNECTIONS;
+    run_config.summary_k = SUMMARY_K;
+    run_config.summary_poll_ms = Some(10);
+    run_config.timeout = Duration::from_secs(30);
+    let report = run(&plan, &run_config).unwrap_or_else(|e| fail(format!("load run failed: {e}")));
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if report.acked_batches != plan.batches.len() as u64 {
+        fail(format!("only {}/{} batches acknowledged", report.acked_batches, plan.batches.len()));
+    }
+    if report.summary_hist.count() == 0 {
+        fail("summary poller recorded no samples".into());
+    }
+
+    let ingest_sps = report.ingest_statements_per_sec();
+    let p50 = report.summary_hist.quantile_ms(0.5);
+    let p99 = report.summary_hist.quantile_ms(0.99);
+    let mut fields = vec![
+        ("bench".into(), Json::from("load_zipf_tpch")),
+        (
+            "workload".into(),
+            Json::from(format!(
+                "seeded Zipf load plan (seed {SEED}): {} tenant(s), {} TPC-H templates, \
+                 {}-statement batches, mix shift at batch {}, {CONNECTIONS} keep-alive \
+                 connections closed-loop, concurrent summary k={SUMMARY_K} poll",
+                plan_config.tenants,
+                plan_config.templates,
+                plan_config.batch_size,
+                plan_config.mix_shift_at.map_or("off".into(), |b| b.to_string()),
+            )),
+        ),
+        ("cpus".into(), Json::from(cpus)),
+        ("connections".into(), Json::from(CONNECTIONS)),
+        ("seed".into(), Json::from(SEED)),
+        ("ingest_statements".into(), Json::from(plan.total_statements())),
+        ("ingest_batches".into(), Json::from(plan.batches.len())),
+        ("ingest_secs".into(), Json::Num(report.measure_secs)),
+        ("ingest_statements_per_sec".into(), Json::Num(ingest_sps)),
+        ("summary_samples".into(), Json::from(report.summary_hist.count())),
+        ("summary_p50_ms".into(), Json::Num(p50)),
+        ("summary_p90_ms".into(), Json::Num(report.summary_hist.quantile_ms(0.9))),
+        ("summary_p99_ms".into(), Json::Num(p99)),
+        ("summary_mean_ms".into(), Json::Num(report.summary_hist.mean_ms())),
+        ("report".into(), report.to_json()),
+    ];
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(format!("cannot read baseline {path}: {e}")));
+        let base = Json::parse(&text)
+            .unwrap_or_else(|e| fail(format!("baseline {path} is not JSON: {e}")));
+        let mut cmp = vec![("path".into(), Json::from(path.as_str()))];
+        if let Some(b) = baseline_num(&base, "ingest_statements_per_sec") {
+            cmp.push(("ingest_statements_per_sec".into(), Json::Num(b)));
+            cmp.push(("ingest_throughput_ratio".into(), Json::Num(ingest_sps / b)));
+        }
+        if let Some(b) = baseline_num(&base, "summary_p50_ms") {
+            cmp.push(("summary_p50_ms".into(), Json::Num(b)));
+            cmp.push(("summary_p50_ratio".into(), Json::Num(p50 / b)));
+        }
+        if let Some(b) = baseline_num(&base, "summary_p99_ms") {
+            cmp.push(("summary_p99_ms".into(), Json::Num(b)));
+            cmp.push(("summary_p99_ratio".into(), Json::Num(p99 / b)));
+        }
+        fields.push(("baseline".into(), Json::Obj(cmp)));
+    }
+    let doc = Json::Obj(fields);
+    if let Err(e) = std::fs::write(&out, format!("{}\n", doc.to_pretty())) {
+        fail(format!("cannot write {out}: {e}"));
+    }
+    println!("{}", doc.to_pretty());
+}

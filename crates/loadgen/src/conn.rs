@@ -1,0 +1,174 @@
+//! A keep-alive client connection.
+//!
+//! One [`Conn`] owns one kernel socket and reuses it across requests —
+//! the server speaks persistent HTTP/1.1 — reconnecting transparently
+//! when the peer has closed it (idle timeout, server restart, an
+//! explicit `Connection: close` on the previous response). Requests are
+//! strictly serial per connection: a response is read fully before the
+//! next request is written, because the server intentionally does not
+//! support pipelining.
+//!
+//! Reconnect-and-resend is safe for every request the load generator
+//! issues: reads are side-effect free and sequenced `/ingest` batches are
+//! idempotent by the server's duplicate detection.
+
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use isum_server::{read_response, RawResponse};
+
+/// A reusable client connection to one server address.
+pub struct Conn {
+    addr: String,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+    reconnects: u64,
+}
+
+impl Conn {
+    /// A connection handle for `addr`; the socket opens lazily on the
+    /// first request.
+    pub fn new(addr: impl Into<String>, timeout: Duration) -> Conn {
+        Conn { addr: addr.into(), timeout, stream: None, reconnects: 0 }
+    }
+
+    /// Times the socket was (re)established after the first connect —
+    /// a healthy keep-alive run stays near zero.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn connect(&mut self) -> io::Result<&TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_ref().expect("just set"))
+    }
+
+    /// Sends one request and reads the response, reusing the socket. A
+    /// transport error on a *reused* socket (the server may have timed
+    /// the idle connection out) triggers exactly one reconnect-and-resend
+    /// before the error propagates.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        tenant: Option<&str>,
+        body: &str,
+    ) -> io::Result<RawResponse> {
+        let reused = self.stream.is_some();
+        match self.try_once(method, target, tenant, body) {
+            Ok(resp) => Ok(resp),
+            Err(e) if reused => {
+                self.stream = None;
+                self.reconnects += 1;
+                self.try_once(method, target, tenant, body).map_err(|e2| {
+                    io::Error::new(e2.kind(), format!("{e2} (after reconnect; first: {e})"))
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_once(
+        &mut self,
+        method: &str,
+        target: &str,
+        tenant: Option<&str>,
+        body: &str,
+    ) -> io::Result<RawResponse> {
+        let addr = self.addr.clone();
+        let stream = self.connect()?;
+        {
+            let mut w = stream;
+            // No `Connection` header: HTTP/1.1 defaults to keep-alive.
+            write!(
+                w,
+                "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n",
+                body.len()
+            )?;
+            if let Some(t) = tenant {
+                write!(w, "X-Isum-Tenant: {t}\r\n")?;
+            }
+            w.write_all(b"\r\n")?;
+            w.write_all(body.as_bytes())?;
+            w.flush()?;
+        }
+        let resp = read_response(stream)?;
+        let close =
+            resp.1.iter().any(|(k, v)| k == "connection" && v.eq_ignore_ascii_case("close"));
+        if close {
+            // The server asked to tear down (e.g. drain): honor it so the
+            // next request opens fresh instead of failing on a dead socket.
+            self.stream = None;
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    /// A scripted one-connection server: accepts one socket, answers
+    /// `responses[i]` to the i-th request, then closes.
+    fn scripted_server(responses: Vec<String>) -> (String, std::thread::JoinHandle<usize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let handle = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().expect("accept");
+            let mut served = 0usize;
+            let mut buf = [0u8; 4096];
+            for resp in &responses {
+                // Read until the blank line (requests here have no body).
+                let mut req = Vec::new();
+                loop {
+                    let n = sock.read(&mut buf).expect("read");
+                    if n == 0 {
+                        return served;
+                    }
+                    req.extend_from_slice(&buf[..n]);
+                    if req.windows(4).any(|w| w == b"\r\n\r\n") {
+                        break;
+                    }
+                }
+                sock.write_all(resp.as_bytes()).expect("write");
+                served += 1;
+            }
+            served
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn reuses_one_socket_across_requests() {
+        let ok = "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nok";
+        let (addr, handle) = scripted_server(vec![ok.into(), ok.into(), ok.into()]);
+        let mut conn = Conn::new(addr, Duration::from_secs(5));
+        for _ in 0..3 {
+            let (status, _, body) = conn.request("GET", "/x", None, "").expect("request");
+            assert_eq!(status, 200);
+            assert_eq!(body, b"ok");
+        }
+        assert_eq!(conn.reconnects(), 0, "three requests, one socket");
+        assert_eq!(handle.join().expect("server"), 3);
+    }
+
+    #[test]
+    fn honors_connection_close_from_the_server() {
+        let bye = "HTTP/1.1 200 OK\r\nContent-Length: 3\r\nConnection: close\r\n\r\nbye";
+        let (addr, handle) = scripted_server(vec![bye.into()]);
+        let mut conn = Conn::new(addr, Duration::from_secs(5));
+        let (status, _, _) = conn.request("GET", "/x", None, "").expect("request");
+        assert_eq!(status, 200);
+        assert!(conn.stream.is_none(), "socket dropped after Connection: close");
+        assert_eq!(handle.join().expect("server"), 1);
+    }
+}

@@ -1,0 +1,280 @@
+//! Deterministic load-plan generation.
+//!
+//! A [`LoadPlan`] is fully materialized from a [`PlanConfig`] before a
+//! single byte hits the wire: every batch's tenant, per-tenant `seq`
+//! stamp, and SQL script is a pure function of the seed. Execution
+//! (worker interleaving, retries, pacing) can therefore never change
+//! *what* is sent — only *when* — which is what makes a load run
+//! replayable bit-identically: the server's sequencers apply each
+//! tenant's stream in `seq` order, so two runs of the same plan leave the
+//! server in byte-identical state no matter how the connections raced.
+//!
+//! The template mix is Zipf-skewed over a prefix of the TPC-H templates,
+//! and an optional **mix shift** re-maps the Zipf ranks (rank `r` →
+//! template `templates-1-r`) from a configured batch index onward: the
+//! head-heavy probability mass jumps to templates the summarized history
+//! has barely seen, which is exactly the template-distribution divergence
+//! the server's drift tracker scores (DESIGN.md §12).
+
+use isum_common::rng::{DetRng, Zipf};
+use isum_workload::gen::tpch::instantiate_template;
+
+/// Tenant name for single-tenant plans and rank 0 of multi-tenant plans:
+/// the shard requests land on with no `X-Isum-Tenant` header.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Everything that determines a [`LoadPlan`], and nothing that does not.
+#[derive(Debug, Clone)]
+pub struct PlanConfig {
+    /// Seed for every stochastic choice (tenant, template, parameters).
+    pub seed: u64,
+    /// Number of tenants the batch stream is Zipf-spread over; `1` keeps
+    /// everything on the default tenant.
+    pub tenants: usize,
+    /// Number of TPC-H templates in the mix (a prefix of the 22).
+    pub templates: usize,
+    /// Zipf exponent for both the tenant and template mixes; `0` is
+    /// uniform, larger is more head-heavy.
+    pub theta: f64,
+    /// Statements per batch.
+    pub batch_size: usize,
+    /// Batches before the measurement window (excluded from stats).
+    pub warmup_batches: usize,
+    /// Batches in the measurement window.
+    pub measure_batches: usize,
+    /// Batches after the measurement window (sustained-load tail; sent
+    /// and accounted, excluded from latency stats).
+    pub soak_batches: usize,
+    /// Batch index from which the template Zipf ranks are re-mapped to
+    /// provoke drift; `None` keeps the mix stationary.
+    pub mix_shift_at: Option<usize>,
+}
+
+impl PlanConfig {
+    /// A small but representative default plan: 4 tenants, 12 templates,
+    /// `theta = 1`, 8-statement batches, 8 warmup + 48 measured + 8 soak
+    /// batches, mix shift at the middle of the measure window.
+    pub fn new(seed: u64) -> PlanConfig {
+        PlanConfig {
+            seed,
+            tenants: 4,
+            templates: 12,
+            theta: 1.0,
+            batch_size: 8,
+            warmup_batches: 8,
+            measure_batches: 48,
+            soak_batches: 8,
+            mix_shift_at: Some(32),
+        }
+    }
+
+    /// Total batches across all three windows.
+    pub fn total_batches(&self) -> usize {
+        self.warmup_batches + self.measure_batches + self.soak_batches
+    }
+}
+
+/// One pre-generated ingest batch.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Global generation-order index (also the worker-assignment key).
+    pub index: usize,
+    /// The tenant this batch belongs to.
+    pub tenant: String,
+    /// Contiguous per-tenant sequence number (generation order).
+    pub seq: u64,
+    /// The `;`-separated SQL script, exactly as POSTed to `/ingest`.
+    pub script: String,
+}
+
+/// Which window a batch index falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Window {
+    /// Before measurement; excluded from stats.
+    Warmup,
+    /// The measurement window.
+    Measure,
+    /// The sustained tail after measurement.
+    Soak,
+}
+
+/// A fully materialized load plan.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// The generating configuration (kept for reporting).
+    pub config: PlanConfig,
+    /// Batches in generation order.
+    pub batches: Vec<Batch>,
+}
+
+impl LoadPlan {
+    /// Materializes the plan for `config`. Pure: same config, same plan,
+    /// byte for byte.
+    ///
+    /// # Panics
+    /// Panics when `tenants`/`templates`/`batch_size` is zero or
+    /// `templates > 22` (TPC-H has 22 templates) — configuration bugs,
+    /// not runtime conditions.
+    pub fn generate(config: &PlanConfig) -> LoadPlan {
+        assert!(config.tenants >= 1, "need at least one tenant");
+        assert!(
+            (1..=22).contains(&config.templates),
+            "templates must be 1..=22, got {}",
+            config.templates
+        );
+        assert!(config.batch_size >= 1, "need at least one statement per batch");
+        let mut rng = DetRng::seeded(config.seed);
+        let tenant_zipf = Zipf::new(config.tenants, config.theta);
+        let template_zipf = Zipf::new(config.templates, config.theta);
+        let mut tenant_seq = vec![0u64; config.tenants];
+        let mut batches = Vec::with_capacity(config.total_batches());
+        for index in 0..config.total_batches() {
+            let tenant_rank = if config.tenants == 1 { 0 } else { tenant_zipf.sample(&mut rng) };
+            let shifted = config.mix_shift_at.is_some_and(|at| index >= at);
+            let mut script = String::new();
+            for _ in 0..config.batch_size {
+                let rank = template_zipf.sample(&mut rng);
+                // The shift reverses the rank→template mapping: the
+                // head-heavy mass lands on templates the pre-shift stream
+                // rarely exercised.
+                let qno = if shifted { config.templates - rank } else { rank + 1 };
+                let sql = instantiate_template(qno, &mut rng);
+                script.push_str(sql.trim_end_matches(';'));
+                script.push_str(";\n");
+            }
+            let tenant = tenant_name(tenant_rank);
+            let seq = tenant_seq[tenant_rank];
+            tenant_seq[tenant_rank] += 1;
+            batches.push(Batch { index, tenant, seq, script });
+        }
+        LoadPlan { config: config.clone(), batches }
+    }
+
+    /// The window batch `index` falls into.
+    pub fn window_of(&self, index: usize) -> Window {
+        if index < self.config.warmup_batches {
+            Window::Warmup
+        } else if index < self.config.warmup_batches + self.config.measure_batches {
+            Window::Measure
+        } else {
+            Window::Soak
+        }
+    }
+
+    /// Total statements across the plan.
+    pub fn total_statements(&self) -> usize {
+        self.batches.len() * self.config.batch_size
+    }
+
+    /// Statements inside the measurement window.
+    pub fn measure_statements(&self) -> usize {
+        self.config.measure_batches * self.config.batch_size
+    }
+
+    /// FNV-1a fingerprint over every batch's `(index, tenant, seq,
+    /// script)` — the replay-identity witness: two plans fingerprint
+    /// equal iff they would put the same bytes on the wire.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for b in &self.batches {
+            eat(&(b.index as u64).to_le_bytes());
+            eat(b.tenant.as_bytes());
+            eat(&b.seq.to_le_bytes());
+            eat(b.script.as_bytes());
+        }
+        h
+    }
+}
+
+/// Tenant name for a Zipf rank: rank 0 is the default tenant (so a
+/// single-tenant plan hits the pre-sharding fast path), higher ranks get
+/// `lt1`, `lt2`, … — names that pass the server's tenant validation.
+pub fn tenant_name(rank: usize) -> String {
+    if rank == 0 {
+        DEFAULT_TENANT.to_string()
+    } else {
+        format!("lt{rank}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan_bit_for_bit() {
+        let cfg = PlanConfig::new(7);
+        let a = LoadPlan::generate(&cfg);
+        let b = LoadPlan::generate(&cfg);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        for (x, y) in a.batches.iter().zip(b.batches.iter()) {
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.seq, y.seq);
+            assert_eq!(x.script, y.script);
+        }
+        let mut other = cfg.clone();
+        other.seed = 8;
+        assert_ne!(
+            LoadPlan::generate(&other).fingerprint(),
+            a.fingerprint(),
+            "a different seed produces a different stream"
+        );
+    }
+
+    #[test]
+    fn per_tenant_seqs_are_contiguous_from_zero() {
+        let plan = LoadPlan::generate(&PlanConfig::new(11));
+        let mut next: std::collections::BTreeMap<&str, u64> = Default::default();
+        for b in &plan.batches {
+            let n = next.entry(b.tenant.as_str()).or_insert(0);
+            assert_eq!(b.seq, *n, "tenant {} jumped its seq stream", b.tenant);
+            *n += 1;
+        }
+        assert!(next.len() > 1, "the default plan exercises several tenants");
+        assert!(next.contains_key("default"), "rank 0 is the default tenant");
+    }
+
+    #[test]
+    fn zipf_mix_is_head_heavy_and_shift_moves_the_mass() {
+        let mut cfg = PlanConfig::new(3);
+        cfg.tenants = 1;
+        cfg.warmup_batches = 0;
+        cfg.measure_batches = 60;
+        cfg.soak_batches = 0;
+        cfg.mix_shift_at = Some(30);
+        let plan = LoadPlan::generate(&cfg);
+        // The most common TPC-H template before the shift must differ
+        // from the most common one after: that is the provoked drift.
+        let head = |batches: &[Batch]| -> String {
+            let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+            for b in batches {
+                for stmt in b.script.split(';') {
+                    let key = stmt.trim();
+                    if !key.is_empty() {
+                        *counts.entry(&key[..key.len().min(40)]).or_default() += 1;
+                    }
+                }
+            }
+            counts.into_iter().max_by_key(|(_, c)| *c).map(|(k, _)| k.to_string()).unwrap()
+        };
+        let before = head(&plan.batches[..30]);
+        let after = head(&plan.batches[30..]);
+        assert_ne!(before, after, "mix shift must change the dominant template");
+    }
+
+    #[test]
+    fn windows_partition_the_plan() {
+        let plan = LoadPlan::generate(&PlanConfig::new(1));
+        let cfg = &plan.config;
+        assert_eq!(plan.window_of(0), Window::Warmup);
+        assert_eq!(plan.window_of(cfg.warmup_batches), Window::Measure);
+        assert_eq!(plan.window_of(cfg.warmup_batches + cfg.measure_batches), Window::Soak);
+        assert_eq!(plan.total_statements(), cfg.total_batches() * cfg.batch_size);
+    }
+}

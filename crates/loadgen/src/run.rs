@@ -1,0 +1,401 @@
+//! Plan execution: a worker pool of keep-alive connections, a concurrent
+//! `/summary` poller, and client-side accounting.
+//!
+//! Batches are assigned to workers round-robin by batch index
+//! (`index % connections`). Because the plan stamps per-tenant `seq`
+//! numbers in generation order, a worker can hit a 503 + `Retry-After: 0`
+//! when it races ahead of a sibling still delivering an earlier `seq` of
+//! the same tenant — that is the server's ordering contract working as
+//! designed, and the worker simply retries. The schedule is
+//! deadlock-free: the lowest-indexed incomplete batch always has every
+//! per-tenant predecessor complete (predecessors have lower indexes), so
+//! its owner can always make progress.
+//!
+//! **Closed loop** sends each batch as soon as the previous one is acked;
+//! latency is measured from the first delivery attempt. **Open loop**
+//! paces each worker to a fixed schedule and measures latency from the
+//! *scheduled* send time, so queueing delay under overload is charged to
+//! the server rather than silently absorbed (no coordinated omission).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use isum_common::Json;
+
+use crate::conn::Conn;
+use crate::hist::LatencyHist;
+use crate::plan::{LoadPlan, Window, DEFAULT_TENANT};
+
+/// How batch sends are paced.
+#[derive(Debug, Clone, Copy)]
+pub enum Mode {
+    /// Send-after-ack: each worker fires its next batch the moment the
+    /// previous one is acknowledged.
+    Closed,
+    /// Paced: each worker schedules its k-th batch at `k / rate` seconds
+    /// and charges latency from the scheduled time.
+    Open {
+        /// Batches per second per connection.
+        batches_per_sec: f64,
+    },
+}
+
+/// Execution knobs (everything about *how* to send; the *what* lives in
+/// the [`LoadPlan`]).
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent keep-alive connections (worker threads).
+    pub connections: usize,
+    /// Pacing mode.
+    pub mode: Mode,
+    /// `k` for the concurrent `GET /summary?k=` poller.
+    pub summary_k: usize,
+    /// Poll interval for the summary thread; `None` disables it.
+    pub summary_poll_ms: Option<u64>,
+    /// Socket read/write timeout.
+    pub timeout: Duration,
+    /// Delivery attempts per batch before the run aborts.
+    pub max_attempts: u32,
+}
+
+impl RunConfig {
+    /// Closed-loop defaults against `addr`: 4 connections, summary k=10
+    /// polled every 50 ms, 30 s socket timeout, 600 attempts.
+    pub fn new(addr: impl Into<String>) -> RunConfig {
+        RunConfig {
+            addr: addr.into(),
+            connections: 4,
+            mode: Mode::Closed,
+            summary_k: 10,
+            summary_poll_ms: Some(50),
+            timeout: Duration::from_secs(30),
+            max_attempts: 600,
+        }
+    }
+}
+
+/// Client-side accounting for one run.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Batches acknowledged with 200.
+    pub acked_batches: u64,
+    /// Statements inside acknowledged batches.
+    pub acked_statements: u64,
+    /// 200 acks the server marked `duplicate` (idempotent redelivery).
+    pub duplicate_acks: u64,
+    /// 429 backpressure responses (each retried).
+    pub retries_429: u64,
+    /// 503 + `Retry-After: 0` ordering stalls (sequencer ahead-of-stream).
+    pub retries_503_ahead: u64,
+    /// Other 503s (drain race, WAL stall, timeout; each retried).
+    pub retries_503_other: u64,
+    /// 5xx statuses outside the documented backpressure vocabulary.
+    pub unexpected_5xx: u64,
+    /// Transport-level request failures that were retried.
+    pub transport_errors: u64,
+    /// Socket re-establishments across all connections.
+    pub reconnects: u64,
+    /// Ingest batch latencies, measurement window only.
+    pub ingest_hist: LatencyHist,
+    /// `/summary` latencies observed by the poller after warmup.
+    pub summary_hist: LatencyHist,
+    /// Wall-clock span of the measurement window in seconds.
+    pub measure_secs: f64,
+    /// Statements ingested inside the measurement window.
+    pub measure_statements: u64,
+    /// The plan fingerprint (replay-identity witness).
+    pub fingerprint: u64,
+}
+
+impl LoadReport {
+    /// Measured ingest throughput in statements per second.
+    pub fn ingest_statements_per_sec(&self) -> f64 {
+        if self.measure_secs > 0.0 {
+            self.measure_statements as f64 / self.measure_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The report as a JSON object (the `bench_load` payload core).
+    pub fn to_json(&self) -> Json {
+        let hist = |h: &LatencyHist| {
+            Json::Obj(vec![
+                ("count".into(), Json::from(h.count())),
+                ("mean_ms".into(), Json::Num(h.mean_ms())),
+                ("p50_ms".into(), Json::Num(h.quantile_ms(0.5))),
+                ("p90_ms".into(), Json::Num(h.quantile_ms(0.9))),
+                ("p99_ms".into(), Json::Num(h.quantile_ms(0.99))),
+                ("max_ms".into(), Json::Num(h.max_ms())),
+            ])
+        };
+        Json::Obj(vec![
+            ("acked_batches".into(), Json::from(self.acked_batches)),
+            ("acked_statements".into(), Json::from(self.acked_statements)),
+            ("duplicate_acks".into(), Json::from(self.duplicate_acks)),
+            ("retries_429".into(), Json::from(self.retries_429)),
+            ("retries_503_ahead".into(), Json::from(self.retries_503_ahead)),
+            ("retries_503_other".into(), Json::from(self.retries_503_other)),
+            ("unexpected_5xx".into(), Json::from(self.unexpected_5xx)),
+            ("transport_errors".into(), Json::from(self.transport_errors)),
+            ("reconnects".into(), Json::from(self.reconnects)),
+            ("measure_secs".into(), Json::Num(self.measure_secs)),
+            ("measure_statements".into(), Json::from(self.measure_statements)),
+            ("ingest_statements_per_sec".into(), Json::Num(self.ingest_statements_per_sec())),
+            ("ingest_latency".into(), hist(&self.ingest_hist)),
+            ("summary_latency".into(), hist(&self.summary_hist)),
+            ("plan_fingerprint".into(), Json::from(format!("{:016x}", self.fingerprint))),
+        ])
+    }
+}
+
+/// Per-worker tally, merged into the [`LoadReport`] after the join.
+#[derive(Debug, Default)]
+struct WorkerTally {
+    acked_batches: u64,
+    acked_statements: u64,
+    duplicate_acks: u64,
+    retries_429: u64,
+    retries_503_ahead: u64,
+    retries_503_other: u64,
+    unexpected_5xx: u64,
+    transport_errors: u64,
+    reconnects: u64,
+    hist: LatencyHist,
+    measure_statements: u64,
+    /// Offsets from run start bracketing this worker's measure window.
+    measure_first_us: Option<u64>,
+    measure_last_us: Option<u64>,
+}
+
+/// `Retry-After` seconds from a raw response, capped at 2 (mirrors the
+/// live client's backoff policy); `None` when absent or unparsable.
+fn retry_after_secs(headers: &[(String, String)]) -> Option<u64> {
+    headers
+        .iter()
+        .find(|(k, _)| k == "retry-after")
+        .and_then(|(_, v)| v.parse::<u64>().ok())
+        .map(|s| s.min(2))
+}
+
+/// Executes `plan` against a live server per `config`.
+///
+/// Returns an error on a fatal response (4xx), on transport failure that
+/// outlives the retry budget, or when the server answers a status the
+/// protocol does not document.
+pub fn run(plan: &LoadPlan, config: &RunConfig) -> Result<LoadReport, String> {
+    assert!(config.connections >= 1, "need at least one connection");
+    let t0 = Instant::now();
+    let warmup_total = config.warmup_batch_count(plan);
+    let completed = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+    let failure: Mutex<Option<String>> = Mutex::new(None);
+    let tallies: Mutex<Vec<WorkerTally>> = Mutex::new(Vec::new());
+    let summary_side: Mutex<(LatencyHist, u64)> = Mutex::new((LatencyHist::new(), 0));
+
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..config.connections)
+            .map(|worker| {
+                let completed = &completed;
+                let done = &done;
+                let failure = &failure;
+                let tallies = &tallies;
+                scope.spawn(move || {
+                    let result = run_worker(plan, config, worker, t0, completed, done);
+                    match result {
+                        Ok(tally) => tallies.lock().expect("tallies").push(tally),
+                        Err(e) => {
+                            let mut slot = failure.lock().expect("failure");
+                            slot.get_or_insert(e);
+                            done.store(true, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        let poller = config.summary_poll_ms.map(|poll_ms| {
+            let completed = &completed;
+            let done = &done;
+            let summary_side = &summary_side;
+            scope.spawn(move || {
+                let mut conn = Conn::new(config.addr.clone(), config.timeout);
+                let target = format!("/summary?k={}", config.summary_k);
+                let mut hist = LatencyHist::new();
+                while !done.load(Ordering::SeqCst) {
+                    let t = Instant::now();
+                    let ok = matches!(conn.request("GET", &target, None, ""), Ok((200, _, _)));
+                    // Record only steady-state samples: after warmup, and
+                    // only successful renders.
+                    if ok && completed.load(Ordering::SeqCst) >= warmup_total {
+                        hist.record_us(t.elapsed().as_micros() as u64);
+                    }
+                    std::thread::sleep(Duration::from_millis(poll_ms));
+                }
+                *summary_side.lock().expect("summary") = (hist, conn.reconnects());
+            })
+        });
+        for handle in workers {
+            let _ = handle.join();
+        }
+        // Workers are drained; release the poller so the scope can close.
+        done.store(true, Ordering::SeqCst);
+        if let Some(handle) = poller {
+            let _ = handle.join();
+        }
+    });
+
+    if let Some(e) = failure.lock().expect("failure").take() {
+        return Err(e);
+    }
+    let mut report = LoadReport { fingerprint: plan.fingerprint(), ..Default::default() };
+    let mut first_us = u64::MAX;
+    let mut last_us = 0u64;
+    for t in tallies.lock().expect("tallies").iter() {
+        report.acked_batches += t.acked_batches;
+        report.acked_statements += t.acked_statements;
+        report.duplicate_acks += t.duplicate_acks;
+        report.retries_429 += t.retries_429;
+        report.retries_503_ahead += t.retries_503_ahead;
+        report.retries_503_other += t.retries_503_other;
+        report.unexpected_5xx += t.unexpected_5xx;
+        report.transport_errors += t.transport_errors;
+        report.reconnects += t.reconnects;
+        report.measure_statements += t.measure_statements;
+        report.ingest_hist.merge(&t.hist);
+        if let Some(us) = t.measure_first_us {
+            first_us = first_us.min(us);
+        }
+        if let Some(us) = t.measure_last_us {
+            last_us = last_us.max(us);
+        }
+    }
+    if last_us > first_us {
+        report.measure_secs = (last_us - first_us) as f64 / 1e6;
+    }
+    let (summary_hist, summary_reconnects) = {
+        let guard = summary_side.lock().expect("summary");
+        (guard.0.clone(), guard.1)
+    };
+    report.summary_hist = summary_hist;
+    report.reconnects += summary_reconnects;
+    Ok(report)
+}
+
+impl RunConfig {
+    /// Batches that must complete before the poller starts recording.
+    fn warmup_batch_count(&self, plan: &LoadPlan) -> usize {
+        plan.config.warmup_batches
+    }
+}
+
+/// One worker: delivers every batch with `index % connections == worker`,
+/// in index order, retrying per the server's backpressure vocabulary.
+fn run_worker(
+    plan: &LoadPlan,
+    config: &RunConfig,
+    worker: usize,
+    t0: Instant,
+    completed: &AtomicUsize,
+    done: &AtomicBool,
+) -> Result<WorkerTally, String> {
+    let mut conn = Conn::new(config.addr.clone(), config.timeout);
+    let mut tally = WorkerTally::default();
+    let mut own_index = 0usize;
+    for batch in plan.batches.iter().filter(|b| b.index % config.connections == worker) {
+        if done.load(Ordering::SeqCst) {
+            break;
+        }
+        let started = match config.mode {
+            Mode::Closed => Instant::now(),
+            Mode::Open { batches_per_sec } => {
+                let scheduled = t0 + Duration::from_secs_f64(own_index as f64 / batches_per_sec);
+                let now = Instant::now();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                scheduled
+            }
+        };
+        own_index += 1;
+        let target = format!("/ingest?seq={}", batch.seq);
+        let tenant =
+            if batch.tenant == DEFAULT_TENANT { None } else { Some(batch.tenant.as_str()) };
+        let mut delivered = false;
+        for _attempt in 0..config.max_attempts {
+            let (status, headers, body) = match conn.request("POST", &target, tenant, &batch.script)
+            {
+                Ok(resp) => resp,
+                Err(e) => {
+                    tally.transport_errors += 1;
+                    if tally.transport_errors > u64::from(config.max_attempts) {
+                        return Err(format!("batch {}: transport failure: {e}", batch.index));
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+            };
+            match status {
+                200 => {
+                    if String::from_utf8_lossy(&body).contains("duplicate") {
+                        tally.duplicate_acks += 1;
+                    }
+                    tally.acked_batches += 1;
+                    tally.acked_statements += plan.config.batch_size as u64;
+                    delivered = true;
+                    break;
+                }
+                429 => {
+                    tally.retries_429 += 1;
+                    let wait = retry_after_secs(&headers).unwrap_or(1);
+                    std::thread::sleep(Duration::from_millis(20 + wait * 150));
+                }
+                503 => {
+                    if retry_after_secs(&headers) == Some(0) {
+                        // Sequencer ordering stall: an earlier seq of this
+                        // tenant is still in flight on a sibling worker.
+                        tally.retries_503_ahead += 1;
+                        std::thread::sleep(Duration::from_millis(1));
+                    } else {
+                        tally.retries_503_other += 1;
+                        let wait = retry_after_secs(&headers).unwrap_or(1);
+                        std::thread::sleep(Duration::from_millis(20 + wait * 150));
+                    }
+                }
+                s if (500..600).contains(&s) => {
+                    tally.unexpected_5xx += 1;
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                s => {
+                    return Err(format!(
+                        "batch {} (tenant {}, seq {}) answered fatal {s}: {}",
+                        batch.index,
+                        batch.tenant,
+                        batch.seq,
+                        String::from_utf8_lossy(&body)
+                    ));
+                }
+            }
+        }
+        if !delivered {
+            return Err(format!(
+                "batch {} not delivered after {} attempts",
+                batch.index, config.max_attempts
+            ));
+        }
+        if plan.window_of(batch.index) == Window::Measure {
+            let acked = Instant::now();
+            tally.hist.record_us(acked.duration_since(started).as_micros() as u64);
+            tally.measure_statements += plan.config.batch_size as u64;
+            let start_us = started.duration_since(t0).as_micros() as u64;
+            let acked_us = acked.duration_since(t0).as_micros() as u64;
+            tally.measure_first_us = Some(tally.measure_first_us.unwrap_or(start_us).min(start_us));
+            tally.measure_last_us = Some(tally.measure_last_us.unwrap_or(0).max(acked_us));
+        }
+        completed.fetch_add(1, Ordering::SeqCst);
+    }
+    tally.reconnects = conn.reconnects();
+    Ok(tally)
+}

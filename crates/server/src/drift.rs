@@ -10,17 +10,38 @@
 //! from history no longer represents what is arriving.
 //!
 //! The tracker is deterministic (pure arithmetic over engine state, no
-//! clocks, no randomness) and **observation-only**: nothing it computes
-//! feeds back into selection, weighting, or checkpoints, so `/summary`
-//! stays byte-identical with drift tracking on, off, or at any window
-//! size. Threshold crossings are edge-triggered — [`DriftSample::crossed`]
-//! is true only on the transition from below to above — which is the
-//! rate limit on the operator-facing `warn!` the server emits (one alert
-//! per excursion, not one per batch).
+//! clocks, no randomness). Under the default `ISUM_DRIFT_ACTION=warn` it
+//! is **observation-only**: nothing it computes feeds back into
+//! selection, weighting, or checkpoints, so `/summary` stays
+//! byte-identical with drift tracking on, off, or at any window size.
+//! Under `ISUM_DRIFT_ACTION=resummarize` a crossing additionally triggers
+//! an adaptive re-summarization of the shard over the recent window (see
+//! `shards::observe_drift`). Threshold crossings are edge-triggered —
+//! [`DriftSample::crossed`] is true only on the transition from below to
+//! above — which is the rate limit on the operator-facing `warn!` the
+//! server emits (one alert per excursion, not one per batch). The
+//! edge-trigger state and window contents serialize into shard snapshots
+//! ([`DriftTracker::snapshot`]) so a restart neither double-fires an
+//! alert already raised nor forgets an excursion in progress.
 
 use std::collections::VecDeque;
 
-use isum_common::TemplateId;
+use isum_common::{hex_bits, unhex_bits, Json, TemplateId};
+
+/// What a shard's sequencer does when the drift score crosses the
+/// threshold (`ISUM_DRIFT_ACTION`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftAction {
+    /// Raise the edge-triggered `warn!` alert only — the default, and
+    /// strictly observation-only (pre-existing behavior, byte-identical).
+    Warn,
+    /// Raise the alert *and* re-summarize the shard over the recent
+    /// window: the engine keeps only the window's statements, so the
+    /// summary adapts to what is arriving now. Runs behind the
+    /// sequencer, so the result is deterministic for a fixed request
+    /// stream.
+    Resummarize,
+}
 
 /// Sliding-window drift detector; one per sequencer thread.
 #[derive(Debug)]
@@ -36,6 +57,15 @@ pub struct DriftTracker {
     /// Whether the last computed score was above the threshold
     /// (edge-trigger state for the rate-limited alert).
     above: bool,
+    /// Set by [`reset_after_resummarize`](Self::reset_after_resummarize):
+    /// the window was just emptied while the engine history was not, so a
+    /// partially refilled window is a noise sample, not a workload
+    /// estimate — tiny windows routinely sit at high total-variation
+    /// distance from any mixed history and would re-fire the alert
+    /// immediately after every rebuild. While set, `on_batch` consumes
+    /// observations but reports no sample until the window refills to
+    /// capacity.
+    refilling: bool,
 }
 
 /// One post-batch drift measurement.
@@ -55,7 +85,14 @@ impl DriftTracker {
     /// of `0` disables tracking ([`on_batch`](Self::on_batch) returns
     /// `None` and consumes nothing).
     pub fn new(window: usize, threshold: f64) -> DriftTracker {
-        DriftTracker { window: VecDeque::new(), cap: window, threshold, seen: 0, above: false }
+        DriftTracker {
+            window: VecDeque::new(),
+            cap: window,
+            threshold,
+            seen: 0,
+            above: false,
+            refilling: false,
+        }
     }
 
     /// True when a nonzero window was configured.
@@ -94,10 +131,78 @@ impl DriftTracker {
             }
             self.window.push_back((t.index(), mass));
         }
+        if self.refilling {
+            if self.window.len() < self.cap {
+                return None;
+            }
+            self.refilling = false;
+        }
         let score = self.score(total_mass);
         let crossed = score > self.threshold && !self.above;
         self.above = score > self.threshold;
         Some(DriftSample { score, window_len: self.window.len(), crossed })
+    }
+
+    /// Serializes the window contents and edge-trigger state for
+    /// embedding in a shard snapshot. Masses carry exact IEEE-754 bit
+    /// patterns so a restore replays scoring bit-identically.
+    pub fn snapshot(&self) -> Json {
+        let window: Vec<Json> = self
+            .window
+            .iter()
+            .map(|&(t, mass)| Json::Arr(vec![Json::from(t), Json::from(hex_bits(mass))]))
+            .collect();
+        Json::Obj(vec![
+            ("window".into(), Json::Arr(window)),
+            ("above".into(), Json::from(self.above)),
+            ("refilling".into(), Json::from(self.refilling)),
+        ])
+    }
+
+    /// Restores window contents and edge-trigger state from a
+    /// [`DriftTracker::snapshot`] document. Best-effort: entries that do
+    /// not parse are skipped and a missing document leaves the tracker
+    /// fresh — drift state is advisory, never worth failing a recovery
+    /// over. Capacity still binds: excess restored entries are dropped
+    /// oldest-first.
+    pub fn restore_state(mut self, snap: &Json) -> DriftTracker {
+        if !self.enabled() {
+            return self;
+        }
+        let obj = snap.as_object().unwrap_or(&[]);
+        let field = |name: &str| obj.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        if let Some(entries) = field("window").and_then(Json::as_array) {
+            for entry in entries {
+                let Some([t, bits]) = entry.as_array().and_then(|a| <&[Json; 2]>::try_from(a).ok())
+                else {
+                    continue;
+                };
+                let (Some(t), Some(mass)) = (t.as_u64(), bits.as_str().and_then(unhex_bits)) else {
+                    continue;
+                };
+                if self.window.len() == self.cap {
+                    self.window.pop_front();
+                }
+                self.window.push_back((t as usize, mass));
+            }
+        }
+        self.above = field("above").and_then(Json::as_bool).unwrap_or(false);
+        self.refilling = field("refilling").and_then(Json::as_bool).unwrap_or(false);
+        self
+    }
+
+    /// Resets the tracker after an adaptive re-summarization: the engine
+    /// history now *is* the recent window, so the window clears, the
+    /// consumption cursor moves to the engine's new observation count,
+    /// and the alert re-arms. Scoring stays suppressed until the window
+    /// has refilled to capacity — a half-refilled window compared against
+    /// the kept history is sampling noise and would re-cross the
+    /// threshold right after every rebuild.
+    pub fn reset_after_resummarize(&mut self, observed: usize) {
+        self.window.clear();
+        self.seen = observed;
+        self.above = false;
+        self.refilling = true;
     }
 
     /// Total variation distance between the window's and the history's
@@ -188,5 +293,80 @@ mod tests {
         let mut d = DriftTracker::new(4, 0.5);
         let s = d.on_batch(&[(t(0), 0.0)], &[0.0]).unwrap();
         assert_eq!(s.score, 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_window_and_edge_trigger() {
+        let mut d = DriftTracker::new(2, 0.4);
+        let total = [1.0, 1.0];
+        // Drive above the threshold so `above` is set, then snapshot.
+        assert!(d.on_batch(&[(t(0), 1.0), (t(0), 1.0)], &total).unwrap().crossed);
+        let snap = d.snapshot();
+        let reparsed = Json::parse(&snap.to_pretty()).expect("snapshot parses");
+
+        let mut restored = DriftTracker::new(2, 0.4).starting_at(d.seen()).restore_state(&reparsed);
+        assert_eq!(restored.seen(), d.seen());
+        // Still above: another above-threshold batch must NOT re-fire.
+        let s = restored.on_batch(&[(t(0), 1.0)], &total).unwrap();
+        assert!(s.score > 0.4 && !s.crossed, "restored edge-trigger suppresses double-fire");
+        // Dropping below re-arms, exactly like the live tracker.
+        let s = restored.on_batch(&[(t(0), 1.0), (t(1), 1.0)], &total).unwrap();
+        assert!(s.score < 0.4 && !s.crossed);
+        assert!(restored.on_batch(&[(t(1), 1.0), (t(1), 1.0)], &total).unwrap().crossed);
+    }
+
+    #[test]
+    fn restore_is_lenient_and_capacity_bounded() {
+        // Garbage documents leave a fresh tracker rather than failing.
+        let fresh = DriftTracker::new(4, 0.5).snapshot().to_pretty();
+        let d = DriftTracker::new(4, 0.5).restore_state(&Json::parse("[1, 2]").unwrap());
+        assert_eq!(d.snapshot().to_pretty(), fresh);
+        let garbage = r#"{"window": [[0], "x", [1, "nothex"]], "above": 3}"#;
+        let d = DriftTracker::new(4, 0.5).restore_state(&Json::parse(garbage).unwrap());
+        assert_eq!(d.snapshot().to_pretty(), fresh);
+
+        // More restored entries than capacity: keep the newest.
+        let mut big = DriftTracker::new(8, 0.5);
+        let _ =
+            big.on_batch(&(0..8).map(|i| (t(i), i as f64 + 1.0)).collect::<Vec<_>>(), &[1.0; 8]);
+        let small = DriftTracker::new(2, 0.5).restore_state(&big.snapshot());
+        let snap = small.snapshot();
+        let window = snap.as_object().unwrap()[0].1.as_array().unwrap();
+        assert_eq!(window.len(), 2, "restore respects the configured capacity");
+        assert_eq!(window[0].as_array().unwrap()[0].as_u64(), Some(6), "newest entries win");
+    }
+
+    #[test]
+    fn reset_after_resummarize_rearms_and_suppresses_until_refilled() {
+        let mut d = DriftTracker::new(2, 0.4);
+        let total = [1.0, 1.0];
+        assert!(d.on_batch(&[(t(0), 1.0), (t(0), 1.0)], &total).unwrap().crossed);
+        d.reset_after_resummarize(7);
+        assert_eq!(d.seen(), 7);
+        let snap = d.snapshot();
+        let window = snap.as_object().unwrap()[0].1.as_array().unwrap();
+        assert!(window.is_empty(), "window clears on reset");
+        // A half-refilled window is noise, not a sample: no score, and in
+        // particular no instant re-fire against the truncated history.
+        assert_eq!(d.on_batch(&[(t(0), 1.0)], &total), None, "suppressed while refilling");
+        assert_eq!(d.seen(), 8, "suppressed batches are still consumed");
+        // Once refilled to capacity, scoring resumes and the re-armed
+        // tracker crosses on a genuine excursion.
+        assert!(d.on_batch(&[(t(0), 1.0)], &total).unwrap().crossed);
+    }
+
+    #[test]
+    fn refill_suppression_survives_a_snapshot_round_trip() {
+        let mut d = DriftTracker::new(4, 0.4);
+        let total = [1.0, 1.0];
+        let _ = d.on_batch(&[(t(0), 1.0); 4], &total);
+        d.reset_after_resummarize(4);
+        let mut restored =
+            DriftTracker::new(4, 0.4).starting_at(d.seen()).restore_state(&d.snapshot());
+        // A checkpoint taken right after a rebuild (forced compaction)
+        // must not turn the refill gap into an instant post-boot re-fire.
+        assert_eq!(restored.on_batch(&[(t(0), 1.0); 3], &total), None, "still refilling");
+        let s = restored.on_batch(&[(t(0), 1.0)], &total).expect("refilled");
+        assert!(s.crossed, "scoring resumes at capacity");
     }
 }

@@ -25,14 +25,19 @@
 //!   "next_seq": <u64>,                     // sequencer high-water mark
 //!   "wal_seq": <u64>,                      // WAL records already folded in
 //!   "statements": [[<sql>, <cost bits>]],  // accepted statements in order
-//!   "isum": { ... } }                      // IncrementalIsum snapshot
+//!   "isum": { ... },                       // IncrementalIsum snapshot
+//!   "drift": { ... } }                     // DriftTracker snapshot (optional)
 //! ```
 //!
 //! `wal_seq` is the per-shard WAL record watermark: recovery replays only
 //! log records with `wal_seq >=` the snapshot's value, so a crash between
 //! snapshot rotation and WAL truncation converges instead of
 //! double-applying. Snapshots written before the WAL existed carry no
-//! `wal_seq` field and restore as watermark 0.
+//! `wal_seq` field and restore as watermark 0. `drift` carries the
+//! sequencer's drift-tracker window and edge-trigger state
+//! ([`crate::drift::DriftTracker::snapshot`]); snapshots written before
+//! drift state was persisted carry no `drift` field and restore a fresh
+//! tracker.
 //!
 //! Costs are serialized as 16-hex-digit IEEE-754 bit patterns
 //! ([`isum_common::hex_bits`]), so a restore rebuilds the observed
@@ -264,35 +269,72 @@ impl Engine {
         ]))
     }
 
+    /// Rebuilds the engine keeping only the most recent `n` observed
+    /// statements — the adaptive re-summarization action behind
+    /// `ISUM_DRIFT_ACTION=resummarize`. Costs were populated at ingest
+    /// time, so the rebuild re-parses and re-binds with the existing
+    /// cost values and never calls the what-if optimizer: for a fixed
+    /// request stream the result is a pure function of the retained
+    /// statements, exactly like a checkpoint restore of those statements.
+    /// Returns the number of statements retained.
+    pub fn resummarize_keep_last(&mut self, n: usize) -> usize {
+        let start = self.workload.len().saturating_sub(n);
+        let kept: Vec<(String, f64)> =
+            self.workload.queries[start..].iter().map(|q| (q.sql.clone(), q.cost)).collect();
+        let catalog = self.workload.catalog.clone();
+        let config = self.isum.config();
+        self.workload = Workload::empty(catalog);
+        self.isum = IncrementalIsum::new(config);
+        for (sql, cost) in &kept {
+            // Each statement already parsed, bound, and observed once, so
+            // failures are unreachable — but stay lenient like ingest.
+            if let Ok(id) = self.workload.push_sql(sql, *cost) {
+                let Engine { workload, isum } = self;
+                if isum.observe(&workload.queries[id.index()], &workload.catalog).is_err() {
+                    workload.queries.pop();
+                }
+            }
+        }
+        count!("server.resummarize");
+        self.workload.len()
+    }
+
     /// Serializes the full engine state plus the sequencer high-water
-    /// mark and the WAL record watermark; see the module docs for the
+    /// mark, the WAL record watermark, and (when present) the drift
+    /// tracker's window/edge-trigger state; see the module docs for the
     /// format.
-    pub fn snapshot(&self, next_seq: u64, wal_seq: u64) -> Json {
+    pub fn snapshot(&self, next_seq: u64, wal_seq: u64, drift: Option<&Json>) -> Json {
         let statements: Vec<Json> = self
             .workload
             .queries
             .iter()
             .map(|q| Json::Arr(vec![Json::from(q.sql.as_str()), Json::from(hex_bits(q.cost))]))
             .collect();
-        Json::Obj(vec![
+        let mut fields = vec![
             ("version".into(), Json::from(1u64)),
             ("next_seq".into(), Json::from(next_seq)),
             ("wal_seq".into(), Json::from(wal_seq)),
             ("statements".into(), Json::Arr(statements)),
             ("isum".into(), self.isum.snapshot()),
-        ])
+        ];
+        if let Some(d) = drift {
+            fields.push(("drift".into(), d.clone()));
+        }
+        Json::Obj(fields)
     }
 
-    /// Rebuilds an engine (plus the sequencer high-water mark and the WAL
-    /// record watermark) from a [`Engine::snapshot`] document. Statements
-    /// are re-parsed and re-bound in order with their checkpointed cost
-    /// bits, and the observer state is restored bit-exactly from its own
-    /// snapshot. A missing `wal_seq` (pre-WAL snapshot) restores as 0.
+    /// Rebuilds an engine (plus the sequencer high-water mark, the WAL
+    /// record watermark, and the checkpointed drift state, if any) from a
+    /// [`Engine::snapshot`] document. Statements are re-parsed and
+    /// re-bound in order with their checkpointed cost bits, and the
+    /// observer state is restored bit-exactly from its own snapshot. A
+    /// missing `wal_seq` (pre-WAL snapshot) restores as 0; a missing
+    /// `drift` field restores as `None` (fresh tracker).
     pub fn restore(
         catalog: Catalog,
         config: IsumConfig,
         snap: &Json,
-    ) -> Result<(Engine, u64, u64)> {
+    ) -> Result<(Engine, u64, u64, Option<Json>)> {
         let corrupt = |what: &str| Error::Io(format!("corrupt server checkpoint: {what}"));
         let obj = snap.as_object().ok_or_else(|| corrupt("not an object"))?;
         let field = |name: &str| obj.iter().find(|(k, _)| k == name).map(|(_, v)| v);
@@ -330,14 +372,21 @@ impl Engine {
                 workload.len()
             )));
         }
-        Ok((Engine { workload, isum }, next_seq, wal_seq))
+        let drift = field("drift").cloned();
+        Ok((Engine { workload, isum }, next_seq, wal_seq, drift))
     }
 
     /// Writes [`Engine::snapshot`] to `path` atomically: the document is
     /// written to `<path>.tmp` and renamed into place, so a crash leaves
     /// either the previous checkpoint or the new one, never a torn file.
-    pub fn checkpoint_to(&self, path: &Path, next_seq: u64, wal_seq: u64) -> Result<()> {
-        let doc = self.snapshot(next_seq, wal_seq).to_pretty();
+    pub fn checkpoint_to(
+        &self,
+        path: &Path,
+        next_seq: u64,
+        wal_seq: u64,
+        drift: Option<&Json>,
+    ) -> Result<()> {
+        let doc = self.snapshot(next_seq, wal_seq, drift).to_pretty();
         let tmp = path.with_extension("json.tmp");
         std::fs::write(&tmp, doc)?;
         std::fs::rename(&tmp, path)?;
@@ -351,7 +400,7 @@ impl Engine {
         catalog: Catalog,
         config: IsumConfig,
         path: &Path,
-    ) -> Result<(Engine, u64, u64)> {
+    ) -> Result<(Engine, u64, u64, Option<Json>)> {
         let text = std::fs::read_to_string(path)?;
         let snap =
             Json::parse(&text).map_err(|e| Error::Io(format!("corrupt server checkpoint: {e}")))?;
@@ -448,13 +497,15 @@ mod tests {
     fn checkpoint_round_trip_is_bit_exact() {
         let mut engine = Engine::new(catalog(), IsumConfig::isum());
         engine.apply_script(&script(9));
-        let snap = engine.snapshot(4, 17);
+        let drift_state = Json::Obj(vec![("above".into(), Json::from(true))]);
+        let snap = engine.snapshot(4, 17, Some(&drift_state));
         let reparsed = Json::parse(&snap.to_pretty()).expect("snapshot parses");
-        let (restored, next_seq, wal_seq) =
+        let (restored, next_seq, wal_seq, drift) =
             Engine::restore(catalog(), IsumConfig::isum(), &reparsed).expect("restores");
         assert_eq!(next_seq, 4);
         assert_eq!(wal_seq, 17);
         assert_eq!(restored.observed(), 9);
+        assert_eq!(drift.as_ref().map(Json::to_pretty), Some(drift_state.to_pretty()));
         assert_eq!(
             restored.summary_json(4).unwrap().to_pretty(),
             engine.summary_json(4).unwrap().to_pretty(),
@@ -462,17 +513,21 @@ mod tests {
         );
 
         // Snapshots written before the WAL existed carry no `wal_seq`
-        // field and restore with watermark 0, not an error.
-        let legacy = snap
+        // field and restore with watermark 0, not an error. The same
+        // compatibility holds for the optional `drift` field: a snapshot
+        // without one restores drift state `None`.
+        let legacy = engine
+            .snapshot(4, 17, None)
             .to_pretty()
             .lines()
             .filter(|l| !l.trim_start().starts_with("\"wal_seq\""))
             .collect::<Vec<_>>()
             .join("\n");
         let legacy = Json::parse(&legacy).expect("legacy doc parses");
-        let (_, next_seq, wal_seq) =
+        let (_, next_seq, wal_seq, drift) =
             Engine::restore(catalog(), IsumConfig::isum(), &legacy).expect("legacy restores");
         assert_eq!((next_seq, wal_seq), (4, 0));
+        assert!(drift.is_none(), "no drift field restores as None");
     }
 
     #[test]
@@ -488,6 +543,31 @@ mod tests {
                 Engine::restore(catalog(), IsumConfig::isum(), &snap).err().expect("must fail");
             assert!(err.to_string().contains("corrupt"), "{bad} -> {err}");
         }
+    }
+
+    #[test]
+    fn resummarize_keeps_suffix_bit_identically() {
+        let mut engine = Engine::new(catalog(), IsumConfig::isum());
+        engine.apply_script(&script(12));
+        let kept = engine.resummarize_keep_last(5);
+        assert_eq!(kept, 5);
+        assert_eq!(engine.observed(), 5);
+
+        // The rebuilt engine must summarize exactly like an engine that
+        // only ever saw the retained suffix (statements 7..12).
+        let suffix: String = (7..12)
+            .map(|i| format!("SELECT id FROM t WHERE grp = {} AND v > {};\n", i % 7, i * 3))
+            .collect();
+        let mut reference = Engine::new(catalog(), IsumConfig::isum());
+        reference.apply_script(&suffix);
+        assert_eq!(
+            engine.summary_json(3).unwrap().to_pretty(),
+            reference.summary_json(3).unwrap().to_pretty(),
+            "resummarized engine == fresh engine over the suffix"
+        );
+
+        // Keeping more than observed keeps everything.
+        assert_eq!(engine.resummarize_keep_last(100), 5);
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Minimal HTTP/1.1 framing over blocking `std::net` streams.
 //!
-//! The daemon speaks just enough HTTP for its wire API: one request per
-//! connection (`Connection: close`), `Content-Length`-delimited bodies,
-//! and percent-encoded query strings. No chunked transfer, no keep-alive,
-//! no TLS — the service fronts an in-process engine on a trusted network,
-//! and every byte of framing here is code we can test without a dependency.
+//! The daemon speaks just enough HTTP for its wire API:
+//! `Content-Length`-delimited bodies, percent-encoded query strings, and
+//! HTTP/1.1 persistent connections (a client sending `Connection: close`
+//! — as [`crate::Client`] does — gets the old one-request-per-connection
+//! behavior). No chunked transfer, no pipelining, no TLS — the service
+//! fronts an in-process engine on a trusted network, and every byte of
+//! framing here is code we can test without a dependency.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -31,6 +33,11 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body (`Content-Length` bytes).
     pub body: Vec<u8>,
+    /// Whether the connection may be reused after this exchange:
+    /// HTTP/1.1 defaults to keep-alive unless the client sent
+    /// `Connection: close`; HTTP/1.0 requires an explicit
+    /// `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -68,6 +75,7 @@ impl Request {
         if !version.starts_with("HTTP/1.") {
             return Ok(Err((400, format!("unsupported protocol `{version}`"))));
         }
+        let http10 = version == "HTTP/1.0";
         let method = method.to_ascii_uppercase();
         let (path, query) = match target.split_once('?') {
             Some((p, q)) => (p.to_string(), parse_query(q)),
@@ -77,6 +85,7 @@ impl Request {
         let mut headers = Vec::new();
         let mut content_length: usize = 0;
         let mut expect_continue = false;
+        let mut keep_alive = !http10;
         let mut head_bytes = line.len();
         loop {
             line.clear();
@@ -102,6 +111,13 @@ impl Request {
                     Err(_) => return Ok(Err((400, format!("bad Content-Length `{value}`")))),
                 },
                 "expect" if value.eq_ignore_ascii_case("100-continue") => expect_continue = true,
+                "connection" => {
+                    if value.eq_ignore_ascii_case("close") {
+                        keep_alive = false;
+                    } else if value.eq_ignore_ascii_case("keep-alive") {
+                        keep_alive = true;
+                    }
+                }
                 _ => {}
             }
             headers.push((name, value));
@@ -115,7 +131,7 @@ impl Request {
         }
         let mut body = vec![0u8; content_length];
         reader.read_exact(&mut body)?;
-        Ok(Ok(Request { method, path, query, headers, body }))
+        Ok(Ok(Request { method, path, query, headers, body, keep_alive }))
     }
 }
 
@@ -221,16 +237,50 @@ impl Response {
 
     /// Serializes the response onto `w` with `Connection: close` framing.
     pub fn write(&self, w: &mut impl Write) -> io::Result<()> {
+        self.write_framed(w, false)
+    }
+
+    /// Serializes the response onto `w`, advertising `Connection:
+    /// keep-alive` or `Connection: close` per `keep_alive`. Bodies are
+    /// always `Content-Length`-delimited, so the frame is identical
+    /// either way apart from the `Connection` header.
+    pub fn write_framed(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
         write!(w, "HTTP/1.1 {} {}\r\n", self.status, status_text(self.status))?;
         write!(w, "Content-Type: {}\r\n", self.content_type)?;
         write!(w, "Content-Length: {}\r\n", self.body.len())?;
         for (name, value) in &self.headers {
             write!(w, "{name}: {value}\r\n")?;
         }
-        w.write_all(b"Connection: close\r\n\r\n")?;
+        let conn: &[u8] = if keep_alive {
+            b"Connection: keep-alive\r\n\r\n"
+        } else {
+            b"Connection: close\r\n\r\n"
+        };
+        w.write_all(conn)?;
         w.write_all(&self.body)?;
         w.flush()
     }
+}
+
+/// Process-global call counter feeding [`retry_after_value`].
+static RETRY_JITTER_CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The `Retry-After` value for a retryable 429/503: `base` plus a
+/// bounded jitter of 0 or 1 seconds, so a herd of concurrent connections
+/// told to back off does not return in lockstep. The jitter is a pure
+/// function (a SplitMix64 bit-mix) of a process-global call counter — no
+/// clocks, no OS randomness — so a fixed request sequence produces a
+/// fixed jitter sequence and seeded fault tests stay reproducible.
+/// Protocol-speed retry sites (`Retry-After: 0` on ahead-of-stream and
+/// injected-fault responses) do not jitter: their retries are the
+/// convergence mechanism, not a thundering herd.
+pub(crate) fn retry_after_value(base: u64) -> String {
+    let n = RETRY_JITTER_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut z = n.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (base + (z & 1)).to_string()
 }
 
 /// Canonical reason phrases for the status codes the daemon emits.
@@ -335,6 +385,27 @@ mod tests {
         assert!(text.contains("Content-Length: 3\r\n"), "{text}");
         assert!(text.contains("Retry-After: 1\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\nhi\n"), "{text}");
+    }
+
+    #[test]
+    fn keep_alive_frames_advertise_reuse() {
+        let mut buf = Vec::new();
+        Response::text(200, "hi").write_framed(&mut buf, true).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(!text.contains("Connection: close"), "{text}");
+
+        let mut buf = Vec::new();
+        Response::text(200, "hi").write_framed(&mut buf, false).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+    }
+
+    #[test]
+    fn retry_after_jitter_stays_in_bounds_and_varies() {
+        let draws: Vec<u64> = (0..128).map(|_| retry_after_value(1).parse().unwrap()).collect();
+        assert!(draws.iter().all(|&v| v == 1 || v == 2), "jitter is bounded to base..=base+1");
+        assert!(draws.iter().any(|&v| v == 1) && draws.iter().any(|&v| v == 2), "jitter varies");
     }
 
     #[test]

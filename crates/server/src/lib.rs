@@ -34,8 +34,22 @@
 //! Error statuses follow the [`isum_common::IsumError`] taxonomy:
 //! Transient → 503 (+`Retry-After`), Permanent → 400, Budget → 429. A
 //! full ingest queue answers 429 with `Retry-After` — backpressure, not
-//! a dropped connection. Malformed query parameters answer a typed 400
-//! whose body names the parameter (`{"error", "param", "status"}`).
+//! a dropped connection. Retryable `Retry-After` values carry a bounded
+//! deterministic jitter (base or base+1 seconds) so concurrent clients
+//! told to back off do not return in lockstep. Malformed query
+//! parameters answer a typed 400 whose body names the parameter
+//! (`{"error", "param", "status"}`).
+//!
+//! Connections are HTTP/1.1 persistent: a client may issue any number of
+//! requests over one socket (`crates/loadgen` does), and `Connection:
+//! close` restores the one-request-per-connection behavior.
+//!
+//! Workload drift (template-distribution divergence between the recent
+//! window and the summarized history) is scored after every applied
+//! batch. `ISUM_DRIFT_ACTION=warn` (default) only raises the
+//! edge-triggered alert; `ISUM_DRIFT_ACTION=resummarize` additionally
+//! re-summarizes the shard over the recent window, behind the sequencer,
+//! so the adaptation is deterministic for a fixed request stream.
 //!
 //! # Guarantees
 //!
@@ -71,7 +85,8 @@ mod shards;
 mod wal;
 
 pub use client::{ApiResponse, Client};
+pub use drift::DriftAction;
 pub use engine::{summary_to_json, Engine, IngestOutcome};
-pub use http::{Request, Response};
+pub use http::{read_response, RawResponse, Request, Response};
 pub use server::{install_signal_handlers, signal_pending, Server, ServerConfig};
 pub use shards::{validate_tenant, ShardMode, DEFAULT_TENANT};

@@ -59,7 +59,8 @@ use isum_common::trace::{self, Level};
 use isum_common::{count, hex_bits, telemetry, IsumError, Json};
 use isum_core::IsumConfig;
 
-use crate::http::{Request, Response};
+use crate::drift::DriftAction;
+use crate::http::{retry_after_value, Request, Response};
 use crate::shards::{
     unix_ms, validate_tenant, Shard, ShardCtx, ShardMode, ShardRouter, DEFAULT_TENANT,
     UNSEQ_KEY_BASE,
@@ -90,6 +91,11 @@ pub struct ServerConfig {
     /// Drift score above which a shard's sequencer emits its
     /// (edge-triggered) `warn!` alert.
     pub drift_threshold: f64,
+    /// What a threshold crossing does beyond the alert: warn only (the
+    /// default — strictly observation-only, pre-existing behavior) or
+    /// adaptively re-summarize the shard over the recent window
+    /// (`ISUM_DRIFT_ACTION=resummarize`).
+    pub drift_action: DriftAction,
     /// Shard layout: per-tenant shards (default) or `n` hash-routed
     /// shards (`ISUM_SHARDS` / `--shards`).
     pub shards: ShardMode,
@@ -119,6 +125,7 @@ impl ServerConfig {
             apply_delay: Duration::ZERO,
             drift_window: 256,
             drift_threshold: 0.5,
+            drift_action: DriftAction::Warn,
             shards: ShardMode::Tenant,
             max_tenants: 64,
             wal_compact_every: 64,
@@ -127,11 +134,12 @@ impl ServerConfig {
     }
 
     /// Applies the drift environment knobs: `ISUM_DRIFT_WINDOW`
-    /// (observations, `0` disables) and `ISUM_DRIFT_THRESHOLD` (score in
-    /// `[0, 1]`). Malformed values are reported as `warn!` events and
-    /// ignored, never fatal. Called by the daemon entry points (`isum
-    /// serve`, `bench_serve`) rather than [`ServerConfig::new`] so tests
-    /// stay independent of the ambient environment.
+    /// (observations, `0` disables), `ISUM_DRIFT_THRESHOLD` (score in
+    /// `[0, 1]`), and `ISUM_DRIFT_ACTION` (`warn` | `resummarize`).
+    /// Malformed values are reported as `warn!` events and ignored,
+    /// never fatal. Called by the daemon entry points (`isum serve`,
+    /// `bench_serve`) rather than [`ServerConfig::new`] so tests stay
+    /// independent of the ambient environment.
     pub fn apply_drift_env(mut self) -> ServerConfig {
         if let Ok(v) = std::env::var("ISUM_DRIFT_WINDOW") {
             match v.parse::<usize>() {
@@ -148,6 +156,16 @@ impl ServerConfig {
                 _ => isum_common::warn!(
                     "server.drift",
                     format!("ignoring malformed ISUM_DRIFT_THRESHOLD `{v}` (want 0..=1)")
+                ),
+            }
+        }
+        if let Ok(v) = std::env::var("ISUM_DRIFT_ACTION") {
+            match v.as_str() {
+                "warn" => self.drift_action = DriftAction::Warn,
+                "resummarize" => self.drift_action = DriftAction::Resummarize,
+                _ => isum_common::warn!(
+                    "server.drift",
+                    format!("ignoring malformed ISUM_DRIFT_ACTION `{v}` (want warn | resummarize)")
                 ),
             }
         }
@@ -213,6 +231,7 @@ struct Shared {
     checkpoint_configured: bool,
     drift_window: usize,
     drift_threshold: f64,
+    drift_action: DriftAction,
     isum: IsumConfig,
 }
 
@@ -246,6 +265,7 @@ impl Server {
             apply_delay: config.apply_delay,
             drift_window: config.drift_window,
             drift_threshold: config.drift_threshold,
+            drift_action: config.drift_action,
             mode: config.shards,
             max_tenants: config.max_tenants.max(1),
             wal_compact_every: config.wal_compact_every.max(1),
@@ -259,6 +279,7 @@ impl Server {
             checkpoint_configured: config.checkpoint.is_some(),
             drift_window: config.drift_window,
             drift_threshold: config.drift_threshold,
+            drift_action: config.drift_action,
             isum: config.isum,
         });
 
@@ -311,6 +332,12 @@ fn serve_loop(listener: TcpListener, shared: Arc<Shared>) {
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     count!("server.connections");
+                    // Responses are written headers-then-body on a socket
+                    // that stays open (keep-alive): without TCP_NODELAY,
+                    // Nagle holds the tail segment for the peer's delayed
+                    // ACK — a flat ~40 ms stall on every persistent-
+                    // connection request.
+                    let _ = stream.set_nodelay(true);
                     let shared = Arc::clone(&shared);
                     if pool.threads() > 1 {
                         s.spawn_labeled("server.conn", move || handle_connection(stream, &shared));
@@ -376,66 +403,82 @@ fn request_id_for(req: &Request) -> String {
     }
 }
 
-/// Handles one connection end to end. Panics inside routing are caught
-/// here (before the exec scope can see them) and answered with a 500, so
-/// one poisoned request can neither kill a worker nor crash shutdown.
-/// Every response — including parse failures, backpressure, and panic
-/// quarantines — carries an `X-Isum-Request-Id`, and every non-2xx path
-/// emits an event under that ID so `/events` can attribute it.
+/// Handles one connection end to end — a loop, because connections are
+/// HTTP/1.1 persistent: requests are served until the client closes,
+/// sends `Connection: close`, the idle read times out, or shutdown
+/// begins (the final response advertises `Connection: close` so drain
+/// cannot be held open by an aggressive keep-alive client). Panics
+/// inside routing are caught here (before the exec scope can see them)
+/// and answered with a 500, so one poisoned request can neither kill a
+/// worker nor crash shutdown. Every response — including parse failures,
+/// backpressure, and panic quarantines — carries an
+/// `X-Isum-Request-Id`, and every non-2xx path emits an event under
+/// that ID so `/events` can attribute it.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let req = match Request::read(&stream) {
-        Err(_) => return, // peer vanished; nobody to answer
-        Ok(Err((status, msg))) => {
-            count!("server.http_errors");
-            let rid = trace::next_request_id();
-            let _rid = trace::with_request_id(&rid);
-            isum_common::warn!("server.conn", format!("malformed request: {msg}"), status = status);
-            let mut w = &stream;
-            let _ =
-                Response::error(status, &msg).with_header("X-Isum-Request-Id", &rid).write(&mut w);
+    loop {
+        let req = match Request::read(&stream) {
+            Err(_) => return, // peer vanished or went idle; nobody to answer
+            Ok(Err((status, msg))) => {
+                count!("server.http_errors");
+                let rid = trace::next_request_id();
+                let _rid = trace::with_request_id(&rid);
+                isum_common::warn!(
+                    "server.conn",
+                    format!("malformed request: {msg}"),
+                    status = status
+                );
+                let mut w = &stream;
+                let _ = Response::error(status, &msg)
+                    .with_header("X-Isum-Request-Id", &rid)
+                    .write(&mut w);
+                return;
+            }
+            Ok(Ok(req)) => req,
+        };
+        count!("server.requests");
+        let rid = request_id_for(&req);
+        let _rid = trace::with_request_id(&rid);
+        let resp = match catch_unwind(AssertUnwindSafe(|| route(&req, shared))) {
+            Ok(resp) => resp,
+            Err(payload) => {
+                count!("server.panics");
+                count!("faults.quarantined");
+                let msg = payload
+                    .downcast_ref::<&'static str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".into());
+                isum_common::error!(
+                    "server.conn",
+                    format!("request handler panicked: {msg}"),
+                    method = req.method,
+                    path = req.path
+                );
+                Response::error(500, &format!("request handler panicked: {msg}"))
+            }
+        };
+        if resp.status >= 400 {
+            isum_common::warn!(
+                "server.conn",
+                format!("{} {} failed", req.method, req.path),
+                status = resp.status
+            );
+        } else {
+            isum_common::debug!(
+                "server.conn",
+                format!("{} {}", req.method, req.path),
+                status = resp.status
+            );
+        }
+        let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+        let mut w = &stream;
+        let written = resp.with_header("X-Isum-Request-Id", &rid).write_framed(&mut w, keep_alive);
+        if written.is_err() || !keep_alive {
             return;
         }
-        Ok(Ok(req)) => req,
-    };
-    count!("server.requests");
-    let rid = request_id_for(&req);
-    let _rid = trace::with_request_id(&rid);
-    let resp = match catch_unwind(AssertUnwindSafe(|| route(&req, shared))) {
-        Ok(resp) => resp,
-        Err(payload) => {
-            count!("server.panics");
-            count!("faults.quarantined");
-            let msg = payload
-                .downcast_ref::<&'static str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "<non-string panic payload>".into());
-            isum_common::error!(
-                "server.conn",
-                format!("request handler panicked: {msg}"),
-                method = req.method,
-                path = req.path
-            );
-            Response::error(500, &format!("request handler panicked: {msg}"))
-        }
-    };
-    if resp.status >= 400 {
-        isum_common::warn!(
-            "server.conn",
-            format!("{} {} failed", req.method, req.path),
-            status = resp.status
-        );
-    } else {
-        isum_common::debug!(
-            "server.conn",
-            format!("{} {}", req.method, req.path),
-            status = resp.status
-        );
     }
-    let mut w = &stream;
-    let _ = resp.with_header("X-Isum-Request-Id", &rid).write(&mut w);
 }
 
 /// The tenant a request addresses: the `tenant` query parameter when
@@ -601,13 +644,10 @@ fn route(req: &Request, shared: &Shared) -> Response {
             };
             match resolve_read_shard(shared, spec) {
                 Err(resp) => resp,
-                Ok(Some(shard)) => {
-                    let engine = lock_engine(&shard);
-                    match engine.summary_json(k) {
-                        Ok(body) => Response::json(200, &body),
-                        Err(e) => error_response(e.into()),
-                    }
-                }
+                Ok(Some(shard)) => match shard.summary_json_cached(k) {
+                    Ok(body) => Response::json(200, &body),
+                    Err(e) => error_response(e.into()),
+                },
                 Ok(None) => merged_summary_response(shared, k),
             }
         }
@@ -837,6 +877,15 @@ fn status_response(shared: &Shared, k_param: Option<usize>) -> Response {
         let window_len: u64 =
             shards.iter().map(|s| s.cells.drift_window_len.load(Ordering::Relaxed)).sum();
         let alerts: u64 = shards.iter().map(|s| s.cells.drift_alerts.load(Ordering::Relaxed)).sum();
+        let resummarizes: u64 =
+            shards.iter().map(|s| s.cells.resummarizes.load(Ordering::Relaxed)).sum();
+        let resummarize_ms: u64 =
+            shards.iter().map(|s| s.cells.resummarize_total_ms.load(Ordering::Relaxed)).sum();
+        let last_resummarize = shards
+            .iter()
+            .map(|s| s.cells.last_resummarize_unix_ms.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0);
         Json::Obj(vec![
             ("enabled".into(), Json::from(enabled)),
             ("window".into(), Json::from(shared.drift_window)),
@@ -844,6 +893,19 @@ fn status_response(shared: &Shared, k_param: Option<usize>) -> Response {
             ("threshold".into(), Json::from(shared.drift_threshold)),
             ("score".into(), if ppm < 0 { Json::Null } else { Json::from(ppm as f64 / 1e6) }),
             ("alerts".into(), Json::from(alerts)),
+            (
+                "action".into(),
+                Json::from(match shared.drift_action {
+                    DriftAction::Warn => "warn",
+                    DriftAction::Resummarize => "resummarize",
+                }),
+            ),
+            ("resummarizes".into(), Json::from(resummarizes)),
+            ("resummarize_ms".into(), Json::from(resummarize_ms)),
+            (
+                "last_resummarize_unix_ms".into(),
+                if last_resummarize == 0 { Json::Null } else { Json::from(last_resummarize) },
+            ),
         ])
     };
     let spans = if telemetry::enabled() {
@@ -906,6 +968,10 @@ fn status_response(shared: &Shared, k_param: Option<usize>) -> Response {
                             Json::from(s.cells.drift_window_len.load(Ordering::Relaxed)),
                         ),
                         ("alerts".into(), Json::from(s.cells.drift_alerts.load(Ordering::Relaxed))),
+                        (
+                            "resummarizes".into(),
+                            Json::from(s.cells.resummarizes.load(Ordering::Relaxed)),
+                        ),
                     ]),
                 ),
             ])
@@ -955,7 +1021,7 @@ fn error_response(e: IsumError) -> Response {
         ]),
     );
     if status == 503 || status == 429 {
-        resp.with_header("Retry-After", "1")
+        resp.with_header("Retry-After", &retry_after_value(1))
     } else {
         resp
     }
@@ -1054,12 +1120,15 @@ mod tests {
         // The taxonomy path (Budget → 429, Transient → 503) and the
         // queue-full path must agree: a retryable status always tells the
         // client when to come back.
+        // Retryable values carry bounded jitter: base 1 second plus at
+        // most one more, never less, never unbounded.
+        let retryable = |v: Option<&str>| matches!(v, Some("1") | Some("2"));
         let budget = error_response(IsumError::budget("what-if budget exhausted"));
         assert_eq!(budget.status, 429);
-        assert_eq!(header(&budget, "Retry-After"), Some("1"));
+        assert!(retryable(header(&budget, "Retry-After")), "{:?}", header(&budget, "Retry-After"));
         let transient = error_response(IsumError::transient("flake"));
         assert_eq!(transient.status, 503);
-        assert_eq!(header(&transient, "Retry-After"), Some("1"));
+        assert!(retryable(header(&transient, "Retry-After")));
         let permanent = error_response(IsumError::permanent("bad input"));
         assert_eq!(permanent.status, 400);
         assert_eq!(header(&permanent, "Retry-After"), None, "400 is not retryable");
@@ -1100,12 +1169,25 @@ mod tests {
 
         std::env::set_var("ISUM_DRIFT_WINDOW", "not-a-number");
         std::env::set_var("ISUM_DRIFT_THRESHOLD", "1.5"); // outside 0..=1
-        let kept = ServerConfig::new(catalog).apply_drift_env();
+        let kept = ServerConfig::new(catalog.clone()).apply_drift_env();
         assert_eq!(kept.drift_window, 256, "garbage is ignored, not applied");
         assert_eq!(kept.drift_threshold, 0.5);
 
         std::env::remove_var("ISUM_DRIFT_WINDOW");
         std::env::remove_var("ISUM_DRIFT_THRESHOLD");
+
+        std::env::remove_var("ISUM_DRIFT_ACTION");
+        let base = ServerConfig::new(catalog.clone()).apply_drift_env();
+        assert_eq!(base.drift_action, DriftAction::Warn, "warn-only is the default");
+        std::env::set_var("ISUM_DRIFT_ACTION", "resummarize");
+        let adaptive = ServerConfig::new(catalog.clone()).apply_drift_env();
+        assert_eq!(adaptive.drift_action, DriftAction::Resummarize);
+        for garbage in ["RESUMMARIZE", "panic", ""] {
+            std::env::set_var("ISUM_DRIFT_ACTION", garbage);
+            let kept = ServerConfig::new(catalog.clone()).apply_drift_env();
+            assert_eq!(kept.drift_action, DriftAction::Warn, "`{garbage}` is ignored, not applied");
+        }
+        std::env::remove_var("ISUM_DRIFT_ACTION");
     }
 
     #[test]

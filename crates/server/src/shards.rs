@@ -62,9 +62,9 @@ use isum_common::{count, telemetry, Json};
 use isum_core::{merge_partials, IsumConfig, MergedWorkload};
 use isum_workload::split_script;
 
-use crate::drift::DriftTracker;
+use crate::drift::{DriftAction, DriftTracker};
 use crate::engine::Engine;
-use crate::http::Response;
+use crate::http::{retry_after_value, Response};
 use crate::wal::{self, FsyncHist, WalWriter};
 
 /// Marker bit for fault-injection keys of unsequenced batches, so they
@@ -116,6 +116,9 @@ pub(crate) struct ShardCtx {
     pub apply_delay: Duration,
     pub drift_window: usize,
     pub drift_threshold: f64,
+    /// What a drift threshold crossing does beyond the alert: warn only
+    /// (the default) or re-summarize the shard over the recent window.
+    pub drift_action: DriftAction,
     pub mode: ShardMode,
     pub max_tenants: usize,
     /// Compact (write a snapshot + truncate the WAL) after this many
@@ -146,6 +149,16 @@ pub(crate) struct ShardCells {
     pub drift_window_len: AtomicU64,
     /// Threshold crossings since startup.
     pub drift_alerts: AtomicU64,
+    /// Monotone engine-state version: bumped on every apply and every
+    /// re-summarization. The `/summary` render cache keys on it, so any
+    /// state change invalidates cached documents without coordination.
+    pub state_version: AtomicU64,
+    /// Drift-triggered re-summarizations since startup.
+    pub resummarizes: AtomicU64,
+    /// Total wall-clock ms spent re-summarizing since startup.
+    pub resummarize_total_ms: AtomicU64,
+    /// Wall-clock ms of the last re-summarization; `0` = never.
+    pub last_resummarize_unix_ms: AtomicU64,
     /// WAL record watermark: the `wal_seq` the next append gets.
     pub wal_seq: AtomicU64,
     /// Current WAL file length in bytes (header included).
@@ -174,11 +187,41 @@ pub(crate) struct Shard {
     ingest: Mutex<Option<SyncSender<ShardJob>>>,
     pub cells: ShardCells,
     pub checkpoint: Option<PathBuf>,
+    /// Rendered `/summary` cache: `(state_version, k, document)`. One
+    /// entry suffices — pollers overwhelmingly ask for one `k` — and the
+    /// version key makes staleness impossible: any ingest or
+    /// re-summarization bumps `state_version`, so the next read recomputes.
+    summary_cache: Mutex<Option<(u64, usize, Json)>>,
     /// XOR-folded into fault-injection keys so distinct tenants draw
     /// independent deterministic fault decisions. `0` for the default
     /// tenant, keeping its keys equal to bare `seq` numbers (the contract
     /// the fault-injection suite pins).
     fault_salt: u64,
+}
+
+impl Shard {
+    /// Answers `GET /summary` for this shard, reusing the cached rendered
+    /// document when the engine has not changed since it was built. The
+    /// engine lock is held across the version read and the (re)render, so
+    /// a concurrent apply cannot publish a version the cached document
+    /// does not reflect.
+    pub(crate) fn summary_json_cached(&self, k: usize) -> isum_common::Result<Json> {
+        let engine = lock(&self.engine);
+        let version = self.cells.state_version.load(Ordering::Acquire);
+        {
+            let cache = lock(&self.summary_cache);
+            if let Some((v, ck, doc)) = cache.as_ref() {
+                if *v == version && *ck == k {
+                    count!("server.summary.cache_hits");
+                    return Ok(doc.clone());
+                }
+            }
+        }
+        count!("server.summary.cache_misses");
+        let doc = engine.summary_json(k)?;
+        *lock(&self.summary_cache) = Some((version, k, doc.clone()));
+        Ok(doc)
+    }
 }
 
 /// One queued unit of shard work.
@@ -355,7 +398,7 @@ impl ShardRouter {
                     Err(TrySendError::Full(_)) => {
                         count!("server.backpressure");
                         return Response::error(429, "ingest queue is full; retry shortly")
-                            .with_header("Retry-After", "1");
+                            .with_header("Retry-After", &retry_after_value(1));
                     }
                     Err(TrySendError::Disconnected(_)) => {
                         return Response::error(503, "server is shutting down");
@@ -380,7 +423,7 @@ impl ShardRouter {
                     Err(TrySendError::Full(_)) => {
                         count!("server.backpressure");
                         return Response::error(429, "ingest queue is full; retry shortly")
-                            .with_header("Retry-After", "1");
+                            .with_header("Retry-After", &retry_after_value(1));
                     }
                     Err(TrySendError::Disconnected(_)) => {
                         return Response::error(503, "server is shutting down");
@@ -397,7 +440,7 @@ impl ShardRouter {
                     503,
                     "batch not applied within the ingest timeout; retry with the same seq",
                 )
-                .with_header("Retry-After", "1")
+                .with_header("Retry-After", &retry_after_value(1))
             }
         }
     }
@@ -416,11 +459,11 @@ impl ShardRouter {
                     self.ctx.max_tenants
                 ),
             )
-            .with_header("Retry-After", "1"));
+            .with_header("Retry-After", &retry_after_value(1)));
         }
         self.create_shard(tenant).map_err(|e| {
             Response::error(503, &format!("could not create shard for tenant: {e}"))
-                .with_header("Retry-After", "1")
+                .with_header("Retry-After", &retry_after_value(1))
         })
     }
 
@@ -434,7 +477,8 @@ impl ShardRouter {
         }
         let ctx = &self.ctx;
         let checkpoint = ctx.checkpoint.as_ref().map(|stem| checkpoint_path_for(stem, name));
-        let (engine, next_seq, wal_writer) = recover_shard_state(ctx, name, checkpoint.as_ref())?;
+        let (engine, next_seq, wal_writer, drift) =
+            recover_shard_state(ctx, name, checkpoint.as_ref())?;
         let (tx, rx) = mpsc::sync_channel::<ShardJob>(ctx.queue_cap.max(1));
         let cells = ShardCells::default();
         cells.next_seq.store(next_seq, Ordering::Relaxed);
@@ -451,13 +495,14 @@ impl ShardRouter {
             ingest: Mutex::new(Some(tx)),
             cells,
             checkpoint,
+            summary_cache: Mutex::new(None),
             fault_salt: fault_salt_for(name),
         });
         let thread_shard = Arc::clone(&shard);
         let thread_ctx = Arc::clone(ctx);
         let handle = std::thread::Builder::new()
             .name(format!("isum-shard-{name}"))
-            .spawn(move || shard_loop(rx, thread_shard, thread_ctx, next_seq, wal_writer))?;
+            .spawn(move || shard_loop(rx, thread_shard, thread_ctx, next_seq, wal_writer, drift))?;
         lock(&self.threads).push(handle);
         shards.insert(name.to_string(), Arc::clone(&shard));
         isum_common::info!("server.shards", format!("shard `{name}` online"), seq = next_seq);
@@ -549,6 +594,18 @@ impl ShardRouter {
             "isum_wal_compactions_total",
             "WAL compactions (snapshot written, log truncated).",
             &|s| s.cells.wal_compactions.load(Ordering::Relaxed),
+        );
+        counter(
+            out,
+            "isum_shard_resummarizes_total",
+            "Drift-triggered re-summarizations of the shard.",
+            &|s| s.cells.resummarizes.load(Ordering::Relaxed),
+        );
+        counter(
+            out,
+            "isum_shard_resummarize_ms_total",
+            "Wall-clock milliseconds spent re-summarizing.",
+            &|s| s.cells.resummarize_total_ms.load(Ordering::Relaxed),
         );
         let _ = writeln!(out, "# HELP isum_wal_fsync_seconds WAL append fsync latency.");
         let _ = writeln!(out, "# TYPE isum_wal_fsync_seconds histogram");
@@ -751,8 +808,9 @@ fn snapshot_prev_path(path: &Path) -> PathBuf {
 /// fails to parse is renamed to `<path>.corrupt-<unix_ms>` (never
 /// deleted) and recovery falls back to the `.prev` snapshot from the
 /// previous compaction, then to an empty engine — the WAL tail replays
-/// on top either way. Returns `(engine, next_seq, wal_seq watermark)`.
-fn load_snapshot_with_quarantine(ctx: &ShardCtx, path: &Path) -> (Engine, u64, u64) {
+/// on top either way. Returns `(engine, next_seq, wal_seq watermark,
+/// drift-tracker state)`.
+fn load_snapshot_with_quarantine(ctx: &ShardCtx, path: &Path) -> (Engine, u64, u64, Option<Json>) {
     if path.exists() {
         match Engine::restore_from(ctx.catalog.clone(), ctx.isum, path) {
             Ok(state) => return state,
@@ -793,22 +851,38 @@ fn load_snapshot_with_quarantine(ctx: &ShardCtx, path: &Path) -> (Engine, u64, u
             }
         }
     }
-    (Engine::new(ctx.catalog.clone(), ctx.isum), 0, 0)
+    (Engine::new(ctx.catalog.clone(), ctx.isum), 0, 0, None)
 }
 
 /// Recovers one shard's full state: newest usable snapshot plus a replay
 /// of the WAL tail through the normal observe path, then an open WAL
-/// writer positioned after the last valid record. Mid-log WAL corruption
-/// is the only fatal case.
+/// writer positioned after the last valid record, plus the sequencer's
+/// drift tracker (window and edge-trigger state restored from the
+/// snapshot when persisted there). WAL replay feeds the tracker the same
+/// per-record observations the live run saw — including, under
+/// `ISUM_DRIFT_ACTION=resummarize`, re-running the re-summarization a
+/// crossing would have triggered — so a crash-recovered shard converges
+/// on the never-crashed run's state instead of silently re-arming.
+/// Mid-log WAL corruption is the only fatal case.
 fn recover_shard_state(
     ctx: &ShardCtx,
     name: &str,
     checkpoint: Option<&PathBuf>,
-) -> io::Result<(Engine, u64, Option<WalWriter>)> {
-    let Some(path) = checkpoint else {
-        return Ok((Engine::new(ctx.catalog.clone(), ctx.isum), 0, None));
+) -> io::Result<(Engine, u64, Option<WalWriter>, DriftTracker)> {
+    let fresh_tracker = |engine: &Engine| {
+        DriftTracker::new(ctx.drift_window, ctx.drift_threshold).starting_at(engine.observed())
     };
-    let (mut engine, mut next_seq, snap_wal_seq) = load_snapshot_with_quarantine(ctx, path);
+    let Some(path) = checkpoint else {
+        let engine = Engine::new(ctx.catalog.clone(), ctx.isum);
+        let drift = fresh_tracker(&engine);
+        return Ok((engine, 0, None, drift));
+    };
+    let (mut engine, mut next_seq, snap_wal_seq, drift_snap) =
+        load_snapshot_with_quarantine(ctx, path);
+    let mut drift = fresh_tracker(&engine);
+    if let Some(snap) = &drift_snap {
+        drift = drift.restore_state(snap);
+    }
     let wal_path = wal::wal_sibling(path);
     let replay = wal::read_wal(&wal_path)
         .map_err(|e| io::Error::new(e.kind(), format!("shard `{name}`: {e}")))?;
@@ -844,6 +918,20 @@ fn recover_shard_state(
             next_seq = next_seq.max(s + 1);
         }
         replayed += 1;
+        // Feed the tracker exactly what the live batch fed it. Replay is
+        // silent — alerts already fired before the crash — but a crossing
+        // under `resummarize` re-runs the adaptation so the recovered
+        // engine matches the never-crashed one.
+        if drift.enabled() {
+            let fresh = engine.observations_since(drift.seen());
+            let mass = engine.template_mass();
+            if let Some(sample) = drift.on_batch(&fresh, &mass) {
+                if sample.crossed && ctx.drift_action == DriftAction::Resummarize {
+                    engine.resummarize_keep_last(sample.window_len);
+                    drift.reset_after_resummarize(engine.observed());
+                }
+            }
+        }
     }
     if replayed > 0 {
         isum_common::info!(
@@ -854,7 +942,7 @@ fn recover_shard_state(
         );
     }
     let writer = WalWriter::open(&wal_path, replay.valid_len, next_wal_seq)?;
-    Ok((engine, next_seq, Some(writer)))
+    Ok((engine, next_seq, Some(writer), drift))
 }
 
 // ---------------------------------------------------------------------
@@ -871,14 +959,15 @@ fn shard_loop(
     ctx: Arc<ShardCtx>,
     mut next_seq: u64,
     mut wal: Option<WalWriter>,
+    // Built by recovery: starts at the engine high-water mark for a fresh
+    // shard (checkpoint-restored history counts as "already summarized"),
+    // with window and edge-trigger state restored from the snapshot when
+    // persisted there — so a restart cannot re-fire an alert the
+    // pre-restart run already raised.
+    mut drift: DriftTracker,
 ) {
     let mut attempts: HashMap<u64, u32> = HashMap::new();
     let mut unseq_counter: u64 = 0;
-    // Drift tracking starts at the current engine high-water mark, so a
-    // checkpoint-restored history counts as "already summarized" and only
-    // post-restart arrivals enter the window.
-    let mut drift = DriftTracker::new(ctx.drift_window, ctx.drift_threshold)
-        .starting_at(lock(&shard.engine).observed());
     loop {
         let job = match rx.recv_timeout(Duration::from_millis(50)) {
             Ok(job) => job,
@@ -923,7 +1012,7 @@ fn shard_loop(
                     tenant = shard.name
                 );
             }
-            Some(w) => compact_shard(&shard, path, w, next_seq),
+            Some(w) => compact_shard(&shard, path, w, next_seq, &drift),
             None => {}
         }
     }
@@ -1002,7 +1091,8 @@ fn dispatch_batch(
             // append leaves nothing applied.
             if let Some(w) = wal.as_mut() {
                 if let Err(why) = wal_append(shard, w, seq, &stmts, key) {
-                    return Response::error(503, &why).with_header("Retry-After", "1");
+                    return Response::error(503, &why)
+                        .with_header("Retry-After", &retry_after_value(1));
                 }
             }
             let body = {
@@ -1022,8 +1112,11 @@ fn dispatch_batch(
                 attempts.remove(&key);
             }
             shard.cells.next_seq.store(*next_seq, Ordering::Relaxed);
-            maybe_compact(shard, ctx, wal, *next_seq);
-            observe_drift(shard, ctx, drift, seq);
+            // Drift first: a re-summarization must be captured by the
+            // compaction that follows (forced when it happened), or a
+            // restart would replay the WAL onto pre-adaptation state.
+            let resummarized = observe_drift(shard, ctx, drift, seq);
+            maybe_compact(shard, ctx, wal, *next_seq, drift, resummarized);
             Response::json(200, &body)
         }
     }
@@ -1082,8 +1175,8 @@ fn dispatch_sub(
         *next_seq = s + 1;
     }
     shard.cells.next_seq.store(*next_seq, Ordering::Relaxed);
-    maybe_compact(shard, ctx, wal, *next_seq);
-    observe_drift(shard, ctx, drift, seq);
+    let resummarized = observe_drift(shard, ctx, drift, seq);
+    maybe_compact(shard, ctx, wal, *next_seq, drift, resummarized);
     SubOutcome {
         applied: outcome.accepted,
         rejected: outcome.rejected.into_iter().map(|(i, why)| (indexes[i], why)).collect(),
@@ -1118,10 +1211,12 @@ fn fault_roll(key: u64, attempts: &mut HashMap<u64, u32>) -> Option<Response> {
 }
 
 /// Publishes the engine's observable counters into the shard's mirror
-/// cells (caller holds the engine lock).
+/// cells and bumps the state version that invalidates the `/summary`
+/// render cache (caller holds the engine lock).
 fn publish_engine_cells(shard: &Shard, engine: &Engine) {
     shard.cells.observed.store(engine.observed() as u64, Ordering::Relaxed);
     shard.cells.templates.store(engine.template_count() as u64, Ordering::Relaxed);
+    shard.cells.state_version.fetch_add(1, Ordering::Release);
 }
 
 /// Appends one batch to the shard's WAL and fsyncs, updating the mirror
@@ -1168,15 +1263,28 @@ fn wal_append(
     }
 }
 
-/// Compacts when the WAL has grown past either configured bound.
-fn maybe_compact(shard: &Shard, ctx: &ShardCtx, wal: &mut Option<WalWriter>, next_seq: u64) {
+/// Compacts when the WAL has grown past either configured bound, or
+/// unconditionally when `force` is set (a re-summarization just rewrote
+/// the engine, and replaying the WAL tail onto the *previous* snapshot
+/// would diverge from the live state — the new snapshot resynchronizes).
+fn maybe_compact(
+    shard: &Shard,
+    ctx: &ShardCtx,
+    wal: &mut Option<WalWriter>,
+    next_seq: u64,
+    drift: &DriftTracker,
+    force: bool,
+) {
     let Some(w) = wal.as_mut() else { return };
     let Some(path) = &shard.checkpoint else { return };
-    if w.poisoned() || w.records_since_compaction() == 0 {
+    if w.poisoned() || (!force && w.records_since_compaction() == 0) {
         return;
     }
-    if w.records_since_compaction() >= ctx.wal_compact_every || w.len() >= ctx.wal_compact_bytes {
-        compact_shard(shard, path, w, next_seq);
+    if force
+        || w.records_since_compaction() >= ctx.wal_compact_every
+        || w.len() >= ctx.wal_compact_bytes
+    {
+        compact_shard(shard, path, w, next_seq, drift);
     }
 }
 
@@ -1187,8 +1295,15 @@ fn maybe_compact(shard: &Shard, ctx: &ShardCtx, wal: &mut Option<WalWriter>, nex
 /// state (the `wal_seq` watermark dedups records the snapshot already
 /// folded in). Failures are logged, never fatal: the WAL still holds
 /// everything since the last successful compaction.
-fn compact_shard(shard: &Shard, path: &Path, w: &mut WalWriter, next_seq: u64) {
+fn compact_shard(
+    shard: &Shard,
+    path: &Path,
+    w: &mut WalWriter,
+    next_seq: u64,
+    drift: &DriftTracker,
+) {
     let wal_seq = w.next_wal_seq();
+    let drift_snap = if drift.enabled() { Some(drift.snapshot()) } else { None };
     let result = {
         let engine = lock(&shard.engine);
         if path.exists() {
@@ -1200,7 +1315,7 @@ fn compact_shard(shard: &Shard, path: &Path, w: &mut WalWriter, next_seq: u64) {
                 );
             }
         }
-        engine.checkpoint_to(path, next_seq, wal_seq)
+        engine.checkpoint_to(path, next_seq, wal_seq, drift_snap.as_ref())
     };
     match result {
         Ok(()) => {
@@ -1250,17 +1365,26 @@ fn compact_shard(shard: &Shard, path: &Path, w: &mut WalWriter, next_seq: u64) {
 /// edge-triggered `warn!` when the score first exceeds the threshold.
 /// Runs on the shard thread with the submitting request's ID already
 /// installed, so the alert is attributed to the batch that caused it.
-/// Strictly observation-only: reads engine state, feeds nothing back.
-fn observe_drift(shard: &Shard, ctx: &ShardCtx, drift: &mut DriftTracker, seq: Option<u64>) {
+/// Under `DriftAction::Warn` (the default) strictly observation-only:
+/// reads engine state, feeds nothing back. Under
+/// `DriftAction::Resummarize` a crossing additionally re-summarizes the
+/// shard over the recent window; the return value reports whether that
+/// happened (so the caller forces a compaction).
+fn observe_drift(
+    shard: &Shard,
+    ctx: &ShardCtx,
+    drift: &mut DriftTracker,
+    seq: Option<u64>,
+) -> bool {
     if !drift.enabled() {
-        return;
+        return false;
     }
     let (fresh, total_mass) = {
         let engine = lock(&shard.engine);
         (engine.observations_since(drift.seen()), engine.template_mass())
     };
     let Some(sample) = drift.on_batch(&fresh, &total_mass) else {
-        return;
+        return false;
     };
     let ppm = (sample.score * 1e6).round() as i64;
     shard.cells.drift_score_ppm.store(ppm, Ordering::Relaxed);
@@ -1285,7 +1409,40 @@ fn observe_drift(shard: &Shard, ctx: &ShardCtx, drift: &mut DriftTracker, seq: O
             window_len = sample.window_len,
             score_ppm = ppm
         );
+        if ctx.drift_action == DriftAction::Resummarize {
+            resummarize_shard(shard, drift, sample.window_len);
+            return true;
+        }
     }
+    false
+}
+
+/// Drift-adaptive re-summarization: rebuilds the shard's engine over the
+/// most recent `window_len` accepted queries (behind the sequencer, so
+/// the adaptation is deterministic for a fixed request stream), re-arms
+/// the tracker, and publishes the counters `/status` and `/metrics`
+/// expose. Runs on the shard thread; readers only ever observe the
+/// engine before or after (never during) the rebuild.
+fn resummarize_shard(shard: &Shard, drift: &mut DriftTracker, window_len: usize) {
+    let start = std::time::Instant::now();
+    let kept = {
+        let mut engine = lock(&shard.engine);
+        let kept = engine.resummarize_keep_last(window_len);
+        publish_engine_cells(shard, &engine);
+        kept
+    };
+    drift.reset_after_resummarize(kept);
+    let ms = start.elapsed().as_millis() as u64;
+    shard.cells.drift_window_len.store(0, Ordering::Relaxed);
+    shard.cells.resummarizes.fetch_add(1, Ordering::Relaxed);
+    shard.cells.resummarize_total_ms.fetch_add(ms, Ordering::Relaxed);
+    shard.cells.last_resummarize_unix_ms.store(unix_ms(), Ordering::Relaxed);
+    count!("drift.resummarizes");
+    isum_common::info!(
+        "server.drift",
+        format!("re-summarized over the recent window ({kept} queries kept) in {ms} ms"),
+        tenant = shard.name
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -1408,7 +1565,7 @@ fn route_job(
                         503,
                         &format!("a shard could not log its slice: {err}"),
                     )
-                    .with_header("Retry-After", "1");
+                    .with_header("Retry-After", &retry_after_value(1));
                 }
                 applied += outcome.applied;
                 any_fresh |= outcome.fresh;
@@ -1425,7 +1582,7 @@ fn route_job(
                     503,
                     "a shard did not apply its slice in time; retry with the same seq",
                 )
-                .with_header("Retry-After", "1");
+                .with_header("Retry-After", &retry_after_value(1));
             }
         }
     }

@@ -281,7 +281,8 @@ fn graceful_shutdown_drains_queued_batches() {
 }
 
 fn isum_server_restore(path: &std::path::Path) -> Result<(Engine, u64), isum_common::Error> {
-    Engine::restore_from(catalog(), IsumConfig::isum(), path).map(|(e, seq, _wal_seq)| (e, seq))
+    Engine::restore_from(catalog(), IsumConfig::isum(), path)
+        .map(|(e, seq, _wal_seq, _drift)| (e, seq))
 }
 
 #[test]
