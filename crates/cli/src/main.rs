@@ -668,6 +668,7 @@ fn serve(opts: &Options) -> Result<()> {
     config = config.apply_drift_env(); // ISUM_DRIFT_WINDOW / ISUM_DRIFT_THRESHOLD
     config = config.apply_shards_env(); // ISUM_SHARDS
     config = config.apply_wal_env(); // ISUM_WAL_COMPACT_EVERY / ISUM_WAL_COMPACT_BYTES
+    config = config.apply_trace_env(); // ISUM_SLOW_MS
     if let Some(n) = opts.shards {
         // The CLI flag wins over the environment.
         config.shards = ShardMode::Hashed(n);

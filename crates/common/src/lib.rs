@@ -17,6 +17,7 @@ pub mod framing;
 pub mod ids;
 pub mod json;
 pub mod rng;
+pub mod stage;
 pub mod stats;
 pub mod telemetry;
 pub mod trace;
@@ -25,3 +26,4 @@ pub use bits::{hex_bits, unhex_bits};
 pub use error::{Error, ErrorClass, IsumError, IsumResult, Result};
 pub use ids::{ColumnId, GlobalColumnId, IndexId, QueryId, TableId, TemplateId};
 pub use json::Json;
+pub use stage::{Stage, StageClock};

@@ -40,8 +40,11 @@ impl Default for Filter {
     }
 }
 
-/// Parses one level token; `None` means the token is not a level.
-fn parse_level(s: &str) -> Option<Option<Level>> {
+/// Parses one level token of the `ISUM_LOG` grammar. The outer `None`
+/// means the token is not a level at all; the inner `None` is an
+/// explicit `off`. Public so wire endpoints (`/events?level=`) accept
+/// exactly the vocabulary the env filter does.
+pub fn parse_level(s: &str) -> Option<Option<Level>> {
     match s.trim().to_ascii_lowercase().as_str() {
         "off" | "none" => Some(None),
         "error" => Some(Some(Level::Error)),

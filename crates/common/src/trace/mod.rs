@@ -39,7 +39,7 @@ mod event;
 mod ring;
 
 pub use event::Event;
-pub use filter::Filter;
+pub use filter::{parse_level, Filter};
 pub use ring::Ring;
 
 use std::cell::RefCell;

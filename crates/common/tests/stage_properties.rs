@@ -1,0 +1,89 @@
+//! Property tests for [`StageClock`]: arbitrary interleavings of stamp,
+//! record, and shift operations must never panic, never produce a
+//! negative or absent-but-rendered stage, and must always render a
+//! `Server-Timing` header whose per-stage entries sum (exactly, modulo
+//! float formatting) to its `total` entry — the invariant the loadgen
+//! attribution and the acceptance gate depend on.
+
+use std::time::Duration;
+
+use isum_common::stage::{parse_server_timing, StageClock, STAGES};
+use proptest::prelude::*;
+
+/// One clock operation, drawn over the full stage vocabulary.
+#[derive(Debug, Clone)]
+enum Op {
+    Stamp(usize),
+    Record(usize, u64),
+    Shift(usize, usize, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A discriminant plus the widest operand tuple stands in for a
+    // one-of combinator: unused operands are simply ignored per kind.
+    (0usize..3, 0..STAGES.len(), 0..STAGES.len(), 0u64..5_000_000_000).prop_map(
+        |(kind, a, b, ns)| match kind {
+            0 => Op::Stamp(a),
+            1 => Op::Record(a, ns),
+            _ => Op::Shift(a, b, ns),
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_interleavings_render_valid_server_timing(
+        ops in prop::collection::vec(op_strategy(), 0..60),
+    ) {
+        let clock = StageClock::new();
+        for op in &ops {
+            match *op {
+                Op::Stamp(s) => {
+                    clock.stamp(STAGES[s]);
+                }
+                Op::Record(s, ns) => clock.record(STAGES[s], Duration::from_nanos(ns)),
+                Op::Shift(a, b, ns) => clock.shift(STAGES[a], STAGES[b], Duration::from_nanos(ns)),
+            }
+        }
+        let header = clock.server_timing();
+        let parsed = parse_server_timing(&header);
+        // The header always parses, ends in `total`, and every entry is a
+        // known stage name with a finite non-negative duration.
+        prop_assert!(!parsed.is_empty(), "at least the total entry renders: {header}");
+        let (last_name, total) = parsed.last().unwrap();
+        prop_assert_eq!(last_name.as_str(), "total", "{}", header);
+        for (name, ms) in &parsed[..parsed.len() - 1] {
+            prop_assert!(
+                STAGES.iter().any(|s| s.as_str() == name),
+                "unknown stage `{}` in {}", name, header
+            );
+            prop_assert!(ms.is_finite() && *ms >= 0.0, "{header}");
+        }
+        // Entries sum to the total within float-formatting tolerance.
+        let sum: f64 = parsed[..parsed.len() - 1].iter().map(|(_, ms)| ms).sum();
+        let eps = 1e-3 * (parsed.len() as f64);
+        prop_assert!((sum - total).abs() <= eps, "sum {sum} != total {total}: {header}");
+        // The exact-nanosecond invariant holds on the clock itself.
+        let stage_ns: u128 =
+            STAGES.iter().filter_map(|&s| clock.get(s)).map(|d| d.as_nanos()).sum();
+        prop_assert_eq!(stage_ns, clock.total().as_nanos());
+    }
+
+    #[test]
+    fn durations_are_monotone_under_accumulation(
+        stage in 0..STAGES.len(),
+        chunks in prop::collection::vec(0u64..1_000_000_000, 1..20),
+    ) {
+        let clock = StageClock::new();
+        let mut expected = 0u64;
+        for ns in chunks {
+            clock.record(STAGES[stage], Duration::from_nanos(ns));
+            expected += ns;
+            prop_assert_eq!(
+                clock.get(STAGES[stage]),
+                Some(Duration::from_nanos(expected)),
+                "accumulation is exact and monotone"
+            );
+        }
+    }
+}

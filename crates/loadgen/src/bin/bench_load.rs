@@ -119,6 +119,27 @@ fn main() {
         ("summary_p90_ms".into(), Json::Num(report.summary_hist.quantile_ms(0.9))),
         ("summary_p99_ms".into(), Json::Num(p99)),
         ("summary_mean_ms".into(), Json::Num(report.summary_hist.mean_ms())),
+        (
+            "ingest_stage_attribution".into(),
+            // The 4-connection p99 decomposed into named pipeline stages
+            // (from each ack's `Server-Timing`), plus the server/network
+            // split of the measured round trip.
+            Json::Obj(vec![
+                ("ingest_p99_ms".into(), Json::Num(report.ingest_hist.quantile_ms(0.99))),
+                ("server_p99_ms".into(), Json::Num(report.server_hist.quantile_ms(0.99))),
+                ("network_p99_ms".into(), Json::Num(report.network_hist.quantile_ms(0.99))),
+                (
+                    "stage_p99_ms".into(),
+                    Json::Obj(
+                        report
+                            .stage_hists
+                            .iter()
+                            .map(|(stage, h)| (stage.clone(), Json::Num(h.quantile_ms(0.99))))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
         ("report".into(), report.to_json()),
     ];
     if let Some(path) = baseline_path {

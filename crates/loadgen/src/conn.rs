@@ -18,6 +18,20 @@ use std::time::Duration;
 
 use isum_server::{read_response, RawResponse};
 
+/// The server-side stage timeline from a response's `Server-Timing`
+/// header, as `(stage, milliseconds)` entries in server order (the last
+/// entry is the server's `total`). Empty when the header is absent —
+/// e.g. a pre-attribution server — so callers degrade to measuring only
+/// round-trip latency. Header names arrive lowercased from
+/// [`read_response`].
+pub fn server_timing(headers: &[(String, String)]) -> Vec<(String, f64)> {
+    headers
+        .iter()
+        .find(|(k, _)| k == "server-timing")
+        .map(|(_, v)| isum_common::stage::parse_server_timing(v))
+        .unwrap_or_default()
+}
+
 /// A reusable client connection to one server address.
 pub struct Conn {
     addr: String,
@@ -159,6 +173,23 @@ mod tests {
         }
         assert_eq!(conn.reconnects(), 0, "three requests, one socket");
         assert_eq!(handle.join().expect("server"), 3);
+    }
+
+    #[test]
+    fn server_timing_parses_the_stage_timeline() {
+        let ok = "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\
+                  Server-Timing: recv;dur=0.120, apply;dur=1.500, total;dur=1.620\r\n\r\nok";
+        let (addr, handle) = scripted_server(vec![ok.into()]);
+        let mut conn = Conn::new(addr, Duration::from_secs(5));
+        let (status, headers, _) = conn.request("GET", "/x", None, "").expect("request");
+        assert_eq!(status, 200);
+        let stages = server_timing(&headers);
+        assert_eq!(
+            stages,
+            vec![("recv".into(), 0.12), ("apply".into(), 1.5), ("total".into(), 1.62)]
+        );
+        assert!(server_timing(&[]).is_empty(), "absent header degrades to empty");
+        assert_eq!(handle.join().expect("server"), 1);
     }
 
     #[test]

@@ -63,13 +63,17 @@ impl LatencyHist {
 
     /// Records one sample in microseconds.
     pub fn record_us(&mut self, us: u64) {
+        // The ladder's resolution floor is 1 µs: a zero sample (e.g. a
+        // sub-microsecond pipeline stage) lands there, keeping
+        // `min_us <= max_us` for the quantile clamp.
+        let us = us.max(1);
         match bucket_of(us) {
             Some(i) => self.counts[i] += 1,
             None => self.overflow += 1,
         }
         self.count += 1;
         self.sum_us += us;
-        self.min_us = self.min_us.min(us.max(1));
+        self.min_us = self.min_us.min(us);
         self.max_us = self.max_us.max(us);
     }
 

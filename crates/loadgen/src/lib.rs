@@ -27,7 +27,7 @@ pub mod hist;
 pub mod plan;
 pub mod run;
 
-pub use conn::Conn;
+pub use conn::{server_timing, Conn};
 pub use hist::LatencyHist;
 pub use plan::{tenant_name, Batch, LoadPlan, PlanConfig, Window, DEFAULT_TENANT};
 pub use run::{run, LoadReport, Mode, RunConfig};

@@ -17,13 +17,14 @@
 //! *scheduled* send time, so queueing delay under overload is charged to
 //! the server rather than silently absorbed (no coordinated omission).
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use isum_common::Json;
 
-use crate::conn::Conn;
+use crate::conn::{server_timing, Conn};
 use crate::hist::LatencyHist;
 use crate::plan::{LoadPlan, Window, DEFAULT_TENANT};
 
@@ -100,6 +101,16 @@ pub struct LoadReport {
     pub reconnects: u64,
     /// Ingest batch latencies, measurement window only.
     pub ingest_hist: LatencyHist,
+    /// Server-side share of each measured ingest latency: the `total`
+    /// entry of the response's `Server-Timing` header. Empty when the
+    /// server does not send the header.
+    pub server_hist: LatencyHist,
+    /// The remainder (measured minus server-side): network transit plus
+    /// client-side queueing — the share no server-side fix can remove.
+    pub network_hist: LatencyHist,
+    /// Per-stage server-side latencies keyed by stage name, from the
+    /// same headers (`BTreeMap` for deterministic report order).
+    pub stage_hists: BTreeMap<String, LatencyHist>,
     /// `/summary` latencies observed by the poller after warmup.
     pub summary_hist: LatencyHist,
     /// Wall-clock span of the measurement window in seconds.
@@ -146,6 +157,19 @@ impl LoadReport {
             ("measure_statements".into(), Json::from(self.measure_statements)),
             ("ingest_statements_per_sec".into(), Json::Num(self.ingest_statements_per_sec())),
             ("ingest_latency".into(), hist(&self.ingest_hist)),
+            (
+                "stage_attribution".into(),
+                Json::Obj(vec![
+                    ("server".into(), hist(&self.server_hist)),
+                    ("network".into(), hist(&self.network_hist)),
+                    (
+                        "stages".into(),
+                        Json::Obj(
+                            self.stage_hists.iter().map(|(k, h)| (k.clone(), hist(h))).collect(),
+                        ),
+                    ),
+                ]),
+            ),
             ("summary_latency".into(), hist(&self.summary_hist)),
             ("plan_fingerprint".into(), Json::from(format!("{:016x}", self.fingerprint))),
         ])
@@ -165,6 +189,9 @@ struct WorkerTally {
     transport_errors: u64,
     reconnects: u64,
     hist: LatencyHist,
+    server_hist: LatencyHist,
+    network_hist: LatencyHist,
+    stage_hists: BTreeMap<String, LatencyHist>,
     measure_statements: u64,
     /// Offsets from run start bracketing this worker's measure window.
     measure_first_us: Option<u64>,
@@ -234,6 +261,16 @@ pub fn run(plan: &LoadPlan, config: &RunConfig) -> Result<LoadReport, String> {
                     }
                     std::thread::sleep(Duration::from_millis(poll_ms));
                 }
+                // A short run can complete between two poll ticks; one
+                // final sample (all batches acked, so past warmup by
+                // definition) keeps an enabled poller from reporting an
+                // empty histogram.
+                if hist.count() == 0 {
+                    let t = Instant::now();
+                    if matches!(conn.request("GET", &target, None, ""), Ok((200, _, _))) {
+                        hist.record_us(t.elapsed().as_micros() as u64);
+                    }
+                }
                 *summary_side.lock().expect("summary") = (hist, conn.reconnects());
             })
         });
@@ -265,6 +302,11 @@ pub fn run(plan: &LoadPlan, config: &RunConfig) -> Result<LoadReport, String> {
         report.reconnects += t.reconnects;
         report.measure_statements += t.measure_statements;
         report.ingest_hist.merge(&t.hist);
+        report.server_hist.merge(&t.server_hist);
+        report.network_hist.merge(&t.network_hist);
+        for (stage, h) in &t.stage_hists {
+            report.stage_hists.entry(stage.clone()).or_default().merge(h);
+        }
         if let Some(us) = t.measure_first_us {
             first_us = first_us.min(us);
         }
@@ -303,8 +345,8 @@ fn run_worker(
 ) -> Result<WorkerTally, String> {
     let mut conn = Conn::new(config.addr.clone(), config.timeout);
     let mut tally = WorkerTally::default();
-    let mut own_index = 0usize;
-    for batch in plan.batches.iter().filter(|b| b.index % config.connections == worker) {
+    let own_batches = plan.batches.iter().filter(|b| b.index % config.connections == worker);
+    for (own_index, batch) in own_batches.enumerate() {
         if done.load(Ordering::SeqCst) {
             break;
         }
@@ -319,11 +361,13 @@ fn run_worker(
                 scheduled
             }
         };
-        own_index += 1;
         let target = format!("/ingest?seq={}", batch.seq);
         let tenant =
             if batch.tenant == DEFAULT_TENANT { None } else { Some(batch.tenant.as_str()) };
         let mut delivered = false;
+        // The acked response's `Server-Timing` timeline; empty when the
+        // server does not attribute (or until the 200 lands).
+        let mut acked_timing: Vec<(String, f64)> = Vec::new();
         for _attempt in 0..config.max_attempts {
             let (status, headers, body) = match conn.request("POST", &target, tenant, &batch.script)
             {
@@ -344,6 +388,7 @@ fn run_worker(
                     }
                     tally.acked_batches += 1;
                     tally.acked_statements += plan.config.batch_size as u64;
+                    acked_timing = server_timing(&headers);
                     delivered = true;
                     break;
                 }
@@ -387,7 +432,27 @@ fn run_worker(
         }
         if plan.window_of(batch.index) == Window::Measure {
             let acked = Instant::now();
-            tally.hist.record_us(acked.duration_since(started).as_micros() as u64);
+            let measured_us = acked.duration_since(started).as_micros() as u64;
+            tally.hist.record_us(measured_us);
+            // Split the measured latency along the server's own timeline:
+            // the header's `total` is the server-side share, the remainder
+            // is network transit plus client/queue wait, and each named
+            // stage feeds its own histogram. Purely subtractive — the
+            // measured number above is untouched.
+            if let Some((name, total_ms)) = acked_timing.last() {
+                if name == "total" {
+                    let server_us = ((total_ms * 1e3) as u64).min(measured_us);
+                    tally.server_hist.record_us(server_us);
+                    tally.network_hist.record_us(measured_us - server_us);
+                    for (stage, ms) in &acked_timing[..acked_timing.len() - 1] {
+                        tally
+                            .stage_hists
+                            .entry(stage.clone())
+                            .or_default()
+                            .record_us((ms * 1e3) as u64);
+                    }
+                }
+            }
             tally.measure_statements += plan.config.batch_size as u64;
             let start_us = started.duration_since(t0).as_micros() as u64;
             let acked_us = acked.duration_since(t0).as_micros() as u64;

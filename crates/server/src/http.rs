@@ -11,7 +11,7 @@
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 
-use isum_common::Json;
+use isum_common::{Json, Stage, StageClock};
 
 /// Hard cap on request bodies: an ingest batch is SQL text, so anything
 /// past this is a client bug, not a workload.
@@ -61,11 +61,23 @@ impl Request {
     /// `Expect: 100-continue` is honored by writing the interim response
     /// before reading the body, so `curl -d @file` works out of the box.
     pub fn read(stream: &TcpStream) -> io::Result<Result<Request, (u16, String)>> {
+        Self::read_timed(stream).map(|r| r.map(|(req, _)| req))
+    }
+
+    /// [`Request::read`] plus a per-request [`StageClock`]. The clock is
+    /// created *after* the request line arrives — a keep-alive
+    /// connection's idle wait belongs to the client, not the pipeline —
+    /// and comes back with `recv` (head + body off the socket) and
+    /// `parse` (struct assembly) already stamped.
+    pub fn read_timed(
+        stream: &TcpStream,
+    ) -> io::Result<Result<(Request, StageClock), (u16, String)>> {
         let mut reader = BufReader::new(stream);
         let mut line = String::new();
         if read_head_line(&mut reader, &mut line)? == 0 {
             return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
         }
+        let clock = StageClock::new();
         let mut parts = line.split_whitespace();
         let (Some(method), Some(target), Some(version)) =
             (parts.next(), parts.next(), parts.next())
@@ -131,7 +143,10 @@ impl Request {
         }
         let mut body = vec![0u8; content_length];
         reader.read_exact(&mut body)?;
-        Ok(Ok(Request { method, path, query, headers, body, keep_alive }))
+        clock.stamp(Stage::Recv);
+        let req = Request { method, path, query, headers, body, keep_alive };
+        clock.stamp(Stage::Parse);
+        Ok(Ok((req, clock)))
     }
 }
 
@@ -405,7 +420,7 @@ mod tests {
     fn retry_after_jitter_stays_in_bounds_and_varies() {
         let draws: Vec<u64> = (0..128).map(|_| retry_after_value(1).parse().unwrap()).collect();
         assert!(draws.iter().all(|&v| v == 1 || v == 2), "jitter is bounded to base..=base+1");
-        assert!(draws.iter().any(|&v| v == 1) && draws.iter().any(|&v| v == 2), "jitter varies");
+        assert!(draws.contains(&1) && draws.contains(&2), "jitter varies");
     }
 
     #[test]

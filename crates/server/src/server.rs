@@ -45,26 +45,31 @@
 //! log), and — when telemetry is enabled — a final snapshot is printed
 //! to stderr.
 
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use isum_advisor::TuningConstraints;
 use isum_catalog::Catalog;
-use isum_common::trace::{self, Level};
-use isum_common::{count, hex_bits, telemetry, IsumError, Json};
+use isum_common::trace::{self, parse_level, Level};
+use isum_common::{count, hex_bits, telemetry, IsumError, Json, Stage, StageClock};
 use isum_core::IsumConfig;
 
 use crate::drift::DriftAction;
 use crate::http::{retry_after_value, Request, Response};
 use crate::shards::{
-    unix_ms, validate_tenant, Shard, ShardCtx, ShardMode, ShardRouter, DEFAULT_TENANT,
-    UNSEQ_KEY_BASE,
+    lock, mono_ms, unix_ms, validate_tenant, Shard, ShardCtx, ShardMode, ShardRouter,
+    DEFAULT_TENANT, UNSEQ_KEY_BASE,
 };
+
+/// Cap on retained slow-request timelines: old entries are evicted FIFO,
+/// so the ring holds the most recent captures at a fixed memory bound.
+const SLOW_RING_CAP: usize = 256;
 
 /// Configuration for a [`Server`].
 pub struct ServerConfig {
@@ -108,6 +113,11 @@ pub struct ServerConfig {
     /// of the two triggers first (`ISUM_WAL_COMPACT_BYTES` /
     /// `--wal-compact-bytes`).
     pub wal_compact_bytes: u64,
+    /// Slow-request capture threshold in milliseconds (`ISUM_SLOW_MS`):
+    /// a request whose total stage time reaches it has its full timeline
+    /// retained for `GET /trace/recent`. `None` (the default) disables
+    /// capture; `0` captures everything.
+    pub slow_ms: Option<u64>,
 }
 
 impl ServerConfig {
@@ -130,6 +140,7 @@ impl ServerConfig {
             max_tenants: 64,
             wal_compact_every: 64,
             wal_compact_bytes: 1 << 20,
+            slow_ms: None,
         }
     }
 
@@ -221,6 +232,25 @@ impl ServerConfig {
         }
         self
     }
+
+    /// Applies the tracing environment knob: `ISUM_SLOW_MS=<ms>` enables
+    /// slow-request capture at that threshold (`0` captures every
+    /// request). Malformed values are reported as `warn!` events and
+    /// ignored, never fatal. Like [`ServerConfig::apply_drift_env`],
+    /// called only by the daemon entry points so tests stay independent
+    /// of the ambient environment.
+    pub fn apply_trace_env(mut self) -> ServerConfig {
+        if let Ok(v) = std::env::var("ISUM_SLOW_MS") {
+            match v.parse::<u64>() {
+                Ok(ms) => self.slow_ms = Some(ms),
+                Err(_) => isum_common::warn!(
+                    "server.conn",
+                    format!("ignoring malformed ISUM_SLOW_MS `{v}` (want milliseconds)")
+                ),
+            }
+        }
+        self
+    }
 }
 
 /// State shared between the accept loop and connection handlers.
@@ -233,6 +263,13 @@ struct Shared {
     drift_threshold: f64,
     drift_action: DriftAction,
     isum: IsumConfig,
+    /// Slow-request capture threshold (ms); `None` disables capture.
+    slow_ms: Option<u64>,
+    /// The captured slow-request timelines, newest last, bounded at
+    /// [`SLOW_RING_CAP`]. Served verbatim by `GET /trace/recent`.
+    slow_ring: Mutex<VecDeque<Json>>,
+    /// Bind time, for the `isum_process_uptime_seconds` gauge.
+    started: Instant,
 }
 
 /// A running daemon. Binding spawns the serve thread; [`Server::join`]
@@ -281,6 +318,9 @@ impl Server {
             drift_threshold: config.drift_threshold,
             drift_action: config.drift_action,
             isum: config.isum,
+            slow_ms: config.slow_ms,
+            slow_ring: Mutex::new(VecDeque::new()),
+            started: Instant::now(),
         });
 
         let serve_shared = Arc::clone(&shared);
@@ -418,7 +458,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     loop {
-        let req = match Request::read(&stream) {
+        let (req, clock) = match Request::read_timed(&stream) {
             Err(_) => return, // peer vanished or went idle; nobody to answer
             Ok(Err((status, msg))) => {
                 count!("server.http_errors");
@@ -435,12 +475,13 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                     .write(&mut w);
                 return;
             }
-            Ok(Ok(req)) => req,
+            Ok(Ok(pair)) => pair,
         };
+        let clock = Arc::new(clock);
         count!("server.requests");
         let rid = request_id_for(&req);
         let _rid = trace::with_request_id(&rid);
-        let resp = match catch_unwind(AssertUnwindSafe(|| route(&req, shared))) {
+        let resp = match catch_unwind(AssertUnwindSafe(|| route(&req, shared, &clock))) {
             Ok(resp) => resp,
             Err(payload) => {
                 count!("server.panics");
@@ -472,13 +513,70 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 status = resp.status
             );
         }
+        // Close out the timeline: everything since the last stamp —
+        // routing for read endpoints, the reply hand-off for ingest — is
+        // the respond stage. The header renders per-stage durations plus
+        // a `total` that equals their sum by construction, so clients can
+        // split measured latency into server-side and network shares.
+        clock.stamp(Stage::Respond);
+        let timing = clock.server_timing();
+        let total_ms = clock.total().as_secs_f64() * 1e3;
+        if matches!(req.path.as_str(), "/ingest" | "/summary") {
+            let tenant = req
+                .param("tenant")
+                .or_else(|| req.header("x-isum-tenant"))
+                .unwrap_or(DEFAULT_TENANT);
+            shared.router.observe_stages(tenant, &clock);
+        }
+        if let Some(threshold) = shared.slow_ms {
+            if total_ms >= threshold as f64 {
+                capture_slow_request(shared, &req, &rid, resp.status, &clock);
+            }
+        }
         let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
         let mut w = &stream;
-        let written = resp.with_header("X-Isum-Request-Id", &rid).write_framed(&mut w, keep_alive);
+        let written = resp
+            .with_header("X-Isum-Request-Id", &rid)
+            .with_header("Server-Timing", &timing)
+            .write_framed(&mut w, keep_alive);
         if written.is_err() || !keep_alive {
             return;
         }
     }
+}
+
+/// Retains one slow request's full timeline in the bounded capture ring,
+/// as the JSON object `GET /trace/recent` serves verbatim: request ID,
+/// method, path, status, per-stage milliseconds, their total, and a
+/// wall-clock stamp (annotation only, like every timestamp here).
+fn capture_slow_request(
+    shared: &Shared,
+    req: &Request,
+    rid: &str,
+    status: u16,
+    clock: &StageClock,
+) {
+    count!("server.slow_captures");
+    let stages: Vec<(String, Json)> = isum_common::stage::STAGES
+        .iter()
+        .filter_map(|&s| {
+            clock.get(s).map(|d| (s.as_str().to_string(), Json::from(d.as_secs_f64() * 1e3)))
+        })
+        .collect();
+    let entry = Json::Obj(vec![
+        ("request_id".into(), Json::from(rid)),
+        ("method".into(), Json::from(req.method.as_str())),
+        ("path".into(), Json::from(req.path.as_str())),
+        ("status".into(), Json::from(u64::from(status))),
+        ("total_ms".into(), Json::from(clock.total().as_secs_f64() * 1e3)),
+        ("stages".into(), Json::Obj(stages)),
+        ("ts_ms".into(), Json::from(unix_ms())),
+    ]);
+    let mut ring = lock(&shared.slow_ring);
+    if ring.len() >= SLOW_RING_CAP {
+        ring.pop_front();
+    }
+    ring.push_back(entry);
 }
 
 /// The tenant a request addresses: the `tenant` query parameter when
@@ -526,8 +624,11 @@ fn resolve_read_shard(
     }
 }
 
-/// Dispatches one parsed request to its endpoint.
-fn route(req: &Request, shared: &Shared) -> Response {
+/// Dispatches one parsed request to its endpoint. `clock` is the
+/// request's stage timeline; only the ingest path hands it onward (the
+/// sequencer stamps its stages), read endpoints leave everything after
+/// parse to the `respond` stage.
+fn route(req: &Request, shared: &Shared, clock: &Arc<StageClock>) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             let mode = match shared.router.mode() {
@@ -578,6 +679,7 @@ fn route(req: &Request, shared: &Shared) -> Response {
                     .to_string()
             };
             shared.router.render_shard_metrics(&mut body);
+            render_process_metrics(shared, &mut body);
             Response::raw(200, "text/plain; version=0.0.4", body.into_bytes())
         }
         ("GET", "/events") => {
@@ -587,9 +689,68 @@ fn route(req: &Request, shared: &Shared) -> Response {
                 Ok(v) => v.unwrap_or(100),
                 Err(resp) => return resp,
             };
+            // `level=` accepts exactly the ISUM_LOG level vocabulary and
+            // keeps events at that severity or worse; `target=` matches
+            // the same dot-boundary prefix semantics the env filter uses.
+            let max_level = match req.param("level") {
+                None => None,
+                Some(v) => match parse_level(v) {
+                    Some(Some(l)) => Some(l),
+                    Some(None) => {
+                        // Explicit `off`: a well-formed request for nothing.
+                        return Response::raw(200, "application/x-ndjson", Vec::new());
+                    }
+                    None => {
+                        return param_error("level", "must be one of off, error, warn, info, debug")
+                    }
+                },
+            };
+            let target = match req.param("target") {
+                None => None,
+                Some("") => return param_error("target", "must be non-empty"),
+                Some(t) => Some(t.to_string()),
+            };
+            let matches_target = |event_target: &str| match &target {
+                None => true,
+                Some(prefix) => {
+                    event_target == prefix
+                        || (event_target.len() > prefix.len()
+                            && event_target.starts_with(prefix.as_str())
+                            && event_target.as_bytes()[prefix.len()] == b'.')
+                }
+            };
+            // Filter over the whole ring (tail clamps to its capacity),
+            // then keep the newest `n` survivors — so a narrow filter
+            // still fills its quota from older events.
+            let filtered: Vec<_> = trace::ring_tail(usize::MAX)
+                .into_iter()
+                .filter(|e| max_level.is_none_or(|max| e.level <= max))
+                .filter(|e| matches_target(&e.target))
+                .collect();
             let mut body = String::new();
-            for event in trace::ring_tail(n) {
+            for event in filtered.iter().rev().take(n).rev() {
                 body.push_str(&event.to_jsonl());
+                body.push('\n');
+            }
+            Response::raw(200, "application/x-ndjson", body.into_bytes())
+        }
+        ("GET", "/trace/recent") => {
+            count!("server.requests.trace");
+            let n = match parse_usize_param(req, "n") {
+                Ok(Some(0)) => return param_error("n", "must be a positive integer"),
+                Ok(v) => v.unwrap_or(100),
+                Err(resp) => return resp,
+            };
+            if shared.slow_ms.is_none() {
+                return Response::error(
+                    404,
+                    "slow-request capture is disabled; start the server with ISUM_SLOW_MS=<ms>",
+                );
+            }
+            let ring = lock(&shared.slow_ring);
+            let mut body = String::new();
+            for entry in ring.iter().rev().take(n).rev() {
+                body.push_str(&entry.to_compact());
                 body.push('\n');
             }
             Response::raw(200, "application/x-ndjson", body.into_bytes())
@@ -653,7 +814,7 @@ fn route(req: &Request, shared: &Shared) -> Response {
         }
         ("POST", "/ingest") => {
             count!("server.requests.ingest");
-            handle_ingest(req, shared)
+            handle_ingest(req, shared, Arc::clone(clock))
         }
         ("POST", "/tune") => {
             count!("server.requests.tune");
@@ -698,13 +859,56 @@ fn route(req: &Request, shared: &Shared) -> Response {
         (
             _,
             "/healthz" | "/telemetry" | "/metrics" | "/events" | "/summary" | "/status"
-            | "/summary/explain",
+            | "/summary/explain" | "/trace/recent",
         ) => Response::error(405, "use GET for this endpoint"),
         (_, "/ingest" | "/tune" | "/shutdown") => {
             Response::error(405, "use POST for this endpoint")
         }
         _ => Response::error(404, &format!("no such endpoint: {}", req.path)),
     }
+}
+
+/// Appends the process self-gauges to `GET /metrics`: uptime, open
+/// shards, and — where `/proc/self/statm` exists (Linux) — resident set
+/// size. The RSS gauge is *absent*, not zero, elsewhere: exporting a
+/// fake 0 would trip every memory alert pointed at it.
+fn render_process_metrics(shared: &Shared, out: &mut String) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP isum_process_uptime_seconds Seconds since the daemon bound.");
+    let _ = writeln!(out, "# TYPE isum_process_uptime_seconds gauge");
+    let _ =
+        writeln!(out, "isum_process_uptime_seconds {:.3}", shared.started.elapsed().as_secs_f64());
+    let _ = writeln!(out, "# HELP isum_process_open_shards Live shards (tenants or hash slots).");
+    let _ = writeln!(out, "# TYPE isum_process_open_shards gauge");
+    let _ = writeln!(out, "isum_process_open_shards {}", shared.router.shard_count());
+    if let Some(rss) = resident_set_bytes() {
+        let _ = writeln!(out, "# HELP isum_process_resident_bytes Resident set size.");
+        let _ = writeln!(out, "# TYPE isum_process_resident_bytes gauge");
+        let _ = writeln!(out, "isum_process_resident_bytes {rss}");
+    }
+}
+
+/// Resident set size in bytes from `/proc/self/statm` (field 2 is
+/// resident pages). `None` when the file or page size is unavailable —
+/// notably on every non-Linux platform.
+#[cfg(target_os = "linux")]
+fn resident_set_bytes() -> Option<u64> {
+    extern "C" {
+        fn sysconf(name: i32) -> i64;
+    }
+    const SC_PAGESIZE: i32 = 30;
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    let page = unsafe { sysconf(SC_PAGESIZE) };
+    if page <= 0 {
+        return None;
+    }
+    resident_pages.checked_mul(page as u64)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn resident_set_bytes() -> Option<u64> {
+    None
 }
 
 /// Parses an optional non-negative integer query parameter; `Err` is a
@@ -820,6 +1024,11 @@ fn status_response(shared: &Shared, k_param: Option<usize>) -> Response {
             .map(|s| s.cells.last_checkpoint_unix_ms.load(Ordering::Relaxed))
             .max()
             .unwrap_or(0);
+        let last_mono = shards
+            .iter()
+            .map(|s| s.cells.last_checkpoint_mono_ms.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0);
         let mut fields = vec![("configured".into(), Json::from(shared.checkpoint_configured))];
         if last == 0 {
             fields.push(("last_unix_ms".into(), Json::Null));
@@ -828,6 +1037,17 @@ fn status_response(shared: &Shared, k_param: Option<usize>) -> Response {
             fields.push(("last_unix_ms".into(), Json::from(last)));
             fields.push(("age_ms".into(), Json::from(unix_ms().saturating_sub(last))));
         }
+        // The monotonic age sits next to the wall-clock one: it cannot go
+        // negative or jump when the system clock steps, so alerting on
+        // "no checkpoint in N minutes" stays truthful across NTP slews.
+        fields.push((
+            "ms_since_last_checkpoint".into(),
+            if last_mono == 0 {
+                Json::Null
+            } else {
+                Json::from(mono_ms().saturating_sub(last_mono))
+            },
+        ));
         Json::Obj(fields)
     };
     let durability = {
@@ -1028,7 +1248,7 @@ fn error_response(e: IsumError) -> Response {
 }
 
 /// Resolves the ingest tenant and hands the batch to the router.
-fn handle_ingest(req: &Request, shared: &Shared) -> Response {
+fn handle_ingest(req: &Request, shared: &Shared, clock: Arc<StageClock>) -> Response {
     let Ok(script) = std::str::from_utf8(&req.body) else {
         return Response::error(400, "ingest body must be UTF-8 SQL text");
     };
@@ -1057,7 +1277,7 @@ fn handle_ingest(req: &Request, shared: &Shared) -> Response {
         ShardMode::Tenant => spec.unwrap_or_else(|| DEFAULT_TENANT.to_string()),
     };
     let request_id = trace::current_request_id().unwrap_or_else(trace::next_request_id);
-    shared.router.ingest(&tenant, seq, script.to_string(), request_id)
+    shared.router.ingest(&tenant, seq, script.to_string(), request_id, clock)
 }
 
 // ---------------------------------------------------------------------
@@ -1221,6 +1441,36 @@ mod tests {
         }
         std::env::remove_var("ISUM_WAL_COMPACT_EVERY");
         std::env::remove_var("ISUM_WAL_COMPACT_BYTES");
+    }
+
+    #[test]
+    fn trace_env_override_parses_and_rejects_garbage() {
+        // Serial by nature: env vars are process-global, so exercise all
+        // cases inside one test.
+        std::env::remove_var("ISUM_SLOW_MS");
+        let catalog = isum_catalog::CatalogBuilder::new()
+            .table("t", 10)
+            .col_key("id")
+            .finish()
+            .unwrap()
+            .build();
+        let base = ServerConfig::new(catalog.clone()).apply_trace_env();
+        assert_eq!(base.slow_ms, None, "capture stays off without the env knob");
+
+        std::env::set_var("ISUM_SLOW_MS", "250");
+        let tuned = ServerConfig::new(catalog.clone()).apply_trace_env();
+        assert_eq!(tuned.slow_ms, Some(250));
+
+        std::env::set_var("ISUM_SLOW_MS", "0");
+        let all = ServerConfig::new(catalog.clone()).apply_trace_env();
+        assert_eq!(all.slow_ms, Some(0), "zero means capture everything");
+
+        for garbage in ["fast", "-1", "1.5"] {
+            std::env::set_var("ISUM_SLOW_MS", garbage);
+            let kept = ServerConfig::new(catalog.clone()).apply_trace_env();
+            assert_eq!(kept.slow_ms, None, "`{garbage}` is ignored, not applied");
+        }
+        std::env::remove_var("ISUM_SLOW_MS");
     }
 
     #[test]

@@ -54,11 +54,12 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use isum_catalog::Catalog;
+use isum_common::stage::STAGES;
 use isum_common::trace;
-use isum_common::{count, telemetry, Json};
+use isum_common::{count, telemetry, Json, Stage, StageClock};
 use isum_core::{merge_partials, IsumConfig, MergedWorkload};
 use isum_workload::split_script;
 
@@ -128,6 +129,32 @@ pub(crate) struct ShardCtx {
     pub wal_compact_bytes: u64,
 }
 
+/// Per-stage latency histograms (`isum_stage_seconds`): one fsync-style
+/// lock-free histogram per pipeline stage. Strictly observation-only,
+/// like every other mirror cell.
+#[derive(Default)]
+pub(crate) struct StageHist {
+    hists: [FsyncHist; STAGES.len()],
+}
+
+impl StageHist {
+    /// Folds one finished request's timeline in: every *recorded* stage
+    /// contributes one sample (absent stages contribute nothing, so a
+    /// read-only endpoint never pollutes the WAL stages).
+    pub(crate) fn observe(&self, clock: &StageClock) {
+        for stage in STAGES {
+            if let Some(d) = clock.get(stage) {
+                self.hists[stage as usize].observe(d);
+            }
+        }
+    }
+
+    /// The histogram for one stage.
+    pub(crate) fn stage(&self, stage: Stage) -> &FsyncHist {
+        &self.hists[stage as usize]
+    }
+}
+
 /// Mirror cells the shard's hot paths update so `/status`, `/healthz`,
 /// and `/metrics` can answer without touching the sequencer. Strictly
 /// observation-only: nothing reads these back into any decision.
@@ -175,6 +202,12 @@ pub(crate) struct ShardCells {
     pub wal_compactions: AtomicU64,
     /// WAL fsync latency histogram.
     pub wal_fsync_hist: FsyncHist,
+    /// Per-stage request latency histograms (tenant mode).
+    pub stage_hist: StageHist,
+    /// Monotonic-clock ms (see [`mono_ms`]) of the last successful
+    /// checkpoint; `0` = never. Pairs with the wall-clock cell so
+    /// `/status` can expose an age that survives clock steps.
+    pub last_checkpoint_mono_ms: AtomicU64,
 }
 
 /// One shard: a name, an engine, a bounded queue, and its sequencer's
@@ -227,7 +260,15 @@ impl Shard {
 /// One queued unit of shard work.
 enum ShardJob {
     /// A whole client batch (tenant mode): strict contiguous `seq` dedup.
-    Batch { seq: Option<u64>, script: String, request_id: String, reply: SyncSender<Response> },
+    Batch {
+        seq: Option<u64>,
+        script: String,
+        request_id: String,
+        /// The request's timeline; the sequencer stamps queue wait,
+        /// sequencing, WAL append/fsync, apply, and checkpoint onto it.
+        clock: Arc<StageClock>,
+        reply: SyncSender<Response>,
+    },
     /// A hashed-mode sub-batch: the router already serialized the global
     /// stream, so the shard dedups monotonically (apply iff
     /// `seq >= shard_next`) and never answers "ahead".
@@ -252,6 +293,11 @@ struct SubOutcome {
     /// applied, and the router must answer a retryable 503 without
     /// advancing the global stream.
     error: Option<String>,
+    /// Shard-thread wall time spent in each pipeline stage, measured
+    /// locally so the router can attribute the fan-out's critical path
+    /// without cross-thread clock stamps: `(wal_append incl. fsync,
+    /// fsync, apply, checkpoint)` in nanoseconds.
+    stage_ns: (u64, u64, u64, u64),
 }
 
 /// A queued hashed-mode client batch, waiting on the router thread.
@@ -259,6 +305,7 @@ struct RouterJob {
     seq: Option<u64>,
     script: String,
     request_id: String,
+    clock: Arc<StageClock>,
     reply: SyncSender<Response>,
 }
 
@@ -267,6 +314,9 @@ struct RouterJob {
 pub(crate) struct RouterCells {
     pub queue_depth: AtomicU64,
     pub next_seq: AtomicU64,
+    /// Per-stage request latency histograms for the global hashed-mode
+    /// ingest stream (rendered under `tenant="default"`).
+    pub stage_hist: StageHist,
 }
 
 /// The shard router: owns every shard, their sequencer threads, and (in
@@ -382,6 +432,7 @@ impl ShardRouter {
         seq: Option<u64>,
         script: String,
         request_id: String,
+        clock: Arc<StageClock>,
     ) -> Response {
         let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
         match self.ctx.mode {
@@ -390,7 +441,7 @@ impl ShardRouter {
                 let Some(tx) = guard.as_ref() else {
                     return Response::error(503, "server is shutting down");
                 };
-                let job = RouterJob { seq, script, request_id, reply: reply_tx };
+                let job = RouterJob { seq, script, request_id, clock, reply: reply_tx };
                 match tx.try_send(job) {
                     Ok(()) => {
                         self.router_cells.queue_depth.fetch_add(1, Ordering::Relaxed);
@@ -415,7 +466,7 @@ impl ShardRouter {
                 let Some(tx) = guard.as_ref() else {
                     return Response::error(503, "server is shutting down");
                 };
-                let job = ShardJob::Batch { seq, script, request_id, reply: reply_tx };
+                let job = ShardJob::Batch { seq, script, request_id, clock, reply: reply_tx };
                 match tx.try_send(job) {
                     Ok(()) => {
                         shard.cells.queue_depth.fetch_add(1, Ordering::Relaxed);
@@ -441,6 +492,22 @@ impl ShardRouter {
                     "batch not applied within the ingest timeout; retry with the same seq",
                 )
                 .with_header("Retry-After", &retry_after_value(1))
+            }
+        }
+    }
+
+    /// Folds one finished request's stage timeline into the latency
+    /// histograms: the tenant's shard cells in tenant mode, the router
+    /// cells in hashed mode (where the stream is global, not per-shard).
+    /// A tenant without a shard (e.g. a `/summary` for a name that never
+    /// ingested) contributes nothing. Observation-only, post-response.
+    pub(crate) fn observe_stages(&self, tenant: &str, clock: &StageClock) {
+        match self.ctx.mode {
+            ShardMode::Hashed(_) => self.router_cells.stage_hist.observe(clock),
+            ShardMode::Tenant => {
+                if let Some(shard) = self.shard_named(tenant) {
+                    shard.cells.stage_hist.observe(clock);
+                }
             }
         }
     }
@@ -637,6 +704,51 @@ impl ShardRouter {
                 count,
             ));
         }
+        let _ = writeln!(out, "# HELP isum_stage_seconds Per-request pipeline stage latency.");
+        let _ = writeln!(out, "# TYPE isum_stage_seconds histogram");
+        // Tenant mode feeds the per-shard histograms; hashed mode feeds
+        // the router's (one global ingest stream), rendered under the
+        // default tenant label so dashboards see one stable shape.
+        let render_stage_hist = |out: &mut String, tenant: &str, hist: &StageHist| {
+            for stage in STAGES {
+                let (counts, overflow, count, sum) = hist.stage(stage).snapshot();
+                let mut cumulative = 0u64;
+                for (i, hi) in wal::FSYNC_BUCKET_BOUNDS.iter().enumerate() {
+                    cumulative += counts[i];
+                    out.push_str(&telemetry::labeled_sample(
+                        "isum_stage_seconds_bucket",
+                        &[("tenant", tenant), ("stage", stage.as_str()), ("le", &hi.to_string())],
+                        cumulative,
+                    ));
+                }
+                cumulative += overflow;
+                out.push_str(&telemetry::labeled_sample(
+                    "isum_stage_seconds_bucket",
+                    &[("tenant", tenant), ("stage", stage.as_str()), ("le", "+Inf")],
+                    cumulative,
+                ));
+                out.push_str(&telemetry::labeled_sample(
+                    "isum_stage_seconds_sum",
+                    &[("tenant", tenant), ("stage", stage.as_str())],
+                    sum,
+                ));
+                out.push_str(&telemetry::labeled_sample(
+                    "isum_stage_seconds_count",
+                    &[("tenant", tenant), ("stage", stage.as_str())],
+                    count,
+                ));
+            }
+        };
+        match self.ctx.mode {
+            ShardMode::Hashed(_) => {
+                render_stage_hist(out, DEFAULT_TENANT, &self.router_cells.stage_hist);
+            }
+            ShardMode::Tenant => {
+                for s in &shards {
+                    render_stage_hist(out, &s.name, &s.cells.stage_hist);
+                }
+            }
+        }
     }
 
     /// Total observed queries across all shards.
@@ -683,6 +795,19 @@ pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// `/status` (checkpoint age), never in any data-path decision.
 pub(crate) fn unix_ms() -> u64 {
     SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_millis() as u64)
+}
+
+/// Monotonic milliseconds since the first call (process start, in
+/// practice — the server binds before any checkpoint can complete).
+/// `/status` derives `ms_since_last_checkpoint` from this clock so the
+/// age survives wall-clock steps; values are never `0` (the cell's
+/// "never" sentinel), because the first call returns at least the cost
+/// of initializing the anchor — and the anchor call itself happens
+/// strictly before any checkpoint stores a reading.
+pub(crate) fn mono_ms() -> u64 {
+    static ANCHOR: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    let anchor = *ANCHOR.get_or_init(Instant::now);
+    (anchor.elapsed().as_millis() as u64).max(1)
 }
 
 /// FNV-1a over `bytes` — the stable, dependency-free hash both the
@@ -976,8 +1101,9 @@ fn shard_loop(
         };
         shard.cells.queue_depth.fetch_sub(1, Ordering::Relaxed);
         match job {
-            ShardJob::Batch { seq, script, request_id, reply } => {
+            ShardJob::Batch { seq, script, request_id, clock, reply } => {
                 let _rid = trace::with_request_id(&request_id);
+                clock.stamp(Stage::Queue);
                 let resp = dispatch_batch(
                     &shard,
                     &ctx,
@@ -988,6 +1114,7 @@ fn shard_loop(
                     &mut unseq_counter,
                     &mut drift,
                     &mut wal,
+                    &clock,
                 );
                 let _ = reply.try_send(resp);
             }
@@ -1032,6 +1159,7 @@ fn dispatch_batch(
     unseq_counter: &mut u64,
     drift: &mut DriftTracker,
     wal: &mut Option<WalWriter>,
+    clock: &StageClock,
 ) -> Response {
     match seq {
         Some(seq) if seq < *next_seq => {
@@ -1086,13 +1214,23 @@ fn dispatch_batch(
             // `apply_statements` at recovery.
             let (sqls, costs) = split_script(script);
             let stmts: Vec<(String, Option<f64>)> = sqls.into_iter().zip(costs).collect();
+            clock.stamp(Stage::Sequence);
             // Log-then-apply: the record is fsynced before any state
             // changes, so an acked batch survives any crash and a failed
             // append leaves nothing applied.
             if let Some(w) = wal.as_mut() {
-                if let Err(why) = wal_append(shard, w, seq, &stmts, key) {
-                    return Response::error(503, &why)
-                        .with_header("Retry-After", &retry_after_value(1));
+                match wal_append(shard, w, seq, &stmts, key) {
+                    Ok(fsync) => {
+                        // The append stamp covers serialize+write+fsync;
+                        // carve the measured fsync share out so the two
+                        // stages partition the durability cost.
+                        clock.stamp(Stage::WalAppend);
+                        clock.shift(Stage::WalAppend, Stage::Fsync, fsync);
+                    }
+                    Err(why) => {
+                        return Response::error(503, &why)
+                            .with_header("Retry-After", &retry_after_value(1));
+                    }
                 }
             }
             let body = {
@@ -1107,6 +1245,7 @@ fn dispatch_batch(
                 );
                 outcome.to_json(seq, engine.observed())
             };
+            clock.stamp(Stage::Apply);
             if seq.is_some() {
                 *next_seq += 1;
                 attempts.remove(&key);
@@ -1116,7 +1255,9 @@ fn dispatch_batch(
             // compaction that follows (forced when it happened), or a
             // restart would replay the WAL onto pre-adaptation state.
             let resummarized = observe_drift(shard, ctx, drift, seq);
-            maybe_compact(shard, ctx, wal, *next_seq, drift, resummarized);
+            if maybe_compact(shard, ctx, wal, *next_seq, drift, resummarized) {
+                clock.stamp(Stage::Checkpoint);
+            }
             Response::json(200, &body)
         }
     }
@@ -1142,7 +1283,13 @@ fn dispatch_sub(
                 seq = s,
                 next_seq = *next_seq
             );
-            return SubOutcome { applied: 0, rejected: Vec::new(), fresh: false, error: None };
+            return SubOutcome {
+                applied: 0,
+                rejected: Vec::new(),
+                fresh: false,
+                error: None,
+                stage_ns: (0, 0, 0, 0),
+            };
         }
     }
     if !ctx.apply_delay.is_zero() {
@@ -1152,13 +1299,31 @@ fn dispatch_sub(
         stmts.into_iter().map(|(i, sql, cost)| (i, (sql, cost))).unzip();
     // Log-then-apply, as in tenant mode. The router rolled the ingest
     // fault already; the torn-append site is keyed per shard so distinct
-    // shards tear independently under the same seeded spec.
+    // shards tear independently under the same seeded spec. Stage timing
+    // is measured locally (the request's clock lives on the router
+    // thread); the router folds the per-shard maxima into the timeline.
+    let mut wal_ns = 0u64;
+    let mut fsync_ns = 0u64;
     if let Some(w) = wal.as_mut() {
         let key = shard.fault_salt ^ seq.unwrap_or(UNSEQ_KEY_BASE);
-        if let Err(why) = wal_append(shard, w, seq, &pairs, key) {
-            return SubOutcome { applied: 0, rejected: Vec::new(), fresh: false, error: Some(why) };
+        let started = Instant::now();
+        match wal_append(shard, w, seq, &pairs, key) {
+            Ok(fsync) => {
+                wal_ns = started.elapsed().as_nanos() as u64;
+                fsync_ns = (fsync.as_nanos() as u64).min(wal_ns);
+            }
+            Err(why) => {
+                return SubOutcome {
+                    applied: 0,
+                    rejected: Vec::new(),
+                    fresh: false,
+                    error: Some(why),
+                    stage_ns: (0, 0, 0, 0),
+                };
+            }
         }
     }
+    let apply_started = Instant::now();
     let outcome = {
         let mut engine = lock(&shard.engine);
         let outcome = engine.apply_statements(&pairs);
@@ -1171,17 +1336,21 @@ fn dispatch_sub(
         );
         outcome
     };
+    let apply_ns = apply_started.elapsed().as_nanos() as u64;
     if let Some(s) = seq {
         *next_seq = s + 1;
     }
     shard.cells.next_seq.store(*next_seq, Ordering::Relaxed);
     let resummarized = observe_drift(shard, ctx, drift, seq);
-    maybe_compact(shard, ctx, wal, *next_seq, drift, resummarized);
+    let ckpt_started = Instant::now();
+    let compacted = maybe_compact(shard, ctx, wal, *next_seq, drift, resummarized);
+    let checkpoint_ns = if compacted { ckpt_started.elapsed().as_nanos() as u64 } else { 0 };
     SubOutcome {
         applied: outcome.accepted,
         rejected: outcome.rejected.into_iter().map(|(i, why)| (indexes[i], why)).collect(),
         fresh: true,
         error: None,
+        stage_ns: (wal_ns, fsync_ns, apply_ns, checkpoint_ns),
     }
 }
 
@@ -1220,16 +1389,18 @@ fn publish_engine_cells(shard: &Shard, engine: &Engine) {
 }
 
 /// Appends one batch to the shard's WAL and fsyncs, updating the mirror
-/// cells. `Err` carries the 503 body: the batch was *not* applied (and a
-/// torn append poisons the writer until restart), so a retrying client
-/// converges once the shard recovers.
+/// cells. `Ok` carries the measured fsync duration so callers can
+/// attribute it as its own pipeline stage. `Err` carries the 503 body:
+/// the batch was *not* applied (and a torn append poisons the writer
+/// until restart), so a retrying client converges once the shard
+/// recovers.
 fn wal_append(
     shard: &Shard,
     w: &mut WalWriter,
     seq: Option<u64>,
     stmts: &[(String, Option<f64>)],
     key: u64,
-) -> Result<(), String> {
+) -> Result<Duration, String> {
     let injector = isum_faults::global();
     let tear = |frame_len: usize| {
         if injector.is_active() {
@@ -1249,7 +1420,7 @@ fn wal_append(
             shard.cells.wal_last_fsync_unix_ms.store(unix_ms(), Ordering::Relaxed);
             shard.cells.wal_appended_bytes_total.fetch_add(stats.bytes, Ordering::Relaxed);
             shard.cells.wal_fsync_hist.observe(stats.fsync);
-            Ok(())
+            Ok(stats.fsync)
         }
         Err(e) => {
             isum_common::error!(
@@ -1274,18 +1445,20 @@ fn maybe_compact(
     next_seq: u64,
     drift: &DriftTracker,
     force: bool,
-) {
-    let Some(w) = wal.as_mut() else { return };
-    let Some(path) = &shard.checkpoint else { return };
+) -> bool {
+    let Some(w) = wal.as_mut() else { return false };
+    let Some(path) = &shard.checkpoint else { return false };
     if w.poisoned() || (!force && w.records_since_compaction() == 0) {
-        return;
+        return false;
     }
     if force
         || w.records_since_compaction() >= ctx.wal_compact_every
         || w.len() >= ctx.wal_compact_bytes
     {
         compact_shard(shard, path, w, next_seq, drift);
+        return true;
     }
+    false
 }
 
 /// One compaction: parks the current snapshot as `.prev`, writes a fresh
@@ -1332,6 +1505,7 @@ fn compact_shard(
             count!("server.wal.compactions");
             let now = unix_ms();
             shard.cells.last_checkpoint_unix_ms.store(now, Ordering::Relaxed);
+            shard.cells.last_checkpoint_mono_ms.store(mono_ms(), Ordering::Relaxed);
             shard.cells.wal_last_compaction_unix_ms.store(now, Ordering::Relaxed);
             shard.cells.wal_compactions.fetch_add(1, Ordering::Relaxed);
             shard.cells.wal_bytes.store(w.len(), Ordering::Relaxed);
@@ -1470,6 +1644,7 @@ fn router_loop(
         };
         cells.queue_depth.fetch_sub(1, Ordering::Relaxed);
         let _rid = trace::with_request_id(&job.request_id);
+        job.clock.stamp(Stage::Queue);
         let resp = route_job(&job, &shards, &ctx, &mut next_seq, &mut attempts, &mut unseq_counter);
         cells.next_seq.store(next_seq, Ordering::Relaxed);
         let _ = job.reply.try_send(resp);
@@ -1532,6 +1707,7 @@ fn route_job(
             per_shard[target].push((i, sql, costs[i]));
         }
     }
+    job.clock.stamp(Stage::Sequence);
     let mut waits: Vec<(usize, mpsc::Receiver<SubOutcome>)> = Vec::new();
     for (idx, stmts) in per_shard.into_iter().enumerate() {
         if stmts.is_empty() {
@@ -1553,6 +1729,10 @@ fn route_job(
     let mut applied = 0usize;
     let mut rejected: Vec<(usize, String)> = Vec::new();
     let mut any_fresh = false;
+    // Per-stage maxima over the involved shards: the fan-out runs
+    // concurrently, so the slowest shard's share of each stage is the
+    // critical-path attribution the timeline reports.
+    let (mut max_wal, mut max_fsync, mut max_ckpt) = (0u64, 0u64, 0u64);
     for (idx, rx) in waits {
         match rx.recv_timeout(ctx.ingest_timeout.max(Duration::from_secs(1))) {
             Ok(outcome) => {
@@ -1570,6 +1750,10 @@ fn route_job(
                 applied += outcome.applied;
                 any_fresh |= outcome.fresh;
                 rejected.extend(outcome.rejected);
+                let (wal_ns, fsync_ns, _apply_ns, ckpt_ns) = outcome.stage_ns;
+                max_wal = max_wal.max(wal_ns);
+                max_fsync = max_fsync.max(fsync_ns);
+                max_ckpt = max_ckpt.max(ckpt_ns);
             }
             Err(_) => {
                 count!("server.ingest.timeouts");
@@ -1587,6 +1771,15 @@ fn route_job(
         }
     }
     rejected.sort_by_key(|(i, _)| *i);
+    // The Apply stamp covers the whole fan-out wall time; the shards'
+    // critical-path maxima are then carved out into the durability and
+    // checkpoint stages (fsync nested inside wal_append, as in tenant
+    // mode). Whatever remains under `apply` is engine work plus fan-out
+    // coordination.
+    job.clock.stamp(Stage::Apply);
+    job.clock.shift(Stage::Apply, Stage::WalAppend, Duration::from_nanos(max_wal));
+    job.clock.shift(Stage::WalAppend, Stage::Fsync, Duration::from_nanos(max_fsync));
+    job.clock.shift(Stage::Apply, Stage::Checkpoint, Duration::from_nanos(max_ckpt));
     if job.seq == Some(*next_seq) {
         *next_seq += 1;
         attempts.remove(&key);

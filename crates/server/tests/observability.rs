@@ -10,7 +10,8 @@ use std::collections::HashSet;
 use std::time::Duration;
 
 use isum_catalog::{Catalog, CatalogBuilder};
-use isum_common::telemetry;
+use isum_common::stage::parse_server_timing;
+use isum_common::{telemetry, Json};
 use isum_server::{Client, Server, ServerConfig};
 
 fn catalog() -> Catalog {
@@ -140,6 +141,151 @@ fn observability_end_to_end() {
     assert!(text.contains(&format!("{hist}_bucket{{le=\"+Inf\"}}")), "{text}");
     assert!(text.contains(&format!("{hist}_sum")), "{text}");
     assert!(text.contains(&format!("{hist}_count")), "{text}");
+
+    // --- Every response carries its Server-Timing stage timeline. ---
+    // The faulted batch never applied, so its seq is the next expected one.
+    let next: usize = faulted_rid.rsplit('-').next().unwrap().parse().unwrap();
+    let resp = client
+        .request_with_headers("POST", &format!("/ingest?seq={next}"), &batch(next), &[])
+        .expect("ingest");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let timing = resp.header("server-timing").expect("ingest carries Server-Timing").to_string();
+    let stages = parse_server_timing(&timing);
+    let (last, total) = stages.last().expect("non-empty timeline");
+    assert_eq!(last, "total", "timeline ends in the total: {timing}");
+    let sum: f64 = stages[..stages.len() - 1].iter().map(|(_, ms)| ms).sum();
+    assert!(
+        (sum - total).abs() <= 1e-3 * stages.len() as f64,
+        "stage durations sum to the total: {timing}"
+    );
+    for want in ["recv", "parse", "queue", "sequence", "apply", "respond"] {
+        assert!(stages.iter().any(|(s, _)| s == want), "ingest timeline has `{want}`: {timing}");
+    }
+    assert!(
+        !stages.iter().any(|(s, _)| s == "wal_append"),
+        "no WAL configured, so no wal_append stage: {timing}"
+    );
+    let resp = client.summary(5).expect("summary");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let timing = resp.header("server-timing").expect("summary carries Server-Timing").to_string();
+    let stages = parse_server_timing(&timing);
+    assert_eq!(stages.last().expect("non-empty timeline").0, "total", "{timing}");
+    for want in ["recv", "parse", "respond"] {
+        assert!(stages.iter().any(|(s, _)| s == want), "summary timeline has `{want}`: {timing}");
+    }
+    assert!(
+        !stages.iter().any(|(s, _)| s == "apply"),
+        "reads never enter the apply stage: {timing}"
+    );
+
+    // --- Stage histograms and process self-gauges join /metrics. ---
+    let metrics = client.metrics().expect("metrics");
+    let text = &metrics.body;
+    assert!(text.contains("# TYPE isum_stage_seconds histogram"), "{text}");
+    assert!(
+        text.contains("isum_stage_seconds_bucket{tenant=\"default\",stage=\"apply\",le=\"+Inf\"}"),
+        "{text}"
+    );
+    assert!(text.contains("isum_stage_seconds_count{tenant=\"default\",stage=\"recv\"}"), "{text}");
+    assert!(text.contains("# TYPE isum_process_uptime_seconds gauge"), "{text}");
+    assert!(text.contains("\nisum_process_uptime_seconds "), "{text}");
+    assert!(text.contains("\nisum_process_open_shards 1"), "{text}");
+    #[cfg(target_os = "linux")]
+    assert!(text.contains("\nisum_process_resident_bytes "), "{text}");
+
+    // --- /events level/target filters; garbage is a typed 400. ---
+    let warns = client.get("/events?level=warn&n=256").expect("events");
+    assert_eq!(warns.status, 200);
+    assert!(warns.body.lines().count() > 0, "the fault phase left warn events behind");
+    for line in warns.body.lines() {
+        assert!(
+            line.contains("\"level\":\"warn\"") || line.contains("\"level\":\"error\""),
+            "level=warn admits only warn-or-worse: {line}"
+        );
+    }
+    let targeted = client.get("/events?target=server.ingest&n=256").expect("events");
+    assert_eq!(targeted.status, 200);
+    assert!(targeted.body.lines().count() > 0, "injected faults logged under server.ingest");
+    for line in targeted.body.lines() {
+        assert!(
+            line.contains("\"target\":\"server.ingest"),
+            "target filter is a dot-boundary prefix match: {line}"
+        );
+    }
+    let off = client.get("/events?level=off").expect("events");
+    assert_eq!(off.status, 200);
+    assert_eq!(off.body, "", "explicit level=off is a well-formed request for nothing");
+    let bad = client.get("/events?level=loud").expect("events");
+    assert_eq!(bad.status, 400);
+    assert_eq!(bad.field("param").and_then(Json::as_str), Some("level"), "{}", bad.body);
+    assert!(
+        bad.field("error").and_then(Json::as_str).unwrap_or("").contains("off, error, warn"),
+        "garbage level is a typed 400 naming the vocabulary: {}",
+        bad.body
+    );
+    let bad = client.get("/events?target=").expect("events");
+    assert_eq!(bad.status, 400);
+    assert_eq!(bad.field("param").and_then(Json::as_str), Some("target"), "{}", bad.body);
+
+    // --- Capture off by default: /trace/recent 404s and names the knob. ---
+    let resp = client.get("/trace/recent").expect("trace");
+    assert_eq!(resp.status, 404);
+    assert!(resp.body.contains("ISUM_SLOW_MS"), "disabled capture names the knob: {}", resp.body);
+
+    // --- No checkpoint ever: the monotonic age is null, not a lie. ---
+    let status = client.status(None).expect("status");
+    assert_eq!(status.status, 200);
+    let age = status.field("checkpoint").and_then(|c| c.get("ms_since_last_checkpoint"));
+    assert!(
+        matches!(age, Some(Json::Null)),
+        "never-checkpointed server reports a null age: {}",
+        status.body
+    );
+
+    // --- Slow capture + monotonic checkpoint age on a configured server. ---
+    let dir = std::env::temp_dir().join(format!("isum_obs_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let mut config = ServerConfig::new(catalog());
+    config.slow_ms = Some(0); // capture everything
+    config.checkpoint = Some(dir.join("ckpt.json"));
+    config.wal_compact_every = 1; // checkpoint after every batch
+    let slow_server = Server::bind("127.0.0.1:0", config).expect("binds");
+    let slow_client =
+        Client::new(slow_server.addr().to_string()).with_timeout(Duration::from_secs(30));
+    let resp = slow_client
+        .request_with_headers(
+            "POST",
+            "/ingest?seq=0",
+            &batch(0),
+            &[("X-Isum-Request-Id", "slow-0")],
+        )
+        .expect("ingest");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let traces = slow_client.get("/trace/recent?n=8").expect("trace");
+    assert_eq!(traces.status, 200, "{}", traces.body);
+    let line = traces
+        .body
+        .lines()
+        .find(|l| l.contains("\"request_id\":\"slow-0\""))
+        .expect("threshold 0 captures every request");
+    let entry = Json::parse(line).expect("trace entries are JSON");
+    let captured = entry.get("stages").expect("entry carries the stage breakdown");
+    for want in ["recv", "queue", "wal_append", "fsync", "apply", "checkpoint"] {
+        assert!(captured.get(want).is_some(), "WAL-backed ingest records `{want}`: {line}");
+    }
+    assert!(entry.get("total_ms").and_then(Json::as_f64).is_some(), "{line}");
+    assert_eq!(entry.get("path").and_then(Json::as_str), Some("/ingest"), "{line}");
+    let status = slow_client.status(None).expect("status");
+    let age = status.field("checkpoint").and_then(|c| c.get("ms_since_last_checkpoint"));
+    assert!(
+        matches!(age, Some(Json::Num(_))),
+        "checkpointed server reports a monotonic age: {}",
+        status.body
+    );
+    slow_server.shutdown();
+    slow_server.join();
+    let _ = std::fs::remove_dir_all(&dir);
 
     telemetry::set_enabled(false);
     server.shutdown();
